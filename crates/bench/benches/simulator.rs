@@ -1,0 +1,58 @@
+//! Simulator-throughput benchmarks: how many simulated instructions per
+//! wall-clock second the substrate achieves, with and without a reuse
+//! engine — the cost of the mechanism itself, not of what it simulates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mssr_core::{MssrConfig, MultiStreamReuse};
+use mssr_isa::{regs::*, Assembler, Program};
+use mssr_sim::{SimConfig, Simulator};
+
+fn loop_program(iters: i64) -> Program {
+    let mut a = Assembler::new();
+    a.li(S0, 0);
+    a.li(S1, iters);
+    a.li(S3, 0x1234_5678);
+    a.li(S4, 0x9e3779b97f4a7c15u64 as i64);
+    a.label("loop");
+    a.mul(S3, S3, S4);
+    a.srli(T0, S3, 29);
+    a.xor(S3, S3, T0);
+    a.andi(T1, S3, 1);
+    a.beq(T1, ZERO, "skip");
+    a.addi(S2, S2, 1);
+    a.label("skip");
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "loop");
+    a.halt();
+    a.assemble().expect("assembles")
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let iters = 5_000i64;
+    let program = loop_program(iters);
+    // Committed instructions per run (approximate: ~9 per iteration).
+    let insts = 9 * iters as u64;
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(insts));
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::default(), program.clone());
+            sim.run()
+        })
+    });
+    g.bench_function("mssr_engine", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_engine(
+                SimConfig::default(),
+                program.clone(),
+                Box::new(MultiStreamReuse::new(MssrConfig::default())),
+            );
+            sim.run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

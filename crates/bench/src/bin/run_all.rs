@@ -1,0 +1,17 @@
+//! Runs every experiment regenerator in sequence (tables first, then
+//! figures), producing the full paper-reproduction report on stdout.
+
+use std::process::Command;
+
+fn main() {
+    let exes = ["table2", "table3", "table4", "table1", "fig3", "fig4", "fig10", "fig11", "fig12", "rollup", "ablation"];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe dir");
+    for exe in exes {
+        println!("\n######## {exe} ########\n");
+        let status = Command::new(dir.join(exe))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
+        assert!(status.success(), "{exe} failed");
+    }
+}

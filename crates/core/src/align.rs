@@ -1,0 +1,203 @@
+//! Reconvergence detection: the left/right aligner logic of paper §3.4.
+//!
+//! The IFU detects a reconvergence point by finding the first overlap
+//! between the prediction block currently being fetched and any block in
+//! a Wrong-Path Buffer stream. Because every WPB entry is a *contiguous*
+//! instruction range, overlap is decided purely on `start`/`end` PCs:
+//!
+//! ```text
+//! start_pc_head <= end_pc_wpb  &&  end_pc_head >= start_pc_wpb
+//! ```
+//!
+//! Hardware evaluates the two conditions with a *left aligner* and a
+//! *right aligner*, producing two bit-masks that are ANDed; a priority
+//! encoder picks the first overlapping entry, and the reconvergence PC
+//! is `max(start_pc_head, start_pc_wpb)`. This module implements exactly
+//! that structure (bit-mask words and all) so the unit tests can check it
+//! against a naive scan.
+
+use mssr_isa::Pc;
+use mssr_sim::BlockRange;
+
+/// The result of an aligner search over one stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverlapHit {
+    /// Index of the first overlapping WPB entry in the stream.
+    pub entry: usize,
+    /// The reconvergence PC: the first instruction common to both
+    /// blocks, `max(start_head, start_wpb)`.
+    pub reconv_pc: Pc,
+}
+
+/// Bit-mask words sized for `n` entries.
+fn mask_words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// Runs the left/right aligner over a stream of WPB entries.
+///
+/// `head` is the prediction block being fetched; `entries` are the
+/// stream's blocks in stream order (oldest first, i.e. closest to the
+/// mispredicted branch first — so the priority encoder's "first set bit"
+/// is the paper's "reconvergence point closest to the mispredicted
+/// branch").
+///
+/// # Example
+///
+/// ```
+/// use mssr_core::align::find_overlap;
+/// use mssr_sim::BlockRange;
+/// use mssr_isa::Pc;
+///
+/// let stream = [
+///     BlockRange { start: Pc::new(0x100), end: Pc::new(0x11c) },
+///     BlockRange { start: Pc::new(0x200), end: Pc::new(0x21c) },
+/// ];
+/// let head = BlockRange { start: Pc::new(0x210), end: Pc::new(0x22c) };
+/// let hit = find_overlap(&head, &stream).unwrap();
+/// assert_eq!(hit.entry, 1);
+/// assert_eq!(hit.reconv_pc, Pc::new(0x210));
+/// ```
+pub fn find_overlap(head: &BlockRange, entries: &[BlockRange]) -> Option<OverlapHit> {
+    if entries.is_empty() {
+        return None;
+    }
+    let words = mask_words(entries.len());
+    let mut left = vec![0u64; words]; // start_head <= end_wpb
+    let mut right = vec![0u64; words]; // end_head >= start_wpb
+    for (i, e) in entries.iter().enumerate() {
+        if head.start <= e.end {
+            left[i / 64] |= 1u64 << (i % 64);
+        }
+        if head.end >= e.start {
+            right[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    // Bit-wise AND, then priority-encode the first set bit.
+    for w in 0..words {
+        let m = left[w] & right[w];
+        if m != 0 {
+            let bit = m.trailing_zeros() as usize;
+            let entry = w * 64 + bit;
+            let reconv_pc = head.start.max(entries[entry].start);
+            return Some(OverlapHit { entry, reconv_pc });
+        }
+    }
+    None
+}
+
+/// The single-page variant (paper §3.4's timing optimization): the WPB
+/// stores only PC bits 12–1 and one Virtual Page Number register per
+/// stream; the head block's VPN is compared in parallel with the range
+/// overlap. Blocks on a different page can never match.
+pub fn find_overlap_vpn(
+    head: &BlockRange,
+    head_vpn: u64,
+    entries: &[BlockRange],
+    stream_vpn: u64,
+) -> Option<OverlapHit> {
+    if head_vpn != stream_vpn {
+        return None;
+    }
+    find_overlap(head, entries)
+}
+
+/// The virtual page number of a PC (4 KiB pages; bits 47:12 under sv48).
+pub fn vpn(pc: Pc) -> u64 {
+    pc.addr() >> 12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: u64, e: u64) -> BlockRange {
+        BlockRange { start: Pc::new(s), end: Pc::new(e) }
+    }
+
+    /// Reference implementation: naive scan.
+    fn naive(head: &BlockRange, entries: &[BlockRange]) -> Option<OverlapHit> {
+        entries
+            .iter()
+            .position(|e| head.start <= e.end && head.end >= e.start)
+            .map(|i| OverlapHit { entry: i, reconv_pc: head.start.max(entries[i].start) })
+    }
+
+    #[test]
+    fn empty_stream_has_no_overlap() {
+        assert_eq!(find_overlap(&r(0, 0x1c), &[]), None);
+    }
+
+    #[test]
+    fn first_overlap_wins() {
+        let entries = [r(0x100, 0x11c), r(0x120, 0x13c), r(0x140, 0x15c)];
+        let head = r(0x130, 0x14c); // overlaps entries 1 and 2
+        let hit = find_overlap(&head, &entries).unwrap();
+        assert_eq!(hit.entry, 1, "priority encoder takes the first entry");
+        assert_eq!(hit.reconv_pc, Pc::new(0x130));
+    }
+
+    #[test]
+    fn reconv_pc_is_max_of_starts() {
+        let entries = [r(0x200, 0x21c)];
+        // Head begins before the WPB block: reconvergence at the block start.
+        let hit = find_overlap(&r(0x1f0, 0x20c), &entries).unwrap();
+        assert_eq!(hit.reconv_pc, Pc::new(0x200));
+        // Head begins inside the WPB block: reconvergence at the head start.
+        let hit = find_overlap(&r(0x210, 0x22c), &entries).unwrap();
+        assert_eq!(hit.reconv_pc, Pc::new(0x210));
+    }
+
+    #[test]
+    fn no_overlap_when_disjoint() {
+        let entries = [r(0x100, 0x11c), r(0x200, 0x21c)];
+        assert_eq!(find_overlap(&r(0x140, 0x15c), &entries), None);
+    }
+
+    #[test]
+    fn works_past_64_entries() {
+        // Force the mask into a second word.
+        let mut entries: Vec<BlockRange> = (0..70)
+            .map(|i| r(0x1000 + i * 0x100, 0x1000 + i * 0x100 + 0x1c))
+            .collect();
+        entries[69] = r(0x9000, 0x901c);
+        let hit = find_overlap(&r(0x9010, 0x902c), &entries).unwrap();
+        assert_eq!(hit.entry, 69);
+        assert_eq!(hit.reconv_pc, Pc::new(0x9010));
+    }
+
+    #[test]
+    fn matches_naive_scan_exhaustively() {
+        // Sweep head positions across a stream layout; aligner and naive
+        // reference must agree everywhere.
+        let entries = [r(0x100, 0x11c), r(0x130, 0x134), r(0x200, 0x23c), r(0x300, 0x300)];
+        for start in (0x0..0x400u64).step_by(4) {
+            for len in [0u64, 4, 28, 60] {
+                let head = r(start, start + len);
+                assert_eq!(
+                    find_overlap(&head, &entries),
+                    naive(&head, &entries),
+                    "mismatch at head {head:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vpn_gate_blocks_cross_page_matches() {
+        let entries = [r(0x1100, 0x111c)];
+        let head = r(0x1100, 0x111c);
+        assert!(find_overlap_vpn(&head, vpn(head.start), &entries, vpn(Pc::new(0x1100))).is_some());
+        assert!(
+            find_overlap_vpn(&head, vpn(head.start), &entries, vpn(Pc::new(0x2100))).is_none(),
+            "different page must not match even with identical low bits"
+        );
+    }
+
+    #[test]
+    fn vpn_extracts_4k_pages() {
+        assert_eq!(vpn(Pc::new(0x0fff)), 0);
+        assert_eq!(vpn(Pc::new(0x1000)), 1);
+        assert_eq!(vpn(Pc::new(0x3_4567)), 0x34);
+    }
+}

@@ -1,0 +1,156 @@
+//! Configuration of the Multi-Stream Squash Reuse engine.
+
+/// How reused loads are protected against memory-order violations
+/// (paper §3.8.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemCheckPolicy {
+    /// Re-execute every reused load and compare the fresh value with the
+    /// reused one before commit; a mismatch flushes the pipeline and
+    /// invalidates the Squash Logs. This is the mechanism the paper
+    /// evaluates ("we choose to implement the latter mechanism for
+    /// simplicity").
+    LoadVerification,
+    /// Track executed-store and snoop addresses in a Bloom filter; a
+    /// load whose recorded address hits the filter is not reused.
+    BloomFilter,
+}
+
+/// Parameters of the Multi-Stream Squash Reuse mechanism.
+///
+/// The default is the paper's typical configuration: 4 streams, 16
+/// Wrong-Path Buffer block entries per stream, 64 Squash Log instruction
+/// entries per stream, a 1024-instruction reconvergence timeout, an
+/// 8-overflow RGID reset threshold, and load-verification memory
+/// checking.
+///
+/// # Example
+///
+/// ```
+/// use mssr_core::MssrConfig;
+///
+/// let cfg = MssrConfig::default().with_streams(2).with_log_entries(128);
+/// assert_eq!(cfg.streams, 2);
+/// assert_eq!(cfg.log_entries, 128);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MssrConfig {
+    /// Number of squashed streams tracked simultaneously (N).
+    pub streams: usize,
+    /// Wrong-Path Buffer block entries per stream (M).
+    pub wpb_entries: usize,
+    /// Squash Log instruction entries per stream (P).
+    pub log_entries: usize,
+    /// Invalidate a stream if no reconvergence is found within this many
+    /// renamed instructions (paper §3.3.2 uses 1024).
+    pub timeout_insts: u64,
+    /// Reused-load protection mechanism.
+    pub mem_policy: MemCheckPolicy,
+    /// Restrict each WPB stream to a single 4 KiB virtual page (the
+    /// timing optimization of §3.4: entries store PC bits 12–1 and one
+    /// VPN register per stream).
+    pub vpn_restrict: bool,
+    /// Accumulated RGID overflow events that trigger a global reset.
+    pub overflow_reset_threshold: u64,
+    /// Bloom filter size in bits (power of two), for
+    /// [`MemCheckPolicy::BloomFilter`].
+    pub bloom_bits: usize,
+}
+
+impl Default for MssrConfig {
+    fn default() -> MssrConfig {
+        MssrConfig {
+            streams: 4,
+            wpb_entries: 16,
+            log_entries: 64,
+            timeout_insts: 1024,
+            mem_policy: MemCheckPolicy::LoadVerification,
+            vpn_restrict: false,
+            overflow_reset_threshold: 8,
+            bloom_bits: 1024,
+        }
+    }
+}
+
+impl MssrConfig {
+    /// Sets the number of tracked streams (N).
+    pub fn with_streams(mut self, n: usize) -> MssrConfig {
+        self.streams = n;
+        self
+    }
+
+    /// Sets the WPB block entries per stream (M).
+    pub fn with_wpb_entries(mut self, m: usize) -> MssrConfig {
+        self.wpb_entries = m;
+        self
+    }
+
+    /// Sets the Squash Log entries per stream (P).
+    pub fn with_log_entries(mut self, p: usize) -> MssrConfig {
+        self.log_entries = p;
+        self
+    }
+
+    /// Sets the reconvergence timeout in renamed instructions.
+    pub fn with_timeout(mut self, t: u64) -> MssrConfig {
+        self.timeout_insts = t;
+        self
+    }
+
+    /// Sets the reused-load protection mechanism.
+    pub fn with_mem_policy(mut self, p: MemCheckPolicy) -> MssrConfig {
+        self.mem_policy = p;
+        self
+    }
+
+    /// Enables or disables the single-page WPB restriction.
+    pub fn with_vpn_restrict(mut self, on: bool) -> MssrConfig {
+        self.vpn_restrict = on;
+        self
+    }
+
+    /// A configuration that models DCI (Dynamic Control Independence):
+    /// queue-based squash reuse limited to a single squashed stream. The
+    /// paper evaluates DCI exactly this way (§4.1.2).
+    pub fn dci() -> MssrConfig {
+        MssrConfig::default().with_streams(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_typical_configuration() {
+        let c = MssrConfig::default();
+        assert_eq!(c.streams, 4);
+        assert_eq!(c.wpb_entries, 16);
+        assert_eq!(c.log_entries, 64);
+        assert_eq!(c.timeout_insts, 1024);
+        assert_eq!(c.overflow_reset_threshold, 8);
+        assert_eq!(c.mem_policy, MemCheckPolicy::LoadVerification);
+        assert!(!c.vpn_restrict);
+    }
+
+    #[test]
+    fn dci_is_single_stream() {
+        assert_eq!(MssrConfig::dci().streams, 1);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = MssrConfig::default()
+            .with_streams(2)
+            .with_wpb_entries(32)
+            .with_log_entries(128)
+            .with_timeout(512)
+            .with_mem_policy(MemCheckPolicy::BloomFilter)
+            .with_vpn_restrict(true);
+        assert_eq!(c.streams, 2);
+        assert_eq!(c.wpb_entries, 32);
+        assert_eq!(c.log_entries, 128);
+        assert_eq!(c.timeout_insts, 512);
+        assert_eq!(c.mem_policy, MemCheckPolicy::BloomFilter);
+        assert!(c.vpn_restrict);
+    }
+}

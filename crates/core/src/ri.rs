@@ -1,0 +1,528 @@
+//! Register Integration (Roth & Sohi, MICRO 2000) — the table-based
+//! squash-reuse baseline the paper compares against (§2.2.3, §4.1.2).
+//!
+//! Squashed, executed instructions are stored in a PC-indexed,
+//! set-associative *reuse table* keyed by their source **physical
+//! register names**. At rename, an instruction whose PC, opcode and
+//! current source physical registers match a table entry *integrates* the
+//! entry's destination physical register instead of executing.
+//!
+//! The paper highlights three structural weaknesses, all reproduced here:
+//!
+//! * **Table conflicts**: code blocks cluster in memory, so entries evict
+//!   each other; per-set replacement counters feed Figure 3.
+//! * **Transitive invalidation**: when an entry dies (evicted or its
+//!   destination register recycled), every entry referencing that
+//!   register as a source must also die, recursively.
+//! * **Temporal references**: one PC-indexed entry per set conflict means
+//!   multiple dynamic instances fight for the same slot.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mssr_isa::{ArchReg, Opcode, Pc};
+use mssr_sim::{
+    EngineCtx, EngineStats, FlushKind, PhysReg, RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery,
+    SeqNum, SquashEvent,
+};
+
+use crate::config::MemCheckPolicy;
+use crate::memcheck::BloomFilter;
+
+/// Configuration of the Register Integration reuse table.
+#[derive(Clone, Copy, Debug)]
+pub struct RiConfig {
+    /// Number of sets (the paper evaluates 64 and 128).
+    pub sets: usize,
+    /// Associativity (the paper evaluates 1, 2 and 4 ways).
+    pub ways: usize,
+    /// Reused-load protection mechanism (shared with the MSSR engine so
+    /// comparisons are apples-to-apples).
+    pub mem_policy: MemCheckPolicy,
+    /// Bloom filter size for [`MemCheckPolicy::BloomFilter`].
+    pub bloom_bits: usize,
+}
+
+impl Default for RiConfig {
+    fn default() -> RiConfig {
+        RiConfig {
+            sets: 64,
+            ways: 4,
+            mem_policy: MemCheckPolicy::LoadVerification,
+            bloom_bits: 1024,
+        }
+    }
+}
+
+impl RiConfig {
+    /// Sets the number of sets.
+    pub fn with_sets(mut self, n: usize) -> RiConfig {
+        self.sets = n;
+        self
+    }
+
+    /// Sets the associativity.
+    pub fn with_ways(mut self, n: usize) -> RiConfig {
+        self.ways = n;
+        self
+    }
+
+    /// Sets the reused-load protection mechanism.
+    pub fn with_mem_policy(mut self, p: MemCheckPolicy) -> RiConfig {
+        self.mem_policy = p;
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RiEntry {
+    pc: Pc,
+    op: Opcode,
+    dst_arch: ArchReg,
+    dst_preg: PhysReg,
+    src_pregs: [Option<PhysReg>; 2],
+    is_load: bool,
+    load_addr: Option<u64>,
+    lru: u64,
+}
+
+/// Shared handle to the per-set replacement counters (Figure 3's data).
+///
+/// Obtain it with [`RegisterIntegration::replacement_counters`] *before*
+/// boxing the engine into the simulator; it stays readable afterwards.
+pub type RiCounters = Rc<RefCell<Vec<u64>>>;
+
+/// The Register Integration reuse engine.
+///
+/// # Example
+///
+/// ```
+/// use mssr_core::{RegisterIntegration, RiConfig};
+/// use mssr_sim::ReuseEngine;
+///
+/// let ri = RegisterIntegration::new(RiConfig::default().with_ways(2));
+/// assert_eq!(ri.name(), "ri");
+/// ```
+#[derive(Debug)]
+pub struct RegisterIntegration {
+    cfg: RiConfig,
+    /// `table[set][way]`.
+    table: Vec<Vec<Option<RiEntry>>>,
+    tick: u64,
+    replacements: RiCounters,
+    bloom: BloomFilter,
+    /// Highest sequence number seen at rename.
+    max_seen_seq: SeqNum,
+    /// Loads renamed at or before this barrier read memory before the
+    /// last Bloom clear and are never inserted as reusable (see the
+    /// equivalent barrier in `MultiStreamReuse`).
+    bloom_barrier: SeqNum,
+    stats: EngineStats,
+}
+
+impl RegisterIntegration {
+    /// Creates an empty reuse table.
+    pub fn new(cfg: RiConfig) -> RegisterIntegration {
+        RegisterIntegration {
+            table: vec![vec![None; cfg.ways]; cfg.sets],
+            tick: 0,
+            replacements: Rc::new(RefCell::new(vec![0; cfg.sets])),
+            bloom: BloomFilter::new(cfg.bloom_bits),
+            max_seen_seq: SeqNum::ZERO,
+            bloom_barrier: SeqNum::ZERO,
+            stats: EngineStats::default(),
+            cfg,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RiConfig {
+        &self.cfg
+    }
+
+    /// Shared handle to the per-set replacement counters (Figure 3).
+    pub fn replacement_counters(&self) -> RiCounters {
+        Rc::clone(&self.replacements)
+    }
+
+    /// Number of valid entries (tests and introspection).
+    pub fn occupancy(&self) -> usize {
+        self.table.iter().flatten().filter(|e| e.is_some()).count()
+    }
+
+    fn set_index(&self, pc: Pc) -> usize {
+        (pc.addr() >> 2) as usize % self.cfg.sets
+    }
+
+    /// Removes an entry, releasing its destination register and
+    /// transitively invalidating entries that referenced it as a source
+    /// (§3.7.2's expensive operation, implemented as the paper describes).
+    fn evict(&mut self, set: usize, way: usize, ctx: &mut EngineCtx<'_>) {
+        let Some(e) = self.table[set][way].take() else { return };
+        let dead = e.dst_preg;
+        ctx.free_list.release(dead);
+        self.invalidate_referencing(dead, ctx);
+    }
+
+    fn invalidate_referencing(&mut self, p: PhysReg, ctx: &mut EngineCtx<'_>) {
+        // Collect victims first to keep the recursion simple.
+        let mut victims = Vec::new();
+        for (s, set) in self.table.iter().enumerate() {
+            for (w, e) in set.iter().enumerate() {
+                if let Some(e) = e {
+                    if e.src_pregs.contains(&Some(p)) {
+                        victims.push((s, w));
+                    }
+                }
+            }
+        }
+        for (s, w) in victims {
+            self.stats.extra_count("ri_transitive_invalidations", 1);
+            self.evict(s, w, ctx);
+        }
+    }
+
+    fn clear_table(&mut self, ctx: &mut EngineCtx<'_>) {
+        for set in 0..self.cfg.sets {
+            for way in 0..self.cfg.ways {
+                if let Some(e) = self.table[set][way].take() {
+                    ctx.free_list.release(e.dst_preg);
+                }
+            }
+        }
+        self.bloom.clear();
+        self.bloom_barrier = self.max_seen_seq;
+    }
+}
+
+trait ExtraCount {
+    fn extra_count(&mut self, key: &str, n: u64);
+}
+
+impl ExtraCount for EngineStats {
+    fn extra_count(&mut self, key: &str, n: u64) {
+        if let Some(e) = self.extra.iter_mut().find(|(k, _)| k == key) {
+            e.1 += n;
+        } else {
+            self.extra.push((key.to_string(), n));
+        }
+    }
+}
+
+impl ReuseEngine for RegisterIntegration {
+    fn name(&self) -> &'static str {
+        "ri"
+    }
+
+    fn on_mispredict_squash(&mut self, ev: &SquashEvent, ctx: &mut EngineCtx<'_>) {
+        for inst in &ev.insts {
+            if !inst.executed || inst.is_store {
+                continue;
+            }
+            if inst.is_load
+                && self.cfg.mem_policy == MemCheckPolicy::BloomFilter
+                && inst.seq <= self.bloom_barrier
+            {
+                continue; // read predates the surviving hazard evidence
+            }
+            let Some((dst_arch, dst_preg, _)) = inst.dst else { continue };
+            if inst.op.is_control() {
+                continue;
+            }
+            self.tick += 1;
+            let set = self.set_index(inst.pc);
+            // Pick an invalid way, else the LRU victim.
+            let way = match (0..self.cfg.ways).find(|&w| self.table[set][w].is_none()) {
+                Some(w) => w,
+                None => {
+                    let w = (0..self.cfg.ways)
+                        .min_by_key(|&w| self.table[set][w].as_ref().map_or(0, |e| e.lru))
+                        .expect("at least one way");
+                    self.replacements.borrow_mut()[set] += 1;
+                    self.stats.table_replacements += 1;
+                    self.evict(set, w, ctx);
+                    w
+                }
+            };
+            // The squashed instruction's *source* physical names are not
+            // in the event (it carries RGIDs); RI instead needs the
+            // physical mappings at the squashed rename. The simulator
+            // preserves them in the squashed-instruction record via the
+            // ROB — reconstructed here from the event's extension below.
+            let src_pregs = inst_src_pregs(inst);
+            ctx.free_list.retain(dst_preg);
+            self.table[set][way] = Some(RiEntry {
+                pc: inst.pc,
+                op: inst.op,
+                dst_arch,
+                dst_preg,
+                src_pregs,
+                is_load: inst.is_load,
+                load_addr: inst.load_addr,
+                lru: self.tick,
+            });
+            self.stats.entries_logged += 1;
+        }
+        self.stats.streams_captured += 1;
+    }
+
+    fn try_reuse(&mut self, q: &ReuseQuery<'_>, ctx: &mut EngineCtx<'_>) -> Option<ReuseGrant> {
+        self.stats.reuse_tests += 1;
+        let set = self.set_index(q.pc);
+        self.tick += 1;
+        let tick = self.tick;
+        let way = (0..self.cfg.ways).find(|&w| {
+            self.table[set][w].as_ref().is_some_and(|e| {
+                e.pc == q.pc
+                    && e.op == q.inst.op()
+                    && Some(e.dst_arch) == q.inst.dst()
+                    && e.src_pregs == q.src_pregs
+            })
+        });
+        let Some(way) = way else {
+            self.stats.reuse_fail_stale += 1;
+            return None;
+        };
+        let e = self.table[set][way].as_mut().expect("matched way is valid");
+        e.lru = tick;
+        let needs_load_verify = if e.is_load {
+            match self.cfg.mem_policy {
+                MemCheckPolicy::BloomFilter => {
+                    if e.load_addr.is_none_or(|a| self.bloom.maybe_contains(a)) {
+                        self.stats.reuse_fail_mem += 1;
+                        return None;
+                    }
+                    false
+                }
+                MemCheckPolicy::LoadVerification => true,
+            }
+        } else {
+            false
+        };
+        // Integration: the entry is consumed and its hold transfers to
+        // the live mapping.
+        let e = self.table[set][way].take().expect("matched way is valid");
+        let _ = ctx;
+        if crate::trace_enabled() {
+            eprintln!("ri-grant pc={} op={}", q.pc, e.op);
+        }
+        self.stats.reuse_grants += 1;
+        if q.src_pregs == [None, None] {
+            self.stats.extra_count("ri_no_src_grants", 1);
+        }
+        if e.is_load {
+            self.stats.reused_loads += 1;
+        }
+        Some(ReuseGrant {
+            preg: e.dst_preg,
+            rgid: None, // RI has no RGID concept; a fresh one is allocated
+            load_addr: e.load_addr,
+            needs_load_verify,
+        })
+    }
+
+    fn on_renamed(&mut self, r: &RenamedInst, _ctx: &mut EngineCtx<'_>) {
+        self.max_seen_seq = self.max_seen_seq.max(r.seq);
+    }
+
+    fn on_flush(&mut self, kind: FlushKind, ctx: &mut EngineCtx<'_>) {
+        if kind == FlushKind::ReuseVerification {
+            self.clear_table(ctx);
+        }
+    }
+
+    fn on_preg_freed(&mut self, p: PhysReg, ctx: &mut EngineCtx<'_>) {
+        // A recycled physical register may be rewritten with a new value;
+        // entries naming it as a source are no longer trustworthy.
+        self.invalidate_referencing(p, ctx);
+    }
+
+    fn on_register_pressure(&mut self, ctx: &mut EngineCtx<'_>) {
+        self.stats.pressure_reclaims += 1;
+        self.clear_table(ctx);
+    }
+
+    fn on_rgid_reset(&mut self, ctx: &mut EngineCtx<'_>) {
+        // RI does not use RGIDs, but physical-name validity is unrelated
+        // to the reset; nothing to drop. (Kept explicit for clarity.)
+        let _ = ctx;
+    }
+
+    fn on_store_executed(&mut self, addr: u64, _ctx: &mut EngineCtx<'_>) {
+        if self.cfg.mem_policy == MemCheckPolicy::BloomFilter {
+            self.bloom.insert(addr);
+        }
+    }
+
+    fn on_snoop(&mut self, addr: u64, _ctx: &mut EngineCtx<'_>) {
+        if self.cfg.mem_policy == MemCheckPolicy::BloomFilter {
+            self.bloom.insert(addr);
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut s = self.stats.clone();
+        s.extra.push(("ri_occupancy".to_string(), self.occupancy() as u64));
+        s
+    }
+}
+
+/// Source physical registers of a squashed instruction.
+fn inst_src_pregs(inst: &mssr_sim::SquashedInst) -> [Option<PhysReg>; 2] {
+    inst.src_pregs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssr_sim::{FreeList, SeqNum, SquashEvent};
+
+    fn ctx<'a>(fl: &'a mut FreeList, reset: &'a mut bool) -> EngineCtx<'a> {
+        EngineCtx { free_list: fl, cycle: 0, rob_size: 256, rgid_reset_requested: reset }
+    }
+
+    fn freelist() -> FreeList {
+        FreeList::new(256, 100)
+    }
+
+    fn sq_inst(
+        pc: u64,
+        dst_preg: usize,
+        srcs: [Option<usize>; 2],
+    ) -> mssr_sim::SquashedInst {
+        mssr_sim::SquashedInst {
+            seq: SeqNum::new(pc / 4),
+            pc: Pc::new(pc),
+            op: Opcode::Add,
+            dst: Some((ArchReg::A0, PhysReg::new(dst_preg), mssr_sim::Rgid::new(1))),
+            src_rgids: [None, None],
+            src_pregs: srcs.map(|s| s.map(PhysReg::new)),
+            executed: true,
+            is_load: false,
+            is_store: false,
+            load_addr: None,
+        }
+    }
+
+    fn event(insts: Vec<mssr_sim::SquashedInst>) -> SquashEvent {
+        SquashEvent {
+            squash_id: 1,
+            cause_seq: SeqNum::new(1),
+            cause_pc: Pc::new(0xf00),
+            redirect: Pc::new(0x2000),
+            insts,
+            frontend_blocks: vec![],
+        }
+    }
+
+    fn query<'a>(pc: u64, inst: &'a mssr_isa::Inst, srcs: [Option<usize>; 2]) -> ReuseQuery<'a> {
+        ReuseQuery {
+            seq: SeqNum::new(1000),
+            pc: Pc::new(pc),
+            inst,
+            src_rgids: [None, None],
+            src_pregs: srcs.map(|s| s.map(PhysReg::new)),
+        }
+    }
+
+    #[test]
+    fn insertion_and_integration() {
+        let mut fl = freelist();
+        let mut reset = false;
+        let mut ri = RegisterIntegration::new(RiConfig::default());
+        ri.on_mispredict_squash(
+            &event(vec![sq_inst(0x1000, 80, [Some(10), Some(11)])]),
+            &mut ctx(&mut fl, &mut reset),
+        );
+        assert_eq!(ri.occupancy(), 1);
+        assert_eq!(fl.holds(PhysReg::new(80)), 2, "table holds the result register");
+        // A matching rename integrates the entry.
+        let inst = mssr_isa::Inst::alu_rr(Opcode::Add, ArchReg::A0, ArchReg::A1, ArchReg::A2);
+        let g = ri
+            .try_reuse(&query(0x1000, &inst, [Some(10), Some(11)]), &mut ctx(&mut fl, &mut reset))
+            .expect("matching sources integrate");
+        assert_eq!(g.preg, PhysReg::new(80));
+        assert!(g.rgid.is_none(), "RI has no RGID concept");
+        assert_eq!(ri.occupancy(), 0, "entry consumed");
+    }
+
+    #[test]
+    fn mismatched_sources_do_not_integrate() {
+        let mut fl = freelist();
+        let mut reset = false;
+        let mut ri = RegisterIntegration::new(RiConfig::default());
+        ri.on_mispredict_squash(
+            &event(vec![sq_inst(0x1000, 80, [Some(10), Some(11)])]),
+            &mut ctx(&mut fl, &mut reset),
+        );
+        let inst = mssr_isa::Inst::alu_rr(Opcode::Add, ArchReg::A0, ArchReg::A1, ArchReg::A2);
+        assert!(ri
+            .try_reuse(&query(0x1000, &inst, [Some(10), Some(12)]), &mut ctx(&mut fl, &mut reset))
+            .is_none());
+        assert!(ri
+            .try_reuse(&query(0x1004, &inst, [Some(10), Some(11)]), &mut ctx(&mut fl, &mut reset))
+            .is_none(), "different PC");
+        assert_eq!(ri.occupancy(), 1, "entry survives failed lookups");
+    }
+
+    #[test]
+    fn freed_source_register_transitively_invalidates() {
+        let mut fl = freelist();
+        let mut reset = false;
+        let mut ri = RegisterIntegration::new(RiConfig::default());
+        // B consumes A's destination as a source: a dependence chain.
+        ri.on_mispredict_squash(
+            &event(vec![
+                sq_inst(0x1000, 80, [Some(10), None]),
+                sq_inst(0x1004, 81, [Some(80), None]),
+            ]),
+            &mut ctx(&mut fl, &mut reset),
+        );
+        assert_eq!(ri.occupancy(), 2);
+        // The pipeline recycles p10 (source of A): A dies, and B must die
+        // with it because B's source p80... no — B sources p80 which the
+        // table still holds. Free p10 instead: A dies; then B (sourcing
+        // A's destination p80, now released) dies transitively.
+        ri.on_preg_freed(PhysReg::new(10), &mut ctx(&mut fl, &mut reset));
+        assert_eq!(ri.occupancy(), 0, "chain fully invalidated");
+        assert_eq!(fl.holds(PhysReg::new(80)), 1);
+        assert_eq!(fl.holds(PhysReg::new(81)), 1);
+    }
+
+    #[test]
+    fn set_conflicts_count_replacements() {
+        let mut fl = freelist();
+        let mut reset = false;
+        let mut ri = RegisterIntegration::new(RiConfig::default().with_sets(4).with_ways(1));
+        let counters = ri.replacement_counters();
+        // Two PCs mapping to the same set (stride = sets * 4 bytes).
+        ri.on_mispredict_squash(
+            &event(vec![sq_inst(0x1000, 80, [None, None]), sq_inst(0x1010, 81, [None, None])]),
+            &mut ctx(&mut fl, &mut reset),
+        );
+        assert_eq!(ri.occupancy(), 1, "second insertion evicted the first");
+        assert_eq!(counters.borrow().iter().sum::<u64>(), 1);
+        assert_eq!(fl.holds(PhysReg::new(80)), 1, "victim's register released");
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = RiConfig::default().with_sets(128).with_ways(2);
+        assert_eq!(c.sets, 128);
+        assert_eq!(c.ways, 2);
+    }
+
+    #[test]
+    fn empty_table_has_zero_occupancy() {
+        let ri = RegisterIntegration::new(RiConfig::default());
+        assert_eq!(ri.occupancy(), 0);
+        assert_eq!(ri.replacement_counters().borrow().len(), 64);
+    }
+
+    #[test]
+    fn set_index_wraps_pc() {
+        let ri = RegisterIntegration::new(RiConfig::default().with_sets(64));
+        assert_eq!(ri.set_index(Pc::new(0x1000)), ri.set_index(Pc::new(0x1000 + 64 * 4)));
+        assert_ne!(ri.set_index(Pc::new(0x1000)), ri.set_index(Pc::new(0x1004)));
+    }
+}

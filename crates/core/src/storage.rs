@@ -1,0 +1,195 @@
+//! The storage model of paper Table 2: how many bits the Multi-Stream
+//! Squash Reuse mechanism adds to the processor.
+//!
+//! Storage splits into a *constant* part (ROB RGID fields, RAT RGIDs, RAT
+//! checkpoints — independent of the stream configuration) and a
+//! *variable* part (Wrong-Path Buffers and Squash Logs, scaling with the
+//! number of streams N, WPB entries per stream M, and Squash Log entries
+//! per stream P).
+
+/// Parameters of the storage model, defaulted to the paper's values.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageParams {
+    /// Number of streams (N).
+    pub streams: usize,
+    /// WPB block entries per stream (M).
+    pub wpb_entries: usize,
+    /// Squash Log entries per stream (P).
+    pub log_entries: usize,
+    /// ROB entries (paper: 256).
+    pub rob_entries: usize,
+    /// Architectural registers (paper: 64).
+    pub arch_regs: usize,
+    /// RAT checkpoints (paper: 32).
+    pub rat_checkpoints: usize,
+    /// RGID width in bits (paper: 6).
+    pub rgid_bits: usize,
+    /// Physical register name width in bits (paper: 8, for 256 registers).
+    pub preg_bits: usize,
+    /// Source registers per Squash Log entry (paper: 3, RISC-V FMA).
+    pub srcs_per_entry: usize,
+    /// PC bits stored per WPB entry bound (paper: 11, PC bits 11..1).
+    pub pc_bits: usize,
+    /// VPN register width per stream (paper: 36, PC bits 47..12 under sv48).
+    pub vpn_bits: usize,
+}
+
+impl Default for StorageParams {
+    fn default() -> StorageParams {
+        StorageParams {
+            streams: 4,
+            wpb_entries: 16,
+            log_entries: 64,
+            rob_entries: 256,
+            arch_regs: 64,
+            rat_checkpoints: 32,
+            rgid_bits: 6,
+            preg_bits: 8,
+            srcs_per_entry: 3,
+            pc_bits: 11,
+            vpn_bits: 36,
+        }
+    }
+}
+
+/// A computed storage breakdown, in bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    /// Constant storage: ROB RGIDs + RAT RGIDs + checkpointed RAT RGIDs.
+    pub constant_bits: u64,
+    /// Variable storage: WPB + Squash Log.
+    pub variable_bits: u64,
+}
+
+impl StorageBreakdown {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.constant_bits + self.variable_bits
+    }
+
+    /// Constant storage in KiB.
+    pub fn constant_kib(&self) -> f64 {
+        self.constant_bits as f64 / 8.0 / 1024.0
+    }
+
+    /// Variable storage in KiB.
+    pub fn variable_kib(&self) -> f64 {
+        self.variable_bits as f64 / 8.0 / 1024.0
+    }
+
+    /// Total storage in KiB.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+fn log2_ceil(v: usize) -> u64 {
+    (usize::BITS - v.saturating_sub(1).leading_zeros()) as u64
+}
+
+/// Evaluates the Table 2 storage formulas.
+///
+/// The constant part is
+/// `(srcs+1) × rgid_bits × ROB + arch × rgid_bits + arch × rgid_bits × checkpoints`
+/// and the variable part is
+/// `(23·M + 33·P + 36)·N + log2(M·P·N⁴)` bits for the paper's field
+/// widths (1 valid + 11+11 PC bits per WPB entry; 1 valid + 3×6 source
+/// RGIDs + 6 destination RGID + 8 destination physical register per
+/// Squash Log entry; 36-bit VPN per stream; and the stream/entry
+/// pointers).
+///
+/// # Example
+///
+/// ```
+/// use mssr_core::storage::{storage, StorageParams};
+///
+/// let b = storage(&StorageParams::default());
+/// assert_eq!(b.constant_bits, 18_816); // paper: 2.30 KB
+/// assert!((b.total_kib() - 3.53).abs() < 0.01); // paper: 3.53 KB
+/// ```
+pub fn storage(p: &StorageParams) -> StorageBreakdown {
+    let constant_bits = ((p.srcs_per_entry + 1) * p.rgid_bits * p.rob_entries
+        + p.arch_regs * p.rgid_bits
+        + p.arch_regs * p.rgid_bits * p.rat_checkpoints) as u64;
+
+    let n = p.streams as u64;
+    let m = p.wpb_entries as u64;
+    let pe = p.log_entries as u64;
+    // Wrong-Path Buffer: stream read/write pointers, entry read pointer,
+    // VPN per stream, and (valid + start + end) per entry.
+    let wpb = 2 * log2_ceil(p.streams)
+        + log2_ceil(p.wpb_entries)
+        + (1 + 2 * p.pc_bits as u64) * n * m
+        + p.vpn_bits as u64 * n;
+    // Squash Log: pointers plus (valid + src RGIDs + dst RGID + dst preg)
+    // per entry.
+    let log_entry_bits =
+        1 + (p.srcs_per_entry * p.rgid_bits + p.rgid_bits + p.preg_bits) as u64;
+    let log = 2 * log2_ceil(p.streams) + log2_ceil(p.log_entries) + log_entry_bits * n * pe;
+
+    StorageBreakdown { constant_bits, variable_bits: wpb + log }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constant_storage() {
+        // 4×6×256 + 64×6 + 64×6×32 = 18,816 bits = 2.30 KB (Table 2).
+        let b = storage(&StorageParams::default());
+        assert_eq!(b.constant_bits, 18_816);
+        assert!((b.constant_kib() - 2.2969).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_variable_storage() {
+        // (23·16 + 33·64 + 36)·4 + log2(16·64·4⁴) = 10,064 + 18 bits.
+        let b = storage(&StorageParams::default());
+        assert_eq!(b.variable_bits, 10_064 + 18);
+        assert!((b.variable_kib() - 1.2307).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_total_is_3_53_kib() {
+        let b = storage(&StorageParams::default());
+        assert!((b.total_kib() - 3.528).abs() < 0.01, "paper reports 3.53 KB, got {}", b.total_kib());
+    }
+
+    #[test]
+    fn variable_matches_closed_form() {
+        // The paper's closed form: (23M + 33P + 36)N + log2(M·P·N⁴).
+        for (n, m, p) in [(1usize, 16usize, 64usize), (2, 32, 64), (4, 64, 128), (8, 16, 256)] {
+            let b = storage(&StorageParams {
+                streams: n,
+                wpb_entries: m,
+                log_entries: p,
+                ..StorageParams::default()
+            });
+            let closed = ((23 * m + 33 * p + 36) * n) as u64
+                + log2_ceil(m)
+                + log2_ceil(p)
+                + 4 * log2_ceil(n);
+            assert_eq!(b.variable_bits, closed, "N={n} M={m} P={p}");
+        }
+    }
+
+    #[test]
+    fn storage_scales_linearly_in_streams() {
+        let one = storage(&StorageParams { streams: 1, ..StorageParams::default() });
+        let four = storage(&StorageParams { streams: 4, ..StorageParams::default() });
+        // Pointer bits aside, variable storage is ~4×.
+        let ratio = four.variable_bits as f64 / one.variable_bits as f64;
+        assert!((ratio - 4.0).abs() < 0.05, "ratio {ratio}");
+        assert_eq!(one.constant_bits, four.constant_bits, "constant part is configuration-independent");
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(64), 6);
+    }
+}

@@ -1,0 +1,294 @@
+//! Per-stream state: one Wrong-Path Buffer (block ranges) paired with one
+//! Squash Log (instruction entries), as in paper §3.3.
+//!
+//! Each branch-misprediction squash dumps its wrong path into one stream:
+//! the WPB records the fetch-block PC ranges (used by the fetch-stage
+//! aligners to detect reconvergence), and the Squash Log mirrors the same
+//! instruction sequence at instruction granularity (used by the rename
+//! stage for the lockstep reuse test). Streams are replaced round-robin.
+
+use mssr_isa::{ArchReg, Opcode, Pc};
+use mssr_sim::{BlockRange, PhysReg, Rgid, SeqNum, SquashEvent};
+
+/// One Squash Log entry (paper Table 2: source RGIDs, destination RGID,
+/// destination physical register, valid bit — plus simulation-side
+/// metadata).
+#[derive(Clone, Debug)]
+pub struct LogEntry {
+    /// PC of the squashed instruction.
+    pub pc: Pc,
+    /// Opcode (used to confirm lockstep identity).
+    pub op: Opcode,
+    /// Destination: architectural register, the physical register whose
+    /// value is preserved, and the RGID of the squashed mapping.
+    pub dst: Option<(ArchReg, PhysReg, Rgid)>,
+    /// Source RGIDs at the squashed rename (`None` = absent/`x0`).
+    pub src_rgids: [Option<Rgid>; 2],
+    /// Whether the wrong-path execution produced the result.
+    pub executed: bool,
+    /// Whether this is a load.
+    pub is_load: bool,
+    /// Recorded wrong-path address for executed loads.
+    pub load_addr: Option<u64>,
+    /// Whether this engine still holds a reservation on `dst`'s physical
+    /// register.
+    pub preg_held: bool,
+    /// Set once the entry has been consumed by the lockstep walk (reused,
+    /// failed, or skipped) — it can never grant again.
+    pub consumed: bool,
+}
+
+/// One squashed stream: WPB blocks + Squash Log entries.
+#[derive(Clone, Debug, Default)]
+pub struct Stream {
+    /// Whether the stream holds a squashed path.
+    pub valid: bool,
+    /// The squash event that created it (recency & stream distance).
+    pub squash_id: u64,
+    /// Sequence number of the diverging (mispredicted) branch — compared
+    /// against the current redirect's branch to classify reconvergence.
+    pub cause_seq: SeqNum,
+    /// WPB block entries, oldest (closest to the branch) first.
+    pub blocks: Vec<BlockRange>,
+    /// VPN of the stream's page when the single-page restriction is on.
+    pub vpn: u64,
+    /// Squash Log entries, oldest first; index i corresponds to stream
+    /// instruction offset i.
+    pub log: Vec<LogEntry>,
+    /// Value of the engine's renamed-instruction counter at creation
+    /// (reconvergence timeout clock).
+    pub created_at: u64,
+}
+
+impl Stream {
+    /// Fills the stream from a squash event.
+    ///
+    /// WPB blocks are rebuilt from the squashed instruction PCs plus the
+    /// frontend's in-flight block ranges, truncated to `max_blocks`
+    /// (younger blocks are discarded, per §3.3.2). The Squash Log takes
+    /// the first `max_log` instructions. When `vpn_restrict` is set, the
+    /// stream covers a single 4 KiB page: block collection stops at the
+    /// first out-of-page block.
+    ///
+    /// Returns the indices of log entries whose destination registers the
+    /// caller must `retain` (executed instructions with destinations).
+    #[allow(clippy::too_many_arguments)] // mirrors the hardware interface: one dump port per field group
+    pub fn capture(
+        &mut self,
+        ev: &SquashEvent,
+        renamed_counter: u64,
+        max_blocks: usize,
+        max_log: usize,
+        max_block_insts: usize,
+        vpn_restrict: bool,
+        load_barrier: Option<SeqNum>,
+    ) -> Vec<usize> {
+        self.valid = true;
+        self.squash_id = ev.squash_id;
+        self.cause_seq = ev.cause_seq;
+        self.created_at = renamed_counter;
+        self.blocks.clear();
+        self.log.clear();
+
+        // Rebuild fetch-block ranges from the squashed instruction PCs.
+        let mut blocks: Vec<BlockRange> = Vec::new();
+        for inst in &ev.insts {
+            match blocks.last_mut() {
+                Some(b)
+                    if inst.pc == b.end.next()
+                        && b.len() < max_block_insts as u64 =>
+                {
+                    b.end = inst.pc;
+                }
+                _ => blocks.push(BlockRange { start: inst.pc, end: inst.pc }),
+            }
+        }
+        blocks.extend(ev.frontend_blocks.iter().copied());
+
+        self.vpn = blocks.first().map_or(0, |b| crate::align::vpn(b.start));
+        for b in blocks {
+            if self.blocks.len() >= max_blocks {
+                break;
+            }
+            if vpn_restrict && crate::align::vpn(b.start) != self.vpn {
+                break;
+            }
+            self.blocks.push(b);
+        }
+
+        let mut retains = Vec::new();
+        for (i, inst) in ev.insts.iter().take(max_log).enumerate() {
+            let executed = inst.executed;
+            // Loads renamed at or before the barrier read memory before
+            // the hazard filter lost its evidence (a Bloom clear); they
+            // must never be reuse candidates.
+            let load_ok = !inst.is_load || load_barrier.is_none_or(|b| inst.seq > b);
+            let reusable = executed && inst.dst.is_some() && !inst.is_store && load_ok;
+            if reusable {
+                retains.push(i);
+            }
+            self.log.push(LogEntry {
+                pc: inst.pc,
+                op: inst.op,
+                dst: inst.dst,
+                src_rgids: inst.src_rgids,
+                executed: executed && load_ok,
+                is_load: inst.is_load,
+                load_addr: inst.load_addr,
+                preg_held: reusable,
+                consumed: false,
+            });
+        }
+        retains
+    }
+
+    /// Drains the stream, returning every physical register whose hold
+    /// must be released (unconsumed, still-held destinations).
+    pub fn invalidate(&mut self) -> Vec<PhysReg> {
+        let out: Vec<PhysReg> = self
+            .log
+            .iter()
+            .filter(|e| e.preg_held)
+            .filter_map(|e| e.dst.map(|(_, p, _)| p))
+            .collect();
+        self.valid = false;
+        self.blocks.clear();
+        self.log.clear();
+        out
+    }
+
+    /// The instruction offset of `pc` within the stream, derived from the
+    /// block structure — the paper's "offset of the reconvergent
+    /// instruction from the start of the squashed stream", communicated
+    /// from the IFU to the Rename stage.
+    pub fn offset_of(&self, block_idx: usize, pc: Pc) -> u64 {
+        let mut off = 0u64;
+        for b in &self.blocks[..block_idx] {
+            off += b.len();
+        }
+        off + (pc - self.blocks[block_idx].start) / mssr_isa::INST_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssr_sim::SquashedInst;
+
+    fn inst(pc: u64, executed: bool, dst_preg: Option<usize>) -> SquashedInst {
+        SquashedInst {
+            seq: SeqNum::new(pc / 4),
+            pc: Pc::new(pc),
+            op: Opcode::Add,
+            dst: dst_preg.map(|p| (ArchReg::A0, PhysReg::new(p), Rgid::new(1))),
+            src_rgids: [None, None],
+            src_pregs: [None, None],
+            executed,
+            is_load: false,
+            is_store: false,
+            load_addr: None,
+        }
+    }
+
+    fn event(insts: Vec<SquashedInst>, frontend: Vec<BlockRange>) -> SquashEvent {
+        SquashEvent {
+            squash_id: 7,
+            cause_seq: SeqNum::new(100),
+            cause_pc: Pc::new(0xffc),
+            redirect: Pc::new(0x2000),
+            insts,
+            frontend_blocks: frontend,
+        }
+    }
+
+    #[test]
+    fn capture_groups_contiguous_pcs_into_blocks() {
+        let mut s = Stream::default();
+        let insts = vec![
+            inst(0x1000, true, Some(80)),
+            inst(0x1004, true, Some(81)),
+            inst(0x2000, false, None), // discontinuity: taken jump landed here
+            inst(0x2004, true, Some(82)),
+        ];
+        let retains = s.capture(&event(insts, vec![]), 0, 16, 64, 8, false, None);
+        assert_eq!(s.blocks.len(), 2);
+        assert_eq!(s.blocks[0], BlockRange { start: Pc::new(0x1000), end: Pc::new(0x1004) });
+        assert_eq!(s.blocks[1], BlockRange { start: Pc::new(0x2000), end: Pc::new(0x2004) });
+        assert_eq!(retains, vec![0, 1, 3], "executed instructions with destinations");
+        assert_eq!(s.log.len(), 4);
+        assert!(s.log[0].preg_held);
+        assert!(!s.log[2].preg_held);
+    }
+
+    #[test]
+    fn capture_splits_blocks_at_fetch_size() {
+        let mut s = Stream::default();
+        let insts: Vec<SquashedInst> =
+            (0..10).map(|i| inst(0x1000 + i * 4, false, None)).collect();
+        s.capture(&event(insts, vec![]), 0, 16, 64, 8, false, None);
+        assert_eq!(s.blocks.len(), 2);
+        assert_eq!(s.blocks[0].len(), 8);
+        assert_eq!(s.blocks[1].len(), 2);
+    }
+
+    #[test]
+    fn capture_truncates_blocks_and_log() {
+        let mut s = Stream::default();
+        let insts: Vec<SquashedInst> =
+            (0..40).map(|i| inst(0x1000 + i * 4, true, Some(80 + i as usize))).collect();
+        let retains = s.capture(&event(insts, vec![]), 0, 2, 16, 8, false, None);
+        assert_eq!(s.blocks.len(), 2, "younger blocks discarded");
+        assert_eq!(s.log.len(), 16, "younger squashed instructions discarded");
+        assert_eq!(retains.len(), 16, "only logged entries hold registers");
+    }
+
+    #[test]
+    fn capture_appends_frontend_blocks() {
+        let mut s = Stream::default();
+        let fe = vec![BlockRange { start: Pc::new(0x3000), end: Pc::new(0x301c) }];
+        s.capture(&event(vec![inst(0x1000, false, None)], fe.clone()), 0, 16, 64, 8, false, None);
+        assert_eq!(s.blocks.len(), 2);
+        assert_eq!(s.blocks[1], fe[0]);
+        assert_eq!(s.log.len(), 1, "frontend blocks have no log entries");
+    }
+
+    #[test]
+    fn vpn_restriction_stops_at_page_boundary() {
+        let mut s = Stream::default();
+        let insts = vec![inst(0x1ff8, false, None), inst(0x1ffc, false, None), inst(0x2000, false, None)];
+        s.capture(&event(insts, vec![]), 0, 16, 64, 8, true, None);
+        // 0x1ff8..0x1ffc is page 1; 0x2000 starts page 2 → dropped.
+        assert_eq!(s.blocks.len(), 1);
+        assert_eq!(s.vpn, 1);
+    }
+
+    #[test]
+    fn offset_accounts_for_prior_blocks() {
+        let mut s = Stream::default();
+        let insts = vec![
+            inst(0x1000, false, None),
+            inst(0x1004, false, None),
+            inst(0x2000, false, None),
+            inst(0x2004, false, None),
+            inst(0x2008, false, None),
+        ];
+        s.capture(&event(insts, vec![]), 0, 16, 64, 8, false, None);
+        assert_eq!(s.offset_of(0, Pc::new(0x1000)), 0);
+        assert_eq!(s.offset_of(0, Pc::new(0x1004)), 1);
+        assert_eq!(s.offset_of(1, Pc::new(0x2000)), 2);
+        assert_eq!(s.offset_of(1, Pc::new(0x2008)), 4);
+    }
+
+    #[test]
+    fn invalidate_returns_held_registers_once() {
+        let mut s = Stream::default();
+        let insts = vec![inst(0x1000, true, Some(90)), inst(0x1004, true, Some(91))];
+        s.capture(&event(insts, vec![]), 0, 16, 64, 8, false, None);
+        s.log[0].preg_held = false; // consumed by a grant
+        let released = s.invalidate();
+        assert_eq!(released, vec![PhysReg::new(91)]);
+        assert!(!s.valid);
+        assert!(s.log.is_empty());
+        assert!(s.invalidate().is_empty(), "second invalidation releases nothing");
+    }
+}

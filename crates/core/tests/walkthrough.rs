@@ -1,0 +1,146 @@
+//! The paper's Figure-5 walkthrough as an executable test: the
+//! if-then-else example whose branch mispredicts once, with exactly two
+//! reusable CIDI instructions (I7, I8) and one stale instruction (I9)
+//! that must re-execute.
+//!
+//! ```text
+//! I1: beq t0, x0 -> I5      predicted taken (cold bimodal), actually not
+//! I2: a2 = a2 >> 1     \
+//! I3: a2 = a2 + 1       |   else side (the corrected path)
+//! I4: j I7             /
+//! I5: a2 = a2 >> 2     \    then side (the wrong path)
+//! I6: a2 = a2 - 1      /
+//! I7: a1 = a1 + 1      \
+//! I8: a1 = a1 >> 1      |   reconvergence region
+//! I9: a2 = a2 >> 1     /
+//! ```
+
+use mssr_core::{MssrConfig, MultiStreamReuse};
+use mssr_isa::{regs::*, Assembler, Program};
+use mssr_sim::{SimConfig, Simulator};
+
+/// Builds the Figure-5 program. `t0` is produced by a slow divide chain
+/// so the branch resolves long after the wrong path has executed the
+/// reconvergence region.
+fn figure5() -> Program {
+    let mut a = Assembler::new();
+    a.li(A1, 7); // the paper's a1
+    a.li(A2, 1000); // the paper's a2
+    // t0 = 1 via a slow chain: the branch is not taken, but resolves late.
+    a.li(T1, 4096);
+    a.li(T2, 4);
+    a.div(T0, T1, T2); // 1024
+    a.div(T0, T0, T1); // 0
+    a.addi(T0, T0, 1); // 1 (nonzero => branch not taken)
+    a.beq(T0, ZERO, "i5"); // I1: cold bimodal predicts taken
+    a.srli(A2, A2, 1); // I2
+    a.addi(A2, A2, 1); // I3
+    a.j("i7"); // I4
+    a.label("i5");
+    a.srli(A2, A2, 2); // I5
+    a.addi(A2, A2, -1); // I6
+    a.label("i7");
+    a.addi(A1, A1, 1); // I7: CIDI — must be reused
+    a.srli(A1, A1, 1); // I8: CIDI — must be reused
+    a.srli(A2, A2, 1); // I9: data-dependent — must re-execute
+    a.st(ZERO, A1, 0x100);
+    a.st(ZERO, A2, 0x108);
+    a.halt();
+    a.assemble().expect("figure 5 assembles")
+}
+
+/// Architectural expectations (not-taken path): a1 = (7+1)>>1 = 4,
+/// a2 = ((1000>>1)+1)>>1 = 250.
+const EXPECT_A1: u64 = 4;
+const EXPECT_A2: u64 = 250;
+
+#[test]
+fn baseline_executes_the_not_taken_path() {
+    let mut sim = Simulator::new(SimConfig::default().with_max_cycles(10_000), figure5());
+    let stats = sim.run();
+    assert_eq!(sim.read_mem_u64(0x100), EXPECT_A1);
+    assert_eq!(sim.read_mem_u64(0x108), EXPECT_A2);
+    assert_eq!(stats.mispredictions, 1, "the cold bimodal predicts taken exactly once");
+}
+
+#[test]
+fn mssr_reuses_i7_i8_and_reexecutes_i9() {
+    let engine = MultiStreamReuse::new(MssrConfig::default());
+    let mut sim = Simulator::with_engine(
+        SimConfig::default().with_max_cycles(10_000),
+        figure5(),
+        Box::new(engine),
+    );
+    let stats = sim.run();
+    // Architectural results are unchanged by reuse.
+    assert_eq!(sim.read_mem_u64(0x100), EXPECT_A1);
+    assert_eq!(sim.read_mem_u64(0x108), EXPECT_A2);
+
+    let e = &stats.engine;
+    assert_eq!(stats.mispredictions, 1);
+    assert_eq!(e.streams_captured, 1, "one squashed stream (I5..) is captured");
+    assert_eq!(e.reconvergences, 1, "the corrected stream reconverges at I7");
+    assert_eq!(e.recon_simple, 1, "…with its own diverging branch's stream");
+    assert_eq!(
+        e.reuse_grants, 2,
+        "exactly I7 and I8 are CIDI: their a1 RGIDs match the squashed rename"
+    );
+    assert_eq!(
+        e.reuse_fail_stale, 1,
+        "exactly I9 fails: a2 was renamed by I2/I3 on the corrected path"
+    );
+}
+
+#[test]
+fn single_stream_dci_handles_the_simple_case_equally() {
+    // Figure 5 is a *simple* reconvergence; DCI (one stream) must match.
+    let mut sim = Simulator::with_engine(
+        SimConfig::default().with_max_cycles(10_000),
+        figure5(),
+        Box::new(MultiStreamReuse::dci()),
+    );
+    let stats = sim.run();
+    assert_eq!(sim.read_mem_u64(0x100), EXPECT_A1);
+    assert_eq!(sim.read_mem_u64(0x108), EXPECT_A2);
+    assert_eq!(stats.engine.reuse_grants, 2);
+}
+
+#[test]
+fn taken_variant_reuses_across_the_other_side() {
+    // Flip the condition: t0 == 0, the branch is actually taken. The cold
+    // bimodal predicts taken too, so there is no misprediction at all —
+    // and therefore nothing to reuse. This pins down the predictor
+    // assumption behind the walkthrough.
+    let mut a = Assembler::new();
+    a.li(A1, 7);
+    a.li(A2, 1000);
+    a.li(T1, 4096);
+    a.li(T2, 4);
+    a.div(T0, T1, T2);
+    a.div(T0, T0, T1); // 0 => taken
+    a.beq(T0, ZERO, "i5");
+    a.srli(A2, A2, 1);
+    a.addi(A2, A2, 1);
+    a.j("i7");
+    a.label("i5");
+    a.srli(A2, A2, 2); // 250
+    a.addi(A2, A2, -1); // 249
+    a.label("i7");
+    a.addi(A1, A1, 1);
+    a.srli(A1, A1, 1);
+    a.srli(A2, A2, 1); // 124
+    a.st(ZERO, A1, 0x100);
+    a.st(ZERO, A2, 0x108);
+    a.halt();
+    let engine = MultiStreamReuse::new(MssrConfig::default());
+    let mut sim = Simulator::with_engine(
+        SimConfig::default().with_max_cycles(10_000),
+        a.assemble().unwrap(),
+        Box::new(engine),
+    );
+    let stats = sim.run();
+    assert_eq!(sim.read_mem_u64(0x100), 4);
+    assert_eq!(sim.read_mem_u64(0x108), 124);
+    assert_eq!(stats.mispredictions, 0, "prediction and outcome agree");
+    assert_eq!(stats.engine.reuse_grants, 0, "no squash, nothing to reuse");
+}

@@ -1,0 +1,361 @@
+//! A label-based assembler for building programs in Rust code.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{ArchReg, Inst, Opcode, Pc, Program};
+
+/// Default base PC for assembled programs.
+pub const DEFAULT_BASE: u64 = 0x1000;
+
+/// Error produced by [`Assembler::assemble`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// A program builder with named labels.
+///
+/// Emit instructions with the mnemonic-named methods (`add`, `ld`, `beq`,
+/// …), place labels with [`Assembler::label`], and call
+/// [`Assembler::assemble`] to resolve label references into a [`Program`].
+/// Labels may be referenced before they are defined (forward branches).
+///
+/// # Example
+///
+/// ```
+/// use mssr_isa::{regs::*, Assembler};
+///
+/// # fn main() -> Result<(), mssr_isa::AsmError> {
+/// let mut a = Assembler::new();
+/// a.li(A0, 0);
+/// a.li(A1, 100);
+/// a.label("loop");
+/// a.addi(A0, A0, 3);
+/// a.blt(A0, A1, "loop");
+/// a.halt();
+/// let p = a.assemble()?;
+/// assert!(p.fetch(p.base()).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    base: Pc,
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+    duplicate: Option<String>,
+}
+
+impl Assembler {
+    /// Creates an assembler with the default base PC (`0x1000`).
+    pub fn new() -> Assembler {
+        Assembler::with_base(Pc::new(DEFAULT_BASE))
+    }
+
+    /// Creates an assembler whose first instruction lands at `base`.
+    pub fn with_base(base: Pc) -> Assembler {
+        Assembler { base, insts: Vec::new(), labels: HashMap::new(), fixups: Vec::new(), duplicate: None }
+    }
+
+    /// The PC the next emitted instruction will occupy.
+    pub fn here(&self) -> Pc {
+        self.base.step(self.insts.len() as u64)
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// Duplicate definitions are reported by [`Assembler::assemble`].
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Assembler {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.insts.len()).is_some() && self.duplicate.is_none()
+        {
+            self.duplicate = Some(name);
+        }
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) -> &mut Assembler {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Resolves all label references and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if any branch references an
+    /// unknown label, and [`AsmError::DuplicateLabel`] if a label was
+    /// defined more than once.
+    pub fn assemble(mut self) -> Result<Program, AsmError> {
+        if let Some(l) = self.duplicate.take() {
+            return Err(AsmError::DuplicateLabel(l));
+        }
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let at = *self
+                .labels
+                .get(&label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            let target = self.base.step(at as u64);
+            self.insts[idx].set_target(target);
+        }
+        Ok(Program::new(self.base, self.insts))
+    }
+
+    fn emit_branch(&mut self, op: Opcode, src1: ArchReg, src2: ArchReg, label: &str) {
+        let idx = self.insts.len();
+        // Placeholder target; patched during assemble().
+        self.insts.push(Inst::branch(op, src1, src2, Pc::new(0)));
+        self.fixups.push((idx, label.to_string()));
+    }
+}
+
+macro_rules! alu_rr_methods {
+    ($(($method:ident, $op:ident, $doc:literal)),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = $doc]
+                pub fn $method(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> &mut Assembler {
+                    self.emit(Inst::alu_rr(Opcode::$op, dst, src1, src2))
+                }
+            )*
+        }
+    };
+}
+
+alu_rr_methods! {
+    (add,  Add,  "Emits `dst = src1 + src2`."),
+    (sub,  Sub,  "Emits `dst = src1 - src2`."),
+    (and,  And,  "Emits `dst = src1 & src2`."),
+    (or,   Or,   "Emits `dst = src1 | src2`."),
+    (xor,  Xor,  "Emits `dst = src1 ^ src2`."),
+    (sll,  Sll,  "Emits `dst = src1 << src2`."),
+    (srl,  Srl,  "Emits a logical right shift."),
+    (sra,  Sra,  "Emits an arithmetic right shift."),
+    (mul,  Mul,  "Emits `dst = src1 * src2`."),
+    (div,  Div,  "Emits signed division."),
+    (rem,  Rem,  "Emits signed remainder."),
+    (slt,  Slt,  "Emits signed set-less-than."),
+    (sltu, Sltu, "Emits unsigned set-less-than."),
+}
+
+macro_rules! alu_ri_methods {
+    ($(($method:ident, $op:ident, $doc:literal)),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = $doc]
+                pub fn $method(&mut self, dst: ArchReg, src1: ArchReg, imm: i64) -> &mut Assembler {
+                    self.emit(Inst::alu_ri(Opcode::$op, dst, src1, imm))
+                }
+            )*
+        }
+    };
+}
+
+alu_ri_methods! {
+    (addi, Addi, "Emits `dst = src1 + imm`."),
+    (andi, Andi, "Emits `dst = src1 & imm`."),
+    (ori,  Ori,  "Emits `dst = src1 | imm`."),
+    (xori, Xori, "Emits `dst = src1 ^ imm`."),
+    (slli, Slli, "Emits `dst = src1 << imm`."),
+    (srli, Srli, "Emits a logical right shift by an immediate."),
+    (srai, Srai, "Emits an arithmetic right shift by an immediate."),
+    (slti, Slti, "Emits signed set-less-than-immediate."),
+}
+
+macro_rules! branch_methods {
+    ($(($method:ident, $op:ident, $doc:literal)),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = $doc]
+                pub fn $method(&mut self, src1: ArchReg, src2: ArchReg, label: &str) -> &mut Assembler {
+                    self.emit_branch(Opcode::$op, src1, src2, label);
+                    self
+                }
+            )*
+        }
+    };
+}
+
+branch_methods! {
+    (beq,  Beq,  "Emits a branch to `label` if `src1 == src2`."),
+    (bne,  Bne,  "Emits a branch to `label` if `src1 != src2`."),
+    (blt,  Blt,  "Emits a branch to `label` if `src1 < src2` (signed)."),
+    (bge,  Bge,  "Emits a branch to `label` if `src1 >= src2` (signed)."),
+    (bltu, Bltu, "Emits a branch to `label` if `src1 < src2` (unsigned)."),
+    (bgeu, Bgeu, "Emits a branch to `label` if `src1 >= src2` (unsigned)."),
+}
+
+impl Assembler {
+    /// Emits a load-immediate: `dst = imm` (full 64-bit).
+    pub fn li(&mut self, dst: ArchReg, imm: i64) -> &mut Assembler {
+        self.emit(Inst::li(dst, imm))
+    }
+
+    /// Emits a register move (`dst = src`), encoded as `addi dst, src, 0`.
+    pub fn mv(&mut self, dst: ArchReg, src: ArchReg) -> &mut Assembler {
+        self.addi(dst, src, 0)
+    }
+
+    /// Emits a 64-bit load: `dst = mem[base + imm]`.
+    pub fn ld(&mut self, dst: ArchReg, base: ArchReg, imm: i64) -> &mut Assembler {
+        self.emit(Inst::ld(dst, base, imm))
+    }
+
+    /// Emits a 64-bit store: `mem[base + imm] = data`.
+    pub fn st(&mut self, base: ArchReg, data: ArchReg, imm: i64) -> &mut Assembler {
+        self.emit(Inst::st(base, data, imm))
+    }
+
+    /// Emits an unconditional jump to `label` (a `jal x0, label`).
+    pub fn j(&mut self, label: &str) -> &mut Assembler {
+        let idx = self.insts.len();
+        self.insts.push(Inst::jal(ArchReg::ZERO, Pc::new(0)));
+        self.fixups.push((idx, label.to_string()));
+        self
+    }
+
+    /// Emits a call: `jal ra, label`.
+    pub fn call(&mut self, label: &str) -> &mut Assembler {
+        let idx = self.insts.len();
+        self.insts.push(Inst::jal(ArchReg::RA, Pc::new(0)));
+        self.fixups.push((idx, label.to_string()));
+        self
+    }
+
+    /// Emits a return: `jalr x0, 0(ra)`.
+    pub fn ret(&mut self) -> &mut Assembler {
+        self.emit(Inst::jalr(ArchReg::ZERO, ArchReg::RA, 0))
+    }
+
+    /// Emits an indirect jump-and-link: `jalr dst, imm(base)`.
+    pub fn jalr(&mut self, dst: ArchReg, base: ArchReg, imm: i64) -> &mut Assembler {
+        self.emit(Inst::jalr(dst, base, imm))
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) -> &mut Assembler {
+        self.emit(Inst::simple(Opcode::Nop))
+    }
+
+    /// Emits a halt; retiring it ends simulation.
+    pub fn halt(&mut self) -> &mut Assembler {
+        self.emit(Inst::simple(Opcode::Halt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new();
+        a.li(ArchReg::T0, 0);
+        a.label("top");
+        a.beq(ArchReg::T0, ArchReg::ZERO, "bottom"); // forward
+        a.addi(ArchReg::T0, ArchReg::T0, 1);
+        a.j("top"); // backward
+        a.label("bottom");
+        a.halt();
+        let p = a.assemble().unwrap();
+        // beq at index 1 targets "bottom" at index 4.
+        let beq = p.fetch(Pc::new(DEFAULT_BASE + 4)).unwrap();
+        assert_eq!(beq.target(), Some(Pc::new(DEFAULT_BASE + 16)));
+        // j at index 3 targets "top" at index 1.
+        let j = p.fetch(Pc::new(DEFAULT_BASE + 12)).unwrap();
+        assert_eq!(j.target(), Some(Pc::new(DEFAULT_BASE + 4)));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Assembler::new();
+        a.j("nowhere");
+        assert_eq!(a.assemble().unwrap_err(), AsmError::UndefinedLabel("nowhere".to_string()));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".to_string()));
+    }
+
+    #[test]
+    fn here_tracks_emission() {
+        let mut a = Assembler::with_base(Pc::new(0x2000));
+        assert_eq!(a.here(), Pc::new(0x2000));
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), Pc::new(0x2008));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn mv_is_addi_zero() {
+        let mut a = Assembler::new();
+        a.mv(ArchReg::A0, ArchReg::A1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let i = p.fetch(p.base()).unwrap();
+        assert_eq!(i.op(), Opcode::Addi);
+        assert_eq!(i.imm(), 0);
+    }
+
+    #[test]
+    fn call_ret_shapes() {
+        let mut a = Assembler::new();
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.ret();
+        let p = a.assemble().unwrap();
+        let call = p.fetch(p.base()).unwrap();
+        assert_eq!(call.op(), Opcode::Jal);
+        assert_eq!(call.dst(), Some(ArchReg::RA));
+        assert_eq!(call.target(), Some(Pc::new(DEFAULT_BASE + 8)));
+        let ret = p.fetch(Pc::new(DEFAULT_BASE + 8)).unwrap();
+        assert_eq!(ret.op(), Opcode::Jalr);
+        assert_eq!(ret.dst(), None);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            AsmError::UndefinedLabel("loop".into()).to_string(),
+            "undefined label `loop`"
+        );
+        assert_eq!(AsmError::DuplicateLabel("x".into()).to_string(), "duplicate label `x`");
+    }
+}

@@ -1,0 +1,333 @@
+//! The instruction format and its operand accessors.
+
+use std::fmt;
+
+use crate::{ArchReg, Opcode, Pc};
+
+/// A single decoded instruction.
+///
+/// Every instruction carries the same field set; which fields are meaningful
+/// depends on the [`Opcode`] (see its documentation for operand
+/// conventions). Fields that are unused by an opcode are `None`/zero.
+///
+/// # Example
+///
+/// ```
+/// use mssr_isa::{ArchReg, Inst, Opcode};
+///
+/// let add = Inst::alu_rr(Opcode::Add, ArchReg::A0, ArchReg::A1, ArchReg::A2);
+/// assert_eq!(add.dst(), Some(ArchReg::A0));
+/// assert_eq!(add.sources(), [Some(ArchReg::A1), Some(ArchReg::A2)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Inst {
+    op: Opcode,
+    dst: Option<ArchReg>,
+    src1: Option<ArchReg>,
+    src2: Option<ArchReg>,
+    imm: i64,
+    target: Option<Pc>,
+}
+
+impl Inst {
+    /// Builds a no-operand instruction (`nop` / `halt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not [`Opcode::Nop`] or [`Opcode::Halt`].
+    pub fn simple(op: Opcode) -> Inst {
+        assert!(
+            matches!(op, Opcode::Nop | Opcode::Halt),
+            "simple() only builds nop/halt, got {op}"
+        );
+        Inst { op, dst: None, src1: None, src2: None, imm: 0, target: None }
+    }
+
+    /// Builds a register-register ALU instruction.
+    pub fn alu_rr(op: Opcode, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> Inst {
+        Inst {
+            op,
+            dst: normalize_dst(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+            target: None,
+        }
+    }
+
+    /// Builds a register-immediate ALU instruction.
+    pub fn alu_ri(op: Opcode, dst: ArchReg, src1: ArchReg, imm: i64) -> Inst {
+        Inst { op, dst: normalize_dst(dst), src1: Some(src1), src2: None, imm, target: None }
+    }
+
+    /// Builds a load-immediate instruction (`dst = imm`).
+    pub fn li(dst: ArchReg, imm: i64) -> Inst {
+        Inst { op: Opcode::Li, dst: normalize_dst(dst), src1: None, src2: None, imm, target: None }
+    }
+
+    /// Builds a 64-bit load: `dst = mem[base + imm]`.
+    pub fn ld(dst: ArchReg, base: ArchReg, imm: i64) -> Inst {
+        Inst { op: Opcode::Ld, dst: normalize_dst(dst), src1: Some(base), src2: None, imm, target: None }
+    }
+
+    /// Builds a 64-bit store: `mem[base + imm] = data`.
+    pub fn st(base: ArchReg, data: ArchReg, imm: i64) -> Inst {
+        Inst { op: Opcode::St, dst: None, src1: Some(base), src2: Some(data), imm, target: None }
+    }
+
+    /// Builds a conditional branch comparing `src1` and `src2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a conditional branch opcode.
+    pub fn branch(op: Opcode, src1: ArchReg, src2: ArchReg, target: Pc) -> Inst {
+        assert!(op.is_cond_branch(), "branch() requires a conditional branch opcode, got {op}");
+        Inst { op, dst: None, src1: Some(src1), src2: Some(src2), imm: 0, target: Some(target) }
+    }
+
+    /// Builds a direct jump-and-link to `target`, writing `pc + 4` into `dst`.
+    pub fn jal(dst: ArchReg, target: Pc) -> Inst {
+        Inst { op: Opcode::Jal, dst: normalize_dst(dst), src1: None, src2: None, imm: 0, target: Some(target) }
+    }
+
+    /// Builds an indirect jump-and-link to `base + imm`.
+    pub fn jalr(dst: ArchReg, base: ArchReg, imm: i64) -> Inst {
+        Inst { op: Opcode::Jalr, dst: normalize_dst(dst), src1: Some(base), src2: None, imm, target: None }
+    }
+
+    /// The instruction's opcode.
+    pub fn op(&self) -> Opcode {
+        self.op
+    }
+
+    /// The destination register, if the instruction writes one.
+    ///
+    /// Writes to the zero register are normalized away at construction, so
+    /// an instruction whose destination is `x0` reports `dst() == None`.
+    pub fn dst(&self) -> Option<ArchReg> {
+        self.dst
+    }
+
+    /// First source register.
+    pub fn src1(&self) -> Option<ArchReg> {
+        self.src1
+    }
+
+    /// Second source register.
+    pub fn src2(&self) -> Option<ArchReg> {
+        self.src2
+    }
+
+    /// Both source registers as a fixed-size array (slots may be `None`).
+    pub fn sources(&self) -> [Option<ArchReg>; 2] {
+        [self.src1, self.src2]
+    }
+
+    /// The immediate operand (0 when unused).
+    pub fn imm(&self) -> i64 {
+        self.imm
+    }
+
+    /// The direct control-flow target, for branches and `jal`.
+    pub fn target(&self) -> Option<Pc> {
+        self.target
+    }
+
+    /// Whether this instruction writes an architectural register.
+    pub fn writes_reg(&self) -> bool {
+        self.dst.is_some()
+    }
+
+    /// See [`Opcode::is_cond_branch`].
+    pub fn is_cond_branch(&self) -> bool {
+        self.op.is_cond_branch()
+    }
+
+    /// See [`Opcode::is_control`].
+    pub fn is_control(&self) -> bool {
+        self.op.is_control()
+    }
+
+    /// See [`Opcode::is_load`].
+    pub fn is_load(&self) -> bool {
+        self.op.is_load()
+    }
+
+    /// See [`Opcode::is_store`].
+    pub fn is_store(&self) -> bool {
+        self.op.is_store()
+    }
+
+    /// Whether the instruction ends the program when it retires.
+    pub fn is_halt(&self) -> bool {
+        self.op == Opcode::Halt
+    }
+
+    /// Whether this is a call: a jump that links through `ra`
+    /// (return-address-stack push).
+    pub fn is_call(&self) -> bool {
+        self.op.is_jump() && self.dst == Some(ArchReg::RA)
+    }
+
+    /// Whether this is a return: an indirect jump through `ra` with no
+    /// link (return-address-stack pop).
+    pub fn is_return(&self) -> bool {
+        self.op == Opcode::Jalr && self.src1 == Some(ArchReg::RA) && self.dst.is_none()
+    }
+
+    /// Rewrites the direct target. Used by the assembler's label fixup.
+    pub(crate) fn set_target(&mut self, target: Pc) {
+        self.target = Some(target);
+    }
+}
+
+/// Writes to `x0` are architectural no-ops; normalize them to "no
+/// destination" so renaming never allocates a register for them.
+fn normalize_dst(dst: ArchReg) -> Option<ArchReg> {
+    if dst.is_zero() {
+        None
+    } else {
+        Some(dst)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = self.op;
+        match op {
+            Opcode::Nop | Opcode::Halt => write!(f, "{op}"),
+            Opcode::Li => write!(f, "{op} {}, {}", disp(self.dst), self.imm),
+            Opcode::Ld => write!(
+                f,
+                "{op} {}, {}({})",
+                disp(self.dst),
+                self.imm,
+                disp(self.src1)
+            ),
+            Opcode::St => write!(
+                f,
+                "{op} {}, {}({})",
+                disp(self.src2),
+                self.imm,
+                disp(self.src1)
+            ),
+            Opcode::Jal => write!(
+                f,
+                "{op} {}, {}",
+                disp(self.dst),
+                self.target.map_or_else(|| "?".to_string(), |t| t.to_string())
+            ),
+            Opcode::Jalr => write!(f, "{op} {}, {}({})", disp(self.dst), self.imm, disp(self.src1)),
+            _ if op.is_cond_branch() => write!(
+                f,
+                "{op} {}, {}, {}",
+                disp(self.src1),
+                disp(self.src2),
+                self.target.map_or_else(|| "?".to_string(), |t| t.to_string())
+            ),
+            _ if self.src2.is_some() => write!(
+                f,
+                "{op} {}, {}, {}",
+                disp(self.dst),
+                disp(self.src1),
+                disp(self.src2)
+            ),
+            _ => write!(f, "{op} {}, {}, {}", disp(self.dst), disp(self.src1), self.imm),
+        }
+    }
+}
+
+fn disp(r: Option<ArchReg>) -> String {
+    r.map_or_else(|| "x0".to_string(), |r| r.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_destination_is_normalized() {
+        let i = Inst::alu_rr(Opcode::Add, ArchReg::ZERO, ArchReg::A0, ArchReg::A1);
+        assert_eq!(i.dst(), None);
+        assert!(!i.writes_reg());
+        let j = Inst::li(ArchReg::ZERO, 42);
+        assert_eq!(j.dst(), None);
+    }
+
+    #[test]
+    fn store_has_no_destination() {
+        let s = Inst::st(ArchReg::A0, ArchReg::A1, 8);
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.sources(), [Some(ArchReg::A0), Some(ArchReg::A1)]);
+        assert!(s.is_store());
+        assert_eq!(s.imm(), 8);
+    }
+
+    #[test]
+    fn load_operands() {
+        let l = Inst::ld(ArchReg::A2, ArchReg::SP, -16);
+        assert_eq!(l.dst(), Some(ArchReg::A2));
+        assert_eq!(l.src1(), Some(ArchReg::SP));
+        assert_eq!(l.src2(), None);
+        assert_eq!(l.imm(), -16);
+        assert!(l.is_load());
+    }
+
+    #[test]
+    fn branch_operands_and_target() {
+        let b = Inst::branch(Opcode::Bne, ArchReg::T0, ArchReg::T1, Pc::new(0x40));
+        assert!(b.is_cond_branch());
+        assert_eq!(b.target(), Some(Pc::new(0x40)));
+        assert_eq!(b.dst(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "conditional branch")]
+    fn branch_constructor_rejects_non_branch() {
+        let _ = Inst::branch(Opcode::Add, ArchReg::T0, ArchReg::T1, Pc::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nop/halt")]
+    fn simple_constructor_rejects_alu() {
+        let _ = Inst::simple(Opcode::Add);
+    }
+
+    #[test]
+    fn display_roundtrips_mnemonics() {
+        let i = Inst::alu_rr(Opcode::Add, ArchReg::A0, ArchReg::A1, ArchReg::A2);
+        assert_eq!(i.to_string(), "add x10, x11, x12");
+        let l = Inst::ld(ArchReg::A0, ArchReg::SP, 24);
+        assert_eq!(l.to_string(), "ld x10, 24(x2)");
+        let s = Inst::st(ArchReg::SP, ArchReg::A0, 24);
+        assert_eq!(s.to_string(), "st x10, 24(x2)");
+        let h = Inst::simple(Opcode::Halt);
+        assert_eq!(h.to_string(), "halt");
+    }
+
+    #[test]
+    fn call_and_return_classification() {
+        let call = Inst::jal(ArchReg::RA, Pc::new(0x100));
+        assert!(call.is_call());
+        assert!(!call.is_return());
+        let icall = Inst::jalr(ArchReg::RA, ArchReg::T0, 0);
+        assert!(icall.is_call());
+        let ret = Inst::jalr(ArchReg::ZERO, ArchReg::RA, 0);
+        assert!(ret.is_return());
+        assert!(!ret.is_call());
+        let plain_jump = Inst::jal(ArchReg::ZERO, Pc::new(0x100));
+        assert!(!plain_jump.is_call());
+        assert!(!plain_jump.is_return());
+        let indirect = Inst::jalr(ArchReg::ZERO, ArchReg::T0, 0);
+        assert!(!indirect.is_return(), "indirect through a non-ra register");
+    }
+
+    #[test]
+    fn jal_links_and_targets() {
+        let j = Inst::jal(ArchReg::RA, Pc::new(0x100));
+        assert_eq!(j.dst(), Some(ArchReg::RA));
+        assert_eq!(j.target(), Some(Pc::new(0x100)));
+        let j0 = Inst::jal(ArchReg::ZERO, Pc::new(0x100));
+        assert_eq!(j0.dst(), None, "jal x0 is a plain jump");
+    }
+}

@@ -1,0 +1,79 @@
+//! # mssr-isa
+//!
+//! A small RISC-style instruction set used by the `mssr` simulator stack.
+//!
+//! The ISA is deliberately RISC-V-flavoured: 64 architectural integer
+//! registers (with `x0` hardwired to zero), three-address ALU operations,
+//! 64-bit loads and stores with register+immediate addressing, conditional
+//! branches, and direct/indirect jumps. Instructions occupy 4 bytes of
+//! program-counter space so that the simulator's 32-byte fetch blocks hold
+//! eight instructions, matching the configuration in the paper (Table 3).
+//!
+//! The crate provides:
+//!
+//! * [`ArchReg`] — architectural register names,
+//! * [`Opcode`] and [`Inst`] — the instruction format,
+//! * [`Program`] — an assembled instruction memory image,
+//! * [`Assembler`] — a label-based program builder used by all workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use mssr_isa::{regs::*, Assembler};
+//!
+//! # fn main() -> Result<(), mssr_isa::AsmError> {
+//! let mut a = Assembler::new();
+//! a.li(T0, 0);
+//! a.li(T1, 10);
+//! a.label("loop");
+//! a.addi(T0, T0, 1);
+//! a.blt(T0, T1, "loop");
+//! a.halt();
+//! let program = a.assemble()?;
+//! assert_eq!(program.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod inst;
+mod opcode;
+mod program;
+mod reg;
+
+pub use asm::{AsmError, Assembler};
+pub use inst::Inst;
+pub use opcode::Opcode;
+pub use program::{Pc, Program};
+pub use reg::ArchReg;
+
+/// Free-standing register constants for glob import in hand-written kernels.
+///
+/// ```
+/// use mssr_isa::regs::*;
+/// assert_eq!(A0.index(), 10);
+/// ```
+pub mod regs {
+    use crate::ArchReg;
+
+    macro_rules! reexport {
+        ($($name:ident),* $(,)?) => {
+            $(
+                #[doc = concat!("Alias for [`ArchReg::", stringify!($name), "`].")]
+                pub const $name: ArchReg = ArchReg::$name;
+            )*
+        };
+    }
+
+    reexport!(
+        ZERO, RA, SP, GP, TP, T0, T1, T2, S0, S1, A0, A1, A2, A3, A4, A5, A6, A7, S2, S3, S4,
+        S5, S6, S7, S8, S9, S10, S11, T3, T4, T5, T6
+    );
+}
+
+/// Number of architectural registers in the ISA (matches the paper's
+/// storage model, Table 2, which assumes 64 architectural registers).
+pub const NUM_ARCH_REGS: usize = 64;
+
+/// Size of one instruction in bytes of PC space.
+pub const INST_BYTES: u64 = 4;

@@ -1,0 +1,234 @@
+//! Instruction opcodes and their static properties.
+
+use std::fmt;
+
+/// The operation performed by an [`Inst`](crate::Inst).
+///
+/// Operand conventions:
+///
+/// * Register-register ALU ops read `src1`, `src2` and write `dst`.
+/// * Immediate ALU ops read `src1` and `imm` and write `dst`.
+/// * [`Opcode::Li`] writes `imm` into `dst` (no source registers).
+/// * [`Opcode::Ld`] reads 64 bits from `[src1 + imm]` into `dst`.
+/// * [`Opcode::St`] writes `src2` to `[src1 + imm]` (no destination).
+/// * Conditional branches compare `src1` with `src2` and, if the condition
+///   holds, redirect to the instruction's `target`.
+/// * [`Opcode::Jal`] writes the return address into `dst` and jumps to
+///   `target`; [`Opcode::Jalr`] jumps to `src1 + imm`.
+/// * [`Opcode::Halt`] stops the simulated program at commit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Opcode {
+    /// No operation.
+    Nop,
+    /// Stop the program. Retiring a `Halt` ends simulation.
+    Halt,
+
+    // --- register-register ALU ---
+    /// `dst = src1 + src2`
+    Add,
+    /// `dst = src1 - src2`
+    Sub,
+    /// `dst = src1 & src2`
+    And,
+    /// `dst = src1 | src2`
+    Or,
+    /// `dst = src1 ^ src2`
+    Xor,
+    /// `dst = src1 << (src2 & 63)`
+    Sll,
+    /// `dst = (src1 as u64) >> (src2 & 63)`
+    Srl,
+    /// `dst = (src1 as i64) >> (src2 & 63)`
+    Sra,
+    /// `dst = src1 * src2` (low 64 bits)
+    Mul,
+    /// `dst = src1 / src2` (signed; division by zero yields -1, like RISC-V)
+    Div,
+    /// `dst = src1 % src2` (signed; modulo zero yields src1, like RISC-V)
+    Rem,
+    /// `dst = (src1 < src2) as i64` (signed)
+    Slt,
+    /// `dst = (src1 < src2) as i64` (unsigned)
+    Sltu,
+
+    // --- register-immediate ALU ---
+    /// `dst = src1 + imm`
+    Addi,
+    /// `dst = src1 & imm`
+    Andi,
+    /// `dst = src1 | imm`
+    Ori,
+    /// `dst = src1 ^ imm`
+    Xori,
+    /// `dst = src1 << (imm & 63)`
+    Slli,
+    /// `dst = (src1 as u64) >> (imm & 63)`
+    Srli,
+    /// `dst = (src1 as i64) >> (imm & 63)`
+    Srai,
+    /// `dst = (src1 < imm) as i64` (signed)
+    Slti,
+    /// `dst = imm` (full 64-bit load-immediate; the toy ISA does not split
+    /// immediates across instruction pairs)
+    Li,
+
+    // --- memory ---
+    /// 64-bit load: `dst = mem[src1 + imm]`
+    Ld,
+    /// 64-bit store: `mem[src1 + imm] = src2`
+    St,
+
+    // --- control flow ---
+    /// Branch to `target` if `src1 == src2`.
+    Beq,
+    /// Branch to `target` if `src1 != src2`.
+    Bne,
+    /// Branch to `target` if `src1 < src2` (signed).
+    Blt,
+    /// Branch to `target` if `src1 >= src2` (signed).
+    Bge,
+    /// Branch to `target` if `src1 < src2` (unsigned).
+    Bltu,
+    /// Branch to `target` if `src1 >= src2` (unsigned).
+    Bgeu,
+    /// Unconditional direct jump to `target`; `dst = pc + 4` (link).
+    Jal,
+    /// Unconditional indirect jump to `src1 + imm`; `dst = pc + 4` (link).
+    Jalr,
+}
+
+impl Opcode {
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu | Opcode::Bgeu
+        )
+    }
+
+    /// Whether this is an unconditional jump (direct or indirect).
+    pub fn is_jump(self) -> bool {
+        matches!(self, Opcode::Jal | Opcode::Jalr)
+    }
+
+    /// Whether this is an indirect control transfer (target from a register).
+    pub fn is_indirect(self) -> bool {
+        matches!(self, Opcode::Jalr)
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(self) -> bool {
+        self.is_cond_branch() || self.is_jump()
+    }
+
+    /// Whether this is a memory load.
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Ld)
+    }
+
+    /// Whether this is a memory store.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::St)
+    }
+
+    /// Whether this is a memory operation of either kind.
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// The mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Nop => "nop",
+            Opcode::Halt => "halt",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Sll => "sll",
+            Opcode::Srl => "srl",
+            Opcode::Sra => "sra",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Rem => "rem",
+            Opcode::Slt => "slt",
+            Opcode::Sltu => "sltu",
+            Opcode::Addi => "addi",
+            Opcode::Andi => "andi",
+            Opcode::Ori => "ori",
+            Opcode::Xori => "xori",
+            Opcode::Slli => "slli",
+            Opcode::Srli => "srli",
+            Opcode::Srai => "srai",
+            Opcode::Slti => "slti",
+            Opcode::Li => "li",
+            Opcode::Ld => "ld",
+            Opcode::St => "st",
+            Opcode::Beq => "beq",
+            Opcode::Bne => "bne",
+            Opcode::Blt => "blt",
+            Opcode::Bge => "bge",
+            Opcode::Bltu => "bltu",
+            Opcode::Bgeu => "bgeu",
+            Opcode::Jal => "jal",
+            Opcode::Jalr => "jalr",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(Opcode::Bgeu.is_cond_branch());
+        assert!(!Opcode::Jal.is_cond_branch());
+        assert!(Opcode::Jal.is_jump());
+        assert!(Opcode::Jalr.is_jump());
+        assert!(Opcode::Jalr.is_indirect());
+        assert!(!Opcode::Jal.is_indirect());
+        assert!(Opcode::Beq.is_control());
+        assert!(Opcode::Jal.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Opcode::Ld.is_load());
+        assert!(!Opcode::Ld.is_store());
+        assert!(Opcode::St.is_store());
+        assert!(!Opcode::St.is_load());
+        assert!(Opcode::Ld.is_mem());
+        assert!(Opcode::St.is_mem());
+        assert!(!Opcode::Add.is_mem());
+    }
+
+    #[test]
+    fn mnemonics_are_nonempty_and_lowercase() {
+        let ops = [
+            Opcode::Nop,
+            Opcode::Halt,
+            Opcode::Add,
+            Opcode::Mul,
+            Opcode::Ld,
+            Opcode::St,
+            Opcode::Beq,
+            Opcode::Jalr,
+        ];
+        for op in ops {
+            let m = op.mnemonic();
+            assert!(!m.is_empty());
+            assert_eq!(m, m.to_lowercase());
+            assert_eq!(op.to_string(), m);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Program counters and assembled instruction memory images.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use crate::{Inst, INST_BYTES};
+
+/// A program counter (byte address of an instruction).
+///
+/// PCs step in units of [`INST_BYTES`] (4) bytes. The type is a thin
+/// wrapper over `u64` that keeps instruction addresses from being confused
+/// with data addresses or indices.
+///
+/// # Example
+///
+/// ```
+/// use mssr_isa::Pc;
+///
+/// let pc = Pc::new(0x1000);
+/// assert_eq!(pc.next(), Pc::new(0x1004));
+/// assert_eq!(pc.next() - pc, 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a PC from a byte address.
+    pub fn new(addr: u64) -> Pc {
+        Pc(addr)
+    }
+
+    /// The raw byte address.
+    pub fn addr(self) -> u64 {
+        self.0
+    }
+
+    /// The PC of the next sequential instruction.
+    pub fn next(self) -> Pc {
+        Pc(self.0 + INST_BYTES)
+    }
+
+    /// The PC `n` instructions after this one.
+    pub fn step(self, n: u64) -> Pc {
+        Pc(self.0 + n * INST_BYTES)
+    }
+}
+
+impl Add<u64> for Pc {
+    type Output = Pc;
+    /// Adds a byte offset.
+    fn add(self, rhs: u64) -> Pc {
+        Pc(self.0 + rhs)
+    }
+}
+
+impl Sub<Pc> for Pc {
+    type Output = u64;
+    /// Byte distance between two PCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`.
+    fn sub(self, rhs: Pc) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pc({:#x})", self.0)
+    }
+}
+
+/// An assembled program: a contiguous block of instructions starting at a
+/// base PC.
+///
+/// Produced by [`Assembler::assemble`](crate::Assembler::assemble). The
+/// simulator fetches instructions with [`Program::fetch`]; PCs outside the
+/// program (reachable on mispredicted wrong paths) return `None` and the
+/// frontend treats them as implicit no-ops until redirected.
+#[derive(Clone, Debug)]
+pub struct Program {
+    base: Pc,
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Builds a program image from a base PC and an instruction list.
+    pub fn new(base: Pc, insts: Vec<Inst>) -> Program {
+        Program { base, insts }
+    }
+
+    /// The PC of the first instruction; execution starts here.
+    pub fn base(&self) -> Pc {
+        self.base
+    }
+
+    /// One past the last instruction's PC.
+    pub fn end(&self) -> Pc {
+        self.base.step(self.insts.len() as u64)
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Whether `pc` addresses an instruction inside the program.
+    pub fn contains(&self, pc: Pc) -> bool {
+        pc >= self.base && pc < self.end() && (pc - self.base).is_multiple_of(INST_BYTES)
+    }
+
+    /// Fetches the instruction at `pc`, or `None` if `pc` is outside the
+    /// program or misaligned.
+    pub fn fetch(&self, pc: Pc) -> Option<&Inst> {
+        if !self.contains(pc) {
+            return None;
+        }
+        let idx = ((pc - self.base) / INST_BYTES) as usize;
+        self.insts.get(idx)
+    }
+
+    /// Iterates over `(pc, inst)` pairs in program order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &Inst)> {
+        self.insts.iter().enumerate().map(move |(i, inst)| (self.base.step(i as u64), inst))
+    }
+
+    /// Renders a full disassembly listing, one instruction per line.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (pc, inst) in self.iter() {
+            out.push_str(&format!("{pc}: {inst}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchReg, Opcode};
+
+    fn tiny() -> Program {
+        Program::new(
+            Pc::new(0x1000),
+            vec![
+                Inst::li(ArchReg::T0, 1),
+                Inst::alu_ri(Opcode::Addi, ArchReg::T0, ArchReg::T0, 1),
+                Inst::simple(Opcode::Halt),
+            ],
+        )
+    }
+
+    #[test]
+    fn pc_arithmetic() {
+        let pc = Pc::new(0x2000);
+        assert_eq!(pc.next().addr(), 0x2004);
+        assert_eq!(pc.step(3).addr(), 0x200c);
+        assert_eq!(pc.step(3) - pc, 12);
+        assert_eq!((pc + 8).addr(), 0x2008);
+        assert_eq!(pc.to_string(), "0x2000");
+    }
+
+    #[test]
+    fn fetch_in_and_out_of_bounds() {
+        let p = tiny();
+        assert_eq!(p.len(), 3);
+        assert!(p.fetch(Pc::new(0x1000)).is_some());
+        assert!(p.fetch(Pc::new(0x1008)).is_some());
+        assert!(p.fetch(Pc::new(0x100c)).is_none(), "one past the end");
+        assert!(p.fetch(Pc::new(0xffc)).is_none(), "below base");
+        assert!(p.fetch(Pc::new(0x1002)).is_none(), "misaligned");
+    }
+
+    #[test]
+    fn bounds() {
+        let p = tiny();
+        assert_eq!(p.base(), Pc::new(0x1000));
+        assert_eq!(p.end(), Pc::new(0x100c));
+        assert!(p.contains(Pc::new(0x1008)));
+        assert!(!p.contains(Pc::new(0x100c)));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_sequential_pcs() {
+        let p = tiny();
+        let pcs: Vec<Pc> = p.iter().map(|(pc, _)| pc).collect();
+        assert_eq!(pcs, vec![Pc::new(0x1000), Pc::new(0x1004), Pc::new(0x1008)]);
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let text = tiny().disassemble();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("halt"));
+        assert!(text.starts_with("0x1000: li x5, 1"));
+    }
+}

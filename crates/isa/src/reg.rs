@@ -1,0 +1,160 @@
+//! Architectural register names.
+
+use std::fmt;
+
+use crate::NUM_ARCH_REGS;
+
+/// An architectural register.
+///
+/// The ISA has [`NUM_ARCH_REGS`] (64) integer registers. Register 0
+/// ([`ArchReg::ZERO`]) is hardwired to zero: writes to it are discarded and
+/// reads always return 0, exactly like RISC-V `x0`.
+///
+/// A handful of RISC-V-style ABI aliases are provided as associated
+/// constants (`A0..A7`, `T0..T6`, `S0..S11`, `SP`, `RA`) purely for
+/// readability in hand-written workloads; the simulator itself treats all
+/// registers uniformly.
+///
+/// # Example
+///
+/// ```
+/// use mssr_isa::ArchReg;
+///
+/// let r = ArchReg::new(5).unwrap();
+/// assert_eq!(r, ArchReg::T0);
+/// assert_eq!(r.index(), 5);
+/// assert!(ArchReg::ZERO.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// The hardwired zero register (`x0`).
+    pub const ZERO: ArchReg = ArchReg(0);
+    /// Return-address register (`x1`).
+    pub const RA: ArchReg = ArchReg(1);
+    /// Stack pointer (`x2`).
+    pub const SP: ArchReg = ArchReg(2);
+    /// Global pointer (`x3`).
+    pub const GP: ArchReg = ArchReg(3);
+    /// Thread pointer (`x4`).
+    pub const TP: ArchReg = ArchReg(4);
+    /// Temporary registers.
+    pub const T0: ArchReg = ArchReg(5);
+    pub const T1: ArchReg = ArchReg(6);
+    pub const T2: ArchReg = ArchReg(7);
+    /// Saved registers.
+    pub const S0: ArchReg = ArchReg(8);
+    pub const S1: ArchReg = ArchReg(9);
+    /// Argument / return registers.
+    pub const A0: ArchReg = ArchReg(10);
+    pub const A1: ArchReg = ArchReg(11);
+    pub const A2: ArchReg = ArchReg(12);
+    pub const A3: ArchReg = ArchReg(13);
+    pub const A4: ArchReg = ArchReg(14);
+    pub const A5: ArchReg = ArchReg(15);
+    pub const A6: ArchReg = ArchReg(16);
+    pub const A7: ArchReg = ArchReg(17);
+    pub const S2: ArchReg = ArchReg(18);
+    pub const S3: ArchReg = ArchReg(19);
+    pub const S4: ArchReg = ArchReg(20);
+    pub const S5: ArchReg = ArchReg(21);
+    pub const S6: ArchReg = ArchReg(22);
+    pub const S7: ArchReg = ArchReg(23);
+    pub const S8: ArchReg = ArchReg(24);
+    pub const S9: ArchReg = ArchReg(25);
+    pub const S10: ArchReg = ArchReg(26);
+    pub const S11: ArchReg = ArchReg(27);
+    pub const T3: ArchReg = ArchReg(28);
+    pub const T4: ArchReg = ArchReg(29);
+    pub const T5: ArchReg = ArchReg(30);
+    pub const T6: ArchReg = ArchReg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= NUM_ARCH_REGS`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mssr_isa::ArchReg;
+    /// assert!(ArchReg::new(63).is_some());
+    /// assert!(ArchReg::new(64).is_none());
+    /// ```
+    pub fn new(index: usize) -> Option<ArchReg> {
+        if index < NUM_ARCH_REGS {
+            Some(ArchReg(index as u8))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in `0..NUM_ARCH_REGS`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over every architectural register, `x0` first.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS as u8).map(ArchReg)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(ArchReg::ZERO.is_zero());
+        assert!(!ArchReg::T0.is_zero());
+        assert_eq!(ArchReg::ZERO.index(), 0);
+    }
+
+    #[test]
+    fn new_bounds() {
+        assert_eq!(ArchReg::new(0), Some(ArchReg::ZERO));
+        assert_eq!(ArchReg::new(5), Some(ArchReg::T0));
+        assert_eq!(ArchReg::new(NUM_ARCH_REGS - 1).map(|r| r.index()), Some(63));
+        assert_eq!(ArchReg::new(NUM_ARCH_REGS), None);
+        assert_eq!(ArchReg::new(usize::MAX), None);
+    }
+
+    #[test]
+    fn all_covers_every_register_once() {
+        let regs: Vec<ArchReg> = ArchReg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ArchReg::ZERO.to_string(), "x0");
+        assert_eq!(ArchReg::T6.to_string(), "x31");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ArchReg::ZERO < ArchReg::RA);
+        assert!(ArchReg::T0 < ArchReg::T1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the assembler and program image.
+
+use mssr_isa::{regs::*, Assembler, Opcode, Pc, Program};
+use proptest::prelude::*;
+
+/// Builds a program with `n` nops, a label placed at position `at`, and a
+/// jump to it placed at position `from`.
+fn program_with_jump(n: usize, at: usize, from: usize) -> Program {
+    let mut a = Assembler::new();
+    for i in 0..n {
+        if i == at {
+            a.label("target");
+        }
+        if i == from {
+            a.j("target");
+        } else {
+            a.nop();
+        }
+    }
+    if at >= n {
+        a.label("target");
+    }
+    a.halt();
+    a.assemble().expect("assembles")
+}
+
+proptest! {
+    #[test]
+    fn labels_resolve_to_their_positions(
+        n in 1usize..64,
+        at in 0usize..64,
+        from in 0usize..64,
+    ) {
+        let at = at % (n + 1);
+        let from = from % n;
+        let p = program_with_jump(n, at, from);
+        // The jump's resolved target must be the instruction at `at`
+        // (labels placed past the end bind to the halt).
+        let jump_pc = p.base().step(from as u64);
+        let inst = p.fetch(jump_pc).expect("jump exists");
+        prop_assert_eq!(inst.op(), Opcode::Jal);
+        let expected = p.base().step(at.min(n) as u64);
+        prop_assert_eq!(inst.target().expect("resolved"), expected);
+    }
+
+    #[test]
+    fn program_fetch_agrees_with_iter(n in 1usize..200) {
+        let mut a = Assembler::new();
+        for i in 0..n {
+            a.addi(T0, T0, i as i64 % 100);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        prop_assert_eq!(p.len(), n + 1);
+        for (pc, inst) in p.iter() {
+            prop_assert_eq!(p.fetch(pc), Some(inst));
+        }
+        // Every out-of-range or misaligned PC misses.
+        prop_assert!(p.fetch(p.end()).is_none());
+        prop_assert!(p.fetch(Pc::new(p.base().addr() + 1)).is_none());
+        prop_assert!(p.fetch(Pc::new(p.base().addr().wrapping_sub(4))).is_none());
+    }
+
+    #[test]
+    fn pc_step_is_additive(a in 0u64..1 << 40, n in 0u64..1000, m in 0u64..1000) {
+        let pc = Pc::new(a * 4);
+        prop_assert_eq!(pc.step(n).step(m), pc.step(n + m));
+        prop_assert_eq!(pc.step(n) - pc, 4 * n);
+    }
+}

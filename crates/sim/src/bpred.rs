@@ -1,0 +1,421 @@
+//! Branch prediction: a bimodal base predictor, a TAGE main predictor
+//! (overriding scheme, as in the paper's XiangShan-style frontend), and a
+//! last-target BTB for indirect jumps.
+//!
+//! The global history register (GHR) is updated *speculatively* at
+//! prediction time. Every prediction returns a [`PredMeta`] snapshot of
+//! the pre-prediction GHR; the pipeline stores it per in-flight branch so
+//! that squashes can restore the history exactly, and so that training at
+//! commit replays the same table indices the prediction used.
+
+use mssr_isa::Pc;
+
+use crate::config::SimConfig;
+
+/// Snapshot of predictor state at prediction time.
+///
+/// Carried through the pipeline with each branch; passed back to
+/// [`BranchPredictor::train_cond`] at commit and used to restore history
+/// on a squash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PredMeta {
+    /// GHR value *before* this prediction shifted its outcome in.
+    pub ghr_before: u64,
+}
+
+#[derive(Clone, Debug)]
+struct TageEntry {
+    tag: u16,
+    /// 3-bit signed counter; taken when >= 0.
+    ctr: i8,
+    /// 2-bit useful counter.
+    useful: u8,
+}
+
+#[derive(Clone, Debug)]
+struct TageTable {
+    entries: Vec<Option<TageEntry>>,
+    hist_len: u32,
+}
+
+impl TageTable {
+    fn fold(&self, ghr: u64) -> u64 {
+        // Fold `hist_len` bits of history into chunks the size of the
+        // index space, XOR-combining chunks.
+        let h = if self.hist_len >= 64 { ghr } else { ghr & ((1u64 << self.hist_len) - 1) };
+        let bits = (usize::BITS - (self.entries.len() - 1).leading_zeros()).max(1);
+        let mut folded = 0u64;
+        let mut rest = h;
+        let mut taken = 0;
+        while taken < self.hist_len {
+            folded ^= rest & ((1u64 << bits) - 1);
+            rest >>= bits;
+            taken += bits;
+        }
+        folded
+    }
+
+    fn index(&self, pc: u64, ghr: u64) -> usize {
+        let f = self.fold(ghr);
+        ((pc >> 2) ^ f ^ (f << 3) ^ self.hist_len as u64) as usize & (self.entries.len() - 1)
+    }
+
+    fn tag(&self, pc: u64, ghr: u64) -> u16 {
+        let f = self.fold(ghr);
+        (((pc >> 2) ^ (f >> 2) ^ (f << 1)) & 0xff) as u16
+    }
+}
+
+/// The frontend branch predictor: TAGE over a bimodal base, plus an
+/// indirect-target BTB.
+///
+/// # Example
+///
+/// ```
+/// use mssr_sim::{BranchPredictor, SimConfig};
+/// use mssr_isa::Pc;
+///
+/// let mut bp = BranchPredictor::new(&SimConfig::default());
+/// let pc = Pc::new(0x1000);
+/// // Train a strongly-taken branch and observe the prediction follow.
+/// for _ in 0..16 {
+///     let (_, meta) = bp.predict_cond(pc);
+///     bp.train_cond(pc, true, meta);
+/// }
+/// let (pred, meta) = bp.predict_cond(pc);
+/// assert!(pred);
+/// // Undo the speculative history update from the probe prediction.
+/// bp.restore_ghr(meta.ghr_before);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BranchPredictor {
+    bimodal: Vec<u8>,
+    tables: Vec<TageTable>,
+    ghr: u64,
+    btb: Vec<Option<(u64, Pc)>>,
+    /// Return-address stack: a circular buffer indexed by an unbounded
+    /// top-of-stack counter, so squash recovery only restores the counter.
+    ras: Vec<Pc>,
+    ras_sp: u64,
+    /// Deterministic tie-break counter for TAGE allocation.
+    alloc_seed: u64,
+}
+
+impl BranchPredictor {
+    /// Builds the predictor sized by `cfg`.
+    pub fn new(cfg: &SimConfig) -> BranchPredictor {
+        let hist_lens = geometric_histories(cfg.tage_tables);
+        BranchPredictor {
+            bimodal: vec![2; cfg.bimodal_entries], // weakly taken
+            tables: hist_lens
+                .into_iter()
+                .map(|hist_len| TageTable { entries: vec![None; cfg.tage_entries], hist_len })
+                .collect(),
+            ghr: 0,
+            btb: vec![None; cfg.btb_entries],
+            ras: vec![Pc::new(0); 16],
+            ras_sp: 0,
+            alloc_seed: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Pushes a return address (speculatively, at call prediction).
+    pub fn ras_push(&mut self, ret: Pc) {
+        let idx = (self.ras_sp % self.ras.len() as u64) as usize;
+        self.ras[idx] = ret;
+        self.ras_sp += 1;
+    }
+
+    /// Pops the predicted return address, or `None` when the stack is
+    /// empty. The stack is a predictor: stale entries after deep
+    /// recursion or imprecise recovery simply mispredict.
+    pub fn ras_pop(&mut self) -> Option<Pc> {
+        if self.ras_sp == 0 {
+            return None;
+        }
+        self.ras_sp -= 1;
+        let idx = (self.ras_sp % self.ras.len() as u64) as usize;
+        Some(self.ras[idx])
+    }
+
+    /// Current top-of-stack counter (snapshotted per instruction for
+    /// squash recovery).
+    pub fn ras_sp(&self) -> u64 {
+        self.ras_sp
+    }
+
+    /// Restores the top-of-stack counter after a squash. Entry contents
+    /// are not restored — occasional stale-entry mispredictions are the
+    /// standard cost of counter-only RAS recovery.
+    pub fn restore_ras_sp(&mut self, sp: u64) {
+        self.ras_sp = sp;
+    }
+
+    /// Current speculative global history.
+    pub fn ghr(&self) -> u64 {
+        self.ghr
+    }
+
+    /// Restores the speculative history (on squash or probe undo).
+    pub fn restore_ghr(&mut self, ghr: u64) {
+        self.ghr = ghr;
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        (pc >> 2) as usize & (self.bimodal.len() - 1)
+    }
+
+    /// Finds the longest-history hitting table, if any; returns
+    /// `(table_index, prediction)`.
+    fn tage_lookup(&self, pc: u64, ghr: u64) -> Option<(usize, bool)> {
+        for (i, t) in self.tables.iter().enumerate().rev() {
+            let idx = t.index(pc, ghr);
+            if let Some(e) = &t.entries[idx] {
+                if e.tag == t.tag(pc, ghr) {
+                    return Some((i, e.ctr >= 0));
+                }
+            }
+        }
+        None
+    }
+
+    /// Predicts a conditional branch at `pc` and speculatively shifts the
+    /// predicted outcome into the history. Returns the prediction and the
+    /// metadata needed to train or undo it.
+    pub fn predict_cond(&mut self, pc: Pc) -> (bool, PredMeta) {
+        let meta = PredMeta { ghr_before: self.ghr };
+        let a = pc.addr();
+        let pred = match self.tage_lookup(a, self.ghr) {
+            Some((_, p)) => p,
+            None => self.bimodal[self.bimodal_index(a)] >= 2,
+        };
+        self.ghr = (self.ghr << 1) | pred as u64;
+        (pred, meta)
+    }
+
+    /// Records the *actual* outcome into the speculative history after a
+    /// misprediction recovery: call with the GHR snapshot of the
+    /// mispredicted branch.
+    pub fn recover_cond(&mut self, meta: PredMeta, actual_taken: bool) {
+        self.ghr = (meta.ghr_before << 1) | actual_taken as u64;
+    }
+
+    /// Trains the predictor with a retired branch outcome.
+    ///
+    /// `meta` must be the snapshot returned by the prediction for this
+    /// dynamic branch so the same table indices are updated.
+    pub fn train_cond(&mut self, pc: Pc, taken: bool, meta: PredMeta) {
+        let a = pc.addr();
+        let ghr = meta.ghr_before;
+        // Bimodal update (always).
+        let bi = self.bimodal_index(a);
+        let c = &mut self.bimodal[bi];
+        *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+
+        let provider = self.tage_lookup(a, ghr);
+        let correct = match provider {
+            Some((_, p)) => p == taken,
+            None => (self.bimodal[bi] >= 2) == taken,
+        };
+        if let Some((ti, _)) = provider {
+            let idx = self.tables[ti].index(a, ghr);
+            if let Some(e) = self.tables[ti].entries[idx].as_mut() {
+                e.ctr = if taken { (e.ctr + 1).min(3) } else { (e.ctr - 1).max(-4) };
+                if correct {
+                    e.useful = (e.useful + 1).min(3);
+                } else {
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+        // Allocate a longer-history entry on a misprediction.
+        if !correct {
+            let start = provider.map_or(0, |(ti, _)| ti + 1);
+            self.alloc_seed = self.alloc_seed.wrapping_mul(0xd1342543de82ef95).wrapping_add(1);
+            let mut allocated = false;
+            for ti in start..self.tables.len() {
+                let idx = self.tables[ti].index(a, ghr);
+                let tag = self.tables[ti].tag(a, ghr);
+                let slot = &mut self.tables[ti].entries[idx];
+                match slot {
+                    None => {
+                        *slot = Some(TageEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 });
+                        allocated = true;
+                        break;
+                    }
+                    Some(e) if e.useful == 0 => {
+                        *e = TageEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 };
+                        allocated = true;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if !allocated {
+                // Decay usefulness so future allocations can succeed.
+                for ti in start..self.tables.len() {
+                    let idx = self.tables[ti].index(a, ghr);
+                    if let Some(e) = self.tables[ti].entries[idx].as_mut() {
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Predicts the target of an indirect jump, if the BTB has seen it.
+    pub fn predict_indirect(&self, pc: Pc) -> Option<Pc> {
+        let idx = (pc.addr() >> 2) as usize & (self.btb.len() - 1);
+        match self.btb[idx] {
+            Some((tag, target)) if tag == pc.addr() => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Records the resolved target of an indirect jump.
+    pub fn update_indirect(&mut self, pc: Pc, target: Pc) {
+        let idx = (pc.addr() >> 2) as usize & (self.btb.len() - 1);
+        self.btb[idx] = Some((pc.addr(), target));
+    }
+}
+
+/// Geometric history lengths for `n` tagged tables (4, 8, 16, … capped at 64).
+fn geometric_histories(n: usize) -> Vec<u32> {
+    (0..n).map(|i| (4u32 << i).min(64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> BranchPredictor {
+        BranchPredictor::new(&SimConfig::default())
+    }
+
+    #[test]
+    fn learns_strongly_biased_branch() {
+        let mut p = bp();
+        let pc = Pc::new(0x1000);
+        for _ in 0..32 {
+            let (_, m) = p.predict_cond(pc);
+            p.train_cond(pc, true, m);
+        }
+        let (pred, m) = p.predict_cond(pc);
+        p.restore_ghr(m.ghr_before);
+        assert!(pred);
+    }
+
+    #[test]
+    fn learns_not_taken() {
+        let mut p = bp();
+        let pc = Pc::new(0x2000);
+        for _ in 0..32 {
+            let (_, m) = p.predict_cond(pc);
+            p.train_cond(pc, false, m);
+        }
+        let (pred, m) = p.predict_cond(pc);
+        p.restore_ghr(m.ghr_before);
+        assert!(!pred);
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        // A strict alternation is unpredictable to bimodal but trivial for
+        // any history-based table.
+        let mut p = bp();
+        let pc = Pc::new(0x3000);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..2000u64 {
+            let taken = i % 2 == 0;
+            let (pred, m) = p.predict_cond(pc);
+            if i >= 1000 {
+                total += 1;
+                if pred == taken {
+                    correct += 1;
+                }
+            }
+            // Simulate perfect in-order resolution.
+            if pred != taken {
+                p.recover_cond(m, taken);
+            }
+            p.train_cond(pc, taken, m);
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.9,
+            "TAGE should learn alternation, got {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn speculative_history_shifts_and_restores() {
+        let mut p = bp();
+        let g0 = p.ghr();
+        let (pred, m) = p.predict_cond(Pc::new(0x10));
+        assert_eq!(p.ghr(), (g0 << 1) | pred as u64);
+        assert_eq!(m.ghr_before, g0);
+        p.restore_ghr(m.ghr_before);
+        assert_eq!(p.ghr(), g0);
+        p.recover_cond(m, !pred);
+        assert_eq!(p.ghr(), (g0 << 1) | (!pred) as u64);
+    }
+
+    #[test]
+    fn indirect_btb_remembers_last_target() {
+        let mut p = bp();
+        let pc = Pc::new(0x4000);
+        assert_eq!(p.predict_indirect(pc), None);
+        p.update_indirect(pc, Pc::new(0x8000));
+        assert_eq!(p.predict_indirect(pc), Some(Pc::new(0x8000)));
+        p.update_indirect(pc, Pc::new(0x9000));
+        assert_eq!(p.predict_indirect(pc), Some(Pc::new(0x9000)));
+        // A different PC indexing the same set but different tag misses.
+        assert_eq!(p.predict_indirect(Pc::new(0x4000 + (1 << 14))), None);
+    }
+
+    #[test]
+    fn ras_predicts_matched_calls() {
+        let mut p = bp();
+        p.ras_push(Pc::new(0x104));
+        p.ras_push(Pc::new(0x204));
+        assert_eq!(p.ras_pop(), Some(Pc::new(0x204)), "LIFO");
+        assert_eq!(p.ras_pop(), Some(Pc::new(0x104)));
+        assert_eq!(p.ras_pop(), None, "empty stack");
+    }
+
+    #[test]
+    fn ras_counter_recovery() {
+        let mut p = bp();
+        p.ras_push(Pc::new(0x104));
+        let sp = p.ras_sp();
+        p.ras_push(Pc::new(0x204)); // wrong-path call
+        let _ = p.ras_pop(); // wrong-path return
+        p.restore_ras_sp(sp); // squash recovery
+        assert_eq!(p.ras_pop(), Some(Pc::new(0x104)), "original entry survives");
+    }
+
+    #[test]
+    fn ras_wraps_at_capacity_with_stale_predictions() {
+        let mut p = bp();
+        for i in 0..20u64 {
+            p.ras_push(Pc::new(0x1000 + 4 * i));
+        }
+        // Deeper than 16 entries: the oldest were overwritten; the newest
+        // 16 predict correctly, older pops return stale (wrapped) values.
+        for i in (4..20u64).rev() {
+            assert_eq!(p.ras_pop(), Some(Pc::new(0x1000 + 4 * i)));
+        }
+        // These four were overwritten by the wrap; values are stale but
+        // pops still succeed (a predictor may be wrong, never stuck).
+        for _ in 0..4 {
+            assert!(p.ras_pop().is_some());
+        }
+        assert_eq!(p.ras_pop(), None);
+    }
+
+    #[test]
+    fn geometric_history_lengths() {
+        assert_eq!(geometric_histories(5), vec![4, 8, 16, 32, 64]);
+        assert_eq!(geometric_histories(7), vec![4, 8, 16, 32, 64, 64, 64]);
+    }
+}

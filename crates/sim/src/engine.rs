@@ -1,0 +1,303 @@
+//! The squash-reuse engine interface.
+//!
+//! The pipeline owns a [`ReuseEngine`] trait object and calls its hooks at
+//! the architectural points the paper extends: prediction-block creation
+//! in the fetch stage (reconvergence detection), branch-misprediction
+//! squashes (Wrong-Path Buffer / Squash Log population), and register
+//! renaming (the reuse test). The baseline processor uses [`NoReuse`];
+//! the `mssr-core` crate provides the paper's Multi-Stream Squash Reuse
+//! engine and the Register Integration baseline.
+//!
+//! Physical-register reservation is expressed through the free list's
+//! hold counts (see [`FreeList`]): an engine that wants to keep a
+//! squashed value alive calls [`FreeList::retain`] on its destination
+//! register during [`ReuseEngine::on_mispredict_squash`], and
+//! [`FreeList::release`]s the hold when the entry dies. Granting a reuse
+//! transfers the hold to the new live mapping: the engine simply stops
+//! tracking the register and must *not* release it.
+
+use mssr_isa::{ArchReg, Inst, Opcode, Pc};
+
+use crate::rename::FreeList;
+use crate::stats::EngineStats;
+use crate::types::{FlushKind, PhysReg, Rgid, SeqNum};
+
+/// An inclusive PC range of contiguous straight-line instructions — the
+/// granularity of Wrong-Path Buffer entries (paper §3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRange {
+    /// PC of the first instruction in the block.
+    pub start: Pc,
+    /// PC of the last instruction in the block (inclusive).
+    pub end: Pc,
+}
+
+impl BlockRange {
+    /// Whether two ranges overlap — the aligner condition of §3.4:
+    /// `start_a <= end_b && end_a >= start_b`.
+    pub fn overlaps(&self, other: &BlockRange) -> bool {
+        self.start <= other.end && self.end >= other.start
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> u64 {
+        (self.end - self.start) / mssr_isa::INST_BYTES + 1
+    }
+
+    /// Whether the range is degenerate (never true for constructed ranges).
+    pub fn is_empty(&self) -> bool {
+        self.end < self.start
+    }
+}
+
+/// A prediction block emitted by the frontend this cycle.
+#[derive(Clone, Copy, Debug)]
+pub struct PredBlock {
+    /// The block's PC range.
+    pub range: BlockRange,
+    /// Cycle of creation.
+    pub cycle: u64,
+}
+
+/// A squashed instruction, as dumped from the ROB into a Squash Log.
+#[derive(Clone, Debug)]
+pub struct SquashedInst {
+    /// Sequence number (age) of the squashed instruction.
+    pub seq: SeqNum,
+    /// Its PC.
+    pub pc: Pc,
+    /// Its opcode.
+    pub op: Opcode,
+    /// Destination bookkeeping: architectural register, the physical
+    /// register holding the (possibly already computed) result, and the
+    /// RGID of the squashed mapping.
+    pub dst: Option<(ArchReg, PhysReg, Rgid)>,
+    /// Source RGIDs at the squashed instruction's rename. `None` means
+    /// the operand slot is absent or reads `x0` (always valid).
+    pub src_rgids: [Option<Rgid>; 2],
+    /// Source physical registers at the squashed instruction's rename
+    /// (used by baselines that key reuse on physical names).
+    pub src_pregs: [Option<PhysReg>; 2],
+    /// Whether the result had been produced before the squash — only
+    /// executed instructions are reusable.
+    pub executed: bool,
+    /// Whether this is a load.
+    pub is_load: bool,
+    /// Whether this is a store (never reused; needed for hazard logic).
+    pub is_store: bool,
+    /// The wrong-path effective address, for executed loads.
+    pub load_addr: Option<u64>,
+}
+
+/// A branch-misprediction squash event.
+#[derive(Clone, Debug)]
+pub struct SquashEvent {
+    /// Monotonic squash-event id (the paper's stream ordering; used to
+    /// compute reconvergence *stream distance*).
+    pub squash_id: u64,
+    /// Sequence number of the mispredicted branch (stream ages are
+    /// compared to classify software- vs hardware-induced reconvergence).
+    pub cause_seq: SeqNum,
+    /// PC of the mispredicted branch.
+    pub cause_pc: Pc,
+    /// Where the corrected stream resumes.
+    pub redirect: Pc,
+    /// Squashed instructions, **oldest first**, starting one after the
+    /// mispredicted branch.
+    pub insts: Vec<SquashedInst>,
+    /// PC ranges of instructions that were still in the frontend
+    /// (fetched or predicted but not yet renamed), oldest first. These
+    /// extend the Wrong-Path Buffer's view of the squashed stream beyond
+    /// what reached the backend.
+    pub frontend_blocks: Vec<BlockRange>,
+}
+
+/// The reuse test query issued for each instruction at rename.
+#[derive(Clone, Debug)]
+pub struct ReuseQuery<'a> {
+    /// Sequence number the instruction will occupy.
+    pub seq: SeqNum,
+    /// Its PC.
+    pub pc: Pc,
+    /// The decoded instruction.
+    pub inst: &'a Inst,
+    /// Current RGIDs of the source operands (after renaming any older
+    /// instructions in the same bundle). `None` = absent or `x0`.
+    pub src_rgids: [Option<Rgid>; 2],
+    /// Current physical mappings of the source operands (used by the
+    /// Register Integration baseline, which compares physical names).
+    pub src_pregs: [Option<PhysReg>; 2],
+}
+
+/// A successful reuse grant.
+#[derive(Clone, Copy, Debug)]
+pub struct ReuseGrant {
+    /// The physical register holding the preserved wrong-path result.
+    /// Its reservation hold transfers to the new live mapping.
+    pub preg: PhysReg,
+    /// The RGID to forward onto the new mapping (paper §3.1: the squashed
+    /// instruction's RGID is forwarded so younger reuse tests still
+    /// match). `None` lets the pipeline allocate a fresh RGID (used by
+    /// Register Integration, which has no RGID concept).
+    pub rgid: Option<Rgid>,
+    /// For loads: the wrong-path effective address, recorded in the load
+    /// queue so older stores can still detect ordering violations.
+    pub load_addr: Option<u64>,
+    /// For loads: whether the pipeline must re-execute the load and
+    /// compare values before the instruction may commit (the paper's
+    /// evaluated memory-hazard mechanism, §3.8.3).
+    pub needs_load_verify: bool,
+}
+
+/// Post-rename notification (sent for every renamed instruction, reused
+/// or not) — this is how queue-based engines advance their Squash Log
+/// read pointers in lockstep and detect divergence.
+#[derive(Clone, Debug)]
+pub struct RenamedInst {
+    /// Sequence number.
+    pub seq: SeqNum,
+    /// PC.
+    pub pc: Pc,
+    /// Opcode.
+    pub op: Opcode,
+    /// New destination mapping, if any: (arch, preg, rgid).
+    pub dst: Option<(ArchReg, PhysReg, Rgid)>,
+    /// Whether this instruction was granted reuse.
+    pub reused: bool,
+}
+
+/// Mutable pipeline state exposed to engine hooks.
+#[derive(Debug)]
+pub struct EngineCtx<'a> {
+    /// The physical-register free list (for `retain`/`release` holds).
+    pub free_list: &'a mut FreeList,
+    /// Current cycle.
+    pub cycle: u64,
+    /// ROB capacity (the paper's RGID-reset drain window).
+    pub rob_size: usize,
+    /// Set to request a global RGID reset at the end of this cycle; the
+    /// pipeline zeroes the generation counters and nulls every RGID held
+    /// in live state (RAT and ROB) so pre-reset mappings can never alias
+    /// post-reset ones.
+    pub rgid_reset_requested: &'a mut bool,
+}
+
+/// A squash-reuse engine plugged into the pipeline.
+///
+/// All hooks have no-op defaults, so an engine implements only the events
+/// it cares about. See the crate-level documentation of `mssr-core` for
+/// the paper's engine.
+#[allow(unused_variables)]
+pub trait ReuseEngine {
+    /// A short identifier used in reports (e.g. `"no-reuse"`, `"mssr"`).
+    fn name(&self) -> &'static str;
+
+    /// The frontend produced a new prediction block (reconvergence
+    /// detection point, paper §3.4).
+    fn on_block(&mut self, block: &PredBlock, ctx: &mut EngineCtx<'_>) {}
+
+    /// A branch misprediction squashed the pipeline. Called **before**
+    /// the pipeline releases the squashed destination registers, so the
+    /// engine can `retain` the ones it logs.
+    fn on_mispredict_squash(&mut self, ev: &SquashEvent, ctx: &mut EngineCtx<'_>) {}
+
+    /// A non-misprediction flush (memory-order violation or reuse
+    /// verification failure). The paper invalidates the Squash Logs on a
+    /// reuse-verification flush.
+    fn on_flush(&mut self, kind: FlushKind, ctx: &mut EngineCtx<'_>) {}
+
+    /// The reuse test: called at rename for each reuse-eligible
+    /// instruction (writes a register, is not a control instruction or
+    /// store). Returning a grant makes the pipeline map the destination
+    /// to the preserved register and mark the instruction completed.
+    fn try_reuse(&mut self, q: &ReuseQuery<'_>, ctx: &mut EngineCtx<'_>) -> Option<ReuseGrant> {
+        None
+    }
+
+    /// Every renamed instruction, in program order, after the reuse
+    /// decision.
+    fn on_renamed(&mut self, r: &RenamedInst, ctx: &mut EngineCtx<'_>) {}
+
+    /// Rename found the free list empty. The engine should release
+    /// reserved registers (paper §3.3.2, freeing condition 5) if it can.
+    fn on_register_pressure(&mut self, ctx: &mut EngineCtx<'_>) {}
+
+    /// The pipeline returned a physical register to the free list (its
+    /// hold count reached zero through a pipeline-side release). Engines
+    /// that key on physical names (Register Integration) invalidate
+    /// entries referencing it.
+    fn on_preg_freed(&mut self, p: PhysReg, ctx: &mut EngineCtx<'_>) {}
+
+    /// A store's address became known (memory-hazard tracking, §3.8.1).
+    fn on_store_executed(&mut self, addr: u64, ctx: &mut EngineCtx<'_>) {}
+
+    /// An external snoop request hit `addr` (load-to-load hazard
+    /// tracking, §3.8.2).
+    fn on_snoop(&mut self, addr: u64, ctx: &mut EngineCtx<'_>) {}
+
+    /// `n` instructions committed this cycle (drives the RGID-reset drain
+    /// window and reconvergence timeouts).
+    fn on_commit(&mut self, n: u64, ctx: &mut EngineCtx<'_>) {}
+
+    /// An RGID allocation overflowed into the null encoding (§3.3.2:
+    /// more than eight accumulated overflows trigger a global reset).
+    fn on_rgid_overflow(&mut self, ctx: &mut EngineCtx<'_>) {}
+
+    /// The pipeline applied a global RGID reset at the end of this cycle:
+    /// generation counters restarted and every live RGID was nulled. Any
+    /// reuse state captured earlier — **including state captured after
+    /// the engine requested the reset but within the same cycle** — now
+    /// holds old-window generations that would alias new-window ones,
+    /// and must be dropped.
+    fn on_rgid_reset(&mut self, ctx: &mut EngineCtx<'_>) {}
+
+    /// Engine-side statistics snapshot.
+    fn stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
+}
+
+/// The baseline engine: no squash reuse at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoReuse;
+
+impl ReuseEngine for NoReuse {
+    fn name(&self) -> &'static str {
+        "no-reuse"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: u64, e: u64) -> BlockRange {
+        BlockRange { start: Pc::new(s), end: Pc::new(e) }
+    }
+
+    #[test]
+    fn block_overlap_matches_aligner_condition() {
+        let a = r(0x100, 0x11c);
+        assert!(a.overlaps(&r(0x11c, 0x140)), "touching at one instruction");
+        assert!(a.overlaps(&r(0x0, 0x100)), "touching at start");
+        assert!(a.overlaps(&r(0x104, 0x108)), "contained");
+        assert!(a.overlaps(&r(0x0, 0x200)), "containing");
+        assert!(!a.overlaps(&r(0x120, 0x140)), "disjoint above");
+        assert!(!a.overlaps(&r(0x0, 0xfc)), "disjoint below");
+    }
+
+    #[test]
+    fn block_len_counts_instructions() {
+        assert_eq!(r(0x100, 0x100).len(), 1);
+        assert_eq!(r(0x100, 0x11c).len(), 8);
+        assert!(!r(0x100, 0x100).is_empty());
+    }
+
+    #[test]
+    fn no_reuse_never_grants() {
+        let e = NoReuse;
+        assert_eq!(e.name(), "no-reuse");
+        // Default stats are all zero.
+        assert_eq!(e.stats().reuse_grants, 0);
+    }
+}

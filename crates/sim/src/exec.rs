@@ -1,0 +1,154 @@
+//! Functional execution of instructions (value semantics).
+//!
+//! The simulator is execution-driven: instructions — including those on
+//! mispredicted wrong paths — compute real values. This module holds the
+//! pure value semantics; timing lives in the pipeline.
+
+use mssr_isa::{Inst, Opcode};
+
+/// Computes the result of a non-memory, non-control instruction.
+///
+/// `a` and `b` are the values of `src1`/`src2` (0 when the operand is
+/// absent). Returns `None` for opcodes that produce no ALU result.
+///
+/// Division follows RISC-V semantics: division by zero yields `-1`
+/// (`Div`) or the dividend (`Rem`) rather than trapping, and
+/// `i64::MIN / -1` wraps.
+pub fn alu(op: Opcode, a: u64, b: u64, imm: i64) -> Option<u64> {
+    let sa = a as i64;
+    let v = match op {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Sll => a.wrapping_shl((b & 63) as u32),
+        Opcode::Srl => a.wrapping_shr((b & 63) as u32),
+        Opcode::Sra => (sa.wrapping_shr((b & 63) as u32)) as u64,
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Div => {
+            let d = b as i64;
+            if d == 0 {
+                -1i64 as u64
+            } else {
+                sa.wrapping_div(d) as u64
+            }
+        }
+        Opcode::Rem => {
+            let d = b as i64;
+            if d == 0 {
+                a
+            } else {
+                sa.wrapping_rem(d) as u64
+            }
+        }
+        Opcode::Slt => ((sa) < (b as i64)) as u64,
+        Opcode::Sltu => (a < b) as u64,
+        Opcode::Addi => a.wrapping_add(imm as u64),
+        Opcode::Andi => a & imm as u64,
+        Opcode::Ori => a | imm as u64,
+        Opcode::Xori => a ^ imm as u64,
+        Opcode::Slli => a.wrapping_shl((imm & 63) as u32),
+        Opcode::Srli => a.wrapping_shr((imm & 63) as u32),
+        Opcode::Srai => (sa.wrapping_shr((imm & 63) as u32)) as u64,
+        Opcode::Slti => ((sa) < imm) as u64,
+        Opcode::Li => imm as u64,
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Evaluates a conditional-branch condition on its operand values.
+///
+/// # Panics
+///
+/// Panics if `op` is not a conditional branch.
+pub fn branch_taken(op: Opcode, a: u64, b: u64) -> bool {
+    match op {
+        Opcode::Beq => a == b,
+        Opcode::Bne => a != b,
+        Opcode::Blt => (a as i64) < (b as i64),
+        Opcode::Bge => (a as i64) >= (b as i64),
+        Opcode::Bltu => a < b,
+        Opcode::Bgeu => a >= b,
+        _ => panic!("branch_taken called on non-branch {op}"),
+    }
+}
+
+/// Computes the effective address of a load or store: `src1 + imm`.
+pub fn mem_addr(inst: &Inst, base: u64) -> u64 {
+    base.wrapping_add(inst.imm() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssr_isa::ArchReg;
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(alu(Opcode::Add, 2, 3, 0), Some(5));
+        assert_eq!(alu(Opcode::Sub, 2, 3, 0), Some(-1i64 as u64));
+        assert_eq!(alu(Opcode::Mul, 7, 6, 0), Some(42));
+        assert_eq!(alu(Opcode::Addi, 10, 0, -4), Some(6));
+        assert_eq!(alu(Opcode::Li, 0, 0, -1), Some(u64::MAX));
+    }
+
+    #[test]
+    fn logic_and_shifts() {
+        assert_eq!(alu(Opcode::And, 0b1100, 0b1010, 0), Some(0b1000));
+        assert_eq!(alu(Opcode::Or, 0b1100, 0b1010, 0), Some(0b1110));
+        assert_eq!(alu(Opcode::Xor, 0b1100, 0b1010, 0), Some(0b0110));
+        assert_eq!(alu(Opcode::Sll, 1, 4, 0), Some(16));
+        assert_eq!(alu(Opcode::Srl, u64::MAX, 63, 0), Some(1));
+        assert_eq!(alu(Opcode::Sra, (-8i64) as u64, 2, 0), Some((-2i64) as u64));
+        assert_eq!(alu(Opcode::Slli, 3, 0, 2), Some(12));
+        assert_eq!(alu(Opcode::Srai, (-8i64) as u64, 0, 3), Some((-1i64) as u64));
+    }
+
+    #[test]
+    fn division_riscv_semantics() {
+        assert_eq!(alu(Opcode::Div, 7, 2, 0), Some(3));
+        assert_eq!(alu(Opcode::Div, (-7i64) as u64, 2, 0), Some((-3i64) as u64));
+        assert_eq!(alu(Opcode::Div, 5, 0, 0), Some(u64::MAX), "div by zero = -1");
+        assert_eq!(alu(Opcode::Rem, 7, 0, 0), Some(7), "rem by zero = dividend");
+        assert_eq!(
+            alu(Opcode::Div, i64::MIN as u64, (-1i64) as u64, 0),
+            Some(i64::MIN as u64),
+            "overflow wraps"
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(alu(Opcode::Slt, (-1i64) as u64, 0, 0), Some(1));
+        assert_eq!(alu(Opcode::Sltu, (-1i64) as u64, 0, 0), Some(0));
+        assert_eq!(alu(Opcode::Slti, 3, 0, 5), Some(1));
+    }
+
+    #[test]
+    fn non_alu_ops_return_none() {
+        assert_eq!(alu(Opcode::Ld, 0, 0, 0), None);
+        assert_eq!(alu(Opcode::Beq, 0, 0, 0), None);
+        assert_eq!(alu(Opcode::Nop, 0, 0, 0), None);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(Opcode::Beq, 4, 4));
+        assert!(!branch_taken(Opcode::Beq, 4, 5));
+        assert!(branch_taken(Opcode::Bne, 4, 5));
+        assert!(branch_taken(Opcode::Blt, (-1i64) as u64, 0));
+        assert!(!branch_taken(Opcode::Bltu, (-1i64) as u64, 0));
+        assert!(branch_taken(Opcode::Bge, 0, 0));
+        assert!(branch_taken(Opcode::Bgeu, (-1i64) as u64, 0));
+    }
+
+    #[test]
+    fn effective_address() {
+        let ld = Inst::ld(ArchReg::A0, ArchReg::A1, -8);
+        assert_eq!(mem_addr(&ld, 0x100), 0xf8);
+        let st = Inst::st(ArchReg::A1, ArchReg::A2, 16);
+        assert_eq!(mem_addr(&st, 0x100), 0x110);
+    }
+}

@@ -1,0 +1,299 @@
+//! A pure, in-order functional interpreter for the toy ISA.
+//!
+//! The interpreter shares the pipeline's value semantics ([`crate::exec`])
+//! and memory model but has no timing, speculation, or renaming — it is
+//! an independent architectural oracle. Differential tests run the same
+//! program through the out-of-order pipeline (with and without reuse
+//! engines) and through this interpreter, and require bit-identical final
+//! state; that catches bugs in either implementation.
+
+use mssr_isa::{ArchReg, Opcode, Pc, Program, NUM_ARCH_REGS};
+
+use crate::exec;
+use crate::mem::MainMemory;
+
+/// Why an interpretation run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// A `halt` instruction executed.
+    Halted,
+    /// The instruction bound was reached first.
+    InstLimit,
+    /// Control flow left the program image (an architectural bug in the
+    /// program itself — correct programs end in `halt`).
+    OutOfProgram,
+}
+
+/// The functional interpreter.
+///
+/// # Example
+///
+/// ```
+/// use mssr_isa::{regs::*, Assembler};
+/// use mssr_sim::{Interpreter, StopReason};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Assembler::new();
+/// a.li(T0, 6);
+/// a.li(T1, 7);
+/// a.mul(T2, T0, T1);
+/// a.st(ZERO, T2, 0x100);
+/// a.halt();
+/// let mut it = Interpreter::new(a.assemble()?, 1 << 16);
+/// assert_eq!(it.run(1000), StopReason::Halted);
+/// assert_eq!(it.read_mem_u64(0x100), 42);
+/// assert_eq!(it.reg(T2), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Interpreter {
+    program: Program,
+    regs: [u64; NUM_ARCH_REGS],
+    memory: MainMemory,
+    pc: Pc,
+    executed: u64,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with `mem_bytes` of zeroed memory
+    /// (power of two, like the simulator's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_bytes` is not a power of two.
+    pub fn new(program: Program, mem_bytes: usize) -> Interpreter {
+        let pc = program.base();
+        Interpreter {
+            program,
+            regs: [0; NUM_ARCH_REGS],
+            memory: MainMemory::new(mem_bytes),
+            pc,
+            executed: 0,
+        }
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, a: ArchReg) -> u64 {
+        self.regs[a.index()]
+    }
+
+    /// Writes an architectural register (`x0` writes are ignored).
+    pub fn set_reg(&mut self, a: ArchReg, v: u64) {
+        if !a.is_zero() {
+            self.regs[a.index()] = v;
+        }
+    }
+
+    /// Writes a 64-bit word of memory (program setup).
+    pub fn write_mem_u64(&mut self, addr: u64, v: u64) {
+        self.memory.write_u64(addr, v);
+    }
+
+    /// Reads a 64-bit word of memory.
+    pub fn read_mem_u64(&self, addr: u64) -> u64 {
+        self.memory.read_u64(addr)
+    }
+
+    /// Instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
+
+    /// Executes one instruction. Returns `None` while running, or the
+    /// stop reason.
+    pub fn step(&mut self) -> Option<StopReason> {
+        let Some(&inst) = self.program.fetch(self.pc) else {
+            return Some(StopReason::OutOfProgram);
+        };
+        self.executed += 1;
+        let a = inst.src1().map_or(0, |r| self.reg(r));
+        let b = inst.src2().map_or(0, |r| self.reg(r));
+        let op = inst.op();
+        let mut next = self.pc.next();
+        match op {
+            Opcode::Halt => return Some(StopReason::Halted),
+            Opcode::Nop => {}
+            Opcode::Ld => {
+                let addr = self.memory.wrap(exec::mem_addr(&inst, a));
+                let v = self.memory.read_u64(addr);
+                self.set_reg(inst.dst().expect("loads write a register"), v);
+            }
+            Opcode::St => {
+                let addr = self.memory.wrap(exec::mem_addr(&inst, a));
+                self.memory.write_u64(addr, b);
+            }
+            Opcode::Jal => {
+                if let Some(d) = inst.dst() {
+                    self.set_reg(d, next.addr());
+                }
+                next = inst.target().expect("jal has a target");
+            }
+            Opcode::Jalr => {
+                let target = Pc::new(a.wrapping_add(inst.imm() as u64));
+                if let Some(d) = inst.dst() {
+                    self.set_reg(d, next.addr());
+                }
+                next = target;
+            }
+            op if op.is_cond_branch() => {
+                if exec::branch_taken(op, a, b) {
+                    next = inst.target().expect("branch has a target");
+                }
+            }
+            _ => {
+                let v = exec::alu(op, a, b, inst.imm()).expect("ALU opcode");
+                if let Some(d) = inst.dst() {
+                    self.set_reg(d, v);
+                }
+            }
+        }
+        self.pc = next;
+        None
+    }
+
+    /// Runs until halt, departure from the program, or `max_insts`.
+    pub fn run(&mut self, max_insts: u64) -> StopReason {
+        while self.executed < max_insts {
+            if let Some(r) = self.step() {
+                return r;
+            }
+        }
+        StopReason::InstLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssr_isa::{regs::*, Assembler};
+
+    fn run_program(build: impl FnOnce(&mut Assembler)) -> Interpreter {
+        let mut a = Assembler::new();
+        build(&mut a);
+        let mut it = Interpreter::new(a.assemble().unwrap(), 1 << 16);
+        assert_eq!(it.run(1_000_000), StopReason::Halted);
+        it
+    }
+
+    #[test]
+    fn arithmetic_and_memory() {
+        let it = run_program(|a| {
+            a.li(T0, 5);
+            a.li(T1, 3);
+            a.sub(T2, T0, T1);
+            a.st(ZERO, T2, 0x80);
+            a.ld(T3, ZERO, 0x80);
+            a.slli(T3, T3, 4);
+            a.halt();
+        });
+        assert_eq!(it.reg(T2), 2);
+        assert_eq!(it.reg(T3), 32);
+        assert_eq!(it.read_mem_u64(0x80), 2);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        let it = run_program(|a| {
+            a.li(T0, 0);
+            a.li(T1, 10);
+            a.label("loop");
+            a.addi(T0, T0, 1);
+            a.blt(T0, T1, "loop");
+            a.halt();
+        });
+        assert_eq!(it.reg(T0), 10);
+        assert_eq!(it.executed(), 2 + 20 + 1);
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let it = run_program(|a| {
+            a.li(A0, 4);
+            a.call("double");
+            a.mv(S0, A0);
+            a.call("double");
+            a.halt();
+            a.label("double");
+            a.slli(A0, A0, 1);
+            a.ret();
+        });
+        assert_eq!(it.reg(S0), 8);
+        assert_eq!(it.reg(A0), 16);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let mut it = run_program(|a| {
+            a.li(T0, 7);
+            a.add(ZERO, T0, T0); // discarded
+            a.halt();
+        });
+        assert_eq!(it.reg(ZERO), 0);
+        it.set_reg(ZERO, 99);
+        assert_eq!(it.reg(ZERO), 0);
+    }
+
+    #[test]
+    fn out_of_program_detected() {
+        let mut a = Assembler::new();
+        a.nop(); // falls off the end, no halt
+        let mut it = Interpreter::new(a.assemble().unwrap(), 1 << 12);
+        assert_eq!(it.run(100), StopReason::OutOfProgram);
+    }
+
+    #[test]
+    fn inst_limit() {
+        let mut a = Assembler::new();
+        a.label("spin");
+        a.j("spin");
+        let mut it = Interpreter::new(a.assemble().unwrap(), 1 << 12);
+        assert_eq!(it.run(50), StopReason::InstLimit);
+        assert_eq!(it.executed(), 50);
+    }
+
+    #[test]
+    fn matches_pipeline_on_a_branchy_kernel() {
+        let build = |a: &mut Assembler| {
+            a.li(S0, 0);
+            a.li(S1, 64);
+            a.li(S3, 0x777);
+            a.li(S4, 0x9e3779b97f4a7c15u64 as i64);
+            a.label("loop");
+            a.mul(S3, S3, S4);
+            a.srli(T0, S3, 29);
+            a.xor(S3, S3, T0);
+            a.andi(T1, S3, 1);
+            a.beq(T1, ZERO, "skip");
+            a.addi(S5, S5, 3);
+            a.label("skip");
+            a.slli(T2, S0, 3);
+            a.st(T2, S3, 0x1000);
+            a.addi(S0, S0, 1);
+            a.blt(S0, S1, "loop");
+            a.halt();
+        };
+        let mut a1 = Assembler::new();
+        build(&mut a1);
+        let program = a1.assemble().unwrap();
+        let mut it = Interpreter::new(program.clone(), 1 << 20);
+        assert_eq!(it.run(1_000_000), StopReason::Halted);
+        let mut sim = crate::Simulator::new(
+            crate::SimConfig::default().with_mem_bytes(1 << 20).with_max_cycles(1_000_000),
+            program,
+        );
+        sim.run();
+        for i in 0..64u64 {
+            assert_eq!(
+                it.read_mem_u64(0x1000 + 8 * i),
+                sim.read_mem_u64(0x1000 + 8 * i),
+                "slot {i}"
+            );
+        }
+    }
+}

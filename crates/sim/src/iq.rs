@@ -1,0 +1,159 @@
+//! Issue queues (reservation stations) with wakeup/select.
+
+use crate::types::{FuClass, PhysReg, SeqNum};
+
+/// One reservation-station entry: an instruction waiting for its source
+/// operands to become ready.
+#[derive(Clone, Debug)]
+pub struct IqEntry {
+    /// The instruction's sequence number (its ROB key).
+    pub seq: SeqNum,
+    /// Which functional-unit class executes it.
+    pub fu: FuClass,
+    /// Source registers still pending (woken by writeback broadcast).
+    waiting: Vec<PhysReg>,
+}
+
+/// A unified issue-queue structure holding one FU class partition.
+///
+/// Wakeup is a broadcast of produced physical registers
+/// ([`IssueQueue::wake`]); select pulls the oldest ready entries per
+/// class up to the per-class issue bandwidth ([`IssueQueue::select`]).
+#[derive(Debug)]
+pub struct IssueQueue {
+    entries: Vec<IqEntry>,
+    capacity: usize,
+}
+
+impl IssueQueue {
+    /// Creates an empty queue with the given capacity.
+    pub fn new(capacity: usize) -> IssueQueue {
+        IssueQueue { entries: Vec::new(), capacity }
+    }
+
+    /// Whether another entry can be dispatched.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Occupancy.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by unit tests; kept for symmetry
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dispatches an instruction. `waiting` lists the source physical
+    /// registers whose values are not yet ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full.
+    pub fn insert(&mut self, seq: SeqNum, fu: FuClass, waiting: Vec<PhysReg>) {
+        assert!(self.has_space(), "issue queue overflow");
+        self.entries.push(IqEntry { seq, fu, waiting });
+    }
+
+    /// Broadcasts that `p` has been produced, waking dependents.
+    pub fn wake(&mut self, p: PhysReg) {
+        for e in &mut self.entries {
+            e.waiting.retain(|&w| w != p);
+        }
+    }
+
+    /// Selects up to `max` oldest ready entries of class `fu`, removing
+    /// them from the queue.
+    pub fn select(&mut self, fu: FuClass, max: usize) -> Vec<SeqNum> {
+        let mut ready: Vec<SeqNum> = self
+            .entries
+            .iter()
+            .filter(|e| e.fu == fu && e.waiting.is_empty())
+            .map(|e| e.seq)
+            .collect();
+        ready.sort_unstable();
+        ready.truncate(max);
+        self.entries.retain(|e| !ready.contains(&e.seq));
+        ready
+    }
+
+    /// Removes every entry with `seq >= first` (pipeline squash).
+    pub fn squash_from(&mut self, first: SeqNum) {
+        self.entries.retain(|e| e.seq < first);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> PhysReg {
+        PhysReg::new(i)
+    }
+
+    #[test]
+    fn ready_entry_is_selected_oldest_first() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(SeqNum::new(3), FuClass::Alu, vec![]);
+        iq.insert(SeqNum::new(1), FuClass::Alu, vec![]);
+        iq.insert(SeqNum::new(2), FuClass::Alu, vec![]);
+        let sel = iq.select(FuClass::Alu, 2);
+        assert_eq!(sel, vec![SeqNum::new(1), SeqNum::new(2)]);
+        assert_eq!(iq.len(), 1, "unselected entry remains");
+    }
+
+    #[test]
+    fn waiting_entry_not_selected_until_woken() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(SeqNum::new(1), FuClass::Alu, vec![p(10), p(11)]);
+        assert!(iq.select(FuClass::Alu, 4).is_empty());
+        iq.wake(p(10));
+        assert!(iq.select(FuClass::Alu, 4).is_empty(), "still waiting on p11");
+        iq.wake(p(11));
+        assert_eq!(iq.select(FuClass::Alu, 4), vec![SeqNum::new(1)]);
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(SeqNum::new(1), FuClass::Alu, vec![]);
+        iq.insert(SeqNum::new(2), FuClass::Lsu, vec![]);
+        iq.insert(SeqNum::new(3), FuClass::Bru, vec![]);
+        assert_eq!(iq.select(FuClass::Bru, 4), vec![SeqNum::new(3)]);
+        assert_eq!(iq.select(FuClass::Lsu, 4), vec![SeqNum::new(2)]);
+        assert_eq!(iq.select(FuClass::Alu, 4), vec![SeqNum::new(1)]);
+    }
+
+    #[test]
+    fn squash_drops_young_entries() {
+        let mut iq = IssueQueue::new(8);
+        for s in 1..=5 {
+            iq.insert(SeqNum::new(s), FuClass::Alu, vec![]);
+        }
+        iq.squash_from(SeqNum::new(3));
+        let sel = iq.select(FuClass::Alu, 8);
+        assert_eq!(sel, vec![SeqNum::new(1), SeqNum::new(2)]);
+    }
+
+    #[test]
+    fn capacity_tracking() {
+        let mut iq = IssueQueue::new(2);
+        assert!(iq.has_space());
+        iq.insert(SeqNum::new(1), FuClass::Alu, vec![]);
+        iq.insert(SeqNum::new(2), FuClass::Alu, vec![]);
+        assert!(!iq.has_space());
+        assert!(!iq.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut iq = IssueQueue::new(1);
+        iq.insert(SeqNum::new(1), FuClass::Alu, vec![]);
+        iq.insert(SeqNum::new(2), FuClass::Alu, vec![]);
+    }
+}

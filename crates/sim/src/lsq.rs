@@ -1,0 +1,274 @@
+//! Load and store queues: store-to-load forwarding and memory-order
+//! violation detection.
+//!
+//! Loads issue aggressively (they do not wait for older stores with
+//! unknown addresses). When a store later computes its address, it checks
+//! the load queue for younger loads that already obtained data from an
+//! overlapping address — a store-to-load memory-order violation that
+//! forces a flush-and-replay from the offending load. This is the
+//! XiangShan-style mechanism the paper assumes (§3.8.1), and it is the
+//! interaction that makes reused loads need extra checking.
+//!
+//! Addresses are compared at 8-byte granularity (the ISA's only access
+//! size); workloads keep memory accesses 8-byte aligned.
+
+use crate::types::SeqNum;
+
+/// One load-queue entry.
+#[derive(Clone, Debug)]
+pub struct LqEntry {
+    /// The load's sequence number.
+    pub seq: SeqNum,
+    /// Effective address, known once the load issues (or, for a reused
+    /// load, the address recorded in the Squash Log).
+    pub addr: Option<u64>,
+    /// Whether the load has obtained data (issued its access or been
+    /// granted by a reuse engine) — the predicate stores check against.
+    pub issued: bool,
+    /// The value obtained (for reuse verification comparison).
+    pub value: Option<u64>,
+    /// Whether this entry is a reused load.
+    pub reused: bool,
+}
+
+/// One store-queue entry.
+#[derive(Clone, Debug)]
+pub struct SqEntry {
+    /// The store's sequence number.
+    pub seq: SeqNum,
+    /// Effective address, known once the store executes.
+    pub addr: Option<u64>,
+    /// Data to write, known with the address.
+    pub data: Option<u64>,
+}
+
+fn same_block(a: u64, b: u64) -> bool {
+    a >> 3 == b >> 3
+}
+
+/// The load/store queue pair.
+#[derive(Debug, Default)]
+pub struct Lsq {
+    loads: Vec<LqEntry>,
+    stores: Vec<SqEntry>,
+    lq_cap: usize,
+    sq_cap: usize,
+}
+
+impl Lsq {
+    /// Creates empty queues with the given capacities.
+    pub fn new(lq_cap: usize, sq_cap: usize) -> Lsq {
+        Lsq { loads: Vec::new(), stores: Vec::new(), lq_cap, sq_cap }
+    }
+
+    /// Whether a load can be dispatched.
+    pub fn lq_has_space(&self) -> bool {
+        self.loads.len() < self.lq_cap
+    }
+
+    /// Whether a store can be dispatched.
+    pub fn sq_has_space(&self) -> bool {
+        self.stores.len() < self.sq_cap
+    }
+
+    /// Load-queue occupancy.
+    pub fn lq_len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Store-queue occupancy.
+    pub fn sq_len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Allocates a load-queue entry at dispatch (program order).
+    pub fn push_load(&mut self, e: LqEntry) {
+        assert!(self.lq_has_space(), "load queue overflow");
+        if let Some(t) = self.loads.last() {
+            assert!(e.seq > t.seq, "loads must be dispatched in age order");
+        }
+        self.loads.push(e);
+    }
+
+    /// Allocates a store-queue entry at dispatch (program order).
+    pub fn push_store(&mut self, e: SqEntry) {
+        assert!(self.sq_has_space(), "store queue overflow");
+        if let Some(t) = self.stores.last() {
+            assert!(e.seq > t.seq, "stores must be dispatched in age order");
+        }
+        self.stores.push(e);
+    }
+
+    /// Mutable access to a load entry by sequence number.
+    pub fn load_mut(&mut self, seq: SeqNum) -> Option<&mut LqEntry> {
+        self.loads.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Access to a load entry by sequence number.
+    pub fn load(&self, seq: SeqNum) -> Option<&LqEntry> {
+        self.loads.iter().find(|e| e.seq == seq)
+    }
+
+    /// Mutable access to a store entry by sequence number.
+    pub fn store_mut(&mut self, seq: SeqNum) -> Option<&mut SqEntry> {
+        self.stores.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Store-to-load forwarding: the youngest store older than `load_seq`
+    /// with a known address in the same 8-byte block supplies its data.
+    ///
+    /// Returns `None` when no forwarding source exists (the load reads
+    /// the memory hierarchy).
+    pub fn forward(&self, load_seq: SeqNum, addr: u64) -> Option<u64> {
+        self.stores
+            .iter()
+            .rev()
+            .filter(|s| s.seq < load_seq)
+            .find(|s| matches!(s.addr, Some(a) if same_block(a, addr)))
+            .and_then(|s| s.data)
+    }
+
+    /// Store-to-load violation check, run when a store's address becomes
+    /// known: returns the **oldest** younger load that already obtained
+    /// data from an overlapping address, if any. The pipeline flushes
+    /// from that load.
+    pub fn store_check(&self, store_seq: SeqNum, addr: u64) -> Option<SeqNum> {
+        self.loads
+            .iter()
+            .filter(|l| l.seq > store_seq && l.issued)
+            .find(|l| matches!(l.addr, Some(a) if same_block(a, addr)))
+            .map(|l| l.seq)
+    }
+
+    /// Pops the oldest load (commit). Asserts it matches `seq`.
+    pub fn commit_load(&mut self, seq: SeqNum) {
+        let head = self.loads.remove(0);
+        assert_eq!(head.seq, seq, "load commit order mismatch");
+    }
+
+    /// Pops the oldest store (commit), returning its address and data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head store does not match `seq` or has not executed.
+    pub fn commit_store(&mut self, seq: SeqNum) -> (u64, u64) {
+        let head = self.stores.remove(0);
+        assert_eq!(head.seq, seq, "store commit order mismatch");
+        (head.addr.expect("committed store has an address"), head.data.expect("committed store has data"))
+    }
+
+    /// Removes all entries with `seq >= first` (pipeline squash).
+    pub fn squash_from(&mut self, first: SeqNum) {
+        self.loads.retain(|e| e.seq < first);
+        self.stores.retain(|e| e.seq < first);
+    }
+
+    /// Iterates load entries, oldest first.
+    pub fn loads(&self) -> impl Iterator<Item = &LqEntry> {
+        self.loads.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(seq: u64) -> LqEntry {
+        LqEntry { seq: SeqNum::new(seq), addr: None, issued: false, value: None, reused: false }
+    }
+
+    fn store(seq: u64) -> SqEntry {
+        SqEntry { seq: SeqNum::new(seq), addr: None, data: None }
+    }
+
+    #[test]
+    fn forwarding_from_youngest_older_store() {
+        let mut lsq = Lsq::new(8, 8);
+        lsq.push_store(store(1));
+        lsq.push_store(store(3));
+        lsq.push_load(load(5));
+        lsq.store_mut(SeqNum::new(1)).unwrap().addr = Some(0x100);
+        lsq.store_mut(SeqNum::new(1)).unwrap().data = Some(11);
+        lsq.store_mut(SeqNum::new(3)).unwrap().addr = Some(0x100);
+        lsq.store_mut(SeqNum::new(3)).unwrap().data = Some(33);
+        assert_eq!(lsq.forward(SeqNum::new(5), 0x100), Some(33), "youngest older store wins");
+        assert_eq!(lsq.forward(SeqNum::new(2), 0x100), Some(11), "age filter applies");
+        assert_eq!(lsq.forward(SeqNum::new(5), 0x200), None, "different block");
+    }
+
+    #[test]
+    fn forwarding_matches_within_8b_block() {
+        let mut lsq = Lsq::new(4, 4);
+        lsq.push_store(store(1));
+        lsq.store_mut(SeqNum::new(1)).unwrap().addr = Some(0x100);
+        lsq.store_mut(SeqNum::new(1)).unwrap().data = Some(7);
+        assert_eq!(lsq.forward(SeqNum::new(2), 0x104), Some(7), "same 8B block");
+        assert_eq!(lsq.forward(SeqNum::new(2), 0x108), None);
+    }
+
+    #[test]
+    fn store_check_finds_oldest_violating_load() {
+        let mut lsq = Lsq::new(8, 8);
+        lsq.push_store(store(1));
+        lsq.push_load(load(2));
+        lsq.push_load(load(4));
+        for s in [2u64, 4] {
+            let l = lsq.load_mut(SeqNum::new(s)).unwrap();
+            l.addr = Some(0x40);
+            l.issued = true;
+        }
+        assert_eq!(lsq.store_check(SeqNum::new(1), 0x40), Some(SeqNum::new(2)));
+        // Loads older than the store are not violations.
+        assert_eq!(lsq.store_check(SeqNum::new(5), 0x40), None);
+        // Unissued loads are not violations.
+        lsq.load_mut(SeqNum::new(2)).unwrap().issued = false;
+        assert_eq!(lsq.store_check(SeqNum::new(1), 0x40), Some(SeqNum::new(4)));
+    }
+
+    #[test]
+    fn store_check_ignores_other_addresses() {
+        let mut lsq = Lsq::new(8, 8);
+        lsq.push_load(load(2));
+        let l = lsq.load_mut(SeqNum::new(2)).unwrap();
+        l.addr = Some(0x40);
+        l.issued = true;
+        assert_eq!(lsq.store_check(SeqNum::new(1), 0x80), None);
+    }
+
+    #[test]
+    fn commit_pops_in_order() {
+        let mut lsq = Lsq::new(8, 8);
+        lsq.push_load(load(1));
+        lsq.push_store(store(2));
+        let s = lsq.store_mut(SeqNum::new(2)).unwrap();
+        s.addr = Some(0x8);
+        s.data = Some(99);
+        lsq.commit_load(SeqNum::new(1));
+        assert_eq!(lsq.commit_store(SeqNum::new(2)), (0x8, 99));
+        assert_eq!(lsq.lq_len(), 0);
+        assert_eq!(lsq.sq_len(), 0);
+    }
+
+    #[test]
+    fn squash_truncates_young_entries() {
+        let mut lsq = Lsq::new(8, 8);
+        lsq.push_load(load(1));
+        lsq.push_load(load(5));
+        lsq.push_store(store(3));
+        lsq.push_store(store(6));
+        lsq.squash_from(SeqNum::new(4));
+        assert_eq!(lsq.lq_len(), 1);
+        assert_eq!(lsq.sq_len(), 1);
+        assert!(lsq.load(SeqNum::new(1)).is_some());
+        assert!(lsq.load(SeqNum::new(5)).is_none());
+    }
+
+    #[test]
+    fn capacity_limits() {
+        let mut lsq = Lsq::new(1, 1);
+        lsq.push_load(load(1));
+        assert!(!lsq.lq_has_space());
+        lsq.push_store(store(2));
+        assert!(!lsq.sq_has_space());
+    }
+}

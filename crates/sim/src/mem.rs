@@ -1,0 +1,249 @@
+//! Data memory: flat main memory, set-associative caches, and the
+//! two-level hierarchy latency model.
+
+use crate::config::{CacheConfig, SimConfig};
+
+/// Flat, byte-addressable simulated main memory.
+///
+/// Addresses are wrapped into the configured power-of-two window so that
+/// wrong-path accesses with garbage addresses (a normal occurrence in an
+/// execution-driven simulator that executes mispredicted paths) never
+/// escape the simulated address space.
+#[derive(Clone, Debug)]
+pub struct MainMemory {
+    data: Vec<u8>,
+    mask: u64,
+}
+
+impl MainMemory {
+    /// Allocates `size` bytes of zeroed memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two.
+    pub fn new(size: usize) -> MainMemory {
+        assert!(size.is_power_of_two(), "memory size must be a power of two");
+        MainMemory { data: vec![0; size], mask: size as u64 - 1 }
+    }
+
+    /// Wraps an arbitrary 64-bit address into the memory window.
+    pub fn wrap(&self, addr: u64) -> u64 {
+        addr & self.mask
+    }
+
+    /// Reads a little-endian 64-bit word. The address is wrapped; reads
+    /// that straddle the wrap point see the window as circular.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.data[self.wrap(addr.wrapping_add(i as u64)) as usize];
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian 64-bit word at a wrapped address.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            let a = self.wrap(addr.wrapping_add(i as u64)) as usize;
+            self.data[a] = *b;
+        }
+    }
+
+    /// Memory window size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// One set-associative, LRU cache level (tag store only — the latency
+/// model does not move data).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `tags[set][way]` — `None` is an invalid way.
+    tags: Vec<Vec<Option<u64>>>,
+    /// `lru[set][way]` — larger is more recently used.
+    lru: Vec<Vec<u64>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            tags: vec![vec![None; cfg.ways]; sets],
+            lru: vec![vec![0; cfg.ways]; sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line as usize) & (self.cfg.sets() - 1);
+        let tag = line / self.cfg.sets() as u64;
+        (set, tag)
+    }
+
+    /// Accesses `addr`, allocating the line on a miss (LRU victim).
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        for way in 0..self.cfg.ways {
+            if self.tags[set][way] == Some(tag) {
+                self.lru[set][way] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        // Fill the LRU (or first invalid) way.
+        let victim = (0..self.cfg.ways)
+            .min_by_key(|&w| if self.tags[set][w].is_none() { (0, 0) } else { (1, self.lru[set][w]) })
+            .expect("cache has at least one way");
+        self.tags[set][victim] = Some(tag);
+        self.lru[set][victim] = self.tick;
+        false
+    }
+
+    /// Whether `addr` is currently resident (no LRU update, no allocation).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.tags[set].contains(&Some(tag))
+    }
+
+    /// Hit count since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Access latency of this level.
+    pub fn latency(&self) -> u64 {
+        self.cfg.latency
+    }
+}
+
+/// Two-level cache hierarchy plus DRAM, returning access latencies.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// L1 data cache.
+    pub l1: Cache,
+    /// Unified L2 cache.
+    pub l2: Cache,
+    dram_latency: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy described by `cfg`.
+    pub fn new(cfg: &SimConfig) -> Hierarchy {
+        Hierarchy { l1: Cache::new(cfg.l1d), l2: Cache::new(cfg.l2), dram_latency: cfg.dram_latency }
+    }
+
+    /// Performs an access and returns its total latency in cycles:
+    /// L1 hit → L1 latency; L2 hit → L1+L2; miss everywhere → L1+L2+DRAM.
+    /// Lines are allocated at every missed level (write-allocate).
+    pub fn access(&mut self, addr: u64) -> u64 {
+        if self.l1.access(addr) {
+            return self.l1.latency();
+        }
+        if self.l2.access(addr) {
+            return self.l1.latency() + self.l2.latency();
+        }
+        self.l1.latency() + self.l2.latency() + self.dram_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> Cache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 3 })
+    }
+
+    #[test]
+    fn memory_read_write_roundtrip() {
+        let mut m = MainMemory::new(1 << 16);
+        m.write_u64(0x100, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(0x100), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(0x108), 0, "adjacent word untouched");
+    }
+
+    #[test]
+    fn memory_wraps_garbage_addresses() {
+        let mut m = MainMemory::new(1 << 12);
+        m.write_u64(u64::MAX - 3, 7); // wraps
+        assert_eq!(m.wrap(1 << 12), 0);
+        assert_eq!(m.wrap((1 << 12) + 5), 5);
+        // Reading back through the wrapped alias sees the same bytes.
+        assert_eq!(m.read_u64(u64::MAX - 3), 7);
+    }
+
+    #[test]
+    fn memory_unaligned_overlap() {
+        let mut m = MainMemory::new(1 << 12);
+        m.write_u64(0, 0x0102_0304_0506_0708);
+        // Overlapping read shifted by one byte.
+        assert_eq!(m.read_u64(1) & 0xff, 0x07);
+    }
+
+    #[test]
+    fn cache_hit_after_fill() {
+        let mut c = tiny_cache();
+        assert!(!c.access(0x0), "cold miss");
+        assert!(c.access(0x0), "now resident");
+        assert!(c.access(0x3f), "same line");
+        assert!(!c.access(0x40), "next line misses");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn cache_lru_evicts_least_recent() {
+        let mut c = tiny_cache();
+        // Three lines mapping to the same set (set stride = 4 lines * 64B = 256B).
+        let (a, b, d) = (0x000, 0x100, 0x200);
+        c.access(a);
+        c.access(b);
+        c.access(a); // a more recent than b
+        assert!(!c.access(d), "fills set, evicting b");
+        assert!(c.probe(a), "a survives");
+        assert!(!c.probe(b), "b evicted");
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn probe_does_not_allocate() {
+        let c = tiny_cache();
+        assert!(!c.probe(0x0));
+    }
+
+    #[test]
+    fn hierarchy_latencies_stack() {
+        let cfg = SimConfig::default();
+        let mut h = Hierarchy::new(&cfg);
+        let cold = h.access(0x1000);
+        assert_eq!(cold, 3 + 12 + 120, "cold access reaches DRAM");
+        let l1_hit = h.access(0x1000);
+        assert_eq!(l1_hit, 3);
+        // Evict from L1 by filling its set, then the line should still hit L2.
+        // L1: 256 sets, 4 ways; same-set stride = 256 sets * 64 B = 16 KB.
+        for i in 1..=4u64 {
+            h.access(0x1000 + i * 16 * 1024);
+        }
+        let l2_hit = h.access(0x1000);
+        assert_eq!(l2_hit, 3 + 12, "evicted from L1 but resident in L2");
+    }
+}

@@ -1,0 +1,1446 @@
+//! The pipeline: an execution-driven, cycle-level out-of-order core.
+//!
+//! Each simulated cycle runs commit → writeback → issue → rename → fetch,
+//! then applies at most one pipeline flush (the oldest discovered this
+//! cycle). The frontend predicts and fetches one prediction block per
+//! cycle; instructions travel through a latency queue modelling the
+//! frontend depth before renaming. Wrong-path instructions execute with
+//! real values — the property squash reuse depends on.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use mssr_isa::{ArchReg, Inst, Opcode, Pc, Program};
+
+use crate::bpred::{BranchPredictor, PredMeta};
+use crate::config::SimConfig;
+use crate::engine::{
+    BlockRange, EngineCtx, NoReuse, PredBlock, RenamedInst, ReuseEngine, ReuseQuery, SquashEvent,
+    SquashedInst,
+};
+use crate::exec;
+use crate::iq::IssueQueue;
+use crate::lsq::{LqEntry, Lsq, SqEntry};
+use crate::mem::{Hierarchy, MainMemory};
+use crate::rename::{FreeList, Prf, Rat, RgidAlloc};
+use crate::rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
+use crate::stats::SimStats;
+use crate::types::{FlushKind, FuClass, PhysReg, Rgid, SeqNum};
+
+/// An instruction in flight between prediction and rename.
+#[derive(Clone, Debug)]
+struct FrontInst {
+    ready_cycle: u64,
+    pc: Pc,
+    inst: Inst,
+    pred_taken: bool,
+    pred_next: Pc,
+    meta: PredMeta,
+    ghr_before: u64,
+    ras_sp_before: u64,
+}
+
+/// A flush discovered during execution, applied at end of cycle.
+#[derive(Clone, Copy, Debug)]
+struct PendingFlush {
+    /// First (oldest) squashed sequence number.
+    first_squashed: SeqNum,
+    redirect: Pc,
+    kind: FlushKind,
+    /// For mispredictions: the branch. Otherwise the flushed instruction.
+    cause_seq: SeqNum,
+    cause_pc: Pc,
+}
+
+/// Builds an [`EngineCtx`] from disjoint `Simulator` fields so the engine
+/// (also a field) can be called simultaneously.
+macro_rules! ectx {
+    ($s:expr) => {
+        EngineCtx {
+            free_list: &mut $s.free_list,
+            cycle: $s.cycle,
+            rob_size: $s.cfg.rob_size,
+            rgid_reset_requested: &mut $s.rgid_reset_requested,
+        }
+    };
+}
+
+/// The simulator: one out-of-order core running one program.
+///
+/// # Example
+///
+/// ```
+/// use mssr_isa::{regs::*, Assembler};
+/// use mssr_sim::{SimConfig, Simulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Assembler::new();
+/// a.li(T0, 41);
+/// a.addi(T0, T0, 1);
+/// a.st(ZERO, T0, 0x100);
+/// a.halt();
+/// let mut sim = Simulator::new(SimConfig::default(), a.assemble()?);
+/// let stats = sim.run();
+/// assert_eq!(sim.read_mem_u64(0x100), 42);
+/// assert_eq!(stats.committed_instructions, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator {
+    cfg: SimConfig,
+    program: Program,
+    cycle: u64,
+    next_seq: u64,
+    squash_ctr: u64,
+    halted: bool,
+
+    bpred: BranchPredictor,
+    fetch_pc: Option<Pc>,
+    fetch_resume_at: u64,
+    frontend_q: VecDeque<FrontInst>,
+
+    rat: Rat,
+    free_list: FreeList,
+    prf: Prf,
+    rgids: RgidAlloc,
+    rgid_reset_requested: bool,
+
+    rob: Rob,
+    iq_int: IssueQueue,
+    iq_mem: IssueQueue,
+    lsq: Lsq,
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    pending_flushes: Vec<PendingFlush>,
+
+    memory: MainMemory,
+    hier: Hierarchy,
+
+    engine: Box<dyn ReuseEngine>,
+    stats: SimStats,
+    rgid_overflows_total: u64,
+    rgid_resets_total: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycle", &self.cycle)
+            .field("engine", &self.engine.name())
+            .field("halted", &self.halted)
+            .field("committed", &self.stats.committed_instructions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with the baseline [`NoReuse`] engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig, program: Program) -> Simulator {
+        Simulator::with_engine(cfg, program, Box::new(NoReuse))
+    }
+
+    /// Creates a simulator with a squash-reuse engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`].
+    pub fn with_engine(cfg: SimConfig, program: Program, engine: Box<dyn ReuseEngine>) -> Simulator {
+        cfg.validate().expect("invalid simulator configuration");
+        let fetch_pc = Some(program.base());
+        Simulator {
+            bpred: BranchPredictor::new(&cfg),
+            fetch_pc,
+            fetch_resume_at: 0,
+            frontend_q: VecDeque::new(),
+            rat: Rat::new(),
+            free_list: FreeList::new(cfg.phys_regs, mssr_isa::NUM_ARCH_REGS),
+            prf: Prf::new(cfg.phys_regs),
+            rgids: RgidAlloc::new(cfg.rgid_values()),
+            rgid_reset_requested: false,
+            rob: Rob::new(cfg.rob_size),
+            iq_int: IssueQueue::new(cfg.iq_int_size),
+            iq_mem: IssueQueue::new(cfg.iq_mem_size),
+            lsq: Lsq::new(cfg.lq_size, cfg.sq_size),
+            completions: BinaryHeap::new(),
+            pending_flushes: Vec::new(),
+            memory: MainMemory::new(cfg.mem_bytes),
+            hier: Hierarchy::new(&cfg),
+            engine,
+            stats: SimStats::default(),
+            rgid_overflows_total: 0,
+            rgid_resets_total: 0,
+            cycle: 0,
+            next_seq: 1,
+            squash_ctr: 0,
+            halted: false,
+            program,
+            cfg,
+        }
+    }
+
+    /// Writes a 64-bit word into simulated memory (workload setup).
+    pub fn write_mem_u64(&mut self, addr: u64, value: u64) {
+        self.memory.write_u64(addr, value);
+    }
+
+    /// Reads a 64-bit word from simulated memory (result inspection).
+    pub fn read_mem_u64(&self, addr: u64) -> u64 {
+        self.memory.read_u64(addr)
+    }
+
+    /// Injects an external snoop request (multicore load-to-load hazard
+    /// stimulus, §3.8.2).
+    ///
+    /// The reuse engine is notified (so squashed-load reuse candidates
+    /// are poisoned), and — as in the XiangShan-style LSQ the paper
+    /// assumes — any speculatively executed, uncommitted load to the
+    /// snooped address is scheduled for replay at the end of the next
+    /// cycle, since its value may no longer be coherent.
+    pub fn inject_snoop(&mut self, addr: u64) {
+        self.stats.snoops += 1;
+        self.engine.on_snoop(addr, &mut ectx!(self));
+        let victim = self
+            .lsq
+            .loads()
+            .filter(|l| l.issued && l.addr.is_some_and(|a| a >> 3 == addr >> 3))
+            .map(|l| l.seq)
+            .min();
+        if let Some(seq) = victim {
+            if let Some(e) = self.rob.get(seq) {
+                self.pending_flushes.push(PendingFlush {
+                    first_squashed: seq,
+                    redirect: e.pc,
+                    kind: FlushKind::MemoryOrder,
+                    cause_seq: seq,
+                    cause_pc: e.pc,
+                });
+            }
+        }
+    }
+
+    /// Whether the program has retired its `halt` (or hit a bound).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The active engine's name.
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Frontend snapshot for state dumps: fetch PC and in-flight count.
+    pub(crate) fn frontend_state(&self) -> (Option<Pc>, usize) {
+        (self.fetch_pc, self.frontend_q.len())
+    }
+
+    /// ROB snapshot for state dumps: occupancy, capacity, head summary.
+    pub(crate) fn rob_state(&self) -> (usize, usize, Option<String>) {
+        (
+            self.rob.len(),
+            self.rob.capacity(),
+            self.rob.head().map(|e| format!("{} {} ({})", e.seq, e.pc, e.inst)),
+        )
+    }
+
+    /// Allocatable physical registers.
+    pub(crate) fn free_regs(&self) -> usize {
+        self.free_list.available()
+    }
+
+    /// Current mapping of an architectural register.
+    pub(crate) fn rat_entry(&self, a: ArchReg) -> (PhysReg, Rgid) {
+        (self.rat.lookup(a), self.rat.rgid(a))
+    }
+
+    /// Runs until `halt` retires or a configured bound is reached,
+    /// returning the final statistics.
+    pub fn run(&mut self) -> SimStats {
+        while !self.halted && self.cycle < self.cfg.max_cycles {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Runs at most `n` cycles (stops early on halt).
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.halted || self.cycle >= self.cfg.max_cycles {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// A statistics snapshot (cheap; can be taken mid-run).
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats.clone();
+        s.cycles = self.cycle;
+        s.l1_hits = self.hier.l1.hits();
+        s.l1_misses = self.hier.l1.misses();
+        s.l2_hits = self.hier.l2.hits();
+        s.l2_misses = self.hier.l2.misses();
+        s.engine = self.engine.stats();
+        // RGID overflow/reset accounting is authoritative on the pipeline
+        // side (it owns the counters); engines need not track it.
+        s.engine.rgid_overflows = self.rgid_overflows_total;
+        s.engine.rgid_resets = self.rgid_resets_total;
+        s
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.do_commit();
+        if self.halted {
+            return;
+        }
+        self.do_writeback();
+        self.do_issue();
+        self.do_rename();
+        self.do_fetch();
+        self.handle_flushes();
+        self.apply_rgid_reset();
+        self.cycle += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn do_commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.head() else { break };
+            if !head.completed || head.verify_pending {
+                break;
+            }
+            let e = self.rob.pop_head().expect("head exists");
+            self.stats.committed_instructions += 1;
+            if e.inst.is_halt() {
+                self.halted = true;
+                return;
+            }
+            if e.inst.is_store() {
+                let (addr, data) = self.lsq.commit_store(e.seq);
+                self.hier.access(addr);
+                self.memory.write_u64(addr, data);
+                self.stats.committed_stores += 1;
+            }
+            if e.inst.is_load() {
+                self.lsq.commit_load(e.seq);
+                self.stats.committed_loads += 1;
+            }
+            if let Some(b) = e.branch {
+                self.stats.committed_branches += 1;
+                let o = b.resolved.expect("committed branch is resolved");
+                if e.inst.is_cond_branch() {
+                    self.stats.committed_cond_branches += 1;
+                    self.bpred.train_cond(e.pc, o.taken, b.meta);
+                }
+            }
+            if let Some(d) = e.dst {
+                self.release_preg(d.prev_preg);
+            }
+            self.engine.on_commit(1, &mut ectx!(self));
+            if self.stats.committed_instructions >= self.cfg.max_insts {
+                self.halted = true;
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback
+    // ------------------------------------------------------------------
+
+    fn do_writeback(&mut self) {
+        while let Some(&Reverse((c, s))) = self.completions.peek() {
+            if c > self.cycle {
+                break;
+            }
+            self.completions.pop();
+            let seq = SeqNum::new(s);
+            // Squashed instructions have left the ROB; drop the event.
+            let Some(e) = self.rob.get(seq) else { continue };
+
+            // Reused-load verification completion (paper §3.8.3): compare
+            // the re-executed value with the reused one.
+            if e.reused && e.verify_pending && e.inst.is_load() {
+                let fresh = e.pending_value.expect("verification executed");
+                let reused = self.prf.read(e.dst.expect("loads have destinations").new_preg);
+                if fresh == reused {
+                    self.rob.get_mut(seq).expect("entry exists").verify_pending = false;
+                } else {
+                    let pc = e.pc;
+                    self.pending_flushes.push(PendingFlush {
+                        first_squashed: seq,
+                        redirect: pc,
+                        kind: FlushKind::ReuseVerification,
+                        cause_seq: seq,
+                        cause_pc: pc,
+                    });
+                }
+                continue;
+            }
+
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            if e.completed {
+                continue;
+            }
+            e.completed = true;
+            let dst = e.dst;
+            let value = e.pending_value;
+            let branch = e.branch;
+            let pc = e.pc;
+            let op = e.inst.op();
+            if let Some(d) = dst {
+                self.prf.write(d.new_preg, value.unwrap_or(0));
+                self.iq_int.wake(d.new_preg);
+                self.iq_mem.wake(d.new_preg);
+            }
+            if let Some(b) = branch {
+                let o = b.resolved.expect("executed branch has an outcome");
+                if op == Opcode::Jalr {
+                    self.bpred.update_indirect(pc, o.next);
+                }
+                if o.next != b.pred_next {
+                    self.pending_flushes.push(PendingFlush {
+                        first_squashed: seq.next(),
+                        redirect: o.next,
+                        kind: FlushKind::BranchMispredict,
+                        cause_seq: seq,
+                        cause_pc: pc,
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn do_issue(&mut self) {
+        let alu = self.iq_int.select(FuClass::Alu, self.cfg.alu_units);
+        let bru = self.iq_int.select(FuClass::Bru, self.cfg.bru_units);
+        let mem = self.iq_mem.select(FuClass::Lsu, self.cfg.lsu_units);
+        for seq in alu {
+            self.exec_alu(seq);
+        }
+        for seq in bru {
+            self.exec_bru(seq);
+        }
+        for seq in mem {
+            self.exec_mem(seq);
+        }
+    }
+
+    fn src_vals(&self, e: &RobEntry) -> (u64, u64) {
+        let a = e.src_pregs[0].map_or(0, |p| self.prf.read(p));
+        let b = e.src_pregs[1].map_or(0, |p| self.prf.read(p));
+        (a, b)
+    }
+
+    fn exec_alu(&mut self, seq: SeqNum) {
+        let e = self.rob.get(seq).expect("issued instruction is in the ROB");
+        let (a, b) = self.src_vals(e);
+        let op = e.inst.op();
+        let v = exec::alu(op, a, b, e.inst.imm()).unwrap_or(0);
+        let lat = match op {
+            Opcode::Mul => self.cfg.mul_latency,
+            Opcode::Div | Opcode::Rem => self.cfg.div_latency,
+            _ => 1,
+        };
+        self.rob.get_mut(seq).expect("entry exists").pending_value = Some(v);
+        self.completions.push(Reverse((self.cycle + lat, seq.value())));
+    }
+
+    fn exec_bru(&mut self, seq: SeqNum) {
+        let e = self.rob.get(seq).expect("issued instruction is in the ROB");
+        let (a, b) = self.src_vals(e);
+        let op = e.inst.op();
+        let pc = e.pc;
+        let outcome = if op.is_cond_branch() {
+            let taken = exec::branch_taken(op, a, b);
+            BranchOutcome {
+                taken,
+                next: if taken { e.inst.target().expect("branch has target") } else { pc.next() },
+            }
+        } else if op == Opcode::Jal {
+            BranchOutcome { taken: true, next: e.inst.target().expect("jal has target") }
+        } else {
+            // Jalr: target from register.
+            BranchOutcome { taken: true, next: Pc::new(a.wrapping_add(e.inst.imm() as u64)) }
+        };
+        let link = pc.next().addr();
+        let e = self.rob.get_mut(seq).expect("entry exists");
+        if e.dst.is_some() {
+            e.pending_value = Some(link);
+        }
+        e.branch.as_mut().expect("control instruction has branch state").resolved = Some(outcome);
+        self.completions.push(Reverse((self.cycle + 1, seq.value())));
+    }
+
+    fn exec_mem(&mut self, seq: SeqNum) {
+        let e = self.rob.get(seq).expect("issued instruction is in the ROB");
+        let (base, data) = self.src_vals(e);
+        let inst = e.inst;
+        let addr = self.memory.wrap(exec::mem_addr(&inst, base));
+        if inst.is_load() {
+            let verify = e.reused && e.verify_pending;
+            let (value, lat) = match self.lsq.forward(seq, addr) {
+                Some(v) => {
+                    self.stats.store_forwards += 1;
+                    (v, self.cfg.forward_latency)
+                }
+                None => (self.memory.read_u64(addr), self.hier.access(addr)),
+            };
+            if !verify {
+                let lq = self.lsq.load_mut(seq).expect("dispatched load is in the LQ");
+                lq.addr = Some(addr);
+                lq.issued = true;
+                lq.value = Some(value);
+            } else if let Some(lq) = self.lsq.load_mut(seq) {
+                // Verification re-executions refresh the recorded address.
+                lq.addr = Some(addr);
+            }
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            e.pending_value = Some(value);
+            e.mem_addr = Some(addr);
+            self.completions.push(Reverse((self.cycle + lat, seq.value())));
+        } else {
+            // Store: address and data become known together.
+            let sq = self.lsq.store_mut(seq).expect("dispatched store is in the SQ");
+            sq.addr = Some(addr);
+            sq.data = Some(data);
+            self.rob.get_mut(seq).expect("entry exists").mem_addr = Some(addr);
+            // Store-to-load ordering check (§3.8.1).
+            if let Some(lseq) = self.lsq.store_check(seq, addr) {
+                let lpc = self.rob.get(lseq).expect("violating load is in the ROB").pc;
+                self.pending_flushes.push(PendingFlush {
+                    first_squashed: lseq,
+                    redirect: lpc,
+                    kind: FlushKind::MemoryOrder,
+                    cause_seq: lseq,
+                    cause_pc: lpc,
+                });
+            }
+            self.engine.on_store_executed(addr, &mut ectx!(self));
+            self.completions.push(Reverse((self.cycle + 1, seq.value())));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rename / dispatch
+    // ------------------------------------------------------------------
+
+    fn alloc_rgid(&mut self, a: ArchReg) -> Rgid {
+        let g = self.rgids.next(a);
+        if g.is_null() {
+            self.rgid_overflows_total += 1;
+            self.engine.on_rgid_overflow(&mut ectx!(self));
+        }
+        g
+    }
+
+    fn do_rename(&mut self) {
+        for _ in 0..self.cfg.rename_width {
+            let Some(front) = self.frontend_q.front() else { break };
+            if front.ready_cycle > self.cycle || !self.rob.has_space() {
+                break;
+            }
+            let inst = front.inst;
+            // Structural checks before consuming the instruction.
+            let fu = fu_class(inst.op());
+            let iq_ok = match fu {
+                Some(FuClass::Lsu) => self.iq_mem.has_space(),
+                Some(_) => self.iq_int.has_space(),
+                None => true,
+            };
+            let lsq_ok = (!inst.is_load() || self.lsq.lq_has_space())
+                && (!inst.is_store() || self.lsq.sq_has_space());
+            if !iq_ok || !lsq_ok {
+                break;
+            }
+            if inst.writes_reg() && self.free_list.available() == 0 {
+                self.engine.on_register_pressure(&mut ectx!(self));
+                if self.free_list.available() == 0 {
+                    break;
+                }
+            }
+
+            let fi = self.frontend_q.pop_front().expect("front exists");
+            let seq = SeqNum::new(self.next_seq);
+            self.next_seq += 1;
+            self.stats.renamed_instructions += 1;
+
+            // Source lookup; `x0` and absent operands carry no integrity tag.
+            let mut src_pregs = [None, None];
+            let mut src_rgids = [None, None];
+            for (i, s) in inst.sources().iter().enumerate() {
+                if let Some(a) = s {
+                    if !a.is_zero() {
+                        // Lazily revive mappings whose RGID was nulled by a
+                        // global reset: long-lived registers (loop-invariant
+                        // constants, stack pointers) would otherwise stay
+                        // unreusable forever.
+                        if self.rat.rgid(*a).is_null() {
+                            let g = self.alloc_rgid(*a);
+                            if !g.is_null() {
+                                self.rat.retag(*a, g);
+                            }
+                        }
+                        src_pregs[i] = Some(self.rat.lookup(*a));
+                        src_rgids[i] = Some(self.rat.rgid(*a));
+                    }
+                }
+            }
+
+            // Reuse test (paper §3.5): only value-producing, non-control,
+            // non-store instructions are candidates.
+            let eligible = inst.writes_reg() && !inst.is_control();
+            let grant = if eligible {
+                let q = ReuseQuery { seq, pc: fi.pc, inst: &inst, src_rgids, src_pregs };
+                self.engine.try_reuse(&q, &mut ectx!(self))
+            } else {
+                None
+            };
+
+            let mut dst_info = None;
+            let mut completed = false;
+            let mut reused = false;
+            let mut verify_pending = false;
+
+            if let Some(g) = grant {
+                if paranoid_enabled() && !inst.is_load() {
+                    // Debug oracle: a sound ALU grant implies the granted
+                    // register holds exactly what re-executing the
+                    // instruction on its current (RGID-matched) sources
+                    // would produce.
+                    let a = src_pregs[0].map_or(0, |p| self.prf.read(p));
+                    let b = src_pregs[1].map_or(0, |p| self.prf.read(p));
+                    if let Some(fresh) = exec::alu(inst.op(), a, b, inst.imm()) {
+                        let got = self.prf.read(g.preg);
+                        if fresh != got {
+                            eprintln!(
+                                "PARANOID-ALU cycle={} seq={} pc={} op={} granted={} fresh={} srcs={:?} gens={:?} dst={}",
+                                self.cycle,
+                                seq,
+                                fi.pc,
+                                inst.op(),
+                                got,
+                                fresh,
+                                src_pregs,
+                                src_rgids,
+                                g.preg
+                            );
+                        }
+                    }
+                }
+                let arch = inst.dst().expect("granted instruction writes a register");
+                let rgid = match g.rgid {
+                    Some(r) => r,
+                    None => self.alloc_rgid(arch),
+                };
+                let (prev_preg, prev_rgid) = self.rat.install(arch, g.preg, rgid);
+                self.prf.set_ready(g.preg);
+                dst_info =
+                    Some(DstInfo { arch, new_preg: g.preg, prev_preg, new_rgid: rgid, prev_rgid });
+                completed = true;
+                reused = true;
+                if inst.is_load() {
+                    if paranoid_enabled() {
+                        // Debug oracle: the reused value should match what
+                        // the load would read right now (unless an older
+                        // store with an unknown address is still in
+                        // flight, which store_check later covers).
+                        if let Some(addr) = g.load_addr {
+                            let fresh = self
+                                .lsq
+                                .forward(seq, addr)
+                                .unwrap_or_else(|| self.memory.read_u64(addr));
+                            let got = self.prf.read(g.preg);
+                            if fresh != got {
+                                eprintln!(
+                                    "PARANOID cycle={} seq={} pc={} addr={:#x} reused={} fresh={}",
+                                    self.cycle, seq, fi.pc, addr, got, fresh
+                                );
+                            }
+                        }
+                    }
+                    self.lsq.push_load(LqEntry {
+                        seq,
+                        addr: g.load_addr,
+                        issued: true,
+                        value: Some(self.prf.read(g.preg)),
+                        reused: true,
+                    });
+                    if g.needs_load_verify {
+                        verify_pending = true;
+                        // Re-execute for verification; sources are ready
+                        // (the squashed instance executed with the same
+                        // mappings), so it waits only for LSU bandwidth.
+                        self.iq_mem.insert(seq, FuClass::Lsu, Vec::new());
+                    }
+                }
+            } else {
+                if let Some(arch) = inst.dst() {
+                    let preg = self.free_list.alloc().expect("availability checked above");
+                    let rgid = self.alloc_rgid(arch);
+                    let (prev_preg, prev_rgid) = self.rat.install(arch, preg, rgid);
+                    self.prf.clear_ready(preg);
+                    dst_info =
+                        Some(DstInfo { arch, new_preg: preg, prev_preg, new_rgid: rgid, prev_rgid });
+                }
+                match fu {
+                    None => completed = true, // nop / halt: nothing to execute
+                    Some(c) => {
+                        let waiting: Vec<PhysReg> = src_pregs
+                            .iter()
+                            .flatten()
+                            .copied()
+                            .filter(|&p| !self.prf.is_ready(p))
+                            .collect();
+                        if inst.is_load() {
+                            self.lsq.push_load(LqEntry {
+                                seq,
+                                addr: None,
+                                issued: false,
+                                value: None,
+                                reused: false,
+                            });
+                        }
+                        if inst.is_store() {
+                            self.lsq.push_store(SqEntry { seq, addr: None, data: None });
+                        }
+                        match c {
+                            FuClass::Lsu => self.iq_mem.insert(seq, c, waiting),
+                            _ => self.iq_int.insert(seq, c, waiting),
+                        }
+                    }
+                }
+            }
+
+            let branch = inst.is_control().then_some(BranchState {
+                pred_next: fi.pred_next,
+                pred_taken: fi.pred_taken,
+                meta: fi.meta,
+                resolved: None,
+            });
+
+            self.rob.push(RobEntry {
+                seq,
+                pc: fi.pc,
+                inst,
+                dst: dst_info,
+                src_pregs,
+                src_rgids,
+                completed,
+                reused,
+                verify_pending,
+                pending_value: None,
+                branch,
+                mem_addr: None,
+                ghr_before: fi.ghr_before,
+                ras_sp_before: fi.ras_sp_before,
+            });
+
+            let r = RenamedInst {
+                seq,
+                pc: fi.pc,
+                op: inst.op(),
+                dst: dst_info.map(|d| (d.arch, d.new_preg, d.new_rgid)),
+                reused,
+            };
+            self.engine.on_renamed(&r, &mut ectx!(self));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch / predict
+    // ------------------------------------------------------------------
+
+    fn do_fetch(&mut self) {
+        // One or more prediction blocks per cycle (§3.9.1's
+        // multiple-block-fetching extension duplicates the reconvergence
+        // detection per block — `on_block` fires once per block).
+        for _ in 0..self.cfg.fetch_blocks_per_cycle {
+            self.fetch_one_block();
+        }
+    }
+
+    fn fetch_one_block(&mut self) {
+        if self.cycle < self.fetch_resume_at {
+            return;
+        }
+        let Some(mut pc) = self.fetch_pc else { return };
+        // Backpressure: bound the in-flight frontend window.
+        if self.frontend_q.len() >= self.cfg.ftq_size * self.cfg.fetch_block_insts {
+            return;
+        }
+        let start = pc;
+        let mut last_pc = pc;
+        let ready_cycle = self.cycle + self.cfg.frontend_stages - 1;
+        let mut count = 0usize;
+        let mut next_fetch_pc;
+        loop {
+            let Some(&inst) = self.program.fetch(pc) else {
+                // Wandered outside the program (wrong path): idle until a
+                // redirect arrives.
+                next_fetch_pc = None;
+                break;
+            };
+            let ghr_before = self.bpred.ghr();
+            let ras_sp_before = self.bpred.ras_sp();
+            let (pred_taken, pred_next, meta) = match inst.op() {
+                op if op.is_cond_branch() => {
+                    let (taken, meta) = self.bpred.predict_cond(pc);
+                    let next =
+                        if taken { inst.target().expect("branch has target") } else { pc.next() };
+                    (taken, next, meta)
+                }
+                Opcode::Jal => (true, inst.target().expect("jal has target"), PredMeta::default()),
+                Opcode::Jalr => {
+                    let t = if inst.is_return() {
+                        self.bpred
+                            .ras_pop()
+                            .or_else(|| self.bpred.predict_indirect(pc))
+                            .unwrap_or_else(|| pc.next())
+                    } else {
+                        self.bpred.predict_indirect(pc).unwrap_or_else(|| pc.next())
+                    };
+                    (true, t, PredMeta::default())
+                }
+                _ => (false, pc.next(), PredMeta::default()),
+            };
+            if inst.is_call() {
+                self.bpred.ras_push(pc.next());
+            }
+            self.frontend_q.push_back(FrontInst {
+                ready_cycle,
+                pc,
+                inst,
+                pred_taken,
+                pred_next,
+                meta,
+                ghr_before,
+                ras_sp_before,
+            });
+            count += 1;
+            last_pc = pc;
+            if inst.is_halt() {
+                // Stop predicting past the end of the program.
+                next_fetch_pc = None;
+                break;
+            }
+            pc = pred_next;
+            next_fetch_pc = Some(pc);
+            if pred_taken || count >= self.cfg.fetch_block_insts {
+                break;
+            }
+        }
+        self.fetch_pc = next_fetch_pc;
+        if count > 0 {
+            let blk =
+                PredBlock { range: BlockRange { start, end: last_pc }, cycle: self.cycle };
+            self.engine.on_block(&blk, &mut ectx!(self));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flush handling
+    // ------------------------------------------------------------------
+
+    fn handle_flushes(&mut self) {
+        if self.pending_flushes.is_empty() {
+            return;
+        }
+        // A flush can go stale if its anchor instruction left the ROB
+        // before this point — e.g. an externally injected snoop replay
+        // whose load committed in the same window. Stale flushes are
+        // dropped; among the live ones the oldest wins.
+        let f = self
+            .pending_flushes
+            .iter()
+            .filter(|f| match f.kind {
+                // The mispredicted branch itself survives its squash and
+                // is always still in flight within the discovery cycle.
+                FlushKind::BranchMispredict => self.rob.get(f.cause_seq).is_some(),
+                // Replay flushes anchor at the squashed instruction.
+                _ => self.rob.get(f.first_squashed).is_some(),
+            })
+            .min_by_key(|f| f.first_squashed)
+            .copied();
+        // Any younger pending flush lies inside the squashed region of the
+        // oldest one — its cause was wrong-path work.
+        self.pending_flushes.clear();
+        if let Some(f) = f {
+            self.do_squash(f);
+        }
+    }
+
+    fn do_squash(&mut self, f: PendingFlush) {
+        match f.kind {
+            FlushKind::BranchMispredict => {
+                self.stats.flushes_branch += 1;
+                self.stats.mispredictions += 1;
+            }
+            FlushKind::MemoryOrder => self.stats.flushes_mem_order += 1,
+            FlushKind::ReuseVerification => self.stats.flushes_reuse_verify += 1,
+        }
+
+        // Gather the PC ranges of instructions still in the frontend;
+        // they extend the squashed stream beyond the ROB.
+        let frontend_blocks = group_blocks(
+            self.frontend_q.iter().map(|fi| (fi.pc, fi.pred_taken)),
+            self.cfg.fetch_block_insts,
+        );
+
+        // Restore the speculative global history and return-address stack.
+        match f.kind {
+            FlushKind::BranchMispredict => {
+                let br = self.rob.get(f.cause_seq).expect("mispredicted branch is live");
+                let b = br.branch.expect("branch state");
+                let o = b.resolved.expect("resolved");
+                let (is_cond, meta, ghr_before) = (br.inst.is_cond_branch(), b.meta, br.ghr_before);
+                let (ras_sp, is_call, is_ret, ret_pc) =
+                    (br.ras_sp_before, br.inst.is_call(), br.inst.is_return(), br.pc.next());
+                if is_cond {
+                    self.bpred.recover_cond(meta, o.taken);
+                } else {
+                    self.bpred.restore_ghr(ghr_before);
+                }
+                // The mispredicted instruction itself survives; re-apply
+                // its own RAS effect on top of the restored counter.
+                self.bpred.restore_ras_sp(ras_sp);
+                if is_call {
+                    self.bpred.ras_push(ret_pc);
+                } else if is_ret {
+                    let _ = self.bpred.ras_pop();
+                }
+            }
+            _ => {
+                let e = self.rob.get(f.first_squashed).expect("flushed instruction is live");
+                self.bpred.restore_ghr(e.ghr_before);
+                self.bpred.restore_ras_sp(e.ras_sp_before);
+            }
+        }
+        self.frontend_q.clear();
+
+        // Unwind the ROB tail, restoring the RAT youngest-first.
+        let squashed = self.rob.squash_from(f.first_squashed);
+        for e in &squashed {
+            if let Some(d) = e.dst {
+                self.rat.restore(d.arch, d.prev_preg, d.prev_rgid);
+            }
+        }
+        self.iq_int.squash_from(f.first_squashed);
+        self.iq_mem.squash_from(f.first_squashed);
+        self.lsq.squash_from(f.first_squashed);
+        self.stats.squashed_instructions += squashed.len() as u64;
+
+        // Instructions in flight at the squash (issued, writeback pending)
+        // have already computed their results; in hardware the writeback
+        // drains into the physical register file even though the
+        // instruction is squashed. Let those values land so reuse engines
+        // can recycle them (their completion events are dropped later).
+        //
+        // Exception: a reused load's in-flight *verification* re-execution
+        // must never drain. Its destination register already holds the
+        // reused value under a forwarded RGID generation; overwriting it
+        // with the freshly read value would change a register's contents
+        // without a rename, breaking the generation ⇒ value invariant
+        // that every downstream reuse test depends on.
+        if self.cfg.drain_inflight_on_squash {
+            for e in &squashed {
+                #[allow(clippy::nonminimal_bool)] // spells out the two exclusions separately
+                if !e.completed && !(e.reused && e.verify_pending) {
+                    if let (Some(d), Some(v)) = (e.dst, e.pending_value) {
+                        self.prf.write(d.new_preg, v);
+                    }
+                }
+            }
+        }
+
+        // Hand the squashed stream to the engine (oldest first) before
+        // releasing any destination registers, so it can retain them.
+        if f.kind == FlushKind::BranchMispredict {
+            self.squash_ctr += 1;
+            let insts: Vec<SquashedInst> = squashed
+                .iter()
+                .rev()
+                .map(|e| SquashedInst {
+                    seq: e.seq,
+                    pc: e.pc,
+                    op: e.inst.op(),
+                    dst: e.dst.map(|d| (d.arch, d.new_preg, d.new_rgid)),
+                    src_rgids: e.src_rgids,
+                    src_pregs: e.src_pregs,
+                    // Completed, or in flight with the result draining into
+                    // the PRF — but never an unverified reused load.
+                    executed: (e.completed
+                        || (self.cfg.drain_inflight_on_squash && e.pending_value.is_some()))
+                        && !(e.reused && e.verify_pending),
+                    is_load: e.inst.is_load(),
+                    is_store: e.inst.is_store(),
+                    load_addr: if e.inst.is_load() { e.mem_addr } else { None },
+                })
+                .collect();
+            let ev = SquashEvent {
+                squash_id: self.squash_ctr,
+                cause_seq: f.cause_seq,
+                cause_pc: f.cause_pc,
+                redirect: f.redirect,
+                insts,
+                frontend_blocks,
+            };
+            self.engine.on_mispredict_squash(&ev, &mut ectx!(self));
+        } else {
+            self.engine.on_flush(f.kind, &mut ectx!(self));
+        }
+
+        // Release the live holds of squashed destination mappings; the
+        // engine's retains keep reusable values alive.
+        for e in &squashed {
+            if let Some(d) = e.dst {
+                self.release_preg(d.new_preg);
+            }
+        }
+
+        // Redirect the frontend.
+        self.fetch_pc = Some(f.redirect);
+        self.fetch_resume_at = self.cycle + 1;
+        #[cfg(debug_assertions)]
+        self.check_invariants();
+    }
+
+    /// Internal consistency checks, active in debug builds after every
+    /// squash (the operation that rearranges register ownership):
+    ///
+    /// * every RAT mapping's physical register has at least one hold;
+    /// * every in-flight ROB destination has at least one hold;
+    /// * the free list never contains a register the RAT still maps.
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        for a in ArchReg::all() {
+            let p = self.rat.lookup(a);
+            debug_assert!(
+                self.free_list.holds(p) > 0,
+                "RAT maps {a} to {p} which has no holds (cycle {})",
+                self.cycle
+            );
+        }
+        for e in self.rob.iter() {
+            if let Some(d) = e.dst {
+                debug_assert!(
+                    self.free_list.holds(d.new_preg) > 0,
+                    "ROB {} holds destination {} with no holds (cycle {})",
+                    e.seq,
+                    d.new_preg,
+                    self.cycle
+                );
+                debug_assert!(
+                    self.free_list.holds(d.prev_preg) > 0,
+                    "ROB {} has rollback target {} with no holds (cycle {})",
+                    e.seq,
+                    d.prev_preg,
+                    self.cycle
+                );
+            }
+        }
+    }
+
+    fn release_preg(&mut self, p: PhysReg) {
+        self.free_list.release(p);
+        if self.free_list.holds(p) == 0 {
+            self.engine.on_preg_freed(p, &mut ectx!(self));
+        }
+    }
+
+    fn apply_rgid_reset(&mut self) {
+        if !self.rgid_reset_requested {
+            return;
+        }
+        self.rgid_reset_requested = false;
+        self.rgid_resets_total += 1;
+        self.rgids.reset();
+        // Null every live RGID so pre-reset generations can never alias
+        // post-reset ones (RAT, plus ROB fields used for rollback and
+        // Squash Log population).
+        self.rat.null_all_rgids();
+        for e in self.rob.iter_mut() {
+            for g in e.src_rgids.iter_mut().flatten() {
+                *g = Rgid::NULL;
+            }
+            if let Some(d) = &mut e.dst {
+                d.new_rgid = Rgid::NULL;
+                d.prev_rgid = Rgid::NULL;
+            }
+        }
+        // The engine must drop every captured generation from the old
+        // window — including streams captured *after* it requested the
+        // reset, earlier in this same cycle (e.g. a squash between the
+        // overflow and the end of the cycle).
+        self.engine.on_rgid_reset(&mut ectx!(self));
+    }
+}
+
+/// Whether the `MSSR_PARANOID` reuse-value oracle is enabled (checked
+/// once): at every load-reuse grant, the granted value is compared with
+/// what the load would read right now and divergences are printed. Used
+/// to hunt engine soundness bugs; false positives are possible when an
+/// older store with an unknown address is still in flight (the case
+/// `store_check` covers later).
+fn paranoid_enabled() -> bool {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("MSSR_PARANOID").is_some())
+}
+
+fn fu_class(op: Opcode) -> Option<FuClass> {
+    match op {
+        Opcode::Nop | Opcode::Halt => None,
+        Opcode::Ld | Opcode::St => Some(FuClass::Lsu),
+        op if op.is_control() => Some(FuClass::Bru),
+        _ => Some(FuClass::Alu),
+    }
+}
+
+/// Groups a PC stream into contiguous block ranges, splitting at
+/// discontinuities, predicted-taken control flow, and the fetch-block
+/// size limit.
+fn group_blocks(
+    pcs: impl Iterator<Item = (Pc, bool)>,
+    max_block: usize,
+) -> Vec<BlockRange> {
+    let mut out: Vec<BlockRange> = Vec::new();
+    let mut cur: Option<(BlockRange, usize, bool)> = None;
+    for (pc, taken) in pcs {
+        match &mut cur {
+            Some((range, n, last_taken))
+                if !*last_taken && pc == range.end.next() && *n < max_block =>
+            {
+                range.end = pc;
+                *n += 1;
+                *last_taken = taken;
+            }
+            _ => {
+                if let Some((r, _, _)) = cur.take() {
+                    out.push(r);
+                }
+                cur = Some((BlockRange { start: pc, end: pc }, 1, taken));
+            }
+        }
+    }
+    if let Some((r, _, _)) = cur {
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssr_isa::{regs::*, Assembler};
+
+    fn run_program(build: impl FnOnce(&mut Assembler)) -> (Simulator, SimStats) {
+        let mut a = Assembler::new();
+        build(&mut a);
+        let program = a.assemble().expect("assembles");
+        let cfg = SimConfig::default().with_max_cycles(2_000_000);
+        let mut sim = Simulator::new(cfg, program);
+        let stats = sim.run();
+        (sim, stats)
+    }
+
+    #[test]
+    fn straightline_arithmetic_commits() {
+        let (sim, stats) = run_program(|a| {
+            a.li(T0, 6);
+            a.li(T1, 7);
+            a.mul(T2, T0, T1);
+            a.st(ZERO, T2, 0x200);
+            a.halt();
+        });
+        assert!(sim.is_halted());
+        assert_eq!(stats.committed_instructions, 5);
+        assert_eq!(sim.read_mem_u64(0x200), 42);
+        assert_eq!(stats.mispredictions, 0);
+    }
+
+    #[test]
+    fn loop_counts_correctly() {
+        let (sim, stats) = run_program(|a| {
+            a.li(T0, 0);
+            a.li(T1, 100);
+            a.label("loop");
+            a.addi(T0, T0, 1);
+            a.blt(T0, T1, "loop");
+            a.st(ZERO, T0, 0x100);
+            a.halt();
+        });
+        assert_eq!(sim.read_mem_u64(0x100), 100);
+        // 2 setup + 100*2 loop + store + halt
+        assert_eq!(stats.committed_instructions, 2 + 200 + 2);
+        assert!(stats.ipc() > 1.0, "a tight predictable loop should exceed IPC 1, got {}", stats.ipc());
+    }
+
+    #[test]
+    fn load_store_through_memory() {
+        let (sim, _) = run_program(|a| {
+            a.li(T0, 0x300);
+            a.li(T1, 1234);
+            a.st(T0, T1, 0);
+            a.ld(T2, T0, 0); // must forward or read the committed store
+            a.addi(T2, T2, 1);
+            a.st(T0, T2, 8);
+            a.halt();
+        });
+        assert_eq!(sim.read_mem_u64(0x300), 1234);
+        assert_eq!(sim.read_mem_u64(0x308), 1235);
+    }
+
+    #[test]
+    fn store_to_load_forwarding_counts() {
+        let (_, stats) = run_program(|a| {
+            a.li(T0, 0x400);
+            a.li(T1, 5);
+            a.st(T0, T1, 0);
+            a.ld(T2, T0, 0);
+            a.halt();
+        });
+        assert!(stats.store_forwards >= 1, "load should forward from in-flight store");
+    }
+
+    #[test]
+    fn data_dependent_branch_mispredicts_and_recovers() {
+        // Branch direction depends on a loaded pseudo-random value; the
+        // final accumulated sum must match the architectural result.
+        let (sim, stats) = run_program(|a| {
+            a.li(S0, 0); // i
+            a.li(S1, 200); // bound
+            a.li(S2, 0); // acc
+            a.li(S3, 0x123456789); // lcg state
+            a.label("loop");
+            // state = state * 6364136223846793005 + 1442695040888963407
+            a.li(T0, 6364136223846793005);
+            a.mul(S3, S3, T0);
+            a.li(T0, 1442695040888963407);
+            a.add(S3, S3, T0);
+            a.srli(T1, S3, 33);
+            a.andi(T1, T1, 1);
+            a.beq(T1, ZERO, "skip");
+            a.addi(S2, S2, 3);
+            a.j("join");
+            a.label("skip");
+            a.addi(S2, S2, 5);
+            a.label("join");
+            a.addi(S0, S0, 1);
+            a.blt(S0, S1, "loop");
+            a.st(ZERO, S2, 0x500);
+            a.halt();
+        });
+        // Reference model.
+        let mut state = 0x123456789u64;
+        let mut acc = 0u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bit = (state >> 33) & 1;
+            acc += if bit != 0 { 3 } else { 5 };
+        }
+        assert_eq!(sim.read_mem_u64(0x500), acc, "wrong-path execution must not corrupt state");
+        assert!(stats.mispredictions > 20, "random branches should mispredict, got {}", stats.mispredictions);
+    }
+
+    #[test]
+    fn memory_order_violation_detected_and_replayed() {
+        // A store whose address arrives late (behind a divide) followed by
+        // a load to the same address that issues first.
+        let (sim, stats) = run_program(|a| {
+            a.li(T0, 1024);
+            a.li(T1, 4);
+            a.li(S0, 0x600);
+            a.li(S1, 77);
+            a.st(S0, S1, 0); // establish old value 77
+            a.div(T2, T0, T1); // slow: 1024/4 = 256
+            a.add(T3, T2, ZERO);
+            a.st(T3, S1, 0x600 - 256); // addr = 0x600, late
+            a.li(S1, 99);
+            a.st(S0, S1, 0); // younger store overwrites with 99
+            a.ld(T4, S0, 0); // younger load, issues early, may read stale
+            a.st(ZERO, T4, 0x608);
+            a.halt();
+        });
+        // Architecturally the load must see 99.
+        assert_eq!(sim.read_mem_u64(0x608), 99);
+        // At least one ordering violation should have been detected on the
+        // way (the load issues before the slow store chain resolves).
+        assert!(
+            stats.flushes_mem_order >= 1,
+            "expected a store-to-load replay, got {}",
+            stats.flushes_mem_order
+        );
+    }
+
+    #[test]
+    fn call_and_return_via_btb() {
+        let (sim, _) = run_program(|a| {
+            a.li(S0, 0);
+            a.li(S1, 50);
+            a.label("loop");
+            a.call("f");
+            a.addi(S0, S0, 1);
+            a.blt(S0, S1, "loop");
+            a.st(ZERO, S2, 0x700);
+            a.halt();
+            a.label("f");
+            a.addi(S2, S2, 2);
+            a.ret();
+        });
+        assert_eq!(sim.read_mem_u64(0x700), 100);
+    }
+
+    #[test]
+    fn snoop_replays_speculative_loads() {
+        // A load executes speculatively; a snoop to its address arrives
+        // before it commits; it must be replayed (flush counted), and the
+        // program still produces the right value.
+        let mut a = Assembler::new();
+        a.li(T0, 0x900);
+        a.li(T1, 1000);
+        a.li(T2, 4);
+        a.div(T3, T1, T2); // slow op keeps commit away
+        a.ld(T4, T0, 0); // speculative load, executes early
+        a.add(T5, T4, T3);
+        a.st(ZERO, T5, 0x100);
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut sim = Simulator::new(SimConfig::default().with_max_cycles(100_000), program);
+        sim.write_mem_u64(0x900, 7);
+        // Step until the load has issued but the divide holds up commit,
+        // then snoop its address.
+        sim.run_cycles(12);
+        sim.inject_snoop(0x900);
+        let stats = sim.run();
+        assert_eq!(sim.read_mem_u64(0x100), 257);
+        assert_eq!(stats.snoops, 1);
+        assert!(
+            stats.flushes_mem_order >= 1,
+            "the snooped speculative load must replay, got {} flushes",
+            stats.flushes_mem_order
+        );
+    }
+
+    #[test]
+    fn snoop_to_unrelated_address_is_harmless() {
+        let mut a = Assembler::new();
+        a.li(T0, 0x900);
+        a.ld(T4, T0, 0);
+        a.st(ZERO, T4, 0x100);
+        a.halt();
+        let mut sim =
+            Simulator::new(SimConfig::default().with_max_cycles(100_000), a.assemble().unwrap());
+        sim.write_mem_u64(0x900, 5);
+        sim.run_cycles(8);
+        sim.inject_snoop(0x5000);
+        let stats = sim.run();
+        assert_eq!(sim.read_mem_u64(0x100), 5);
+        assert_eq!(stats.flushes_mem_order, 0);
+    }
+
+    #[test]
+    fn max_cycles_bound_stops_infinite_loop() {
+        let mut a = Assembler::new();
+        a.label("spin");
+        a.j("spin");
+        let program = a.assemble().unwrap();
+        let mut sim = Simulator::new(SimConfig::default().with_max_cycles(1000), program);
+        let stats = sim.run();
+        assert_eq!(stats.cycles, 1000);
+        assert!(!sim.is_halted());
+    }
+
+    #[test]
+    fn max_insts_bound() {
+        let mut a = Assembler::new();
+        a.li(T1, 1_000_000);
+        a.label("loop");
+        a.addi(T0, T0, 1);
+        a.blt(T0, T1, "loop");
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut sim = Simulator::new(SimConfig::default().with_max_insts(5000), program);
+        let stats = sim.run();
+        assert!(sim.is_halted());
+        assert!(stats.committed_instructions >= 5000);
+        assert!(stats.committed_instructions < 5000 + 16, "stops promptly at the bound");
+    }
+
+    #[test]
+    fn group_blocks_splits_on_discontinuity_and_size() {
+        let pcs: Vec<(Pc, bool)> = (0..10).map(|i| (Pc::new(0x1000 + i * 4), false)).collect();
+        let blocks = group_blocks(pcs.into_iter(), 8);
+        assert_eq!(blocks.len(), 2, "8-instruction limit splits the run");
+        assert_eq!(blocks[0], BlockRange { start: Pc::new(0x1000), end: Pc::new(0x101c) });
+        assert_eq!(blocks[1], BlockRange { start: Pc::new(0x1020), end: Pc::new(0x1024) });
+
+        let jumpy = vec![
+            (Pc::new(0x1000), false),
+            (Pc::new(0x1004), true), // taken branch ends the block
+            (Pc::new(0x2000), false),
+        ];
+        let blocks = group_blocks(jumpy.into_iter(), 8);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0], BlockRange { start: Pc::new(0x1000), end: Pc::new(0x1004) });
+        assert_eq!(blocks[1], BlockRange { start: Pc::new(0x2000), end: Pc::new(0x2000) });
+    }
+
+    #[test]
+    fn nested_hard_branches_still_architecturally_correct() {
+        // The Listing-1 shape: two nested data-dependent branches.
+        let (sim, stats) = run_program(|a| {
+            a.li(S0, 0); // i
+            a.li(S1, 300);
+            a.li(S2, 0); // acc
+            a.li(S3, 0xdeadbeef);
+            a.label("loop");
+            a.li(T0, 0x9e3779b97f4a7c15u64 as i64);
+            a.mul(S3, S3, T0);
+            a.srli(T1, S3, 31);
+            a.andi(T2, T1, 1);
+            a.andi(T3, T1, 2);
+            a.beq(T2, ZERO, "merge"); // Br1
+            a.beq(T3, ZERO, "inner_done"); // Br2
+            a.addi(S2, S2, 7);
+            a.label("inner_done");
+            a.addi(S2, S2, 11);
+            a.label("merge");
+            a.addi(S2, S2, 1);
+            a.addi(S0, S0, 1);
+            a.blt(S0, S1, "loop");
+            a.st(ZERO, S2, 0x800);
+            a.halt();
+        });
+        let mut state = 0xdeadbeefu64;
+        let mut acc = 0u64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(0x9e3779b97f4a7c15);
+            let t1 = state >> 31;
+            if t1 & 1 != 0 {
+                if t1 & 2 != 0 {
+                    acc += 7;
+                }
+                acc += 11;
+            }
+            acc += 1;
+        }
+        assert_eq!(sim.read_mem_u64(0x800), acc);
+        assert!(stats.mispredictions > 50);
+    }
+}

@@ -1,0 +1,273 @@
+//! Simulation statistics.
+
+/// Counters maintained by a reuse engine.
+///
+/// The same struct serves all engines; counters an engine does not use
+/// stay zero, and engine-specific series (e.g. Register Integration's
+/// per-set replacement counts) go into [`EngineStats::extra`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Reuse tests performed at rename.
+    pub reuse_tests: u64,
+    /// Successful grants (instructions whose execution was skipped).
+    pub reuse_grants: u64,
+    /// Of the grants, how many were loads.
+    pub reused_loads: u64,
+    /// Tests failed on an RGID (or physical-name) mismatch.
+    pub reuse_fail_stale: u64,
+    /// Tests failed because the squashed instruction never executed.
+    pub reuse_fail_not_executed: u64,
+    /// Load reuses rejected by the memory-hazard filter.
+    pub reuse_fail_mem: u64,
+    /// Reconvergence points detected.
+    pub reconvergences: u64,
+    /// …onto the stream of the branch that redirected the current fetch.
+    pub recon_simple: u64,
+    /// …onto the stream of an **elder** branch (software-induced
+    /// multi-stream reconvergence).
+    pub recon_software: u64,
+    /// …onto the stream of a **younger** branch (hardware-induced, from
+    /// out-of-order branch resolution).
+    pub recon_hardware: u64,
+    /// Histogram of reconvergence stream distance; index `i` counts
+    /// distance `i + 1`, with the last bucket absorbing the tail.
+    pub stream_distance: [u64; 8],
+    /// Reuse sequences terminated because the fetch stream diverged from
+    /// the squashed stream.
+    pub divergences: u64,
+    /// Streams invalidated by the reconvergence timeout.
+    pub timeouts: u64,
+    /// RGID allocation overflows observed.
+    pub rgid_overflows: u64,
+    /// Global RGID resets performed.
+    pub rgid_resets: u64,
+    /// Squashed streams captured into Wrong-Path Buffers.
+    pub streams_captured: u64,
+    /// Squash Log entries written.
+    pub entries_logged: u64,
+    /// Streams dropped to relieve physical-register pressure.
+    pub pressure_reclaims: u64,
+    /// Reuse-table replacements (Register Integration).
+    pub table_replacements: u64,
+    /// Engine-specific named counters.
+    pub extra: Vec<(String, u64)>,
+}
+
+impl EngineStats {
+    /// Records a reconvergence stream distance into the histogram.
+    pub fn record_distance(&mut self, distance: u64) {
+        let idx = (distance.max(1) - 1).min(self.stream_distance.len() as u64 - 1) as usize;
+        self.stream_distance[idx] += 1;
+    }
+}
+
+/// End-of-run statistics for one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub committed_instructions: u64,
+    /// Control instructions retired.
+    pub committed_branches: u64,
+    /// Conditional branches retired.
+    pub committed_cond_branches: u64,
+    /// Mispredictions (branch-direction or target) that caused a flush.
+    pub mispredictions: u64,
+    /// Instructions entered into the ROB (including squashed ones).
+    pub renamed_instructions: u64,
+    /// Instructions squashed from the ROB.
+    pub squashed_instructions: u64,
+    /// Flushes caused by branch mispredictions.
+    pub flushes_branch: u64,
+    /// Flushes caused by store-to-load ordering violations.
+    pub flushes_mem_order: u64,
+    /// Flushes caused by reused-load verification mismatches.
+    pub flushes_reuse_verify: u64,
+    /// Loads retired.
+    pub committed_loads: u64,
+    /// Stores retired.
+    pub committed_stores: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub store_forwards: u64,
+    /// L1 data cache hits / misses (demand accesses).
+    pub l1_hits: u64,
+    /// L1 data cache misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Snoop requests injected.
+    pub snoops: u64,
+    /// Engine-side counters.
+    pub engine: EngineStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of retired conditional branches that were mispredicted.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.committed_cond_branches == 0 {
+            0.0
+        } else {
+            self.flushes_branch as f64 / self.committed_cond_branches as f64
+        }
+    }
+
+    /// Mispredictions per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.committed_instructions == 0 {
+            0.0
+        } else {
+            1000.0 * self.flushes_branch as f64 / self.committed_instructions as f64
+        }
+    }
+
+    /// L1 data-cache hit rate over demand accesses.
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// A multi-line human-readable summary of the run.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mssr_sim::SimStats;
+    /// let s = SimStats { cycles: 100, committed_instructions: 250, ..SimStats::default() };
+    /// let r = s.report();
+    /// assert!(r.contains("IPC"));
+    /// assert!(r.contains("2.50"));
+    /// ```
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            out.push_str(&format!("{k:<28}{v}\n"));
+        };
+        line("cycles", format!("{}", self.cycles));
+        line("instructions committed", format!("{}", self.committed_instructions));
+        line("IPC", format!("{:.2}", self.ipc()));
+        line(
+            "branches",
+            format!(
+                "{} committed, {} mispredicted ({:.1} MPKI)",
+                self.committed_branches,
+                self.mispredictions,
+                self.mpki()
+            ),
+        );
+        line(
+            "flushes",
+            format!(
+                "{} branch, {} memory-order, {} reuse-verify",
+                self.flushes_branch, self.flushes_mem_order, self.flushes_reuse_verify
+            ),
+        );
+        line(
+            "memory",
+            format!(
+                "{} loads, {} stores, {} forwarded, L1 hit {:.1}%",
+                self.committed_loads,
+                self.committed_stores,
+                self.store_forwards,
+                100.0 * self.l1_hit_rate()
+            ),
+        );
+        line("squashed instructions", format!("{}", self.squashed_instructions));
+        if self.engine.reuse_tests > 0 || self.engine.streams_captured > 0 {
+            line(
+                "squash reuse",
+                format!(
+                    "{} granted / {} tested, {} loads",
+                    self.engine.reuse_grants, self.engine.reuse_tests, self.engine.reused_loads
+                ),
+            );
+            line(
+                "reconvergence",
+                format!(
+                    "{} detected ({} simple / {} sw / {} hw), {} streams captured",
+                    self.engine.reconvergences,
+                    self.engine.recon_simple,
+                    self.engine.recon_software,
+                    self.engine.recon_hardware,
+                    self.engine.streams_captured
+                ),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let s = SimStats {
+            cycles: 100,
+            committed_instructions: 250,
+            committed_cond_branches: 50,
+            flushes_branch: 5,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+        assert!((s.mpki() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+    }
+
+    #[test]
+    fn report_includes_reuse_only_when_active() {
+        let plain = SimStats { cycles: 10, committed_instructions: 10, ..SimStats::default() };
+        assert!(!plain.report().contains("squash reuse"));
+        let mut with_reuse = plain.clone();
+        with_reuse.engine.reuse_tests = 5;
+        with_reuse.engine.reuse_grants = 2;
+        let r = with_reuse.report();
+        assert!(r.contains("squash reuse"));
+        assert!(r.contains("2 granted / 5 tested"));
+    }
+
+    #[test]
+    fn l1_hit_rate_math() {
+        let s = SimStats { l1_hits: 90, l1_misses: 10, ..SimStats::default() };
+        assert!((s.l1_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(SimStats::default().l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn distance_histogram_buckets() {
+        let mut e = EngineStats::default();
+        e.record_distance(1);
+        e.record_distance(1);
+        e.record_distance(3);
+        e.record_distance(100);
+        assert_eq!(e.stream_distance[0], 2);
+        assert_eq!(e.stream_distance[2], 1);
+        assert_eq!(e.stream_distance[7], 1, "tail bucket absorbs large distances");
+        e.record_distance(0); // defensive: clamps to bucket 0
+        assert_eq!(e.stream_distance[0], 3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Core identifier types shared across the simulator.
+
+use std::fmt;
+
+/// A physical register identifier.
+///
+/// Physical registers hold speculative and architectural values; they are
+/// allocated from the [`FreeList`](crate::rename::FreeList) at rename and
+/// released when the renaming instruction is squashed or a younger writer
+/// of the same architectural register commits. Reuse engines can place
+/// additional *holds* on a physical register to keep its value alive after
+/// a squash.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(u16);
+
+impl PhysReg {
+    /// Creates a physical register id.
+    pub fn new(index: usize) -> PhysReg {
+        PhysReg(index as u16)
+    }
+
+    /// The register's index into the physical register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A global dynamic-instruction sequence number.
+///
+/// Monotonically increasing across the whole simulation (never reused, even
+/// after squashes), so comparing two `SeqNum`s orders any two dynamic
+/// instructions by fetch age. Used for branch-age comparison when
+/// classifying multi-stream reconvergence as software- or hardware-induced.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(u64);
+
+impl SeqNum {
+    /// The first sequence number.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Creates a sequence number from a raw counter value.
+    pub fn new(v: u64) -> SeqNum {
+        SeqNum(v)
+    }
+
+    /// The raw counter value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The next sequence number.
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A Rename Mapping Generation ID (paper §3.1).
+///
+/// Every architectural-to-physical mapping installed in the RAT is tagged
+/// with an RGID drawn from a per-architectural-register global counter.
+/// Matching RGIDs between two execution states prove that the register was
+/// not renamed in between, which is the paper's data-integrity test for
+/// squash reuse.
+///
+/// RGIDs are `width`-bit values (6 bits in the paper's configuration) with
+/// one reserved *null* encoding meaning "not reusable" — used for mappings
+/// created while the generation counter is in an overflowed state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rgid(u16);
+
+impl Rgid {
+    /// The reserved null RGID: a mapping that must never pass a reuse test.
+    pub const NULL: Rgid = Rgid(u16::MAX);
+
+    /// Creates an RGID from a counter value.
+    pub fn new(v: u16) -> Rgid {
+        Rgid(v)
+    }
+
+    /// The raw value (meaningless for [`Rgid::NULL`]).
+    pub fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the null RGID.
+    pub fn is_null(self) -> bool {
+        self == Rgid::NULL
+    }
+
+    /// RGID equality as used by the reuse test: null never matches,
+    /// not even itself.
+    pub fn matches(self, other: Rgid) -> bool {
+        !self.is_null() && !other.is_null() && self == other
+    }
+}
+
+impl fmt::Display for Rgid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            f.write_str("g-")
+        } else {
+            write!(f, "g{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Rgid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Which functional-unit class executes an instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FuClass {
+    /// Integer ALU (arithmetic, logic, shifts, multiply, divide).
+    Alu,
+    /// Branch resolution unit (conditional branches, jumps).
+    Bru,
+    /// Load/store unit.
+    Lsu,
+}
+
+/// The reason for a pipeline flush.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FlushKind {
+    /// A conditional branch or indirect jump resolved against its prediction.
+    BranchMispredict,
+    /// A store found a younger, already-executed load to an overlapping
+    /// address (store-to-load memory-order violation).
+    MemoryOrder,
+    /// A reused load's verification re-execution observed a different value
+    /// (paper §3.8.3, NoSQ-style check).
+    ReuseVerification,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_ordering_and_step() {
+        let a = SeqNum::new(5);
+        assert!(a < a.next());
+        assert_eq!(a.next().value(), 6);
+        assert_eq!(SeqNum::ZERO.value(), 0);
+    }
+
+    #[test]
+    fn rgid_null_never_matches() {
+        assert!(!Rgid::NULL.matches(Rgid::NULL));
+        assert!(!Rgid::NULL.matches(Rgid::new(3)));
+        assert!(!Rgid::new(3).matches(Rgid::NULL));
+        assert!(Rgid::new(3).matches(Rgid::new(3)));
+        assert!(!Rgid::new(3).matches(Rgid::new(4)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PhysReg::new(7).to_string(), "p7");
+        assert_eq!(SeqNum::new(9).to_string(), "#9");
+        assert_eq!(Rgid::new(2).to_string(), "g2");
+        assert_eq!(Rgid::NULL.to_string(), "g-");
+    }
+
+    #[test]
+    fn physreg_index_roundtrip() {
+        for i in [0usize, 1, 255, 1000] {
+            assert_eq!(PhysReg::new(i).index(), i);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Differential property test: the set-associative LRU cache must agree
+//! with a naive reference implementation on arbitrary access streams.
+
+use mssr_sim::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// Naive per-set LRU: a vector of (tag, last-use) pairs per set.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    line: u64,
+    state: Vec<Vec<(u64, u64)>>,
+    tick: u64,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize, line: u64) -> RefCache {
+        RefCache { sets, ways, line, state: vec![Vec::new(); sets], tick: 0 }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let lineno = addr / self.line;
+        let set = (lineno as usize) % self.sets;
+        let tag = lineno / self.sets as u64;
+        let entries = &mut self.state[set];
+        if let Some(e) = entries.iter_mut().find(|(t, _)| *t == tag) {
+            e.1 = self.tick;
+            return true;
+        }
+        if entries.len() == self.ways {
+            let lru = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            entries.remove(lru);
+        }
+        entries.push((tag, self.tick));
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        addrs in prop::collection::vec(0u64..4096, 1..400),
+    ) {
+        // 8 sets x 2 ways x 64 B lines = 1 KiB.
+        let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, latency: 1 };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg.sets(), cfg.ways, cfg.line_bytes as u64);
+        let mut hits = 0u64;
+        for &a in &addrs {
+            let got = cache.access(a);
+            let want = reference.access(a);
+            prop_assert_eq!(got, want, "divergence at address {:#x}", a);
+            if want {
+                hits += 1;
+            }
+        }
+        prop_assert_eq!(cache.hits(), hits);
+        prop_assert_eq!(cache.misses(), addrs.len() as u64 - hits);
+    }
+
+    #[test]
+    fn direct_mapped_cache_matches_reference(
+        addrs in prop::collection::vec(0u64..2048, 1..300),
+    ) {
+        let cfg = CacheConfig { size_bytes: 256, ways: 1, line_bytes: 64, latency: 1 };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg.sets(), 1, 64);
+        for &a in &addrs {
+            prop_assert_eq!(cache.access(a), reference.access(a));
+        }
+    }
+}

@@ -1,0 +1,820 @@
+//! GAP-style graph kernels, hand-written in the toy ISA.
+//!
+//! Unlike the SPEC-like kernels (which are synthetic stand-ins), these are
+//! the *real* algorithms of the GAP suite — breadth-first search,
+//! betweenness centrality, connected components, PageRank, single-source
+//! shortest paths and triangle counting — running over a seeded random
+//! graph in simulated memory. Their data-dependent branches (frontier
+//! membership tests, relaxation comparisons, merge-intersection ordering)
+//! are exactly what makes the GAP suite hard to predict.
+//!
+//! Every kernel's architectural results are checked against a Rust
+//! reference that mirrors the assembly's traversal order instruction for
+//! instruction.
+
+use mssr_isa::{regs::*, Assembler};
+
+use crate::graph::Graph;
+use crate::workload::{Check, Suite, Workload};
+
+/// CSR row offsets.
+const ROW: u64 = 0x10_0000;
+/// CSR column indices.
+const COL: u64 = 0x20_0000;
+/// Edge weights.
+const WT: u64 = 0x30_0000;
+/// First per-vertex array (parent / comp / dist / rank / level).
+const A1: u64 = 0x40_0000;
+/// Second per-vertex array (next ranks / sigma).
+const A2ARR: u64 = 0x48_0000;
+/// Third per-vertex array (delta).
+const A3ARR: u64 = 0x50_0000;
+/// Work queue.
+const Q: u64 = 0x60_0000;
+/// Results.
+const RESULT: u64 = 0x8000;
+
+/// Picks a deterministic source vertex with non-zero degree.
+fn pick_source(g: &Graph) -> usize {
+    (0..g.n()).find(|&u| g.degree(u) > 0).expect("graph has at least one edge")
+}
+
+fn graph_mem(g: &Graph) -> Vec<(u64, u64)> {
+    g.mem_image(ROW, COL, WT)
+}
+
+// ---------------------------------------------------------------------
+// bfs
+// ---------------------------------------------------------------------
+
+/// Breadth-first search from a fixed source: parent assignment over an
+/// explicit frontier queue. The `parent[v] == -1` visited test is the
+/// hard-to-predict branch.
+pub fn bfs(g: &Graph) -> Workload {
+    let src = pick_source(g);
+    let mut a = Assembler::new();
+    // S0=&row S1=&col S2=&parent S3=&queue S4=head S5=tail S6=checksum S7=-1
+    a.li(S0, ROW as i64);
+    a.li(S1, COL as i64);
+    a.li(S2, A1 as i64);
+    a.li(S3, Q as i64);
+    a.li(S4, 0);
+    a.li(S5, 1);
+    a.li(S6, 0);
+    a.li(S7, -1);
+    a.label("outer");
+    a.beq(S4, S5, "done");
+    a.slli(A2, S4, 3);
+    a.add(A2, A2, S3);
+    a.ld(T0, A2, 0); // u = q[head]
+    a.addi(S4, S4, 1);
+    a.slli(A3, T0, 3);
+    a.add(A3, A3, S0);
+    a.ld(T1, A3, 0); // e = row[u]
+    a.ld(T2, A3, 8); // end = row[u+1]
+    a.label("eloop");
+    a.bge(T1, T2, "outer");
+    a.slli(A4, T1, 3);
+    a.add(A4, A4, S1);
+    a.ld(T3, A4, 0); // v = col[e]
+    a.slli(T4, T3, 3);
+    a.add(T4, T4, S2); // &parent[v]
+    a.ld(A5, T4, 0);
+    a.bne(A5, S7, "skip"); // visited? (hard to predict)
+    a.st(T4, T0, 0); // parent[v] = u
+    a.slli(A6, S5, 3);
+    a.add(A6, A6, S3);
+    a.st(A6, T3, 0); // q[tail] = v
+    a.addi(S5, S5, 1);
+    a.add(S6, S6, T3);
+    a.add(S6, S6, T0); // checksum += v + u
+    a.label("skip");
+    a.addi(T1, T1, 1);
+    a.j("eloop");
+    a.label("done");
+    a.st(ZERO, S5, RESULT as i64);
+    a.st(ZERO, S6, (RESULT + 8) as i64);
+    a.halt();
+
+    // Reference (mirrors traversal order exactly).
+    let mut parent = vec![-1i64; g.n()];
+    parent[src] = src as i64;
+    let mut q = vec![src as u64];
+    let mut checksum = 0u64;
+    let mut head = 0;
+    while head < q.len() {
+        let u = q[head] as usize;
+        head += 1;
+        for (v, _) in g.neighbors(u) {
+            if parent[v as usize] == -1 {
+                parent[v as usize] = u as i64;
+                q.push(v);
+                checksum = checksum.wrapping_add(v).wrapping_add(u as u64);
+            }
+        }
+    }
+
+    let mut mem = graph_mem(g);
+    for v in 0..g.n() {
+        mem.push((A1 + 8 * v as u64, -1i64 as u64));
+    }
+    mem.push((A1 + 8 * src as u64, src as u64));
+    mem.push((Q, src as u64));
+    Workload::new(
+        format!("bfs/{}", g.n()),
+        Suite::Gap,
+        a.assemble().expect("bfs assembles"),
+        mem,
+        vec![
+            Check { addr: RESULT, expect: q.len() as u64, what: "visited count" },
+            Check { addr: RESULT + 8, expect: checksum, what: "parent checksum" },
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------
+// cc
+// ---------------------------------------------------------------------
+
+/// Connected components by label propagation to a fixpoint. The
+/// `comp[v] < comp[u]` comparison is data-dependent and hard to predict
+/// in early rounds.
+pub fn cc(g: &Graph) -> Workload {
+    let mut a = Assembler::new();
+    // S0=&row S1=&col S2=&comp S3=n S4=changed S5=checksum
+    a.li(S0, ROW as i64);
+    a.li(S1, COL as i64);
+    a.li(S2, A1 as i64);
+    a.li(S3, g.n() as i64);
+    a.label("outer");
+    a.li(S4, 0);
+    a.li(T0, 0); // u
+    a.label("uloop");
+    a.bge(T0, S3, "check");
+    a.slli(A2, T0, 3);
+    a.add(A2, A2, S0);
+    a.ld(T1, A2, 0); // e
+    a.ld(T2, A2, 8); // end
+    a.slli(A3, T0, 3);
+    a.add(A3, A3, S2); // &comp[u]
+    a.ld(T3, A3, 0); // cu
+    a.label("eloop");
+    a.bge(T1, T2, "unext");
+    a.slli(A4, T1, 3);
+    a.add(A4, A4, S1);
+    a.ld(T4, A4, 0); // v
+    a.slli(A5, T4, 3);
+    a.add(A5, A5, S2);
+    a.ld(T5, A5, 0); // cv
+    a.bge(T5, T3, "noupd"); // cv < cu ? (hard to predict early)
+    a.mv(T3, T5);
+    a.st(A3, T3, 0); // comp[u] = cv
+    a.li(S4, 1);
+    a.label("noupd");
+    a.addi(T1, T1, 1);
+    a.j("eloop");
+    a.label("unext");
+    a.addi(T0, T0, 1);
+    a.j("uloop");
+    a.label("check");
+    a.bne(S4, ZERO, "outer");
+    // Checksum pass.
+    a.li(T0, 0);
+    a.li(S5, 0);
+    a.label("sloop");
+    a.bge(T0, S3, "done");
+    a.slli(A6, T0, 3);
+    a.add(A6, A6, S2);
+    a.ld(A7, A6, 0);
+    a.add(S5, S5, A7);
+    a.addi(T0, T0, 1);
+    a.j("sloop");
+    a.label("done");
+    a.st(ZERO, S5, RESULT as i64);
+    a.halt();
+
+    // Reference: identical in-place propagation order.
+    let mut comp: Vec<u64> = (0..g.n() as u64).collect();
+    loop {
+        let mut changed = false;
+        for u in 0..g.n() {
+            let mut cu = comp[u];
+            for (v, _) in g.neighbors(u) {
+                let cv = comp[v as usize];
+                if cv < cu {
+                    cu = cv;
+                    comp[u] = cv;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let checksum: u64 = comp.iter().fold(0u64, |s, &c| s.wrapping_add(c));
+
+    let mut mem = graph_mem(g);
+    for v in 0..g.n() {
+        mem.push((A1 + 8 * v as u64, v as u64));
+    }
+    Workload::new(
+        format!("cc/{}", g.n()),
+        Suite::Gap,
+        a.assemble().expect("cc assembles"),
+        mem,
+        vec![Check { addr: RESULT, expect: checksum, what: "component checksum" }],
+    )
+}
+
+// ---------------------------------------------------------------------
+// sssp
+// ---------------------------------------------------------------------
+
+const INF: u64 = 1 << 40;
+
+/// Single-source shortest paths by Bellman-Ford rounds to a fixpoint.
+/// The relaxation comparison `dist[u] + w < dist[v]` is the
+/// hard-to-predict branch.
+pub fn sssp(g: &Graph) -> Workload {
+    let src = pick_source(g);
+    let mut a = Assembler::new();
+    // S0=&row S1=&col S2=&dist S3=n S4=changed S5=&wt S7=INF
+    a.li(S0, ROW as i64);
+    a.li(S1, COL as i64);
+    a.li(S2, A1 as i64);
+    a.li(S3, g.n() as i64);
+    a.li(S5, WT as i64);
+    a.li(S7, INF as i64);
+    a.label("outer");
+    a.li(S4, 0);
+    a.li(T0, 0);
+    a.label("uloop");
+    a.bge(T0, S3, "check");
+    a.slli(A2, T0, 3);
+    a.add(A2, A2, S0);
+    a.ld(T1, A2, 0);
+    a.ld(T2, A2, 8);
+    a.slli(A3, T0, 3);
+    a.add(A3, A3, S2);
+    a.ld(T3, A3, 0); // du
+    a.beq(T3, S7, "unext"); // unreached vertices have nothing to relax
+    a.label("eloop");
+    a.bge(T1, T2, "unext");
+    a.slli(A4, T1, 3);
+    a.add(A4, A4, S1);
+    a.ld(T4, A4, 0); // v
+    a.slli(A5, T1, 3);
+    a.add(A5, A5, S5);
+    a.ld(T5, A5, 0); // w
+    a.add(T5, T3, T5); // nd = du + w
+    a.slli(A6, T4, 3);
+    a.add(A6, A6, S2);
+    a.ld(A7, A6, 0); // dv
+    a.bge(T5, A7, "norelax"); // nd < dv ? (hard to predict)
+    a.st(A6, T5, 0);
+    a.li(S4, 1);
+    a.label("norelax");
+    a.addi(T1, T1, 1);
+    a.j("eloop");
+    a.label("unext");
+    a.addi(T0, T0, 1);
+    a.j("uloop");
+    a.label("check");
+    a.bne(S4, ZERO, "outer");
+    // Checksum pass.
+    a.li(T0, 0);
+    a.li(S6, 0);
+    a.label("sloop");
+    a.bge(T0, S3, "done");
+    a.slli(A2, T0, 3);
+    a.add(A2, A2, S2);
+    a.ld(A3, A2, 0);
+    a.add(S6, S6, A3);
+    a.addi(T0, T0, 1);
+    a.j("sloop");
+    a.label("done");
+    a.st(ZERO, S6, RESULT as i64);
+    a.halt();
+
+    // Reference: identical sequential relaxation order.
+    let mut dist = vec![INF; g.n()];
+    dist[src] = 0;
+    loop {
+        let mut changed = false;
+        for u in 0..g.n() {
+            let du = dist[u];
+            if du == INF {
+                continue;
+            }
+            for (v, w) in g.neighbors(u) {
+                let nd = du + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let checksum: u64 = dist.iter().fold(0u64, |s, &d| s.wrapping_add(d));
+
+    let mut mem = graph_mem(g);
+    for v in 0..g.n() {
+        mem.push((A1 + 8 * v as u64, INF));
+    }
+    mem.push((A1 + 8 * src as u64, 0));
+    Workload::new(
+        format!("sssp/{}", g.n()),
+        Suite::Gap,
+        a.assemble().expect("sssp assembles"),
+        mem,
+        vec![Check { addr: RESULT, expect: checksum, what: "distance checksum" }],
+    )
+}
+
+// ---------------------------------------------------------------------
+// pr
+// ---------------------------------------------------------------------
+
+/// Fixed-point scale for PageRank ranks.
+const PR_SCALE: u64 = 1 << 20;
+/// Push-style PageRank iterations.
+const PR_ROUNDS: i64 = 3;
+
+/// PageRank, push style, in fixed-point arithmetic. Memory-bound with
+/// predictable loop branches — the paper's `pr` shows essentially no
+/// squash-reuse benefit, and this kernel reproduces that character.
+pub fn pr(g: &Graph) -> Workload {
+    let n = g.n() as u64;
+    let base = (PR_SCALE * 15 / 100) / n;
+    let mut a = Assembler::new();
+    // S0=&row S1=&col S2=&rank S3=n S5=&next S6=base S8=85 S9=100 S10=rounds
+    a.li(S0, ROW as i64);
+    a.li(S1, COL as i64);
+    a.li(S2, A1 as i64);
+    a.li(S3, g.n() as i64);
+    a.li(S5, A2ARR as i64);
+    a.li(S6, base as i64);
+    a.li(S8, 85);
+    a.li(S9, 100);
+    a.li(S10, PR_ROUNDS);
+    a.label("kloop");
+    // next[] = base
+    a.li(T0, 0);
+    a.label("iloop");
+    a.bge(T0, S3, "push");
+    a.slli(A2, T0, 3);
+    a.add(A2, A2, S5);
+    a.st(A2, S6, 0);
+    a.addi(T0, T0, 1);
+    a.j("iloop");
+    a.label("push");
+    a.li(T0, 0);
+    a.label("uloop");
+    a.bge(T0, S3, "swap");
+    a.slli(A3, T0, 3);
+    a.add(A3, A3, S0);
+    a.ld(T1, A3, 0);
+    a.ld(T2, A3, 8);
+    a.sub(T3, T2, T1); // deg
+    a.beq(T3, ZERO, "unext");
+    a.slli(A4, T0, 3);
+    a.add(A4, A4, S2);
+    a.ld(T4, A4, 0); // rank[u]
+    a.mul(T4, T4, S8);
+    a.div(T4, T4, S9);
+    a.div(T4, T4, T3); // contrib
+    a.label("eloop");
+    a.bge(T1, T2, "unext");
+    a.slli(A5, T1, 3);
+    a.add(A5, A5, S1);
+    a.ld(T5, A5, 0); // v
+    a.slli(A6, T5, 3);
+    a.add(A6, A6, S5);
+    a.ld(A7, A6, 0);
+    a.add(A7, A7, T4);
+    a.st(A6, A7, 0); // next[v] += contrib
+    a.addi(T1, T1, 1);
+    a.j("eloop");
+    a.label("unext");
+    a.addi(T0, T0, 1);
+    a.j("uloop");
+    a.label("swap");
+    a.mv(T6, S2);
+    a.mv(S2, S5);
+    a.mv(S5, T6);
+    a.addi(S10, S10, -1);
+    a.bne(S10, ZERO, "kloop");
+    // Checksum over the final rank array (in S2 after the swaps).
+    a.li(T0, 0);
+    a.li(S11, 0);
+    a.label("sloop");
+    a.bge(T0, S3, "done");
+    a.slli(A2, T0, 3);
+    a.add(A2, A2, S2);
+    a.ld(A3, A2, 0);
+    a.add(S11, S11, A3);
+    a.addi(T0, T0, 1);
+    a.j("sloop");
+    a.label("done");
+    a.st(ZERO, S11, RESULT as i64);
+    a.halt();
+
+    // Reference.
+    let mut rank = vec![PR_SCALE / n; g.n()];
+    let mut next = vec![0u64; g.n()];
+    for _ in 0..PR_ROUNDS {
+        next.iter_mut().for_each(|x| *x = base);
+        #[allow(clippy::needless_range_loop)] // u is a vertex id, not just an index
+        for u in 0..g.n() {
+            let deg = g.degree(u) as u64;
+            if deg == 0 {
+                continue;
+            }
+            let contrib = rank[u] * 85 / 100 / deg;
+            for (v, _) in g.neighbors(u) {
+                next[v as usize] += contrib;
+            }
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    let checksum: u64 = rank.iter().fold(0u64, |s, &r| s.wrapping_add(r));
+
+    let mut mem = graph_mem(g);
+    for v in 0..g.n() {
+        mem.push((A1 + 8 * v as u64, PR_SCALE / n));
+    }
+    Workload::new(
+        format!("pr/{}", g.n()),
+        Suite::Gap,
+        a.assemble().expect("pr assembles"),
+        mem,
+        vec![Check { addr: RESULT, expect: checksum, what: "rank checksum" }],
+    )
+}
+
+// ---------------------------------------------------------------------
+// tc
+// ---------------------------------------------------------------------
+
+/// Triangle counting by sorted-adjacency merge intersection. The
+/// three-way merge comparisons are inherently data-dependent.
+pub fn tc(g: &Graph) -> Workload {
+    let mut a = Assembler::new();
+    // S0=&row S1=&col S2=count S3=n
+    // per-u: A2=&row[u], S4=edge cursor, S5=row[u+1]
+    a.li(S0, ROW as i64);
+    a.li(S1, COL as i64);
+    a.li(S2, 0);
+    a.li(S3, g.n() as i64);
+    a.li(T0, 0); // u
+    a.label("uloop");
+    a.bge(T0, S3, "done");
+    a.slli(S8, T0, 3);
+    a.add(S8, S8, S0); // &row[u] (stable across the v loop)
+    a.ld(S4, S8, 0); // ue cursor
+    a.ld(S5, S8, 8); // uend
+    a.label("vloop");
+    a.bge(S4, S5, "unext");
+    a.slli(A3, S4, 3);
+    a.add(A3, A3, S1);
+    a.ld(T1, A3, 0); // v
+    a.bge(T0, T1, "vskip"); // only v > u
+    // Merge-intersect adj[u] with adj[v].
+    a.ld(T2, S8, 0); // i = row[u]
+    a.slli(A4, T1, 3);
+    a.add(A4, A4, S0);
+    a.ld(T3, A4, 0); // j = row[v]
+    a.ld(S6, A4, 8); // jend
+    a.label("merge");
+    a.bge(T2, S5, "vskip");
+    a.bge(T3, S6, "vskip");
+    a.slli(A5, T2, 3);
+    a.add(A5, A5, S1);
+    a.ld(T4, A5, 0); // w1 = col[i]
+    a.slli(A6, T3, 3);
+    a.add(A6, A6, S1);
+    a.ld(T5, A6, 0); // w2 = col[j]
+    a.beq(T4, T5, "eq");
+    a.blt(T4, T5, "ilt"); // merge order: hard to predict
+    a.addi(T3, T3, 1);
+    a.j("merge");
+    a.label("ilt");
+    a.addi(T2, T2, 1);
+    a.j("merge");
+    a.label("eq");
+    // Common neighbor w1; count triangles (u < v < w) once.
+    a.bge(T1, T4, "nocount");
+    a.addi(S2, S2, 1);
+    a.label("nocount");
+    a.addi(T2, T2, 1);
+    a.addi(T3, T3, 1);
+    a.j("merge");
+    a.label("vskip");
+    a.addi(S4, S4, 1);
+    a.j("vloop");
+    a.label("unext");
+    a.addi(T0, T0, 1);
+    a.j("uloop");
+    a.label("done");
+    a.st(ZERO, S2, RESULT as i64);
+    a.halt();
+
+    // Reference.
+    let mut count = 0u64;
+    for u in 0..g.n() {
+        for (v, _) in g.neighbors(u) {
+            if v <= u as u64 {
+                continue;
+            }
+            let au: Vec<u64> = g.neighbors(u).map(|(x, _)| x).collect();
+            let av: Vec<u64> = g.neighbors(v as usize).map(|(x, _)| x).collect();
+            let (mut i, mut j) = (0, 0);
+            while i < au.len() && j < av.len() {
+                match au[i].cmp(&av[j]) {
+                    std::cmp::Ordering::Equal => {
+                        if au[i] > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                }
+            }
+        }
+    }
+
+    Workload::new(
+        format!("tc/{}", g.n()),
+        Suite::Gap,
+        a.assemble().expect("tc assembles"),
+        graph_mem(g),
+        vec![Check { addr: RESULT, expect: count, what: "triangle count" }],
+    )
+}
+
+// ---------------------------------------------------------------------
+// bc
+// ---------------------------------------------------------------------
+
+/// Fixed-point scale for betweenness dependency accumulation.
+const BC_SCALE: u64 = 1 << 16;
+
+/// Betweenness centrality (Brandes, one source): forward BFS
+/// accumulating shortest-path counts, then backward dependency
+/// accumulation with fixed-point division.
+pub fn bc(g: &Graph) -> Workload {
+    let src = pick_source(g);
+    let mut a = Assembler::new();
+    // S0=&row S1=&col S2=&level S3=&sigma S4=&queue S5=head S6=tail S7=-1
+    // S9=&delta S10=BC_SCALE S11=n
+    a.li(S0, ROW as i64);
+    a.li(S1, COL as i64);
+    a.li(S2, A1 as i64);
+    a.li(S3, A2ARR as i64);
+    a.li(S4, Q as i64);
+    a.li(S5, 0);
+    a.li(S6, 1);
+    a.li(S7, -1);
+    a.li(S9, A3ARR as i64);
+    a.li(S10, BC_SCALE as i64);
+    a.li(S11, g.n() as i64);
+    // ---- forward phase ----
+    a.label("fwd");
+    a.beq(S5, S6, "back");
+    a.slli(A2, S5, 3);
+    a.add(A2, A2, S4);
+    a.ld(T0, A2, 0); // u
+    a.addi(S5, S5, 1);
+    a.slli(A3, T0, 3);
+    a.add(A3, A3, S0);
+    a.ld(T1, A3, 0); // e
+    a.ld(T2, A3, 8); // end
+    a.slli(A4, T0, 3);
+    a.add(A4, A4, S2);
+    a.ld(T3, A4, 0); // lu
+    a.addi(T4, T3, 1); // lu + 1
+    a.slli(A5, T0, 3);
+    a.add(A5, A5, S3);
+    a.ld(T6, A5, 0); // sigma[u] (final: level order guarantees it)
+    a.label("feloop");
+    a.bge(T1, T2, "fwd");
+    a.slli(A6, T1, 3);
+    a.add(A6, A6, S1);
+    a.ld(T5, A6, 0); // v
+    a.slli(A7, T5, 3);
+    a.add(A7, A7, S2); // &level[v]
+    a.ld(A2, A7, 0); // lv
+    a.bne(A2, S7, "notnew"); // unvisited? (hard to predict)
+    a.st(A7, T4, 0); // level[v] = lu+1
+    a.mv(A2, T4);
+    a.slli(A3, S6, 3);
+    a.add(A3, A3, S4);
+    a.st(A3, T5, 0); // q[tail] = v
+    a.addi(S6, S6, 1);
+    a.label("notnew");
+    a.bne(A2, T4, "nosig"); // on a shortest path?
+    a.slli(A4, T5, 3);
+    a.add(A4, A4, S3); // &sigma[v]
+    a.ld(A5, A4, 0);
+    a.add(A5, A5, T6);
+    a.st(A4, A5, 0); // sigma[v] += sigma[u]
+    a.label("nosig");
+    a.addi(T1, T1, 1);
+    a.j("feloop");
+    // ---- backward phase ----
+    a.label("back");
+    a.addi(S5, S6, -1); // idx = tail-1
+    a.label("bloop");
+    a.blt(S5, ZERO, "sum");
+    a.slli(A2, S5, 3);
+    a.add(A2, A2, S4);
+    a.ld(T0, A2, 0); // u
+    a.slli(A3, T0, 3);
+    a.add(A3, A3, S0);
+    a.ld(T1, A3, 0);
+    a.ld(T2, A3, 8);
+    a.slli(A4, T0, 3);
+    a.add(A4, A4, S2);
+    a.ld(T3, A4, 0);
+    a.addi(T4, T3, 1); // lu + 1
+    a.slli(A5, T0, 3);
+    a.add(A5, A5, S3);
+    a.ld(T6, A5, 0); // sigma[u]
+    a.li(T5, 0); // delta accumulator
+    a.label("beloop");
+    a.bge(T1, T2, "bstore");
+    a.slli(A6, T1, 3);
+    a.add(A6, A6, S1);
+    a.ld(A7, A6, 0); // v
+    a.slli(A2, A7, 3);
+    a.add(A2, A2, S2);
+    a.ld(A3, A2, 0); // lv
+    a.bne(A3, T4, "bskip"); // successor on a shortest path?
+    a.slli(A4, A7, 3);
+    a.add(A4, A4, S3);
+    a.ld(A5, A4, 0); // sigma[v]
+    a.slli(A6, A7, 3);
+    a.add(A6, A6, S9);
+    a.ld(A7, A6, 0); // delta[v]
+    a.add(A7, A7, S10); // SCALE + delta[v]
+    a.mul(A7, A7, T6); // * sigma[u]
+    a.div(A7, A7, A5); // / sigma[v]
+    a.add(T5, T5, A7);
+    a.label("bskip");
+    a.addi(T1, T1, 1);
+    a.j("beloop");
+    a.label("bstore");
+    a.slli(A2, T0, 3);
+    a.add(A2, A2, S9);
+    a.st(A2, T5, 0); // delta[u] = acc
+    a.addi(S5, S5, -1);
+    a.j("bloop");
+    // ---- checksum ----
+    a.label("sum");
+    a.li(T0, 0);
+    a.li(S8, 0);
+    a.label("sloop");
+    a.bge(T0, S11, "done");
+    a.slli(A2, T0, 3);
+    a.add(A2, A2, S9);
+    a.ld(A3, A2, 0);
+    a.add(S8, S8, A3);
+    a.addi(T0, T0, 1);
+    a.j("sloop");
+    a.label("done");
+    a.st(ZERO, S8, RESULT as i64);
+    a.st(ZERO, S6, (RESULT + 8) as i64);
+    a.halt();
+
+    // Reference (mirrors the exact traversal and arithmetic).
+    let n = g.n();
+    let mut level = vec![-1i64; n];
+    let mut sigma = vec![0u64; n];
+    let mut q = vec![src as u64];
+    level[src] = 0;
+    sigma[src] = 1;
+    let mut head = 0;
+    while head < q.len() {
+        let u = q[head] as usize;
+        head += 1;
+        let su = sigma[u];
+        for (v, _) in g.neighbors(u) {
+            let v = v as usize;
+            if level[v] == -1 {
+                level[v] = level[u] + 1;
+                q.push(v as u64);
+            }
+            if level[v] == level[u] + 1 {
+                sigma[v] += su;
+            }
+        }
+    }
+    let mut delta = vec![0u64; n];
+    for &u in q.iter().rev() {
+        let u = u as usize;
+        let mut acc = 0u64;
+        for (v, _) in g.neighbors(u) {
+            let v = v as usize;
+            if level[v] == level[u] + 1 {
+                acc += sigma[u] * (BC_SCALE + delta[v]) / sigma[v];
+            }
+        }
+        delta[u] = acc;
+    }
+    let checksum: u64 = delta.iter().fold(0u64, |s, &d| s.wrapping_add(d));
+
+    let mut mem = graph_mem(g);
+    for v in 0..n {
+        mem.push((A1 + 8 * v as u64, -1i64 as u64));
+        mem.push((A2ARR + 8 * v as u64, 0));
+        mem.push((A3ARR + 8 * v as u64, 0));
+    }
+    mem.push((A1 + 8 * src as u64, 0));
+    mem.push((A2ARR + 8 * src as u64, 1));
+    mem.push((Q, src as u64));
+    Workload::new(
+        format!("bc/{}", g.n()),
+        Suite::Gap,
+        a.assemble().expect("bc assembles"),
+        mem,
+        vec![
+            Check { addr: RESULT, expect: checksum, what: "delta checksum" },
+            Check { addr: RESULT + 8, expect: q.len() as u64, what: "reached count" },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssr_core::{MssrConfig, MultiStreamReuse};
+    use mssr_sim::SimConfig;
+
+    fn small() -> Graph {
+        Graph::uniform(96, 6, 11)
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::default().with_max_cycles(20_000_000)
+    }
+
+    #[test]
+    fn bfs_is_correct() {
+        bfs(&small()).run(cfg(), None);
+    }
+
+    #[test]
+    fn cc_is_correct() {
+        cc(&small()).run(cfg(), None);
+    }
+
+    #[test]
+    fn sssp_is_correct() {
+        sssp(&small()).run(cfg(), None);
+    }
+
+    #[test]
+    fn pr_is_correct() {
+        pr(&small()).run(cfg(), None);
+    }
+
+    #[test]
+    fn tc_is_correct() {
+        tc(&Graph::uniform(48, 6, 11)).run(cfg(), None);
+    }
+
+    #[test]
+    fn bc_is_correct() {
+        bc(&small()).run(cfg(), None);
+    }
+
+    #[test]
+    fn kernels_are_correct_under_reuse() {
+        let g = small();
+        for w in [bfs(&g), cc(&g), sssp(&g), bc(&g)] {
+            let stats =
+                w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+            assert!(stats.committed_instructions > 1000, "{} ran", w.name());
+        }
+    }
+
+    #[test]
+    fn branchy_kernels_mispredict() {
+        let g = small();
+        for w in [bfs(&g), cc(&g), sssp(&g)] {
+            let stats = w.run(cfg(), None);
+            assert!(
+                stats.mispredict_rate() > 0.01,
+                "{}: expected data-dependent mispredictions, rate {}",
+                w.name(),
+                stats.mispredict_rate()
+            );
+        }
+    }
+}

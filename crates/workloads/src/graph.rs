@@ -1,0 +1,241 @@
+//! Deterministic random graph generation for the GAP-style kernels.
+//!
+//! The GAP benchmark suite runs its kernels over synthetic Kronecker or
+//! uniform-random graphs (`-g`/`-u` scale flags). This module provides a
+//! seeded uniform-random generator producing CSR (compressed sparse row)
+//! images that the assembly kernels traverse in simulated memory.
+
+use std::fmt;
+
+/// A deterministic SplitMix64 generator (stable across toolchains, unlike
+/// `StdRng`, so memory images and reference results never drift).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// An undirected graph in CSR form: out-neighbors per vertex, sorted and
+/// deduplicated, with positive symmetric edge weights.
+#[derive(Clone)]
+pub struct Graph {
+    n: usize,
+    row: Vec<u64>,
+    col: Vec<u64>,
+    wt: Vec<u64>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph").field("n", &self.n).field("edges", &self.edges()).finish()
+    }
+}
+
+impl Graph {
+    /// Generates a uniform random graph with `n` vertices and roughly
+    /// `avg_deg` out-edges per vertex. Edges are symmetrized (each random
+    /// pair is added in both directions), then sorted and deduplicated;
+    /// self-loops are dropped. Weights are in `1..=15`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn uniform(n: usize, avg_deg: usize, seed: u64) -> Graph {
+        assert!(n >= 2, "graph needs at least two vertices");
+        let mut rng = SplitMix64::new(seed);
+        let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let target_pairs = n * avg_deg / 2;
+        for _ in 0..target_pairs {
+            let a = rng.below(n as u64) as usize;
+            let b = rng.below(n as u64) as usize;
+            if a == b {
+                continue;
+            }
+            adj[a].push(b as u64);
+            adj[b].push(a as u64);
+        }
+        let mut row = Vec::with_capacity(n + 1);
+        let mut col = Vec::new();
+        row.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            col.extend_from_slice(list);
+            row.push(col.len() as u64);
+        }
+        // Weights must be deterministic and symmetric: derive each from
+        // the unordered endpoint pair.
+        let mut wt = Vec::with_capacity(col.len());
+        #[allow(clippy::needless_range_loop)]
+        for u in 0..n {
+            for e in row[u] as usize..row[u + 1] as usize {
+                let v = col[e];
+                let (lo, hi) = if (u as u64) < v { (u as u64, v) } else { (v, u as u64) };
+                let mut h = SplitMix64::new(seed ^ (lo << 32) ^ hi);
+                wt.push(1 + h.next_u64() % 15);
+            }
+        }
+        Graph { n, row, col, wt }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges in the CSR.
+    pub fn edges(&self) -> usize {
+        self.col.len()
+    }
+
+    /// CSR row offsets (`n + 1` entries).
+    pub fn row(&self) -> &[u64] {
+        &self.row
+    }
+
+    /// CSR column indices.
+    pub fn col(&self) -> &[u64] {
+        &self.col
+    }
+
+    /// Edge weights, parallel to [`Graph::col`].
+    pub fn wt(&self) -> &[u64] {
+        &self.wt
+    }
+
+    /// Out-degree of a vertex.
+    pub fn degree(&self, u: usize) -> usize {
+        (self.row[u + 1] - self.row[u]) as usize
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `u`.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (u64, u64)> + '_ {
+        (self.row[u] as usize..self.row[u + 1] as usize).map(move |e| (self.col[e], self.wt[e]))
+    }
+
+    /// Builds the memory image: row offsets at `row_base`, columns at
+    /// `col_base`, weights at `wt_base`, all as 64-bit words.
+    pub fn mem_image(&self, row_base: u64, col_base: u64, wt_base: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.row.len() + 2 * self.col.len());
+        for (i, r) in self.row.iter().enumerate() {
+            out.push((row_base + 8 * i as u64, *r));
+        }
+        for (i, c) in self.col.iter().enumerate() {
+            out.push((col_base + 8 * i as u64, *c));
+        }
+        for (i, w) in self.wt.iter().enumerate() {
+            out.push((wt_base + 8 * i as u64, *w));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let unique: std::collections::HashSet<_> = xs.iter().collect();
+        assert_eq!(unique.len(), 16);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        let a = Graph::uniform(128, 8, 1);
+        let b = Graph::uniform(128, 8, 1);
+        assert_eq!(a.row(), b.row());
+        assert_eq!(a.col(), b.col());
+        assert_eq!(a.wt(), b.wt());
+        let c = Graph::uniform(128, 8, 2);
+        assert_ne!(a.col(), c.col(), "different seeds differ");
+    }
+
+    #[test]
+    fn csr_invariants() {
+        let g = Graph::uniform(256, 8, 3);
+        assert_eq!(g.row().len(), 257);
+        assert_eq!(g.row()[0], 0);
+        assert_eq!(*g.row().last().unwrap() as usize, g.edges());
+        for u in 0..g.n() {
+            let s = g.row()[u] as usize;
+            let e = g.row()[u + 1] as usize;
+            assert!(s <= e);
+            let neigh = &g.col()[s..e];
+            for w in neigh.windows(2) {
+                assert!(w[0] < w[1], "sorted and deduplicated");
+            }
+            for &v in neigh {
+                assert_ne!(v as usize, u, "no self loops");
+                assert!((v as usize) < g.n());
+            }
+        }
+        assert_eq!(g.wt().len(), g.edges());
+        for &w in g.wt() {
+            assert!((1..=15).contains(&w));
+        }
+    }
+
+    #[test]
+    fn weights_are_symmetric() {
+        let g = Graph::uniform(64, 6, 9);
+        for u in 0..g.n() {
+            for (v, w) in g.neighbors(u) {
+                let back =
+                    g.neighbors(v as usize).find(|&(x, _)| x == u as u64).map(|(_, w)| w);
+                assert_eq!(back, Some(w), "edge ({u},{v}) weight symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn average_degree_roughly_matches() {
+        let g = Graph::uniform(1024, 8, 5);
+        let avg = g.edges() as f64 / g.n() as f64;
+        assert!(avg > 5.0 && avg < 9.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn mem_image_layout() {
+        let g = Graph::uniform(16, 4, 1);
+        let img = g.mem_image(0x1000, 0x2000, 0x3000);
+        assert_eq!(img.len(), 17 + 2 * g.edges());
+        assert_eq!(img[0], (0x1000, 0));
+        let (addr, val) = img[17];
+        assert_eq!(addr, 0x2000);
+        assert_eq!(val, g.col()[0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mssr-workloads
+//!
+//! Benchmarks for the MSSR reproduction, written in the `mssr-isa` toy
+//! instruction set and verified against Rust reference implementations:
+//!
+//! * [`microbench`] — the paper's Listing-1 kernel in its
+//!   *nested-mispred* and *linear-mispred* variants (§2.2.4, Table 1);
+//! * [`gap`] — real graph kernels (bfs, bc, cc, pr, sssp, tc) over a
+//!   seeded random graph, standing in for the GAP suite;
+//! * [`spec2006`] / [`spec2017`] — synthetic kernels named for the
+//!   SPECint benchmarks the paper reports, each engineered to match that
+//!   benchmark's branch-misprediction and memory character (see
+//!   `DESIGN.md` for the substitution rationale).
+//!
+//! Every workload carries architectural result [`Check`]s so that a run
+//! under any reuse engine is verified end-to-end — a squash-reuse bug
+//! can never silently pass as a speedup.
+
+pub mod gap;
+pub mod graph;
+pub mod microbench;
+pub mod spec2006;
+pub mod spec2017;
+mod suite;
+pub mod util;
+mod workload;
+
+pub use suite::{all_workloads, suite_workloads, Scale};
+pub use workload::{Check, Suite, Workload};

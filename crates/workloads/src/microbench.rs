@@ -1,0 +1,361 @@
+//! The Listing-1 microbenchmark (paper §2.2) and its two variants.
+//!
+//! The kernel runs a loop whose body contains a nested branch structure:
+//! an outer hard-to-predict branch `Br1` and an inner one `Br2`, both
+//! driven by pseudo-random hash values, followed by a reconvergence
+//! region computing three values `t0`, `t1`, `t2` through calls to a
+//! compute-intensive function `calc2` (as in the paper, `calc1` and
+//! `calc2` are real function calls — which is exactly what creates the
+//! *temporal reference* problem for table-based reuse: three dynamic
+//! instances of the same `calc2` PCs with different operands compete for
+//! the same reuse-table sets):
+//!
+//! * `t0 = calc2(i)` is always control- and data-independent (CIDI);
+//! * `t1 = calc2(data1)` is data-dependent on `Br1`'s body;
+//! * `t2 = calc2(data2)` is *statically* data-dependent but
+//!   *dynamically* CIDI whenever `Br2`'s body did not execute.
+//!
+//! The two variants differ only in which datum each branch tests
+//! (§2.2.4, created by swapping the branch conditions):
+//!
+//! * **nested-mispred** — `Br1` tests `data1`, `Br2` tests `data2`.
+//!   Since `data1 = hash(data2)`, `data2` resolves first, so the
+//!   *younger* `Br2` mispredicts before the *elder* `Br1`:
+//!   out-of-order branch resolution, the source of hardware-induced
+//!   multi-stream reconvergence.
+//! * **linear-mispred** — the conditions are swapped, so mispredictions
+//!   resolve in program order (software-induced multi-stream
+//!   reconvergence only).
+
+use mssr_isa::{regs::*, Assembler};
+
+use crate::util::ScratchPool;
+use crate::workload::{Check, Suite, Workload};
+
+/// Result area: loop checksum, final data1, final data2.
+const RESULT_BASE: u64 = 0x8000;
+/// The `arr` output array of Listing 1.
+const ARR_BASE: u64 = 0x20000;
+
+const HASH_MUL1: u64 = 0x9e3779b97f4a7c15;
+const HASH_MUL2: u64 = 0xbf58476d1ce4e5b9;
+const CALC1_MUL1: u64 = 0xc2b2ae3d27d4eb4f;
+const CALC1_MUL2: u64 = 0x94d049bb133111eb;
+const CALC2_MUL1: u64 = 0xd6e8feb86659fd93;
+const CALC2_MUL2: u64 = 0xa0761d6478bd642f;
+const CALC2_MUL3: u64 = 0xe7037ed1a0b428db;
+
+/// Which branch tests which datum.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// `Br1` on `data1` (late), `Br2` on `data2` (early): nested,
+    /// out-of-order mispredictions.
+    Nested,
+    /// `Br1` on `data2` (early), `Br2` on `data1` (late): in-order
+    /// mispredictions.
+    Linear,
+}
+
+/// Number of multiply rounds in the deep hash producing `data2`. Deep
+/// enough that the branches testing the hash outputs resolve long after
+/// fetch — giving the wrong path time to execute the reconvergence
+/// region, which is what squash reuse recycles.
+const HASH_ROUNDS: usize = 6;
+/// Rounds in the shallow hash producing `data1 = hash(data2)`. Shallow,
+/// so the two branches resolve close together in time: after the first
+/// redirect, the overriding misprediction arrives before the new stream
+/// has fetched past the reconvergence point — which is exactly when a
+/// *multi-stream* processor must fall back to an older squashed stream
+/// (paper Figure 1(b)).
+const HASH2_ROUNDS: usize = 1;
+
+fn hash_rounds_ref(x: u64, rounds: usize) -> u64 {
+    let mut t = x.wrapping_add(0x1234_5678);
+    for r in 0..rounds {
+        let k = if r % 2 == 0 { HASH_MUL1 } else { HASH_MUL2 };
+        t = t.wrapping_mul(k);
+        t ^= t >> 29;
+    }
+    t
+}
+
+fn hash_ref(x: u64) -> u64 {
+    hash_rounds_ref(x, HASH_ROUNDS)
+}
+
+fn hash2_ref(x: u64) -> u64 {
+    hash_rounds_ref(x, HASH2_ROUNDS)
+}
+
+fn calc1_ref(x: u64) -> u64 {
+    let mut t = x.wrapping_mul(CALC1_MUL1).wrapping_add(7);
+    t ^= t >> 13;
+    t = t.wrapping_mul(CALC1_MUL2);
+    t ^ (t >> 7)
+}
+
+fn calc2_ref(x: u64) -> u64 {
+    let mut t = x.wrapping_mul(CALC2_MUL1).wrapping_add(3);
+    t ^= t >> 31;
+    t = t.wrapping_mul(CALC2_MUL2);
+    t ^= t >> 11;
+    t.wrapping_mul(CALC2_MUL3)
+}
+
+/// Rust reference implementation of the Listing-1 loop.
+fn reference(iters: u64, variant: Variant) -> (u64, u64, u64) {
+    let mut checksum = 0u64;
+    let mut data1 = 0u64;
+    let mut data2 = 0u64;
+    for i in 0..iters {
+        data2 = hash_ref(i);
+        data1 = hash2_ref(data2);
+        let (c1, c2) = match variant {
+            Variant::Nested => (data1 & 1, data2 & 2),
+            Variant::Linear => (data2 & 1, data1 & 2),
+        };
+        if c1 != 0 {
+            if c2 != 0 {
+                data2 = calc1_ref(data2);
+            }
+            data1 = calc1_ref(data1);
+        }
+        let t0 = calc2_ref(i);
+        let t1 = calc2_ref(data1);
+        let t2 = calc2_ref(data2);
+        checksum = checksum.wrapping_add(t0.wrapping_add(t1).wrapping_add(t2));
+    }
+    (checksum, data1, data2)
+}
+
+/// Emits `dst = hash(src)` inline. The multiply constants live in `s6`
+/// and `s7` (hoisted out of the loop, as a compiler would); scratch for
+/// the shift temporaries rotates through the pool. The dependent
+/// multiplies keep the branch operands late, widening the squash window.
+fn emit_hash(
+    a: &mut Assembler,
+    pool: &mut ScratchPool,
+    dst: mssr_isa::ArchReg,
+    src: mssr_isa::ArchReg,
+    rounds: usize,
+) {
+    a.addi(dst, src, 0x1234_5678);
+    for r in 0..rounds {
+        let k = if r % 2 == 0 { S6 } else { S7 };
+        a.mul(dst, dst, k);
+        let t = pool.next();
+        a.srli(t, dst, 29);
+        a.xor(dst, dst, t);
+    }
+}
+
+/// Emits the `calc1` function: `a0 = calc1(a0)`. Constants are hoisted
+/// into `s8`/`s9`; clobbers `a1` and `t0`.
+fn emit_calc1_fn(a: &mut Assembler) {
+    a.label("calc1");
+    a.mul(A0, A0, S8);
+    a.addi(A0, A0, 7);
+    a.srli(A1, A0, 13);
+    a.xor(A0, A0, A1);
+    a.mul(A0, A0, S9);
+    a.srli(T0, A0, 7);
+    a.xor(A0, A0, T0);
+    a.ret();
+}
+
+/// Emits the `calc2` function: `a0 = calc2(a0)`. Constants are hoisted
+/// into `s10`/`s11`/`tp`; clobbers `a1` and `t1`.
+fn emit_calc2_fn(a: &mut Assembler) {
+    a.label("calc2");
+    a.mul(A0, A0, S10);
+    a.addi(A0, A0, 3);
+    a.srli(A1, A0, 31);
+    a.xor(A0, A0, A1);
+    a.mul(A0, A0, S11);
+    a.srli(T1, A0, 11);
+    a.xor(A0, A0, T1);
+    a.mul(A0, A0, TP);
+    a.ret();
+}
+
+fn build(iters: u64, variant: Variant) -> Workload {
+    // Register plan:
+    //   S0 = i, S1 = iters, S2 = data1, S3 = data2,
+    //   S4 = checksum, S5 = &arr, T2..T5 = t0/t1/t2/sum, T6 = scratch.
+    let mut a = Assembler::new();
+    let mut pool = ScratchPool::new();
+    a.li(S0, 0);
+    a.li(S1, iters as i64);
+    a.li(S4, 0);
+    a.li(S5, ARR_BASE as i64);
+    // Loop-invariant multiply constants, hoisted as a compiler would.
+    a.li(S6, HASH_MUL1 as i64);
+    a.li(S7, HASH_MUL2 as i64);
+    a.li(S8, CALC1_MUL1 as i64);
+    a.li(S9, CALC1_MUL2 as i64);
+    a.li(S10, CALC2_MUL1 as i64);
+    a.li(S11, CALC2_MUL2 as i64);
+    a.li(TP, CALC2_MUL3 as i64);
+    a.label("loop");
+    emit_hash(&mut a, &mut pool, S3, S0, HASH_ROUNDS); // data2 = hash(i)
+    emit_hash(&mut a, &mut pool, S2, S3, HASH2_ROUNDS); // data1 = hash(data2): slightly later
+    match variant {
+        Variant::Nested => {
+            a.andi(T0, S2, 1); // Br1 condition: data1 (late)
+            a.andi(T1, S3, 2); // Br2 condition: data2 (early)
+        }
+        Variant::Linear => {
+            a.andi(T0, S3, 1); // Br1 condition: data2 (early)
+            a.andi(T1, S2, 2); // Br2 condition: data1 (late)
+        }
+    }
+    a.beq(T0, ZERO, "m2"); // Br1 — hard to predict
+    a.beq(T1, ZERO, "m1"); // Br2 — hard to predict
+    a.mv(A0, S3);
+    a.call("calc1"); // data2 = calc1(data2)
+    a.mv(S3, A0);
+    a.label("m1");
+    a.mv(A0, S2);
+    a.call("calc1"); // data1 = calc1(data1)
+    a.mv(S2, A0);
+    a.label("m2");
+    // Reconvergence region: potential CIDI operations (Listing 1 M2).
+    a.mv(A0, S0);
+    a.call("calc2"); // t0 = calc2(i) — always CIDI
+    a.mv(T2, A0);
+    a.mv(A0, S2);
+    a.call("calc2"); // t1 = calc2(data1) — DD on Br1
+    a.mv(T3, A0);
+    a.mv(A0, S3);
+    a.call("calc2"); // t2 = calc2(data2) — dynamically CIDI
+    a.mv(T4, A0);
+    a.add(T5, T2, T3);
+    a.add(T5, T5, T4);
+    // arr[i] = t0 + t1 + t2
+    a.slli(T6, S0, 3);
+    a.add(T6, T6, S5);
+    a.st(T6, T5, 0);
+    a.add(S4, S4, T5); // checksum
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "loop");
+    a.st(ZERO, S4, RESULT_BASE as i64);
+    a.st(ZERO, S2, (RESULT_BASE + 8) as i64);
+    a.st(ZERO, S3, (RESULT_BASE + 16) as i64);
+    a.halt();
+    emit_calc1_fn(&mut a);
+    emit_calc2_fn(&mut a);
+
+    let (checksum, data1, data2) = reference(iters, variant);
+    let name = match variant {
+        Variant::Nested => format!("nested-mispred/{iters}"),
+        Variant::Linear => format!("linear-mispred/{iters}"),
+    };
+    Workload::new(
+        name,
+        Suite::Micro,
+        a.assemble().expect("microbenchmark assembles"),
+        vec![],
+        vec![
+            Check { addr: RESULT_BASE, expect: checksum, what: "arr checksum" },
+            Check { addr: RESULT_BASE + 8, expect: data1, what: "final data1" },
+            Check { addr: RESULT_BASE + 16, expect: data2, what: "final data2" },
+        ],
+    )
+}
+
+/// The *nested-mispred* variant: `Br2` (younger) resolves before `Br1`
+/// (elder), producing out-of-order mispredictions.
+pub fn nested_mispred(iters: u64) -> Workload {
+    build(iters, Variant::Nested)
+}
+
+/// The *linear-mispred* variant: mispredictions resolve in program order.
+pub fn linear_mispred(iters: u64) -> Workload {
+    build(iters, Variant::Linear)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssr_core::{MssrConfig, MultiStreamReuse};
+    use mssr_sim::SimConfig;
+
+    fn cfg() -> SimConfig {
+        SimConfig::default().with_max_cycles(5_000_000)
+    }
+
+    #[test]
+    fn nested_variant_is_architecturally_correct() {
+        nested_mispred(200).run(cfg(), None);
+    }
+
+    #[test]
+    fn linear_variant_is_architecturally_correct() {
+        linear_mispred(200).run(cfg(), None);
+    }
+
+    #[test]
+    fn both_variants_mispredict_heavily() {
+        for w in [nested_mispred(300), linear_mispred(300)] {
+            let stats = w.run(cfg(), None);
+            assert!(
+                stats.mispredictions > 80,
+                "{}: H2P branches must mispredict often, got {}",
+                w.name(),
+                stats.mispredictions
+            );
+        }
+    }
+
+    #[test]
+    fn correct_under_reuse_engine() {
+        for w in [nested_mispred(300), linear_mispred(300)] {
+            let stats =
+                w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+            assert!(stats.engine.reuse_grants > 0, "{} should see reuse", w.name());
+        }
+    }
+
+    #[test]
+    fn nested_resolves_out_of_order() {
+        // The nested variant must produce hardware-induced (younger-
+        // branch) reconvergence; the linear variant mostly not.
+        let n = nested_mispred(500)
+            .run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+        assert!(
+            n.engine.recon_hardware > 0,
+            "nested-mispred should show hardware-induced reconvergence"
+        );
+    }
+
+    #[test]
+    fn multi_stream_beats_single_stream_here() {
+        // This is the workload Table 1 is built on: tracking more streams
+        // must recover more squashed work than a single stream.
+        let w = nested_mispred(1500);
+        let one = w.run(
+            cfg(),
+            Some(Box::new(MultiStreamReuse::new(
+                MssrConfig::default().with_streams(1).with_log_entries(64),
+            ))),
+        );
+        let four = w.run(
+            cfg(),
+            Some(Box::new(MultiStreamReuse::new(
+                MssrConfig::default().with_streams(4).with_log_entries(64),
+            ))),
+        );
+        assert!(
+            four.cycles < one.cycles,
+            "4 streams ({} cycles) should beat 1 stream ({} cycles)",
+            four.cycles,
+            one.cycles
+        );
+    }
+
+    #[test]
+    fn reference_is_deterministic() {
+        assert_eq!(reference(100, Variant::Nested), reference(100, Variant::Nested));
+        assert_ne!(reference(100, Variant::Nested).0, reference(100, Variant::Linear).0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Suite enumeration: every workload of the evaluation at a given scale.
+
+use crate::graph::Graph;
+use crate::workload::{Suite, Workload};
+use crate::{gap, microbench, spec2006, spec2017};
+
+/// Workload input scale.
+///
+/// `Test` keeps unit/integration tests fast; `Medium` is the default
+/// evaluation size used by the experiment harness; `Large` approaches the
+/// paper's input sizes (GAP `-g 12` = 4096 vertices) for longer runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Small inputs for tests (seconds per run).
+    Test,
+    /// Default evaluation size for the experiment harness.
+    Medium,
+    /// Larger runs approaching the paper's input sizes.
+    Large,
+}
+
+fn gap_graph(scale: Scale) -> Graph {
+    match scale {
+        Scale::Test => Graph::uniform(128, 6, 12),
+        Scale::Medium => Graph::uniform(1024, 8, 12),
+        Scale::Large => Graph::uniform(4096, 10, 12),
+    }
+}
+
+/// A smaller graph for the quadratic-cost tc kernel.
+fn tc_graph(scale: Scale) -> Graph {
+    match scale {
+        Scale::Test => Graph::uniform(64, 6, 12),
+        Scale::Medium => Graph::uniform(256, 8, 12),
+        Scale::Large => Graph::uniform(512, 10, 12),
+    }
+}
+
+/// All workloads of one suite at a scale.
+pub fn suite_workloads(suite: Suite, scale: Scale) -> Vec<Workload> {
+    let (micro, spec_small, spec_big) = match scale {
+        Scale::Test => (300u64, 60u64, 400u64),
+        Scale::Medium => (2000, 400, 3000),
+        Scale::Large => (6000, 1200, 10000),
+    };
+    match suite {
+        Suite::Micro => vec![
+            microbench::nested_mispred(micro),
+            microbench::linear_mispred(micro),
+        ],
+        Suite::Spec2006 => {
+            let grid = match scale {
+                Scale::Test => 10,
+                Scale::Medium => 20,
+                Scale::Large => 32,
+            };
+            let (mcf_nodes, mcf_steps) = match scale {
+                Scale::Test => (1 << 12, 3_000),
+                Scale::Medium => (1 << 17, 20_000),
+                Scale::Large => (1 << 18, 60_000),
+            };
+            vec![
+                spec2006::gcc(spec_big / 3),
+                spec2006::perlbench(spec_big),
+                spec2006::astar(grid),
+                spec2006::gobmk(spec_small),
+                spec2006::mcf(mcf_nodes, mcf_steps),
+                spec2006::omnetpp(24, spec_small * 4),
+                spec2006::sjeng(spec_small * 2),
+                spec2006::bzip2(spec_small),
+                spec2006::hmmer(spec_big / 2),
+                spec2006::xalancbmk(255, spec_small * 6),
+            ]
+        }
+        Suite::Spec2017 => {
+            let (mcf_nodes, mcf_steps) = match scale {
+                Scale::Test => (1 << 13, 3_000),
+                Scale::Medium => (1 << 18, 25_000),
+                Scale::Large => (1 << 19, 80_000),
+            };
+            let (ex_n, ex_rounds) = match scale {
+                Scale::Test => (6, 4),
+                Scale::Medium => (7, 10),
+                Scale::Large => (8, 12),
+            };
+            vec![
+                spec2017::exchange2(ex_n, ex_rounds),
+                spec2017::leela(spec_small * 4),
+                spec2017::deepsjeng(spec_small * 2),
+                spec2017::xz(spec_big),
+                spec2017::mcf_r(mcf_nodes, mcf_steps),
+                spec2017::omnetpp_r(32, spec_small * 4),
+                spec2017::x264(spec_small),
+            ]
+        }
+        Suite::Gap => {
+            let g = gap_graph(scale);
+            let t = tc_graph(scale);
+            vec![gap::bfs(&g), gap::bc(&g), gap::cc(&g), gap::pr(&g), gap::sssp(&g), gap::tc(&t)]
+        }
+    }
+}
+
+/// Every workload at a scale, suite order: micro, SPEC2006, SPEC2017, GAP.
+pub fn all_workloads(scale: Scale) -> Vec<Workload> {
+    [Suite::Micro, Suite::Spec2006, Suite::Spec2017, Suite::Gap]
+        .into_iter()
+        .flat_map(|s| suite_workloads(s, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_members() {
+        assert_eq!(suite_workloads(Suite::Micro, Scale::Test).len(), 2);
+        assert_eq!(suite_workloads(Suite::Spec2006, Scale::Test).len(), 10);
+        assert_eq!(suite_workloads(Suite::Spec2017, Scale::Test).len(), 7);
+        assert_eq!(suite_workloads(Suite::Gap, Scale::Test).len(), 6);
+        assert_eq!(all_workloads(Scale::Test).len(), 25);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let ws = all_workloads(Scale::Test);
+        let names: std::collections::HashSet<&str> = ws.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), ws.len());
+    }
+
+    #[test]
+    fn every_workload_declares_its_suite() {
+        for s in [Suite::Micro, Suite::Spec2006, Suite::Spec2017, Suite::Gap] {
+            for w in suite_workloads(s, Scale::Test) {
+                assert_eq!(w.suite(), s, "{}", w.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # mssr — Multi-Stream Squash Reuse
+//!
+//! Facade crate for the MSSR reproduction workspace. It re-exports the
+//! public API of the individual crates so that examples, integration tests,
+//! and downstream users can depend on a single crate:
+//!
+//! * [`isa`] — the toy RISC instruction set and assembler,
+//! * [`sim`] — the cycle-level out-of-order superscalar simulator,
+//! * [`core`] — the paper's Multi-Stream Squash Reuse mechanism plus the
+//!   Register Integration and DCI baselines,
+//! * [`workloads`] — microbenchmarks and SPEC/GAP-style kernels.
+//!
+//! See `DESIGN.md` at the repository root for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//!
+//! # Example
+//!
+//! ```
+//! use mssr::isa::{regs::*, Assembler};
+//! use mssr::sim::{Simulator, SimConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Assembler::new();
+//! a.li(T0, 0);
+//! a.li(T1, 1000);
+//! a.label("loop");
+//! a.addi(T0, T0, 1);
+//! a.blt(T0, T1, "loop");
+//! a.halt();
+//! let program = a.assemble()?;
+//!
+//! let mut sim = Simulator::new(SimConfig::default(), program);
+//! let stats = sim.run();
+//! assert!(stats.committed_instructions > 2000);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mssr_core as core;
+pub use mssr_isa as isa;
+pub use mssr_sim as sim;
+pub use mssr_workloads as workloads;

@@ -1,0 +1,131 @@
+//! Shared helpers for the root integration tests: a random-program
+//! generator producing bounded-loop programs with arithmetic, loads,
+//! stores, and data-dependent forward branches.
+
+use mssr::isa::{regs::*, ArchReg, Assembler, Program};
+use proptest::prelude::*;
+
+/// Data window base.
+pub const DATA: u64 = 0x10_0000;
+/// Register-dump base.
+pub const DUMP: u64 = 0x8000;
+/// Registers the generated body may use.
+pub const BODY_REGS: [ArchReg; 8] = [
+    ArchReg::T0,
+    ArchReg::T1,
+    ArchReg::T2,
+    ArchReg::T3,
+    ArchReg::A2,
+    ArchReg::A3,
+    ArchReg::A4,
+    ArchReg::A5,
+];
+
+/// One generated instruction.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Three-address ALU operation.
+    Alu { kind: u8, dst: usize, a: usize, b: usize },
+    /// Register-immediate ALU operation.
+    AluImm { kind: u8, dst: usize, a: usize, imm: i16 },
+    /// Load from the masked data window.
+    Load { dst: usize, addr: usize },
+    /// Store to the masked data window.
+    Store { data: usize, addr: usize },
+    /// Branch over the next `skip` instructions if `reg & 1 == 0`.
+    SkipIfEven { reg: usize, skip: usize },
+}
+
+/// Proptest strategy over [`Op`].
+pub fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..7, 0usize..8, 0usize..8, 0usize..8)
+            .prop_map(|(kind, dst, a, b)| Op::Alu { kind, dst, a, b }),
+        (0u8..4, 0usize..8, 0usize..8, any::<i16>())
+            .prop_map(|(kind, dst, a, imm)| Op::AluImm { kind, dst, a, imm }),
+        (0usize..8, 0usize..8).prop_map(|(dst, addr)| Op::Load { dst, addr }),
+        (0usize..8, 0usize..8).prop_map(|(data, addr)| Op::Store { data, addr }),
+        (0usize..8, 1usize..5).prop_map(|(reg, skip)| Op::SkipIfEven { reg, skip }),
+    ]
+}
+
+/// Assembles a bounded loop around the generated body: registers start
+/// from a seed, the body runs `iters + 1` times, and all body registers
+/// are dumped to memory at the end. Memory addresses are masked into a
+/// 32-slot window so every generated program is well-behaved.
+pub fn assemble(body: &[Op], iters: u8, seed: u64) -> Program {
+    let mut a = Assembler::new();
+    a.li(S0, 0);
+    a.li(S1, iters as i64 + 1);
+    a.li(S2, DATA as i64);
+    for (i, &r) in BODY_REGS.iter().enumerate() {
+        a.li(r, (seed.wrapping_mul(i as u64 + 1) & 0xffff) as i64);
+    }
+    a.label("loop");
+    let mut skip_until: Option<(usize, String)> = None;
+    let mut label_n = 0usize;
+    for (idx, op) in body.iter().enumerate() {
+        if let Some((until, label)) = &skip_until {
+            if idx >= *until {
+                a.label(label.clone());
+                skip_until = None;
+            }
+        }
+        match *op {
+            Op::Alu { kind, dst, a: ra, b: rb } => {
+                let (d, x, y) = (BODY_REGS[dst], BODY_REGS[ra], BODY_REGS[rb]);
+                match kind {
+                    0 => a.add(d, x, y),
+                    1 => a.sub(d, x, y),
+                    2 => a.xor(d, x, y),
+                    3 => a.and(d, x, y),
+                    4 => a.or(d, x, y),
+                    5 => a.mul(d, x, y),
+                    _ => a.slt(d, x, y),
+                };
+            }
+            Op::AluImm { kind, dst, a: ra, imm } => {
+                let (d, x) = (BODY_REGS[dst], BODY_REGS[ra]);
+                match kind {
+                    0 => a.addi(d, x, imm as i64),
+                    1 => a.xori(d, x, imm as i64),
+                    2 => a.srli(d, x, (imm as i64).rem_euclid(63)),
+                    _ => a.slli(d, x, (imm as i64).rem_euclid(8)),
+                };
+            }
+            Op::Load { dst, addr } => {
+                a.andi(A6, BODY_REGS[addr], 31);
+                a.slli(A6, A6, 3);
+                a.add(A6, A6, S2);
+                a.ld(BODY_REGS[dst], A6, 0);
+            }
+            Op::Store { data, addr } => {
+                a.andi(A7, BODY_REGS[addr], 31);
+                a.slli(A7, A7, 3);
+                a.add(A7, A7, S2);
+                a.st(A7, BODY_REGS[data], 0);
+            }
+            Op::SkipIfEven { reg, skip } => {
+                if let Some((_, label)) = skip_until.take() {
+                    a.label(label);
+                }
+                let label = format!("skip{label_n}");
+                label_n += 1;
+                a.andi(A6, BODY_REGS[reg], 1);
+                a.beq(A6, ZERO, &label);
+                skip_until = Some((idx + 1 + skip, label));
+            }
+        }
+    }
+    if let Some((_, label)) = skip_until {
+        a.label(label);
+    }
+    a.add(T0, T0, S0); // mix the loop counter so iterations differ
+    a.addi(S0, S0, 1);
+    a.blt(S0, S1, "loop");
+    for (i, &r) in BODY_REGS.iter().enumerate() {
+        a.st(ZERO, r, (DUMP + 8 * i as u64) as i64);
+    }
+    a.halt();
+    a.assemble().expect("generated program assembles")
+}

@@ -1,0 +1,75 @@
+//! Cross-crate integration: every workload in every suite must produce
+//! identical architectural results under every reuse engine. A failure
+//! here means a squash-reuse engine corrupted architectural state.
+
+use mssr::core::{MemCheckPolicy, MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
+use mssr::sim::{ReuseEngine, SimConfig};
+use mssr::workloads::{all_workloads, Scale};
+
+fn engines() -> Vec<(&'static str, Option<Box<dyn ReuseEngine>>)> {
+    vec![
+        ("baseline", None),
+        ("dci", Some(Box::new(MultiStreamReuse::dci()))),
+        ("mssr", Some(Box::new(MultiStreamReuse::new(MssrConfig::default())))),
+        (
+            "mssr-bloom",
+            Some(Box::new(MultiStreamReuse::new(
+                MssrConfig::default().with_mem_policy(MemCheckPolicy::BloomFilter),
+            ))),
+        ),
+        ("ri", Some(Box::new(RegisterIntegration::new(RiConfig::default())))),
+    ]
+}
+
+fn cfg() -> SimConfig {
+    SimConfig { rgid_bits: 10, ..SimConfig::default() }.with_max_cycles(100_000_000)
+}
+
+#[test]
+fn all_workloads_correct_under_all_engines() {
+    // `Workload::run` panics (with the workload name and failing check)
+    // if any architectural result diverges from the Rust reference.
+    for w in all_workloads(Scale::Test) {
+        for (name, engine) in engines() {
+            let stats = w.run(cfg(), engine);
+            assert!(
+                stats.committed_instructions > 0,
+                "{} under {name}: nothing committed",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn reuse_happens_somewhere_in_every_suite() {
+    use mssr::workloads::{suite_workloads, Suite};
+    for suite in [Suite::Micro, Suite::Spec2006, Suite::Spec2017, Suite::Gap] {
+        let mut total_grants = 0;
+        for w in suite_workloads(suite, Scale::Test) {
+            let s = w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+            total_grants += s.engine.reuse_grants;
+        }
+        assert!(total_grants > 0, "{suite}: no reuse at all is implausible");
+    }
+}
+
+#[test]
+fn engines_never_slow_down_catastrophically() {
+    // Squash reuse is opportunistic: it may not help, but a >10% slowdown
+    // on any kernel would indicate a structural bug (e.g. livelock or
+    // register-pressure starvation).
+    for w in all_workloads(Scale::Test) {
+        let base = w.run(cfg(), None);
+        let s = w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+        let ratio = s.cycles as f64 / base.cycles as f64;
+        assert!(
+            ratio < 1.10,
+            "{}: mssr {:.1}% slower than baseline ({} vs {})",
+            w.name(),
+            100.0 * (ratio - 1.0),
+            s.cycles,
+            base.cycles
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! The whole stack is deterministic: identical runs produce identical
+//! cycle counts, statistics, and memory. This is what makes engine
+//! comparisons meaningful.
+
+use mssr::core::{MssrConfig, MultiStreamReuse};
+use mssr::sim::SimConfig;
+use mssr::workloads::{gap, graph::Graph, microbench, spec2006};
+
+fn cfg() -> SimConfig {
+    SimConfig::default().with_max_cycles(50_000_000)
+}
+
+#[test]
+fn baseline_runs_are_identical() {
+    let w = microbench::nested_mispred(400);
+    let a = w.run(cfg(), None);
+    let b = w.run(cfg(), None);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.committed_instructions, b.committed_instructions);
+    assert_eq!(a.mispredictions, b.mispredictions);
+    assert_eq!(a.l1_misses, b.l1_misses);
+}
+
+#[test]
+fn engine_runs_are_identical() {
+    let g = Graph::uniform(96, 6, 5);
+    let w = gap::sssp(&g);
+    let a = w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+    let b = w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.engine.reuse_grants, b.engine.reuse_grants);
+    assert_eq!(a.engine.reconvergences, b.engine.reconvergences);
+    assert_eq!(a.engine.stream_distance, b.engine.stream_distance);
+}
+
+#[test]
+fn workload_construction_is_deterministic() {
+    let a = spec2006::astar(10);
+    let b = spec2006::astar(10);
+    assert_eq!(a.static_insts(), b.static_insts());
+    assert_eq!(a.checks().len(), b.checks().len());
+    for (ca, cb) in a.checks().iter().zip(b.checks()) {
+        assert_eq!(ca.expect, cb.expect);
+        assert_eq!(ca.addr, cb.addr);
+    }
+}
