@@ -1,64 +1,55 @@
-//! Criterion benches mirroring the paper's experiments, one group per
-//! table/figure, at test scale (the `table1`/`fig10`/…` binaries run the
+//! Harness benches mirroring the paper's experiments, one group per
+//! table/figure, at test scale (the `table1`/`fig10`/… binaries run the
 //! full medium-scale sweeps; these benches keep `cargo bench` fast while
 //! still exercising every experiment's code path and reporting simulated
 //! runtimes as wall-clock measurements).
+//!
+//! Built on the harness's measurement core ([`measure`]): warmup
+//! iterations, N samples, median/MAD/min. Pass `--json` for JSON-lines
+//! `"bench"` records instead of the human-readable report.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mssr_bench::harness::{measure, MeasureConfig, Measurement};
 use mssr_bench::{run_spec, EngineSpec};
 use mssr_workloads::{gap, graph::Graph, microbench, spec2006, spec2017};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_microbench");
-    g.sample_size(10);
+fn bench_table1(out: &mut Vec<Measurement>, cfg: MeasureConfig) {
     let nested = microbench::nested_mispred(300);
     let linear = microbench::linear_mispred(300);
-    g.bench_function("nested/baseline", |b| {
-        b.iter(|| run_spec(&nested, EngineSpec::Baseline))
-    });
-    g.bench_function("nested/mssr4x64", |b| {
-        b.iter(|| run_spec(&nested, EngineSpec::Mssr { streams: 4, log_entries: 64 }))
-    });
-    g.bench_function("nested/ri64x4", |b| {
-        b.iter(|| run_spec(&nested, EngineSpec::Ri { sets: 64, ways: 4 }))
-    });
-    g.bench_function("linear/mssr4x64", |b| {
-        b.iter(|| run_spec(&linear, EngineSpec::Mssr { streams: 4, log_entries: 64 }))
-    });
-    g.finish();
+    out.push(measure("table1/nested/baseline", cfg, || run_spec(&nested, EngineSpec::Baseline)));
+    out.push(measure("table1/nested/mssr4x64", cfg, || {
+        run_spec(&nested, EngineSpec::Mssr { streams: 4, log_entries: 64 })
+    }));
+    out.push(measure("table1/nested/ri64x4", cfg, || {
+        run_spec(&nested, EngineSpec::Ri { sets: 64, ways: 4 })
+    }));
+    out.push(measure("table1/linear/mssr4x64", cfg, || {
+        run_spec(&linear, EngineSpec::Mssr { streams: 4, log_entries: 64 })
+    }));
 }
 
-fn bench_fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_ri_replacements");
-    g.sample_size(10);
+fn bench_fig3(out: &mut Vec<Measurement>, cfg: MeasureConfig) {
     let w = microbench::nested_mispred(300);
     for ways in [1usize, 4] {
-        g.bench_function(format!("ri_{ways}way"), |b| {
-            b.iter(|| run_spec(&w, EngineSpec::Ri { sets: 64, ways }))
-        });
+        out.push(measure(format!("fig3/ri_{ways}way"), cfg, || {
+            run_spec(&w, EngineSpec::Ri { sets: 64, ways })
+        }));
     }
-    g.finish();
 }
 
-fn bench_fig4_fig11(c: &mut Criterion) {
+fn bench_fig4_fig11(out: &mut Vec<Measurement>, cfg: MeasureConfig) {
     // Both figures come from the same profiling run.
-    let mut g = c.benchmark_group("fig4_fig11_reconvergence_profile");
-    g.sample_size(10);
     let graph = Graph::uniform(128, 6, 12);
     let w = gap::bfs(&graph);
-    g.bench_function("bfs/mssr4", |b| {
-        b.iter(|| run_spec(&w, EngineSpec::Mssr { streams: 4, log_entries: 64 }))
-    });
+    out.push(measure("fig4_fig11/bfs/mssr4", cfg, || {
+        run_spec(&w, EngineSpec::Mssr { streams: 4, log_entries: 64 })
+    }));
     let s = spec2006::sjeng(60);
-    g.bench_function("sjeng/mssr8", |b| {
-        b.iter(|| run_spec(&s, EngineSpec::Mssr { streams: 8, log_entries: 64 }))
-    });
-    g.finish();
+    out.push(measure("fig4_fig11/sjeng/mssr8", cfg, || {
+        run_spec(&s, EngineSpec::Mssr { streams: 8, log_entries: 64 })
+    }));
 }
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_ipc_sweep");
-    g.sample_size(10);
+fn bench_fig10(out: &mut Vec<Measurement>, cfg: MeasureConfig) {
     let graph = Graph::uniform(128, 6, 12);
     let workloads = vec![
         ("astar", spec2006::astar(10)),
@@ -67,47 +58,45 @@ fn bench_fig10(c: &mut Criterion) {
     ];
     for (name, w) in &workloads {
         for (streams, wpb) in [(1usize, 16usize), (4, 64)] {
-            g.bench_function(format!("{name}/{streams}x{wpb}"), |b| {
-                b.iter(|| run_spec(w, EngineSpec::Mssr { streams, log_entries: wpb * 4 }))
-            });
+            out.push(measure(format!("fig10/{name}/{streams}x{wpb}"), cfg, || {
+                run_spec(w, EngineSpec::Mssr { streams, log_entries: wpb * 4 })
+            }));
         }
     }
-    g.finish();
 }
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_ri_vs_rgid_gap");
-    g.sample_size(10);
+fn bench_fig12(out: &mut Vec<Measurement>, cfg: MeasureConfig) {
     let graph = Graph::uniform(128, 6, 12);
     let w = gap::cc(&graph);
-    g.bench_function("cc/rgid2x64", |b| {
-        b.iter(|| run_spec(&w, EngineSpec::Mssr { streams: 2, log_entries: 64 }))
-    });
-    g.bench_function("cc/ri64x2", |b| {
-        b.iter(|| run_spec(&w, EngineSpec::Ri { sets: 64, ways: 2 }))
-    });
-    g.finish();
+    out.push(measure("fig12/cc/rgid2x64", cfg, || {
+        run_spec(&w, EngineSpec::Mssr { streams: 2, log_entries: 64 })
+    }));
+    out.push(measure("fig12/cc/ri64x2", cfg, || {
+        run_spec(&w, EngineSpec::Ri { sets: 64, ways: 2 })
+    }));
 }
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models(out: &mut Vec<Measurement>, cfg: MeasureConfig) {
     // Tables 2 and 4 are analytic; benching them documents their cost is nil.
-    let mut g = c.benchmark_group("table2_table4_models");
-    g.bench_function("storage_model", |b| {
-        b.iter(|| mssr_core::storage::storage(&mssr_core::storage::StorageParams::default()))
-    });
-    g.bench_function("complexity_model", |b| {
-        b.iter(|| mssr_core::complexity::reconvergence_detection(4, 64))
-    });
-    g.finish();
+    out.push(measure("table2_table4/storage_model", cfg, || {
+        mssr_core::storage::storage(&mssr_core::storage::StorageParams::default())
+    }));
+    out.push(measure("table2_table4/complexity_model", cfg, || {
+        mssr_core::complexity::reconvergence_detection(4, 64)
+    }));
 }
 
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_fig3,
-    bench_fig4_fig11,
-    bench_fig10,
-    bench_fig12,
-    bench_models
-);
-criterion_main!(benches);
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let cfg = MeasureConfig::default();
+    let mut out = Vec::new();
+    bench_table1(&mut out, cfg);
+    bench_fig3(&mut out, cfg);
+    bench_fig4_fig11(&mut out, cfg);
+    bench_fig10(&mut out, cfg);
+    bench_fig12(&mut out, cfg);
+    bench_models(&mut out, cfg);
+    for m in &out {
+        println!("{}", if json { m.json_line() } else { m.human() });
+    }
+}

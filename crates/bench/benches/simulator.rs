@@ -1,8 +1,11 @@
 //! Simulator-throughput benchmarks: how many simulated instructions per
 //! wall-clock second the substrate achieves, with and without a reuse
 //! engine — the cost of the mechanism itself, not of what it simulates.
+//!
+//! Built on the harness's measurement core; pass `--json` for JSON-lines
+//! `"bench"` records.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mssr_bench::harness::{measure, MeasureConfig};
 use mssr_core::{MssrConfig, MultiStreamReuse};
 use mssr_isa::{regs::*, Assembler, Program};
 use mssr_sim::{SimConfig, Simulator};
@@ -27,32 +30,31 @@ fn loop_program(iters: i64) -> Program {
     a.assemble().expect("assembles")
 }
 
-fn bench_throughput(c: &mut Criterion) {
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let iters = 5_000i64;
     let program = loop_program(iters);
     // Committed instructions per run (approximate: ~9 per iteration).
     let insts = 9 * iters as u64;
-    let mut g = c.benchmark_group("simulator_throughput");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(insts));
-    g.bench_function("baseline", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(SimConfig::default(), program.clone());
-            sim.run()
-        })
+    let cfg = MeasureConfig { warmup: 3, samples: 20 };
+    let baseline = measure("simulator_throughput/baseline", cfg, || {
+        let mut sim = Simulator::new(SimConfig::default(), program.clone());
+        sim.run()
     });
-    g.bench_function("mssr_engine", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::with_engine(
-                SimConfig::default(),
-                program.clone(),
-                Box::new(MultiStreamReuse::new(MssrConfig::default())),
-            );
-            sim.run()
-        })
+    let engine = measure("simulator_throughput/mssr_engine", cfg, || {
+        let mut sim = Simulator::with_engine(
+            SimConfig::default(),
+            program.clone(),
+            Box::new(MultiStreamReuse::new(MssrConfig::default())),
+        );
+        sim.run()
     });
-    g.finish();
+    for m in [&baseline, &engine] {
+        if json {
+            println!("{}", m.json_line());
+        } else {
+            let minsts_s = insts as f64 / m.median_ns() as f64 * 1e3;
+            println!("{}  ({minsts_s:.2} Minsts/s)", m.human());
+        }
+    }
 }
-
-criterion_group!(benches, bench_throughput);
-criterion_main!(benches);

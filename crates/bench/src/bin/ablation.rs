@@ -5,100 +5,13 @@
 //! * memory-check policy — load re-execution verification (paper's
 //!   evaluated choice) vs the Bloom filter;
 //! * reconvergence timeout sweep;
+//! * in-flight writeback draining at squash on/off;
 //! * single-page (VPN-restricted) Wrong-Path Buffers on/off.
 
-use mssr_bench::{experiment_sim_config, render_table, speedup_pct};
-use mssr_core::{MemCheckPolicy, MssrConfig, MultiStreamReuse};
-use mssr_sim::SimConfig;
-use mssr_workloads::{microbench, Scale};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let scale = mssr_bench::scale_from_env(Scale::Medium);
-    let iters = match scale {
-        Scale::Test => 500,
-        Scale::Medium => 3000,
-        Scale::Large => 8000,
-    };
-    let w = microbench::nested_mispred(iters);
-
-    println!("== Ablation: RGID width (6-bit paper / 10-bit calibrated / 14-bit) ==");
-    let mut rows = Vec::new();
-    for bits in [6u32, 8, 10, 14] {
-        let cfg = SimConfig { rgid_bits: bits, ..experiment_sim_config() };
-        let base = w.run(cfg.clone(), None);
-        let s = w.run(cfg, Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
-        rows.push(vec![
-            format!("{bits}-bit"),
-            format!("{:+.2}%", speedup_pct(&base, &s)),
-            format!("{}", s.engine.reuse_grants),
-            format!("{}", s.engine.rgid_overflows),
-            format!("{}", s.engine.rgid_resets),
-        ]);
-    }
-    println!("{}", render_table(&["RGID", "speedup", "grants", "overflows", "resets"], &rows));
-
-    println!("== Ablation: reused-load memory check policy ==");
-    let mut rows = Vec::new();
-    let base = w.run(experiment_sim_config(), None);
-    for (name, policy) in [
-        ("load re-execution", MemCheckPolicy::LoadVerification),
-        ("bloom filter", MemCheckPolicy::BloomFilter),
-    ] {
-        let e = MultiStreamReuse::new(MssrConfig::default().with_mem_policy(policy));
-        let s = w.run(experiment_sim_config(), Some(Box::new(e)));
-        rows.push(vec![
-            name.to_string(),
-            format!("{:+.2}%", speedup_pct(&base, &s)),
-            format!("{}", s.engine.reused_loads),
-            format!("{}", s.flushes_reuse_verify),
-            format!("{}", s.engine.reuse_fail_mem),
-        ]);
-    }
-    println!(
-        "{}",
-        render_table(&["policy", "speedup", "reused loads", "verify flushes", "bloom rejects"], &rows)
-    );
-
-    println!("== Ablation: reconvergence timeout ==");
-    let mut rows = Vec::new();
-    for timeout in [64u64, 256, 1024, 4096] {
-        let e = MultiStreamReuse::new(MssrConfig::default().with_timeout(timeout));
-        let s = w.run(experiment_sim_config(), Some(Box::new(e)));
-        rows.push(vec![
-            format!("{timeout}"),
-            format!("{:+.2}%", speedup_pct(&base, &s)),
-            format!("{}", s.engine.timeouts),
-            format!("{}", s.engine.reuse_grants),
-        ]);
-    }
-    println!("{}", render_table(&["timeout (insts)", "speedup", "stream timeouts", "grants"], &rows));
-
-    println!("== Ablation: in-flight writeback draining at squash ==");
-    let mut rows = Vec::new();
-    for (name, drain) in [("drain (hardware)", true), ("no drain", false)] {
-        let cfg = SimConfig { drain_inflight_on_squash: drain, ..experiment_sim_config() };
-        let b2 = w.run(cfg.clone(), None);
-        let e = MultiStreamReuse::new(MssrConfig::default());
-        let s = w.run(cfg, Some(Box::new(e)));
-        rows.push(vec![
-            name.to_string(),
-            format!("{:+.2}%", speedup_pct(&b2, &s)),
-            format!("{}", s.engine.reuse_grants),
-            format!("{}", s.engine.reuse_fail_not_executed),
-        ]);
-    }
-    println!("{}", render_table(&["squash drain", "speedup", "grants", "not-executed fails"], &rows));
-
-    println!("== Ablation: single-page (VPN-restricted) WPB ==");
-    let mut rows = Vec::new();
-    for (name, vpn) in [("full PC", false), ("single page", true)] {
-        let e = MultiStreamReuse::new(MssrConfig::default().with_vpn_restrict(vpn));
-        let s = w.run(experiment_sim_config(), Some(Box::new(e)));
-        rows.push(vec![
-            name.to_string(),
-            format!("{:+.2}%", speedup_pct(&base, &s)),
-            format!("{}", s.engine.reconvergences),
-        ]);
-    }
-    println!("{}", render_table(&["WPB addressing", "speedup", "reconvergences"], &rows));
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["ablation"], &opts));
 }

@@ -5,45 +5,10 @@
 //! 4×1024 upper-bound study. Labels give streams × WPB entries; the
 //! Squash Log holds 4× the WPB entries (§4.1.2's ratio).
 
-use mssr_bench::{render_table, run_spec, scale_from_env, speedup_pct, EngineSpec};
-use mssr_workloads::{suite_workloads, Scale, Suite};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let scale = scale_from_env(Scale::Medium);
-    // (streams, wpb entries) per the paper's figure legend.
-    let configs = [(1usize, 16usize), (1, 64), (2, 64), (4, 64), (4, 1024)];
-    println!("== Figure 10: IPC improvement per stream x WPB configuration ==");
-    println!("paper: avg +2.2% (SPECint2006) +0.8% (SPECint2017) +2.4% (GAP) at 4x64;");
-    println!("       max astar +8.9%, bc +6.1%, cc +4.0%");
-    println!();
-    let mut rows = Vec::new();
-    for suite in [Suite::Spec2006, Suite::Spec2017, Suite::Gap] {
-        let mut sums = vec![0.0f64; configs.len()];
-        let mut count = 0usize;
-        for w in suite_workloads(suite, scale) {
-            let base = run_spec(&w, EngineSpec::Baseline);
-            let mut row = vec![w.name().to_string(), format!("{suite}"), format!("{:.3}", base.ipc())];
-            for (i, &(streams, wpb)) in configs.iter().enumerate() {
-                let s = run_spec(&w, EngineSpec::Mssr { streams, log_entries: wpb * 4 });
-                let pct = speedup_pct(&base, &s);
-                sums[i] += pct;
-                row.push(format!("{pct:+.2}%"));
-            }
-            count += 1;
-            rows.push(row);
-        }
-        let mut avg = vec![format!("average"), format!("{suite}"), String::new()];
-        for s in &sums {
-            avg.push(format!("{:+.2}%", s / count as f64));
-        }
-        rows.push(avg);
-        rows.push(vec![String::new()]);
-    }
-    let headers: Vec<String> = ["benchmark", "suite", "base IPC"]
-        .iter()
-        .map(|s| s.to_string())
-        .chain(configs.iter().map(|(n, m)| format!("{n}x{m}")))
-        .collect();
-    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&hdr_refs, &rows));
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["fig10"], &opts));
 }

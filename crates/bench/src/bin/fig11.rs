@@ -2,51 +2,10 @@
 //! over 50% of reconvergences at distance 1 (neighboring streams) and
 //! 90-95% within distance 3 — motivating 4 tracked streams.
 
-use mssr_bench::{render_table, run_spec, scale_from_env, EngineSpec};
-use mssr_workloads::{all_workloads, Scale};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let scale = scale_from_env(Scale::Medium);
-    println!("== Figure 11: reconvergence stream distance (8 streams tracked) ==");
-    println!("paper: >50% at distance 1; 90-95% within distance 3");
-    println!();
-    let mut rows = Vec::new();
-    let mut totals = [0u64; 8];
-    for w in all_workloads(scale) {
-        // Track more streams than the default so longer distances are
-        // observable (the histogram saturates at the stream count).
-        let s = run_spec(&w, EngineSpec::Mssr { streams: 8, log_entries: 64 });
-        let h = s.engine.stream_distance;
-        let total: u64 = h.iter().sum();
-        for (t, v) in totals.iter_mut().zip(h.iter()) {
-            *t += v;
-        }
-        if total == 0 {
-            continue;
-        }
-        let cum = |k: usize| {
-            100.0 * h[..k].iter().sum::<u64>() as f64 / total as f64
-        };
-        rows.push(vec![
-            w.name().to_string(),
-            format!("{total}"),
-            format!("{:.1}%", cum(1)),
-            format!("{:.1}%", cum(2)),
-            format!("{:.1}%", cum(3)),
-            format!("{:.1}%", cum(4)),
-        ]);
-    }
-    let grand: u64 = totals.iter().sum::<u64>().max(1);
-    rows.push(vec![
-        "ALL".to_string(),
-        format!("{grand}"),
-        format!("{:.1}%", 100.0 * totals[..1].iter().sum::<u64>() as f64 / grand as f64),
-        format!("{:.1}%", 100.0 * totals[..2].iter().sum::<u64>() as f64 / grand as f64),
-        format!("{:.1}%", 100.0 * totals[..3].iter().sum::<u64>() as f64 / grand as f64),
-        format!("{:.1}%", 100.0 * totals[..4].iter().sum::<u64>() as f64 / grand as f64),
-    ]);
-    println!(
-        "{}",
-        render_table(&["benchmark", "reconv", "<=1", "<=2", "<=3", "<=4"], &rows)
-    );
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["fig11"], &opts));
 }

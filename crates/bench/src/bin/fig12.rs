@@ -3,41 +3,10 @@
 //! RI ways {1,2,4} × sets {64,128} against RGID streams {1,2,4} ×
 //! Squash Log entries {64,128}.
 
-use mssr_bench::{render_table, run_spec, scale_from_env, speedup_pct, EngineSpec};
-use mssr_workloads::{suite_workloads, Scale, Suite};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let scale = scale_from_env(Scale::Medium);
-    println!("== Figure 12: RI vs RGID on GAP (matched capacities) ==");
-    println!("paper: RGID wins on bc/bfs/cc, comparable on pr/sssp/tc; two streams");
-    println!("       give the best overall results");
-    println!();
-    let specs: Vec<EngineSpec> = vec![
-        EngineSpec::Mssr { streams: 1, log_entries: 64 },
-        EngineSpec::Mssr { streams: 2, log_entries: 64 },
-        EngineSpec::Mssr { streams: 4, log_entries: 64 },
-        EngineSpec::Mssr { streams: 1, log_entries: 128 },
-        EngineSpec::Mssr { streams: 2, log_entries: 128 },
-        EngineSpec::Mssr { streams: 4, log_entries: 128 },
-        EngineSpec::Ri { sets: 64, ways: 1 },
-        EngineSpec::Ri { sets: 64, ways: 2 },
-        EngineSpec::Ri { sets: 64, ways: 4 },
-        EngineSpec::Ri { sets: 128, ways: 1 },
-        EngineSpec::Ri { sets: 128, ways: 2 },
-        EngineSpec::Ri { sets: 128, ways: 4 },
-    ];
-    let mut rows = Vec::new();
-    for w in suite_workloads(Suite::Gap, scale) {
-        let base = run_spec(&w, EngineSpec::Baseline);
-        for spec in &specs {
-            let s = run_spec(&w, *spec);
-            rows.push(vec![
-                w.name().to_string(),
-                spec.label(),
-                format!("{}", s.cycles),
-                format!("{:+.2}%", speedup_pct(&base, &s)),
-            ]);
-        }
-    }
-    println!("{}", render_table(&["BM", "CFG", "CYCLES", "diff"], &rows));
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["fig12"], &opts));
 }

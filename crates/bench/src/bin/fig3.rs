@@ -2,40 +2,10 @@
 //! table. Low associativity causes frequent replacements (dark cells in
 //! the paper's heatmap); four ways nearly eliminate them.
 
-use mssr_bench::{experiment_sim_config, scale_from_env};
-use mssr_core::{RegisterIntegration, RiConfig};
-use mssr_workloads::{microbench, Scale};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let scale = scale_from_env(Scale::Medium);
-    let iters = match scale {
-        Scale::Test => 500,
-        Scale::Medium => 3000,
-        Scale::Large => 8000,
-    };
-    println!("== Figure 3: RI reuse-table replacement frequency (64 sets) ==");
-    println!("paper: dark (high-replacement) sets at 1 way, mostly light at 4 ways");
-    println!();
-    let w = microbench::nested_mispred(iters);
-    for ways in [1usize, 2, 4] {
-        let ri = RegisterIntegration::new(RiConfig::default().with_sets(64).with_ways(ways));
-        let counters = ri.replacement_counters();
-        let stats = w.run(experiment_sim_config(), Some(Box::new(ri)));
-        let counts = counters.borrow();
-        let max = counts.iter().copied().max().unwrap_or(1).max(1);
-        let total: u64 = counts.iter().sum();
-        println!(
-            "{ways}-way: {total} replacements total ({:.1} per squash)",
-            total as f64 / stats.mispredictions.max(1) as f64
-        );
-        // ASCII heatmap: one character per set, shade by replacement count.
-        let shades = [' ', '.', ':', '+', '#', '@'];
-        let mut line = String::from("  [");
-        for &c in counts.iter() {
-            let idx = (c * (shades.len() as u64 - 1)).div_ceil(max) as usize;
-            line.push(shades[idx.min(shades.len() - 1)]);
-        }
-        line.push(']');
-        println!("{line}");
-    }
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["fig3"], &opts));
 }

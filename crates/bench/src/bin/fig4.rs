@@ -3,34 +3,10 @@
 //! branch's stream), and hardware-induced (onto a younger branch's
 //! stream, from out-of-order resolution).
 
-use mssr_bench::{render_table, run_spec, scale_from_env, EngineSpec};
-use mssr_workloads::{all_workloads, Scale};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let scale = scale_from_env(Scale::Medium);
-    println!("== Figure 4: breakdown of reconvergence types (4 streams) ==");
-    println!("paper: GAP mostly simple; branchy SPECint show 15-43% multi-stream");
-    println!();
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
-        let s = run_spec(&w, EngineSpec::Mssr { streams: 4, log_entries: 64 });
-        let e = &s.engine;
-        let total = e.reconvergences.max(1) as f64;
-        rows.push(vec![
-            w.name().to_string(),
-            format!("{}", w.suite()),
-            format!("{}", e.reconvergences),
-            format!("{:.1}%", 100.0 * e.recon_simple as f64 / total),
-            format!("{:.1}%", 100.0 * e.recon_software as f64 / total),
-            format!("{:.1}%", 100.0 * e.recon_hardware as f64 / total),
-            format!("{:.1}%", 100.0 * (e.recon_software + e.recon_hardware) as f64 / total),
-        ]);
-    }
-    println!(
-        "{}",
-        render_table(
-            &["benchmark", "suite", "reconv", "simple", "sw-induced", "hw-induced", "multi-stream"],
-            &rows
-        )
-    );
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["fig4"], &opts));
 }

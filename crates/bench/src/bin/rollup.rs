@@ -2,30 +2,10 @@
 //! benchmark, simulated cycles, and improvement over the baseline, for
 //! the GAP suite.
 
-use mssr_bench::{render_csv, run_spec, scale_from_env, EngineSpec};
-use mssr_workloads::{suite_workloads, Scale, Suite};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let scale = scale_from_env(Scale::Medium);
-    let specs = [
-        EngineSpec::Mssr { streams: 1, log_entries: 64 },
-        EngineSpec::Mssr { streams: 2, log_entries: 256 },
-        EngineSpec::Mssr { streams: 4, log_entries: 256 },
-    ];
-    let mut rows = Vec::new();
-    for w in suite_workloads(Suite::Gap, scale) {
-        let base = run_spec(&w, EngineSpec::Baseline);
-        let bm = w.name().split('/').next().unwrap_or(w.name()).to_string();
-        for spec in specs {
-            let s = run_spec(&w, spec);
-            let diff = base.cycles as f64 / s.cycles as f64 - 1.0;
-            rows.push(vec![
-                spec.label(),
-                bm.clone(),
-                format!("{:.1}", s.cycles as f64),
-                format!("{diff:.6}"),
-            ]);
-        }
-    }
-    print!("{}", render_csv(&["CFG", "BM", "CYCLES", "diff"], &rows));
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["rollup"], &opts));
 }

@@ -1,17 +1,12 @@
-//! Runs every experiment regenerator in sequence (tables first, then
-//! figures), producing the full paper-reproduction report on stdout.
+//! Runs every experiment regenerator (tables first, then figures) as one
+//! parallel grid invocation over a shared, deduplicated cell pool,
+//! producing the full paper-reproduction report on stdout — or, with
+//! `--json`, the complete JSON-lines trajectory.
 
-use std::process::Command;
+use mssr_bench::harness::{all_experiments, run_experiments, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let exes = ["table2", "table3", "table4", "table1", "fig3", "fig4", "fig10", "fig11", "fig12", "rollup", "ablation"];
-    let me = std::env::current_exe().expect("current exe path");
-    let dir = me.parent().expect("exe dir");
-    for exe in exes {
-        println!("\n######## {exe} ########\n");
-        let status = Command::new(dir.join(exe))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
-        assert!(status.success(), "{exe} failed");
-    }
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_experiments(&all_experiments(), &opts));
 }

@@ -2,63 +2,10 @@
 //! Reuse (1/2/4 streams) and Register Integration (1/2/4 ways) over the
 //! no-reuse baseline, on the nested-mispred and linear-mispred variants.
 
-use mssr_bench::{render_table, run_spec, scale_from_env, speedup_pct, EngineSpec};
-use mssr_workloads::{microbench, Scale};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let scale = scale_from_env(Scale::Medium);
-    let iters = match scale {
-        Scale::Test => 500,
-        Scale::Medium => 3000,
-        Scale::Large => 8000,
-    };
-    println!("== Table 1: microbenchmark improvements over no-reuse baseline ==");
-    println!("paper: nested 2.4/14.3/23.4%  linear 6.5/16.7/19.7% (MSSR 1/2/4 streams)");
-    println!("       nested -0.1/1.9/17.9%  linear 1.7/6.2/16.4% (RI 1/2/4 ways)");
-    println!();
-
-    let workloads =
-        [("nested-mispred", microbench::nested_mispred(iters)), ("linear-mispred", microbench::linear_mispred(iters))];
-    let mssr_cfgs = [1usize, 2, 4];
-    let ri_cfgs = [1usize, 2, 4];
-
-    let mut rows = Vec::new();
-    let mut results = Vec::new(); // (variant, kind, n, pct)
-    for (name, w) in &workloads {
-        let base = run_spec(w, EngineSpec::Baseline);
-        for &n in &mssr_cfgs {
-            let s = run_spec(w, EngineSpec::Mssr { streams: n, log_entries: 64 });
-            results.push((name.to_string(), "Multi-Stream Squash Reuse", n, speedup_pct(&base, &s)));
-        }
-        for &ways in &ri_cfgs {
-            let s = run_spec(w, EngineSpec::Ri { sets: 64, ways });
-            results.push((name.to_string(), "Register Integration", ways, speedup_pct(&base, &s)));
-        }
-    }
-    for (i, label) in ["Single Stream / Way", "Two Streams / Ways", "Four Streams / Ways"]
-        .iter()
-        .enumerate()
-    {
-        let cell = |variant: &str, kind: &str| {
-            results
-                .iter()
-                .find(|(v, k, n, _)| v == variant && *k == kind && *n == [1, 2, 4][i])
-                .map(|(_, _, _, p)| format!("{p:+.1}%"))
-                .unwrap_or_default()
-        };
-        rows.push(vec![
-            label.to_string(),
-            cell("nested-mispred", "Multi-Stream Squash Reuse"),
-            cell("nested-mispred", "Register Integration"),
-            cell("linear-mispred", "Multi-Stream Squash Reuse"),
-            cell("linear-mispred", "Register Integration"),
-        ]);
-    }
-    println!(
-        "{}",
-        render_table(
-            &["", "Nested MSSR", "Nested RI", "Linear MSSR", "Linear RI"],
-            &rows
-        )
-    );
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["table1"], &opts));
 }

@@ -1,26 +1,10 @@
 //! Table 2: additional storage required by the multi-stream squash reuse
 //! scheme (constant + variable parts).
 
-use mssr_core::storage::{storage, StorageParams};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    println!("== Table 2: additional storage for the squash-reuse scheme ==");
-    println!("paper: constant 2.30 KB, variable 1.23 KB, total 3.53 KB at N=4, M=16, P=64");
-    println!();
-    for (n, m, p) in [(4usize, 16usize, 64usize), (1, 16, 64), (2, 32, 64), (4, 64, 128)] {
-        let b = storage(&StorageParams {
-            streams: n,
-            wpb_entries: m,
-            log_entries: p,
-            ..StorageParams::default()
-        });
-        println!(
-            "N={n:<2} M={m:<3} P={p:<4}: constant {:>6} bits ({:.2} KiB)  variable {:>6} bits ({:.2} KiB)  total {:.2} KiB",
-            b.constant_bits,
-            b.constant_kib(),
-            b.variable_bits,
-            b.variable_kib(),
-            b.total_kib()
-        );
-    }
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["table2"], &opts));
 }

@@ -1,24 +1,9 @@
 //! Table 3: the baseline core configuration used by every experiment.
 
-use mssr_bench::experiment_sim_config;
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    let c = experiment_sim_config();
-    println!("== Table 3: baseline configuration ==");
-    println!("Frontend");
-    println!("  Fetch block size        {} B ({} instructions)", c.fetch_block_insts * 4, c.fetch_block_insts);
-    println!("  Nextline predictor      Bimodal ({} entries)", c.bimodal_entries);
-    println!("  Main branch predictor   TAGE ({} tables x {} entries)", c.tage_tables, c.tage_entries);
-    println!("  Pipeline stages         {}", c.frontend_stages);
-    println!("Backend");
-    println!("  Decode/Rename width     {}", c.rename_width);
-    println!("  Reorder buffer          {} entries", c.rob_size);
-    println!("  Reservation stations    {}-entry {}xALU + {}xBRU | {}-entry {}xLSU", c.iq_int_size, c.alu_units, c.bru_units, c.iq_mem_size, c.lsu_units);
-    println!("  Load/store queue        {} / {} entries", c.lq_size, c.sq_size);
-    println!("  Physical registers      {}", c.phys_regs);
-    println!("  RGID width              {} bits (paper: 6; see DESIGN.md calibration note)", c.rgid_bits);
-    println!("Memory");
-    println!("  DCache                  {} KB, {}-way, {}-cycle", c.l1d.size_bytes / 1024, c.l1d.ways, c.l1d.latency);
-    println!("  L2                      {} MB, {}-way, {}-cycle", c.l2.size_bytes / 1024 / 1024, c.l2.ways, c.l2.latency);
-    println!("  DRAM                    {}-cycle", c.dram_latency);
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["table3"], &opts));
 }

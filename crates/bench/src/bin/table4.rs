@@ -2,25 +2,10 @@
 //! from the analytic structural model calibrated to the paper's
 //! Design Compiler results (see `mssr_core::complexity`).
 
-use mssr_core::complexity::{reconvergence_detection, reuse_test};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
 
 fn main() {
-    println!("== Table 4: complexity of critical logic (analytic model) ==");
-    println!();
-    println!("Reconvergence detection");
-    println!("{:<10} {:>12} {:>12} {:>14}", "WPB size", "logic levels", "area / um^2", "power/mW @0.7V");
-    for m in [16usize, 32, 64] {
-        let c = reconvergence_detection(4, m);
-        println!("{:<10} {:>12} {:>12.0} {:>14.3}", format!("4x{m}"), c.logic_levels, c.area_um2, c.power_mw);
-    }
-    println!();
-    println!("Reuse test (64-entry Squash Log)");
-    println!("{:<10} {:>12} {:>12} {:>14}", "width", "logic levels", "area / um^2", "power/mW @0.7V");
-    for w in [4usize, 6, 8] {
-        let c = reuse_test(w);
-        println!("{:<10} {:>12} {:>12.0} {:>14.3}", w, c.logic_levels, c.area_um2, c.power_mw);
-    }
-    println!();
-    println!("(Calibrated to the paper's synthesis anchors; values between and");
-    println!(" beyond the anchors follow the model's monotone interpolation.)");
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["table4"], &opts));
 }

@@ -1,0 +1,357 @@
+//! The parallel experiment grid: cell pool, deduplication, workload
+//! caching, and the work-stealing scoped-thread runner.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mssr_core::{MemCheckPolicy, MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
+use mssr_sim::{ReuseEngine, SimConfig, SimStats};
+use mssr_workloads::{Scale, Workload};
+
+use super::{cell_seed, HarnessOpts};
+use crate::EngineSpec;
+
+/// Index of a cell in its [`CellPool`] (and of its result in the vector
+/// returned by [`CellPool::run`]).
+pub type CellId = usize;
+
+/// An engine configuration under evaluation: a base [`EngineSpec`] plus
+/// the ablation axes (memory-check policy, reconvergence timeout,
+/// single-page WPB restriction) the `ablation` experiment sweeps.
+#[derive(Clone, Debug)]
+pub struct EngineCfg {
+    /// The base engine shape.
+    pub spec: EngineSpec,
+    /// Override of the reused-load memory-check policy.
+    pub mem_policy: Option<MemCheckPolicy>,
+    /// Override of the reconvergence timeout (renamed instructions).
+    pub timeout: Option<u64>,
+    /// Override of the single-page WPB restriction.
+    pub vpn_restrict: Option<bool>,
+}
+
+impl From<EngineSpec> for EngineCfg {
+    fn from(spec: EngineSpec) -> EngineCfg {
+        EngineCfg { spec, mem_policy: None, timeout: None, vpn_restrict: None }
+    }
+}
+
+impl EngineCfg {
+    /// Sets the memory-check policy override.
+    pub fn with_mem_policy(mut self, p: MemCheckPolicy) -> EngineCfg {
+        self.mem_policy = Some(p);
+        self
+    }
+
+    /// Sets the reconvergence-timeout override.
+    pub fn with_timeout(mut self, t: u64) -> EngineCfg {
+        self.timeout = Some(t);
+        self
+    }
+
+    /// Sets the single-page WPB override.
+    pub fn with_vpn_restrict(mut self, on: bool) -> EngineCfg {
+        self.vpn_restrict = Some(on);
+        self
+    }
+
+    /// The configuration's label: the spec label plus one suffix per
+    /// override, so deduplication and reports distinguish ablations.
+    pub fn label(&self) -> String {
+        let mut l = self.spec.label();
+        match self.mem_policy {
+            Some(MemCheckPolicy::LoadVerification) => l.push_str("+ldverify"),
+            Some(MemCheckPolicy::BloomFilter) => l.push_str("+bloom"),
+            None => {}
+        }
+        if let Some(t) = self.timeout {
+            l.push_str(&format!("+t{t}"));
+        }
+        match self.vpn_restrict {
+            Some(true) => l.push_str("+vpn"),
+            Some(false) => l.push_str("+fullpc"),
+            None => {}
+        }
+        l
+    }
+
+    fn mssr_config(&self, streams: usize, log_entries: usize) -> MssrConfig {
+        let mut cfg = MssrConfig::default()
+            .with_streams(streams)
+            .with_log_entries(log_entries)
+            .with_wpb_entries((log_entries / 4).max(4));
+        if let Some(p) = self.mem_policy {
+            cfg = cfg.with_mem_policy(p);
+        }
+        if let Some(t) = self.timeout {
+            cfg = cfg.with_timeout(t);
+        }
+        if let Some(v) = self.vpn_restrict {
+            cfg = cfg.with_vpn_restrict(v);
+        }
+        cfg
+    }
+
+    /// Builds the Register Integration engine, if this is an RI spec
+    /// (separate from [`EngineCfg::build`] so the grid runner can keep
+    /// the per-set replacement-counter handle).
+    pub fn build_ri(&self) -> Option<RegisterIntegration> {
+        match self.spec {
+            EngineSpec::Ri { sets, ways } => {
+                let mut cfg = RiConfig::default().with_sets(sets).with_ways(ways);
+                if let Some(p) = self.mem_policy {
+                    cfg = cfg.with_mem_policy(p);
+                }
+                Some(RegisterIntegration::new(cfg))
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds the engine, or `None` for the baseline.
+    pub fn build(&self) -> Option<Box<dyn ReuseEngine>> {
+        match self.spec {
+            EngineSpec::Baseline => None,
+            EngineSpec::Mssr { streams, log_entries } => {
+                Some(Box::new(MultiStreamReuse::new(self.mssr_config(streams, log_entries))))
+            }
+            EngineSpec::Ri { .. } => {
+                Some(Box::new(self.build_ri().expect("ri spec")) as Box<dyn ReuseEngine>)
+            }
+        }
+    }
+}
+
+/// One experiment cell: workload × engine configuration × simulator
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// Workload id in the pool.
+    pub workload: usize,
+    /// Engine configuration.
+    pub engine: EngineCfg,
+    /// Simulator configuration.
+    pub cfg: SimConfig,
+}
+
+/// The result of one cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The cell's deterministic seed (derived from the root seed).
+    pub seed: u64,
+    /// Simulated statistics.
+    pub stats: SimStats,
+    /// Register Integration per-set replacement counts (RI cells only).
+    pub ri_set_replacements: Option<Vec<u64>>,
+}
+
+/// The shared cell pool of one harness invocation.
+///
+/// Workloads are interned by name, so each assembled `Program` (plus its
+/// memory image and reference results) is built once and shared
+/// immutably — `&Workload` — across every engine and worker thread.
+/// Cells are deduplicated on (workload, engine label, simulator config),
+/// so e.g. a GAP baseline declared by both `fig12` and `rollup` is
+/// simulated once.
+pub struct CellPool {
+    scale: Scale,
+    workloads: Vec<Workload>,
+    by_name: HashMap<String, usize>,
+    cells: Vec<CellSpec>,
+    dedup: HashMap<(usize, String, String), CellId>,
+}
+
+impl CellPool {
+    /// An empty pool at a workload scale.
+    pub fn new(scale: Scale) -> CellPool {
+        CellPool {
+            scale,
+            workloads: Vec::new(),
+            by_name: HashMap::new(),
+            cells: Vec::new(),
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// The pool's workload scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Interns a workload by name (workload names encode their
+    /// parameters, so equal names mean equal workloads).
+    pub fn intern(&mut self, w: Workload) -> usize {
+        if let Some(&id) = self.by_name.get(w.name()) {
+            debug_assert_eq!(
+                self.workloads[id].static_insts(),
+                w.static_insts(),
+                "name collision with different program: {}",
+                w.name()
+            );
+            return id;
+        }
+        let id = self.workloads.len();
+        self.by_name.insert(w.name().to_string(), id);
+        self.workloads.push(w);
+        id
+    }
+
+    /// The interned workload with id `id`.
+    pub fn workload(&self, id: usize) -> &Workload {
+        &self.workloads[id]
+    }
+
+    /// Declares a cell, returning its id (an existing id if an identical
+    /// cell was declared before).
+    pub fn cell(&mut self, workload: usize, engine: EngineCfg, cfg: SimConfig) -> CellId {
+        let key = (workload, engine.label(), format!("{cfg:?}"));
+        if let Some(&id) = self.dedup.get(&key) {
+            return id;
+        }
+        let id = self.cells.len();
+        self.dedup.insert(key, id);
+        self.cells.push(CellSpec { workload, engine, cfg });
+        id
+    }
+
+    /// The spec of cell `id`.
+    pub fn cell_spec(&self, id: CellId) -> &CellSpec {
+        &self.cells[id]
+    }
+
+    /// The workload of cell `id`.
+    pub fn cell_workload(&self, id: CellId) -> &Workload {
+        &self.workloads[self.cells[id].workload]
+    }
+
+    /// Number of (deduplicated) cells declared.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells are declared.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Runs every cell across `opts.jobs` workers; `results[i]` is cell
+    /// `i`'s result regardless of which worker ran it or when.
+    pub fn run(&self, opts: &HarnessOpts) -> Vec<CellResult> {
+        run_cells(self.cells.len(), opts.jobs, |i| {
+            self.run_cell(i, cell_seed(opts.root_seed, i as u64))
+        })
+    }
+
+    fn run_cell(&self, i: CellId, seed: u64) -> CellResult {
+        let spec = &self.cells[i];
+        let w = &self.workloads[spec.workload];
+        match spec.engine.build_ri() {
+            Some(ri) => {
+                // Keep the replacement-counter handle across the run
+                // (fig3's per-set replacement-frequency data).
+                let counters = ri.replacement_counters();
+                let stats = w.run(spec.cfg.clone(), Some(Box::new(ri)));
+                let snapshot = counters.borrow().clone();
+                CellResult { seed, stats, ri_set_replacements: Some(snapshot) }
+            }
+            None => {
+                let stats = w.run(spec.cfg.clone(), spec.engine.build());
+                CellResult { seed, stats, ri_set_replacements: None }
+            }
+        }
+    }
+}
+
+/// Runs `n` independent cells across `jobs` scoped worker threads with a
+/// work-stealing index queue (an atomic next-cell counter: idle workers
+/// steal the next undone index, so long cells never serialize behind
+/// short ones). Returns results in cell order — output is independent of
+/// scheduling, which is what makes `--jobs N` byte-identical to
+/// `--jobs 1`.
+pub fn run_cells<T: Send>(n: usize, jobs: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let jobs = jobs.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every cell ran to completion"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssr_workloads::microbench;
+
+    #[test]
+    fn run_cells_preserves_order_under_parallelism() {
+        // Uneven work so threads finish out of order.
+        let out = run_cells(64, 8, |i| {
+            let mut acc = 0u64;
+            for k in 0..((64 - i as u64) * 1000) {
+                acc = acc.wrapping_mul(31).wrapping_add(k);
+            }
+            (i, acc % 2)
+        });
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.0, i);
+        }
+    }
+
+    #[test]
+    fn run_cells_handles_empty_and_oversubscribed() {
+        assert!(run_cells(0, 8, |i| i).is_empty());
+        assert_eq!(run_cells(3, 64, |i| i * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn pool_dedups_workloads_and_cells() {
+        let mut pool = CellPool::new(Scale::Test);
+        let a = pool.intern(microbench::nested_mispred(50));
+        let b = pool.intern(microbench::nested_mispred(50));
+        let c = pool.intern(microbench::nested_mispred(60));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let cfg = SimConfig::default().with_max_cycles(1_000_000);
+        let c1 = pool.cell(a, EngineSpec::Baseline.into(), cfg.clone());
+        let c2 = pool.cell(a, EngineSpec::Baseline.into(), cfg.clone());
+        let c3 = pool.cell(a, EngineSpec::Mssr { streams: 4, log_entries: 64 }.into(), cfg.clone());
+        let c4 = pool.cell(
+            a,
+            EngineCfg::from(EngineSpec::Mssr { streams: 4, log_entries: 64 }).with_timeout(64),
+            cfg,
+        );
+        assert_eq!(c1, c2, "identical cells dedup");
+        assert_ne!(c1, c3);
+        assert_ne!(c3, c4, "ablation overrides are distinct cells");
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn engine_cfg_labels_and_builds() {
+        let e = EngineCfg::from(EngineSpec::Mssr { streams: 4, log_entries: 64 })
+            .with_mem_policy(MemCheckPolicy::BloomFilter)
+            .with_timeout(64)
+            .with_vpn_restrict(true);
+        assert_eq!(e.label(), "RCVG_4_64+bloom+t64+vpn");
+        assert_eq!(e.build().unwrap().name(), "mssr");
+        assert!(EngineCfg::from(EngineSpec::Baseline).build().is_none());
+        let ri = EngineCfg::from(EngineSpec::Ri { sets: 64, ways: 2 });
+        assert_eq!(ri.label(), "RI_64x2");
+        assert!(ri.build_ri().is_some());
+        assert_eq!(ri.build().unwrap().name(), "ri");
+    }
+}

@@ -1,0 +1,189 @@
+//! The wall-clock measurement core: warmup iterations, N timed samples,
+//! median/MAD/min reporting. A std-only stand-in for Criterion, used by
+//! the `cargo bench` targets (`benches/experiments.rs`,
+//! `benches/simulator.rs`).
+//!
+//! Wall-clock numbers are inherently nondeterministic, so they are kept
+//! out of the experiment grid's JSON-lines trajectory (which must be
+//! byte-identical across runs); bench targets emit their own `"bench"`
+//! records instead.
+
+use std::time::Instant;
+
+/// Measurement parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureConfig {
+    /// Untimed warmup iterations before sampling.
+    pub warmup: usize,
+    /// Timed samples.
+    pub samples: usize,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> MeasureConfig {
+        MeasureConfig { warmup: 3, samples: 10 }
+    }
+}
+
+/// A completed measurement: named, with samples sorted ascending.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    name: String,
+    sorted_ns: Vec<u64>,
+}
+
+impl Measurement {
+    /// Wraps raw nanosecond samples (sorts them).
+    pub fn from_samples(name: impl Into<String>, mut ns: Vec<u64>) -> Measurement {
+        assert!(!ns.is_empty(), "a measurement needs at least one sample");
+        ns.sort_unstable();
+        Measurement { name: name.into(), sorted_ns: ns }
+    }
+
+    /// The measurement's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Samples in ascending order, nanoseconds.
+    pub fn samples_ns(&self) -> &[u64] {
+        &self.sorted_ns
+    }
+
+    /// Fastest sample.
+    pub fn min_ns(&self) -> u64 {
+        self.sorted_ns[0]
+    }
+
+    /// Slowest sample.
+    pub fn max_ns(&self) -> u64 {
+        *self.sorted_ns.last().unwrap()
+    }
+
+    /// Median (midpoint average for even counts).
+    pub fn median_ns(&self) -> u64 {
+        median(&self.sorted_ns)
+    }
+
+    /// Median absolute deviation from the median — the robust spread
+    /// statistic reported alongside the median.
+    pub fn mad_ns(&self) -> u64 {
+        let med = self.median_ns();
+        let mut dev: Vec<u64> = self.sorted_ns.iter().map(|&s| s.abs_diff(med)).collect();
+        dev.sort_unstable();
+        median(&dev)
+    }
+
+    /// One human-readable report line.
+    pub fn human(&self) -> String {
+        format!(
+            "{:<44} median {:>10}  MAD {:>9}  min {:>10}  ({} samples)",
+            self.name,
+            fmt_ns(self.median_ns()),
+            fmt_ns(self.mad_ns()),
+            fmt_ns(self.min_ns()),
+            self.sorted_ns.len()
+        )
+    }
+
+    /// One JSON-lines `"bench"` record (the wall-clock counterpart of the
+    /// grid's `"cell"` records).
+    pub fn json_line(&self) -> String {
+        format!(
+            "{{\"type\":\"bench\",\"name\":\"{}\",\"samples\":{},\"median_ns\":{},\"mad_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            mssr_sim::json_escape(&self.name),
+            self.sorted_ns.len(),
+            self.median_ns(),
+            self.mad_ns(),
+            self.min_ns(),
+            self.max_ns()
+        )
+    }
+}
+
+fn median(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Renders nanoseconds at a readable scale.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Measures `f`: `cfg.warmup` untimed runs, then `cfg.samples` timed
+/// runs. The closure's result is passed through [`std::hint::black_box`]
+/// so the work is not optimized away.
+pub fn measure<R>(
+    name: impl Into<String>,
+    cfg: MeasureConfig,
+    mut f: impl FnMut() -> R,
+) -> Measurement {
+    for _ in 0..cfg.warmup {
+        std::hint::black_box(f());
+    }
+    let samples = cfg.samples.max(1);
+    let mut ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        ns.push(t.elapsed().as_nanos() as u64);
+    }
+    Measurement::from_samples(name, ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad() {
+        let m = Measurement::from_samples("t", vec![5, 1, 9, 3, 7]);
+        assert_eq!(m.median_ns(), 5);
+        assert_eq!(m.min_ns(), 1);
+        assert_eq!(m.max_ns(), 9);
+        // |1-5|,|3-5|,|5-5|,|7-5|,|9-5| = 4,2,0,2,4 -> median 2
+        assert_eq!(m.mad_ns(), 2);
+        let even = Measurement::from_samples("t", vec![1, 3]);
+        assert_eq!(even.median_ns(), 2);
+    }
+
+    #[test]
+    fn measure_counts_runs() {
+        let mut runs = 0u32;
+        let m = measure("count", MeasureConfig { warmup: 2, samples: 5 }, || {
+            runs += 1;
+            runs
+        });
+        assert_eq!(runs, 7, "warmup + samples");
+        assert_eq!(m.samples_ns().len(), 5);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 us");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+
+    #[test]
+    fn json_record_shape() {
+        let m = Measurement::from_samples("a\"b", vec![10, 20]);
+        let j = m.json_line();
+        assert!(j.starts_with("{\"type\":\"bench\",\"name\":\"a\\\"b\","));
+        assert!(j.contains("\"median_ns\":15"));
+    }
+}

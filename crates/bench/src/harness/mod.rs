@@ -1,0 +1,262 @@
+//! # The experiment harness
+//!
+//! A std-only replacement for Criterion plus a parallel experiment-grid
+//! runner. Two halves:
+//!
+//! * [`measure`] — a small wall-clock measurement core (warmup
+//!   iterations, N samples, median/MAD/min reporting) used by the
+//!   `cargo bench` targets;
+//! * [`CellPool`]/[`Experiment`] — the simulated-experiment grid: every
+//!   table and figure of the paper declares its (workload × engine ×
+//!   config) cells into a shared pool, the pool deduplicates identical
+//!   cells and caches each assembled [`mssr_workloads::Workload`] so it
+//!   is built once and shared immutably across engines, and
+//!   [`CellPool::run`] shards the cells across `std::thread::scope`
+//!   workers with a work-stealing index queue.
+//!
+//! Everything reported from the grid derives from *simulated* statistics
+//! — deterministic integer counters — so output is byte-identical for
+//! any `--jobs` value and any machine. Per-cell seeds derive from the
+//! root seed by splitmix64 and are recorded in the JSON-lines output, so
+//! future stochastic components (e.g. randomized snoop injection) stay
+//! reproducible cell-by-cell.
+//!
+//! JSON-lines trajectory format (`BENCH_*.json`): one JSON object per
+//! line. The first line is a `"meta"` record (root seed, scale, cell
+//! count); each subsequent `"cell"` record carries the workload, engine
+//! label, seed, and the full [`mssr_sim::SimStats`] counter set; final
+//! `"experiment"` records map each experiment to its cell ids.
+
+mod experiments;
+mod grid;
+mod measure;
+
+pub use experiments::{all_experiments, experiment, Experiment, EXPERIMENT_NAMES};
+pub use grid::{run_cells, CellId, CellPool, CellResult, CellSpec, EngineCfg};
+pub use measure::{measure, MeasureConfig, Measurement};
+
+use mssr_sim::json_escape;
+use mssr_workloads::Scale;
+
+/// Default root seed for the experiment grid ("MSSR" in ASCII).
+pub const DEFAULT_ROOT_SEED: u64 = 0x4d53_5352;
+
+/// Stateless splitmix64 finalizer.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic seed of grid cell `cell` under `root_seed`.
+pub fn cell_seed(root_seed: u64, cell: u64) -> u64 {
+    splitmix64(root_seed ^ splitmix64(cell))
+}
+
+/// Harness invocation options, shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct HarnessOpts {
+    /// Worker threads for the grid (default: available parallelism).
+    pub jobs: usize,
+    /// Root seed; per-cell seeds derive from it by splitmix64.
+    pub root_seed: u64,
+    /// Workload input scale.
+    pub scale: Scale,
+    /// Emit the JSON-lines trajectory instead of human-readable reports.
+    pub json: bool,
+}
+
+impl HarnessOpts {
+    /// Defaults at a given scale.
+    pub fn new(scale: Scale) -> HarnessOpts {
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        HarnessOpts { jobs, root_seed: DEFAULT_ROOT_SEED, scale, json: false }
+    }
+
+    /// Parses CLI arguments (`--jobs N`, `--seed S`, `--scale
+    /// test|medium|large`, `--json`, `--help`). The scale defaults to
+    /// `MSSR_SCALE` when set, then to `default_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Exits the process with usage on an unknown or malformed argument.
+    pub fn parse_args(default_scale: Scale) -> HarnessOpts {
+        match Self::from_iter(std::env::args().skip(1), crate::scale_from_env(default_scale)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                if msg != "help" {
+                    eprintln!("{msg}");
+                }
+                eprintln!("{USAGE}");
+                std::process::exit(if msg == "help" { 0 } else { 2 });
+            }
+        }
+    }
+
+    /// Pure argument parsing (testable); `msg == "help"` requests usage.
+    pub fn from_iter(
+        args: impl IntoIterator<Item = String>,
+        default_scale: Scale,
+    ) -> Result<HarnessOpts, String> {
+        let mut opts = HarnessOpts::new(default_scale);
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+            match arg.as_str() {
+                "--jobs" | "-j" => {
+                    opts.jobs = value("--jobs")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--jobs: {e}"))?
+                        .max(1);
+                }
+                "--seed" => {
+                    let v = value("--seed")?;
+                    let t = v.trim();
+                    opts.root_seed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                        Some(h) => u64::from_str_radix(h, 16),
+                        None => t.parse(),
+                    }
+                    .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--scale" => {
+                    opts.scale = match value("--scale")?.as_str() {
+                        "test" => Scale::Test,
+                        "medium" => Scale::Medium,
+                        "large" => Scale::Large,
+                        s => return Err(format!("--scale: unknown scale `{s}`")),
+                    };
+                }
+                "--json" => opts.json = true,
+                "--help" | "-h" => return Err("help".to_string()),
+                s => return Err(format!("unknown argument `{s}`")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+const USAGE: &str = "usage: <experiment> [--jobs N] [--seed S] [--scale test|medium|large] [--json]
+  --jobs N    worker threads for the experiment grid (default: all cores)
+  --seed S    root seed for per-cell seeds (decimal or 0x-hex)
+  --scale     workload input scale (default: MSSR_SCALE env, then medium)
+  --json      emit the JSON-lines trajectory instead of reports";
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Medium => "medium",
+        Scale::Large => "large",
+    }
+}
+
+/// Runs a set of experiments over one shared, deduplicated cell pool —
+/// the whole `run_all` sweep is a single parallel grid invocation — and
+/// returns the rendered output (reports, or the JSON-lines trajectory
+/// under `--json`).
+pub fn run_experiments(exps: &[Box<dyn Experiment>], opts: &HarnessOpts) -> String {
+    let mut pool = CellPool::new(opts.scale);
+    let ids: Vec<Vec<CellId>> = exps.iter().map(|e| e.cells(&mut pool)).collect();
+    let results = pool.run(opts);
+    let mut out = String::new();
+    if opts.json {
+        out.push_str(&format!(
+            "{{\"type\":\"meta\",\"root_seed\":\"{:#x}\",\"scale\":\"{}\",\"cells\":{}}}\n",
+            opts.root_seed,
+            scale_name(opts.scale),
+            results.len()
+        ));
+        for (i, r) in results.iter().enumerate() {
+            let spec = pool.cell_spec(i);
+            let w = pool.workload(spec.workload);
+            out.push_str(&format!(
+                "{{\"type\":\"cell\",\"id\":{i},\"workload\":\"{}\",\"suite\":\"{}\",\"engine\":\"{}\",\"seed\":\"{:#x}\"",
+                json_escape(w.name()),
+                w.suite(),
+                json_escape(&spec.engine.label()),
+                r.seed
+            ));
+            if let Some(repl) = &r.ri_set_replacements {
+                out.push_str(",\"ri_set_replacements\":[");
+                for (k, v) in repl.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&v.to_string());
+                }
+                out.push(']');
+            }
+            out.push_str(",\"stats\":");
+            out.push_str(&r.stats.to_json());
+            out.push_str("}\n");
+        }
+        for (e, ids) in exps.iter().zip(&ids) {
+            out.push_str(&format!(
+                "{{\"type\":\"experiment\",\"name\":\"{}\",\"cells\":[",
+                e.name()
+            ));
+            for (k, id) in ids.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&id.to_string());
+            }
+            out.push_str("]}\n");
+        }
+    } else {
+        for (e, ids) in exps.iter().zip(&ids) {
+            if exps.len() > 1 {
+                out.push_str(&format!("\n######## {} ########\n\n", e.name()));
+            }
+            out.push_str(&e.render(&pool, ids, &results));
+        }
+    }
+    out
+}
+
+/// Looks up experiments by name and runs them (the experiment binaries'
+/// entry point).
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name.
+pub fn run_named(names: &[&str], opts: &HarnessOpts) -> String {
+    let exps: Vec<Box<dyn Experiment>> = names
+        .iter()
+        .map(|n| experiment(n).unwrap_or_else(|| panic!("unknown experiment `{n}`")))
+        .collect();
+    run_experiments(&exps, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn cli_parsing() {
+        let o = HarnessOpts::from_iter(
+            args(&["--jobs", "3", "--seed", "0x2a", "--scale", "test", "--json"]),
+            Scale::Medium,
+        )
+        .unwrap();
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.root_seed, 42);
+        assert_eq!(o.scale, Scale::Test);
+        assert!(o.json);
+        assert!(HarnessOpts::from_iter(args(&["--bogus"]), Scale::Test).is_err());
+        assert!(HarnessOpts::from_iter(args(&["--jobs"]), Scale::Test).is_err());
+        assert_eq!(HarnessOpts::from_iter(args(&["-h"]), Scale::Test).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        assert_eq!(cell_seed(1, 2), cell_seed(1, 2));
+        assert_ne!(cell_seed(1, 2), cell_seed(1, 3));
+        assert_ne!(cell_seed(1, 2), cell_seed(2, 2));
+    }
+}

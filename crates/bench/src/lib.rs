@@ -1,9 +1,9 @@
 //! # mssr-bench
 //!
 //! The experiment harness: one regenerator per table and figure of the
-//! paper. Each experiment is a library function (so Criterion benches and
-//! the CLI binaries share code); the binaries print the same rows/series
-//! the paper reports.
+//! paper. Each experiment declares its cells into the shared grid in
+//! [`harness`] (so the `cargo bench` targets and the CLI binaries share
+//! code); the binaries print the same rows/series the paper reports.
 //!
 //! | binary | regenerates |
 //! |---|---|
@@ -18,10 +18,14 @@
 //! | `table4` | Table 4 — synthesis-complexity model |
 //! | `rollup` | the artifact's CSV rollup (CFG, BM, CYCLES, diff) |
 //! | `ablation` | design-choice ablations called out in DESIGN.md |
-//! | `run_all` | everything above in sequence |
+//! | `run_all` | everything above as one parallel grid invocation |
 //!
-//! Scale is controlled by `MSSR_SCALE` (`test` / `medium` / `large`,
-//! default `medium` for binaries; Criterion benches always use `test`).
+//! Every binary accepts the shared harness flags (`--jobs`, `--seed`,
+//! `--scale`, `--json`); scale can also come from `MSSR_SCALE` (`test` /
+//! `medium` / `large`, default `medium` for binaries; the bench targets
+//! always use `test`).
+
+pub mod harness;
 
 use mssr_core::{MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
 use mssr_sim::{ReuseEngine, SimConfig, SimStats};
@@ -100,9 +104,9 @@ impl EngineSpec {
                     .with_log_entries(log_entries)
                     .with_wpb_entries((log_entries / 4).max(4)),
             ))),
-            EngineSpec::Ri { sets, ways } => {
-                Some(Box::new(RegisterIntegration::new(RiConfig::default().with_sets(sets).with_ways(ways))))
-            }
+            EngineSpec::Ri { sets, ways } => Some(Box::new(RegisterIntegration::new(
+                RiConfig::default().with_sets(sets).with_ways(ways),
+            ))),
         }
     }
 }
@@ -181,7 +185,10 @@ mod tests {
     #[test]
     fn spec_builds_engines() {
         assert!(EngineSpec::Baseline.build().is_none());
-        assert_eq!(EngineSpec::Mssr { streams: 2, log_entries: 64 }.build().unwrap().name(), "mssr");
+        assert_eq!(
+            EngineSpec::Mssr { streams: 2, log_entries: 64 }.build().unwrap().name(),
+            "mssr"
+        );
         assert_eq!(EngineSpec::Mssr { streams: 1, log_entries: 64 }.build().unwrap().name(), "dci");
         assert_eq!(EngineSpec::Ri { sets: 64, ways: 1 }.build().unwrap().name(), "ri");
     }

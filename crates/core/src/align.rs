@@ -157,9 +157,8 @@ mod tests {
     #[test]
     fn works_past_64_entries() {
         // Force the mask into a second word.
-        let mut entries: Vec<BlockRange> = (0..70)
-            .map(|i| r(0x1000 + i * 0x100, 0x1000 + i * 0x100 + 0x1c))
-            .collect();
+        let mut entries: Vec<BlockRange> =
+            (0..70).map(|i| r(0x1000 + i * 0x100, 0x1000 + i * 0x100 + 0x1c)).collect();
         entries[69] = r(0x9000, 0x901c);
         let hit = find_overlap(&r(0x9010, 0x902c), &entries).unwrap();
         assert_eq!(hit.entry, 69);

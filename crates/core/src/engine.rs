@@ -39,8 +39,8 @@
 
 use mssr_isa::Pc;
 use mssr_sim::{
-    EngineCtx, EngineStats, FlushKind, PredBlock, RenamedInst, ReuseEngine, ReuseGrant,
-    ReuseQuery, SeqNum, SquashEvent,
+    EngineCtx, EngineStats, FlushKind, PredBlock, RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery,
+    SeqNum, SquashEvent,
 };
 
 use crate::align;
@@ -356,8 +356,8 @@ impl ReuseEngine for MultiStreamReuse {
                 ctx.free_list.release(p);
             }
         }
-        let load_barrier = (self.cfg.mem_policy == MemCheckPolicy::BloomFilter)
-            .then_some(self.bloom_barrier);
+        let load_barrier =
+            (self.cfg.mem_policy == MemCheckPolicy::BloomFilter).then_some(self.bloom_barrier);
         let retains = self.streams[si].capture(
             ev,
             self.renamed,
@@ -446,7 +446,10 @@ impl ReuseEngine for MultiStreamReuse {
                 MemCheckPolicy::BloomFilter => {
                     let addr = e.load_addr;
                     if crate::trace_enabled() && addr.is_some_and(|a| a >> 3 == 0x100000 >> 3) {
-                        eprintln!("BLOOM test {addr:?} hit={}", addr.is_none_or(|ad| self.bloom.maybe_contains(ad)));
+                        eprintln!(
+                            "BLOOM test {addr:?} hit={}",
+                            addr.is_none_or(|ad| self.bloom.maybe_contains(ad))
+                        );
                     }
                     if addr.is_none_or(|ad| self.bloom.maybe_contains(ad)) {
                         self.stats.reuse_fail_mem += 1;
@@ -482,10 +485,7 @@ impl ReuseEngine for MultiStreamReuse {
         self.maybe_activate(r.pc, ctx);
         if let Some(a) = self.active {
             let s = &mut self.streams[a.stream];
-            let matches = s
-                .log
-                .get(a.idx)
-                .is_some_and(|e| e.pc == r.pc && e.op == r.op);
+            let matches = s.log.get(a.idx).is_some_and(|e| e.pc == r.pc && e.op == r.op);
             if matches {
                 let e = &mut s.log[a.idx];
                 if !r.reused && e.preg_held {
@@ -616,7 +616,10 @@ mod tests {
         let mut fl = freelist();
         let mut reset = false;
         let mut e = MultiStreamReuse::new(MssrConfig::default().with_streams(2));
-        e.on_mispredict_squash(&event(1, 10, &[(0x1000, 80, true), (0x1004, 81, false)]), &mut ctx(&mut fl, &mut reset));
+        e.on_mispredict_squash(
+            &event(1, 10, &[(0x1000, 80, true), (0x1004, 81, false)]),
+            &mut ctx(&mut fl, &mut reset),
+        );
         assert_eq!(e.valid_streams(), 1);
         assert_eq!(fl.holds(PhysReg::new(80)), 2, "executed dst retained");
         assert_eq!(fl.holds(PhysReg::new(81)), 1, "unexecuted dst not retained");
@@ -635,8 +638,14 @@ mod tests {
         let mut reset = false;
         let mut e = MultiStreamReuse::new(MssrConfig::default().with_streams(2));
         // Both streams cover 0x1000..0x1004.
-        e.on_mispredict_squash(&event(1, 10, &[(0x1000, 80, true), (0x1004, 81, true)]), &mut ctx(&mut fl, &mut reset));
-        e.on_mispredict_squash(&event(2, 20, &[(0x1000, 82, true), (0x1004, 83, true)]), &mut ctx(&mut fl, &mut reset));
+        e.on_mispredict_squash(
+            &event(1, 10, &[(0x1000, 80, true), (0x1004, 81, true)]),
+            &mut ctx(&mut fl, &mut reset),
+        );
+        e.on_mispredict_squash(
+            &event(2, 20, &[(0x1000, 82, true), (0x1004, 83, true)]),
+            &mut ctx(&mut fl, &mut reset),
+        );
         let blk = PredBlock {
             range: BlockRange { start: Pc::new(0x1000), end: Pc::new(0x1004) },
             cycle: 0,

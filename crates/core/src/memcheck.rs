@@ -113,8 +113,7 @@ mod tests {
         }
         // Probe disjoint addresses; a small filter may alias a few, but
         // most must miss.
-        let false_hits =
-            (0..1000u64).filter(|i| b.maybe_contains(0x900000 + i * 8)).count();
+        let false_hits = (0..1000u64).filter(|i| b.maybe_contains(0x900000 + i * 8)).count();
         assert!(false_hits < 100, "false-positive rate too high: {false_hits}/1000");
     }
 

@@ -385,11 +385,7 @@ mod tests {
         FreeList::new(256, 100)
     }
 
-    fn sq_inst(
-        pc: u64,
-        dst_preg: usize,
-        srcs: [Option<usize>; 2],
-    ) -> mssr_sim::SquashedInst {
+    fn sq_inst(pc: u64, dst_preg: usize, srcs: [Option<usize>; 2]) -> mssr_sim::SquashedInst {
         mssr_sim::SquashedInst {
             seq: SeqNum::new(pc / 4),
             pc: Pc::new(pc),
@@ -459,9 +455,14 @@ mod tests {
         assert!(ri
             .try_reuse(&query(0x1000, &inst, [Some(10), Some(12)]), &mut ctx(&mut fl, &mut reset))
             .is_none());
-        assert!(ri
-            .try_reuse(&query(0x1004, &inst, [Some(10), Some(11)]), &mut ctx(&mut fl, &mut reset))
-            .is_none(), "different PC");
+        assert!(
+            ri.try_reuse(
+                &query(0x1004, &inst, [Some(10), Some(11)]),
+                &mut ctx(&mut fl, &mut reset)
+            )
+            .is_none(),
+            "different PC"
+        );
         assert_eq!(ri.occupancy(), 1, "entry survives failed lookups");
     }
 

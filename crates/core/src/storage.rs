@@ -123,8 +123,7 @@ pub fn storage(p: &StorageParams) -> StorageBreakdown {
         + p.vpn_bits as u64 * n;
     // Squash Log: pointers plus (valid + src RGIDs + dst RGID + dst preg)
     // per entry.
-    let log_entry_bits =
-        1 + (p.srcs_per_entry * p.rgid_bits + p.rgid_bits + p.preg_bits) as u64;
+    let log_entry_bits = 1 + (p.srcs_per_entry * p.rgid_bits + p.rgid_bits + p.preg_bits) as u64;
     let log = 2 * log2_ceil(p.streams) + log2_ceil(p.log_entries) + log_entry_bits * n * pe;
 
     StorageBreakdown { constant_bits, variable_bits: wpb + log }
@@ -153,7 +152,11 @@ mod tests {
     #[test]
     fn paper_total_is_3_53_kib() {
         let b = storage(&StorageParams::default());
-        assert!((b.total_kib() - 3.528).abs() < 0.01, "paper reports 3.53 KB, got {}", b.total_kib());
+        assert!(
+            (b.total_kib() - 3.528).abs() < 0.01,
+            "paper reports 3.53 KB, got {}",
+            b.total_kib()
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
         // Pointer bits aside, variable storage is ~4×.
         let ratio = four.variable_bits as f64 / one.variable_bits as f64;
         assert!((ratio - 4.0).abs() < 0.05, "ratio {ratio}");
-        assert_eq!(one.constant_bits, four.constant_bits, "constant part is configuration-independent");
+        assert_eq!(
+            one.constant_bits, four.constant_bits,
+            "constant part is configuration-independent"
+        );
     }
 
     #[test]

@@ -94,10 +94,7 @@ impl Stream {
         let mut blocks: Vec<BlockRange> = Vec::new();
         for inst in &ev.insts {
             match blocks.last_mut() {
-                Some(b)
-                    if inst.pc == b.end.next()
-                        && b.len() < max_block_insts as u64 =>
-                {
+                Some(b) if inst.pc == b.end.next() && b.len() < max_block_insts as u64 => {
                     b.end = inst.pc;
                 }
                 _ => blocks.push(BlockRange { start: inst.pc, end: inst.pc }),
@@ -223,8 +220,7 @@ mod tests {
     #[test]
     fn capture_splits_blocks_at_fetch_size() {
         let mut s = Stream::default();
-        let insts: Vec<SquashedInst> =
-            (0..10).map(|i| inst(0x1000 + i * 4, false, None)).collect();
+        let insts: Vec<SquashedInst> = (0..10).map(|i| inst(0x1000 + i * 4, false, None)).collect();
         s.capture(&event(insts, vec![]), 0, 16, 64, 8, false, None);
         assert_eq!(s.blocks.len(), 2);
         assert_eq!(s.blocks[0].len(), 8);
@@ -255,7 +251,8 @@ mod tests {
     #[test]
     fn vpn_restriction_stops_at_page_boundary() {
         let mut s = Stream::default();
-        let insts = vec![inst(0x1ff8, false, None), inst(0x1ffc, false, None), inst(0x2000, false, None)];
+        let insts =
+            vec![inst(0x1ff8, false, None), inst(0x1ffc, false, None), inst(0x2000, false, None)];
         s.capture(&event(insts, vec![]), 0, 16, 64, 8, true, None);
         // 0x1ff8..0x1ffc is page 1; 0x2000 starts page 2 → dropped.
         assert_eq!(s.blocks.len(), 1);

@@ -1,0 +1,251 @@
+//! Aligner edge cases and the free-list conservation invariant.
+//!
+//! The aligner tests pin down the §3.4 corner cases (empty WPB, exact
+//! single-block overlap, reconvergence-PC tie-breaking). The free-list
+//! tests drive [`MultiStreamReuse`] through every path that acquires or
+//! releases physical-register holds — capture, wrap-around replacement,
+//! pressure reclaim, verification flush, RGID reset — and assert the
+//! engine never leaks a register: after its state is invalidated, every
+//! hold it took has been released.
+
+use mssr_core::align::{find_overlap, find_overlap_vpn, vpn};
+use mssr_core::{MssrConfig, MultiStreamReuse};
+use mssr_isa::{ArchReg, Opcode, Pc};
+use mssr_sim::{
+    BlockRange, EngineCtx, FlushKind, FreeList, PhysReg, ReuseEngine, Rgid, SeqNum, SquashEvent,
+    SquashedInst,
+};
+
+fn r(s: u64, e: u64) -> BlockRange {
+    BlockRange { start: Pc::new(s), end: Pc::new(e) }
+}
+
+#[test]
+fn empty_wpb_never_reconverges() {
+    let head = r(0x100, 0x11c);
+    assert_eq!(find_overlap(&head, &[]), None);
+    assert_eq!(find_overlap_vpn(&head, vpn(head.start), &[], vpn(head.start)), None);
+}
+
+#[test]
+fn exact_single_block_overlap() {
+    // Head identical to the only WPB entry: reconvergence at its first
+    // instruction, on entry 0.
+    let entries = [r(0x200, 0x21c)];
+    let hit = find_overlap(&r(0x200, 0x21c), &entries).unwrap();
+    assert_eq!(hit.entry, 0);
+    assert_eq!(hit.reconv_pc, Pc::new(0x200));
+    // A single-instruction block against itself is the degenerate case.
+    let one = [r(0x300, 0x300)];
+    let hit = find_overlap(&r(0x300, 0x300), &one).unwrap();
+    assert_eq!(hit.entry, 0);
+    assert_eq!(hit.reconv_pc, Pc::new(0x300));
+}
+
+#[test]
+fn reconv_pc_tie_breaking_is_max_of_starts() {
+    let entries = [r(0x400, 0x43c)];
+    // Head starts before the WPB block: the WPB start wins.
+    assert_eq!(find_overlap(&r(0x3f0, 0x40c), &entries).unwrap().reconv_pc, Pc::new(0x400));
+    // Head starts after the WPB start: the head start wins.
+    assert_eq!(find_overlap(&r(0x410, 0x44c), &entries).unwrap().reconv_pc, Pc::new(0x410));
+    // Equal starts: the tie is trivial — both aligners agree.
+    assert_eq!(find_overlap(&r(0x400, 0x40c), &entries).unwrap().reconv_pc, Pc::new(0x400));
+    // Overlap at exactly one instruction, from both directions.
+    assert_eq!(
+        find_overlap(&r(0x43c, 0x45c), &entries).unwrap().reconv_pc,
+        Pc::new(0x43c),
+        "head tail-touches the WPB block"
+    );
+    assert_eq!(
+        find_overlap(&r(0x3e0, 0x400), &entries).unwrap().reconv_pc,
+        Pc::new(0x400),
+        "head head-touches the WPB block"
+    );
+}
+
+// --- free-list conservation -------------------------------------------
+
+const PHYS_REGS: usize = 256;
+/// Registers 0..LIVE are live (retainable) in the test free list.
+const LIVE: usize = 100;
+
+fn freelist() -> FreeList {
+    FreeList::new(PHYS_REGS, LIVE)
+}
+
+fn sq_inst(pc: u64, preg: usize, executed: bool) -> SquashedInst {
+    SquashedInst {
+        seq: SeqNum::new(pc / 4),
+        pc: Pc::new(pc),
+        op: Opcode::Add,
+        dst: Some((ArchReg::A0, PhysReg::new(preg), Rgid::new(1))),
+        src_rgids: [None, None],
+        src_pregs: [None, None],
+        executed,
+        is_load: false,
+        is_store: false,
+        load_addr: None,
+    }
+}
+
+fn event(id: u64, pcs: &[(u64, usize, bool)]) -> SquashEvent {
+    SquashEvent {
+        squash_id: id,
+        cause_seq: SeqNum::new(id * 100),
+        cause_pc: Pc::new(0xf00),
+        redirect: Pc::new(0x2000),
+        insts: pcs.iter().map(|&(pc, preg, ex)| sq_inst(pc, preg, ex)).collect(),
+        frontend_blocks: vec![],
+    }
+}
+
+/// Snapshot of every hold count plus the available count.
+fn holds_snapshot(fl: &FreeList) -> (Vec<u32>, usize) {
+    ((0..PHYS_REGS).map(|p| fl.holds(PhysReg::new(p))).collect(), fl.available())
+}
+
+#[test]
+fn squash_capture_and_invalidation_conserve_registers() {
+    let mut fl = freelist();
+    let mut reset = false;
+    let before = holds_snapshot(&fl);
+    let mut e = MultiStreamReuse::new(MssrConfig::default().with_streams(2));
+
+    // Many capture cycles: each squash retains its executed destinations;
+    // wrap-around replacement must release the evicted stream's holds.
+    for k in 0..24u64 {
+        let p0 = (k as usize * 3) % LIVE;
+        let p1 = (k as usize * 3 + 1) % LIVE;
+        let pcs = [(0x1000 + k * 0x100, p0, true), (0x1004 + k * 0x100, p1, k % 3 != 0)];
+        let mut ctx = EngineCtx {
+            free_list: &mut fl,
+            cycle: k,
+            rob_size: 256,
+            rgid_reset_requested: &mut reset,
+        };
+        e.on_mispredict_squash(&event(k + 1, &pcs), &mut ctx);
+    }
+    // A reuse-verification flush invalidates every stream (§3.7): all
+    // remaining reservations must come back.
+    {
+        let mut ctx = EngineCtx {
+            free_list: &mut fl,
+            cycle: 100,
+            rob_size: 256,
+            rgid_reset_requested: &mut reset,
+        };
+        e.on_flush(FlushKind::ReuseVerification, &mut ctx);
+    }
+    assert_eq!(holds_snapshot(&fl), before, "flush leaked or over-released holds");
+}
+
+#[test]
+fn pressure_reclaim_conserves_registers() {
+    let mut fl = freelist();
+    let mut reset = false;
+    let before = holds_snapshot(&fl);
+    let mut e = MultiStreamReuse::new(MssrConfig::default().with_streams(4));
+    for k in 0..4u64 {
+        let mut ctx = EngineCtx {
+            free_list: &mut fl,
+            cycle: k,
+            rob_size: 256,
+            rgid_reset_requested: &mut reset,
+        };
+        e.on_mispredict_squash(
+            &event(k + 1, &[(0x1000 + k * 0x100, k as usize + 10, true)]),
+            &mut ctx,
+        );
+    }
+    // Starve rename until the engine has surrendered every stream.
+    for k in 0..4u64 {
+        let mut ctx = EngineCtx {
+            free_list: &mut fl,
+            cycle: 10 + k,
+            rob_size: 256,
+            rgid_reset_requested: &mut reset,
+        };
+        e.on_register_pressure(&mut ctx);
+    }
+    assert_eq!(holds_snapshot(&fl), before, "pressure reclaim leaked holds");
+}
+
+#[test]
+fn rgid_reset_conserves_registers() {
+    let mut fl = freelist();
+    let mut reset = false;
+    let before = holds_snapshot(&fl);
+    let mut e = MultiStreamReuse::new(MssrConfig::default());
+    {
+        let mut ctx = EngineCtx {
+            free_list: &mut fl,
+            cycle: 0,
+            rob_size: 256,
+            rgid_reset_requested: &mut reset,
+        };
+        e.on_mispredict_squash(&event(1, &[(0x1000, 80, true), (0x1004, 81, true)]), &mut ctx);
+        for _ in 0..9 {
+            e.on_rgid_overflow(&mut ctx);
+        }
+    }
+    assert!(reset, "overflow threshold requests a global reset");
+    {
+        let mut ctx = EngineCtx {
+            free_list: &mut fl,
+            cycle: 1,
+            rob_size: 256,
+            rgid_reset_requested: &mut reset,
+        };
+        // State captured between the request and the end-of-cycle reset
+        // must also be dropped and released.
+        e.on_mispredict_squash(&event(2, &[(0x3000, 82, true)]), &mut ctx);
+        e.on_rgid_reset(&mut ctx);
+    }
+    assert_eq!(holds_snapshot(&fl), before, "RGID reset leaked holds");
+}
+
+#[test]
+fn baseline_pipeline_returns_every_transient_register() {
+    // End-to-end: after a halted baseline run the only live physical
+    // registers are the committed architectural mappings, so the free
+    // list must hold exactly phys_regs - NUM_ARCH_REGS.
+    use mssr_sim::SimConfig;
+    use mssr_workloads::microbench;
+    let w = microbench::nested_mispred(50);
+    let cfg = SimConfig::default().with_max_cycles(10_000_000);
+    let mut sim = w.instantiate(cfg.clone());
+    sim.run();
+    assert!(sim.is_halted());
+    assert_eq!(sim.free_phys_regs(), cfg.phys_regs - mssr_isa::NUM_ARCH_REGS);
+}
+
+#[test]
+fn engine_pipeline_never_leaks_registers_across_runs() {
+    // With an engine attached, streams may legitimately hold
+    // reservations at halt, but two identical runs must hold identical
+    // amounts — a leak that grows with work would diverge under
+    // different iteration counts long before exhausting the file.
+    use mssr_sim::SimConfig;
+    use mssr_workloads::microbench;
+    let cfg = SimConfig::default().with_max_cycles(10_000_000);
+    let w = microbench::nested_mispred(50);
+    let runs: Vec<usize> = (0..2)
+        .map(|_| {
+            let mut sim = w.instantiate_with(
+                cfg.clone(),
+                Box::new(MultiStreamReuse::new(MssrConfig::default())),
+            );
+            sim.run();
+            assert!(sim.is_halted());
+            sim.free_phys_regs()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    // And the engine can never hold more than its streams can log.
+    let max_reserved = MssrConfig::default().streams * MssrConfig::default().log_entries;
+    assert!(
+        runs[0] + mssr_isa::NUM_ARCH_REGS + max_reserved >= cfg.phys_regs,
+        "more registers missing than the engine could possibly reserve"
+    );
+}

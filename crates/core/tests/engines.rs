@@ -62,7 +62,11 @@ fn nested_branch_reference(iters: i64) -> (u64, u64) {
     (acc, acc2)
 }
 
-fn run(program: Program, engine: Option<Box<dyn ReuseEngine>>, cfg: SimConfig) -> (Simulator, SimStats) {
+fn run(
+    program: Program,
+    engine: Option<Box<dyn ReuseEngine>>,
+    cfg: SimConfig,
+) -> (Simulator, SimStats) {
     let mut sim = match engine {
         Some(e) => Simulator::with_engine(cfg, program, e),
         None => Simulator::new(cfg, program),
@@ -228,7 +232,9 @@ fn reused_loads_are_verified_and_memory_stays_consistent() {
     }
     // Loads were reused (or at least attempted) under verification.
     assert!(
-        stats.engine.reused_loads > 0 || stats.engine.reuse_fail_mem > 0 || stats.engine.reuse_grants > 0,
+        stats.engine.reused_loads > 0
+            || stats.engine.reuse_fail_mem > 0
+            || stats.engine.reuse_grants > 0,
         "the CI region should produce reuse traffic"
     );
 }
@@ -236,9 +242,8 @@ fn reused_loads_are_verified_and_memory_stays_consistent() {
 #[test]
 fn bloom_policy_also_preserves_memory_consistency() {
     let iters = 600;
-    let engine = MultiStreamReuse::new(
-        MssrConfig::default().with_mem_policy(MemCheckPolicy::BloomFilter),
-    );
+    let engine =
+        MultiStreamReuse::new(MssrConfig::default().with_mem_policy(MemCheckPolicy::BloomFilter));
     let (sim, stats) = run(store_aliasing_kernel(iters), Some(Box::new(engine)), default_cfg());
     for slot in 0..8u64 {
         assert_eq!(sim.read_mem_u64(0x4000 + slot * 8), (iters as u64) / 8);
@@ -262,10 +267,7 @@ fn register_pressure_reclaims_streams_instead_of_deadlocking() {
     assert_eq!(sim.read_mem_u64(0x100), acc);
     assert_eq!(sim.read_mem_u64(0x108), acc2);
     // With 16 spare registers the engine must have been squeezed.
-    assert!(
-        stats.engine.pressure_reclaims > 0,
-        "expected pressure reclaims with an 80-entry PRF"
-    );
+    assert!(stats.engine.pressure_reclaims > 0, "expected pressure reclaims with an 80-entry PRF");
 }
 
 #[test]
@@ -310,14 +312,10 @@ fn ri_higher_associativity_replaces_less() {
 
 #[test]
 fn snoops_poison_the_bloom_filter() {
-    let engine = MultiStreamReuse::new(
-        MssrConfig::default().with_mem_policy(MemCheckPolicy::BloomFilter),
-    );
-    let mut sim = Simulator::with_engine(
-        default_cfg(),
-        store_aliasing_kernel(400),
-        Box::new(engine),
-    );
+    let engine =
+        MultiStreamReuse::new(MssrConfig::default().with_mem_policy(MemCheckPolicy::BloomFilter));
+    let mut sim =
+        Simulator::with_engine(default_cfg(), store_aliasing_kernel(400), Box::new(engine));
     // Aggressively snoop the whole array: reused-load candidates are
     // poisoned. (The Bloom filter resets whenever all Squash Logs empty,
     // so a rare reuse can still slip through between a reset and the
@@ -398,9 +396,7 @@ fn multiple_block_fetching_stays_correct_and_detects_reconvergence() {
     // and reuse still happens.
     let iters = 400;
     let (acc, acc2) = nested_branch_reference(iters);
-    let cfg = SimConfig::default()
-        .with_fetch_blocks_per_cycle(2)
-        .with_max_cycles(5_000_000);
+    let cfg = SimConfig::default().with_fetch_blocks_per_cycle(2).with_max_cycles(5_000_000);
     let engine = MultiStreamReuse::new(MssrConfig::default());
     let (sim, stats) = run(nested_branch_kernel(iters), Some(Box::new(engine)), cfg.clone());
     assert_eq!(sim.read_mem_u64(0x100), acc);

@@ -26,7 +26,7 @@ fn figure5() -> Program {
     let mut a = Assembler::new();
     a.li(A1, 7); // the paper's a1
     a.li(A2, 1000); // the paper's a2
-    // t0 = 1 via a slow chain: the branch is not taken, but resolves late.
+                    // t0 = 1 via a slow chain: the branch is not taken, but resolves late.
     a.li(T1, 4096);
     a.li(T2, 4);
     a.div(T0, T1, T2); // 1024

@@ -71,7 +71,13 @@ impl Assembler {
 
     /// Creates an assembler whose first instruction lands at `base`.
     pub fn with_base(base: Pc) -> Assembler {
-        Assembler { base, insts: Vec::new(), labels: HashMap::new(), fixups: Vec::new(), duplicate: None }
+        Assembler {
+            base,
+            insts: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            duplicate: None,
+        }
     }
 
     /// The PC the next emitted instruction will occupy.
@@ -119,10 +125,8 @@ impl Assembler {
             return Err(AsmError::DuplicateLabel(l));
         }
         for (idx, label) in std::mem::take(&mut self.fixups) {
-            let at = *self
-                .labels
-                .get(&label)
-                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            let at =
+                *self.labels.get(&label).ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
             let target = self.base.step(at as u64);
             self.insts[idx].set_target(target);
         }
@@ -352,10 +356,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(
-            AsmError::UndefinedLabel("loop".into()).to_string(),
-            "undefined label `loop`"
-        );
+        assert_eq!(AsmError::UndefinedLabel("loop".into()).to_string(), "undefined label `loop`");
         assert_eq!(AsmError::DuplicateLabel("x".into()).to_string(), "duplicate label `x`");
     }
 }

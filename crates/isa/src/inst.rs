@@ -67,7 +67,14 @@ impl Inst {
 
     /// Builds a 64-bit load: `dst = mem[base + imm]`.
     pub fn ld(dst: ArchReg, base: ArchReg, imm: i64) -> Inst {
-        Inst { op: Opcode::Ld, dst: normalize_dst(dst), src1: Some(base), src2: None, imm, target: None }
+        Inst {
+            op: Opcode::Ld,
+            dst: normalize_dst(dst),
+            src1: Some(base),
+            src2: None,
+            imm,
+            target: None,
+        }
     }
 
     /// Builds a 64-bit store: `mem[base + imm] = data`.
@@ -87,12 +94,26 @@ impl Inst {
 
     /// Builds a direct jump-and-link to `target`, writing `pc + 4` into `dst`.
     pub fn jal(dst: ArchReg, target: Pc) -> Inst {
-        Inst { op: Opcode::Jal, dst: normalize_dst(dst), src1: None, src2: None, imm: 0, target: Some(target) }
+        Inst {
+            op: Opcode::Jal,
+            dst: normalize_dst(dst),
+            src1: None,
+            src2: None,
+            imm: 0,
+            target: Some(target),
+        }
     }
 
     /// Builds an indirect jump-and-link to `base + imm`.
     pub fn jalr(dst: ArchReg, base: ArchReg, imm: i64) -> Inst {
-        Inst { op: Opcode::Jalr, dst: normalize_dst(dst), src1: Some(base), src2: None, imm, target: None }
+        Inst {
+            op: Opcode::Jalr,
+            dst: normalize_dst(dst),
+            src1: Some(base),
+            src2: None,
+            imm,
+            target: None,
+        }
     }
 
     /// The instruction's opcode.
@@ -197,20 +218,8 @@ impl fmt::Display for Inst {
         match op {
             Opcode::Nop | Opcode::Halt => write!(f, "{op}"),
             Opcode::Li => write!(f, "{op} {}, {}", disp(self.dst), self.imm),
-            Opcode::Ld => write!(
-                f,
-                "{op} {}, {}({})",
-                disp(self.dst),
-                self.imm,
-                disp(self.src1)
-            ),
-            Opcode::St => write!(
-                f,
-                "{op} {}, {}({})",
-                disp(self.src2),
-                self.imm,
-                disp(self.src1)
-            ),
+            Opcode::Ld => write!(f, "{op} {}, {}({})", disp(self.dst), self.imm, disp(self.src1)),
+            Opcode::St => write!(f, "{op} {}, {}({})", disp(self.src2), self.imm, disp(self.src1)),
             Opcode::Jal => write!(
                 f,
                 "{op} {}, {}",
@@ -225,13 +234,9 @@ impl fmt::Display for Inst {
                 disp(self.src2),
                 self.target.map_or_else(|| "?".to_string(), |t| t.to_string())
             ),
-            _ if self.src2.is_some() => write!(
-                f,
-                "{op} {}, {}, {}",
-                disp(self.dst),
-                disp(self.src1),
-                disp(self.src2)
-            ),
+            _ if self.src2.is_some() => {
+                write!(f, "{op} {}, {}, {}", disp(self.dst), disp(self.src1), disp(self.src2))
+            }
             _ => write!(f, "{op} {}, {}, {}", disp(self.dst), disp(self.src1), self.imm),
         }
     }

@@ -1,7 +1,12 @@
-//! Property-based tests for the assembler and program image.
+//! Property-based tests for the assembler and program image, running on
+//! the workspace's std-only property harness (`tests/common/prop.rs` at
+//! the repository root, shared via `#[path]`).
+
+#[path = "../../../tests/common/prop.rs"]
+mod prop;
 
 use mssr_isa::{regs::*, Assembler, Opcode, Pc, Program};
-use proptest::prelude::*;
+use prop::for_each_case;
 
 /// Builds a program with `n` nops, a label placed at position `at`, and a
 /// jump to it placed at position `from`.
@@ -24,47 +29,52 @@ fn program_with_jump(n: usize, at: usize, from: usize) -> Program {
     a.assemble().expect("assembles")
 }
 
-proptest! {
-    #[test]
-    fn labels_resolve_to_their_positions(
-        n in 1usize..64,
-        at in 0usize..64,
-        from in 0usize..64,
-    ) {
-        let at = at % (n + 1);
-        let from = from % n;
+#[test]
+fn labels_resolve_to_their_positions() {
+    for_each_case("labels_resolve_to_their_positions", 256, 0x6973_6100_0001, |rng| {
+        let n = rng.range(1, 64);
+        let at = rng.range(0, 64) % (n + 1);
+        let from = rng.range(0, 64) % n;
         let p = program_with_jump(n, at, from);
         // The jump's resolved target must be the instruction at `at`
         // (labels placed past the end bind to the halt).
         let jump_pc = p.base().step(from as u64);
         let inst = p.fetch(jump_pc).expect("jump exists");
-        prop_assert_eq!(inst.op(), Opcode::Jal);
+        assert_eq!(inst.op(), Opcode::Jal);
         let expected = p.base().step(at.min(n) as u64);
-        prop_assert_eq!(inst.target().expect("resolved"), expected);
-    }
+        assert_eq!(inst.target().expect("resolved"), expected);
+    });
+}
 
-    #[test]
-    fn program_fetch_agrees_with_iter(n in 1usize..200) {
+#[test]
+fn program_fetch_agrees_with_iter() {
+    for_each_case("program_fetch_agrees_with_iter", 64, 0x6973_6100_0002, |rng| {
+        let n = rng.range(1, 200);
         let mut a = Assembler::new();
         for i in 0..n {
             a.addi(T0, T0, i as i64 % 100);
         }
         a.halt();
         let p = a.assemble().unwrap();
-        prop_assert_eq!(p.len(), n + 1);
+        assert_eq!(p.len(), n + 1);
         for (pc, inst) in p.iter() {
-            prop_assert_eq!(p.fetch(pc), Some(inst));
+            assert_eq!(p.fetch(pc), Some(inst));
         }
         // Every out-of-range or misaligned PC misses.
-        prop_assert!(p.fetch(p.end()).is_none());
-        prop_assert!(p.fetch(Pc::new(p.base().addr() + 1)).is_none());
-        prop_assert!(p.fetch(Pc::new(p.base().addr().wrapping_sub(4))).is_none());
-    }
+        assert!(p.fetch(p.end()).is_none());
+        assert!(p.fetch(Pc::new(p.base().addr() + 1)).is_none());
+        assert!(p.fetch(Pc::new(p.base().addr().wrapping_sub(4))).is_none());
+    });
+}
 
-    #[test]
-    fn pc_step_is_additive(a in 0u64..1 << 40, n in 0u64..1000, m in 0u64..1000) {
+#[test]
+fn pc_step_is_additive() {
+    for_each_case("pc_step_is_additive", 256, 0x6973_6100_0003, |rng| {
+        let a = rng.below(1 << 40);
+        let n = rng.below(1000);
+        let m = rng.below(1000);
         let pc = Pc::new(a * 4);
-        prop_assert_eq!(pc.step(n).step(m), pc.step(n + m));
-        prop_assert_eq!(pc.step(n) - pc, 4 * n);
-    }
+        assert_eq!(pc.step(n).step(m), pc.step(n + m));
+        assert_eq!(pc.step(n) - pc, 4 * n);
+    });
 }

@@ -213,7 +213,10 @@ impl SimConfig {
             return Err(ConfigError("frontend_stages must be at least 2".to_string()));
         }
         if self.rgid_bits == 0 || self.rgid_bits > 15 {
-            return Err(ConfigError(format!("rgid_bits must be in 1..=15, got {}", self.rgid_bits)));
+            return Err(ConfigError(format!(
+                "rgid_bits must be in 1..=15, got {}",
+                self.rgid_bits
+            )));
         }
         Ok(())
     }
@@ -312,9 +315,9 @@ mod tests {
     #[test]
     fn validation_catches_bad_configs() {
         assert!(SimConfig { rob_size: 0, ..SimConfig::default() }.validate().is_err());
-        assert!(
-            SimConfig { fetch_blocks_per_cycle: 0, ..SimConfig::default() }.validate().is_err()
-        );
+        assert!(SimConfig { fetch_blocks_per_cycle: 0, ..SimConfig::default() }
+            .validate()
+            .is_err());
         assert!(SimConfig { mem_bytes: 3000, ..SimConfig::default() }.validate().is_err());
         assert!(SimConfig { phys_regs: 64, ..SimConfig::default() }.validate().is_err());
         assert!(SimConfig { rgid_bits: 0, ..SimConfig::default() }.validate().is_err());

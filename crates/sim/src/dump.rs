@@ -32,7 +32,13 @@ impl Simulator {
     /// ```
     pub fn dump_state(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "cycle {}  engine {}  halted {}", self.cycle(), self.engine_name(), self.is_halted());
+        let _ = writeln!(
+            out,
+            "cycle {}  engine {}  halted {}",
+            self.cycle(),
+            self.engine_name(),
+            self.is_halted()
+        );
         let (fetch_pc, frontend_len) = self.frontend_state();
         let _ = writeln!(
             out,
@@ -41,7 +47,11 @@ impl Simulator {
             frontend_len
         );
         let (rob_len, rob_cap, head) = self.rob_state();
-        let _ = writeln!(out, "rob: {rob_len}/{rob_cap}  head {}", head.unwrap_or_else(|| "-".to_string()));
+        let _ = writeln!(
+            out,
+            "rob: {rob_len}/{rob_cap}  head {}",
+            head.unwrap_or_else(|| "-".to_string())
+        );
         let _ = writeln!(out, "free registers: {}", self.free_regs());
         let _ = writeln!(out, "rat (non-identity mappings):");
         for a in ArchReg::all() {
@@ -65,7 +75,8 @@ mod tests {
         a.li(T0, 5);
         a.addi(T0, T0, 1);
         a.halt();
-        let mut sim = Simulator::new(SimConfig::default().with_max_cycles(100), a.assemble().unwrap());
+        let mut sim =
+            Simulator::new(SimConfig::default().with_max_cycles(100), a.assemble().unwrap());
         let before = sim.dump_state();
         assert!(before.contains("cycle 0"));
         assert!(before.contains("pc 0x1000"));

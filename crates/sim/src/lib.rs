@@ -75,5 +75,5 @@ pub use mem::{Cache, Hierarchy, MainMemory};
 pub use pipeline::Simulator;
 pub use rename::{FreeList, Prf, Rat, RgidAlloc};
 pub use rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
-pub use stats::{EngineStats, SimStats};
+pub use stats::{json_escape, EngineStats, SimStats};
 pub use types::{FlushKind, FuClass, PhysReg, Rgid, SeqNum};

@@ -154,7 +154,10 @@ impl Lsq {
     pub fn commit_store(&mut self, seq: SeqNum) -> (u64, u64) {
         let head = self.stores.remove(0);
         assert_eq!(head.seq, seq, "store commit order mismatch");
-        (head.addr.expect("committed store has an address"), head.data.expect("committed store has data"))
+        (
+            head.addr.expect("committed store has an address"),
+            head.data.expect("committed store has data"),
+        )
     }
 
     /// Removes all entries with `seq >= first` (pipeline squash).

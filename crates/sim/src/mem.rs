@@ -105,7 +105,9 @@ impl Cache {
         self.misses += 1;
         // Fill the LRU (or first invalid) way.
         let victim = (0..self.cfg.ways)
-            .min_by_key(|&w| if self.tags[set][w].is_none() { (0, 0) } else { (1, self.lru[set][w]) })
+            .min_by_key(
+                |&w| if self.tags[set][w].is_none() { (0, 0) } else { (1, self.lru[set][w]) },
+            )
             .expect("cache has at least one way");
         self.tags[set][victim] = Some(tag);
         self.lru[set][victim] = self.tick;
@@ -147,7 +149,11 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Builds the hierarchy described by `cfg`.
     pub fn new(cfg: &SimConfig) -> Hierarchy {
-        Hierarchy { l1: Cache::new(cfg.l1d), l2: Cache::new(cfg.l2), dram_latency: cfg.dram_latency }
+        Hierarchy {
+            l1: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            dram_latency: cfg.dram_latency,
+        }
     }
 
     /// Performs an access and returns its total latency in cycles:

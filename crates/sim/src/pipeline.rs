@@ -147,7 +147,11 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `cfg` fails [`SimConfig::validate`].
-    pub fn with_engine(cfg: SimConfig, program: Program, engine: Box<dyn ReuseEngine>) -> Simulator {
+    pub fn with_engine(
+        cfg: SimConfig,
+        program: Program,
+        engine: Box<dyn ReuseEngine>,
+    ) -> Simulator {
         cfg.validate().expect("invalid simulator configuration");
         let fetch_pc = Some(program.base());
         Simulator {
@@ -251,8 +255,26 @@ impl Simulator {
     }
 
     /// Allocatable physical registers.
+    ///
+    /// After a halted run with an empty pipeline, every transient hold
+    /// (in-flight destinations, engine stream reservations that were
+    /// ruled out) must have been released, so this is the basis of the
+    /// free-list conservation tests: a reuse engine may never leak a
+    /// physical register.
+    pub fn free_phys_regs(&self) -> usize {
+        self.free_list.available()
+    }
+
     pub(crate) fn free_regs(&self) -> usize {
         self.free_list.available()
+    }
+
+    /// The committed architectural value of register `a` (read through
+    /// the RAT into the physical register file). Meaningful once the
+    /// pipeline has drained (e.g. after `run()` halts); used by the
+    /// cross-engine equivalence tests to compare final register state.
+    pub fn read_arch_reg(&self, a: ArchReg) -> u64 {
+        self.prf.read(self.rat.lookup(a))
     }
 
     /// Current mapping of an architectural register.
@@ -695,8 +717,13 @@ impl Simulator {
                     let rgid = self.alloc_rgid(arch);
                     let (prev_preg, prev_rgid) = self.rat.install(arch, preg, rgid);
                     self.prf.clear_ready(preg);
-                    dst_info =
-                        Some(DstInfo { arch, new_preg: preg, prev_preg, new_rgid: rgid, prev_rgid });
+                    dst_info = Some(DstInfo {
+                        arch,
+                        new_preg: preg,
+                        prev_preg,
+                        new_rgid: rgid,
+                        prev_rgid,
+                    });
                 }
                 match fu {
                     None => completed = true, // nop / halt: nothing to execute
@@ -847,8 +874,7 @@ impl Simulator {
         }
         self.fetch_pc = next_fetch_pc;
         if count > 0 {
-            let blk =
-                PredBlock { range: BlockRange { start, end: last_pc }, cycle: self.cycle };
+            let blk = PredBlock { range: BlockRange { start, end: last_pc }, cycle: self.cycle };
             self.engine.on_block(&blk, &mut ectx!(self));
         }
     }
@@ -1115,10 +1141,7 @@ fn fu_class(op: Opcode) -> Option<FuClass> {
 /// Groups a PC stream into contiguous block ranges, splitting at
 /// discontinuities, predicted-taken control flow, and the fetch-block
 /// size limit.
-fn group_blocks(
-    pcs: impl Iterator<Item = (Pc, bool)>,
-    max_block: usize,
-) -> Vec<BlockRange> {
+fn group_blocks(pcs: impl Iterator<Item = (Pc, bool)>, max_block: usize) -> Vec<BlockRange> {
     let mut out: Vec<BlockRange> = Vec::new();
     let mut cur: Option<(BlockRange, usize, bool)> = None;
     for (pc, taken) in pcs {
@@ -1188,7 +1211,11 @@ mod tests {
         assert_eq!(sim.read_mem_u64(0x100), 100);
         // 2 setup + 100*2 loop + store + halt
         assert_eq!(stats.committed_instructions, 2 + 200 + 2);
-        assert!(stats.ipc() > 1.0, "a tight predictable loop should exceed IPC 1, got {}", stats.ipc());
+        assert!(
+            stats.ipc() > 1.0,
+            "a tight predictable loop should exceed IPC 1, got {}",
+            stats.ipc()
+        );
     }
 
     #[test]
@@ -1255,7 +1282,11 @@ mod tests {
             acc += if bit != 0 { 3 } else { 5 };
         }
         assert_eq!(sim.read_mem_u64(0x500), acc, "wrong-path execution must not corrupt state");
-        assert!(stats.mispredictions > 20, "random branches should mispredict, got {}", stats.mispredictions);
+        assert!(
+            stats.mispredictions > 20,
+            "random branches should mispredict, got {}",
+            stats.mispredictions
+        );
     }
 
     #[test]

@@ -161,7 +161,10 @@ impl Rat {
     /// register `i`) with RGID 0 on every mapping, matching the paper's
     /// walkthrough (Figure 5 starts all registers at RGID 0).
     pub fn new() -> Rat {
-        Rat { map: (0..NUM_ARCH_REGS).map(PhysReg::new).collect(), rgid: vec![Rgid::new(0); NUM_ARCH_REGS] }
+        Rat {
+            map: (0..NUM_ARCH_REGS).map(PhysReg::new).collect(),
+            rgid: vec![Rgid::new(0); NUM_ARCH_REGS],
+        }
     }
 
     /// Current physical mapping of an architectural register.

@@ -59,6 +59,69 @@ impl EngineStats {
         let idx = (distance.max(1) - 1).min(self.stream_distance.len() as u64 - 1) as usize;
         self.stream_distance[idx] += 1;
     }
+
+    /// The engine counters as a JSON object (stable key order, integers
+    /// only — bit-identical across runs and platforms).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut field = |k: &str, v: u64| {
+            if out.len() > 1 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        };
+        field("reuse_tests", self.reuse_tests);
+        field("reuse_grants", self.reuse_grants);
+        field("reused_loads", self.reused_loads);
+        field("reuse_fail_stale", self.reuse_fail_stale);
+        field("reuse_fail_not_executed", self.reuse_fail_not_executed);
+        field("reuse_fail_mem", self.reuse_fail_mem);
+        field("reconvergences", self.reconvergences);
+        field("recon_simple", self.recon_simple);
+        field("recon_software", self.recon_software);
+        field("recon_hardware", self.recon_hardware);
+        field("divergences", self.divergences);
+        field("timeouts", self.timeouts);
+        field("rgid_overflows", self.rgid_overflows);
+        field("rgid_resets", self.rgid_resets);
+        field("streams_captured", self.streams_captured);
+        field("entries_logged", self.entries_logged);
+        field("pressure_reclaims", self.pressure_reclaims);
+        field("table_replacements", self.table_replacements);
+        out.push_str(",\"stream_distance\":[");
+        for (i, v) in self.stream_distance.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push_str("],\"extra\":{");
+        for (i, (k, v)) in self.extra.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(k)));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// End-of-run statistics for one simulation.
@@ -140,6 +203,56 @@ impl SimStats {
         } else {
             self.l1_hits as f64 / total as f64
         }
+    }
+
+    /// The run's statistics as one JSON object (stable key order,
+    /// integers only, engine counters nested under `"engine"`).
+    ///
+    /// This is the record format of the experiment harness's JSON-lines
+    /// output (`BENCH_*.json` trajectories): because every field is an
+    /// integer counter from a deterministic simulation, serialized
+    /// output is byte-identical across runs, thread counts, and
+    /// platforms.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mssr_sim::SimStats;
+    /// let s = SimStats { cycles: 100, committed_instructions: 250, ..SimStats::default() };
+    /// let j = s.to_json();
+    /// assert!(j.starts_with("{\"cycles\":100,"));
+    /// assert!(j.contains("\"engine\":{"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut field = |k: &str, v: u64| {
+            if out.len() > 1 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        };
+        field("cycles", self.cycles);
+        field("committed_instructions", self.committed_instructions);
+        field("committed_branches", self.committed_branches);
+        field("committed_cond_branches", self.committed_cond_branches);
+        field("mispredictions", self.mispredictions);
+        field("renamed_instructions", self.renamed_instructions);
+        field("squashed_instructions", self.squashed_instructions);
+        field("flushes_branch", self.flushes_branch);
+        field("flushes_mem_order", self.flushes_mem_order);
+        field("flushes_reuse_verify", self.flushes_reuse_verify);
+        field("committed_loads", self.committed_loads);
+        field("committed_stores", self.committed_stores);
+        field("store_forwards", self.store_forwards);
+        field("l1_hits", self.l1_hits);
+        field("l1_misses", self.l1_misses);
+        field("l2_hits", self.l2_hits);
+        field("l2_misses", self.l2_misses);
+        field("snoops", self.snoops);
+        out.push_str(",\"engine\":");
+        out.push_str(&self.engine.to_json());
+        out.push('}');
+        out
     }
 
     /// A multi-line human-readable summary of the run.

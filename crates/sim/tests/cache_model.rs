@@ -1,8 +1,11 @@
 //! Differential property test: the set-associative LRU cache must agree
 //! with a naive reference implementation on arbitrary access streams.
 
+#[path = "../../../tests/common/prop.rs"]
+mod prop;
+
 use mssr_sim::{Cache, CacheConfig};
-use proptest::prelude::*;
+use prop::for_each_case;
 
 /// Naive per-set LRU: a vector of (tag, last-use) pairs per set.
 struct RefCache {
@@ -42,13 +45,10 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn cache_matches_reference_lru(
-        addrs in prop::collection::vec(0u64..4096, 1..400),
-    ) {
+#[test]
+fn cache_matches_reference_lru() {
+    for_each_case("cache_matches_reference_lru", 64, 0x7369_6d00_0001, |rng| {
+        let addrs: Vec<u64> = (0..rng.range(1, 400)).map(|_| rng.below(4096)).collect();
         // 8 sets x 2 ways x 64 B lines = 1 KiB.
         let cfg = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, latency: 1 };
         let mut cache = Cache::new(cfg);
@@ -57,24 +57,25 @@ proptest! {
         for &a in &addrs {
             let got = cache.access(a);
             let want = reference.access(a);
-            prop_assert_eq!(got, want, "divergence at address {:#x}", a);
+            assert_eq!(got, want, "divergence at address {a:#x}");
             if want {
                 hits += 1;
             }
         }
-        prop_assert_eq!(cache.hits(), hits);
-        prop_assert_eq!(cache.misses(), addrs.len() as u64 - hits);
-    }
+        assert_eq!(cache.hits(), hits);
+        assert_eq!(cache.misses(), addrs.len() as u64 - hits);
+    });
+}
 
-    #[test]
-    fn direct_mapped_cache_matches_reference(
-        addrs in prop::collection::vec(0u64..2048, 1..300),
-    ) {
+#[test]
+fn direct_mapped_cache_matches_reference() {
+    for_each_case("direct_mapped_cache_matches_reference", 64, 0x7369_6d00_0002, |rng| {
+        let addrs: Vec<u64> = (0..rng.range(1, 300)).map(|_| rng.below(2048)).collect();
         let cfg = CacheConfig { size_bytes: 256, ways: 1, line_bytes: 64, latency: 1 };
         let mut cache = Cache::new(cfg);
         let mut reference = RefCache::new(cfg.sets(), 1, 64);
         for &a in &addrs {
-            prop_assert_eq!(cache.access(a), reference.access(a));
+            assert_eq!(cache.access(a), reference.access(a));
         }
-    }
+    });
 }

@@ -2,8 +2,11 @@
 //! violation detection must agree with a simple reference model on random
 //! in-order dispatch / out-of-order execution schedules.
 
-use mssr_sim::{Lsq, LqEntry, SeqNum, SqEntry};
-use proptest::prelude::*;
+#[path = "../../../tests/common/prop.rs"]
+mod prop;
+
+use mssr_sim::{LqEntry, Lsq, SeqNum, SqEntry};
+use prop::{for_each_case, Rng};
 
 /// A generated memory operation: dispatched in order, executed in a
 /// shuffled order.
@@ -15,22 +18,22 @@ struct MemOp {
     data: u64,
 }
 
-fn memop() -> impl Strategy<Value = MemOp> {
-    (any::<bool>(), 0u64..6, any::<u64>())
-        .prop_map(|(is_store, slot, data)| MemOp { is_store, slot, data })
+fn memop(rng: &mut Rng) -> MemOp {
+    MemOp { is_store: rng.chance(1, 2), slot: rng.below(6), data: rng.next_u64() }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+fn memops(rng: &mut Rng) -> Vec<MemOp> {
+    (0..rng.range(1, 24)).map(|_| memop(rng)).collect()
+}
 
-    /// Forwarding returns the youngest older store's data to the same
-    /// slot, exactly as a scan over the dispatched-but-uncommitted store
-    /// set would.
-    #[test]
-    fn forwarding_matches_reference(
-        ops in prop::collection::vec(memop(), 1..24),
-        probe_slot in 0u64..6,
-    ) {
+/// Forwarding returns the youngest older store's data to the same slot,
+/// exactly as a scan over the dispatched-but-uncommitted store set
+/// would.
+#[test]
+fn forwarding_matches_reference() {
+    for_each_case("forwarding_matches_reference", 128, 0x6c73_7100_0001, |rng| {
+        let ops = memops(rng);
+        let probe_slot = rng.below(6);
         let mut lsq = Lsq::new(64, 64);
         // Dispatch everything in order; execute stores immediately (their
         // addresses become known).
@@ -42,29 +45,33 @@ proptest! {
                 s.addr = Some(op.slot * 8);
                 s.data = Some(op.data);
             } else {
-                lsq.push_load(LqEntry { seq, addr: None, issued: false, value: None, reused: false });
+                lsq.push_load(LqEntry {
+                    seq,
+                    addr: None,
+                    issued: false,
+                    value: None,
+                    reused: false,
+                });
             }
         }
         // Probe a hypothetical load younger than everything.
         let probe_seq = SeqNum::new(ops.len() as u64 + 1);
         let got = lsq.forward(probe_seq, probe_slot * 8);
-        let expected = ops
-            .iter()
-            .rev()
-            .find(|o| o.is_store && o.slot == probe_slot)
-            .map(|o| o.data);
-        prop_assert_eq!(got, expected);
-    }
+        let expected =
+            ops.iter().rev().find(|o| o.is_store && o.slot == probe_slot).map(|o| o.data);
+        assert_eq!(got, expected);
+    });
+}
 
-    /// A store's violation check reports the oldest younger load that has
-    /// obtained data from the same slot, and nothing else.
-    #[test]
-    fn store_check_matches_reference(
-        ops in prop::collection::vec(memop(), 1..24),
-        issued_mask in any::<u32>(),
-        store_pos in 0usize..24,
-        store_slot in 0u64..6,
-    ) {
+/// A store's violation check reports the oldest younger load that has
+/// obtained data from the same slot, and nothing else.
+#[test]
+fn store_check_matches_reference() {
+    for_each_case("store_check_matches_reference", 128, 0x6c73_7100_0002, |rng| {
+        let ops = memops(rng);
+        let issued_mask = rng.next_u64() as u32;
+        let store_pos = rng.below(24) as usize;
+        let store_slot = rng.below(6);
         let mut lsq = Lsq::new(64, 64);
         let mut loads = Vec::new();
         for (i, op) in ops.iter().enumerate() {
@@ -90,15 +97,16 @@ proptest! {
             .filter(|(seq, slot, issued)| *issued && *seq > store_seq && *slot == store_slot)
             .map(|(seq, _, _)| *seq)
             .min();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// Squash truncation preserves exactly the older entries.
-    #[test]
-    fn squash_keeps_only_older_entries(
-        ops in prop::collection::vec(memop(), 1..24),
-        cut in 1u64..26,
-    ) {
+/// Squash truncation preserves exactly the older entries.
+#[test]
+fn squash_keeps_only_older_entries() {
+    for_each_case("squash_keeps_only_older_entries", 128, 0x6c73_7100_0003, |rng| {
+        let ops = memops(rng);
+        let cut = rng.range(1, 26) as u64;
         let mut lsq = Lsq::new(64, 64);
         let mut expect_loads = 0;
         let mut expect_stores = 0;
@@ -110,14 +118,20 @@ proptest! {
                     expect_stores += 1;
                 }
             } else {
-                lsq.push_load(LqEntry { seq, addr: None, issued: false, value: None, reused: false });
+                lsq.push_load(LqEntry {
+                    seq,
+                    addr: None,
+                    issued: false,
+                    value: None,
+                    reused: false,
+                });
                 if seq < SeqNum::new(cut) {
                     expect_loads += 1;
                 }
             }
         }
         lsq.squash_from(SeqNum::new(cut));
-        prop_assert_eq!(lsq.lq_len(), expect_loads);
-        prop_assert_eq!(lsq.sq_len(), expect_stores);
-    }
+        assert_eq!(lsq.lq_len(), expect_loads);
+        assert_eq!(lsq.sq_len(), expect_stores);
+    });
 }

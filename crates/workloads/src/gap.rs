@@ -483,7 +483,7 @@ pub fn tc(g: &Graph) -> Workload {
     a.add(A3, A3, S1);
     a.ld(T1, A3, 0); // v
     a.bge(T0, T1, "vskip"); // only v > u
-    // Merge-intersect adj[u] with adj[v].
+                            // Merge-intersect adj[u] with adj[v].
     a.ld(T2, S8, 0); // i = row[u]
     a.slli(A4, T1, 3);
     a.add(A4, A4, S0);
@@ -798,8 +798,7 @@ mod tests {
     fn kernels_are_correct_under_reuse() {
         let g = small();
         for w in [bfs(&g), cc(&g), sssp(&g), bc(&g)] {
-            let stats =
-                w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+            let stats = w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
             assert!(stats.committed_instructions > 1000, "{} ran", w.name());
         }
     }

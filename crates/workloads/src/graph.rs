@@ -214,8 +214,7 @@ mod tests {
         let g = Graph::uniform(64, 6, 9);
         for u in 0..g.n() {
             for (v, w) in g.neighbors(u) {
-                let back =
-                    g.neighbors(v as usize).find(|&(x, _)| x == u as u64).map(|(_, w)| w);
+                let back = g.neighbors(v as usize).find(|&(x, _)| x == u as u64).map(|(_, w)| w);
                 assert_eq!(back, Some(w), "edge ({u},{v}) weight symmetric");
             }
         }

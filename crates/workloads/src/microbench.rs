@@ -310,8 +310,7 @@ mod tests {
     #[test]
     fn correct_under_reuse_engine() {
         for w in [nested_mispred(300), linear_mispred(300)] {
-            let stats =
-                w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+            let stats = w.run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
             assert!(stats.engine.reuse_grants > 0, "{} should see reuse", w.name());
         }
     }

@@ -32,7 +32,13 @@ const MIX: u64 = 0x9e3779b97f4a7c15;
 
 /// Emits `dst = mix(src)`: one multiply-xorshift round with the constant
 /// held in `kreg`.
-fn emit_mix(a: &mut Assembler, dst: mssr_isa::ArchReg, src: mssr_isa::ArchReg, kreg: mssr_isa::ArchReg, t: mssr_isa::ArchReg) {
+fn emit_mix(
+    a: &mut Assembler,
+    dst: mssr_isa::ArchReg,
+    src: mssr_isa::ArchReg,
+    kreg: mssr_isa::ArchReg,
+    t: mssr_isa::ArchReg,
+) {
     a.mul(dst, src, kreg);
     a.srli(t, dst, 29);
     a.xor(dst, dst, t);
@@ -93,7 +99,7 @@ pub fn astar(side: usize) -> Workload {
     a.label("scandone");
     a.li(A7, -1);
     a.beq(T2, A7, "sum"); // nothing reachable left
-    // Mark visited.
+                          // Mark visited.
     a.slli(A2, T2, 3);
     a.add(A3, A2, S1);
     a.li(A4, 1);
@@ -1221,10 +1227,7 @@ mod tests {
             "indirect dispatch should mispredict often, got {}",
             stats.mispredictions
         );
-        perlbench(500).run(
-            cfg(),
-            Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))),
-        );
+        perlbench(500).run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
     }
 
     #[test]
@@ -1237,11 +1240,7 @@ mod tests {
     #[test]
     fn mcf_is_memory_bound() {
         let stats = mcf(1 << 15, 20_000).run(cfg(), None);
-        assert!(
-            stats.l2_misses > 1000,
-            "pointer chase should miss in L2, got {}",
-            stats.l2_misses
-        );
+        assert!(stats.l2_misses > 1000, "pointer chase should miss in L2, got {}", stats.l2_misses);
         assert!(stats.ipc() < 1.0, "memory-bound kernel, got IPC {}", stats.ipc());
     }
 }

@@ -19,7 +19,13 @@ const DATA: u64 = 0x10_0000;
 
 const MIX: u64 = 0x9e3779b97f4a7c15;
 
-fn emit_mix(a: &mut Assembler, dst: mssr_isa::ArchReg, src: mssr_isa::ArchReg, kreg: mssr_isa::ArchReg, t: mssr_isa::ArchReg) {
+fn emit_mix(
+    a: &mut Assembler,
+    dst: mssr_isa::ArchReg,
+    src: mssr_isa::ArchReg,
+    kreg: mssr_isa::ArchReg,
+    t: mssr_isa::ArchReg,
+) {
     a.mul(dst, src, kreg);
     a.srli(t, dst, 29);
     a.xor(dst, dst, t);
@@ -97,9 +103,9 @@ pub fn leela(playouts: u64) -> Workload {
     a.mul(T3, T3, T6); // score[l] * (visits[r]+1)
     a.addi(T4, T4, 1);
     a.mul(T5, T5, T4); // score[r] * (visits[l]+1)
-    // Exploration noise (the UCT exploration term): derived from the
-    // control-independent bookkeeping hash, it varies per playout and
-    // keeps the choice hard to predict.
+                       // Exploration noise (the UCT exploration term): derived from the
+                       // control-independent bookkeeping hash, it varies per playout and
+                       // keeps the choice hard to predict.
     a.andi(S11, S8, 4095);
     a.add(T3, T3, S11);
     a.bge(T3, T5, "go_left"); // UCT choice: hard to predict
@@ -207,7 +213,7 @@ pub fn deepsjeng(positions: u64) -> Workload {
     a.srli(T3, S3, 20);
     a.andi(T3, T3, 4095); // expected tag+value
     a.beq(T2, T3, "tt_hit"); // data-dependent hit check
-    // Miss: "search" — an inner loop of hash evals.
+                             // Miss: "search" — an inner loop of hash evals.
     a.li(T4, 0);
     a.li(T5, 0);
     a.label("l2");
@@ -390,10 +396,8 @@ pub fn xz(positions: u64) -> Workload {
     let mut matches = 0u64;
     let mut total_len = 0u64;
     for pos in 0..positions {
-        let mut h = buf[pos as usize]
-            .wrapping_mul(8)
-            .wrapping_add(buf[pos as usize + 1])
-            .wrapping_mul(MIX);
+        let mut h =
+            buf[pos as usize].wrapping_mul(8).wrapping_add(buf[pos as usize + 1]).wrapping_mul(MIX);
         h ^= h >> 23;
         h = h.wrapping_mul(MIX);
         h ^= h >> 17;
@@ -444,8 +448,7 @@ pub fn mcf_r(nodes: usize, steps: u64) -> Workload {
 
 /// The 2017 `omnetpp_r`: the event-queue surrogate with a larger queue.
 pub fn omnetpp_r(slots: usize, events: u64) -> Workload {
-    crate::spec2006::omnetpp(slots, events)
-        .renamed(format!("omnetpp_r/{events}"), Suite::Spec2017)
+    crate::spec2006::omnetpp(slots, events).renamed(format!("omnetpp_r/{events}"), Suite::Spec2017)
 }
 
 // ---------------------------------------------------------------------
@@ -612,7 +615,7 @@ pub fn exchange2(n: usize, rounds: u64) -> Workload {
     a.addi(T1, T1, 1);
     a.st(A3, T1, 0);
     a.bge(T1, S1, "exhausted"); // no columns left in this row
-    // The banned cell is unusable.
+                                // The banned cell is unusable.
     a.bne(T0, S3, "conflicts");
     a.beq(T1, S4, "advance");
     a.label("conflicts");
@@ -763,7 +766,8 @@ mod tests {
 
     #[test]
     fn xz_provokes_memory_hazards_under_reuse() {
-        let stats = xz(3000).run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+        let stats =
+            xz(3000).run(cfg(), Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
         // The chain-head stores aliasing reused loads must surface as
         // verification flushes or memory-order replays (or suppress load
         // reuse entirely); the kernel exists to exercise that path.

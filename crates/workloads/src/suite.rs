@@ -44,10 +44,7 @@ pub fn suite_workloads(suite: Suite, scale: Scale) -> Vec<Workload> {
         Scale::Large => (6000, 1200, 10000),
     };
     match suite {
-        Suite::Micro => vec![
-            microbench::nested_mispred(micro),
-            microbench::linear_mispred(micro),
-        ],
+        Suite::Micro => vec![microbench::nested_mispred(micro), microbench::linear_mispred(micro)],
         Suite::Spec2006 => {
             let grid = match scale {
                 Scale::Test => 10,

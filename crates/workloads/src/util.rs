@@ -60,7 +60,13 @@ impl Default for ScratchPool {
 
 /// Emits `dst = src * constant` using a rotating scratch register for
 /// the constant.
-pub fn emit_mul_const(a: &mut Assembler, pool: &mut ScratchPool, dst: ArchReg, src: ArchReg, k: u64) {
+pub fn emit_mul_const(
+    a: &mut Assembler,
+    pool: &mut ScratchPool,
+    dst: ArchReg,
+    src: ArchReg,
+    k: u64,
+) {
     let t = pool.next();
     a.li(t, k as i64);
     a.mul(dst, src, t);
@@ -68,13 +74,7 @@ pub fn emit_mul_const(a: &mut Assembler, pool: &mut ScratchPool, dst: ArchReg, s
 
 /// Emits one xorshift-multiply mixing round in place:
 /// `reg = (reg * k) ^ ((reg * k) >> shift)`.
-pub fn emit_mix_round(
-    a: &mut Assembler,
-    pool: &mut ScratchPool,
-    reg: ArchReg,
-    k: u64,
-    shift: i64,
-) {
+pub fn emit_mix_round(a: &mut Assembler, pool: &mut ScratchPool, reg: ArchReg, k: u64, shift: i64) {
     emit_mul_const(a, pool, reg, reg, k);
     let t = pool.next();
     a.srli(t, reg, shift);
@@ -117,10 +117,8 @@ mod tests {
         emit_mix_round(&mut a, &mut pool, S0, 0x9e3779b97f4a7c15, 29);
         a.st(ZERO, S0, 0x100);
         a.halt();
-        let mut sim = Simulator::new(
-            SimConfig::default().with_max_cycles(10_000),
-            a.assemble().unwrap(),
-        );
+        let mut sim =
+            Simulator::new(SimConfig::default().with_max_cycles(10_000), a.assemble().unwrap());
         sim.run();
         assert_eq!(
             sim.read_mem_u64(0x100),

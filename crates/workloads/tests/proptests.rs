@@ -1,68 +1,77 @@
-//! Property-based tests for the graph generator and scratch pools.
+//! Property-based tests for the graph generator and scratch pools,
+//! running on the workspace's std-only property harness
+//! (`tests/common/prop.rs` at the repository root, shared via `#[path]`).
+
+#[path = "../../../tests/common/prop.rs"]
+mod prop;
 
 use mssr_workloads::graph::{Graph, SplitMix64};
 use mssr_workloads::util::ScratchPool;
-use proptest::prelude::*;
+use prop::for_each_case;
 
-proptest! {
-    #[test]
-    fn graphs_always_satisfy_csr_invariants(
-        n in 2usize..300,
-        deg in 1usize..12,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn graphs_always_satisfy_csr_invariants() {
+    for_each_case("graphs_always_satisfy_csr_invariants", 48, 0x776c_6400_0001, |rng| {
+        let n = rng.range(2, 300);
+        let deg = rng.range(1, 12);
+        let seed = rng.next_u64();
         let g = Graph::uniform(n, deg, seed);
-        prop_assert_eq!(g.row().len(), n + 1);
-        prop_assert_eq!(g.row()[0], 0);
-        prop_assert_eq!(*g.row().last().unwrap() as usize, g.edges());
+        assert_eq!(g.row().len(), n + 1);
+        assert_eq!(g.row()[0], 0);
+        assert_eq!(*g.row().last().unwrap() as usize, g.edges());
         for u in 0..n {
             let s = g.row()[u] as usize;
             let e = g.row()[u + 1] as usize;
-            prop_assert!(s <= e);
+            assert!(s <= e);
             let neigh = &g.col()[s..e];
             for w in neigh.windows(2) {
-                prop_assert!(w[0] < w[1], "sorted, deduplicated");
+                assert!(w[0] < w[1], "sorted, deduplicated");
             }
             for &v in neigh {
-                prop_assert!((v as usize) < n);
-                prop_assert!(v as usize != u, "no self loops");
+                assert!((v as usize) < n);
+                assert!(v as usize != u, "no self loops");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn graph_edges_are_symmetric(
-        n in 2usize..120,
-        deg in 1usize..8,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn graph_edges_are_symmetric() {
+    for_each_case("graph_edges_are_symmetric", 32, 0x776c_6400_0002, |rng| {
+        let n = rng.range(2, 120);
+        let deg = rng.range(1, 8);
+        let seed = rng.next_u64();
         let g = Graph::uniform(n, deg, seed);
         for u in 0..n {
             for (v, w) in g.neighbors(u) {
-                let back = g
-                    .neighbors(v as usize)
-                    .find(|&(x, _)| x == u as u64)
-                    .map(|(_, bw)| bw);
-                prop_assert_eq!(back, Some(w), "({}, {})", u, v);
+                let back = g.neighbors(v as usize).find(|&(x, _)| x == u as u64).map(|(_, bw)| bw);
+                assert_eq!(back, Some(w), "({u}, {v})");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn splitmix_below_is_always_in_bounds(seed in any::<u64>(), bound in 1u64..1 << 48) {
+#[test]
+fn splitmix_below_is_always_in_bounds() {
+    for_each_case("splitmix_below_is_always_in_bounds", 256, 0x776c_6400_0003, |rng| {
+        let seed = rng.next_u64();
+        let bound = 1 + rng.below((1 << 48) - 1);
         let mut r = SplitMix64::new(seed);
         for _ in 0..64 {
-            prop_assert!(r.below(bound) < bound);
+            assert!(r.below(bound) < bound);
         }
-    }
+    });
+}
 
-    #[test]
-    fn scratch_pool_cycles_all_registers(extra in 0usize..40) {
+#[test]
+fn scratch_pool_cycles_all_registers() {
+    for_each_case("scratch_pool_cycles_all_registers", 64, 0x776c_6400_0004, |rng| {
+        let extra = rng.range(0, 40);
         let mut p = ScratchPool::new();
         let first: Vec<_> = (0..7).map(|_| p.next()).collect();
         for _ in 0..extra {
             let r = p.next();
-            prop_assert!(first.contains(&r));
+            assert!(first.contains(&r));
         }
-    }
+    });
 }

@@ -47,12 +47,8 @@ fn build(len: u64, needle: u64) -> Workload {
 
     // Rust reference for the checks.
     let count = hay.iter().filter(|&&x| x == needle).count() as u64;
-    let possum: u64 = hay
-        .iter()
-        .enumerate()
-        .filter(|(_, &x)| x == needle)
-        .map(|(i, _)| i as u64)
-        .sum();
+    let possum: u64 =
+        hay.iter().enumerate().filter(|(_, &x)| x == needle).map(|(i, _)| i as u64).sum();
 
     let mem = hay.iter().enumerate().map(|(i, &v)| (HAYSTACK + 8 * i as u64, v)).collect();
     Workload::new(

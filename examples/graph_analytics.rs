@@ -16,13 +16,18 @@ fn main() {
     let tg = Graph::uniform(128, 8, 12);
     println!("graph: {} vertices, {} directed edges", g.n(), g.edges());
     println!();
-    println!("{:<10} {:>10} {:>10} {:>9} {:>8} {:>8}", "kernel", "base cyc", "mssr cyc", "speedup", "IPC", "reused");
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>8} {:>8}",
+        "kernel", "base cyc", "mssr cyc", "speedup", "IPC", "reused"
+    );
     let cfg = SimConfig { rgid_bits: 10, ..SimConfig::default() }.with_max_cycles(200_000_000);
     for w in [gap::bfs(&g), gap::bc(&g), gap::cc(&g), gap::pr(&g), gap::sssp(&g), gap::tc(&tg)] {
         let base = w.run(cfg.clone(), None);
         let s = w.run(
             cfg.clone(),
-            Some(Box::new(MultiStreamReuse::new(MssrConfig::default().with_log_entries(256).with_wpb_entries(64)))),
+            Some(Box::new(MultiStreamReuse::new(
+                MssrConfig::default().with_log_entries(256).with_wpb_entries(64),
+            ))),
         );
         println!(
             "{:<10} {:>10} {:>10} {:>8.2}% {:>8.3} {:>8}",

@@ -52,12 +52,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "squash reuse never changes architectural results"
     );
 
-    println!("baseline : {} cycles, IPC {:.3}, {} mispredictions",
-        base_stats.cycles, base_stats.ipc(), base_stats.mispredictions);
-    println!("mssr     : {} cycles, IPC {:.3}, {} results reused from squashed streams",
-        mssr_stats.cycles, mssr_stats.ipc(), mssr_stats.engine.reuse_grants);
-    println!("speedup  : {:+.2}%",
-        100.0 * (base_stats.cycles as f64 / mssr_stats.cycles as f64 - 1.0));
+    println!(
+        "baseline : {} cycles, IPC {:.3}, {} mispredictions",
+        base_stats.cycles,
+        base_stats.ipc(),
+        base_stats.mispredictions
+    );
+    println!(
+        "mssr     : {} cycles, IPC {:.3}, {} results reused from squashed streams",
+        mssr_stats.cycles,
+        mssr_stats.ipc(),
+        mssr_stats.engine.reuse_grants
+    );
+    println!(
+        "speedup  : {:+.2}%",
+        100.0 * (base_stats.cycles as f64 / mssr_stats.cycles as f64 - 1.0)
+    );
     println!();
     println!("--- full report (mssr run) ---");
     print!("{}", mssr_stats.report());

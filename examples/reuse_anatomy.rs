@@ -75,16 +75,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(base.read_mem_u64(0x100), sim.read_mem_u64(0x100));
 
     let e = &s.engine;
-    println!("{} mispredictions of I1; {} reconvergences detected at I7", s.mispredictions, e.reconvergences);
+    println!(
+        "{} mispredictions of I1; {} reconvergences detected at I7",
+        s.mispredictions, e.reconvergences
+    );
     println!();
-    println!("reuse tests            : {:>7}   (every instruction compared in lockstep)", e.reuse_tests);
+    println!(
+        "reuse tests            : {:>7}   (every instruction compared in lockstep)",
+        e.reuse_tests
+    );
     println!("reused (RGIDs matched) : {:>7}   <- the I7/I8 CIDI instructions", e.reuse_grants);
-    println!("stale (RGID mismatch)  : {:>7}   <- the I9 case: a2 was renamed on the", e.reuse_fail_stale);
+    println!(
+        "stale (RGID mismatch)  : {:>7}   <- the I9 case: a2 was renamed on the",
+        e.reuse_fail_stale
+    );
     println!("                                    correct path, its generation moved on");
     println!("not executed in time   : {:>7}", e.reuse_fail_not_executed);
     println!();
-    println!("cycles: {} -> {} ({:+.2}%)", b.cycles, s.cycles,
-        100.0 * (b.cycles as f64 / s.cycles as f64 - 1.0));
+    println!(
+        "cycles: {} -> {} ({:+.2}%)",
+        b.cycles,
+        s.cycles,
+        100.0 * (b.cycles as f64 / s.cycles as f64 - 1.0)
+    );
     println!();
     println!("How the test works (paper §3.1): every architectural-to-physical mapping");
     println!("carries a generation id (RGID). I7's source a1 has the same RGID in the");

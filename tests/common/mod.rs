@@ -1,9 +1,12 @@
 //! Shared helpers for the root integration tests: a random-program
 //! generator producing bounded-loop programs with arithmetic, loads,
 //! stores, and data-dependent forward branches.
+#![allow(dead_code)]
+
+pub mod prop;
 
 use mssr::isa::{regs::*, ArchReg, Assembler, Program};
-use proptest::prelude::*;
+use prop::Rng;
 
 /// Data window base.
 pub const DATA: u64 = 0x10_0000;
@@ -36,17 +39,32 @@ pub enum Op {
     SkipIfEven { reg: usize, skip: usize },
 }
 
-/// Proptest strategy over [`Op`].
-pub fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..7, 0usize..8, 0usize..8, 0usize..8)
-            .prop_map(|(kind, dst, a, b)| Op::Alu { kind, dst, a, b }),
-        (0u8..4, 0usize..8, 0usize..8, any::<i16>())
-            .prop_map(|(kind, dst, a, imm)| Op::AluImm { kind, dst, a, imm }),
-        (0usize..8, 0usize..8).prop_map(|(dst, addr)| Op::Load { dst, addr }),
-        (0usize..8, 0usize..8).prop_map(|(data, addr)| Op::Store { data, addr }),
-        (0usize..8, 1usize..5).prop_map(|(reg, skip)| Op::SkipIfEven { reg, skip }),
-    ]
+/// Draws one random [`Op`], uniformly over the five shapes (mirroring
+/// the original proptest strategy).
+pub fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(5) {
+        0 => Op::Alu {
+            kind: rng.below(7) as u8,
+            dst: rng.range(0, 8),
+            a: rng.range(0, 8),
+            b: rng.range(0, 8),
+        },
+        1 => Op::AluImm {
+            kind: rng.below(4) as u8,
+            dst: rng.range(0, 8),
+            a: rng.range(0, 8),
+            imm: rng.i16(),
+        },
+        2 => Op::Load { dst: rng.range(0, 8), addr: rng.range(0, 8) },
+        3 => Op::Store { data: rng.range(0, 8), addr: rng.range(0, 8) },
+        _ => Op::SkipIfEven { reg: rng.range(0, 8), skip: rng.range(1, 5) },
+    }
+}
+
+/// Draws a program body of `lo..hi` random operations.
+pub fn random_body(rng: &mut Rng, lo: usize, hi: usize) -> Vec<Op> {
+    let len = rng.range(lo, hi);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 /// Assembles a bounded loop around the generated body: registers start

@@ -42,6 +42,46 @@ fn all_workloads_correct_under_all_engines() {
 }
 
 #[test]
+fn engines_preserve_final_architectural_state() {
+    // Beyond the workloads' own result checks: the *complete* committed
+    // architectural state — every architectural register and every
+    // memory word the workload initializes or checks — must be
+    // bit-identical between the no-reuse baseline and every engine.
+    use mssr::isa::ArchReg;
+    for w in all_workloads(Scale::Test) {
+        let mut base = w.instantiate(cfg());
+        base.run();
+        assert!(base.is_halted(), "{}: baseline did not halt", w.name());
+        let base_regs: Vec<u64> = ArchReg::all().map(|r| base.read_arch_reg(r)).collect();
+        let mut addrs: Vec<u64> = w.mem().iter().map(|&(a, _)| a).collect();
+        addrs.extend(w.checks().iter().map(|c| c.addr));
+        let base_mem: Vec<u64> = addrs.iter().map(|&a| base.read_mem_u64(a)).collect();
+        for (name, engine) in engines() {
+            let Some(engine) = engine else { continue };
+            let mut sim = w.instantiate_with(cfg(), engine);
+            sim.run();
+            assert!(sim.is_halted(), "{} under {name}: did not halt", w.name());
+            for (r, &want) in ArchReg::all().zip(&base_regs) {
+                assert_eq!(
+                    sim.read_arch_reg(r),
+                    want,
+                    "{} under {name}: register {r:?} diverged from baseline",
+                    w.name()
+                );
+            }
+            for (&a, &want) in addrs.iter().zip(&base_mem) {
+                assert_eq!(
+                    sim.read_mem_u64(a),
+                    want,
+                    "{} under {name}: memory at {a:#x} diverged from baseline",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn reuse_happens_somewhere_in_every_suite() {
     use mssr::workloads::{suite_workloads, Suite};
     for suite in [Suite::Micro, Suite::Spec2006, Suite::Spec2017, Suite::Gap] {

@@ -34,6 +34,40 @@ fn engine_runs_are_identical() {
 }
 
 #[test]
+fn harness_grid_json_is_identical_across_runs_with_same_root_seed() {
+    use mssr::workloads::Scale;
+    use mssr_bench::harness::{run_named, HarnessOpts};
+    let mut opts = HarnessOpts::new(Scale::Test);
+    opts.json = true;
+    opts.jobs = 1;
+    opts.root_seed = 0x5eed;
+    let exps = ["table1", "fig3", "rollup"];
+    let a = run_named(&exps, &opts);
+    let b = run_named(&exps, &opts);
+    assert_eq!(a, b, "two grid runs with the same root seed must be bit-identical");
+    assert!(a.contains("\"type\":\"meta\""));
+    assert!(a.contains("\"type\":\"cell\""));
+    assert!(a.contains("\"type\":\"experiment\""));
+}
+
+#[test]
+fn harness_grid_json_is_independent_of_worker_count() {
+    use mssr::workloads::Scale;
+    use mssr_bench::harness::{run_named, HarnessOpts};
+    let mut serial = HarnessOpts::new(Scale::Test);
+    serial.json = true;
+    serial.jobs = 1;
+    let mut parallel = serial.clone();
+    parallel.jobs = 4;
+    let exps = ["table1", "fig3"];
+    assert_eq!(
+        run_named(&exps, &serial),
+        run_named(&exps, &parallel),
+        "--jobs must never change grid output"
+    );
+}
+
+#[test]
 fn workload_construction_is_deterministic() {
     let a = spec2006::astar(10);
     let b = spec2006::astar(10);

@@ -10,10 +10,10 @@
 
 mod common;
 
-use common::{assemble, op_strategy, BODY_REGS, DATA, DUMP};
+use common::prop::for_each_case;
+use common::{assemble, random_body, BODY_REGS, DATA, DUMP};
 use mssr::core::{MssrConfig, MultiStreamReuse};
 use mssr::sim::{Interpreter, SimConfig, Simulator, StopReason};
-use proptest::prelude::*;
 
 fn interp_fingerprint(program: &mssr::isa::Program) -> Vec<u64> {
     let mut it = Interpreter::new(program.clone(), 1 << 25);
@@ -51,20 +51,25 @@ fn pipeline_fingerprint(program: &mssr::isa::Program, reuse: bool) -> Vec<u64> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn pipeline_matches_interpreter(
-        body in prop::collection::vec(op_strategy(), 4..40),
-        iters in 1u8..40,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn pipeline_matches_interpreter() {
+    for_each_case("pipeline_matches_interpreter", 32, 0x6d73_7372_0003, |rng| {
+        let body = random_body(rng, 4, 40);
+        let iters = rng.range(1, 40) as u8;
+        let seed = rng.next_u64();
         let program = assemble(&body, iters, seed);
         let oracle = interp_fingerprint(&program);
-        prop_assert_eq!(&oracle, &pipeline_fingerprint(&program, false), "baseline pipeline diverged from the oracle");
-        prop_assert_eq!(&oracle, &pipeline_fingerprint(&program, true), "mssr pipeline diverged from the oracle");
-    }
+        assert_eq!(
+            oracle,
+            pipeline_fingerprint(&program, false),
+            "baseline pipeline diverged from the oracle"
+        );
+        assert_eq!(
+            oracle,
+            pipeline_fingerprint(&program, true),
+            "mssr pipeline diverged from the oracle"
+        );
+    });
 }
 
 #[test]

@@ -9,11 +9,11 @@
 
 mod common;
 
-use common::{assemble, op_strategy, BODY_REGS, DATA, DUMP};
+use common::prop::for_each_case;
+use common::{assemble, random_body, BODY_REGS, DATA, DUMP};
 use mssr::core::{MemCheckPolicy, MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
 use mssr::isa::Program;
 use mssr::sim::{ReuseEngine, SimConfig, Simulator};
-use proptest::prelude::*;
 
 /// Runs a program and returns the architectural fingerprint: the register
 /// dump plus the data window.
@@ -35,53 +35,42 @@ fn fingerprint(program: &Program, engine: Option<Box<dyn ReuseEngine>>) -> Vec<u
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn engines_preserve_architectural_state(
-        body in prop::collection::vec(op_strategy(), 4..40),
-        iters in 1u8..40,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn engines_preserve_architectural_state() {
+    for_each_case("engines_preserve_architectural_state", 24, 0x6d73_7372_0001, |rng| {
+        let body = random_body(rng, 4, 40);
+        let iters = rng.range(1, 40) as u8;
+        let seed = rng.next_u64();
         let program = assemble(&body, iters, seed);
         let base = fingerprint(&program, None);
-        let mssr = fingerprint(
-            &program,
-            Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))),
-        );
-        prop_assert_eq!(&base, &mssr, "mssr diverged");
+        let mssr =
+            fingerprint(&program, Some(Box::new(MultiStreamReuse::new(MssrConfig::default()))));
+        assert_eq!(base, mssr, "mssr diverged");
         let bloom = fingerprint(
             &program,
             Some(Box::new(MultiStreamReuse::new(
                 MssrConfig::default().with_mem_policy(MemCheckPolicy::BloomFilter),
             ))),
         );
-        prop_assert_eq!(&base, &bloom, "mssr-bloom diverged");
-        let ri = fingerprint(
-            &program,
-            Some(Box::new(RegisterIntegration::new(RiConfig::default()))),
-        );
-        prop_assert_eq!(&base, &ri, "ri diverged");
-    }
+        assert_eq!(base, bloom, "mssr-bloom diverged");
+        let ri =
+            fingerprint(&program, Some(Box::new(RegisterIntegration::new(RiConfig::default()))));
+        assert_eq!(base, ri, "ri diverged");
+    });
+}
 
-    #[test]
-    fn tiny_configs_preserve_architectural_state(
-        body in prop::collection::vec(op_strategy(), 4..24),
-        iters in 1u8..24,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn tiny_configs_preserve_architectural_state() {
+    for_each_case("tiny_configs_preserve_architectural_state", 24, 0x6d73_7372_0002, |rng| {
         // Stress the pressure/overflow paths: few physical registers,
         // narrow RGIDs, tiny logs.
+        let body = random_body(rng, 4, 24);
+        let iters = rng.range(1, 24) as u8;
+        let seed = rng.next_u64();
         let program = assemble(&body, iters, seed);
         let base = fingerprint(&program, None);
-        let cfg = SimConfig {
-            phys_regs: 80,
-            rgid_bits: 3,
-            rob_size: 32,
-            ..SimConfig::default()
-        }
-        .with_max_cycles(4_000_000);
+        let cfg = SimConfig { phys_regs: 80, rgid_bits: 3, rob_size: 32, ..SimConfig::default() }
+            .with_max_cycles(4_000_000);
         let mut sim = Simulator::with_engine(
             cfg,
             program.clone(),
@@ -90,7 +79,7 @@ proptest! {
             )),
         );
         sim.run();
-        prop_assert!(sim.is_halted());
+        assert!(sim.is_halted());
         let mut got = Vec::new();
         for i in 0..BODY_REGS.len() as u64 {
             got.push(sim.read_mem_u64(DUMP + 8 * i));
@@ -98,6 +87,6 @@ proptest! {
         for i in 0..32u64 {
             got.push(sim.read_mem_u64(DATA + 8 * i));
         }
-        prop_assert_eq!(base, got, "stressed mssr diverged");
-    }
+        assert_eq!(base, got, "stressed mssr diverged");
+    });
 }
