@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use mssr_core::{MemCheckPolicy, MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
-use mssr_sim::{ReuseEngine, SimConfig, SimStats};
+use mssr_sim::{BufferSink, ReuseEngine, SimConfig, SimStats};
 use mssr_workloads::{Scale, Workload};
 
 use super::{cell_seed, HarnessOpts};
@@ -144,6 +144,11 @@ pub struct CellResult {
     pub stats: SimStats,
     /// Register Integration per-set replacement counts (RI cells only).
     pub ri_set_replacements: Option<Vec<u64>>,
+    /// The cell's JSON-lines event trace (`--trace` runs only). Events
+    /// are collected per cell on the worker thread that ran it and
+    /// emitted in cell order, so trace output is byte-identical across
+    /// `--jobs` values like every other grid output.
+    pub trace: Option<String>,
 }
 
 /// The shared cell pool of one harness invocation.
@@ -239,27 +244,39 @@ impl CellPool {
     /// `i`'s result regardless of which worker ran it or when.
     pub fn run(&self, opts: &HarnessOpts) -> Vec<CellResult> {
         run_cells(self.cells.len(), opts.jobs, |i| {
-            self.run_cell(i, cell_seed(opts.root_seed, i as u64))
+            self.run_cell(i, cell_seed(opts.root_seed, i as u64), opts.trace)
         })
     }
 
-    fn run_cell(&self, i: CellId, seed: u64) -> CellResult {
+    fn run_cell(&self, i: CellId, seed: u64, trace: bool) -> CellResult {
         let spec = &self.cells[i];
         let w = &self.workloads[spec.workload];
-        match spec.engine.build_ri() {
+        // When tracing, events go into a per-cell buffer whose handle we
+        // keep; the simulator consumes the sink itself.
+        let (sink, buf) = if trace {
+            let sink = BufferSink::new();
+            let handle = sink.handle();
+            (Some(sink), Some(handle))
+        } else {
+            (None, None)
+        };
+        let run = |engine: Option<Box<dyn ReuseEngine>>| match sink {
+            Some(s) => w.run_traced(spec.cfg.clone(), engine, Box::new(s)),
+            None => w.run(spec.cfg.clone(), engine),
+        };
+        let (stats, ri_set_replacements) = match spec.engine.build_ri() {
             Some(ri) => {
                 // Keep the replacement-counter handle across the run
                 // (fig3's per-set replacement-frequency data).
                 let counters = ri.replacement_counters();
-                let stats = w.run(spec.cfg.clone(), Some(Box::new(ri)));
+                let stats = run(Some(Box::new(ri)));
                 let snapshot = counters.borrow().clone();
-                CellResult { seed, stats, ri_set_replacements: Some(snapshot) }
+                (stats, Some(snapshot))
             }
-            None => {
-                let stats = w.run(spec.cfg.clone(), spec.engine.build());
-                CellResult { seed, stats, ri_set_replacements: None }
-            }
-        }
+            None => (run(spec.engine.build()), None),
+        };
+        let trace = buf.map(|b| std::mem::take(&mut *b.lock().expect("trace buffer poisoned")));
+        CellResult { seed, stats, ri_set_replacements, trace }
     }
 }
 

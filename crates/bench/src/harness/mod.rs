@@ -25,7 +25,11 @@
 //! line. The first line is a `"meta"` record (root seed, scale, cell
 //! count); each subsequent `"cell"` record carries the workload, engine
 //! label, seed, and the full [`mssr_sim::SimStats`] counter set; final
-//! `"experiment"` records map each experiment to its cell ids.
+//! `"experiment"` records map each experiment to its cell ids. Under
+//! `--trace`, each cell record is followed by its `"event"` records —
+//! the cell's structured pipeline trace (see `mssr_sim::TraceEvent`),
+//! one event per line, wrapped as
+//! `{"type":"event","cell":<id>,"ev":{...}}`.
 
 mod experiments;
 mod grid;
@@ -65,18 +69,21 @@ pub struct HarnessOpts {
     pub scale: Scale,
     /// Emit the JSON-lines trajectory instead of human-readable reports.
     pub json: bool,
+    /// Record a structured event trace per cell and emit the events into
+    /// the JSON-lines trajectory (requires `--json`).
+    pub trace: bool,
 }
 
 impl HarnessOpts {
     /// Defaults at a given scale.
     pub fn new(scale: Scale) -> HarnessOpts {
         let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
-        HarnessOpts { jobs, root_seed: DEFAULT_ROOT_SEED, scale, json: false }
+        HarnessOpts { jobs, root_seed: DEFAULT_ROOT_SEED, scale, json: false, trace: false }
     }
 
     /// Parses CLI arguments (`--jobs N`, `--seed S`, `--scale
-    /// test|medium|large`, `--json`, `--help`). The scale defaults to
-    /// `MSSR_SCALE` when set, then to `default_scale`.
+    /// test|medium|large`, `--json`, `--trace`, `--help`). The scale
+    /// defaults to `MSSR_SCALE` when set, then to `default_scale`.
     ///
     /// # Panics
     ///
@@ -129,19 +136,25 @@ impl HarnessOpts {
                     };
                 }
                 "--json" => opts.json = true,
+                "--trace" => opts.trace = true,
                 "--help" | "-h" => return Err("help".to_string()),
                 s => return Err(format!("unknown argument `{s}`")),
             }
+        }
+        if opts.trace && !opts.json {
+            return Err("--trace requires --json (events extend the JSON-lines output)".into());
         }
         Ok(opts)
     }
 }
 
-const USAGE: &str = "usage: <experiment> [--jobs N] [--seed S] [--scale test|medium|large] [--json]
+const USAGE: &str =
+    "usage: <experiment> [--jobs N] [--seed S] [--scale test|medium|large] [--json] [--trace]
   --jobs N    worker threads for the experiment grid (default: all cores)
   --seed S    root seed for per-cell seeds (decimal or 0x-hex)
   --scale     workload input scale (default: MSSR_SCALE env, then medium)
-  --json      emit the JSON-lines trajectory instead of reports";
+  --json      emit the JSON-lines trajectory instead of reports
+  --trace     with --json: emit per-cell pipeline event records";
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -190,6 +203,14 @@ pub fn run_experiments(exps: &[Box<dyn Experiment>], opts: &HarnessOpts) -> Stri
             out.push_str(",\"stats\":");
             out.push_str(&r.stats.to_json());
             out.push_str("}\n");
+            // Each cell's events follow its record, wrapped so consumers
+            // can associate them; per-cell buffers emitted in cell order
+            // keep the trajectory byte-identical across `--jobs` values.
+            if let Some(trace) = &r.trace {
+                for line in trace.lines() {
+                    out.push_str(&format!("{{\"type\":\"event\",\"cell\":{i},\"ev\":{line}}}\n"));
+                }
+            }
         }
         for (e, ids) in exps.iter().zip(&ids) {
             out.push_str(&format!(

@@ -568,6 +568,15 @@ impl ReuseEngine for MultiStreamReuse {
         s.extra.push(("valid_streams".to_string(), self.valid_streams() as u64));
         s
     }
+
+    fn reserved_hold_count(&self) -> u64 {
+        // One hold per Squash Log entry still flagged `preg_held`:
+        // `Stream::invalidate` releases its entries and clears the log,
+        // and a grant flips the flag off as the hold transfers to the
+        // new live mapping — so counting flags across all streams is
+        // exactly the engine's outstanding reservations.
+        self.streams.iter().flat_map(|s| s.log.iter()).filter(|e| e.preg_held).count() as u64
+    }
 }
 
 #[cfg(test)]

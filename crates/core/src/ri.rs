@@ -365,6 +365,14 @@ impl ReuseEngine for RegisterIntegration {
         s.extra.push(("ri_occupancy".to_string(), self.occupancy() as u64));
         s
     }
+
+    fn reserved_hold_count(&self) -> u64 {
+        // Every integration-table entry retains its destination register
+        // once; eviction and invalidation release it, and a grant removes
+        // the entry as the hold transfers to the new live mapping — so
+        // occupancy equals the engine's outstanding reservations.
+        self.occupancy() as u64
+    }
 }
 
 /// Source physical registers of a squashed instruction.

@@ -1,0 +1,434 @@
+//! The pipeline invariant checker.
+//!
+//! Squash reuse rearranges register ownership in ways ordinary
+//! out-of-order pipelines never do — holds transfer from engines to live
+//! mappings, squashed values outlive their instructions, RGID
+//! generations are forwarded across squashes — so the simulator carries
+//! an always-on-in-debug checker that sweeps the full machine state
+//! every cycle (`Simulator::step`) and after every squash. A release
+//! build compiles the per-cycle sweep out; the sweep itself
+//! ([`Simulator::invariant_violations`](crate::Simulator::invariant_violations))
+//! stays available in release builds for tests and tools.
+//!
+//! The rules, and the bug class each one backstops:
+//!
+//! * [`Rule::FreeListIntegrity`] — the free list and the hold counts
+//!   must agree: a register is queued exactly when its hold count is
+//!   zero, with no duplicates.
+//! * [`Rule::FreeListConservation`] — every hold is owned by someone:
+//!   the total hold count equals the number of distinct live registers
+//!   (RAT mappings plus in-flight ROB destinations and rollback
+//!   targets) plus the engine's reported reservations
+//!   ([`ReuseEngine::reserved_hold_count`](crate::ReuseEngine::reserved_hold_count)).
+//!   An engine that retains a register and forgets it leaks PRF capacity
+//!   forever; this rule catches the leak the cycle it happens.
+//! * [`Rule::RobAgeOrder`] / [`Rule::LsqAgeOrder`] — the ROB and both
+//!   LSQ halves hold strictly increasing sequence numbers (dispatch
+//!   order is age order; `store_check` and forwarding both assume it).
+//! * [`Rule::RgidMonotone`] — per architectural register, RGIDs granted
+//!   by the allocator never exceed its counter, and the non-reused
+//!   destinations in the ROB carry strictly increasing generations.
+//!   Reused destinations are exempt from the ordering half: a grant
+//!   *forwards* the squashed generation (paper §3.1), which may be older
+//!   than generations allocated in between.
+//! * [`Rule::StoreReuse`] — a store is never granted reuse (stores have
+//!   externally visible effects; the pipeline never even queries them,
+//!   and this rule keeps it that way).
+//! * [`Rule::ReusedLoadVerify`] — `verify_pending` appears only on
+//!   reused loads, and no instruction commits while it is set (the
+//!   paper's §3.8.3 re-execution gate).
+//! * [`Rule::LoadIssuedAddr`] — every issued, non-reused load-queue
+//!   entry has a recorded address, so `store_check` can see *forwarded*
+//!   loads, not just memory-sourced ones. (Reused entries may carry no
+//!   address; the engine's verification policy covers them.)
+//! * [`Rule::ForwardPending`] — no issued load coexists with an older
+//!   same-block store that knows its address but not its data; such a
+//!   load must wait ([`Forward::Pending`](crate::lsq::Forward)) rather
+//!   than read stale memory.
+//!
+//! The rule bodies are pure functions over iterators, so tests can seed
+//! violating states directly (a leaked register, a reordered queue, a
+//! reused store) and prove each rule trips — see `tests/invariants.rs`.
+
+use mssr_isa::NUM_ARCH_REGS;
+
+use crate::lsq::{LqEntry, SqEntry};
+use crate::types::{Rgid, SeqNum};
+
+/// Which invariant a [`Violation`] breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Free list ⇔ hold counts disagreement.
+    FreeListIntegrity,
+    /// Total holds ≠ live mappings + engine reservations (a leak or a
+    /// double-release).
+    FreeListConservation,
+    /// ROB sequence numbers out of age order.
+    RobAgeOrder,
+    /// Load- or store-queue sequence numbers out of age order.
+    LsqAgeOrder,
+    /// An RGID beyond its allocator counter, or non-reused destination
+    /// generations out of order.
+    RgidMonotone,
+    /// A store marked as reused.
+    StoreReuse,
+    /// `verify_pending` on a non-reused-load entry, or a commit gated by
+    /// an unfinished verification.
+    ReusedLoadVerify,
+    /// An issued load-queue entry without a recorded address.
+    LoadIssuedAddr,
+    /// An issued load despite an older address-known/data-pending store
+    /// to the same block.
+    ForwardPending,
+}
+
+impl Rule {
+    /// The rule's stable name (also the panic-message prefix, so tests
+    /// can `#[should_panic(expected = ...)]` on it).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::FreeListIntegrity => "free-list-integrity",
+            Rule::FreeListConservation => "free-list-conservation",
+            Rule::RobAgeOrder => "rob-age-order",
+            Rule::LsqAgeOrder => "lsq-age-order",
+            Rule::RgidMonotone => "rgid-monotone",
+            Rule::StoreReuse => "store-reuse",
+            Rule::ReusedLoadVerify => "reused-load-verify",
+            Rule::LoadIssuedAddr => "load-issued-addr",
+            Rule::ForwardPending => "forward-pending",
+        }
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The broken rule.
+    pub rule: Rule,
+    /// What exactly disagreed (register ids, sequence numbers, counts).
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(rule: Rule, detail: impl Into<String>) -> Violation {
+        Violation { rule, detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.rule.name(), self.detail)
+    }
+}
+
+/// Checks that `seqs` is strictly increasing (oldest first).
+pub fn check_age_order(
+    rule: Rule,
+    what: &str,
+    seqs: impl Iterator<Item = SeqNum>,
+) -> Option<Violation> {
+    let mut prev: Option<SeqNum> = None;
+    for s in seqs {
+        if let Some(p) = prev {
+            if s <= p {
+                return Some(Violation::new(
+                    rule,
+                    format!("{what} entry {s} follows {p} (must be strictly older-to-younger)"),
+                ));
+            }
+        }
+        prev = Some(s);
+    }
+    None
+}
+
+/// Checks hold conservation: every hold in the free list is owned either
+/// by a live mapping (RAT or ROB) or by the engine's reservations.
+pub fn check_conservation(
+    total_holds: u64,
+    live_mappings: u64,
+    engine_reserved: u64,
+) -> Option<Violation> {
+    if total_holds != live_mappings + engine_reserved {
+        let (verb, n) = if total_holds > live_mappings + engine_reserved {
+            ("leaked", total_holds - live_mappings - engine_reserved)
+        } else {
+            ("lost", live_mappings + engine_reserved - total_holds)
+        };
+        return Some(Violation::new(
+            Rule::FreeListConservation,
+            format!(
+                "{n} hold(s) {verb}: {total_holds} total holds vs {live_mappings} live \
+                 mappings + {engine_reserved} engine reservations"
+            ),
+        ));
+    }
+    None
+}
+
+/// Checks per-architectural-register RGID sanity over ROB destinations,
+/// oldest first: no live generation beyond its allocator counter, and
+/// strictly increasing generations across *non-reused* destinations
+/// (reused destinations carry forwarded, possibly older generations).
+///
+/// `counters[a]` is the allocator's current value for architectural
+/// register index `a`; entries are `(arch_index, new_rgid, reused)`.
+pub fn check_rgids(
+    counters: &[u16],
+    entries: impl Iterator<Item = (usize, Rgid, bool)>,
+) -> Option<Violation> {
+    let mut last: [Option<u16>; NUM_ARCH_REGS] = [None; NUM_ARCH_REGS];
+    for (a, g, reused) in entries {
+        if g.is_null() {
+            continue; // nulled by a global reset; never compared again
+        }
+        if g.value() > counters[a] {
+            return Some(Violation::new(
+                Rule::RgidMonotone,
+                format!("arch r{a} carries {g} beyond its allocator counter {}", counters[a]),
+            ));
+        }
+        if reused {
+            continue; // forwarded generation; ordering exemption
+        }
+        if let Some(prev) = last[a] {
+            if g.value() <= prev {
+                return Some(Violation::new(
+                    Rule::RgidMonotone,
+                    format!("arch r{a} allocated {g} after g{prev} (must be strictly increasing)"),
+                ));
+            }
+        }
+        last[a] = Some(g.value());
+    }
+    None
+}
+
+/// Checks reuse safety over ROB entries: stores are never reused, and
+/// `verify_pending` appears only on reused loads.
+///
+/// Entries are `(seq, is_store, is_load, reused, verify_pending)`.
+pub fn check_reuse_safety(
+    entries: impl Iterator<Item = (SeqNum, bool, bool, bool, bool)>,
+) -> Option<Violation> {
+    for (seq, is_store, is_load, reused, verify_pending) in entries {
+        if is_store && reused {
+            return Some(Violation::new(
+                Rule::StoreReuse,
+                format!("store {seq} marked as reused (stores must always execute)"),
+            ));
+        }
+        if verify_pending && !(reused && is_load) {
+            return Some(Violation::new(
+                Rule::ReusedLoadVerify,
+                format!("{seq} has verify_pending but is not a reused load"),
+            ));
+        }
+    }
+    None
+}
+
+/// Checks that an instruction about to commit is not gated by an
+/// unfinished reused-load verification ("every reused load verified
+/// before commit"). The commit stage refuses such heads; this rule is
+/// the backstop should that gate ever regress.
+pub fn check_commit_entry(seq: SeqNum, reused: bool, verify_pending: bool) -> Option<Violation> {
+    if verify_pending {
+        return Some(Violation::new(
+            Rule::ReusedLoadVerify,
+            format!(
+                "{seq} committing with verify_pending set (reused={reused}); \
+                 reused loads must be verified before commit"
+            ),
+        ));
+    }
+    None
+}
+
+/// Checks the load/store queues: age order in each half, issued loads
+/// have addresses, and no issued load coexists with an older
+/// address-known/data-pending store to the same block.
+pub fn check_lsq<'a>(
+    loads: impl Iterator<Item = &'a LqEntry> + Clone,
+    stores: impl Iterator<Item = &'a SqEntry> + Clone,
+) -> Option<Violation> {
+    if let Some(v) = check_age_order(Rule::LsqAgeOrder, "load queue", loads.clone().map(|l| l.seq))
+    {
+        return Some(v);
+    }
+    if let Some(v) =
+        check_age_order(Rule::LsqAgeOrder, "store queue", stores.clone().map(|s| s.seq))
+    {
+        return Some(v);
+    }
+    // Reused entries are exempt: a grant may carry no recorded address
+    // (the engine's verification policy covers that case instead).
+    for l in loads.clone() {
+        if l.issued && !l.reused && l.addr.is_none() {
+            return Some(Violation::new(
+                Rule::LoadIssuedAddr,
+                format!(
+                    "load {} issued without a recorded address (invisible to store_check)",
+                    l.seq
+                ),
+            ));
+        }
+    }
+    // Address-known/data-pending stores are the Forward::Pending case;
+    // a younger load that issued anyway read stale memory. The filter
+    // runs first because such stores are rare (the simulator computes
+    // address and data together), keeping the sweep near O(stores).
+    for s in stores {
+        let (Some(sa), None) = (s.addr, s.data) else { continue };
+        for l in loads.clone() {
+            if l.seq > s.seq && l.issued && l.addr.is_some_and(|la| la >> 3 == sa >> 3) {
+                return Some(Violation::new(
+                    Rule::ForwardPending,
+                    format!(
+                        "load {} issued past store {} (address {sa:#x} known, data pending)",
+                        l.seq, s.seq
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// How often the debug-build checker sweeps the machine state, from the
+/// `MSSR_CHECK_STRIDE` environment variable (read once): `1` (the
+/// default) checks every cycle, `N` every N cycles, `0` disables the
+/// per-cycle sweep (the post-squash sweep still runs). A relief valve
+/// for long debug-build simulations; CI leaves it unset.
+// Only the debug-build sweep in `Simulator::step` calls this.
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
+pub fn check_stride() -> u64 {
+    use std::sync::OnceLock;
+    static STRIDE: OnceLock<u64> = OnceLock::new();
+    *STRIDE.get_or_init(|| {
+        std::env::var("MSSR_CHECK_STRIDE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(v: &[u64]) -> impl Iterator<Item = SeqNum> + '_ {
+        v.iter().map(|&s| SeqNum::new(s))
+    }
+
+    #[test]
+    fn age_order_accepts_strictly_increasing() {
+        assert!(check_age_order(Rule::RobAgeOrder, "rob", seqs(&[1, 2, 5, 9])).is_none());
+        assert!(check_age_order(Rule::RobAgeOrder, "rob", seqs(&[])).is_none());
+        assert!(check_age_order(Rule::RobAgeOrder, "rob", seqs(&[7])).is_none());
+    }
+
+    #[test]
+    fn age_order_rejects_reorder_and_duplicate() {
+        // A reordered LSQ push: entry 4 dispatched after entry 5.
+        let v = check_age_order(Rule::LsqAgeOrder, "load queue", seqs(&[2, 5, 4])).unwrap();
+        assert_eq!(v.rule, Rule::LsqAgeOrder);
+        assert!(v.detail.contains("#4 follows #5"), "{}", v.detail);
+        assert!(v.to_string().starts_with("lsq-age-order:"));
+        assert!(check_age_order(Rule::RobAgeOrder, "rob", seqs(&[3, 3])).is_some());
+    }
+
+    #[test]
+    fn conservation_balances_live_and_reserved() {
+        assert!(check_conservation(40, 33, 7).is_none());
+        let leak = check_conservation(41, 33, 7).unwrap();
+        assert_eq!(leak.rule, Rule::FreeListConservation);
+        assert!(leak.detail.contains("1 hold(s) leaked"), "{}", leak.detail);
+        let lost = check_conservation(39, 33, 7).unwrap();
+        assert!(lost.detail.contains("lost"), "{}", lost.detail);
+    }
+
+    #[test]
+    fn rgid_rules_allow_forwarding_but_not_fabrication() {
+        let mut counters = vec![0u16; NUM_ARCH_REGS];
+        counters[5] = 10;
+        // Allocation order 3, 7 is fine; a reused entry forwarding the
+        // older generation 4 in between is the paper's §3.1 forwarding.
+        let ok = [(5, Rgid::new(3), false), (5, Rgid::new(4), true), (5, Rgid::new(7), false)];
+        assert!(check_rgids(&counters, ok.iter().copied()).is_none());
+        // A generation beyond the allocator counter cannot exist.
+        let beyond = [(5, Rgid::new(11), false)];
+        let v = check_rgids(&counters, beyond.iter().copied()).unwrap();
+        assert_eq!(v.rule, Rule::RgidMonotone);
+        assert!(v.detail.contains("beyond its allocator counter"), "{}", v.detail);
+        // Non-reused allocations must be strictly increasing.
+        let reorder = [(5, Rgid::new(7), false), (5, Rgid::new(3), false)];
+        assert!(check_rgids(&counters, reorder.iter().copied()).is_some());
+        // Null generations are never compared.
+        let nulls = [(5, Rgid::NULL, false), (5, Rgid::new(1), false)];
+        assert!(check_rgids(&counters, nulls.iter().copied()).is_none());
+    }
+
+    #[test]
+    fn reuse_safety_rejects_reused_stores() {
+        // (seq, is_store, is_load, reused, verify_pending)
+        let ok = [
+            (SeqNum::new(1), false, true, true, true),
+            (SeqNum::new(2), true, false, false, false),
+        ];
+        assert!(check_reuse_safety(ok.iter().copied()).is_none());
+        let store = [(SeqNum::new(3), true, false, true, false)];
+        let v = check_reuse_safety(store.iter().copied()).unwrap();
+        assert_eq!(v.rule, Rule::StoreReuse);
+        let stray = [(SeqNum::new(4), false, false, false, true)];
+        assert_eq!(check_reuse_safety(stray.iter().copied()).unwrap().rule, Rule::ReusedLoadVerify);
+    }
+
+    #[test]
+    fn commit_gate_requires_verification() {
+        assert!(check_commit_entry(SeqNum::new(9), true, false).is_none());
+        let v = check_commit_entry(SeqNum::new(9), true, true).unwrap();
+        assert_eq!(v.rule, Rule::ReusedLoadVerify);
+        assert!(v.detail.contains("before commit"));
+    }
+
+    #[test]
+    fn lsq_rules_cover_order_addresses_and_pending_stores() {
+        let load = |seq: u64, addr: Option<u64>, issued: bool| LqEntry {
+            seq: SeqNum::new(seq),
+            addr,
+            issued,
+            value: None,
+            reused: false,
+        };
+        let store = |seq: u64, addr: Option<u64>, data: Option<u64>| SqEntry {
+            seq: SeqNum::new(seq),
+            addr,
+            data,
+        };
+
+        let clean_l = [load(2, Some(0x100), true), load(6, None, false)];
+        let clean_s = [store(1, Some(0x200), Some(7)), store(4, None, None)];
+        assert!(check_lsq(clean_l.iter(), clean_s.iter()).is_none());
+
+        let reordered = [load(6, None, false), load(2, None, false)];
+        assert_eq!(check_lsq(reordered.iter(), clean_s.iter()).unwrap().rule, Rule::LsqAgeOrder);
+
+        let missing_addr = [load(2, None, true)];
+        assert_eq!(
+            check_lsq(missing_addr.iter(), clean_s.iter()).unwrap().rule,
+            Rule::LoadIssuedAddr
+        );
+
+        // Store 3 knows its address but not its data; load 5 to the same
+        // block must not have issued.
+        let pend_s = [store(3, Some(0x104), None)];
+        let pend_l = [load(5, Some(0x100), true)];
+        let v = check_lsq(pend_l.iter(), pend_s.iter()).unwrap();
+        assert_eq!(v.rule, Rule::ForwardPending);
+        // An older load, a different block, or an unissued load is fine.
+        let ok_l = [load(2, Some(0x100), true)];
+        assert!(check_lsq(ok_l.iter(), pend_s.iter()).is_none(), "older load");
+        let other_l = [load(5, Some(0x108), true)];
+        assert!(check_lsq(other_l.iter(), pend_s.iter()).is_none(), "different block");
+        let unissued_l = [load(5, Some(0x100), false)];
+        assert!(check_lsq(unissued_l.iter(), pend_s.iter()).is_none(), "not yet issued");
+    }
+}

@@ -255,6 +255,19 @@ pub trait ReuseEngine {
     fn stats(&self) -> EngineStats {
         EngineStats::default()
     }
+
+    /// How many free-list holds the engine currently owns (squash-log or
+    /// integration-table reservations placed with `retain` and not yet
+    /// released or transferred by a grant).
+    ///
+    /// The invariant checker balances the free list against this every
+    /// cycle: `total holds == live pipeline mappings + reserved_hold_count`
+    /// ([`Rule::FreeListConservation`](crate::check::Rule)). An engine
+    /// that retains registers **must** override this, or debug builds
+    /// will report its reservations as leaks.
+    fn reserved_hold_count(&self) -> u64 {
+        0
+    }
 }
 
 /// The baseline engine: no squash reuse at all.

@@ -48,6 +48,7 @@
 //! ```
 
 mod bpred;
+mod check;
 mod config;
 mod dump;
 mod engine;
@@ -60,9 +61,14 @@ mod pipeline;
 mod rename;
 mod rob;
 mod stats;
+mod trace;
 mod types;
 
 pub use bpred::{BranchPredictor, PredMeta};
+pub use check::{
+    check_age_order, check_commit_entry, check_conservation, check_lsq, check_reuse_safety,
+    check_rgids, Rule, Violation,
+};
 pub use config::{CacheConfig, ConfigError, SimConfig};
 pub use engine::{
     BlockRange, EngineCtx, NoReuse, PredBlock, RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery,
@@ -70,10 +76,11 @@ pub use engine::{
 };
 pub use exec::{alu, branch_taken, mem_addr};
 pub use interp::{Interpreter, StopReason};
-pub use lsq::{LqEntry, Lsq, SqEntry};
+pub use lsq::{Forward, LqEntry, Lsq, SqEntry};
 pub use mem::{Cache, Hierarchy, MainMemory};
 pub use pipeline::Simulator;
 pub use rename::{FreeList, Prf, Rat, RgidAlloc};
 pub use rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
 pub use stats::{json_escape, EngineStats, SimStats};
+pub use trace::{BufferSink, JsonLinesSink, RingSink, TraceEvent, TraceKind, TraceSink};
 pub use types::{FlushKind, FuClass, PhysReg, Rgid, SeqNum};

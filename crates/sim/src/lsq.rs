@@ -14,6 +14,21 @@
 
 use crate::types::SeqNum;
 
+/// The outcome of a store-to-load forwarding lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Forward {
+    /// An older same-block store supplies this value.
+    Data(u64),
+    /// The youngest older same-block store knows its address but not yet
+    /// its data. The load must wait and retry — reading the memory
+    /// hierarchy now would return the pre-store value.
+    Pending,
+    /// No older store with a *known* address overlaps; the load reads the
+    /// memory hierarchy. Older stores with unknown addresses are
+    /// deliberately ignored (aggressive issue — see [`Lsq::forward`]).
+    Miss,
+}
+
 /// One load-queue entry.
 #[derive(Clone, Debug)]
 pub struct LqEntry {
@@ -115,17 +130,35 @@ impl Lsq {
     }
 
     /// Store-to-load forwarding: the youngest store older than `load_seq`
-    /// with a known address in the same 8-byte block supplies its data.
+    /// with a known address in the same 8-byte block supplies its data —
+    /// or, if that store's data is not yet available, the load must wait
+    /// ([`Forward::Pending`]). An earlier version returned `None` in the
+    /// pending case, letting the load read the pre-store value from
+    /// memory; [`Rule::ForwardPending`](crate::check::Rule) now guards
+    /// against that class of bug.
     ///
-    /// Returns `None` when no forwarding source exists (the load reads
-    /// the memory hierarchy).
-    pub fn forward(&self, load_seq: SeqNum, addr: u64) -> Option<u64> {
-        self.stores
+    /// **Aggressive-issue contract.** Older stores whose address is still
+    /// *unknown* are skipped entirely: loads issue without waiting for
+    /// them (the XiangShan-style policy of the module docs). The safety
+    /// net is [`Lsq::store_check`] — when such a store later resolves its
+    /// address, it scans for younger loads that already obtained data
+    /// (`issued`, whether forwarded *or* memory-sourced; both paths
+    /// record `addr` and set `issued`) and triggers a memory-order
+    /// flush-and-replay from the oldest offender.
+    pub fn forward(&self, load_seq: SeqNum, addr: u64) -> Forward {
+        match self
+            .stores
             .iter()
             .rev()
             .filter(|s| s.seq < load_seq)
             .find(|s| matches!(s.addr, Some(a) if same_block(a, addr)))
-            .and_then(|s| s.data)
+        {
+            Some(s) => match s.data {
+                Some(v) => Forward::Data(v),
+                None => Forward::Pending,
+            },
+            None => Forward::Miss,
+        }
     }
 
     /// Store-to-load violation check, run when a store's address becomes
@@ -167,8 +200,13 @@ impl Lsq {
     }
 
     /// Iterates load entries, oldest first.
-    pub fn loads(&self) -> impl Iterator<Item = &LqEntry> {
+    pub fn loads(&self) -> std::slice::Iter<'_, LqEntry> {
         self.loads.iter()
+    }
+
+    /// Iterates store entries, oldest first.
+    pub fn stores(&self) -> std::slice::Iter<'_, SqEntry> {
+        self.stores.iter()
     }
 }
 
@@ -194,9 +232,13 @@ mod tests {
         lsq.store_mut(SeqNum::new(1)).unwrap().data = Some(11);
         lsq.store_mut(SeqNum::new(3)).unwrap().addr = Some(0x100);
         lsq.store_mut(SeqNum::new(3)).unwrap().data = Some(33);
-        assert_eq!(lsq.forward(SeqNum::new(5), 0x100), Some(33), "youngest older store wins");
-        assert_eq!(lsq.forward(SeqNum::new(2), 0x100), Some(11), "age filter applies");
-        assert_eq!(lsq.forward(SeqNum::new(5), 0x200), None, "different block");
+        assert_eq!(
+            lsq.forward(SeqNum::new(5), 0x100),
+            Forward::Data(33),
+            "youngest older store wins"
+        );
+        assert_eq!(lsq.forward(SeqNum::new(2), 0x100), Forward::Data(11), "age filter applies");
+        assert_eq!(lsq.forward(SeqNum::new(5), 0x200), Forward::Miss, "different block");
     }
 
     #[test]
@@ -205,8 +247,70 @@ mod tests {
         lsq.push_store(store(1));
         lsq.store_mut(SeqNum::new(1)).unwrap().addr = Some(0x100);
         lsq.store_mut(SeqNum::new(1)).unwrap().data = Some(7);
-        assert_eq!(lsq.forward(SeqNum::new(2), 0x104), Some(7), "same 8B block");
-        assert_eq!(lsq.forward(SeqNum::new(2), 0x108), None);
+        assert_eq!(lsq.forward(SeqNum::new(2), 0x104), Forward::Data(7), "same 8B block");
+        assert_eq!(lsq.forward(SeqNum::new(2), 0x108), Forward::Miss);
+    }
+
+    #[test]
+    fn forwarding_stalls_on_address_ready_data_pending_store() {
+        // Regression: the store resolves its address before its data (the
+        // ordering a split address/data pipeline produces). The old code
+        // collapsed this to "no forwarding source" and the load read
+        // stale memory; it must report Pending instead.
+        let mut lsq = Lsq::new(4, 4);
+        lsq.push_store(store(1));
+        lsq.push_load(load(3));
+        lsq.store_mut(SeqNum::new(1)).unwrap().addr = Some(0x100);
+        assert_eq!(lsq.forward(SeqNum::new(3), 0x100), Forward::Pending, "data still pending");
+        lsq.store_mut(SeqNum::new(1)).unwrap().data = Some(42);
+        assert_eq!(lsq.forward(SeqNum::new(3), 0x100), Forward::Data(42), "retry succeeds");
+    }
+
+    #[test]
+    fn pending_youngest_store_shadows_older_data() {
+        // The *youngest* older same-block store is the forwarding source;
+        // if it is pending, an older complete store to the same block
+        // must not be forwarded over it.
+        let mut lsq = Lsq::new(4, 4);
+        lsq.push_store(store(1));
+        lsq.push_store(store(3));
+        lsq.push_load(load(5));
+        let s1 = lsq.store_mut(SeqNum::new(1)).unwrap();
+        s1.addr = Some(0x100);
+        s1.data = Some(11);
+        lsq.store_mut(SeqNum::new(3)).unwrap().addr = Some(0x100);
+        assert_eq!(lsq.forward(SeqNum::new(5), 0x100), Forward::Pending);
+    }
+
+    #[test]
+    fn unknown_address_store_is_skipped_then_caught_by_store_check() {
+        // The aggressive-issue contract end to end: a load forwards past
+        // an older store whose address is unknown (Miss here — store 3
+        // hasn't resolved), obtains data from an even older store, and is
+        // then flagged by store_check when store 3 resolves to the same
+        // block. Forwarded loads record addr/issued exactly like
+        // memory-sourced ones, so the check sees them.
+        let mut lsq = Lsq::new(4, 4);
+        lsq.push_store(store(1));
+        lsq.push_store(store(3));
+        lsq.push_load(load(5));
+        let s1 = lsq.store_mut(SeqNum::new(1)).unwrap();
+        s1.addr = Some(0x100);
+        s1.data = Some(11);
+        assert_eq!(
+            lsq.forward(SeqNum::new(5), 0x100),
+            Forward::Data(11),
+            "unknown-address store 3 skipped"
+        );
+        let l = lsq.load_mut(SeqNum::new(5)).unwrap();
+        l.addr = Some(0x100);
+        l.issued = true;
+        l.value = Some(11);
+        // Store 3 resolves to the same block: the forwarded load is a
+        // memory-order violation and replays from seq 5.
+        assert_eq!(lsq.store_check(SeqNum::new(3), 0x100), Some(SeqNum::new(5)));
+        // Had it resolved elsewhere, the speculation was correct.
+        assert_eq!(lsq.store_check(SeqNum::new(3), 0x200), None);
     }
 
     #[test]

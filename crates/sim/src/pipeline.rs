@@ -13,6 +13,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use mssr_isa::{ArchReg, Inst, Opcode, Pc, Program};
 
 use crate::bpred::{BranchPredictor, PredMeta};
+use crate::check::{self, Rule, Violation};
 use crate::config::SimConfig;
 use crate::engine::{
     BlockRange, EngineCtx, NoReuse, PredBlock, RenamedInst, ReuseEngine, ReuseQuery, SquashEvent,
@@ -20,11 +21,12 @@ use crate::engine::{
 };
 use crate::exec;
 use crate::iq::IssueQueue;
-use crate::lsq::{LqEntry, Lsq, SqEntry};
+use crate::lsq::{Forward, LqEntry, Lsq, SqEntry};
 use crate::mem::{Hierarchy, MainMemory};
 use crate::rename::{FreeList, Prf, Rat, RgidAlloc};
 use crate::rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
 use crate::stats::SimStats;
+use crate::trace::{TraceEvent, TraceKind, TraceSink, Tracer};
 use crate::types::{FlushKind, FuClass, PhysReg, Rgid, SeqNum};
 
 /// An instruction in flight between prediction and rename.
@@ -119,6 +121,7 @@ pub struct Simulator {
     stats: SimStats,
     rgid_overflows_total: u64,
     rgid_resets_total: u64,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -176,6 +179,7 @@ impl Simulator {
             stats: SimStats::default(),
             rgid_overflows_total: 0,
             rgid_resets_total: 0,
+            tracer: Tracer::default(),
             cycle: 0,
             next_seq: 1,
             squash_ctr: 0,
@@ -282,6 +286,19 @@ impl Simulator {
         (self.rat.lookup(a), self.rat.rgid(a))
     }
 
+    /// Attaches a trace sink: from the next cycle on, every pipeline
+    /// event is recorded into it (see [`TraceEvent`] for the schema).
+    /// Replaces — and flushes — any previously attached sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer.set_sink(sink);
+    }
+
+    /// Detaches and flushes the trace sink, if any. Event counters keep
+    /// their values, so [`Simulator::stats`] still reports `trace_*`.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take_sink()
+    }
+
     /// Runs until `halt` retires or a configured bound is reached,
     /// returning the final statistics.
     pub fn run(&mut self) -> SimStats {
@@ -314,6 +331,11 @@ impl Simulator {
         // side (it owns the counters); engines need not track it.
         s.engine.rgid_overflows = self.rgid_overflows_total;
         s.engine.rgid_resets = self.rgid_resets_total;
+        if self.tracer.active() {
+            for k in TraceKind::ALL {
+                s.engine.extra.push((format!("trace_{}", k.name()), self.tracer.count(k)));
+            }
+        }
         s
     }
 
@@ -330,6 +352,13 @@ impl Simulator {
         self.handle_flushes();
         self.apply_rgid_reset();
         self.cycle += 1;
+        #[cfg(debug_assertions)]
+        {
+            let stride = check::check_stride();
+            if stride > 0 && self.cycle.is_multiple_of(stride) {
+                self.assert_invariants();
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -342,8 +371,15 @@ impl Simulator {
             if !head.completed || head.verify_pending {
                 break;
             }
+            #[cfg(debug_assertions)]
+            if let Some(v) = check::check_commit_entry(head.seq, head.reused, head.verify_pending) {
+                panic!("invariant violation at cycle {}: {v}", self.cycle);
+            }
             let e = self.rob.pop_head().expect("head exists");
             self.stats.committed_instructions += 1;
+            if self.tracer.on() {
+                self.tracer.emit(TraceEvent::Commit { cycle: self.cycle, seq: e.seq, pc: e.pc });
+            }
             if e.inst.is_halt() {
                 self.halted = true;
                 return;
@@ -421,6 +457,13 @@ impl Simulator {
             let branch = e.branch;
             let pc = e.pc;
             let op = e.inst.op();
+            if self.tracer.on() {
+                self.tracer.emit(TraceEvent::Writeback {
+                    cycle: self.cycle,
+                    seq,
+                    value: value.unwrap_or(0),
+                });
+            }
             if let Some(d) = dst {
                 self.prf.write(d.new_preg, value.unwrap_or(0));
                 self.iq_int.wake(d.new_preg);
@@ -452,6 +495,13 @@ impl Simulator {
         let alu = self.iq_int.select(FuClass::Alu, self.cfg.alu_units);
         let bru = self.iq_int.select(FuClass::Bru, self.cfg.bru_units);
         let mem = self.iq_mem.select(FuClass::Lsu, self.cfg.lsu_units);
+        if self.tracer.on() {
+            for (list, fu) in [(&alu, FuClass::Alu), (&bru, FuClass::Bru), (&mem, FuClass::Lsu)] {
+                for &seq in list {
+                    self.tracer.emit(TraceEvent::Issue { cycle: self.cycle, seq, fu });
+                }
+            }
+        }
         for seq in alu {
             self.exec_alu(seq);
         }
@@ -517,11 +567,20 @@ impl Simulator {
         if inst.is_load() {
             let verify = e.reused && e.verify_pending;
             let (value, lat) = match self.lsq.forward(seq, addr) {
-                Some(v) => {
+                Forward::Data(v) => {
                     self.stats.store_forwards += 1;
                     (v, self.cfg.forward_latency)
                 }
-                None => (self.memory.read_u64(addr), self.hier.access(addr)),
+                Forward::Pending => {
+                    // The forwarding source knows its address but not yet
+                    // its data: reading memory now would return the
+                    // pre-store value. Requeue the load (ready — it was
+                    // just selected) and retry next cycle.
+                    self.stats.store_forward_stalls += 1;
+                    self.iq_mem.insert(seq, FuClass::Lsu, Vec::new());
+                    return;
+                }
+                Forward::Miss => (self.memory.read_u64(addr), self.hier.access(addr)),
             };
             if !verify {
                 let lq = self.lsq.load_mut(seq).expect("dispatched load is in the LQ");
@@ -683,10 +742,12 @@ impl Simulator {
                         // store with an unknown address is still in
                         // flight, which store_check later covers).
                         if let Some(addr) = g.load_addr {
-                            let fresh = self
-                                .lsq
-                                .forward(seq, addr)
-                                .unwrap_or_else(|| self.memory.read_u64(addr));
+                            let fresh = match self.lsq.forward(seq, addr) {
+                                Forward::Data(v) => v,
+                                // Pending data counts as unknown; fall back
+                                // to memory like the pre-Forward oracle did.
+                                _ => self.memory.read_u64(addr),
+                            };
                             let got = self.prf.read(g.preg);
                             if fresh != got {
                                 eprintln!(
@@ -777,6 +838,18 @@ impl Simulator {
                 ghr_before: fi.ghr_before,
                 ras_sp_before: fi.ras_sp_before,
             });
+
+            if self.tracer.on() {
+                self.tracer.emit(TraceEvent::Rename { cycle: self.cycle, seq, pc: fi.pc });
+                if reused {
+                    self.tracer.emit(TraceEvent::ReuseGrant {
+                        cycle: self.cycle,
+                        seq,
+                        pc: fi.pc,
+                        verify: verify_pending,
+                    });
+                }
+            }
 
             let r = RenamedInst {
                 seq,
@@ -874,6 +947,14 @@ impl Simulator {
         }
         self.fetch_pc = next_fetch_pc;
         if count > 0 {
+            if self.tracer.on() {
+                self.tracer.emit(TraceEvent::Fetch {
+                    cycle: self.cycle,
+                    start,
+                    end: last_pc,
+                    insts: count as u32,
+                });
+            }
             let blk = PredBlock { range: BlockRange { start, end: last_pc }, cycle: self.cycle };
             self.engine.on_block(&blk, &mut ectx!(self));
         }
@@ -961,6 +1042,15 @@ impl Simulator {
 
         // Unwind the ROB tail, restoring the RAT youngest-first.
         let squashed = self.rob.squash_from(f.first_squashed);
+        if self.tracer.on() {
+            self.tracer.emit(TraceEvent::Squash {
+                cycle: self.cycle,
+                kind: f.kind,
+                first: f.first_squashed,
+                count: squashed.len() as u64,
+                redirect: f.redirect,
+            });
+        }
         for e in &squashed {
             if let Some(d) = e.dst {
                 self.rat.restore(d.arch, d.prev_preg, d.prev_rgid);
@@ -1042,43 +1132,183 @@ impl Simulator {
         // Redirect the frontend.
         self.fetch_pc = Some(f.redirect);
         self.fetch_resume_at = self.cycle + 1;
+        // A squash is the operation that rearranges register ownership;
+        // sweep thoroughly (free-list integrity included) after every
+        // one, independent of the per-cycle stride.
         #[cfg(debug_assertions)]
-        self.check_invariants();
+        self.assert_invariants_thorough();
     }
 
-    /// Internal consistency checks, active in debug builds after every
-    /// squash (the operation that rearranges register ownership):
+    /// Sweeps the full machine state against every [`Rule`], returning
+    /// all violations found (empty for a healthy pipeline).
     ///
-    /// * every RAT mapping's physical register has at least one hold;
-    /// * every in-flight ROB destination has at least one hold;
-    /// * the free list never contains a register the RAT still maps.
-    #[cfg(debug_assertions)]
-    fn check_invariants(&self) {
+    /// Debug builds run this every cycle (see `MSSR_CHECK_STRIDE` on
+    /// [`check::check_stride`]) and after every squash, panicking on the
+    /// first violation; the sweep itself is available in every build for
+    /// tests and tools.
+    pub fn invariant_violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+
+        // Free-list internal integrity, then the per-mapping hold checks
+        // (a mapped or in-flight register must never be allocatable).
+        if let Err(detail) = self.free_list.validate() {
+            out.push(Violation { rule: Rule::FreeListIntegrity, detail });
+        }
         for a in ArchReg::all() {
             let p = self.rat.lookup(a);
-            debug_assert!(
-                self.free_list.holds(p) > 0,
-                "RAT maps {a} to {p} which has no holds (cycle {})",
-                self.cycle
-            );
+            if self.free_list.holds(p) == 0 {
+                out.push(Violation {
+                    rule: Rule::FreeListIntegrity,
+                    detail: format!("RAT maps {a} to {p} which has no holds"),
+                });
+            }
         }
         for e in self.rob.iter() {
             if let Some(d) = e.dst {
-                debug_assert!(
-                    self.free_list.holds(d.new_preg) > 0,
-                    "ROB {} holds destination {} with no holds (cycle {})",
-                    e.seq,
-                    d.new_preg,
-                    self.cycle
-                );
-                debug_assert!(
-                    self.free_list.holds(d.prev_preg) > 0,
-                    "ROB {} has rollback target {} with no holds (cycle {})",
-                    e.seq,
-                    d.prev_preg,
-                    self.cycle
-                );
+                for (what, p) in [("destination", d.new_preg), ("rollback target", d.prev_preg)] {
+                    if self.free_list.holds(p) == 0 {
+                        out.push(Violation {
+                            rule: Rule::FreeListIntegrity,
+                            detail: format!("ROB {} has {what} {p} with no holds", e.seq),
+                        });
+                    }
+                }
             }
+        }
+
+        // Hold conservation: every hold belongs to a live mapping (RAT
+        // target, in-flight ROB destination, or rollback target — as a
+        // *set*: each live register carries exactly one pipeline hold) or
+        // to the engine's reservations.
+        let mut live = vec![false; self.free_list.num_regs()];
+        for a in ArchReg::all() {
+            live[self.rat.lookup(a).index()] = true;
+        }
+        for e in self.rob.iter() {
+            if let Some(d) = e.dst {
+                live[d.new_preg.index()] = true;
+                live[d.prev_preg.index()] = true;
+            }
+        }
+        let live_mappings = live.iter().filter(|&&l| l).count() as u64;
+        if let Some(v) = check::check_conservation(
+            self.free_list.total_holds(),
+            live_mappings,
+            self.engine.reserved_hold_count(),
+        ) {
+            out.push(v);
+        }
+
+        if let Some(v) =
+            check::check_age_order(Rule::RobAgeOrder, "ROB", self.rob.iter().map(|e| e.seq))
+        {
+            out.push(v);
+        }
+        if let Some(v) = check::check_rgids(
+            self.rgids.counters(),
+            self.rob.iter().filter_map(|e| e.dst.map(|d| (d.arch.index(), d.new_rgid, e.reused))),
+        ) {
+            out.push(v);
+        }
+        if let Some(v) = check::check_reuse_safety(
+            self.rob
+                .iter()
+                .map(|e| (e.seq, e.inst.is_store(), e.inst.is_load(), e.reused, e.verify_pending)),
+        ) {
+            out.push(v);
+        }
+        if let Some(v) = check::check_lsq(self.lsq.loads(), self.lsq.stores()) {
+            out.push(v);
+        }
+        out
+    }
+
+    /// One fused, allocation-light pass over the machine state checking
+    /// the same invariants as [`Simulator::invariant_violations`] minus
+    /// the free list's internal-integrity scan (covered by the thorough
+    /// sweep after every squash). This is the per-cycle debug-build hot
+    /// path: it only answers clean/dirty; diagnosis is re-derived by the
+    /// rule functions when it reports dirty. Kept semantically a subset
+    /// of the thorough sweep — `assert_invariants` enforces that.
+    #[cfg(debug_assertions)]
+    fn sweep_is_clean(&self) -> bool {
+        let fl = &self.free_list;
+        let mut live = vec![false; fl.num_regs()];
+        let mut live_count: u64 = 0;
+        for a in ArchReg::all() {
+            let p = self.rat.lookup(a);
+            if fl.holds(p) == 0 {
+                return false;
+            }
+            if !live[p.index()] {
+                live[p.index()] = true;
+                live_count += 1;
+            }
+        }
+        let counters = self.rgids.counters();
+        let mut prev: Option<SeqNum> = None;
+        let mut last: [Option<u16>; mssr_isa::NUM_ARCH_REGS] = [None; mssr_isa::NUM_ARCH_REGS];
+        for e in self.rob.iter() {
+            if prev.is_some_and(|p| e.seq <= p) {
+                return false;
+            }
+            prev = Some(e.seq);
+            if e.inst.is_store() && e.reused {
+                return false;
+            }
+            if e.verify_pending && !(e.reused && e.inst.is_load()) {
+                return false;
+            }
+            if let Some(d) = e.dst {
+                for p in [d.new_preg, d.prev_preg] {
+                    if fl.holds(p) == 0 {
+                        return false;
+                    }
+                    if !live[p.index()] {
+                        live[p.index()] = true;
+                        live_count += 1;
+                    }
+                }
+                let g = d.new_rgid;
+                if !g.is_null() {
+                    let a = d.arch.index();
+                    if g.value() > counters[a] {
+                        return false;
+                    }
+                    if !e.reused {
+                        if last[a].is_some_and(|prev| g.value() <= prev) {
+                            return false;
+                        }
+                        last[a] = Some(g.value());
+                    }
+                }
+            }
+        }
+        fl.total_holds() == live_count + self.engine.reserved_hold_count()
+            && check::check_lsq(self.lsq.loads(), self.lsq.stores()).is_none()
+    }
+
+    /// Panics on the first invariant violation (debug-build backstop).
+    /// The fused sweep screens; the rule functions produce the report.
+    #[cfg(debug_assertions)]
+    fn assert_invariants(&self) {
+        if self.sweep_is_clean() {
+            return;
+        }
+        self.assert_invariants_thorough();
+        panic!(
+            "invariant sweep flagged cycle {} but the thorough check found nothing \
+             (fast/thorough sweep divergence — this is a checker bug)",
+            self.cycle
+        );
+    }
+
+    /// The thorough variant: full rule-function sweep including free-list
+    /// internal integrity. Run after every squash and on demand.
+    #[cfg(debug_assertions)]
+    fn assert_invariants_thorough(&self) {
+        if let Some(v) = self.invariant_violations().first() {
+            panic!("invariant violation at cycle {}: {v}", self.cycle);
         }
     }
 
@@ -1473,5 +1703,94 @@ mod tests {
         }
         assert_eq!(sim.read_mem_u64(0x800), acc);
         assert!(stats.mispredictions > 50);
+    }
+
+    #[test]
+    fn jalr_negative_displacement_across_32bit_boundary() {
+        // The jalr target is `base.wrapping_add(imm as u64)`; `imm()` is
+        // already sign-extended to i64, so `as u64` must be a
+        // sign-preserving bit-cast. Force a subtraction that crosses a
+        // 32-bit boundary: base = RA + 2^32, displacement = -2^32. If the
+        // displacement were zero-extended (or truncated to 32 bits) the
+        // jump would land ~4 GiB away from the return point and the
+        // program would never halt.
+        let (sim, _) = run_program(|a| {
+            a.li(S0, 0xa00);
+            a.call("sub");
+            a.li(S1, 1); // return lands here
+            a.st(S0, S1, 0);
+            a.halt();
+            a.label("sub");
+            a.li(T1, 1i64 << 32);
+            a.add(T0, RA, T1); // T0 = return address + 2^32
+            a.jalr(ZERO, T0, -(1i64 << 32)); // back down across the boundary
+        });
+        assert!(sim.is_halted(), "jalr with a negative displacement must return");
+        assert_eq!(sim.read_mem_u64(0xa00), 1);
+    }
+
+    #[test]
+    fn trace_events_are_recorded_and_counted() {
+        let mut a = Assembler::new();
+        a.li(T0, 0x300);
+        a.li(T1, 7);
+        a.st(T0, T1, 0);
+        a.ld(T2, T0, 0);
+        a.halt();
+        let program = a.assemble().expect("assembles");
+        let mut sim = Simulator::new(SimConfig::default().with_max_cycles(100_000), program);
+        let sink = crate::trace::BufferSink::new();
+        let buf = sink.handle();
+        sim.set_trace_sink(Box::new(sink));
+        sim.run();
+        assert!(sim.take_trace_sink().is_some());
+        let stats = sim.stats();
+        let trace = buf.lock().unwrap().clone();
+        // Five instructions commit; each also fetches and renames, and
+        // all but the halt (which never enters an issue queue) issue.
+        for (key, at_least) in
+            [("trace_fetch", 1), ("trace_rename", 5), ("trace_issue", 4), ("trace_commit", 5)]
+        {
+            let n = stats
+                .engine
+                .extra
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("missing counter {key}"));
+            assert!(n >= at_least, "{key} = {n}, expected >= {at_least}");
+        }
+        // The JSON-lines buffer carries one object per line matching the
+        // counters' total.
+        let lines: Vec<&str> = trace.lines().collect();
+        let total: u64 = TraceKind::ALL.iter().map(|&k| sim_trace_count(&stats, k)).sum();
+        assert_eq!(lines.len() as u64, total);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(lines.iter().any(|l| l.contains("\"ev\":\"commit\"")));
+    }
+
+    fn sim_trace_count(stats: &SimStats, k: TraceKind) -> u64 {
+        let key = format!("trace_{}", k.name());
+        stats.engine.extra.iter().find(|(n, _)| *n == key).map_or(0, |&(_, v)| v)
+    }
+
+    #[test]
+    fn clean_run_has_no_invariant_violations() {
+        let (sim, _) = run_program(|a| {
+            a.li(S0, 0);
+            a.li(S1, 40);
+            a.label("loop");
+            a.call("f");
+            a.addi(S0, S0, 1);
+            a.blt(S0, S1, "loop");
+            a.st(ZERO, S2, 0xb00);
+            a.halt();
+            a.label("f");
+            a.addi(S2, S2, 3);
+            a.ret();
+        });
+        assert_eq!(sim.read_mem_u64(0xb00), 120);
+        let violations = sim.invariant_violations();
+        assert!(violations.is_empty(), "unexpected violations: {violations:?}");
     }
 }

@@ -79,6 +79,9 @@ impl Prf {
 pub struct FreeList {
     free: VecDeque<PhysReg>,
     holds: Vec<u32>,
+    /// Running sum of `holds`, maintained on every alloc/retain/release
+    /// so the per-cycle conservation sweep reads it in O(1).
+    total: u64,
 }
 
 impl FreeList {
@@ -90,7 +93,11 @@ impl FreeList {
         for h in holds.iter_mut().take(reserved) {
             *h = 1;
         }
-        FreeList { free: (reserved..phys_regs).map(PhysReg::new).collect(), holds }
+        FreeList {
+            free: (reserved..phys_regs).map(PhysReg::new).collect(),
+            holds,
+            total: reserved as u64,
+        }
     }
 
     fn watch(p: PhysReg, what: &str, extra: u32) {
@@ -106,6 +113,7 @@ impl FreeList {
         let p = self.free.pop_front()?;
         debug_assert_eq!(self.holds[p.index()], 0, "allocated register had live holds");
         self.holds[p.index()] = 1;
+        self.total += 1;
         Self::watch(p, "alloc", 1);
         Some(p)
     }
@@ -118,6 +126,7 @@ impl FreeList {
     pub fn retain(&mut self, p: PhysReg) {
         debug_assert!(self.holds[p.index()] > 0, "retain of a free register {p}");
         self.holds[p.index()] += 1;
+        self.total += 1;
         Self::watch(p, "retain", self.holds[p.index()]);
     }
 
@@ -130,7 +139,8 @@ impl FreeList {
         let h = &mut self.holds[p.index()];
         assert!(*h > 0, "release of {p} with zero holds");
         *h -= 1;
-        let left = *h;
+        self.total -= 1;
+        let left = self.holds[p.index()];
         if left == 0 {
             self.free.push_back(p);
         }
@@ -145,6 +155,54 @@ impl FreeList {
     /// Number of allocatable registers.
     pub fn available(&self) -> usize {
         self.free.len()
+    }
+
+    /// Number of physical registers this list manages.
+    pub fn num_regs(&self) -> usize {
+        self.holds.len()
+    }
+
+    /// Sum of all hold counts — the conservation side of the
+    /// [`Rule::FreeListConservation`](crate::check::Rule) invariant.
+    /// O(1): maintained incrementally; [`FreeList::validate`] cross-checks
+    /// it against a recomputed sum.
+    pub fn total_holds(&self) -> u64 {
+        self.total
+    }
+
+    /// Internal-consistency check: a register is queued exactly when its
+    /// hold count is zero, with no duplicates
+    /// ([`Rule::FreeListIntegrity`](crate::check::Rule)).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut queued = vec![false; self.holds.len()];
+        for &p in &self.free {
+            if self.holds[p.index()] != 0 {
+                return Err(format!("{p} queued with {} hold(s)", self.holds[p.index()]));
+            }
+            if queued[p.index()] {
+                return Err(format!("{p} queued twice"));
+            }
+            queued[p.index()] = true;
+        }
+        let mut zero_holds = 0;
+        let mut sum: u64 = 0;
+        for &h in &self.holds {
+            zero_holds += usize::from(h == 0);
+            sum += u64::from(h);
+        }
+        if zero_holds != self.free.len() {
+            return Err(format!(
+                "{zero_holds} register(s) with zero holds but {} queued",
+                self.free.len()
+            ));
+        }
+        if sum != self.total {
+            return Err(format!(
+                "cached hold total {} diverged from recomputed sum {sum}",
+                self.total
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -270,6 +328,19 @@ impl RgidAlloc {
         self.overflows
     }
 
+    /// The counter's current value for `a` — the highest non-null RGID
+    /// ever allocated since the last reset (an upper bound the invariant
+    /// checker holds every live RGID to).
+    pub fn current(&self, a: ArchReg) -> u16 {
+        self.counters[a.index()]
+    }
+
+    /// Counter values for all architectural registers, indexed by
+    /// architectural register index.
+    pub fn counters(&self) -> &[u16] {
+        &self.counters
+    }
+
     /// Global reset: zero all counters and the overflow count.
     pub fn reset(&mut self) {
         self.counters.iter_mut().for_each(|c| *c = 0);
@@ -325,6 +396,21 @@ mod tests {
         assert!(!seen.contains(&p));
         fl.release(p);
         assert_eq!(fl.holds(p), 0);
+    }
+
+    #[test]
+    fn freelist_accounting_accessors() {
+        let mut fl = FreeList::new(8, 4);
+        assert_eq!(fl.num_regs(), 8);
+        assert_eq!(fl.total_holds(), 4, "initial mappings hold once each");
+        let p = fl.alloc().unwrap();
+        fl.retain(p);
+        assert_eq!(fl.total_holds(), 6);
+        fl.validate().unwrap();
+        fl.release(p);
+        fl.release(p);
+        assert_eq!(fl.total_holds(), 4);
+        fl.validate().unwrap();
     }
 
     #[test]

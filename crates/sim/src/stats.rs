@@ -153,6 +153,12 @@ pub struct SimStats {
     pub committed_stores: u64,
     /// Loads satisfied by store-to-load forwarding.
     pub store_forwards: u64,
+    /// Load issues deferred because the youngest older same-block store
+    /// knew its address but not yet its data ([`Forward::Pending`]; the
+    /// load retries instead of reading stale memory).
+    ///
+    /// [`Forward::Pending`]: crate::lsq::Forward
+    pub store_forward_stalls: u64,
     /// L1 data cache hits / misses (demand accesses).
     pub l1_hits: u64,
     /// L1 data cache misses.
@@ -244,6 +250,7 @@ impl SimStats {
         field("committed_loads", self.committed_loads);
         field("committed_stores", self.committed_stores);
         field("store_forwards", self.store_forwards);
+        field("store_forward_stalls", self.store_forward_stalls);
         field("l1_hits", self.l1_hits);
         field("l1_misses", self.l1_misses);
         field("l2_hits", self.l2_hits);
@@ -382,5 +389,20 @@ mod tests {
         assert_eq!(e.stream_distance[7], 1, "tail bucket absorbs large distances");
         e.record_distance(0); // defensive: clamps to bucket 0
         assert_eq!(e.stream_distance[0], 3);
+    }
+
+    #[test]
+    fn distance_histogram_tail_boundary() {
+        // Bucket i counts distance i + 1; the last in-range distance is 7
+        // (bucket 6), and 8 is the first distance the tail bucket absorbs.
+        let mut e = EngineStats::default();
+        e.record_distance(1);
+        e.record_distance(8);
+        e.record_distance(9);
+        e.record_distance(100);
+        assert_eq!(e.stream_distance[0], 1, "distance 1 lands in bucket 0");
+        assert_eq!(e.stream_distance[6], 0, "distance 8 must not land in bucket 6");
+        assert_eq!(e.stream_distance[7], 3, "distances 8, 9, 100 all land in the tail");
+        assert_eq!(e.stream_distance.iter().sum::<u64>(), 4, "every event lands somewhere");
     }
 }

@@ -1,0 +1,556 @@
+//! Structured pipeline-event tracing.
+//!
+//! The simulator can emit a compact, typed event for every architectural
+//! milestone an instruction passes — fetch, rename, issue, writeback,
+//! commit — plus the two events squash reuse revolves around: pipeline
+//! squashes and reuse grants. Events flow into a [`TraceSink`]; two sinks
+//! are provided, a JSON-lines writer ([`JsonLinesSink`] /
+//! [`BufferSink`]) and a bounded in-memory ring ([`RingSink`]) for
+//! post-mortem inspection in tests and debuggers.
+//!
+//! Tracing is **zero-cost when off**: the pipeline consults
+//! [`Tracer::on`] (an `Option` discriminant test) before constructing an
+//! event, so an untraced simulation does no formatting, no allocation,
+//! and no virtual dispatch. Because every event is built from
+//! deterministic simulation state, a trace is byte-identical across
+//! runs, `--jobs` values, and platforms — the same property the
+//! statistics JSON has, extended to per-instruction granularity.
+//!
+//! The JSON-lines schema (one object per line, stable key order) is
+//! documented in `EXPERIMENTS.md`; `DESIGN.md` describes how the trace
+//! subsystem and the `check` invariant checker fit into the pipeline.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use mssr_isa::Pc;
+
+use crate::types::{FlushKind, FuClass, SeqNum};
+
+/// One structured pipeline event.
+///
+/// Every variant carries the cycle it occurred in; instruction-scoped
+/// events carry the global sequence number, which links the fetch →
+/// rename → issue → writeback → commit lifecycle of one dynamic
+/// instruction across lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The frontend emitted a prediction block.
+    Fetch {
+        /// Cycle of the fetch.
+        cycle: u64,
+        /// PC of the first instruction in the block.
+        start: Pc,
+        /// PC of the last instruction in the block (inclusive).
+        end: Pc,
+        /// Number of instructions predicted into the block.
+        insts: u32,
+    },
+    /// An instruction was renamed and dispatched into the ROB.
+    Rename {
+        /// Cycle of the rename.
+        cycle: u64,
+        /// The instruction's sequence number.
+        seq: SeqNum,
+        /// Its PC.
+        pc: Pc,
+    },
+    /// An instruction was selected for execution.
+    Issue {
+        /// Cycle of the issue.
+        cycle: u64,
+        /// The instruction's sequence number.
+        seq: SeqNum,
+        /// The functional-unit class it issued to.
+        fu: FuClass,
+    },
+    /// An instruction's result wrote back (it became complete).
+    Writeback {
+        /// Cycle of the writeback.
+        cycle: u64,
+        /// The instruction's sequence number.
+        seq: SeqNum,
+        /// The produced value (0 for instructions without a destination).
+        value: u64,
+    },
+    /// An instruction retired.
+    Commit {
+        /// Cycle of the commit.
+        cycle: u64,
+        /// The instruction's sequence number.
+        seq: SeqNum,
+        /// Its PC.
+        pc: Pc,
+    },
+    /// A pipeline flush squashed the ROB tail.
+    Squash {
+        /// Cycle of the squash.
+        cycle: u64,
+        /// Why the pipeline flushed.
+        kind: FlushKind,
+        /// Oldest squashed sequence number.
+        first: SeqNum,
+        /// Number of ROB entries squashed.
+        count: u64,
+        /// Where fetch resumes.
+        redirect: Pc,
+    },
+    /// A reuse engine granted an instruction at rename (its execution is
+    /// skipped; the squashed result is recycled).
+    ReuseGrant {
+        /// Cycle of the grant.
+        cycle: u64,
+        /// The granted instruction's sequence number.
+        seq: SeqNum,
+        /// Its PC.
+        pc: Pc,
+        /// Whether a verification re-execution gates its commit
+        /// (reused loads under the load-verification policy, §3.8.3).
+        verify: bool,
+    },
+}
+
+/// The event kinds, for counting and naming.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A [`TraceEvent::Fetch`].
+    Fetch,
+    /// A [`TraceEvent::Rename`].
+    Rename,
+    /// A [`TraceEvent::Issue`].
+    Issue,
+    /// A [`TraceEvent::Writeback`].
+    Writeback,
+    /// A [`TraceEvent::Commit`].
+    Commit,
+    /// A [`TraceEvent::Squash`].
+    Squash,
+    /// A [`TraceEvent::ReuseGrant`].
+    ReuseGrant,
+}
+
+impl TraceKind {
+    /// Number of event kinds (size of per-kind counter arrays).
+    pub const COUNT: usize = 7;
+
+    /// All kinds, in counter-index order.
+    pub const ALL: [TraceKind; TraceKind::COUNT] = [
+        TraceKind::Fetch,
+        TraceKind::Rename,
+        TraceKind::Issue,
+        TraceKind::Writeback,
+        TraceKind::Commit,
+        TraceKind::Squash,
+        TraceKind::ReuseGrant,
+    ];
+
+    /// The kind's stable name, used as the `"ev"` field of the JSON
+    /// schema and as the `trace_*` suffix of the statistics counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Fetch => "fetch",
+            TraceKind::Rename => "rename",
+            TraceKind::Issue => "issue",
+            TraceKind::Writeback => "writeback",
+            TraceKind::Commit => "commit",
+            TraceKind::Squash => "squash",
+            TraceKind::ReuseGrant => "reuse_grant",
+        }
+    }
+
+    /// The kind's index into per-kind counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TraceKind::Fetch => 0,
+            TraceKind::Rename => 1,
+            TraceKind::Issue => 2,
+            TraceKind::Writeback => 3,
+            TraceKind::Commit => 4,
+            TraceKind::Squash => 5,
+            TraceKind::ReuseGrant => 6,
+        }
+    }
+}
+
+fn fu_name(fu: FuClass) -> &'static str {
+    match fu {
+        FuClass::Alu => "alu",
+        FuClass::Bru => "bru",
+        FuClass::Lsu => "lsu",
+    }
+}
+
+fn flush_name(kind: FlushKind) -> &'static str {
+    match kind {
+        FlushKind::BranchMispredict => "branch",
+        FlushKind::MemoryOrder => "mem_order",
+        FlushKind::ReuseVerification => "reuse_verify",
+    }
+}
+
+impl TraceEvent {
+    /// The event's kind.
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            TraceEvent::Fetch { .. } => TraceKind::Fetch,
+            TraceEvent::Rename { .. } => TraceKind::Rename,
+            TraceEvent::Issue { .. } => TraceKind::Issue,
+            TraceEvent::Writeback { .. } => TraceKind::Writeback,
+            TraceEvent::Commit { .. } => TraceKind::Commit,
+            TraceEvent::Squash { .. } => TraceKind::Squash,
+            TraceEvent::ReuseGrant { .. } => TraceKind::ReuseGrant,
+        }
+    }
+
+    /// The cycle the event occurred in.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Fetch { cycle, .. }
+            | TraceEvent::Rename { cycle, .. }
+            | TraceEvent::Issue { cycle, .. }
+            | TraceEvent::Writeback { cycle, .. }
+            | TraceEvent::Commit { cycle, .. }
+            | TraceEvent::Squash { cycle, .. }
+            | TraceEvent::ReuseGrant { cycle, .. } => cycle,
+        }
+    }
+
+    /// The event as one JSON object (no trailing newline, stable key
+    /// order, integers only — byte-identical across runs and platforms).
+    pub fn to_json(&self) -> String {
+        match *self {
+            TraceEvent::Fetch { cycle, start, end, insts } => format!(
+                "{{\"ev\":\"fetch\",\"cycle\":{cycle},\"start\":{},\"end\":{},\"insts\":{insts}}}",
+                start.addr(),
+                end.addr()
+            ),
+            TraceEvent::Rename { cycle, seq, pc } => format!(
+                "{{\"ev\":\"rename\",\"cycle\":{cycle},\"seq\":{},\"pc\":{}}}",
+                seq.value(),
+                pc.addr()
+            ),
+            TraceEvent::Issue { cycle, seq, fu } => format!(
+                "{{\"ev\":\"issue\",\"cycle\":{cycle},\"seq\":{},\"fu\":\"{}\"}}",
+                seq.value(),
+                fu_name(fu)
+            ),
+            TraceEvent::Writeback { cycle, seq, value } => format!(
+                "{{\"ev\":\"writeback\",\"cycle\":{cycle},\"seq\":{},\"value\":{value}}}",
+                seq.value()
+            ),
+            TraceEvent::Commit { cycle, seq, pc } => format!(
+                "{{\"ev\":\"commit\",\"cycle\":{cycle},\"seq\":{},\"pc\":{}}}",
+                seq.value(),
+                pc.addr()
+            ),
+            TraceEvent::Squash { cycle, kind, first, count, redirect } => format!(
+                "{{\"ev\":\"squash\",\"cycle\":{cycle},\"kind\":\"{}\",\"first\":{},\"count\":{count},\"redirect\":{}}}",
+                flush_name(kind),
+                first.value(),
+                redirect.addr()
+            ),
+            TraceEvent::ReuseGrant { cycle, seq, pc, verify } => format!(
+                "{{\"ev\":\"reuse_grant\",\"cycle\":{cycle},\"seq\":{},\"pc\":{},\"verify\":{verify}}}",
+                seq.value(),
+                pc.addr()
+            ),
+        }
+    }
+}
+
+/// A consumer of trace events.
+pub trait TraceSink {
+    /// Records one event.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Flushes any buffered output (called when the sink is detached).
+    fn flush(&mut self) {}
+}
+
+/// A sink that writes one JSON object per line to any [`Write`] target.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> JsonLinesSink<W> {
+        JsonLinesSink { w }
+    }
+
+    /// Unwraps the writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        // Trace output is best-effort diagnostics; a failed write must
+        // not abort a deterministic simulation.
+        let _ = writeln!(self.w, "{}", ev.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// A JSON-lines sink backed by a shared string buffer.
+///
+/// The simulator owns the sink (`Box<dyn TraceSink>`), so a caller that
+/// wants the trace back after the run keeps the [`BufferSink::handle`]
+/// and reads it once the simulation finishes. This is how the experiment
+/// harness collects per-cell traces from worker threads.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    buf: Arc<Mutex<String>>,
+}
+
+impl BufferSink {
+    /// An empty buffer sink.
+    pub fn new() -> BufferSink {
+        BufferSink::default()
+    }
+
+    /// A handle to the shared buffer (one JSON object per line).
+    pub fn handle(&self) -> Arc<Mutex<String>> {
+        Arc::clone(&self.buf)
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let mut b = self.buf.lock().expect("trace buffer poisoned");
+        b.push_str(&ev.to_json());
+        b.push('\n');
+    }
+}
+
+/// A bounded in-memory ring of the most recent events.
+///
+/// Useful as a flight recorder: cheap enough to leave attached, and on a
+/// failure the last `capacity` events show what the pipeline was doing.
+#[derive(Debug)]
+pub struct RingSink {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink { ring: VecDeque::new(), capacity: capacity.max(1), dropped: 0 }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of events evicted to respect the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(*ev);
+    }
+}
+
+/// The pipeline's tracing front end: an optional sink plus per-kind
+/// event counters (surfaced through `EngineStats::extra` as `trace_*`
+/// when tracing is active).
+#[derive(Default)]
+pub(crate) struct Tracer {
+    sink: Option<Box<dyn TraceSink>>,
+    counts: [u64; TraceKind::COUNT],
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("on", &self.sink.is_some())
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Whether a sink is attached. Call sites guard event construction
+    /// on this so untraced runs pay only the discriminant test.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Whether any event was ever recorded (counters are kept after the
+    /// sink is detached, so end-of-run statistics still report them).
+    pub fn active(&self) -> bool {
+        self.sink.is_some() || self.counts.iter().any(|&c| c > 0)
+    }
+
+    /// Records one event (no-op without a sink).
+    pub fn emit(&mut self, ev: TraceEvent) {
+        if let Some(s) = &mut self.sink {
+            self.counts[ev.kind().index()] += 1;
+            s.record(&ev);
+        }
+    }
+
+    /// Attaches a sink, replacing (and flushing) any previous one.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        if let Some(mut old) = self.sink.replace(sink) {
+            old.flush();
+        }
+    }
+
+    /// Detaches and flushes the sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut s = self.sink.take()?;
+        s.flush();
+        Some(s)
+    }
+
+    /// Event count for one kind.
+    pub fn count(&self, kind: TraceKind) -> u64 {
+        self.counts[kind.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Fetch { cycle: 1, start: Pc::new(0x1000), end: Pc::new(0x101c), insts: 8 },
+            TraceEvent::Rename { cycle: 5, seq: SeqNum::new(1), pc: Pc::new(0x1000) },
+            TraceEvent::Issue { cycle: 6, seq: SeqNum::new(1), fu: FuClass::Alu },
+            TraceEvent::Writeback { cycle: 7, seq: SeqNum::new(1), value: 42 },
+            TraceEvent::Commit { cycle: 8, seq: SeqNum::new(1), pc: Pc::new(0x1000) },
+            TraceEvent::Squash {
+                cycle: 9,
+                kind: FlushKind::BranchMispredict,
+                first: SeqNum::new(2),
+                count: 3,
+                redirect: Pc::new(0x1010),
+            },
+            TraceEvent::ReuseGrant {
+                cycle: 10,
+                seq: SeqNum::new(5),
+                pc: Pc::new(0x1010),
+                verify: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let evs = sample();
+        assert_eq!(
+            evs[0].to_json(),
+            "{\"ev\":\"fetch\",\"cycle\":1,\"start\":4096,\"end\":4124,\"insts\":8}"
+        );
+        assert_eq!(evs[1].to_json(), "{\"ev\":\"rename\",\"cycle\":5,\"seq\":1,\"pc\":4096}");
+        assert_eq!(evs[2].to_json(), "{\"ev\":\"issue\",\"cycle\":6,\"seq\":1,\"fu\":\"alu\"}");
+        assert_eq!(evs[3].to_json(), "{\"ev\":\"writeback\",\"cycle\":7,\"seq\":1,\"value\":42}");
+        assert_eq!(evs[4].to_json(), "{\"ev\":\"commit\",\"cycle\":8,\"seq\":1,\"pc\":4096}");
+        assert_eq!(
+            evs[5].to_json(),
+            "{\"ev\":\"squash\",\"cycle\":9,\"kind\":\"branch\",\"first\":2,\"count\":3,\"redirect\":4112}"
+        );
+        assert_eq!(
+            evs[6].to_json(),
+            "{\"ev\":\"reuse_grant\",\"cycle\":10,\"seq\":5,\"pc\":4112,\"verify\":true}"
+        );
+    }
+
+    #[test]
+    fn kinds_round_trip_names_and_indices() {
+        for (i, k) in TraceKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        let evs = sample();
+        let names: Vec<&str> = evs.iter().map(|e| e.kind().name()).collect();
+        assert_eq!(
+            names,
+            ["fetch", "rename", "issue", "writeback", "commit", "squash", "reuse_grant"]
+        );
+        assert_eq!(evs[3].cycle(), 7);
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        for ev in sample() {
+            sink.record(&ev);
+        }
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(out.lines().count(), 7);
+        assert!(out.ends_with('\n'));
+        assert!(out.lines().all(|l| l.starts_with("{\"ev\":\"")));
+    }
+
+    #[test]
+    fn buffer_sink_shares_contents_through_handle() {
+        let sink = BufferSink::new();
+        let handle = sink.handle();
+        let mut boxed: Box<dyn TraceSink> = Box::new(sink);
+        boxed.record(&sample()[1]);
+        boxed.record(&sample()[2]);
+        let got = handle.lock().unwrap().clone();
+        assert_eq!(got.lines().count(), 2);
+        assert!(got.starts_with("{\"ev\":\"rename\""));
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_most_recent_events() {
+        let mut ring = RingSink::new(3);
+        for ev in sample() {
+            ring.record(&ev);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 4);
+        let kinds: Vec<TraceKind> = ring.events().map(|e| e.kind()).collect();
+        assert_eq!(kinds, [TraceKind::Commit, TraceKind::Squash, TraceKind::ReuseGrant]);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn tracer_counts_only_while_a_sink_is_attached() {
+        let mut t = Tracer::default();
+        assert!(!t.on());
+        assert!(!t.active());
+        t.emit(sample()[0]); // dropped: no sink
+        assert_eq!(t.count(TraceKind::Fetch), 0);
+        t.set_sink(Box::new(RingSink::new(8)));
+        assert!(t.on());
+        t.emit(sample()[0]);
+        t.emit(sample()[4]);
+        assert_eq!(t.count(TraceKind::Fetch), 1);
+        assert_eq!(t.count(TraceKind::Commit), 1);
+        let _ = t.take_sink().expect("sink attached");
+        assert!(!t.on());
+        assert!(t.active(), "counters survive sink detachment");
+    }
+}

@@ -2,7 +2,7 @@
 //! image and architectural result checks.
 
 use mssr_isa::Program;
-use mssr_sim::{ReuseEngine, SimConfig, SimStats, Simulator};
+use mssr_sim::{ReuseEngine, SimConfig, SimStats, Simulator, TraceSink};
 
 /// Which benchmark suite a workload belongs to (mirrors the paper's
 /// evaluation: SPECint2006, SPECint2017 and GAP, plus the §2.2
@@ -128,11 +128,45 @@ impl Workload {
     /// or a result check fails — a failed check means a reuse engine
     /// corrupted architectural state, which is always a bug.
     pub fn run(&self, cfg: SimConfig, engine: Option<Box<dyn ReuseEngine>>) -> SimStats {
+        self.run_inner(cfg, engine, None)
+    }
+
+    /// Like [`Workload::run`], but with a trace sink attached for the
+    /// whole run (see `mssr_sim::TraceEvent` for the event schema). Use
+    /// a `BufferSink` and keep its handle to collect the trace after the
+    /// run.
+    ///
+    /// # Panics
+    ///
+    /// As [`Workload::run`].
+    pub fn run_traced(
+        &self,
+        cfg: SimConfig,
+        engine: Option<Box<dyn ReuseEngine>>,
+        sink: Box<dyn TraceSink>,
+    ) -> SimStats {
+        self.run_inner(cfg, engine, Some(sink))
+    }
+
+    fn run_inner(
+        &self,
+        cfg: SimConfig,
+        engine: Option<Box<dyn ReuseEngine>>,
+        sink: Option<Box<dyn TraceSink>>,
+    ) -> SimStats {
         let mut sim = match engine {
             Some(e) => self.instantiate_with(cfg, e),
             None => self.instantiate(cfg),
         };
-        let stats = sim.run();
+        if let Some(s) = sink {
+            sim.set_trace_sink(s);
+        }
+        let mut stats = sim.run();
+        // The stats snapshot must include the trace_* counters, which are
+        // final only once the sink has flushed.
+        if sim.take_trace_sink().is_some() {
+            stats = sim.stats();
+        }
         assert!(sim.is_halted(), "workload `{}` did not halt", self.name);
         self.verify(&sim).unwrap_or_else(|e| panic!("workload `{}`: {e}", self.name));
         stats

@@ -67,6 +67,66 @@ fn harness_grid_json_is_independent_of_worker_count() {
     );
 }
 
+/// The acceptance test for `--trace`: the full JSON-lines trajectory,
+/// events included, is byte-identical whatever the worker count. Events
+/// are buffered per cell and emitted in cell order, so work stealing
+/// cannot reorder them.
+#[test]
+fn trace_events_are_independent_of_worker_count() {
+    use mssr::workloads::{microbench, Scale};
+    use mssr_bench::harness::{
+        run_experiments, CellId, CellPool, CellResult, Experiment, HarnessOpts,
+    };
+    use mssr_bench::{experiment_sim_config, EngineSpec};
+
+    // A deliberately tiny grid: traces are verbose (several events per
+    // instruction), so the cell must be small enough for the test suite.
+    struct TinyTrace;
+    impl Experiment for TinyTrace {
+        fn name(&self) -> &'static str {
+            "tiny-trace"
+        }
+        fn cells(&self, pool: &mut CellPool) -> Vec<CellId> {
+            let wid = pool.intern(microbench::nested_mispred(60));
+            vec![
+                pool.cell(wid, EngineSpec::Baseline.into(), experiment_sim_config()),
+                pool.cell(
+                    wid,
+                    EngineSpec::Mssr { streams: 2, log_entries: 64 }.into(),
+                    experiment_sim_config(),
+                ),
+                pool.cell(
+                    wid,
+                    EngineSpec::Ri { sets: 64, ways: 2 }.into(),
+                    experiment_sim_config(),
+                ),
+            ]
+        }
+        fn render(&self, _pool: &CellPool, _ids: &[CellId], _results: &[CellResult]) -> String {
+            String::new()
+        }
+    }
+
+    let mut serial = HarnessOpts::new(Scale::Test);
+    serial.json = true;
+    serial.trace = true;
+    serial.jobs = 1;
+    let mut parallel = serial.clone();
+    parallel.jobs = 4;
+    let exps: Vec<Box<dyn Experiment>> = vec![Box::new(TinyTrace)];
+    let a = run_experiments(&exps, &serial);
+    let b = run_experiments(&exps, &parallel);
+    assert_eq!(a, b, "--trace output must be byte-identical across --jobs");
+    // Every cell contributed events, wrapped with its id, and the
+    // per-kind counters surfaced in the cell stats.
+    for c in 0..3 {
+        assert!(a.contains(&format!("{{\"type\":\"event\",\"cell\":{c},\"ev\":")));
+    }
+    assert!(a.contains("\"ev\":\"commit\""));
+    assert!(a.contains("\"ev\":\"squash\""));
+    assert!(a.contains("\"trace_commit\":"));
+}
+
 #[test]
 fn workload_construction_is_deterministic() {
     let a = spec2006::astar(10);
