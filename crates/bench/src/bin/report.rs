@@ -1,0 +1,73 @@
+//! `mssr-report` — renders harness JSON-lines trajectories as CPI
+//! stacks, speedup tables and IPC sparklines, and compares against a
+//! baseline trajectory for CI regression gating. All rendering lives in
+//! `mssr_bench::harness::report`; this binary only parses arguments,
+//! reads files, and maps regressions to the exit code.
+
+use mssr_bench::harness::report::{regressions, render_report, Trajectory};
+
+const USAGE: &str = "usage: mssr-report FILE... [--baseline OLD] [--threshold PCT]
+  FILE...          JSON-lines trajectories from a harness --json run
+  --baseline OLD   compare the first FILE against trajectory OLD and
+                   exit 1 when IPC or reuse-grant rate regresses
+  --threshold PCT  regression threshold in percent (default 5)";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Trajectory {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("mssr-report: {path}: {e}")));
+    Trajectory::parse(&text).unwrap_or_else(|e| fail(&format!("mssr-report: {path}: {e}")))
+}
+
+fn main() {
+    let mut files: Vec<String> = Vec::new();
+    let mut baseline: Option<String> = None;
+    let mut threshold: u64 = 5;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| fail(&format!("{name} requires a value")));
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--threshold" => {
+                threshold = value("--threshold")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--threshold: {e}")));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            s if s.starts_with('-') => fail(&format!("unknown argument `{s}`")),
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        fail("no trajectory files given");
+    }
+    let trajectories: Vec<Trajectory> = files.iter().map(|f| load(f)).collect();
+    for (path, t) in files.iter().zip(&trajectories) {
+        if trajectories.len() > 1 {
+            println!("######## {path} ########\n");
+        }
+        print!("{}", render_report(t));
+    }
+    if let Some(old_path) = baseline {
+        let old = load(&old_path);
+        let regs = regressions(&trajectories[0], &old, threshold);
+        println!("\n== Regressions vs {old_path} (threshold {threshold}%) ==");
+        if regs.is_empty() {
+            println!("none");
+        } else {
+            for r in &regs {
+                println!("{r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

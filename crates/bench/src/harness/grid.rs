@@ -244,16 +244,17 @@ impl CellPool {
     /// `i`'s result regardless of which worker ran it or when.
     pub fn run(&self, opts: &HarnessOpts) -> Vec<CellResult> {
         run_cells(self.cells.len(), opts.jobs, |i| {
-            self.run_cell(i, cell_seed(opts.root_seed, i as u64), opts.trace)
+            self.run_cell(i, cell_seed(opts.root_seed, i as u64), opts.trace, opts.sample)
         })
     }
 
-    fn run_cell(&self, i: CellId, seed: u64, trace: bool) -> CellResult {
+    fn run_cell(&self, i: CellId, seed: u64, trace: bool, sample: u64) -> CellResult {
         let spec = &self.cells[i];
         let w = &self.workloads[spec.workload];
-        // When tracing, events go into a per-cell buffer whose handle we
-        // keep; the simulator consumes the sink itself.
-        let (sink, buf) = if trace {
+        // When tracing or sampling, events go into a per-cell buffer whose
+        // handle we keep; the simulator consumes the sink itself. Without
+        // `--trace` the sink's kind mask admits sample events only.
+        let (sink, buf) = if trace || sample > 0 {
             let sink = BufferSink::new();
             let handle = sink.handle();
             (Some(sink), Some(handle))
@@ -261,7 +262,9 @@ impl CellPool {
             (None, None)
         };
         let run = |engine: Option<Box<dyn ReuseEngine>>| match sink {
-            Some(s) => w.run_traced(spec.cfg.clone(), engine, Box::new(s)),
+            Some(s) => {
+                w.run_instrumented(spec.cfg.clone(), engine, Some(Box::new(s)), sample, trace)
+            }
             None => w.run(spec.cfg.clone(), engine),
         };
         let (stats, ri_set_replacements) = match spec.engine.build_ri() {

@@ -29,11 +29,15 @@
 //! `--trace`, each cell record is followed by its `"event"` records —
 //! the cell's structured pipeline trace (see `mssr_sim::TraceEvent`),
 //! one event per line, wrapped as
-//! `{"type":"event","cell":<id>,"ev":{...}}`.
+//! `{"type":"event","cell":<id>,"ev":{...}}`. Under `--sample N`, each
+//! cell contributes interval-sample events (`{"ev":"sample",...}`) in
+//! the same wrapping — without `--trace`, those are the *only* events
+//! emitted. The `mssr-report` binary consumes these trajectories.
 
 mod experiments;
 mod grid;
 mod measure;
+pub mod report;
 
 pub use experiments::{all_experiments, experiment, Experiment, EXPERIMENT_NAMES};
 pub use grid::{run_cells, CellId, CellPool, CellResult, CellSpec, EngineCfg};
@@ -72,18 +76,30 @@ pub struct HarnessOpts {
     /// Record a structured event trace per cell and emit the events into
     /// the JSON-lines trajectory (requires `--json`).
     pub trace: bool,
+    /// Interval-sampling period in cycles (`0` = off): snapshot
+    /// per-interval statistics deltas every N cycles and emit them as
+    /// sample events in the trajectory (requires `--json`).
+    pub sample: u64,
 }
 
 impl HarnessOpts {
     /// Defaults at a given scale.
     pub fn new(scale: Scale) -> HarnessOpts {
         let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
-        HarnessOpts { jobs, root_seed: DEFAULT_ROOT_SEED, scale, json: false, trace: false }
+        HarnessOpts {
+            jobs,
+            root_seed: DEFAULT_ROOT_SEED,
+            scale,
+            json: false,
+            trace: false,
+            sample: 0,
+        }
     }
 
     /// Parses CLI arguments (`--jobs N`, `--seed S`, `--scale
-    /// test|medium|large`, `--json`, `--trace`, `--help`). The scale
-    /// defaults to `MSSR_SCALE` when set, then to `default_scale`.
+    /// test|medium|large`, `--json`, `--trace`, `--sample N`, `--help`).
+    /// The scale defaults to `MSSR_SCALE` when set, then to
+    /// `default_scale`.
     ///
     /// # Panics
     ///
@@ -137,6 +153,10 @@ impl HarnessOpts {
                 }
                 "--json" => opts.json = true,
                 "--trace" => opts.trace = true,
+                "--sample" => {
+                    opts.sample =
+                        value("--sample")?.parse::<u64>().map_err(|e| format!("--sample: {e}"))?;
+                }
                 "--help" | "-h" => return Err("help".to_string()),
                 s => return Err(format!("unknown argument `{s}`")),
             }
@@ -144,17 +164,21 @@ impl HarnessOpts {
         if opts.trace && !opts.json {
             return Err("--trace requires --json (events extend the JSON-lines output)".into());
         }
+        if opts.sample > 0 && !opts.json {
+            return Err("--sample requires --json (samples extend the JSON-lines output)".into());
+        }
         Ok(opts)
     }
 }
 
 const USAGE: &str =
-    "usage: <experiment> [--jobs N] [--seed S] [--scale test|medium|large] [--json] [--trace]
+    "usage: <experiment> [--jobs N] [--seed S] [--scale test|medium|large] [--json] [--trace] [--sample N]
   --jobs N    worker threads for the experiment grid (default: all cores)
   --seed S    root seed for per-cell seeds (decimal or 0x-hex)
   --scale     workload input scale (default: MSSR_SCALE env, then medium)
   --json      emit the JSON-lines trajectory instead of reports
-  --trace     with --json: emit per-cell pipeline event records";
+  --trace     with --json: emit per-cell pipeline event records
+  --sample N  with --json: emit per-cell statistics deltas every N cycles";
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -272,6 +296,16 @@ mod tests {
         assert!(HarnessOpts::from_iter(args(&["--bogus"]), Scale::Test).is_err());
         assert!(HarnessOpts::from_iter(args(&["--jobs"]), Scale::Test).is_err());
         assert_eq!(HarnessOpts::from_iter(args(&["-h"]), Scale::Test).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn sample_flag_parses_and_requires_json() {
+        let o = HarnessOpts::from_iter(args(&["--json", "--sample", "500"]), Scale::Test).unwrap();
+        assert_eq!(o.sample, 500);
+        assert_eq!(HarnessOpts::from_iter(args(&["--json"]), Scale::Test).unwrap().sample, 0);
+        let err = HarnessOpts::from_iter(args(&["--sample", "500"]), Scale::Test).unwrap_err();
+        assert!(err.contains("--sample requires --json"));
+        assert!(HarnessOpts::from_iter(args(&["--sample", "x"]), Scale::Test).is_err());
     }
 
     #[test]

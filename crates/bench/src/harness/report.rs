@@ -1,0 +1,784 @@
+//! Trajectory reader and report renderer behind the `mssr-report`
+//! binary.
+//!
+//! Consumes the JSON-lines trajectories the harness emits under
+//! `--json` (see the module docs in [`super`]) and renders:
+//!
+//! * per-engine **CPI stacks** — every commit slot of every cycle
+//!   attributed to one `mssr_sim::Category`, shown as percentages per
+//!   (workload × engine) row;
+//! * a **speedup table** — cycles vs the `BASE` cell of the same
+//!   workload, with the reuse-coverage breakdown (grant rate, coverage
+//!   of squashed instructions, credited cycles);
+//! * per-interval **IPC sparklines** from `--sample N` records;
+//! * a **regression comparison** against a baseline trajectory, used by
+//!   CI to fail the build when IPC or reuse-grant rate degrades.
+//!
+//! Everything here is integer arithmetic over the simulator's
+//! deterministic counters (fixed-point thousandths where a ratio is
+//! shown), so rendered reports are byte-identical across machines and
+//! `--jobs` values, like the trajectories themselves.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader for the trajectory subset: objects, arrays,
+// strings, unsigned integers, booleans, null. Counters are exact u64s —
+// the harness never emits floats, signs, or exponents, and rejecting
+// them keeps every downstream computation integer-deterministic.
+// ---------------------------------------------------------------------
+
+/// A parsed trajectory JSON value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the only number form trajectories carry).
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-positioned message on malformed input, trailing
+    /// data, or number forms outside the trajectory subset.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser { b: s.as_bytes(), i: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup (`None` for non-objects and absent keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn num(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn str_val(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric member of an object, defaulting to 0 when absent (older
+    /// trajectories predate some counters; missing means "not counted").
+    pub fn field_u64(&self, key: &str) -> u64 {
+        self.get(key).and_then(Json::num).unwrap_or(0)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\r' | b'\n') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some(b'-') => Err(format!(
+                "negative number at byte {} (trajectory counters are unsigned)",
+                self.i
+            )),
+            _ => Err(format!("unexpected input at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(format!(
+                "non-integer number at byte {start} (trajectory counters are unsigned integers)"
+            ));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("number out of range at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                            self.i += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(format!("bad escape `\\{}`", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let s = &self.b[self.i..];
+                    let ch = std::str::from_utf8(s)
+                        .map_err(|_| "invalid utf-8".to_string())?
+                        .chars()
+                        .next()
+                        .expect("peeked non-empty");
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut v = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(v));
+        }
+        loop {
+            self.skip_ws();
+            v.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(v));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut kv = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(kv));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            kv.push((k, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(kv));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trajectory model
+// ---------------------------------------------------------------------
+
+/// One `--sample` record of a cell: per-interval statistics deltas
+/// (`cycle` is the absolute sample point; the other fields are deltas
+/// since the previous sample).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SamplePoint {
+    /// Cycle at which the sample was taken.
+    pub cycle: u64,
+    /// Instructions committed during the interval.
+    pub insts: u64,
+    /// Reuse grants during the interval.
+    pub grants: u64,
+    /// Branch-squash commit slots accrued during the interval.
+    pub squash_slots: u64,
+}
+
+/// One cell of a trajectory: a (workload × engine) run with the
+/// counters the report needs, the CPI account, and any sample series.
+#[derive(Clone, Debug, Default)]
+pub struct CellRecord {
+    /// Cell id within the trajectory.
+    pub id: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Benchmark suite.
+    pub suite: String,
+    /// Engine label (`BASE`, `RCVG_N_P`, `RI_SxW`, plus ablation tags).
+    pub engine: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub insts: u64,
+    /// Architectural branch mispredictions.
+    pub mispredictions: u64,
+    /// Squashed instructions.
+    pub squashed: u64,
+    /// Reuse tests issued by the engine.
+    pub reuse_tests: u64,
+    /// Reuse grants (instructions whose results were reused).
+    pub reuse_grants: u64,
+    /// CPI-stack categories in trajectory order: (name, commit slots).
+    pub account: Vec<(String, u64)>,
+    /// Cycles' worth of execution latency recovered by reuse.
+    pub credit_reuse_cycles: u64,
+    /// Fetches skipped via the reconvergence fast path.
+    pub credit_recon_fetches: u64,
+    /// `--sample` time series (empty without `--sample`).
+    pub samples: Vec<SamplePoint>,
+}
+
+impl CellRecord {
+    /// IPC in fixed-point thousandths (integer-deterministic).
+    pub fn ipc_milli(&self) -> u64 {
+        (self.insts * 1000).checked_div(self.cycles).unwrap_or(0)
+    }
+
+    /// Reuse-grant rate (grants per test) in thousandths.
+    pub fn grant_rate_milli(&self) -> u64 {
+        (self.reuse_grants * 1000).checked_div(self.reuse_tests).unwrap_or(0)
+    }
+
+    /// Total commit slots across all CPI categories.
+    pub fn total_slots(&self) -> u64 {
+        self.account.iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// A parsed JSON-lines trajectory.
+#[derive(Clone, Debug, Default)]
+pub struct Trajectory {
+    /// Workload scale recorded in the meta line.
+    pub scale: String,
+    /// Root seed recorded in the meta line (`0x…`).
+    pub root_seed: String,
+    /// The cells, in trajectory (= cell id) order.
+    pub cells: Vec<CellRecord>,
+}
+
+impl Trajectory {
+    /// Parses a JSON-lines trajectory (the harness's `--json` output).
+    ///
+    /// Pipeline `"event"` records other than samples and the
+    /// `"experiment"` index records are skipped — the report works from
+    /// cells, accounts and samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-positioned message on malformed lines or records.
+    pub fn parse(text: &str) -> Result<Trajectory, String> {
+        let mut t = Trajectory::default();
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+            match v.get("type").and_then(Json::str_val) {
+                Some("meta") => {
+                    t.scale = v.get("scale").and_then(Json::str_val).unwrap_or("").to_string();
+                    t.root_seed =
+                        v.get("root_seed").and_then(Json::str_val).unwrap_or("").to_string();
+                }
+                Some("cell") => t.cells.push(Self::cell(&v, n + 1)?),
+                Some("event") => Self::event(&mut t, &v),
+                Some("experiment") => {}
+                other => {
+                    return Err(format!("line {}: unknown record type {other:?}", n + 1));
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    fn cell(v: &Json, line: usize) -> Result<CellRecord, String> {
+        let stats = v.get("stats").ok_or_else(|| format!("line {line}: cell without stats"))?;
+        let engine = stats.get("engine").cloned().unwrap_or(Json::Obj(Vec::new()));
+        let mut c = CellRecord {
+            id: v.field_u64("id"),
+            workload: v.get("workload").and_then(Json::str_val).unwrap_or("?").to_string(),
+            suite: v.get("suite").and_then(Json::str_val).unwrap_or("?").to_string(),
+            engine: v.get("engine").and_then(Json::str_val).unwrap_or("?").to_string(),
+            cycles: stats.field_u64("cycles"),
+            insts: stats.field_u64("committed_instructions"),
+            mispredictions: stats.field_u64("mispredictions"),
+            squashed: stats.field_u64("squashed_instructions"),
+            reuse_tests: engine.field_u64("reuse_tests"),
+            reuse_grants: engine.field_u64("reuse_grants"),
+            ..CellRecord::default()
+        };
+        if let Some(Json::Obj(kv)) = stats.get("account") {
+            for (k, val) in kv {
+                let n = val.num().unwrap_or(0);
+                match k.as_str() {
+                    "credit_reuse_cycles" => c.credit_reuse_cycles = n,
+                    "credit_recon_fetches" => c.credit_recon_fetches = n,
+                    _ => c.account.push((k.clone(), n)),
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    fn event(t: &mut Trajectory, v: &Json) {
+        let Some(ev) = v.get("ev") else { return };
+        if ev.get("ev").and_then(Json::str_val) != Some("sample") {
+            return;
+        }
+        let cell = v.field_u64("cell");
+        // Events follow their cell record, so the match is normally the
+        // last cell; search anyway so reordered input still parses.
+        if let Some(c) = t.cells.iter_mut().rev().find(|c| c.id == cell) {
+            c.samples.push(SamplePoint {
+                cycle: ev.field_u64("cycle"),
+                insts: ev.field_u64("insts"),
+                grants: ev.field_u64("grants"),
+                squash_slots: ev.field_u64("squash_slots"),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Renderers
+// ---------------------------------------------------------------------
+
+/// Fixed-point thousandths formatted as `D.DDD`.
+fn milli(v: u64) -> String {
+    format!("{}.{:03}", v / 1000, v % 1000)
+}
+
+/// Fixed-point tenths of a percent formatted as `D.D%`.
+fn pct10(part: u64, total: u64) -> String {
+    if total == 0 {
+        return "-".to_string();
+    }
+    let p = part * 1000 / total;
+    format!("{}.{}%", p / 10, p % 10)
+}
+
+/// Renders rows as an aligned ASCII table: the first column
+/// left-aligned, the rest right-aligned, a `-` rule under the header.
+fn table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut w: Vec<usize> = header.iter().map(String::len).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            w[i] = w[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut line = |cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(&format!("{cell:<width$}", width = w[0]));
+            } else {
+                out.push_str(&format!("{cell:>width$}", width = w[i]));
+            }
+        }
+        out.push('\n');
+    };
+    line(header);
+    let rule: Vec<String> = (0..cols).map(|i| "-".repeat(w[i])).collect();
+    line(&rule);
+    for r in rows {
+        line(r);
+    }
+    out
+}
+
+/// Renders the per-cell CPI stacks: one row per (workload × engine),
+/// IPC plus each category's share of all commit slots, and the reuse
+/// credits.
+pub fn cpi_stack_table(t: &Trajectory) -> String {
+    let Some(first) = t.cells.iter().find(|c| !c.account.is_empty()) else {
+        return "(no CPI accounts in trajectory)\n".to_string();
+    };
+    let mut header: Vec<String> =
+        ["workload", "engine", "IPC"].iter().map(|s| s.to_string()).collect();
+    for (name, _) in &first.account {
+        header.push(name.clone());
+    }
+    header.push("credit_cycles".to_string());
+    header.push("credit_fetches".to_string());
+    let rows: Vec<Vec<String>> = t
+        .cells
+        .iter()
+        .map(|c| {
+            let total = c.total_slots();
+            let mut r = vec![c.workload.clone(), c.engine.clone(), milli(c.ipc_milli())];
+            for (name, _) in &first.account {
+                let v = c.account.iter().find(|(k, _)| k == name).map_or(0, |&(_, v)| v);
+                r.push(pct10(v, total));
+            }
+            r.push(c.credit_reuse_cycles.to_string());
+            r.push(c.credit_recon_fetches.to_string());
+            r
+        })
+        .collect();
+    table(&header, &rows)
+}
+
+/// Renders the speedup table: cycles and speedup vs the `BASE` cell of
+/// the same workload, with the reuse-coverage breakdown (grant rate per
+/// test, coverage of squashed instructions, credited cycles).
+pub fn speedup_table(t: &Trajectory) -> String {
+    let header: Vec<String> =
+        ["workload", "engine", "cycles", "speedup", "grants", "grant_rate", "coverage"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let rows: Vec<Vec<String>> = t
+        .cells
+        .iter()
+        .map(|c| {
+            let base = t
+                .cells
+                .iter()
+                .find(|b| b.workload == c.workload && b.engine == "BASE")
+                .map(|b| b.cycles);
+            let speedup = match base {
+                Some(b) if c.cycles > 0 => format!("{}x", milli(b * 1000 / c.cycles)),
+                _ => "-".to_string(),
+            };
+            vec![
+                c.workload.clone(),
+                c.engine.clone(),
+                c.cycles.to_string(),
+                speedup,
+                c.reuse_grants.to_string(),
+                pct10(c.reuse_grants, c.reuse_tests),
+                pct10(c.reuse_grants, c.squashed),
+            ]
+        })
+        .collect();
+    table(&header, &rows)
+}
+
+const SPARK: [char; 8] = [
+    '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}',
+];
+
+/// Renders one sparkline per sampled cell: instructions committed per
+/// interval, scaled to the cell's own maximum.
+pub fn sparklines(t: &Trajectory) -> String {
+    let mut out = String::new();
+    let label_w = t.cells.iter().map(|c| c.workload.len() + 1 + c.engine.len()).max().unwrap_or(0);
+    for c in &t.cells {
+        if c.samples.is_empty() {
+            continue;
+        }
+        let max = c.samples.iter().map(|s| s.insts).max().unwrap_or(0).max(1);
+        let line: String = c.samples.iter().map(|s| SPARK[(s.insts * 7 / max) as usize]).collect();
+        let label = format!("{}/{}", c.workload, c.engine);
+        out.push_str(&format!("{label:<label_w$}  {line}\n"));
+    }
+    if out.is_empty() {
+        out.push_str("(no samples in trajectory — rerun with --sample N)\n");
+    }
+    out
+}
+
+/// One detected regression vs the baseline trajectory.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Workload of the degraded cell.
+    pub workload: String,
+    /// Engine label of the degraded cell.
+    pub engine: String,
+    /// Which metric degraded (`"IPC"` or `"grant rate"`).
+    pub metric: &'static str,
+    /// Baseline value, in thousandths.
+    pub old_milli: u64,
+    /// Current value, in thousandths.
+    pub new_milli: u64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "REGRESSION {}/{}: {} {} -> {}",
+            self.workload,
+            self.engine,
+            self.metric,
+            milli(self.old_milli),
+            milli(self.new_milli)
+        )
+    }
+}
+
+/// Compares `new` against the `old` baseline trajectory: a cell
+/// regresses when its IPC or reuse-grant rate falls more than
+/// `threshold_pct` percent below the baseline cell with the same
+/// (workload, engine). Cells present on only one side are ignored —
+/// adding or retiring cells is not a regression.
+pub fn regressions(new: &Trajectory, old: &Trajectory, threshold_pct: u64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (i, c) in new.cells.iter().enumerate() {
+        // (workload, engine) is not unique: ablation grids rerun the same
+        // engine label under different simulator configs. Pair the k-th
+        // duplicate on each side so identical trajectories always pass.
+        let same = |d: &&CellRecord| d.workload == c.workload && d.engine == c.engine;
+        let ord = new.cells[..i].iter().filter(|d| same(d)).count();
+        let Some(b) = old.cells.iter().filter(same).nth(ord) else {
+            continue;
+        };
+        let degraded = |new_v: u64, old_v: u64| new_v * 100 < old_v * (100 - threshold_pct);
+        if degraded(c.ipc_milli(), b.ipc_milli()) {
+            out.push(Regression {
+                workload: c.workload.clone(),
+                engine: c.engine.clone(),
+                metric: "IPC",
+                old_milli: b.ipc_milli(),
+                new_milli: c.ipc_milli(),
+            });
+        }
+        if degraded(c.grant_rate_milli(), b.grant_rate_milli()) {
+            out.push(Regression {
+                workload: c.workload.clone(),
+                engine: c.engine.clone(),
+                metric: "grant rate",
+                old_milli: b.grant_rate_milli(),
+                new_milli: c.grant_rate_milli(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the full report (CPI stacks, speedups, sparklines) for one
+/// trajectory.
+pub fn render_report(t: &Trajectory) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trajectory: {} cells, scale {}, root seed {}\n\n",
+        t.cells.len(),
+        if t.scale.is_empty() { "?" } else { &t.scale },
+        if t.root_seed.is_empty() { "?" } else { &t.root_seed },
+    ));
+    out.push_str("== CPI stacks (share of commit slots) ==\n");
+    out.push_str(&cpi_stack_table(t));
+    out.push_str("\n== Speedup vs BASE ==\n");
+    out.push_str(&speedup_table(t));
+    out.push_str("\n== IPC per sample interval ==\n");
+    out.push_str(&sparklines(t));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parses_the_trajectory_subset() {
+        let v = Json::parse(r#"{"a":1,"b":[true,null,"x\"yA"],"c":{"d":18446744073709551615}}"#)
+            .unwrap();
+        assert_eq!(v.field_u64("a"), 1);
+        assert_eq!(
+            v.get("b"),
+            Some(&Json::Arr(vec![Json::Bool(true), Json::Null, Json::Str("x\"yA".to_string()),]))
+        );
+        assert_eq!(v.get("c").unwrap().field_u64("d"), u64::MAX);
+        assert!(Json::parse("{\"a\":1} junk").unwrap_err().contains("trailing"));
+        assert!(Json::parse("-3").unwrap_err().contains("unsigned"));
+        assert!(Json::parse("1.5").unwrap_err().contains("integer"));
+        assert!(Json::parse("{\"a\"").is_err());
+    }
+
+    fn fixture() -> String {
+        let mut s = String::new();
+        s.push_str(
+            "{\"type\":\"meta\",\"root_seed\":\"0x4d535352\",\"scale\":\"test\",\"cells\":2}\n",
+        );
+        s.push_str(concat!(
+            "{\"type\":\"cell\",\"id\":0,\"workload\":\"w\",\"suite\":\"micro\",",
+            "\"engine\":\"BASE\",\"seed\":\"0x1\",\"stats\":{\"cycles\":2000,",
+            "\"committed_instructions\":1000,\"mispredictions\":10,",
+            "\"squashed_instructions\":100,\"engine\":{\"reuse_tests\":0,\"reuse_grants\":0},",
+            "\"account\":{\"base\":1000,\"frontend_empty\":2000,\"squash_branch\":3000,",
+            "\"mem_stall\":1000,\"store_forward_pending\":0,\"backend_pressure\":1000,",
+            "\"reuse_verify\":0,\"credit_reuse_cycles\":0,\"credit_recon_fetches\":0}}}\n",
+        ));
+        s.push_str(concat!(
+            "{\"type\":\"event\",\"cell\":0,\"ev\":{\"ev\":\"sample\",\"cycle\":1000,",
+            "\"insts\":400,\"mispredicts\":4,\"squashed\":40,\"grants\":0,",
+            "\"l1_misses\":2,\"squash_slots\":1500}}\n",
+        ));
+        s.push_str(concat!(
+            "{\"type\":\"cell\",\"id\":1,\"workload\":\"w\",\"suite\":\"micro\",",
+            "\"engine\":\"RCVG_2_64\",\"seed\":\"0x2\",\"stats\":{\"cycles\":1000,",
+            "\"committed_instructions\":1000,\"mispredictions\":10,",
+            "\"squashed_instructions\":100,\"engine\":{\"reuse_tests\":80,\"reuse_grants\":60},",
+            "\"account\":{\"base\":1000,\"frontend_empty\":1000,\"squash_branch\":1000,",
+            "\"mem_stall\":500,\"store_forward_pending\":0,\"backend_pressure\":500,",
+            "\"reuse_verify\":0,\"credit_reuse_cycles\":70,\"credit_recon_fetches\":5}}}\n",
+        ));
+        s.push_str(concat!(
+            "{\"type\":\"event\",\"cell\":1,\"ev\":{\"ev\":\"sample\",\"cycle\":1000,",
+            "\"insts\":1000,\"mispredicts\":10,\"squashed\":100,\"grants\":60,",
+            "\"l1_misses\":1,\"squash_slots\":1000}}\n",
+        ));
+        s.push_str("{\"type\":\"experiment\",\"name\":\"t\",\"cells\":[0,1]}\n");
+        s
+    }
+
+    #[test]
+    fn trajectory_parses_cells_accounts_and_samples() {
+        let t = Trajectory::parse(&fixture()).unwrap();
+        assert_eq!(t.scale, "test");
+        assert_eq!(t.cells.len(), 2);
+        let b = &t.cells[0];
+        assert_eq!((b.engine.as_str(), b.cycles, b.insts), ("BASE", 2000, 1000));
+        assert_eq!(b.account.len(), 7, "credits split out of the account categories");
+        assert_eq!(b.total_slots(), 8000);
+        assert_eq!(b.samples.len(), 1);
+        assert_eq!(b.samples[0].insts, 400);
+        let m = &t.cells[1];
+        assert_eq!(m.credit_reuse_cycles, 70);
+        assert_eq!(m.ipc_milli(), 1000);
+        assert_eq!(m.grant_rate_milli(), 750);
+    }
+
+    #[test]
+    fn report_renders_stacks_speedups_and_sparklines() {
+        let t = Trajectory::parse(&fixture()).unwrap();
+        let r = render_report(&t);
+        assert!(r.contains("squash_branch"), "category columns present:\n{r}");
+        assert!(r.contains("37.5%"), "BASE squash share 3000/8000:\n{r}");
+        assert!(r.contains("2.000x"), "RCVG speedup 2000/1000 cycles:\n{r}");
+        assert!(r.contains("w/RCVG_2_64"), "sparkline labels:\n{r}");
+        assert!(r.contains('\u{2588}'), "sparkline glyphs:\n{r}");
+        // IPC column: 1000 insts / 2000 cycles.
+        assert!(r.contains("0.500"), "BASE IPC:\n{r}");
+    }
+
+    #[test]
+    fn regressions_trip_beyond_threshold_only() {
+        let old = Trajectory::parse(&fixture()).unwrap();
+        let mut new = old.clone();
+        assert!(regressions(&new, &old, 5).is_empty(), "identical trajectories pass");
+        // Degrade the MSSR cell's IPC by 50% and its grant rate to 0.
+        new.cells[1].cycles = 2000;
+        new.cells[1].reuse_grants = 0;
+        let r = regressions(&new, &old, 5);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].metric, "IPC");
+        assert_eq!(r[1].metric, "grant rate");
+        assert!(r[0].to_string().starts_with("REGRESSION w/RCVG_2_64: IPC 1.000 -> 0.500"));
+        // Within threshold: a 3% IPC dip under a 5% threshold passes.
+        let mut mild = old.clone();
+        mild.cells[1].insts = 970;
+        assert!(regressions(&mild, &old, 5).is_empty());
+        // Cells only on one side are ignored.
+        let mut fewer = old.clone();
+        fewer.cells.pop();
+        assert!(regressions(&fewer, &old, 5).is_empty());
+        assert!(regressions(&old, &fewer, 5).is_empty());
+        // Duplicate (workload, engine) cells — ablation reruns under a
+        // different simulator config — pair by ordinal, so identical
+        // trajectories with duplicates pass, and degrading only the
+        // second duplicate flags exactly one regression.
+        let mut dup = old.clone();
+        let mut ablated = dup.cells[1].clone();
+        ablated.cycles = 1200;
+        dup.cells.push(ablated);
+        assert!(regressions(&dup, &dup.clone(), 5).is_empty());
+        let mut dup_bad = dup.clone();
+        dup_bad.cells[2].cycles = 2400;
+        assert_eq!(regressions(&dup_bad, &dup, 5).len(), 1);
+    }
+}

@@ -37,7 +37,7 @@
 //!   iterations; with the paper's drain window that would suspend capture
 //!   almost continuously.)
 
-use mssr_isa::Pc;
+use mssr_isa::{Opcode, Pc};
 use mssr_sim::{
     EngineCtx, EngineStats, FlushKind, PredBlock, RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery,
     SeqNum, SquashEvent,
@@ -561,6 +561,17 @@ impl ReuseEngine for MultiStreamReuse {
         // window; drop everything (streams captured after the reset
         // request but before the end-of-cycle application included).
         self.invalidate_all(ctx);
+    }
+
+    fn reuse_credit_latency(&self, op: Opcode, pipeline_estimate: u64) -> u64 {
+        // Under load verification a reused load still re-executes (the
+        // grant only unblocks dependents earlier, commit waits for the
+        // verify), so the grant recovers no execution latency.
+        if op == Opcode::Ld && self.cfg.mem_policy == MemCheckPolicy::LoadVerification {
+            0
+        } else {
+            pipeline_estimate
+        }
     }
 
     fn stats(&self) -> EngineStats {

@@ -360,6 +360,16 @@ impl ReuseEngine for RegisterIntegration {
         }
     }
 
+    fn reuse_credit_latency(&self, op: Opcode, pipeline_estimate: u64) -> u64 {
+        // As for MSSR: a verified reused load re-executes, recovering no
+        // execution latency.
+        if op == Opcode::Ld && self.cfg.mem_policy == MemCheckPolicy::LoadVerification {
+            0
+        } else {
+            pipeline_estimate
+        }
+    }
+
     fn stats(&self) -> EngineStats {
         let mut s = self.stats.clone();
         s.extra.push(("ri_occupancy".to_string(), self.occupancy() as u64));

@@ -45,6 +45,11 @@
 //!   same-block store that knows its address but not its data; such a
 //!   load must wait ([`Forward::Pending`](crate::lsq::Forward)) rather
 //!   than read stale memory.
+//! * [`Rule::CpiConservation`] — the CPI-stack account attributes every
+//!   commit slot exactly once: `sum(categories) == cycles × commit_width`,
+//!   and the reuse credit never exceeds the squash-penalty slots it is
+//!   clamped against. A miscounted slot means a cycle was double-blamed
+//!   or silently dropped, which would make every CPI stack a lie.
 //!
 //! The rule bodies are pure functions over iterators, so tests can seed
 //! violating states directly (a leaked register, a reordered queue, a
@@ -52,6 +57,7 @@
 
 use mssr_isa::NUM_ARCH_REGS;
 
+use crate::account::{Category, CycleAccount};
 use crate::lsq::{LqEntry, SqEntry};
 use crate::types::{Rgid, SeqNum};
 
@@ -80,6 +86,10 @@ pub enum Rule {
     /// An issued load despite an older address-known/data-pending store
     /// to the same block.
     ForwardPending,
+    /// The CPI-stack account lost or invented commit slots
+    /// (`sum(categories) != cycles × commit_width`), or its reuse credit
+    /// exceeds the squash-penalty slots it is clamped against.
+    CpiConservation,
 }
 
 impl Rule {
@@ -96,6 +106,7 @@ impl Rule {
             Rule::ReusedLoadVerify => "reused-load-verify",
             Rule::LoadIssuedAddr => "load-issued-addr",
             Rule::ForwardPending => "forward-pending",
+            Rule::CpiConservation => "cpi-conservation",
         }
     }
 }
@@ -295,6 +306,40 @@ pub fn check_lsq<'a>(
     None
 }
 
+/// Checks the CPI-stack conservation law: the account attributes exactly
+/// `cycles × commit_width` commit slots across its categories, and its
+/// reuse credit stays within the squash-penalty slots it is clamped to.
+pub fn check_cpi_account(
+    account: &CycleAccount,
+    cycles: u64,
+    commit_width: u64,
+) -> Option<Violation> {
+    let expect = cycles * commit_width;
+    let got = account.total_slots();
+    if got != expect {
+        let (verb, n) =
+            if got > expect { ("invented", got - expect) } else { ("lost", expect - got) };
+        return Some(Violation::new(
+            Rule::CpiConservation,
+            format!(
+                "{n} commit slot(s) {verb}: account holds {got} slots \
+                 vs {cycles} cycles \u{d7} width {commit_width} = {expect}"
+            ),
+        ));
+    }
+    let cap = account.get(Category::SquashBranch);
+    if account.credit_reuse_cycles > cap {
+        return Some(Violation::new(
+            Rule::CpiConservation,
+            format!(
+                "reuse credit {} exceeds the {cap} squash-penalty slot(s) it is clamped to",
+                account.credit_reuse_cycles
+            ),
+        ));
+    }
+    None
+}
+
 /// How often the debug-build checker sweeps the machine state, from the
 /// `MSSR_CHECK_STRIDE` environment variable (read once): `1` (the
 /// default) checks every cycle, `N` every N cycles, `0` disables the
@@ -387,6 +432,28 @@ mod tests {
         let v = check_commit_entry(SeqNum::new(9), true, true).unwrap();
         assert_eq!(v.rule, Rule::ReusedLoadVerify);
         assert!(v.detail.contains("before commit"));
+    }
+
+    #[test]
+    fn cpi_account_balances_slots_and_credit() {
+        let mut a = CycleAccount::default();
+        a.accrue(5, Category::MemStall, 8);
+        a.accrue(0, Category::SquashBranch, 8);
+        assert!(check_cpi_account(&a, 2, 8).is_none());
+        // One slot too few attributed (an uncounted cycle).
+        let lost = check_cpi_account(&a, 3, 8).unwrap();
+        assert_eq!(lost.rule, Rule::CpiConservation);
+        assert!(lost.detail.contains("lost"), "{}", lost.detail);
+        // One slot too many (a double-blamed cycle).
+        let invented = check_cpi_account(&a, 1, 8).unwrap();
+        assert!(invented.detail.contains("invented"), "{}", invented.detail);
+        // Credit within the squash-penalty cap is fine; beyond it is not.
+        a.credit_reuse_cycles = 8;
+        assert!(check_cpi_account(&a, 2, 8).is_none());
+        a.credit_reuse_cycles = 9;
+        let over = check_cpi_account(&a, 2, 8).unwrap();
+        assert_eq!(over.rule, Rule::CpiConservation);
+        assert!(over.detail.contains("exceeds"), "{}", over.detail);
     }
 
     #[test]

@@ -251,6 +251,18 @@ pub trait ReuseEngine {
     /// and must be dropped.
     fn on_rgid_reset(&mut self, ctx: &mut EngineCtx<'_>) {}
 
+    /// How many execution-latency cycles a reuse grant for `op` saves,
+    /// credited to the CPI-stack account
+    /// ([`CycleAccount::credit_reuse`](crate::account::CycleAccount)).
+    /// The pipeline passes its own latency estimate (functional-unit
+    /// latency, L1 latency for loads); the default accepts it. Engines
+    /// override this to discount grants that recover less — e.g. a
+    /// reused load under the load-verification policy re-executes the
+    /// load anyway, so it saves nothing.
+    fn reuse_credit_latency(&self, op: Opcode, pipeline_estimate: u64) -> u64 {
+        pipeline_estimate
+    }
+
     /// Engine-side statistics snapshot.
     fn stats(&self) -> EngineStats {
         EngineStats::default()

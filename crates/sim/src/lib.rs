@@ -47,6 +47,7 @@
 //! # }
 //! ```
 
+mod account;
 mod bpred;
 mod check;
 mod config;
@@ -60,14 +61,16 @@ mod mem;
 mod pipeline;
 mod rename;
 mod rob;
+mod sample;
 mod stats;
 mod trace;
 mod types;
 
+pub use account::{Category, CycleAccount};
 pub use bpred::{BranchPredictor, PredMeta};
 pub use check::{
-    check_age_order, check_commit_entry, check_conservation, check_lsq, check_reuse_safety,
-    check_rgids, Rule, Violation,
+    check_age_order, check_commit_entry, check_conservation, check_cpi_account, check_lsq,
+    check_reuse_safety, check_rgids, Rule, Violation,
 };
 pub use config::{CacheConfig, ConfigError, SimConfig};
 pub use engine::{
@@ -81,6 +84,7 @@ pub use mem::{Cache, Hierarchy, MainMemory};
 pub use pipeline::Simulator;
 pub use rename::{FreeList, Prf, Rat, RgidAlloc};
 pub use rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
+pub use sample::{Sample, SampleRing, Sampler, DEFAULT_RING_CAPACITY};
 pub use stats::{json_escape, EngineStats, SimStats};
 pub use trace::{BufferSink, JsonLinesSink, RingSink, TraceEvent, TraceKind, TraceSink};
 pub use types::{FlushKind, FuClass, PhysReg, Rgid, SeqNum};

@@ -12,6 +12,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use mssr_isa::{ArchReg, Inst, Opcode, Pc, Program};
 
+use crate::account::{Category, CycleAccount};
 use crate::bpred::{BranchPredictor, PredMeta};
 use crate::check::{self, Rule, Violation};
 use crate::config::SimConfig;
@@ -25,6 +26,7 @@ use crate::lsq::{Forward, LqEntry, Lsq, SqEntry};
 use crate::mem::{Hierarchy, MainMemory};
 use crate::rename::{FreeList, Prf, Rat, RgidAlloc};
 use crate::rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
+use crate::sample::{Sample, SampleRing, Sampler, DEFAULT_RING_CAPACITY};
 use crate::stats::SimStats;
 use crate::trace::{TraceEvent, TraceKind, TraceSink, Tracer};
 use crate::types::{FlushKind, FuClass, PhysReg, Rgid, SeqNum};
@@ -122,6 +124,14 @@ pub struct Simulator {
     rgid_overflows_total: u64,
     rgid_resets_total: u64,
     tracer: Tracer,
+
+    account: CycleAccount,
+    /// After a squash, idle-ROB cycles are blamed on the flush kind until
+    /// an instruction from the refilled (post-squash) stream — `seq >=`
+    /// the stored boundary — commits.
+    refill_blame: Option<(FlushKind, SeqNum)>,
+    sampler: Sampler,
+    grants_total: u64,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -180,6 +190,10 @@ impl Simulator {
             rgid_overflows_total: 0,
             rgid_resets_total: 0,
             tracer: Tracer::default(),
+            account: CycleAccount::default(),
+            refill_blame: None,
+            sampler: Sampler::new(0, DEFAULT_RING_CAPACITY),
+            grants_total: 0,
             cycle: 0,
             next_seq: 1,
             squash_ctr: 0,
@@ -299,6 +313,43 @@ impl Simulator {
         self.tracer.take_sink()
     }
 
+    /// Restricts which event kinds reach the trace sink: a bitwise OR of
+    /// [`TraceKind::bit`] values. The default passes everything. The
+    /// harness's `--sample N` flag uses this to attach a sink masked to
+    /// [`TraceKind::Sample`] only, emitting the time series without the
+    /// per-instruction event stream.
+    pub fn set_trace_mask(&mut self, mask: u64) {
+        self.tracer.set_mask(mask);
+    }
+
+    /// Enables interval sampling: every `interval` cycles a [`Sample`] of
+    /// statistics deltas is recorded into the sample ring and emitted as
+    /// a [`TraceEvent::Sample`] if a trace sink is attached. `0` (the
+    /// default) disables sampling. Resets any previously recorded
+    /// samples.
+    pub fn set_sample_interval(&mut self, interval: u64) {
+        self.sampler = Sampler::new(interval, DEFAULT_RING_CAPACITY);
+    }
+
+    /// The interval samples recorded so far (empty unless
+    /// [`Simulator::set_sample_interval`] enabled sampling).
+    pub fn samples(&self) -> &SampleRing {
+        self.sampler.ring()
+    }
+
+    /// The CPI-stack account accumulated so far (see [`crate::account`]).
+    pub fn account(&self) -> &CycleAccount {
+        &self.account
+    }
+
+    /// Corrupts the CPI-stack account by one slot. Test-only hook used by
+    /// the invariant suite to prove the conservation rule trips; never
+    /// call it anywhere else.
+    #[doc(hidden)]
+    pub fn corrupt_account_for_test(&mut self) {
+        self.account.slots[Category::Base.index()] += 1;
+    }
+
     /// Runs until `halt` retires or a configured bound is reached,
     /// returning the final statistics.
     pub fn run(&mut self) -> SimStats {
@@ -327,6 +378,7 @@ impl Simulator {
         s.l2_hits = self.hier.l2.hits();
         s.l2_misses = self.hier.l2.misses();
         s.engine = self.engine.stats();
+        s.account = self.account;
         // RGID overflow/reset accounting is authoritative on the pipeline
         // side (it owns the counters); engines need not track it.
         s.engine.rgid_overflows = self.rgid_overflows_total;
@@ -341,8 +393,13 @@ impl Simulator {
 
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
-        self.do_commit();
+        let (committed, blame) = self.do_commit();
         if self.halted {
+            // The final partial cycle (the one that retired `halt` or hit
+            // an instruction bound) is never counted — neither in the
+            // cycle counter nor in the account — which keeps the
+            // conservation law `sum(slots) == cycles × commit_width`
+            // exact.
             return;
         }
         self.do_writeback();
@@ -351,7 +408,11 @@ impl Simulator {
         self.do_fetch();
         self.handle_flushes();
         self.apply_rgid_reset();
+        self.account.accrue(committed, blame, self.cfg.commit_width as u64);
         self.cycle += 1;
+        if self.sampler.due(self.cycle) {
+            self.take_sample();
+        }
         #[cfg(debug_assertions)]
         {
             let stride = check::check_stride();
@@ -361,28 +422,72 @@ impl Simulator {
         }
     }
 
+    fn take_sample(&mut self) {
+        let cumulative = Sample {
+            cycle: self.cycle,
+            insts: self.stats.committed_instructions,
+            mispredicts: self.stats.mispredictions,
+            squashed: self.stats.squashed_instructions,
+            grants: self.grants_total,
+            l1_misses: self.hier.l1.misses(),
+            squash_slots: self.account.get(Category::SquashBranch),
+        };
+        let delta = self.sampler.record(cumulative);
+        self.tracer.emit(TraceEvent::Sample(delta));
+    }
+
     // ------------------------------------------------------------------
     // Commit
     // ------------------------------------------------------------------
 
-    fn do_commit(&mut self) {
+    /// Commits up to `commit_width` instructions and reports the cycle's
+    /// slot attribution: how many slots retired an instruction, and the
+    /// [`Category`] the remaining idle slots are blamed on.
+    fn do_commit(&mut self) -> (u64, Category) {
+        let mut committed: u64 = 0;
         for _ in 0..self.cfg.commit_width {
-            let Some(head) = self.rob.head() else { break };
+            let Some(head) = self.rob.head() else {
+                // The ROB ran dry: a recently squashed pipeline is still
+                // refilling (blame the flush), otherwise the frontend
+                // simply had not delivered.
+                let blame = match self.refill_blame {
+                    Some((FlushKind::BranchMispredict, _)) => Category::SquashBranch,
+                    Some((FlushKind::MemoryOrder, _)) => Category::MemStall,
+                    Some((FlushKind::ReuseVerification, _)) => Category::ReuseVerify,
+                    None => Category::FrontendEmpty,
+                };
+                return (committed, blame);
+            };
             if !head.completed || head.verify_pending {
-                break;
+                let blame = if head.verify_pending {
+                    Category::ReuseVerify
+                } else if head.fwd_stalled {
+                    Category::StoreForwardPending
+                } else if head.inst.is_load() || head.inst.is_store() {
+                    Category::MemStall
+                } else {
+                    Category::BackendPressure
+                };
+                return (committed, blame);
             }
             #[cfg(debug_assertions)]
             if let Some(v) = check::check_commit_entry(head.seq, head.reused, head.verify_pending) {
                 panic!("invariant violation at cycle {}: {v}", self.cycle);
             }
             let e = self.rob.pop_head().expect("head exists");
+            // The first commit from the post-squash stream ends the
+            // refill window.
+            if self.refill_blame.is_some_and(|(_, boundary)| e.seq >= boundary) {
+                self.refill_blame = None;
+            }
+            committed += 1;
             self.stats.committed_instructions += 1;
             if self.tracer.on() {
                 self.tracer.emit(TraceEvent::Commit { cycle: self.cycle, seq: e.seq, pc: e.pc });
             }
             if e.inst.is_halt() {
                 self.halted = true;
-                return;
+                return (committed, Category::Base);
             }
             if e.inst.is_store() {
                 let (addr, data) = self.lsq.commit_store(e.seq);
@@ -408,9 +513,11 @@ impl Simulator {
             self.engine.on_commit(1, &mut ectx!(self));
             if self.stats.committed_instructions >= self.cfg.max_insts {
                 self.halted = true;
-                return;
+                return (committed, Category::Base);
             }
         }
+        // A full-width commit has no idle slots; the blame is unused.
+        (committed, Category::Base)
     }
 
     // ------------------------------------------------------------------
@@ -577,6 +684,7 @@ impl Simulator {
                     // pre-store value. Requeue the load (ready — it was
                     // just selected) and retry next cycle.
                     self.stats.store_forward_stalls += 1;
+                    self.rob.get_mut(seq).expect("entry exists").fwd_stalled = true;
                     self.iq_mem.insert(seq, FuClass::Lsu, Vec::new());
                     return;
                 }
@@ -594,6 +702,7 @@ impl Simulator {
             let e = self.rob.get_mut(seq).expect("entry exists");
             e.pending_value = Some(value);
             e.mem_addr = Some(addr);
+            e.fwd_stalled = false;
             self.completions.push(Reverse((self.cycle + lat, seq.value())));
         } else {
             // Store: address and data become known together.
@@ -699,6 +808,24 @@ impl Simulator {
             let mut verify_pending = false;
 
             if let Some(g) = grant {
+                // Credit the execution latency this grant skipped to the
+                // account (clamped there against the accrued
+                // squash-penalty slots); the engine can discount it, e.g.
+                // verified loads re-execute and recover nothing.
+                let estimate = match inst.op() {
+                    Opcode::Mul => self.cfg.mul_latency,
+                    Opcode::Div | Opcode::Rem => self.cfg.div_latency,
+                    Opcode::Ld => self.cfg.l1d.latency,
+                    _ => 1,
+                };
+                let credit = self.engine.reuse_credit_latency(inst.op(), estimate);
+                self.account.credit_reuse(credit);
+                if g.rgid.is_some() {
+                    // The grant forwarded a reconvergence stream: a
+                    // fast-path fetch in the paper's terms.
+                    self.account.credit_recon_fetches += 1;
+                }
+                self.grants_total += 1;
                 if paranoid_enabled() && !inst.is_load() {
                     // Debug oracle: a sound ALU grant implies the granted
                     // register holds exactly what re-executing the
@@ -832,6 +959,7 @@ impl Simulator {
                 completed,
                 reused,
                 verify_pending,
+                fwd_stalled: false,
                 pending_value: None,
                 branch,
                 mem_addr: None,
@@ -1129,7 +1257,10 @@ impl Simulator {
             }
         }
 
-        // Redirect the frontend.
+        // Redirect the frontend. Until an instruction of the refilled
+        // stream (seq >= the current rename boundary) commits, idle-ROB
+        // cycles are the squash's penalty and are blamed on its kind.
+        self.refill_blame = Some((f.kind, SeqNum::new(self.next_seq)));
         self.fetch_pc = Some(f.redirect);
         self.fetch_resume_at = self.cycle + 1;
         // A squash is the operation that rearranges register ownership;
@@ -1220,6 +1351,15 @@ impl Simulator {
         if let Some(v) = check::check_lsq(self.lsq.loads(), self.lsq.stores()) {
             out.push(v);
         }
+        // The account accrues immediately before the cycle counter
+        // increments, so the law holds exactly at every sweep point: the
+        // per-cycle sweep (after the increment) and the post-squash
+        // thorough sweep (mid-cycle, before this cycle's accrual).
+        if let Some(v) =
+            check::check_cpi_account(&self.account, self.cycle, self.cfg.commit_width as u64)
+        {
+            out.push(v);
+        }
         out
     }
 
@@ -1286,6 +1426,8 @@ impl Simulator {
         }
         fl.total_holds() == live_count + self.engine.reserved_hold_count()
             && check::check_lsq(self.lsq.loads(), self.lsq.stores()).is_none()
+            && check::check_cpi_account(&self.account, self.cycle, self.cfg.commit_width as u64)
+                .is_none()
     }
 
     /// Panics on the first invariant violation (debug-build backstop).

@@ -67,6 +67,13 @@ pub struct RobEntry {
     /// A reused load that has not yet passed its verification
     /// re-execution; blocks commit.
     pub verify_pending: bool,
+    /// The instruction is a load requeued behind an older same-block
+    /// store whose data is not yet known
+    /// ([`Forward::Pending`](crate::lsq::Forward)); cleared when the load
+    /// eventually executes. Read by the CPI-stack accounting to blame
+    /// stalled commit slots on store-forwarding rather than the memory
+    /// system at large.
+    pub fwd_stalled: bool,
     /// Result value computed at issue, applied to the PRF at writeback.
     pub pending_value: Option<u64>,
     /// Branch state for control instructions.
@@ -192,6 +199,7 @@ mod tests {
             completed: false,
             reused: false,
             verify_pending: false,
+            fwd_stalled: false,
             pending_value: None,
             branch: None,
             mem_addr: None,

@@ -1,5 +1,7 @@
 //! Simulation statistics.
 
+use crate::account::CycleAccount;
+
 /// Counters maintained by a reuse engine.
 ///
 /// The same struct serves all engines; counters an engine does not use
@@ -96,7 +98,24 @@ impl EngineStats {
             out.push_str(&v.to_string());
         }
         out.push_str("],\"extra\":{");
-        for (i, (k, v)) in self.extra.iter().enumerate() {
+        // `extra` is an append-only list; a key pushed twice (e.g. a
+        // counter re-exported after a stats refresh) must still yield
+        // valid JSON with unique keys. Last write wins, preserving the
+        // position of the first occurrence so key order stays stable.
+        let mut emitted: Vec<&str> = Vec::with_capacity(self.extra.len());
+        for (k, _) in &self.extra {
+            if !emitted.iter().any(|e| e == k) {
+                emitted.push(k);
+            }
+        }
+        for (i, k) in emitted.iter().enumerate() {
+            let v = self
+                .extra
+                .iter()
+                .rev()
+                .find(|(key, _)| key == k)
+                .map(|&(_, v)| v)
+                .expect("key came from extra");
             if i > 0 {
                 out.push(',');
             }
@@ -135,7 +154,14 @@ pub struct SimStats {
     pub committed_branches: u64,
     /// Conditional branches retired.
     pub committed_cond_branches: u64,
-    /// Mispredictions (branch-direction or target) that caused a flush.
+    /// Branch mispredictions (wrong direction or target) — the
+    /// *architectural* mispredict count, and the numerator of
+    /// [`SimStats::mispredict_rate`] and [`SimStats::mpki`]. Distinct in
+    /// meaning from [`SimStats::flushes_branch`], which counts the
+    /// *pipeline flushes* recovery performed: today each misprediction
+    /// costs exactly one flush, but a recovery scheme that coalesces or
+    /// defers flushes would lower `flushes_branch` without changing this
+    /// counter, so derived prediction-accuracy metrics must use this one.
     pub mispredictions: u64,
     /// Instructions entered into the ROB (including squashed ones).
     pub renamed_instructions: u64,
@@ -171,6 +197,8 @@ pub struct SimStats {
     pub snoops: u64,
     /// Engine-side counters.
     pub engine: EngineStats,
+    /// The CPI-stack cycle account (see [`crate::account`]).
+    pub account: CycleAccount,
 }
 
 impl SimStats {
@@ -183,21 +211,25 @@ impl SimStats {
         }
     }
 
-    /// Fraction of retired conditional branches that were mispredicted.
+    /// Fraction of retired conditional branches that were mispredicted
+    /// (from [`SimStats::mispredictions`], the architectural count — not
+    /// the flush count).
     pub fn mispredict_rate(&self) -> f64 {
         if self.committed_cond_branches == 0 {
             0.0
         } else {
-            self.flushes_branch as f64 / self.committed_cond_branches as f64
+            self.mispredictions as f64 / self.committed_cond_branches as f64
         }
     }
 
-    /// Mispredictions per kilo-instruction.
+    /// Mispredictions per kilo-instruction (from
+    /// [`SimStats::mispredictions`], the architectural count — not the
+    /// flush count).
     pub fn mpki(&self) -> f64 {
         if self.committed_instructions == 0 {
             0.0
         } else {
-            1000.0 * self.flushes_branch as f64 / self.committed_instructions as f64
+            1000.0 * self.mispredictions as f64 / self.committed_instructions as f64
         }
     }
 
@@ -208,6 +240,16 @@ impl SimStats {
             0.0
         } else {
             self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// L2 hit rate over L1 misses.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
         }
     }
 
@@ -258,6 +300,8 @@ impl SimStats {
         field("snoops", self.snoops);
         out.push_str(",\"engine\":");
         out.push_str(&self.engine.to_json());
+        out.push_str(",\"account\":");
+        out.push_str(&self.account.to_json());
         out.push('}');
         out
     }
@@ -300,11 +344,19 @@ impl SimStats {
         line(
             "memory",
             format!(
-                "{} loads, {} stores, {} forwarded, L1 hit {:.1}%",
+                "{} loads, {} stores, {} forwarded ({} stalled pending data)",
                 self.committed_loads,
                 self.committed_stores,
                 self.store_forwards,
-                100.0 * self.l1_hit_rate()
+                self.store_forward_stalls
+            ),
+        );
+        line(
+            "caches",
+            format!(
+                "L1 hit {:.1}%, L2 hit {:.1}%",
+                100.0 * self.l1_hit_rate(),
+                100.0 * self.l2_hit_rate()
             ),
         );
         line("squashed instructions", format!("{}", self.squashed_instructions));
@@ -327,6 +379,19 @@ impl SimStats {
                     self.engine.streams_captured
                 ),
             );
+            // Bucket i counts stream distance i + 1; the last bucket
+            // absorbs the tail (see EngineStats::record_distance).
+            let buckets: Vec<String> = self
+                .engine
+                .stream_distance
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let tail = i == self.engine.stream_distance.len() - 1;
+                    format!("{}{}:{v}", i as u64 + 1, if tail { "+" } else { "" })
+                })
+                .collect();
+            line("stream distance", buckets.join(" "));
         }
         out
     }
@@ -342,12 +407,29 @@ mod tests {
             cycles: 100,
             committed_instructions: 250,
             committed_cond_branches: 50,
+            mispredictions: 5,
             flushes_branch: 5,
             ..SimStats::default()
         };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
         assert!((s.mpki() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_mispredict_metrics_use_mispredictions_not_flushes() {
+        // Pin the two counters apart: `mispredictions` is the
+        // architectural count the derived metrics divide; `flushes_branch`
+        // is the pipeline-flush count and must not leak into them.
+        let s = SimStats {
+            committed_instructions: 1000,
+            committed_cond_branches: 100,
+            mispredictions: 10,
+            flushes_branch: 999,
+            ..SimStats::default()
+        };
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+        assert!((s.mpki() - 10.0).abs() < 1e-12);
     }
 
     #[test]
@@ -368,6 +450,51 @@ mod tests {
         let r = with_reuse.report();
         assert!(r.contains("squash reuse"));
         assert!(r.contains("2 granted / 5 tested"));
+    }
+
+    #[test]
+    fn report_covers_forward_stalls_caches_and_distance_histogram() {
+        let mut s = SimStats {
+            cycles: 100,
+            committed_instructions: 250,
+            store_forwards: 7,
+            store_forward_stalls: 3,
+            l1_hits: 90,
+            l1_misses: 10,
+            l2_hits: 8,
+            l2_misses: 2,
+            ..SimStats::default()
+        };
+        s.engine.reuse_tests = 4;
+        s.engine.record_distance(1);
+        s.engine.record_distance(100);
+        let r = s.report();
+        assert!(r.contains("(3 stalled pending data)"), "store_forward_stalls: {r}");
+        assert!(r.contains("L1 hit 90.0%"), "L1 hit rate: {r}");
+        assert!(r.contains("L2 hit 80.0%"), "L2 hit rate: {r}");
+        assert!(r.contains("stream distance"), "histogram line: {r}");
+        assert!(r.contains("1:1 2:0 3:0 4:0 5:0 6:0 7:0 8+:1"), "bucket list: {r}");
+    }
+
+    #[test]
+    fn engine_extra_json_dedups_keys_last_write_wins() {
+        let mut e = EngineStats::default();
+        e.extra.push(("wpb_hits".into(), 1));
+        e.extra.push(("aligner_probes".into(), 5));
+        e.extra.push(("wpb_hits".into(), 9));
+        let j = e.to_json();
+        assert!(j.contains("\"extra\":{\"wpb_hits\":9,\"aligner_probes\":5}"), "{j}");
+        assert_eq!(j.matches("wpb_hits").count(), 1, "duplicate key must be emitted once");
+    }
+
+    #[test]
+    fn sim_stats_json_nests_the_account() {
+        let mut s = SimStats { cycles: 2, ..SimStats::default() };
+        s.account.accrue(3, crate::account::Category::MemStall, 8);
+        s.account.accrue(0, crate::account::Category::SquashBranch, 8);
+        let j = s.to_json();
+        assert!(j.contains("\"account\":{\"base\":3,"), "{j}");
+        assert!(j.ends_with("\"credit_reuse_cycles\":0,\"credit_recon_fetches\":0}}"), "{j}");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex};
 
 use mssr_isa::Pc;
 
+use crate::sample::Sample;
 use crate::types::{FlushKind, FuClass, SeqNum};
 
 /// One structured pipeline event.
@@ -109,6 +110,9 @@ pub enum TraceEvent {
         /// (reused loads under the load-verification policy, §3.8.3).
         verify: bool,
     },
+    /// The interval sampler took a snapshot: one interval's worth of
+    /// statistics deltas (see [`crate::sample`]).
+    Sample(Sample),
 }
 
 /// The event kinds, for counting and naming.
@@ -128,11 +132,13 @@ pub enum TraceKind {
     Squash,
     /// A [`TraceEvent::ReuseGrant`].
     ReuseGrant,
+    /// A [`TraceEvent::Sample`].
+    Sample,
 }
 
 impl TraceKind {
     /// Number of event kinds (size of per-kind counter arrays).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All kinds, in counter-index order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -143,6 +149,7 @@ impl TraceKind {
         TraceKind::Commit,
         TraceKind::Squash,
         TraceKind::ReuseGrant,
+        TraceKind::Sample,
     ];
 
     /// The kind's stable name, used as the `"ev"` field of the JSON
@@ -156,6 +163,7 @@ impl TraceKind {
             TraceKind::Commit => "commit",
             TraceKind::Squash => "squash",
             TraceKind::ReuseGrant => "reuse_grant",
+            TraceKind::Sample => "sample",
         }
     }
 
@@ -169,7 +177,13 @@ impl TraceKind {
             TraceKind::Commit => 4,
             TraceKind::Squash => 5,
             TraceKind::ReuseGrant => 6,
+            TraceKind::Sample => 7,
         }
+    }
+
+    /// The kind's bit in a [`Tracer`] event mask.
+    pub fn bit(self) -> u64 {
+        1 << self.index()
     }
 }
 
@@ -200,6 +214,7 @@ impl TraceEvent {
             TraceEvent::Commit { .. } => TraceKind::Commit,
             TraceEvent::Squash { .. } => TraceKind::Squash,
             TraceEvent::ReuseGrant { .. } => TraceKind::ReuseGrant,
+            TraceEvent::Sample(_) => TraceKind::Sample,
         }
     }
 
@@ -213,6 +228,7 @@ impl TraceEvent {
             | TraceEvent::Commit { cycle, .. }
             | TraceEvent::Squash { cycle, .. }
             | TraceEvent::ReuseGrant { cycle, .. } => cycle,
+            TraceEvent::Sample(s) => s.cycle,
         }
     }
 
@@ -255,6 +271,7 @@ impl TraceEvent {
                 seq.value(),
                 pc.addr()
             ),
+            TraceEvent::Sample(s) => s.to_json(),
         }
     }
 }
@@ -379,11 +396,20 @@ impl TraceSink for RingSink {
 
 /// The pipeline's tracing front end: an optional sink plus per-kind
 /// event counters (surfaced through `EngineStats::extra` as `trace_*`
-/// when tracing is active).
-#[derive(Default)]
+/// when tracing is active). A per-kind bitmask filters which events
+/// reach the sink — the `--sample N` harness flag, for instance, attaches
+/// a sink masked to [`TraceKind::Sample`] only, so sampling does not drag
+/// the full per-instruction event stream along with it.
 pub(crate) struct Tracer {
     sink: Option<Box<dyn TraceSink>>,
     counts: [u64; TraceKind::COUNT],
+    mask: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer { sink: None, counts: [0; TraceKind::COUNT], mask: !0 }
+    }
 }
 
 impl std::fmt::Debug for Tracer {
@@ -409,9 +435,13 @@ impl Tracer {
         self.sink.is_some() || self.counts.iter().any(|&c| c > 0)
     }
 
-    /// Records one event (no-op without a sink).
+    /// Records one event (no-op without a sink or when the event's kind
+    /// is masked off).
     pub fn emit(&mut self, ev: TraceEvent) {
         if let Some(s) = &mut self.sink {
+            if self.mask & ev.kind().bit() == 0 {
+                return;
+            }
             self.counts[ev.kind().index()] += 1;
             s.record(&ev);
         }
@@ -429,6 +459,12 @@ impl Tracer {
         let mut s = self.sink.take()?;
         s.flush();
         Some(s)
+    }
+
+    /// Restricts the sink to the given kinds (a bitwise OR of
+    /// [`TraceKind::bit`] values). The default mask passes everything.
+    pub fn set_mask(&mut self, mask: u64) {
+        self.mask = mask;
     }
 
     /// Event count for one kind.
@@ -461,6 +497,15 @@ mod tests {
                 pc: Pc::new(0x1010),
                 verify: true,
             },
+            TraceEvent::Sample(Sample {
+                cycle: 100,
+                insts: 80,
+                mispredicts: 1,
+                squashed: 3,
+                grants: 2,
+                l1_misses: 4,
+                squash_slots: 16,
+            }),
         ]
     }
 
@@ -483,6 +528,11 @@ mod tests {
             evs[6].to_json(),
             "{\"ev\":\"reuse_grant\",\"cycle\":10,\"seq\":5,\"pc\":4112,\"verify\":true}"
         );
+        assert_eq!(
+            evs[7].to_json(),
+            "{\"ev\":\"sample\",\"cycle\":100,\"insts\":80,\"mispredicts\":1,\"squashed\":3,\
+             \"grants\":2,\"l1_misses\":4,\"squash_slots\":16}"
+        );
     }
 
     #[test]
@@ -494,9 +544,10 @@ mod tests {
         let names: Vec<&str> = evs.iter().map(|e| e.kind().name()).collect();
         assert_eq!(
             names,
-            ["fetch", "rename", "issue", "writeback", "commit", "squash", "reuse_grant"]
+            ["fetch", "rename", "issue", "writeback", "commit", "squash", "reuse_grant", "sample"]
         );
         assert_eq!(evs[3].cycle(), 7);
+        assert_eq!(evs[7].cycle(), 100);
     }
 
     #[test]
@@ -506,7 +557,7 @@ mod tests {
             sink.record(&ev);
         }
         let out = String::from_utf8(sink.into_inner()).unwrap();
-        assert_eq!(out.lines().count(), 7);
+        assert_eq!(out.lines().count(), 8);
         assert!(out.ends_with('\n'));
         assert!(out.lines().all(|l| l.starts_with("{\"ev\":\"")));
     }
@@ -530,9 +581,9 @@ mod tests {
             ring.record(&ev);
         }
         assert_eq!(ring.len(), 3);
-        assert_eq!(ring.dropped(), 4);
+        assert_eq!(ring.dropped(), 5);
         let kinds: Vec<TraceKind> = ring.events().map(|e| e.kind()).collect();
-        assert_eq!(kinds, [TraceKind::Commit, TraceKind::Squash, TraceKind::ReuseGrant]);
+        assert_eq!(kinds, [TraceKind::Squash, TraceKind::ReuseGrant, TraceKind::Sample]);
         assert!(!ring.is_empty());
     }
 
@@ -552,5 +603,21 @@ mod tests {
         let _ = t.take_sink().expect("sink attached");
         assert!(!t.on());
         assert!(t.active(), "counters survive sink detachment");
+    }
+
+    #[test]
+    fn mask_filters_kinds_before_the_sink() {
+        let mut t = Tracer::default();
+        t.set_sink(Box::new(RingSink::new(16)));
+        t.set_mask(TraceKind::Sample.bit() | TraceKind::Squash.bit());
+        for ev in sample() {
+            t.emit(ev);
+        }
+        assert_eq!(t.count(TraceKind::Sample), 1);
+        assert_eq!(t.count(TraceKind::Squash), 1);
+        assert_eq!(t.count(TraceKind::Fetch), 0, "masked kinds are neither counted nor recorded");
+        t.set_mask(!0);
+        t.emit(sample()[0]);
+        assert_eq!(t.count(TraceKind::Fetch), 1);
     }
 }

@@ -127,6 +127,78 @@ fn trace_events_are_independent_of_worker_count() {
     assert!(a.contains("\"trace_commit\":"));
 }
 
+/// The acceptance test for `--sample`: sample records ride the same
+/// per-cell buffering as `--trace`, so the trajectory — and the report
+/// rendered from it — is byte-identical whatever the worker count.
+/// Without `--trace`, samples are the only events in the stream.
+#[test]
+fn sample_records_and_report_are_independent_of_worker_count() {
+    use mssr::workloads::{microbench, Scale};
+    use mssr_bench::harness::report::{regressions, render_report, Trajectory};
+    use mssr_bench::harness::{
+        run_experiments, CellId, CellPool, CellResult, Experiment, HarnessOpts,
+    };
+    use mssr_bench::{experiment_sim_config, EngineSpec};
+
+    struct TinySample;
+    impl Experiment for TinySample {
+        fn name(&self) -> &'static str {
+            "tiny-sample"
+        }
+        fn cells(&self, pool: &mut CellPool) -> Vec<CellId> {
+            let wid = pool.intern(microbench::nested_mispred(60));
+            vec![
+                pool.cell(wid, EngineSpec::Baseline.into(), experiment_sim_config()),
+                pool.cell(
+                    wid,
+                    EngineSpec::Mssr { streams: 2, log_entries: 64 }.into(),
+                    experiment_sim_config(),
+                ),
+                pool.cell(
+                    wid,
+                    EngineSpec::Ri { sets: 64, ways: 2 }.into(),
+                    experiment_sim_config(),
+                ),
+            ]
+        }
+        fn render(&self, _pool: &CellPool, _ids: &[CellId], _results: &[CellResult]) -> String {
+            String::new()
+        }
+    }
+
+    let mut serial = HarnessOpts::new(Scale::Test);
+    serial.json = true;
+    serial.sample = 200;
+    serial.jobs = 1;
+    let mut parallel = serial.clone();
+    parallel.jobs = 4;
+    let exps: Vec<Box<dyn Experiment>> = vec![Box::new(TinySample)];
+    let a = run_experiments(&exps, &serial);
+    let b = run_experiments(&exps, &parallel);
+    assert_eq!(a, b, "--sample output must be byte-identical across --jobs");
+    assert!(a.contains("\"ev\":\"sample\""), "sample events present");
+    assert!(
+        !a.contains("\"ev\":\"commit\""),
+        "without --trace the kind mask admits sample events only"
+    );
+
+    // The rendered report inherits the byte-identity, and the parsed
+    // trajectory feeds the regression comparator: identical runs pass,
+    // an artificially degraded run trips it.
+    let ta = Trajectory::parse(&a).expect("trajectory parses");
+    let tb = Trajectory::parse(&b).expect("trajectory parses");
+    let report = render_report(&ta);
+    assert_eq!(report, render_report(&tb), "report must be byte-identical across --jobs");
+    assert!(report.contains("squash_branch"), "CPI stack rendered:\n{report}");
+    assert!(report.contains("== Speedup vs BASE =="));
+    assert!(regressions(&ta, &tb, 5).is_empty(), "identical runs never regress");
+    let mut degraded = ta.clone();
+    for c in &mut degraded.cells {
+        c.cycles *= 2;
+    }
+    assert!(!regressions(&degraded, &ta, 5).is_empty(), "halved IPC must regress");
+}
+
 #[test]
 fn workload_construction_is_deterministic() {
     let a = spec2006::astar(10);

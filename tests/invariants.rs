@@ -9,8 +9,9 @@
 
 use mssr::core::{MssrConfig, MultiStreamReuse, RiConfig};
 use mssr::sim::{
-    check_age_order, check_conservation, check_lsq, check_reuse_safety, check_rgids, EngineCtx,
-    LqEntry, ReuseEngine, Rgid, Rule, SeqNum, SimConfig, SqEntry, SquashEvent,
+    check_age_order, check_conservation, check_cpi_account, check_lsq, check_reuse_safety,
+    check_rgids, Category, CycleAccount, EngineCtx, LqEntry, ReuseEngine, Rgid, Rule, SeqNum,
+    SimConfig, SqEntry, SquashEvent,
 };
 use mssr::workloads::microbench;
 
@@ -146,6 +147,46 @@ fn seeded_conservation_imbalance_is_detected() {
     let v = check_conservation(8, 7, 2).expect("loss must be reported");
     assert!(v.to_string().contains("lost"), "got: {v}");
     assert!(check_conservation(9, 7, 2).is_none());
+}
+
+/// The CPI-conservation primitive distinguishes invented slots from
+/// lost ones: every cycle must contribute exactly `commit_width` commit
+/// slots to the account, no more, no less.
+#[test]
+fn seeded_cpi_imbalance_is_detected() {
+    let mut a = CycleAccount::default();
+    // One cycle at width 4: 2 committed + 2 idle slots blamed on squash.
+    a.accrue(2, Category::SquashBranch, 4);
+    assert!(check_cpi_account(&a, 1, 4).is_none(), "a balanced account passes");
+
+    // The same account against two cycles is short 4 slots.
+    let v = check_cpi_account(&a, 2, 4).expect("lost slots must be reported");
+    assert_eq!(v.rule, Rule::CpiConservation);
+    assert!(v.to_string().contains("lost"), "got: {v}");
+
+    // Against zero cycles it has invented all 4.
+    let v = check_cpi_account(&a, 0, 4).expect("invented slots must be reported");
+    assert_eq!(v.rule, Rule::CpiConservation);
+    assert!(v.to_string().contains("invented"), "got: {v}");
+
+    // Reuse credit is clamped to the squash-penalty slots by
+    // construction: crediting far more than the 2 squash slots sticks at
+    // the cap and stays legal.
+    a.credit_reuse(100);
+    assert_eq!(a.credit_reuse_cycles, a.get(Category::SquashBranch));
+    assert!(check_cpi_account(&a, 1, 4).is_none());
+}
+
+/// A seeded account corruption (one extra base slot) trips the
+/// CPI-conservation rule in the debug sweep while the simulation runs.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "cpi-conservation")]
+fn seeded_cpi_account_corruption_is_detected() {
+    let w = microbench::nested_mispred(400);
+    let mut sim = w.instantiate(cfg());
+    sim.corrupt_account_for_test();
+    sim.run();
 }
 
 /// Clean runs under both paper engines stay violation-free — in debug

@@ -90,3 +90,46 @@ fn tiny_configs_preserve_architectural_state() {
         assert_eq!(base, got, "stressed mssr diverged");
     });
 }
+
+#[test]
+fn cpi_accounts_conserve_commit_slots() {
+    use mssr::sim::Category;
+    // The CPI stack's conservation law must hold on arbitrary programs
+    // under every engine: each simulated cycle contributes exactly
+    // `commit_width` commit slots to the account, and reuse can never be
+    // credited more cycles than were blamed on branch squashes.
+    for_each_case("cpi_accounts_conserve_commit_slots", 16, 0x6d73_7372_0003, |rng| {
+        let body = random_body(rng, 4, 32);
+        let iters = rng.range(1, 24) as u8;
+        let seed = rng.next_u64();
+        let program = assemble(&body, iters, seed);
+        let engines: [(&str, Option<Box<dyn ReuseEngine>>); 3] = [
+            ("base", None),
+            ("mssr", Some(Box::new(MultiStreamReuse::new(MssrConfig::default())))),
+            ("ri", Some(Box::new(RegisterIntegration::new(RiConfig::default())))),
+        ];
+        for (name, engine) in engines {
+            let cfg = SimConfig::default().with_max_cycles(4_000_000);
+            let width = cfg.commit_width as u64;
+            let mut sim = match engine {
+                Some(e) => Simulator::with_engine(cfg, program.clone(), e),
+                None => Simulator::new(cfg, program.clone()),
+            };
+            sim.run();
+            assert!(sim.is_halted(), "{name}: generated program must halt");
+            let account = sim.account();
+            assert_eq!(
+                account.total_slots(),
+                sim.cycle() * width,
+                "{name}: slot conservation violated over {} cycles",
+                sim.cycle()
+            );
+            assert!(
+                account.credit_reuse_cycles <= account.get(Category::SquashBranch),
+                "{name}: reuse credited {} cycles against {} squash-penalty slots",
+                account.credit_reuse_cycles,
+                account.get(Category::SquashBranch)
+            );
+        }
+    });
+}
