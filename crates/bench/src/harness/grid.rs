@@ -5,8 +5,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use std::path::Path;
+
 use mssr_core::{MemCheckPolicy, MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
-use mssr_sim::{BufferSink, ReuseEngine, SimConfig, SimStats};
+use mssr_sim::{fnv1a64, BufferSink, ReuseEngine, SimConfig, SimStats, Simulator, TraceKind};
 use mssr_workloads::{Scale, Workload};
 
 use super::{cell_seed, HarnessOpts};
@@ -244,13 +246,40 @@ impl CellPool {
     /// `i`'s result regardless of which worker ran it or when.
     pub fn run(&self, opts: &HarnessOpts) -> Vec<CellResult> {
         run_cells(self.cells.len(), opts.jobs, |i| {
-            self.run_cell(i, cell_seed(opts.root_seed, i as u64), opts.trace, opts.sample)
+            self.run_cell(i, cell_seed(opts.root_seed, i as u64), opts)
         })
     }
 
-    fn run_cell(&self, i: CellId, seed: u64, trace: bool, sample: u64) -> CellResult {
+    /// The stable checkpoint-file stem of a cell: everything that shapes
+    /// its simulation (workload, engine, simulator config, seed, scale,
+    /// fast-forward) is hashed in, so a stale directory can never hand a
+    /// cell another cell's state. (`Simulator::restore` re-checks the
+    /// config/program/engine identity anyway; the stem just makes
+    /// distinct cells use distinct files.)
+    fn ckpt_stem(&self, spec: &CellSpec, seed: u64, ffwd: u64) -> String {
+        let w = &self.workloads[spec.workload];
+        let key = fnv1a64(
+            format!(
+                "{}|{}|{:?}|{seed:#x}|{:?}|{ffwd}",
+                w.name(),
+                spec.engine.label(),
+                spec.cfg,
+                self.scale
+            )
+            .as_bytes(),
+        );
+        format!("{:016x}", key)
+    }
+
+    fn run_cell(&self, i: CellId, seed: u64, opts: &HarnessOpts) -> CellResult {
         let spec = &self.cells[i];
         let w = &self.workloads[spec.workload];
+        let trace = opts.trace;
+        let sample = opts.sample;
+        // Checkpoint reuse is disabled under --trace/--sample: a restored
+        // run emits only the tail of its event stream, which would change
+        // the trajectory relative to a straight-through run.
+        let ckpt_dir = if trace || sample > 0 { None } else { opts.ckpt_dir.as_deref() };
         // When tracing or sampling, events go into a per-cell buffer whose
         // handle we keep; the simulator consumes the sink itself. Without
         // `--trace` the sink's kind mask admits sample events only.
@@ -261,11 +290,29 @@ impl CellPool {
         } else {
             (None, None)
         };
-        let run = |engine: Option<Box<dyn ReuseEngine>>| match sink {
-            Some(s) => {
-                w.run_instrumented(spec.cfg.clone(), engine, Some(Box::new(s)), sample, trace)
+        let run = |engine: Option<Box<dyn ReuseEngine>>| {
+            let mut sim = match engine {
+                Some(e) => w.instantiate_with(spec.cfg.clone(), e),
+                None => w.instantiate(spec.cfg.clone()),
+            };
+            if sample > 0 {
+                sim.set_sample_interval(sample);
             }
-            None => w.run(spec.cfg.clone(), engine),
+            if let Some(s) = sink {
+                sim.set_trace_sink(Box::new(s));
+                if !trace {
+                    sim.set_trace_mask(TraceKind::Sample.bit());
+                }
+            }
+            let stem = self.ckpt_stem(spec, seed, opts.ffwd);
+            let restored = ckpt_dir.is_some_and(|dir| restore_newest_ckpt(&mut sim, dir, &stem));
+            if !restored && opts.ffwd > 0 {
+                sim.fast_forward(opts.ffwd);
+            }
+            if let Some(dir) = ckpt_dir.filter(|_| opts.ckpt_every > 0) {
+                save_periodic_ckpts(&mut sim, dir, &stem, opts.ckpt_every);
+            }
+            w.finish(&mut sim)
         };
         let (stats, ri_set_replacements) = match spec.engine.build_ri() {
             Some(ri) => {
@@ -280,6 +327,56 @@ impl CellPool {
         };
         let trace = buf.map(|b| std::mem::take(&mut *b.lock().expect("trace buffer poisoned")));
         CellResult { seed, stats, ri_set_replacements, trace }
+    }
+}
+
+/// Restores the newest valid checkpoint for `stem` from `dir` into `sim`.
+/// Invalid or mismatched files (corruption, a different build's config)
+/// are skipped in favour of the next-newest; with none valid the cell
+/// just runs from scratch — checkpoints are an accelerator, never a
+/// correctness dependency.
+fn restore_newest_ckpt(sim: &mut Simulator, dir: &Path, stem: &str) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else { return false };
+    let mut found: Vec<(u64, std::path::PathBuf)> = entries
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            let rest = name.strip_prefix(stem)?.strip_prefix('.')?;
+            let insts: u64 = rest.strip_suffix(".ckpt")?.parse().ok()?;
+            Some((insts, path))
+        })
+        .collect();
+    found.sort_unstable_by_key(|&(insts, _)| std::cmp::Reverse(insts));
+    for (_, path) in found {
+        let Ok(bytes) = std::fs::read(&path) else { continue };
+        if sim.restore(&bytes).is_ok() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs `sim` to completion, saving a checkpoint into `dir` every
+/// `every` committed instructions. Files are written to a temporary name
+/// and renamed into place so concurrent readers never see a torn file.
+fn save_periodic_ckpts(sim: &mut Simulator, dir: &Path, stem: &str, every: u64) {
+    let _ = std::fs::create_dir_all(dir);
+    loop {
+        let committed = sim.stats().committed_instructions;
+        sim.run_until_insts(committed + every);
+        let now = sim.stats().committed_instructions;
+        if sim.is_halted() || now < committed + every {
+            // Halted, or stopped short (cycle bound): the final state is
+            // the run's result, not a resume point worth saving.
+            return;
+        }
+        let path = dir.join(format!("{stem}.{now}.ckpt"));
+        if !path.exists() {
+            let tmp = dir.join(format!("{stem}.{now}.ckpt.tmp"));
+            if std::fs::write(&tmp, sim.snapshot()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
     }
 }
 

@@ -80,6 +80,18 @@ pub struct HarnessOpts {
     /// per-interval statistics deltas every N cycles and emit them as
     /// sample events in the trajectory (requires `--json`).
     pub sample: u64,
+    /// Checkpoint directory (`--ckpt-dir`): cells restore the newest
+    /// valid checkpoint found there and save new ones per `ckpt_every`.
+    /// Checkpoint traffic is disabled under `--trace`/`--sample` — a
+    /// restored run would emit only the tail of its event stream.
+    pub ckpt_dir: Option<std::path::PathBuf>,
+    /// Functional fast-forward (`--ffwd N`): execute the first N
+    /// instructions of every cell architecturally (warming branch
+    /// predictor and caches) before detailed simulation.
+    pub ffwd: u64,
+    /// Checkpoint period (`--ckpt-every N`): while running a cell, save a
+    /// checkpoint into `ckpt_dir` every N committed instructions.
+    pub ckpt_every: u64,
 }
 
 impl HarnessOpts {
@@ -93,6 +105,9 @@ impl HarnessOpts {
             json: false,
             trace: false,
             sample: 0,
+            ckpt_dir: None,
+            ffwd: 0,
+            ckpt_every: 0,
         }
     }
 
@@ -157,6 +172,18 @@ impl HarnessOpts {
                     opts.sample =
                         value("--sample")?.parse::<u64>().map_err(|e| format!("--sample: {e}"))?;
                 }
+                "--ckpt-dir" => {
+                    opts.ckpt_dir = Some(std::path::PathBuf::from(value("--ckpt-dir")?));
+                }
+                "--ffwd" => {
+                    opts.ffwd =
+                        value("--ffwd")?.parse::<u64>().map_err(|e| format!("--ffwd: {e}"))?;
+                }
+                "--ckpt-every" => {
+                    opts.ckpt_every = value("--ckpt-every")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--ckpt-every: {e}"))?;
+                }
                 "--help" | "-h" => return Err("help".to_string()),
                 s => return Err(format!("unknown argument `{s}`")),
             }
@@ -167,18 +194,25 @@ impl HarnessOpts {
         if opts.sample > 0 && !opts.json {
             return Err("--sample requires --json (samples extend the JSON-lines output)".into());
         }
+        if opts.ckpt_every > 0 && opts.ckpt_dir.is_none() {
+            return Err("--ckpt-every requires --ckpt-dir (somewhere to save them)".into());
+        }
         Ok(opts)
     }
 }
 
 const USAGE: &str =
     "usage: <experiment> [--jobs N] [--seed S] [--scale test|medium|large] [--json] [--trace] [--sample N]
-  --jobs N    worker threads for the experiment grid (default: all cores)
-  --seed S    root seed for per-cell seeds (decimal or 0x-hex)
-  --scale     workload input scale (default: MSSR_SCALE env, then medium)
-  --json      emit the JSON-lines trajectory instead of reports
-  --trace     with --json: emit per-cell pipeline event records
-  --sample N  with --json: emit per-cell statistics deltas every N cycles";
+                    [--ckpt-dir DIR] [--ffwd N] [--ckpt-every N]
+  --jobs N        worker threads for the experiment grid (default: all cores)
+  --seed S        root seed for per-cell seeds (decimal or 0x-hex)
+  --scale         workload input scale (default: MSSR_SCALE env, then medium)
+  --json          emit the JSON-lines trajectory instead of reports
+  --trace         with --json: emit per-cell pipeline event records
+  --sample N      with --json: emit per-cell statistics deltas every N cycles
+  --ckpt-dir DIR  reuse/save per-cell checkpoints in DIR (off under --trace/--sample)
+  --ffwd N        functionally fast-forward the first N instructions of each cell
+  --ckpt-every N  with --ckpt-dir: save a checkpoint every N committed instructions";
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {

@@ -315,6 +315,12 @@ pub struct CellRecord {
     pub credit_reuse_cycles: u64,
     /// Fetches skipped via the reconvergence fast path.
     pub credit_recon_fetches: u64,
+    /// Instructions executed functionally during fast-forward (not part
+    /// of `insts`; zero for straight-through runs).
+    pub ffwd_insts: u64,
+    /// Cycles the fast-forward skipped (nominal 1 IPC; zero for
+    /// straight-through runs).
+    pub skipped_cycles: u64,
     /// `--sample` time series (empty without `--sample`).
     pub samples: Vec<SamplePoint>,
 }
@@ -395,6 +401,8 @@ impl Trajectory {
             squashed: stats.field_u64("squashed_instructions"),
             reuse_tests: engine.field_u64("reuse_tests"),
             reuse_grants: engine.field_u64("reuse_grants"),
+            ffwd_insts: stats.field_u64("ffwd_insts"),
+            skipped_cycles: stats.field_u64("skipped_cycles"),
             ..CellRecord::default()
         };
         if let Some(Json::Obj(kv)) = stats.get("account") {
@@ -514,13 +522,21 @@ pub fn cpi_stack_table(t: &Trajectory) -> String {
 
 /// Renders the speedup table: cycles and speedup vs the `BASE` cell of
 /// the same workload, with the reuse-coverage breakdown (grant rate per
-/// test, coverage of squashed instructions, credited cycles).
+/// test, coverage of squashed instructions, credited cycles). When any
+/// cell was fast-forwarded, two extra columns report the functionally
+/// executed instruction count and the skipped cycles — `cycles`, `IPC`
+/// and `speedup` always measure the detailed region only.
 pub fn speedup_table(t: &Trajectory) -> String {
-    let header: Vec<String> =
+    let ffwd = t.cells.iter().any(|c| c.ffwd_insts > 0);
+    let mut header: Vec<String> =
         ["workload", "engine", "cycles", "speedup", "grants", "grant_rate", "coverage"]
             .iter()
             .map(|s| s.to_string())
             .collect();
+    if ffwd {
+        header.push("ffwd_insts".to_string());
+        header.push("skipped_cycles".to_string());
+    }
     let rows: Vec<Vec<String>> = t
         .cells
         .iter()
@@ -534,7 +550,7 @@ pub fn speedup_table(t: &Trajectory) -> String {
                 Some(b) if c.cycles > 0 => format!("{}x", milli(b * 1000 / c.cycles)),
                 _ => "-".to_string(),
             };
-            vec![
+            let mut r = vec![
                 c.workload.clone(),
                 c.engine.clone(),
                 c.cycles.to_string(),
@@ -542,7 +558,12 @@ pub fn speedup_table(t: &Trajectory) -> String {
                 c.reuse_grants.to_string(),
                 pct10(c.reuse_grants, c.reuse_tests),
                 pct10(c.reuse_grants, c.squashed),
-            ]
+            ];
+            if ffwd {
+                r.push(c.ffwd_insts.to_string());
+                r.push(c.skipped_cycles.to_string());
+            }
+            r
         })
         .collect();
     table(&header, &rows)
@@ -744,6 +765,25 @@ mod tests {
         assert!(r.contains('\u{2588}'), "sparkline glyphs:\n{r}");
         // IPC column: 1000 insts / 2000 cycles.
         assert!(r.contains("0.500"), "BASE IPC:\n{r}");
+    }
+
+    #[test]
+    fn ffwd_columns_appear_only_for_fast_forwarded_trajectories() {
+        let plain = Trajectory::parse(&fixture()).unwrap();
+        assert!(!speedup_table(&plain).contains("skipped_cycles"));
+        let mut warmed = plain.clone();
+        warmed.cells[1].ffwd_insts = 5000;
+        warmed.cells[1].skipped_cycles = 5000;
+        let r = speedup_table(&warmed);
+        assert!(r.contains("ffwd_insts"), "ffwd column present:\n{r}");
+        assert!(r.contains("skipped_cycles"), "skipped column present:\n{r}");
+        assert!(r.contains("5000"), "values rendered:\n{r}");
+        // The stats fields parse from a trajectory too.
+        let line = fixture()
+            .replace("\"cycles\":1000,", "\"cycles\":1000,\"ffwd_insts\":7,\"skipped_cycles\":7,");
+        let t = Trajectory::parse(&line).unwrap();
+        assert_eq!(t.cells[1].ffwd_insts, 7);
+        assert_eq!(t.cells[1].skipped_cycles, 7);
     }
 
     #[test]

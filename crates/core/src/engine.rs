@@ -39,8 +39,8 @@
 
 use mssr_isa::{Opcode, Pc};
 use mssr_sim::{
-    EngineCtx, EngineStats, FlushKind, PredBlock, RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery,
-    SeqNum, SquashEvent,
+    fnv1a64, CkptError, CkptReader, CkptWriter, EngineCtx, EngineStats, FlushKind, PredBlock,
+    RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery, SeqNum, SquashEvent,
 };
 
 use crate::align;
@@ -587,6 +587,94 @@ impl ReuseEngine for MultiStreamReuse {
         // new live mapping — so counting flags across all streams is
         // exactly the engine's outstanding reservations.
         self.streams.iter().flat_map(|s| s.log.iter()).filter(|e| e.preg_held).count() as u64
+    }
+
+    fn ckpt_save(&self, w: &mut CkptWriter) {
+        // The engine configuration shapes the serialized state (stream
+        // count, Bloom size) and the engine's future behaviour; guard it
+        // the same way the simulator guards `SimConfig`.
+        w.u64(fnv1a64(format!("{:?}", self.cfg).as_bytes()));
+        w.u64(self.streams.len() as u64);
+        for s in &self.streams {
+            s.ckpt_save(w);
+        }
+        w.u64(self.next_stream as u64);
+        match self.pending {
+            None => w.bool(false),
+            Some(p) => {
+                w.bool(true);
+                w.u64(p.stream as u64);
+                w.u64(p.offset);
+                w.pc(p.reconv_pc);
+                w.u64(p.created_at);
+            }
+        }
+        match self.active {
+            None => w.bool(false),
+            Some(a) => {
+                w.bool(true);
+                w.u64(a.stream as u64);
+                w.u64(a.idx as u64);
+            }
+        }
+        w.u64(self.renamed);
+        w.u64(self.last_squash_id);
+        w.seq(self.last_cause_seq);
+        self.bloom.ckpt_save(w);
+        w.seq(self.max_seen_seq);
+        w.seq(self.bloom_barrier);
+        w.u64(self.overflow_events);
+        w.u64(self.commits);
+        self.stats.ckpt_save(w);
+    }
+
+    fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        if r.u64()? != fnv1a64(format!("{:?}", self.cfg).as_bytes()) {
+            return Err(CkptError::ConfigMismatch);
+        }
+        let n = r.seq_len(19)?;
+        if n != self.streams.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{n} streams in checkpoint, engine has {}",
+                self.streams.len()
+            )));
+        }
+        for s in &mut self.streams {
+            *s = Stream::ckpt_load(r)?;
+        }
+        let stream_bound = |i: u64, what: &str| -> Result<usize, CkptError> {
+            if (i as usize) < n {
+                Ok(i as usize)
+            } else {
+                Err(CkptError::Corrupt(format!("{what} stream index {i} out of range")))
+            }
+        };
+        self.next_stream = stream_bound(r.u64()?, "next")?;
+        self.pending = if r.bool()? {
+            Some(Pending {
+                stream: stream_bound(r.u64()?, "pending")?,
+                offset: r.u64()?,
+                reconv_pc: r.pc()?,
+                created_at: r.u64()?,
+            })
+        } else {
+            None
+        };
+        self.active = if r.bool()? {
+            Some(Active { stream: stream_bound(r.u64()?, "active")?, idx: r.u64()? as usize })
+        } else {
+            None
+        };
+        self.renamed = r.u64()?;
+        self.last_squash_id = r.u64()?;
+        self.last_cause_seq = r.seq()?;
+        self.bloom.ckpt_load(r)?;
+        self.max_seen_seq = r.seq()?;
+        self.bloom_barrier = r.seq()?;
+        self.overflow_events = r.u64()?;
+        self.commits = r.u64()?;
+        self.stats = EngineStats::ckpt_load(r)?;
+        Ok(())
     }
 }
 

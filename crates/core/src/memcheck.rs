@@ -6,6 +6,8 @@
 //! expensive, so the paper proposes a Bloom filter over the interesting
 //! addresses, checked in parallel with the reuse test.
 
+use mssr_sim::{CkptError, CkptReader, CkptWriter};
+
 /// A simple two-hash Bloom filter over 8-byte-granular addresses.
 ///
 /// False positives only reject a reuse (safe); false negatives are
@@ -70,6 +72,32 @@ impl BloomFilter {
     /// Number of insertions since the last clear.
     pub fn insertions(&self) -> u64 {
         self.insertions
+    }
+
+    /// Serializes the filter contents into a checkpoint stream.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.bits.len() as u64);
+        for &word in &self.bits {
+            w.u64(word);
+        }
+        w.u64(self.insertions);
+    }
+
+    /// Restores filter contents saved by [`BloomFilter::ckpt_save`]. The
+    /// configured size must match.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let n = r.seq_len(8)?;
+        if n != self.bits.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{n} Bloom filter words in checkpoint, expected {}",
+                self.bits.len()
+            )));
+        }
+        for word in &mut self.bits {
+            *word = r.u64()?;
+        }
+        self.insertions = r.u64()?;
+        Ok(())
     }
 }
 

@@ -22,12 +22,13 @@ use std::rc::Rc;
 
 use mssr_isa::{ArchReg, Opcode, Pc};
 use mssr_sim::{
-    EngineCtx, EngineStats, FlushKind, PhysReg, RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery,
-    SeqNum, SquashEvent,
+    fnv1a64, CkptError, CkptReader, CkptWriter, EngineCtx, EngineStats, FlushKind, PhysReg,
+    RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery, SeqNum, SquashEvent,
 };
 
 use crate::config::MemCheckPolicy;
 use crate::memcheck::BloomFilter;
+use crate::stream::{arch_reg_from, opcode_from};
 
 /// Configuration of the Register Integration reuse table.
 #[derive(Clone, Copy, Debug)]
@@ -382,6 +383,75 @@ impl ReuseEngine for RegisterIntegration {
         // the entry as the hold transfers to the new live mapping — so
         // occupancy equals the engine's outstanding reservations.
         self.occupancy() as u64
+    }
+
+    fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(fnv1a64(format!("{:?}", self.cfg).as_bytes()));
+        // The table dimensions and replacement-counter length are fixed
+        // by the (guarded) configuration, so no length prefixes needed.
+        for set in &self.table {
+            for e in set {
+                match e {
+                    None => w.bool(false),
+                    Some(e) => {
+                        w.bool(true);
+                        w.pc(e.pc);
+                        w.u8(e.op.code());
+                        w.u8(e.dst_arch.index() as u8);
+                        w.preg(e.dst_preg);
+                        w.opt_preg(e.src_pregs[0]);
+                        w.opt_preg(e.src_pregs[1]);
+                        w.bool(e.is_load);
+                        w.opt_u64(e.load_addr);
+                        w.u64(e.lru);
+                    }
+                }
+            }
+        }
+        w.u64(self.tick);
+        for &c in self.replacements.borrow().iter() {
+            w.u64(c);
+        }
+        self.bloom.ckpt_save(w);
+        w.seq(self.max_seen_seq);
+        w.seq(self.bloom_barrier);
+        self.stats.ckpt_save(w);
+    }
+
+    fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        if r.u64()? != fnv1a64(format!("{:?}", self.cfg).as_bytes()) {
+            return Err(CkptError::ConfigMismatch);
+        }
+        for set in &mut self.table {
+            for slot in set {
+                *slot = if r.bool()? {
+                    let pc = r.pc()?;
+                    let op = opcode_from(r)?;
+                    let dst_arch = arch_reg_from(r)?;
+                    Some(RiEntry {
+                        pc,
+                        op,
+                        dst_arch,
+                        dst_preg: r.preg()?,
+                        src_pregs: [r.opt_preg()?, r.opt_preg()?],
+                        is_load: r.bool()?,
+                        load_addr: r.opt_u64()?,
+                        lru: r.u64()?,
+                    })
+                } else {
+                    None
+                };
+            }
+        }
+        self.tick = r.u64()?;
+        for c in self.replacements.borrow_mut().iter_mut() {
+            *c = r.u64()?;
+        }
+        self.bloom.ckpt_load(r)?;
+        self.max_seen_seq = r.seq()?;
+        self.bloom_barrier = r.seq()?;
+        self.stats = EngineStats::ckpt_load(r)?;
+        Ok(())
     }
 }
 

@@ -8,7 +8,21 @@
 //! stage for the lockstep reuse test). Streams are replaced round-robin.
 
 use mssr_isa::{ArchReg, Opcode, Pc};
-use mssr_sim::{BlockRange, PhysReg, Rgid, SeqNum, SquashEvent};
+use mssr_sim::{BlockRange, CkptError, CkptReader, CkptWriter, PhysReg, Rgid, SeqNum, SquashEvent};
+
+/// Decodes an [`ArchReg`] from its iteration index (checkpoint wire form).
+pub(crate) fn arch_reg_from(r: &mut CkptReader) -> Result<ArchReg, CkptError> {
+    let i = r.u8()? as usize;
+    ArchReg::all()
+        .nth(i)
+        .ok_or_else(|| CkptError::Corrupt(format!("arch register index {i} out of range")))
+}
+
+/// Decodes an [`Opcode`] from its stable wire code.
+pub(crate) fn opcode_from(r: &mut CkptReader) -> Result<Opcode, CkptError> {
+    let c = r.u8()?;
+    Opcode::from_code(c).ok_or_else(|| CkptError::Corrupt(format!("unknown opcode code {c}")))
+}
 
 /// One Squash Log entry (paper Table 2: source RGIDs, destination RGID,
 /// destination physical register, valid bit — plus simulation-side
@@ -36,6 +50,47 @@ pub struct LogEntry {
     /// Set once the entry has been consumed by the lockstep walk (reused,
     /// failed, or skipped) — it can never grant again.
     pub consumed: bool,
+}
+
+impl LogEntry {
+    fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.pc(self.pc);
+        w.u8(self.op.code());
+        match self.dst {
+            None => w.bool(false),
+            Some((arch, preg, rgid)) => {
+                w.bool(true);
+                w.u8(arch.index() as u8);
+                w.preg(preg);
+                w.rgid(rgid);
+            }
+        }
+        for g in self.src_rgids {
+            w.opt_rgid(g);
+        }
+        w.bool(self.executed);
+        w.bool(self.is_load);
+        w.opt_u64(self.load_addr);
+        w.bool(self.preg_held);
+        w.bool(self.consumed);
+    }
+
+    fn ckpt_load(r: &mut CkptReader) -> Result<LogEntry, CkptError> {
+        let pc = r.pc()?;
+        let op = opcode_from(r)?;
+        let dst = if r.bool()? { Some((arch_reg_from(r)?, r.preg()?, r.rgid()?)) } else { None };
+        Ok(LogEntry {
+            pc,
+            op,
+            dst,
+            src_rgids: [r.opt_rgid()?, r.opt_rgid()?],
+            executed: r.bool()?,
+            is_load: r.bool()?,
+            load_addr: r.opt_u64()?,
+            preg_held: r.bool()?,
+            consumed: r.bool()?,
+        })
+    }
 }
 
 /// One squashed stream: WPB blocks + Squash Log entries.
@@ -152,6 +207,43 @@ impl Stream {
         self.blocks.clear();
         self.log.clear();
         out
+    }
+
+    /// Serializes the stream into a checkpoint stream.
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.bool(self.valid);
+        w.u64(self.squash_id);
+        w.seq(self.cause_seq);
+        w.u64(self.blocks.len() as u64);
+        for b in &self.blocks {
+            w.pc(b.start);
+            w.pc(b.end);
+        }
+        w.u64(self.vpn);
+        w.u64(self.log.len() as u64);
+        for e in &self.log {
+            e.ckpt_save(w);
+        }
+        w.u64(self.created_at);
+    }
+
+    /// Restores a stream saved by [`Stream::ckpt_save`].
+    pub(crate) fn ckpt_load(r: &mut CkptReader) -> Result<Stream, CkptError> {
+        let valid = r.bool()?;
+        let squash_id = r.u64()?;
+        let cause_seq = r.seq()?;
+        let nb = r.seq_len(16)?;
+        let mut blocks = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            blocks.push(BlockRange { start: r.pc()?, end: r.pc()? });
+        }
+        let vpn = r.u64()?;
+        let nl = r.seq_len(14)?;
+        let mut log = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            log.push(LogEntry::ckpt_load(r)?);
+        }
+        Ok(Stream { valid, squash_id, cause_seq, blocks, vpn, log, created_at: r.u64()? })
     }
 
     /// The instruction offset of `pc` within the stream, derived from the

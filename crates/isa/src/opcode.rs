@@ -136,6 +136,56 @@ impl Opcode {
         self.is_load() || self.is_store()
     }
 
+    /// Every opcode, in declaration order. The position in this array is
+    /// the opcode's stable wire code (see [`Opcode::code`]); append new
+    /// opcodes at the end so existing serialized streams keep decoding.
+    pub const ALL: [Opcode; 34] = [
+        Opcode::Nop,
+        Opcode::Halt,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Sll,
+        Opcode::Srl,
+        Opcode::Sra,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::Slt,
+        Opcode::Sltu,
+        Opcode::Addi,
+        Opcode::Andi,
+        Opcode::Ori,
+        Opcode::Xori,
+        Opcode::Slli,
+        Opcode::Srli,
+        Opcode::Srai,
+        Opcode::Slti,
+        Opcode::Li,
+        Opcode::Ld,
+        Opcode::St,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Bltu,
+        Opcode::Bgeu,
+        Opcode::Jal,
+        Opcode::Jalr,
+    ];
+
+    /// A stable one-byte code for serialization (checkpoints, traces).
+    pub fn code(self) -> u8 {
+        Opcode::ALL.iter().position(|&op| op == self).expect("every opcode is in ALL") as u8
+    }
+
+    /// Decodes a wire code produced by [`Opcode::code`].
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Opcode::ALL.get(code as usize).copied()
+    }
+
     /// The mnemonic used by the disassembler.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -210,6 +260,16 @@ mod tests {
         assert!(Opcode::Ld.is_mem());
         assert!(Opcode::St.is_mem());
         assert!(!Opcode::Add.is_mem());
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_are_dense() {
+        for (i, &op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.code() as usize, i);
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Opcode::from_code(Opcode::ALL.len() as u8), None);
+        assert_eq!(Opcode::from_code(u8::MAX), None);
     }
 
     #[test]

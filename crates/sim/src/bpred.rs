@@ -10,6 +10,7 @@
 
 use mssr_isa::Pc;
 
+use crate::ckpt::{fnv1a64, CkptError, CkptReader, CkptWriter};
 use crate::config::SimConfig;
 
 /// Snapshot of predictor state at prediction time.
@@ -276,6 +277,149 @@ impl BranchPredictor {
     pub fn update_indirect(&mut self, pc: Pc, target: Pc) {
         let idx = (pc.addr() >> 2) as usize & (self.btb.len() - 1);
         self.btb[idx] = Some((pc.addr(), target));
+    }
+
+    fn save_cond_state(&self, w: &mut CkptWriter) {
+        w.u64(self.bimodal.len() as u64);
+        for &c in &self.bimodal {
+            w.u8(c);
+        }
+        w.u64(self.tables.len() as u64);
+        for t in &self.tables {
+            w.u32(t.hist_len);
+            w.u64(t.entries.len() as u64);
+            for e in &t.entries {
+                match e {
+                    None => w.bool(false),
+                    Some(e) => {
+                        w.bool(true);
+                        w.u16(e.tag);
+                        w.i8(e.ctr);
+                        w.u8(e.useful);
+                    }
+                }
+            }
+        }
+        w.u64(self.ghr);
+        w.u64(self.alloc_seed);
+    }
+
+    /// Digest of the conditional-prediction state — bimodal counters,
+    /// TAGE tables, global history, and the allocation seed. Functional
+    /// fast-forward warming is exactly commit-equivalent for this state,
+    /// so the warmup-fidelity tests assert digest *equality* between a
+    /// functional and a cycle-accurate run of the same instructions.
+    /// (The RAS contents and the BTB are intentionally excluded: both are
+    /// perturbed by wrong-path execution in the detailed pipeline.)
+    pub fn cond_digest(&self) -> u64 {
+        let mut w = CkptWriter::new();
+        self.save_cond_state(&mut w);
+        fnv1a64(&w.finish())
+    }
+
+    /// Occupancy of the conditional tables: `(filled TAGE entries, bimodal
+    /// counters moved off their reset value)`.
+    pub fn cond_occupancy(&self) -> (usize, usize) {
+        let tage = self.tables.iter().map(|t| t.entries.iter().flatten().count()).sum();
+        let bimodal = self.bimodal.iter().filter(|&&c| c != 2).count();
+        (tage, bimodal)
+    }
+
+    /// Digest of the BTB contents (a pinned *divergence* in the
+    /// warmup-fidelity tests: the detailed pipeline updates the BTB at
+    /// writeback, wrong paths included).
+    pub fn btb_digest(&self) -> u64 {
+        let mut w = CkptWriter::new();
+        for e in &self.btb {
+            match e {
+                None => w.bool(false),
+                Some((tag, target)) => {
+                    w.bool(true);
+                    w.u64(*tag);
+                    w.pc(*target);
+                }
+            }
+        }
+        fnv1a64(&w.finish())
+    }
+
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        self.save_cond_state(w);
+        w.u64(self.btb.len() as u64);
+        for e in &self.btb {
+            match e {
+                None => w.bool(false),
+                Some((tag, target)) => {
+                    w.bool(true);
+                    w.u64(*tag);
+                    w.pc(*target);
+                }
+            }
+        }
+        for &p in &self.ras {
+            w.pc(p);
+        }
+        w.u64(self.ras_sp);
+    }
+
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let nb = r.seq_len(1)?;
+        if nb != self.bimodal.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{nb} bimodal counters in checkpoint, {} configured",
+                self.bimodal.len()
+            )));
+        }
+        for c in &mut self.bimodal {
+            *c = r.u8()?;
+        }
+        let nt = r.seq_len(13)?;
+        if nt != self.tables.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{nt} TAGE tables in checkpoint, {} configured",
+                self.tables.len()
+            )));
+        }
+        for t in &mut self.tables {
+            let hist_len = r.u32()?;
+            if hist_len != t.hist_len {
+                return Err(CkptError::Corrupt(format!(
+                    "TAGE history length {hist_len} in checkpoint, {} configured",
+                    t.hist_len
+                )));
+            }
+            let ne = r.seq_len(1)?;
+            if ne != t.entries.len() {
+                return Err(CkptError::Corrupt(format!(
+                    "{ne} TAGE entries in checkpoint, {} configured",
+                    t.entries.len()
+                )));
+            }
+            for e in &mut t.entries {
+                *e = if r.bool()? {
+                    Some(TageEntry { tag: r.u16()?, ctr: r.i8()?, useful: r.u8()? })
+                } else {
+                    None
+                };
+            }
+        }
+        self.ghr = r.u64()?;
+        self.alloc_seed = r.u64()?;
+        let nbtb = r.seq_len(1)?;
+        if nbtb != self.btb.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{nbtb} BTB entries in checkpoint, {} configured",
+                self.btb.len()
+            )));
+        }
+        for e in &mut self.btb {
+            *e = if r.bool()? { Some((r.u64()?, r.pc()?)) } else { None };
+        }
+        for p in &mut self.ras {
+            *p = r.pc()?;
+        }
+        self.ras_sp = r.u64()?;
+        Ok(())
     }
 }
 

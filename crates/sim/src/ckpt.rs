@@ -1,0 +1,503 @@
+//! Versioned, checksummed binary checkpoints of simulator state.
+//!
+//! A checkpoint file is an envelope around an opaque payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "MSSRCKPT"
+//! 8       4     format version, u32 LE (CKPT_VERSION)
+//! 12      8     total file length in bytes, u64 LE (envelope included)
+//! 20      ..    payload
+//! len-8   8     FNV-1a over bytes [0, len-8), u64 LE
+//! ```
+//!
+//! [`seal`] wraps a payload; [`open`] validates an envelope and returns
+//! the payload slice. Validation order is fixed — magic, then version,
+//! then length, then checksum — so each corruption mode maps to a
+//! distinct [`CkptError`] and a damaged file can never be half-applied:
+//! nothing is read from the payload until the whole envelope verifies.
+//!
+//! The payload codec ([`CkptWriter`] / [`CkptReader`]) is deliberately
+//! dumb: little-endian fixed-width integers and length-prefixed byte
+//! strings, written and read in lock-step field order. There is no
+//! schema evolution within a version; any layout change bumps
+//! [`CKPT_VERSION`] and older files are rejected with
+//! [`CkptError::BadVersion`] — readers never guess (see DESIGN.md,
+//! "Checkpoint format").
+
+use mssr_isa::Pc;
+
+use crate::types::{PhysReg, Rgid, SeqNum};
+
+/// Magic bytes opening every checkpoint file.
+pub const CKPT_MAGIC: [u8; 8] = *b"MSSRCKPT";
+
+/// Current checkpoint format version. Bump on any payload layout change.
+pub const CKPT_VERSION: u32 = 1;
+
+const ENVELOPE_HEADER: usize = 20;
+const CHECKSUM_BYTES: usize = 8;
+
+/// Why a checkpoint was rejected. Every failure mode is distinct and
+/// terminal: a checkpoint either restores completely or not at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CkptError {
+    /// The file is shorter than its header claims (or than the minimum
+    /// envelope).
+    Truncated { need: usize, have: usize },
+    /// The magic bytes are wrong — not a checkpoint file.
+    BadMagic,
+    /// Written by a different (incompatible) format version.
+    BadVersion { found: u32, expect: u32 },
+    /// The trailing FNV-1a checksum does not match the contents.
+    BadChecksum { stored: u64, computed: u64 },
+    /// The snapshot was taken of a different program.
+    ProgramMismatch,
+    /// The snapshot was taken under a different simulator configuration.
+    ConfigMismatch,
+    /// The snapshot was taken with a different reuse engine.
+    EngineMismatch { found: String, expect: String },
+    /// The envelope verified but the payload decoded inconsistently
+    /// (a codec bug or a hand-crafted file).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Truncated { need, have } => {
+                write!(f, "truncated checkpoint: need {need} bytes, have {have}")
+            }
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::BadVersion { found, expect } => {
+                write!(f, "checkpoint version {found} unsupported (expect {expect})")
+            }
+            CkptError::BadChecksum { stored, computed } => {
+                write!(f, "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}")
+            }
+            CkptError::ProgramMismatch => write!(f, "checkpoint was taken of a different program"),
+            CkptError::ConfigMismatch => {
+                write!(f, "checkpoint was taken under a different configuration")
+            }
+            CkptError::EngineMismatch { found, expect } => {
+                write!(f, "checkpoint engine mismatch: found {found:?}, expect {expect:?}")
+            }
+            CkptError::Corrupt(detail) => write!(f, "corrupt checkpoint payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// 64-bit FNV-1a over a byte slice — the checkpoint checksum and the
+/// identity hash used for program/config compatibility checks and grid
+/// checkpoint file names.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps a payload in the checkpoint envelope (magic, version, length,
+/// trailing checksum).
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let total = ENVELOPE_HEADER + payload.len() + CHECKSUM_BYTES;
+    let mut buf = Vec::with_capacity(total);
+    buf.extend_from_slice(&CKPT_MAGIC);
+    buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(total as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let sum = fnv1a64(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Validates a checkpoint envelope and returns the payload slice.
+/// Checks in order: magic, version, declared length, checksum — so a
+/// truncation, a version skew, and a flipped byte each surface as their
+/// own [`CkptError`].
+pub fn open(buf: &[u8]) -> Result<&[u8], CkptError> {
+    if buf.len() < 8 {
+        return Err(CkptError::Truncated {
+            need: ENVELOPE_HEADER + CHECKSUM_BYTES,
+            have: buf.len(),
+        });
+    }
+    if buf[..8] != CKPT_MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    if buf.len() < ENVELOPE_HEADER {
+        return Err(CkptError::Truncated {
+            need: ENVELOPE_HEADER + CHECKSUM_BYTES,
+            have: buf.len(),
+        });
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    if version != CKPT_VERSION {
+        return Err(CkptError::BadVersion { found: version, expect: CKPT_VERSION });
+    }
+    let total = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes")) as usize;
+    if total < ENVELOPE_HEADER + CHECKSUM_BYTES {
+        return Err(CkptError::Corrupt(format!("declared length {total} below envelope minimum")));
+    }
+    if buf.len() < total {
+        return Err(CkptError::Truncated { need: total, have: buf.len() });
+    }
+    if buf.len() > total {
+        return Err(CkptError::Corrupt(format!(
+            "{} trailing bytes beyond declared length {total}",
+            buf.len() - total
+        )));
+    }
+    let body = &buf[..total - CHECKSUM_BYTES];
+    let stored = u64::from_le_bytes(buf[total - CHECKSUM_BYTES..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(CkptError::BadChecksum { stored, computed });
+    }
+    Ok(&buf[ENVELOPE_HEADER..total - CHECKSUM_BYTES])
+}
+
+/// Sequential payload writer: fixed-width little-endian fields and
+/// length-prefixed byte strings, in lock-step with [`CkptReader`].
+#[derive(Default)]
+pub struct CkptWriter {
+    buf: Vec<u8>,
+}
+
+impl CkptWriter {
+    pub fn new() -> CkptWriter {
+        CkptWriter::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i8(&mut self, v: i8) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    pub fn pc(&mut self, pc: Pc) {
+        self.u64(pc.addr());
+    }
+
+    pub fn opt_pc(&mut self, pc: Option<Pc>) {
+        self.opt_u64(pc.map(|p| p.addr()));
+    }
+
+    pub fn seq(&mut self, s: SeqNum) {
+        self.u64(s.value());
+    }
+
+    pub fn preg(&mut self, p: PhysReg) {
+        self.u16(p.index() as u16);
+    }
+
+    pub fn opt_preg(&mut self, p: Option<PhysReg>) {
+        match p {
+            Some(p) => {
+                self.bool(true);
+                self.preg(p);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    pub fn rgid(&mut self, g: Rgid) {
+        self.u16(g.value());
+    }
+
+    pub fn opt_rgid(&mut self, g: Option<Rgid>) {
+        match g {
+            Some(g) => {
+                self.bool(true);
+                self.rgid(g);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// The accumulated payload (no envelope; see [`seal`]).
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential payload reader; every accessor is bounds-checked and
+/// over-reads report [`CkptError::Truncated`] with exact positions.
+pub struct CkptReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CkptReader<'a> {
+    pub fn new(payload: &'a [u8]) -> CkptReader<'a> {
+        CkptReader { buf: payload, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CkptError::Truncated { need: self.pos + n, have: self.buf.len() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError::Corrupt(format!("bool byte {b} at offset {}", self.pos - 1))),
+        }
+    }
+
+    pub fn u16(&mut self) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn i8(&mut self) -> Result<i8, CkptError> {
+        Ok(self.u8()? as i8)
+    }
+
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, CkptError> {
+        Ok(if self.bool()? { Some(self.u64()?) } else { None })
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+
+    pub fn str(&mut self) -> Result<String, CkptError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| CkptError::Corrupt("non-UTF-8 string field".into()))
+    }
+
+    /// A bounded sequence length: rejects lengths that could not fit in
+    /// the remaining payload before any allocation happens.
+    pub fn seq_len(&mut self, elem_min_bytes: usize) -> Result<usize, CkptError> {
+        let n = self.u64()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if elem_min_bytes > 0 && n > remaining / elem_min_bytes {
+            return Err(CkptError::Corrupt(format!(
+                "sequence of {n} elements cannot fit in {remaining} remaining bytes"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub fn pc(&mut self) -> Result<Pc, CkptError> {
+        Ok(Pc::new(self.u64()?))
+    }
+
+    pub fn opt_pc(&mut self) -> Result<Option<Pc>, CkptError> {
+        Ok(self.opt_u64()?.map(Pc::new))
+    }
+
+    pub fn seq(&mut self) -> Result<SeqNum, CkptError> {
+        Ok(SeqNum::new(self.u64()?))
+    }
+
+    pub fn preg(&mut self) -> Result<PhysReg, CkptError> {
+        Ok(PhysReg::new(self.u16()? as usize))
+    }
+
+    pub fn opt_preg(&mut self) -> Result<Option<PhysReg>, CkptError> {
+        Ok(if self.bool()? { Some(self.preg()?) } else { None })
+    }
+
+    pub fn rgid(&mut self) -> Result<Rgid, CkptError> {
+        let v = self.u16()?;
+        Ok(if v == u16::MAX { Rgid::NULL } else { Rgid::new(v) })
+    }
+
+    pub fn opt_rgid(&mut self) -> Result<Option<Rgid>, CkptError> {
+        Ok(if self.bool()? { Some(self.rgid()?) } else { None })
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn done(&self) -> Result<(), CkptError> {
+        if self.pos != self.buf.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{} unread payload bytes at offset {}",
+                self.buf.len() - self.pos,
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_envelope() {
+        let mut w = CkptWriter::new();
+        w.u8(7);
+        w.bool(true);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(0x0123_4567_89ab_cdef);
+        w.i8(-5);
+        w.opt_u64(None);
+        w.opt_u64(Some(42));
+        w.str("mssr");
+        w.bytes(&[1, 2, 3]);
+        let file = seal(&w.finish());
+
+        let payload = open(&file).expect("valid envelope");
+        let mut r = CkptReader::new(payload);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.i8().unwrap(), -5);
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(42));
+        assert_eq!(r.str().unwrap(), "mssr");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        r.done().expect("fully consumed");
+    }
+
+    #[test]
+    fn truncation_is_detected_by_length_not_checksum() {
+        let file = seal(&[9; 64]);
+        for cut in [0, 7, 19, 20, file.len() - 9, file.len() - 1] {
+            match open(&file[..cut]) {
+                Err(CkptError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_distinct() {
+        let mut file = seal(&[1, 2, 3]);
+        file[0] ^= 0xff;
+        assert_eq!(open(&file).unwrap_err(), CkptError::BadMagic);
+    }
+
+    #[test]
+    fn version_skew_is_detected_before_the_checksum() {
+        let mut file = seal(&[1, 2, 3]);
+        file[8] = CKPT_VERSION as u8 + 1;
+        // No checksum fix-up: the version check must fire first.
+        assert_eq!(
+            open(&file).unwrap_err(),
+            CkptError::BadVersion { found: CKPT_VERSION + 1, expect: CKPT_VERSION }
+        );
+    }
+
+    #[test]
+    fn flipped_byte_is_a_checksum_error() {
+        let mut file = seal(&[5; 32]);
+        let mid = ENVELOPE_HEADER + 16;
+        file[mid] ^= 0x01;
+        assert!(matches!(open(&file).unwrap_err(), CkptError::BadChecksum { .. }));
+        // Flipping a checksum byte itself is equally fatal.
+        let mut file = seal(&[5; 32]);
+        let last = file.len() - 1;
+        file[last] ^= 0x01;
+        assert!(matches!(open(&file).unwrap_err(), CkptError::BadChecksum { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut file = seal(&[1]);
+        file.push(0);
+        assert!(matches!(open(&file).unwrap_err(), CkptError::Corrupt(_)));
+    }
+
+    #[test]
+    fn reader_overrun_reports_truncated() {
+        let mut r = CkptReader::new(&[1, 2]);
+        assert!(matches!(r.u64(), Err(CkptError::Truncated { need: 8, have: 2 })));
+    }
+
+    #[test]
+    fn errors_render_distinct_messages() {
+        let msgs: Vec<String> = [
+            CkptError::Truncated { need: 10, have: 2 },
+            CkptError::BadMagic,
+            CkptError::BadVersion { found: 9, expect: CKPT_VERSION },
+            CkptError::BadChecksum { stored: 1, computed: 2 },
+            CkptError::ProgramMismatch,
+            CkptError::ConfigMismatch,
+            CkptError::EngineMismatch { found: "a".into(), expect: "b".into() },
+            CkptError::Corrupt("x".into()),
+        ]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+        for (i, a) in msgs.iter().enumerate() {
+            for b in &msgs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

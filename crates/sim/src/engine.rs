@@ -18,6 +18,7 @@
 
 use mssr_isa::{ArchReg, Inst, Opcode, Pc};
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::rename::FreeList;
 use crate::stats::EngineStats;
 use crate::types::{FlushKind, PhysReg, Rgid, SeqNum};
@@ -279,6 +280,19 @@ pub trait ReuseEngine {
     /// will report its reservations as leaks.
     fn reserved_hold_count(&self) -> u64 {
         0
+    }
+
+    /// Serializes the engine's internal state into a checkpoint section.
+    /// Engines with no state (the default) write nothing; stateful
+    /// engines must save everything a restored run needs to continue
+    /// bit-identically (logs, streams, filters, counters).
+    fn ckpt_save(&self, w: &mut CkptWriter) {}
+
+    /// Restores the engine's internal state from a checkpoint section
+    /// written by [`ReuseEngine::ckpt_save`] on an identically
+    /// configured engine.
+    fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        Ok(())
     }
 }
 

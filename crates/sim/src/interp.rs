@@ -12,6 +12,120 @@ use mssr_isa::{ArchReg, Opcode, Pc, Program, NUM_ARCH_REGS};
 use crate::exec;
 use crate::mem::MainMemory;
 
+/// Architectural state as one step of execution sees it: registers and
+/// memory, nothing else. The interpreter implements it over its own
+/// flat register file; the pipeline's functional fast-forward implements
+/// it over the RAT/PRF and simulated memory, so both run the *same*
+/// [`arch_step`] semantics and cannot drift apart.
+pub(crate) trait ArchState {
+    /// Reads an architectural register.
+    fn reg(&self, a: ArchReg) -> u64;
+    /// Writes an architectural register. Callers never pass `x0`
+    /// ([`arch_step`] centralizes that guard).
+    fn set_reg(&mut self, a: ArchReg, v: u64);
+    /// Reads a 64-bit word (address already wrapped).
+    fn mem_read(&mut self, addr: u64) -> u64;
+    /// Writes a 64-bit word (address already wrapped).
+    fn mem_write(&mut self, addr: u64, v: u64);
+    /// Wraps an address into the memory image.
+    fn wrap(&self, addr: u64) -> u64;
+}
+
+/// What one architectural step was, for consumers (the functional
+/// fast-forward) that warm microarchitectural structures alongside the
+/// execution. Plain ALU ops, `nop`, and `jal` carry nothing a warmer
+/// needs beyond the PC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ArchKind {
+    /// No side information.
+    Plain,
+    /// A conditional branch and its resolved direction.
+    Cond {
+        /// Whether the branch was taken.
+        taken: bool,
+    },
+    /// An indirect jump and its resolved target.
+    Jalr {
+        /// The target PC.
+        target: Pc,
+    },
+    /// A load and its (wrapped) address.
+    Load {
+        /// The accessed address.
+        addr: u64,
+    },
+    /// A store and its (wrapped) address.
+    Store {
+        /// The accessed address.
+        addr: u64,
+    },
+}
+
+/// The result of one architectural step.
+pub(crate) struct ArchOutcome {
+    /// Where control flow goes next; `None` after `halt`.
+    pub next: Option<Pc>,
+    /// What the step was.
+    pub kind: ArchKind,
+}
+
+fn write_dst(st: &mut impl ArchState, dst: Option<ArchReg>, v: u64) {
+    if let Some(d) = dst {
+        if !d.is_zero() {
+            st.set_reg(d, v);
+        }
+    }
+}
+
+/// Executes the instruction at `pc` against `st`. Returns `None` when
+/// `pc` is outside the program image.
+pub(crate) fn arch_step(program: &Program, pc: Pc, st: &mut impl ArchState) -> Option<ArchOutcome> {
+    let inst = *program.fetch(pc)?;
+    let a = inst.src1().map_or(0, |r| st.reg(r));
+    let b = inst.src2().map_or(0, |r| st.reg(r));
+    let op = inst.op();
+    let fallthrough = pc.next();
+    let mut next = fallthrough;
+    let mut kind = ArchKind::Plain;
+    match op {
+        Opcode::Halt => return Some(ArchOutcome { next: None, kind }),
+        Opcode::Nop => {}
+        Opcode::Ld => {
+            let addr = st.wrap(exec::mem_addr(&inst, a));
+            let v = st.mem_read(addr);
+            write_dst(st, inst.dst(), v);
+            kind = ArchKind::Load { addr };
+        }
+        Opcode::St => {
+            let addr = st.wrap(exec::mem_addr(&inst, a));
+            st.mem_write(addr, b);
+            kind = ArchKind::Store { addr };
+        }
+        Opcode::Jal => {
+            write_dst(st, inst.dst(), fallthrough.addr());
+            next = inst.target().expect("jal has a target");
+        }
+        Opcode::Jalr => {
+            let target = Pc::new(a.wrapping_add(inst.imm() as u64));
+            write_dst(st, inst.dst(), fallthrough.addr());
+            next = target;
+            kind = ArchKind::Jalr { target };
+        }
+        op if op.is_cond_branch() => {
+            let taken = exec::branch_taken(op, a, b);
+            if taken {
+                next = inst.target().expect("branch has a target");
+            }
+            kind = ArchKind::Cond { taken };
+        }
+        _ => {
+            let v = exec::alu(op, a, b, inst.imm()).expect("ALU opcode");
+            write_dst(st, inst.dst(), v);
+        }
+    }
+    Some(ArchOutcome { next: Some(next), kind })
+}
+
 /// Why an interpretation run stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StopReason {
@@ -108,53 +222,18 @@ impl Interpreter {
     /// Executes one instruction. Returns `None` while running, or the
     /// stop reason.
     pub fn step(&mut self) -> Option<StopReason> {
-        let Some(&inst) = self.program.fetch(self.pc) else {
+        let mut st = FlatState { regs: &mut self.regs, memory: &mut self.memory };
+        let Some(out) = arch_step(&self.program, self.pc, &mut st) else {
             return Some(StopReason::OutOfProgram);
         };
         self.executed += 1;
-        let a = inst.src1().map_or(0, |r| self.reg(r));
-        let b = inst.src2().map_or(0, |r| self.reg(r));
-        let op = inst.op();
-        let mut next = self.pc.next();
-        match op {
-            Opcode::Halt => return Some(StopReason::Halted),
-            Opcode::Nop => {}
-            Opcode::Ld => {
-                let addr = self.memory.wrap(exec::mem_addr(&inst, a));
-                let v = self.memory.read_u64(addr);
-                self.set_reg(inst.dst().expect("loads write a register"), v);
+        match out.next {
+            Some(next) => {
+                self.pc = next;
+                None
             }
-            Opcode::St => {
-                let addr = self.memory.wrap(exec::mem_addr(&inst, a));
-                self.memory.write_u64(addr, b);
-            }
-            Opcode::Jal => {
-                if let Some(d) = inst.dst() {
-                    self.set_reg(d, next.addr());
-                }
-                next = inst.target().expect("jal has a target");
-            }
-            Opcode::Jalr => {
-                let target = Pc::new(a.wrapping_add(inst.imm() as u64));
-                if let Some(d) = inst.dst() {
-                    self.set_reg(d, next.addr());
-                }
-                next = target;
-            }
-            op if op.is_cond_branch() => {
-                if exec::branch_taken(op, a, b) {
-                    next = inst.target().expect("branch has a target");
-                }
-            }
-            _ => {
-                let v = exec::alu(op, a, b, inst.imm()).expect("ALU opcode");
-                if let Some(d) = inst.dst() {
-                    self.set_reg(d, v);
-                }
-            }
+            None => Some(StopReason::Halted),
         }
-        self.pc = next;
-        None
     }
 
     /// Runs until halt, departure from the program, or `max_insts`.
@@ -165,6 +244,34 @@ impl Interpreter {
             }
         }
         StopReason::InstLimit
+    }
+}
+
+/// The interpreter's flat register file and memory as an [`ArchState`].
+struct FlatState<'a> {
+    regs: &'a mut [u64; NUM_ARCH_REGS],
+    memory: &'a mut MainMemory,
+}
+
+impl ArchState for FlatState<'_> {
+    fn reg(&self, a: ArchReg) -> u64 {
+        self.regs[a.index()]
+    }
+
+    fn set_reg(&mut self, a: ArchReg, v: u64) {
+        self.regs[a.index()] = v;
+    }
+
+    fn mem_read(&mut self, addr: u64) -> u64 {
+        self.memory.read_u64(addr)
+    }
+
+    fn mem_write(&mut self, addr: u64, v: u64) {
+        self.memory.write_u64(addr, v)
+    }
+
+    fn wrap(&self, addr: u64) -> u64 {
+        self.memory.wrap(addr)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Issue queues (reservation stations) with wakeup/select.
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::types::{FuClass, PhysReg, SeqNum};
 
 /// One reservation-station entry: an instruction waiting for its source
@@ -84,6 +85,49 @@ impl IssueQueue {
     /// Removes every entry with `seq >= first` (pipeline squash).
     pub fn squash_from(&mut self, first: SeqNum) {
         self.entries.retain(|e| e.seq < first);
+    }
+
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.entries.len() as u64);
+        for e in &self.entries {
+            w.seq(e.seq);
+            w.u8(match e.fu {
+                FuClass::Alu => 0,
+                FuClass::Bru => 1,
+                FuClass::Lsu => 2,
+            });
+            w.u64(e.waiting.len() as u64);
+            for &p in &e.waiting {
+                w.preg(p);
+            }
+        }
+    }
+
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let n = r.seq_len(10)?;
+        if n > self.capacity {
+            return Err(CkptError::Corrupt(format!(
+                "{n} issue-queue entries in checkpoint, capacity {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let seq = r.seq()?;
+            let fu = match r.u8()? {
+                0 => FuClass::Alu,
+                1 => FuClass::Bru,
+                2 => FuClass::Lsu,
+                b => return Err(CkptError::Corrupt(format!("unknown FU class byte {b}"))),
+            };
+            let m = r.seq_len(2)?;
+            let mut waiting = Vec::with_capacity(m);
+            for _ in 0..m {
+                waiting.push(r.preg()?);
+            }
+            self.entries.push(IqEntry { seq, fu, waiting });
+        }
+        Ok(())
     }
 }
 

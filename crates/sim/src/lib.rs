@@ -50,6 +50,7 @@
 mod account;
 mod bpred;
 mod check;
+mod ckpt;
 mod config;
 mod dump;
 mod engine;
@@ -72,6 +73,7 @@ pub use check::{
     check_age_order, check_commit_entry, check_conservation, check_cpi_account, check_lsq,
     check_reuse_safety, check_rgids, Rule, Violation,
 };
+pub use ckpt::{fnv1a64, CkptError, CkptReader, CkptWriter, CKPT_MAGIC, CKPT_VERSION};
 pub use config::{CacheConfig, ConfigError, SimConfig};
 pub use engine::{
     BlockRange, EngineCtx, NoReuse, PredBlock, RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery,
@@ -86,5 +88,7 @@ pub use rename::{FreeList, Prf, Rat, RgidAlloc};
 pub use rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
 pub use sample::{Sample, SampleRing, Sampler, DEFAULT_RING_CAPACITY};
 pub use stats::{json_escape, EngineStats, SimStats};
-pub use trace::{BufferSink, JsonLinesSink, RingSink, TraceEvent, TraceKind, TraceSink};
+pub use trace::{
+    BufferSink, CkptAction, JsonLinesSink, RingSink, TraceEvent, TraceKind, TraceSink,
+};
 pub use types::{FlushKind, FuClass, PhysReg, Rgid, SeqNum};

@@ -1,7 +1,11 @@
 //! Data memory: flat main memory, set-associative caches, and the
 //! two-level hierarchy latency model.
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::config::{CacheConfig, SimConfig};
+
+/// Page granule of the sparse checkpoint memory encoding.
+const CKPT_PAGE: usize = 4096;
 
 /// Flat, byte-addressable simulated main memory.
 ///
@@ -52,6 +56,52 @@ impl MainMemory {
     /// Memory window size in bytes.
     pub fn size(&self) -> usize {
         self.data.len()
+    }
+
+    /// Serializes the memory image sparsely: all-zero 4 KiB pages are
+    /// skipped, so a checkpoint costs space proportional to the touched
+    /// footprint, not the configured window.
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.data.len() as u64);
+        let pages = self.data.chunks(CKPT_PAGE);
+        let nonzero = pages.clone().filter(|p| p.iter().any(|&b| b != 0)).count();
+        w.u64(nonzero as u64);
+        for (i, page) in pages.enumerate() {
+            if page.iter().any(|&b| b != 0) {
+                w.u64(i as u64);
+                w.bytes(page);
+            }
+        }
+    }
+
+    /// Restores the memory image, zeroing everything not present in the
+    /// checkpoint (restore is wholesale, never a partial overlay).
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let size = r.u64()? as usize;
+        if size != self.data.len() {
+            return Err(CkptError::Corrupt(format!(
+                "memory window of {size} bytes in checkpoint, {} configured",
+                self.data.len()
+            )));
+        }
+        self.data.fill(0);
+        let pages = r.seq_len(16)?;
+        for _ in 0..pages {
+            let i = r.u64()? as usize;
+            let bytes = r.bytes()?;
+            let start = i
+                .checked_mul(CKPT_PAGE)
+                .filter(|&s| s < size)
+                .ok_or_else(|| CkptError::Corrupt(format!("memory page {i} outside the window")))?;
+            if bytes.len() != CKPT_PAGE.min(size - start) {
+                return Err(CkptError::Corrupt(format!(
+                    "memory page {i} has {} bytes",
+                    bytes.len()
+                )));
+            }
+            self.data[start..start + bytes.len()].copy_from_slice(bytes);
+        }
+        Ok(())
     }
 }
 
@@ -134,6 +184,56 @@ impl Cache {
     pub fn latency(&self) -> u64 {
         self.cfg.latency
     }
+
+    /// The resident line numbers (address / line size), sorted — the
+    /// warmup-fidelity tests compare these between a functional warmup
+    /// and a cycle-accurate run.
+    pub fn resident_lines(&self) -> Vec<u64> {
+        let sets = self.cfg.sets() as u64;
+        let mut out: Vec<u64> = self
+            .tags
+            .iter()
+            .enumerate()
+            .flat_map(|(set, ways)| ways.iter().flatten().map(move |&tag| tag * sets + set as u64))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.cfg.sets() as u64);
+        w.u64(self.cfg.ways as u64);
+        w.u64(self.tick);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        for (set_tags, set_lru) in self.tags.iter().zip(&self.lru) {
+            for (tag, lru) in set_tags.iter().zip(set_lru) {
+                w.opt_u64(*tag);
+                w.u64(*lru);
+            }
+        }
+    }
+
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let (sets, ways) = (r.u64()? as usize, r.u64()? as usize);
+        if sets != self.cfg.sets() || ways != self.cfg.ways {
+            return Err(CkptError::Corrupt(format!(
+                "cache geometry {sets}x{ways} in checkpoint, {}x{} configured",
+                self.cfg.sets(),
+                self.cfg.ways
+            )));
+        }
+        self.tick = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        for (set_tags, set_lru) in self.tags.iter_mut().zip(&mut self.lru) {
+            for (tag, lru) in set_tags.iter_mut().zip(set_lru.iter_mut()) {
+                *tag = r.opt_u64()?;
+                *lru = r.u64()?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Two-level cache hierarchy plus DRAM, returning access latencies.
@@ -167,6 +267,16 @@ impl Hierarchy {
             return self.l1.latency() + self.l2.latency();
         }
         self.l1.latency() + self.l2.latency() + self.dram_latency
+    }
+
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        self.l1.ckpt_save(w);
+        self.l2.ckpt_save(w);
+    }
+
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.l1.ckpt_load(r)?;
+        self.l2.ckpt_load(r)
     }
 }
 

@@ -15,12 +15,14 @@ use mssr_isa::{ArchReg, Inst, Opcode, Pc, Program};
 use crate::account::{Category, CycleAccount};
 use crate::bpred::{BranchPredictor, PredMeta};
 use crate::check::{self, Rule, Violation};
+use crate::ckpt::{self, CkptError, CkptReader, CkptWriter};
 use crate::config::SimConfig;
 use crate::engine::{
     BlockRange, EngineCtx, NoReuse, PredBlock, RenamedInst, ReuseEngine, ReuseQuery, SquashEvent,
     SquashedInst,
 };
 use crate::exec;
+use crate::interp::{arch_step, ArchKind, ArchState};
 use crate::iq::IssueQueue;
 use crate::lsq::{Forward, LqEntry, Lsq, SqEntry};
 use crate::mem::{Hierarchy, MainMemory};
@@ -28,7 +30,7 @@ use crate::rename::{FreeList, Prf, Rat, RgidAlloc};
 use crate::rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
 use crate::sample::{Sample, SampleRing, Sampler, DEFAULT_RING_CAPACITY};
 use crate::stats::SimStats;
-use crate::trace::{TraceEvent, TraceKind, TraceSink, Tracer};
+use crate::trace::{CkptAction, TraceEvent, TraceKind, TraceSink, Tracer};
 use crate::types::{FlushKind, FuClass, PhysReg, Rgid, SeqNum};
 
 /// An instruction in flight between prediction and rename.
@@ -1487,6 +1489,634 @@ impl Simulator {
         // overflow and the end of the cycle).
         self.engine.on_rgid_reset(&mut ectx!(self));
     }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore / functional fast-forward
+    // ------------------------------------------------------------------
+
+    /// Read access to the branch predictor (warmup-fidelity inspection).
+    pub fn bpred(&self) -> &BranchPredictor {
+        &self.bpred
+    }
+
+    /// Read access to the cache hierarchy (warmup-fidelity inspection).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// A stable identity hash of the loaded program (base address plus
+    /// every instruction), used to reject checkpoints taken of a
+    /// different program. In-flight instructions are checkpointed by PC
+    /// only and re-fetched through this guard.
+    fn program_hash(program: &Program) -> u64 {
+        let mut text = program.base().addr().to_string();
+        for (pc, inst) in program.iter() {
+            text.push_str(&format!("|{}:{inst:?}", pc.addr()));
+        }
+        ckpt::fnv1a64(text.as_bytes())
+    }
+
+    /// A stable identity hash of the simulator configuration. Structure
+    /// sizes (ROB, queues, caches) shape the serialized state, so a
+    /// checkpoint only restores under the exact configuration that took
+    /// it; the `Debug` rendering covers every field.
+    fn config_hash(cfg: &SimConfig) -> u64 {
+        ckpt::fnv1a64(format!("{cfg:?}").as_bytes())
+    }
+
+    fn save_rob_entry(w: &mut CkptWriter, e: &RobEntry) {
+        w.seq(e.seq);
+        w.pc(e.pc);
+        match e.dst {
+            None => w.bool(false),
+            Some(d) => {
+                w.bool(true);
+                w.u8(d.arch.index() as u8);
+                w.preg(d.new_preg);
+                w.preg(d.prev_preg);
+                w.rgid(d.new_rgid);
+                w.rgid(d.prev_rgid);
+            }
+        }
+        for p in e.src_pregs {
+            w.opt_preg(p);
+        }
+        for g in e.src_rgids {
+            w.opt_rgid(g);
+        }
+        w.bool(e.completed);
+        w.bool(e.reused);
+        w.bool(e.verify_pending);
+        w.bool(e.fwd_stalled);
+        w.opt_u64(e.pending_value);
+        match e.branch {
+            None => w.bool(false),
+            Some(b) => {
+                w.bool(true);
+                w.pc(b.pred_next);
+                w.bool(b.pred_taken);
+                w.u64(b.meta.ghr_before);
+                match b.resolved {
+                    None => w.bool(false),
+                    Some(o) => {
+                        w.bool(true);
+                        w.bool(o.taken);
+                        w.pc(o.next);
+                    }
+                }
+            }
+        }
+        w.opt_u64(e.mem_addr);
+        w.u64(e.ghr_before);
+        w.u64(e.ras_sp_before);
+    }
+
+    fn load_rob_entry(r: &mut CkptReader, program: &Program) -> Result<RobEntry, CkptError> {
+        let seq = r.seq()?;
+        let pc = r.pc()?;
+        let inst = Self::refetch(program, pc)?;
+        let dst = if r.bool()? {
+            Some(DstInfo {
+                arch: load_arch_reg(r)?,
+                new_preg: r.preg()?,
+                prev_preg: r.preg()?,
+                new_rgid: r.rgid()?,
+                prev_rgid: r.rgid()?,
+            })
+        } else {
+            None
+        };
+        let src_pregs = [r.opt_preg()?, r.opt_preg()?];
+        let src_rgids = [r.opt_rgid()?, r.opt_rgid()?];
+        let completed = r.bool()?;
+        let reused = r.bool()?;
+        let verify_pending = r.bool()?;
+        let fwd_stalled = r.bool()?;
+        let pending_value = r.opt_u64()?;
+        let branch = if r.bool()? {
+            let pred_next = r.pc()?;
+            let pred_taken = r.bool()?;
+            let meta = PredMeta { ghr_before: r.u64()? };
+            let resolved = if r.bool()? {
+                Some(BranchOutcome { taken: r.bool()?, next: r.pc()? })
+            } else {
+                None
+            };
+            Some(BranchState { pred_next, pred_taken, meta, resolved })
+        } else {
+            None
+        };
+        Ok(RobEntry {
+            seq,
+            pc,
+            inst,
+            dst,
+            src_pregs,
+            src_rgids,
+            completed,
+            reused,
+            verify_pending,
+            fwd_stalled,
+            pending_value,
+            branch,
+            mem_addr: r.opt_u64()?,
+            ghr_before: r.u64()?,
+            ras_sp_before: r.u64()?,
+        })
+    }
+
+    fn refetch(program: &Program, pc: Pc) -> Result<Inst, CkptError> {
+        program
+            .fetch(pc)
+            .copied()
+            .ok_or_else(|| CkptError::Corrupt(format!("checkpointed PC {pc} outside the program")))
+    }
+
+    /// Serializes the complete simulation state — architectural and
+    /// microarchitectural, in-flight instructions included — into a
+    /// versioned, checksummed envelope (see [`crate::ckpt`]). The
+    /// pipeline is captured exactly as it stands, never drained, so a
+    /// restored simulator continues bit-identically: same cycle counts,
+    /// same statistics, same trace from the restore point onward.
+    ///
+    /// Instructions are stored by PC and re-fetched from the program at
+    /// restore, guarded by a program identity hash in the payload.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        w.u64(Self::config_hash(&self.cfg));
+        w.u64(Self::program_hash(&self.program));
+        w.str(self.engine.name());
+
+        // Control scalars.
+        w.u64(self.cycle);
+        w.u64(self.next_seq);
+        w.u64(self.squash_ctr);
+        w.bool(self.halted);
+        w.opt_pc(self.fetch_pc);
+        w.u64(self.fetch_resume_at);
+        w.bool(self.rgid_reset_requested);
+        w.u64(self.rgid_overflows_total);
+        w.u64(self.rgid_resets_total);
+        w.u64(self.grants_total);
+        match self.refill_blame {
+            None => w.bool(false),
+            Some((kind, seq)) => {
+                w.bool(true);
+                w.u8(flush_kind_code(kind));
+                w.seq(seq);
+            }
+        }
+
+        // Cumulative statistics. Cache counters live in the hierarchy
+        // section and engine counters in the engine blob; `stats()`
+        // recomposes them, so only the pipeline-owned counters go here.
+        for v in [
+            self.stats.committed_instructions,
+            self.stats.committed_branches,
+            self.stats.committed_cond_branches,
+            self.stats.mispredictions,
+            self.stats.renamed_instructions,
+            self.stats.squashed_instructions,
+            self.stats.flushes_branch,
+            self.stats.flushes_mem_order,
+            self.stats.flushes_reuse_verify,
+            self.stats.committed_loads,
+            self.stats.committed_stores,
+            self.stats.store_forwards,
+            self.stats.store_forward_stalls,
+            self.stats.snoops,
+            self.stats.ffwd_insts,
+            self.stats.skipped_cycles,
+        ] {
+            w.u64(v);
+        }
+
+        // CPI-stack account.
+        for s in self.account.slots {
+            w.u64(s);
+        }
+        w.u64(self.account.credit_reuse_cycles);
+        w.u64(self.account.credit_recon_fetches);
+
+        self.bpred.ckpt_save(&mut w);
+
+        // Frontend queue (instructions by PC).
+        w.u64(self.frontend_q.len() as u64);
+        for fi in &self.frontend_q {
+            w.u64(fi.ready_cycle);
+            w.pc(fi.pc);
+            w.bool(fi.pred_taken);
+            w.pc(fi.pred_next);
+            w.u64(fi.meta.ghr_before);
+            w.u64(fi.ghr_before);
+            w.u64(fi.ras_sp_before);
+        }
+
+        self.rat.ckpt_save(&mut w);
+        self.free_list.ckpt_save(&mut w);
+        self.prf.ckpt_save(&mut w);
+        self.rgids.ckpt_save(&mut w);
+
+        w.u64(self.rob.len() as u64);
+        for e in self.rob.iter() {
+            Self::save_rob_entry(&mut w, e);
+        }
+
+        self.iq_int.ckpt_save(&mut w);
+        self.iq_mem.ckpt_save(&mut w);
+
+        w.u64(self.lsq.lq_len() as u64);
+        for l in self.lsq.loads() {
+            w.seq(l.seq);
+            w.opt_u64(l.addr);
+            w.bool(l.issued);
+            w.opt_u64(l.value);
+            w.bool(l.reused);
+        }
+        w.u64(self.lsq.sq_len() as u64);
+        for s in self.lsq.stores() {
+            w.seq(s.seq);
+            w.opt_u64(s.addr);
+            w.opt_u64(s.data);
+        }
+
+        // Completion events. Heap iteration order is arbitrary; sort so
+        // identical machine states serialize to identical bytes.
+        let mut comps: Vec<(u64, u64)> = self.completions.iter().map(|&Reverse(p)| p).collect();
+        comps.sort_unstable();
+        w.u64(comps.len() as u64);
+        for (c, s) in comps {
+            w.u64(c);
+            w.u64(s);
+        }
+
+        w.u64(self.pending_flushes.len() as u64);
+        for f in &self.pending_flushes {
+            w.seq(f.first_squashed);
+            w.pc(f.redirect);
+            w.u8(flush_kind_code(f.kind));
+            w.seq(f.cause_seq);
+            w.pc(f.cause_pc);
+        }
+
+        self.memory.ckpt_save(&mut w);
+        self.hier.ckpt_save(&mut w);
+
+        // Engine state, as a length-prefixed blob so the pipeline can
+        // frame it without knowing its layout.
+        let mut ew = CkptWriter::new();
+        self.engine.ckpt_save(&mut ew);
+        w.bytes(&ew.finish());
+
+        self.sampler.ckpt_save(&mut w);
+        self.tracer.ckpt_save(&mut w);
+        w.u32(CKPT_END);
+
+        ckpt::seal(&w.finish())
+    }
+
+    /// Restores a snapshot taken by [`Simulator::snapshot`] over this
+    /// simulator, which must have been constructed with the same
+    /// configuration, program, and engine (checked via identity hashes
+    /// in the payload — mismatches are rejected before any state is
+    /// touched, as are all envelope corruptions).
+    ///
+    /// On a mid-payload [`CkptError::Corrupt`] the simulator may be
+    /// partially overwritten and must be discarded; no error path leaves
+    /// a *silently* inconsistent simulator.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let payload = ckpt::open(bytes)?;
+        let mut r = CkptReader::new(payload);
+        if r.u64()? != Self::config_hash(&self.cfg) {
+            return Err(CkptError::ConfigMismatch);
+        }
+        if r.u64()? != Self::program_hash(&self.program) {
+            return Err(CkptError::ProgramMismatch);
+        }
+        let name = r.str()?;
+        if name != self.engine.name() {
+            return Err(CkptError::EngineMismatch {
+                found: name,
+                expect: self.engine.name().to_string(),
+            });
+        }
+
+        self.cycle = r.u64()?;
+        self.next_seq = r.u64()?;
+        self.squash_ctr = r.u64()?;
+        self.halted = r.bool()?;
+        self.fetch_pc = r.opt_pc()?;
+        self.fetch_resume_at = r.u64()?;
+        self.rgid_reset_requested = r.bool()?;
+        self.rgid_overflows_total = r.u64()?;
+        self.rgid_resets_total = r.u64()?;
+        self.grants_total = r.u64()?;
+        self.refill_blame =
+            if r.bool()? { Some((flush_kind_from(r.u8()?)?, r.seq()?)) } else { None };
+
+        self.stats.committed_instructions = r.u64()?;
+        self.stats.committed_branches = r.u64()?;
+        self.stats.committed_cond_branches = r.u64()?;
+        self.stats.mispredictions = r.u64()?;
+        self.stats.renamed_instructions = r.u64()?;
+        self.stats.squashed_instructions = r.u64()?;
+        self.stats.flushes_branch = r.u64()?;
+        self.stats.flushes_mem_order = r.u64()?;
+        self.stats.flushes_reuse_verify = r.u64()?;
+        self.stats.committed_loads = r.u64()?;
+        self.stats.committed_stores = r.u64()?;
+        self.stats.store_forwards = r.u64()?;
+        self.stats.store_forward_stalls = r.u64()?;
+        self.stats.snoops = r.u64()?;
+        self.stats.ffwd_insts = r.u64()?;
+        self.stats.skipped_cycles = r.u64()?;
+
+        for s in &mut self.account.slots {
+            *s = r.u64()?;
+        }
+        self.account.credit_reuse_cycles = r.u64()?;
+        self.account.credit_recon_fetches = r.u64()?;
+
+        self.bpred.ckpt_load(&mut r)?;
+
+        let n = r.seq_len(34)?;
+        self.frontend_q.clear();
+        for _ in 0..n {
+            let ready_cycle = r.u64()?;
+            let pc = r.pc()?;
+            let inst = Self::refetch(&self.program, pc)?;
+            self.frontend_q.push_back(FrontInst {
+                ready_cycle,
+                pc,
+                inst,
+                pred_taken: r.bool()?,
+                pred_next: r.pc()?,
+                meta: PredMeta { ghr_before: r.u64()? },
+                ghr_before: r.u64()?,
+                ras_sp_before: r.u64()?,
+            });
+        }
+
+        self.rat.ckpt_load(&mut r)?;
+        self.free_list.ckpt_load(&mut r)?;
+        self.prf.ckpt_load(&mut r)?;
+        self.rgids.ckpt_load(&mut r)?;
+
+        let n = r.seq_len(40)?;
+        if n > self.cfg.rob_size {
+            return Err(CkptError::Corrupt(format!(
+                "{n} ROB entries in checkpoint, capacity {}",
+                self.cfg.rob_size
+            )));
+        }
+        let mut rob = Rob::new(self.cfg.rob_size);
+        let mut prev: Option<SeqNum> = None;
+        for _ in 0..n {
+            let e = Self::load_rob_entry(&mut r, &self.program)?;
+            if prev.is_some_and(|p| e.seq <= p) {
+                return Err(CkptError::Corrupt("ROB entries out of age order".into()));
+            }
+            prev = Some(e.seq);
+            rob.push(e);
+        }
+        self.rob = rob;
+
+        self.iq_int.ckpt_load(&mut r)?;
+        self.iq_mem.ckpt_load(&mut r)?;
+
+        let nl = r.seq_len(27)?;
+        let mut lsq = Lsq::new(self.cfg.lq_size, self.cfg.sq_size);
+        if nl > self.cfg.lq_size {
+            return Err(CkptError::Corrupt(format!(
+                "{nl} load-queue entries in checkpoint, capacity {}",
+                self.cfg.lq_size
+            )));
+        }
+        let mut prev: Option<SeqNum> = None;
+        for _ in 0..nl {
+            let seq = r.seq()?;
+            if prev.is_some_and(|p| seq <= p) {
+                return Err(CkptError::Corrupt("load queue out of age order".into()));
+            }
+            prev = Some(seq);
+            lsq.push_load(LqEntry {
+                seq,
+                addr: r.opt_u64()?,
+                issued: r.bool()?,
+                value: r.opt_u64()?,
+                reused: r.bool()?,
+            });
+        }
+        let ns = r.seq_len(26)?;
+        if ns > self.cfg.sq_size {
+            return Err(CkptError::Corrupt(format!(
+                "{ns} store-queue entries in checkpoint, capacity {}",
+                self.cfg.sq_size
+            )));
+        }
+        let mut prev: Option<SeqNum> = None;
+        for _ in 0..ns {
+            let seq = r.seq()?;
+            if prev.is_some_and(|p| seq <= p) {
+                return Err(CkptError::Corrupt("store queue out of age order".into()));
+            }
+            prev = Some(seq);
+            lsq.push_store(SqEntry { seq, addr: r.opt_u64()?, data: r.opt_u64()? });
+        }
+        self.lsq = lsq;
+
+        let n = r.seq_len(16)?;
+        self.completions.clear();
+        for _ in 0..n {
+            let c = r.u64()?;
+            let s = r.u64()?;
+            self.completions.push(Reverse((c, s)));
+        }
+
+        let n = r.seq_len(33)?;
+        self.pending_flushes.clear();
+        for _ in 0..n {
+            self.pending_flushes.push(PendingFlush {
+                first_squashed: r.seq()?,
+                redirect: r.pc()?,
+                kind: flush_kind_from(r.u8()?)?,
+                cause_seq: r.seq()?,
+                cause_pc: r.pc()?,
+            });
+        }
+
+        self.memory.ckpt_load(&mut r)?;
+        self.hier.ckpt_load(&mut r)?;
+
+        let blob = r.bytes()?;
+        let mut er = CkptReader::new(blob);
+        self.engine.ckpt_load(&mut er)?;
+        er.done()?;
+
+        self.sampler.ckpt_load(&mut r)?;
+        self.tracer.ckpt_load(&mut r)?;
+        if r.u32()? != CKPT_END {
+            return Err(CkptError::Corrupt("missing end marker".into()));
+        }
+        r.done()?;
+
+        self.tracer.emit(TraceEvent::Ckpt {
+            cycle: self.cycle,
+            action: CkptAction::Restore,
+            insts: self.stats.committed_instructions,
+        });
+        Ok(())
+    }
+
+    /// Functionally fast-forwards `n` instructions through the shared
+    /// architectural step ([`crate::interp`]'s `arch_step` — the same
+    /// semantics the interpreter oracle runs), warming the branch
+    /// predictor and cache hierarchy along the way, then positions the
+    /// fetch unit so detailed simulation resumes at the next PC. Returns
+    /// the number of instructions actually executed (fewer than `n` only
+    /// when the program halts or leaves its image first).
+    ///
+    /// Warming fidelity: conditional-branch state (bimodal, TAGE tables,
+    /// global history) is updated exactly as a detailed run's commit
+    /// stream would, so it matches a drained cycle-accurate run
+    /// bit-for-bit; the RAS, BTB, and caches see the *architectural*
+    /// stream only, so they diverge from a detailed run by its wrong-path
+    /// accesses (pinned in the warmup-fidelity tests).
+    ///
+    /// The executed instructions are reported as
+    /// [`SimStats::ffwd_insts`] / [`SimStats::skipped_cycles`] — they do
+    /// not count as committed, so IPC measures the detailed region only.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the simulator is pristine (no cycles simulated, no
+    /// instructions renamed): fast-forward replaces the start of the
+    /// run, it cannot splice into the middle of one.
+    pub fn fast_forward(&mut self, n: u64) -> u64 {
+        assert!(
+            self.cycle == 0 && self.next_seq == 1 && self.stats.committed_instructions == 0,
+            "fast_forward requires a pristine simulator"
+        );
+        let mut pc = self.program.base();
+        let mut executed = 0u64;
+        while executed < n {
+            let Some(&inst) = self.program.fetch(pc) else {
+                break; // left the program image; resume detailed fetch here
+            };
+            let mut st = FfwdState { rat: &self.rat, prf: &mut self.prf, memory: &mut self.memory };
+            let out = arch_step(&self.program, pc, &mut st).expect("fetch checked above");
+            executed += 1;
+            match out.kind {
+                ArchKind::Cond { taken } => {
+                    // Mirror the detailed lifecycle: predict (speculative
+                    // GHR update), recover on mispredict, train at commit.
+                    let (pred, meta) = self.bpred.predict_cond(pc);
+                    if pred != taken {
+                        self.bpred.recover_cond(meta, taken);
+                    }
+                    self.bpred.train_cond(pc, taken, meta);
+                }
+                ArchKind::Jalr { target } => self.bpred.update_indirect(pc, target),
+                ArchKind::Load { addr } | ArchKind::Store { addr } => {
+                    let _ = self.hier.access(addr);
+                }
+                ArchKind::Plain => {}
+            }
+            if inst.is_call() {
+                self.bpred.ras_push(pc.next());
+            } else if inst.is_return() {
+                let _ = self.bpred.ras_pop();
+            }
+            match out.next {
+                Some(next) => pc = next,
+                None => {
+                    self.halted = true;
+                    break;
+                }
+            }
+        }
+        self.fetch_pc = if self.halted { None } else { Some(pc) };
+        self.stats.ffwd_insts += executed;
+        self.stats.skipped_cycles += executed;
+        self.tracer.emit(TraceEvent::Ckpt {
+            cycle: self.cycle,
+            action: CkptAction::Ffwd,
+            insts: executed,
+        });
+        executed
+    }
+
+    /// Runs until at least `n` instructions have committed (or halt /
+    /// the cycle bound). Used by the harness to place checkpoints at
+    /// instruction-count boundaries.
+    pub fn run_until_insts(&mut self, n: u64) {
+        while !self.halted
+            && self.cycle < self.cfg.max_cycles
+            && self.stats.committed_instructions < n
+        {
+            self.step();
+        }
+    }
+}
+
+/// Payload terminator, checked before [`CkptReader::done`] so a codec
+/// drift shows up as a missing marker rather than a trailing-bytes error.
+const CKPT_END: u32 = 0x444e_4521;
+
+/// The RAT/PRF/memory of a pristine pipeline as an [`ArchState`]: reads
+/// and writes go through the identity rename mapping, so the fast-forward
+/// leaves the architectural values exactly where the detailed pipeline
+/// expects them.
+struct FfwdState<'a> {
+    rat: &'a Rat,
+    prf: &'a mut Prf,
+    memory: &'a mut MainMemory,
+}
+
+impl ArchState for FfwdState<'_> {
+    fn reg(&self, a: ArchReg) -> u64 {
+        self.prf.read(self.rat.lookup(a))
+    }
+
+    fn set_reg(&mut self, a: ArchReg, v: u64) {
+        self.prf.write(self.rat.lookup(a), v);
+    }
+
+    fn mem_read(&mut self, addr: u64) -> u64 {
+        self.memory.read_u64(addr)
+    }
+
+    fn mem_write(&mut self, addr: u64, v: u64) {
+        self.memory.write_u64(addr, v)
+    }
+
+    fn wrap(&self, addr: u64) -> u64 {
+        self.memory.wrap(addr)
+    }
+}
+
+fn flush_kind_code(k: FlushKind) -> u8 {
+    match k {
+        FlushKind::BranchMispredict => 0,
+        FlushKind::MemoryOrder => 1,
+        FlushKind::ReuseVerification => 2,
+    }
+}
+
+fn flush_kind_from(b: u8) -> Result<FlushKind, CkptError> {
+    match b {
+        0 => Ok(FlushKind::BranchMispredict),
+        1 => Ok(FlushKind::MemoryOrder),
+        2 => Ok(FlushKind::ReuseVerification),
+        _ => Err(CkptError::Corrupt(format!("unknown flush kind byte {b}"))),
+    }
+}
+
+fn load_arch_reg(r: &mut CkptReader) -> Result<ArchReg, CkptError> {
+    let i = r.u8()? as usize;
+    ArchReg::all()
+        .nth(i)
+        .ok_or_else(|| CkptError::Corrupt(format!("arch register index {i} out of range")))
 }
 
 /// Whether the `MSSR_PARANOID` reuse-value oracle is enabled (checked

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use mssr_isa::{ArchReg, NUM_ARCH_REGS};
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::types::{PhysReg, Rgid};
 
 /// The physical register file: values plus ready bits.
@@ -62,6 +63,33 @@ impl Prf {
     /// Whether the PRF is empty (never true for a constructed PRF).
     pub fn is_empty(&self) -> bool {
         self.vals.is_empty()
+    }
+
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.vals.len() as u64);
+        for &v in &self.vals {
+            w.u64(v);
+        }
+        for &r in &self.ready {
+            w.bool(r);
+        }
+    }
+
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let n = r.seq_len(9)?;
+        if n != self.vals.len() {
+            return Err(CkptError::Corrupt(format!(
+                "PRF size {n} in checkpoint, {} configured",
+                self.vals.len()
+            )));
+        }
+        for v in &mut self.vals {
+            *v = r.u64()?;
+        }
+        for b in &mut self.ready {
+            *b = r.bool()?;
+        }
+        Ok(())
     }
 }
 
@@ -204,6 +232,45 @@ impl FreeList {
         }
         Ok(())
     }
+
+    /// Serializes hold counts plus the free queue *in order* — allocation
+    /// order is architecturally invisible but determinism-critical, so
+    /// the queue is restored element-for-element rather than recomputed.
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.holds.len() as u64);
+        for &h in &self.holds {
+            w.u32(h);
+        }
+        w.u64(self.total);
+        w.u64(self.free.len() as u64);
+        for &p in &self.free {
+            w.preg(p);
+        }
+    }
+
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let n = r.seq_len(4)?;
+        if n != self.holds.len() {
+            return Err(CkptError::Corrupt(format!(
+                "free list of {n} registers in checkpoint, {} configured",
+                self.holds.len()
+            )));
+        }
+        for h in &mut self.holds {
+            *h = r.u32()?;
+        }
+        self.total = r.u64()?;
+        let q = r.seq_len(2)?;
+        self.free.clear();
+        for _ in 0..q {
+            let p = r.preg()?;
+            if p.index() >= self.holds.len() {
+                return Err(CkptError::Corrupt(format!("queued {p} out of range")));
+            }
+            self.free.push_back(p);
+        }
+        self.validate().map_err(CkptError::Corrupt)
+    }
 }
 
 /// The register alias table: the architectural-to-physical mapping plus
@@ -280,6 +347,21 @@ impl Rat {
             *g = Rgid::NULL;
         }
     }
+
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        for i in 0..NUM_ARCH_REGS {
+            w.preg(self.map[i]);
+            w.rgid(self.rgid[i]);
+        }
+    }
+
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        for i in 0..NUM_ARCH_REGS {
+            self.map[i] = r.preg()?;
+            self.rgid[i] = r.rgid()?;
+        }
+        Ok(())
+    }
 }
 
 impl Default for Rat {
@@ -345,6 +427,29 @@ impl RgidAlloc {
     pub fn reset(&mut self) {
         self.counters.iter_mut().for_each(|c| *c = 0);
         self.overflows = 0;
+    }
+
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        for &c in &self.counters {
+            w.u16(c);
+        }
+        w.u16(self.limit);
+        w.u64(self.overflows);
+    }
+
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        for c in &mut self.counters {
+            *c = r.u16()?;
+        }
+        let limit = r.u16()?;
+        if limit != self.limit {
+            return Err(CkptError::Corrupt(format!(
+                "RGID limit {limit} in checkpoint, {} configured",
+                self.limit
+            )));
+        }
+        self.overflows = r.u64()?;
+        Ok(())
     }
 }
 

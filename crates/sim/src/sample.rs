@@ -13,6 +13,8 @@
 
 use std::collections::VecDeque;
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
+
 /// One sampling interval's worth of statistics deltas.
 ///
 /// All fields are deltas over the interval except `cycle`, which is the
@@ -52,6 +54,32 @@ impl Sample {
             self.l1_misses,
             self.squash_slots
         )
+    }
+
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        for v in [
+            self.cycle,
+            self.insts,
+            self.mispredicts,
+            self.squashed,
+            self.grants,
+            self.l1_misses,
+            self.squash_slots,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    pub(crate) fn ckpt_load(r: &mut CkptReader) -> Result<Sample, CkptError> {
+        Ok(Sample {
+            cycle: r.u64()?,
+            insts: r.u64()?,
+            mispredicts: r.u64()?,
+            squashed: r.u64()?,
+            grants: r.u64()?,
+            l1_misses: r.u64()?,
+            squash_slots: r.u64()?,
+        })
     }
 
     /// Element-wise difference `self - prev` (cumulative snapshots in,
@@ -154,6 +182,35 @@ impl Sampler {
     /// The retained samples.
     pub fn ring(&self) -> &SampleRing {
         &self.ring
+    }
+
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.interval);
+        self.last.ckpt_save(w);
+        w.u64(self.ring.capacity as u64);
+        w.u64(self.ring.dropped);
+        w.u64(self.ring.ring.len() as u64);
+        for s in &self.ring.ring {
+            s.ckpt_save(w);
+        }
+    }
+
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.interval = r.u64()?;
+        self.last = Sample::ckpt_load(r)?;
+        let capacity = r.u64()? as usize;
+        self.ring = SampleRing::new(capacity);
+        self.ring.dropped = r.u64()?;
+        let n = r.seq_len(56)?;
+        if n > capacity {
+            return Err(CkptError::Corrupt(format!(
+                "{n} samples in checkpoint exceed ring capacity {capacity}"
+            )));
+        }
+        for _ in 0..n {
+            self.ring.ring.push_back(Sample::ckpt_load(r)?);
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! Simulation statistics.
 
 use crate::account::CycleAccount;
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 
 /// Counters maintained by a reuse engine.
 ///
@@ -56,6 +57,76 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Serializes the counters into a checkpoint stream (fixed counters
+    /// in declaration order, then the named `extra` pairs).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        for v in [
+            self.reuse_tests,
+            self.reuse_grants,
+            self.reused_loads,
+            self.reuse_fail_stale,
+            self.reuse_fail_not_executed,
+            self.reuse_fail_mem,
+            self.reconvergences,
+            self.recon_simple,
+            self.recon_software,
+            self.recon_hardware,
+            self.divergences,
+            self.timeouts,
+            self.rgid_overflows,
+            self.rgid_resets,
+            self.streams_captured,
+            self.entries_logged,
+            self.pressure_reclaims,
+            self.table_replacements,
+        ] {
+            w.u64(v);
+        }
+        for d in self.stream_distance {
+            w.u64(d);
+        }
+        w.u64(self.extra.len() as u64);
+        for (k, v) in &self.extra {
+            w.str(k);
+            w.u64(*v);
+        }
+    }
+
+    /// Deserializes counters written by [`EngineStats::ckpt_save`].
+    pub fn ckpt_load(r: &mut CkptReader) -> Result<EngineStats, CkptError> {
+        let mut s = EngineStats {
+            reuse_tests: r.u64()?,
+            reuse_grants: r.u64()?,
+            reused_loads: r.u64()?,
+            reuse_fail_stale: r.u64()?,
+            reuse_fail_not_executed: r.u64()?,
+            reuse_fail_mem: r.u64()?,
+            reconvergences: r.u64()?,
+            recon_simple: r.u64()?,
+            recon_software: r.u64()?,
+            recon_hardware: r.u64()?,
+            ..EngineStats::default()
+        };
+        s.divergences = r.u64()?;
+        s.timeouts = r.u64()?;
+        s.rgid_overflows = r.u64()?;
+        s.rgid_resets = r.u64()?;
+        s.streams_captured = r.u64()?;
+        s.entries_logged = r.u64()?;
+        s.pressure_reclaims = r.u64()?;
+        s.table_replacements = r.u64()?;
+        for d in &mut s.stream_distance {
+            *d = r.u64()?;
+        }
+        let n = r.seq_len(9)?;
+        for _ in 0..n {
+            let k = r.str()?;
+            let v = r.u64()?;
+            s.extra.push((k, v));
+        }
+        Ok(s)
+    }
+
     /// Records a reconvergence stream distance into the histogram.
     pub fn record_distance(&mut self, distance: u64) {
         let idx = (distance.max(1) - 1).min(self.stream_distance.len() as u64 - 1) as usize;
@@ -195,6 +266,15 @@ pub struct SimStats {
     pub l2_misses: u64,
     /// Snoop requests injected.
     pub snoops: u64,
+    /// Instructions executed by the functional fast-forward before the
+    /// detailed pipeline took over (`--ffwd N`). These are **not**
+    /// included in [`SimStats::committed_instructions`], so IPC remains
+    /// the detailed region's IPC.
+    pub ffwd_insts: u64,
+    /// Detailed cycles the fast-forward skipped, at a nominal 1 IPC
+    /// (i.e. equal to [`SimStats::ffwd_insts`]). Nonzero only for
+    /// fast-forwarded runs; restored runs carry the original counters.
+    pub skipped_cycles: u64,
     /// Engine-side counters.
     pub engine: EngineStats,
     /// The CPI-stack cycle account (see [`crate::account`]).
@@ -298,6 +378,8 @@ impl SimStats {
         field("l2_hits", self.l2_hits);
         field("l2_misses", self.l2_misses);
         field("snoops", self.snoops);
+        field("ffwd_insts", self.ffwd_insts);
+        field("skipped_cycles", self.skipped_cycles);
         out.push_str(",\"engine\":");
         out.push_str(&self.engine.to_json());
         out.push_str(",\"account\":");
@@ -360,6 +442,15 @@ impl SimStats {
             ),
         );
         line("squashed instructions", format!("{}", self.squashed_instructions));
+        if self.ffwd_insts > 0 {
+            line(
+                "fast-forward",
+                format!(
+                    "{} insts functional, {} cycles skipped",
+                    self.ffwd_insts, self.skipped_cycles
+                ),
+            );
+        }
         if self.engine.reuse_tests > 0 || self.engine.streams_captured > 0 {
             line(
                 "squash reuse",
@@ -495,6 +586,23 @@ mod tests {
         let j = s.to_json();
         assert!(j.contains("\"account\":{\"base\":3,"), "{j}");
         assert!(j.ends_with("\"credit_reuse_cycles\":0,\"credit_recon_fetches\":0}}"), "{j}");
+    }
+
+    #[test]
+    fn ffwd_fields_serialize_and_report() {
+        let s = SimStats {
+            cycles: 10,
+            committed_instructions: 10,
+            ffwd_insts: 5000,
+            skipped_cycles: 5000,
+            ..SimStats::default()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"snoops\":0,\"ffwd_insts\":5000,\"skipped_cycles\":5000,"), "{j}");
+        let r = s.report();
+        assert!(r.contains("5000 insts functional, 5000 cycles skipped"), "{r}");
+        let plain = SimStats { cycles: 10, ..SimStats::default() };
+        assert!(!plain.report().contains("fast-forward"), "line only when ffwd ran");
     }
 
     #[test]

@@ -26,8 +26,33 @@ use std::sync::{Arc, Mutex};
 
 use mssr_isa::Pc;
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::sample::Sample;
 use crate::types::{FlushKind, FuClass, SeqNum};
+
+/// What a [`TraceEvent::Ckpt`] record marks: a snapshot being taken, a
+/// restore from one, or a functional fast-forward handing off to the
+/// detailed pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CkptAction {
+    /// A checkpoint snapshot was written.
+    Save,
+    /// Simulation state was restored from a checkpoint.
+    Restore,
+    /// Functional fast-forward completed and detailed simulation begins.
+    Ffwd,
+}
+
+impl CkptAction {
+    /// The action's stable name, used in the JSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            CkptAction::Save => "save",
+            CkptAction::Restore => "restore",
+            CkptAction::Ffwd => "ffwd",
+        }
+    }
+}
 
 /// One structured pipeline event.
 ///
@@ -113,6 +138,17 @@ pub enum TraceEvent {
     /// The interval sampler took a snapshot: one interval's worth of
     /// statistics deltas (see [`crate::sample`]).
     Sample(Sample),
+    /// A checkpoint boundary: a snapshot, a restore, or the handoff
+    /// from functional fast-forward to detailed simulation.
+    Ckpt {
+        /// Cycle of the checkpoint action.
+        cycle: u64,
+        /// What happened at the boundary.
+        action: CkptAction,
+        /// Committed instructions at the boundary (for `Ffwd`, the
+        /// number of functionally fast-forwarded instructions).
+        insts: u64,
+    },
 }
 
 /// The event kinds, for counting and naming.
@@ -134,11 +170,13 @@ pub enum TraceKind {
     ReuseGrant,
     /// A [`TraceEvent::Sample`].
     Sample,
+    /// A [`TraceEvent::Ckpt`].
+    Ckpt,
 }
 
 impl TraceKind {
     /// Number of event kinds (size of per-kind counter arrays).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All kinds, in counter-index order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -150,6 +188,7 @@ impl TraceKind {
         TraceKind::Squash,
         TraceKind::ReuseGrant,
         TraceKind::Sample,
+        TraceKind::Ckpt,
     ];
 
     /// The kind's stable name, used as the `"ev"` field of the JSON
@@ -164,6 +203,7 @@ impl TraceKind {
             TraceKind::Squash => "squash",
             TraceKind::ReuseGrant => "reuse_grant",
             TraceKind::Sample => "sample",
+            TraceKind::Ckpt => "ckpt",
         }
     }
 
@@ -178,6 +218,7 @@ impl TraceKind {
             TraceKind::Squash => 5,
             TraceKind::ReuseGrant => 6,
             TraceKind::Sample => 7,
+            TraceKind::Ckpt => 8,
         }
     }
 
@@ -215,6 +256,7 @@ impl TraceEvent {
             TraceEvent::Squash { .. } => TraceKind::Squash,
             TraceEvent::ReuseGrant { .. } => TraceKind::ReuseGrant,
             TraceEvent::Sample(_) => TraceKind::Sample,
+            TraceEvent::Ckpt { .. } => TraceKind::Ckpt,
         }
     }
 
@@ -227,7 +269,8 @@ impl TraceEvent {
             | TraceEvent::Writeback { cycle, .. }
             | TraceEvent::Commit { cycle, .. }
             | TraceEvent::Squash { cycle, .. }
-            | TraceEvent::ReuseGrant { cycle, .. } => cycle,
+            | TraceEvent::ReuseGrant { cycle, .. }
+            | TraceEvent::Ckpt { cycle, .. } => cycle,
             TraceEvent::Sample(s) => s.cycle,
         }
     }
@@ -272,6 +315,10 @@ impl TraceEvent {
                 pc.addr()
             ),
             TraceEvent::Sample(s) => s.to_json(),
+            TraceEvent::Ckpt { cycle, action, insts } => format!(
+                "{{\"ev\":\"ckpt\",\"cycle\":{cycle},\"action\":\"{}\",\"insts\":{insts}}}",
+                action.name()
+            ),
         }
     }
 }
@@ -471,6 +518,33 @@ impl Tracer {
     pub fn count(&self, kind: TraceKind) -> u64 {
         self.counts[kind.index()]
     }
+
+    /// Serializes the counters and mask. The sink is deliberately not
+    /// serialized: sinks hold live I/O handles, and a restored run
+    /// attaches its own (or none).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.mask);
+        w.u64(self.counts.len() as u64);
+        for &c in &self.counts {
+            w.u64(c);
+        }
+    }
+
+    /// Restores the counters and mask; leaves the current sink as is.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.mask = r.u64()?;
+        let n = r.seq_len(8)?;
+        if n != TraceKind::COUNT {
+            return Err(CkptError::Corrupt(format!(
+                "{n} trace counters in checkpoint, expected {}",
+                TraceKind::COUNT
+            )));
+        }
+        for c in &mut self.counts {
+            *c = r.u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -506,6 +580,7 @@ mod tests {
                 l1_misses: 4,
                 squash_slots: 16,
             }),
+            TraceEvent::Ckpt { cycle: 120, action: CkptAction::Restore, insts: 75 },
         ]
     }
 
@@ -533,6 +608,10 @@ mod tests {
             "{\"ev\":\"sample\",\"cycle\":100,\"insts\":80,\"mispredicts\":1,\"squashed\":3,\
              \"grants\":2,\"l1_misses\":4,\"squash_slots\":16}"
         );
+        assert_eq!(
+            evs[8].to_json(),
+            "{\"ev\":\"ckpt\",\"cycle\":120,\"action\":\"restore\",\"insts\":75}"
+        );
     }
 
     #[test]
@@ -544,10 +623,21 @@ mod tests {
         let names: Vec<&str> = evs.iter().map(|e| e.kind().name()).collect();
         assert_eq!(
             names,
-            ["fetch", "rename", "issue", "writeback", "commit", "squash", "reuse_grant", "sample"]
+            [
+                "fetch",
+                "rename",
+                "issue",
+                "writeback",
+                "commit",
+                "squash",
+                "reuse_grant",
+                "sample",
+                "ckpt"
+            ]
         );
         assert_eq!(evs[3].cycle(), 7);
         assert_eq!(evs[7].cycle(), 100);
+        assert_eq!(evs[8].cycle(), 120);
     }
 
     #[test]
@@ -557,7 +647,7 @@ mod tests {
             sink.record(&ev);
         }
         let out = String::from_utf8(sink.into_inner()).unwrap();
-        assert_eq!(out.lines().count(), 8);
+        assert_eq!(out.lines().count(), 9);
         assert!(out.ends_with('\n'));
         assert!(out.lines().all(|l| l.starts_with("{\"ev\":\"")));
     }
@@ -581,9 +671,9 @@ mod tests {
             ring.record(&ev);
         }
         assert_eq!(ring.len(), 3);
-        assert_eq!(ring.dropped(), 5);
+        assert_eq!(ring.dropped(), 6);
         let kinds: Vec<TraceKind> = ring.events().map(|e| e.kind()).collect();
-        assert_eq!(kinds, [TraceKind::Squash, TraceKind::ReuseGrant, TraceKind::Sample]);
+        assert_eq!(kinds, [TraceKind::ReuseGrant, TraceKind::Sample, TraceKind::Ckpt]);
         assert!(!ring.is_empty());
     }
 
@@ -619,5 +709,31 @@ mod tests {
         t.set_mask(!0);
         t.emit(sample()[0]);
         assert_eq!(t.count(TraceKind::Fetch), 1);
+    }
+
+    #[test]
+    fn tracer_state_round_trips_through_checkpoint() {
+        let mut t = Tracer::default();
+        t.set_sink(Box::new(RingSink::new(16)));
+        t.set_mask(TraceKind::Commit.bit() | TraceKind::Ckpt.bit());
+        for ev in sample() {
+            t.emit(ev);
+        }
+        let mut w = CkptWriter::new();
+        t.ckpt_save(&mut w);
+        let bytes = w.finish();
+
+        let mut back = Tracer::default();
+        let mut r = CkptReader::new(&bytes);
+        back.ckpt_load(&mut r).unwrap();
+        r.done().unwrap();
+        assert_eq!(back.count(TraceKind::Commit), 1);
+        assert_eq!(back.count(TraceKind::Ckpt), 1);
+        assert_eq!(back.count(TraceKind::Fetch), 0);
+        assert!(!back.on(), "sinks are not serialized");
+        // The restored mask still filters: a fetch event is dropped.
+        back.set_sink(Box::new(RingSink::new(4)));
+        back.emit(sample()[0]);
+        assert_eq!(back.count(TraceKind::Fetch), 0);
     }
 }

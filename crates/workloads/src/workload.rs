@@ -190,6 +190,20 @@ impl Workload {
                 sim.set_trace_mask(TraceKind::Sample.bit());
             }
         }
+        self.finish(&mut sim)
+    }
+
+    /// Runs an already-instantiated simulator to completion and verifies
+    /// the architectural results — the tail of [`Workload::run`], exposed
+    /// for callers that first drive the simulator themselves (checkpoint
+    /// restore, functional fast-forward, mid-run snapshots).
+    ///
+    /// # Panics
+    ///
+    /// As [`Workload::run`]. The simulator must have been created by
+    /// [`Workload::instantiate`]/[`Workload::instantiate_with`] (or
+    /// restored from a checkpoint of one) so the result checks apply.
+    pub fn finish(&self, sim: &mut Simulator) -> SimStats {
         let mut stats = sim.run();
         // The stats snapshot must include the trace_* counters, which are
         // final only once the sink has flushed.
@@ -197,7 +211,7 @@ impl Workload {
             stats = sim.stats();
         }
         assert!(sim.is_halted(), "workload `{}` did not halt", self.name);
-        self.verify(&sim).unwrap_or_else(|e| panic!("workload `{}`: {e}", self.name));
+        self.verify(sim).unwrap_or_else(|e| panic!("workload `{}`: {e}", self.name));
         stats
     }
 

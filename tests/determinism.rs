@@ -199,6 +199,103 @@ fn sample_records_and_report_are_independent_of_worker_count() {
     assert!(!regressions(&degraded, &ta, 5).is_empty(), "halved IPC must regress");
 }
 
+/// The restore-equivalence acceptance test: for every engine, a run
+/// resumed from a mid-run checkpoint produces bit-identical final stats,
+/// CPI-stack slots, and trace byte-stream to the straight-through run.
+/// The snapshot itself must also round-trip: re-snapshotting immediately
+/// after a restore reproduces the original bytes.
+#[test]
+fn checkpoint_restore_resumes_bit_identically_for_every_engine() {
+    use mssr::core::{RegisterIntegration, RiConfig};
+    use mssr::sim::{BufferSink, ReuseEngine, Simulator};
+    let w = microbench::nested_mispred(200);
+    type MkEngine = fn() -> Option<Box<dyn ReuseEngine>>;
+    let engines: [(&str, MkEngine); 4] = [
+        ("base", || None),
+        ("mssr", || Some(Box::new(MultiStreamReuse::new(MssrConfig::default())))),
+        // streams = 1 degenerates MSSR to classic DCI.
+        ("dci", || Some(Box::new(MultiStreamReuse::new(MssrConfig::default().with_streams(1))))),
+        ("ri", || Some(Box::new(RegisterIntegration::new(RiConfig::default())))),
+    ];
+    const K: u64 = 500; // snapshot boundary, in committed instructions
+    for (name, mk) in engines {
+        let instantiate = |e: Option<Box<dyn ReuseEngine>>| -> Simulator {
+            match e {
+                Some(e) => w.instantiate_with(cfg(), e),
+                None => w.instantiate(cfg()),
+            }
+        };
+
+        // Straight-through reference: silent prefix to K commits, then a
+        // trace sink for the remainder of the run.
+        let mut a = instantiate(mk());
+        a.run_until_insts(K);
+        assert!(!a.is_halted(), "{name}: the snapshot point must land mid-run");
+        let sink = BufferSink::new();
+        let trace_a = sink.handle();
+        a.set_trace_sink(Box::new(sink));
+        let stats_a = w.finish(&mut a);
+        let account_a = format!("{:?}", a.account());
+
+        // Checkpointed run: identical prefix, snapshot, restore into a
+        // *fresh* simulator, then finish under a sink of its own.
+        let mut b = instantiate(mk());
+        b.run_until_insts(K);
+        let bytes = b.snapshot();
+        let mut c = instantiate(mk());
+        c.restore(&bytes).unwrap_or_else(|e| panic!("{name}: restore failed: {e}"));
+        assert_eq!(c.snapshot(), bytes, "{name}: snapshot must round-trip byte-identically");
+        let sink = BufferSink::new();
+        let trace_c = sink.handle();
+        c.set_trace_sink(Box::new(sink));
+        let stats_c = w.finish(&mut c);
+        let account_c = format!("{:?}", c.account());
+
+        assert_eq!(stats_a.to_json(), stats_c.to_json(), "{name}: final stats diverged");
+        assert_eq!(account_a, account_c, "{name}: CPI-stack slots diverged");
+        assert_eq!(
+            *trace_a.lock().unwrap(),
+            *trace_c.lock().unwrap(),
+            "{name}: trace byte-stream diverged"
+        );
+    }
+}
+
+/// Grid-level checkpointing: `--ffwd` warming is byte-identical across
+/// worker counts and surfaces the skipped work in the cell stats, and a
+/// grid re-run restoring the checkpoints written by `--ckpt-every`
+/// reproduces the cold run's trajectory exactly.
+#[test]
+fn grid_checkpoints_and_fast_forward_are_deterministic_across_jobs() {
+    use mssr::workloads::Scale;
+    use mssr_bench::harness::{run_named, HarnessOpts};
+
+    let mut serial = HarnessOpts::new(Scale::Test);
+    serial.json = true;
+    serial.jobs = 1;
+    serial.ffwd = 200;
+    let mut parallel = serial.clone();
+    parallel.jobs = 4;
+    let a = run_named(&["table1"], &serial);
+    let b = run_named(&["table1"], &parallel);
+    assert_eq!(a, b, "--ffwd grid output must be byte-identical across --jobs");
+    assert!(a.contains("\"ffwd_insts\":200"), "warmed cells report the functional prefix");
+    assert!(a.contains("\"skipped_cycles\":200"), "warmed cells report the skipped cycles");
+
+    let dir = std::env::temp_dir().join(format!("mssr-ckpt-grid-{}", std::process::id()));
+    let mut opts = HarnessOpts::new(Scale::Test);
+    opts.json = true;
+    opts.jobs = 2;
+    opts.ckpt_dir = Some(dir.clone());
+    opts.ckpt_every = 1000;
+    let cold = run_named(&["table1"], &opts);
+    let written = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert!(written > 0, "the cold run must write checkpoints");
+    let warm = run_named(&["table1"], &opts);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(cold, warm, "a checkpoint-restored grid run must be byte-identical");
+}
+
 #[test]
 fn workload_construction_is_deterministic() {
     let a = spec2006::astar(10);

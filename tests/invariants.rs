@@ -189,6 +189,71 @@ fn seeded_cpi_account_corruption_is_detected() {
     sim.run();
 }
 
+/// Negative controls for the checkpoint envelope: a truncated file, a
+/// wrong-version header, and a flipped payload byte are each rejected
+/// with a *distinct* error — and a rejected envelope never mutates the
+/// simulator (no silent partial restore).
+#[test]
+fn corrupted_checkpoints_are_rejected_with_distinct_errors() {
+    use mssr::sim::CkptError;
+    let w = microbench::nested_mispred(100);
+    let mut sim = w.instantiate(cfg());
+    sim.run_until_insts(200);
+    assert!(!sim.is_halted(), "the checkpoint must be taken mid-run");
+    let good = sim.snapshot();
+
+    // Control for the controls: the pristine bytes restore cleanly.
+    w.instantiate(cfg()).restore(&good).expect("pristine checkpoint restores");
+
+    // Truncation anywhere — mid-header or mid-payload — is caught by the
+    // length check before anything is parsed.
+    for keep in [4, good.len() / 2, good.len() - 9] {
+        let err = w.instantiate(cfg()).restore(&good[..keep]).unwrap_err();
+        assert!(matches!(err, CkptError::Truncated { .. }), "keep={keep}: got {err}");
+    }
+
+    // A corrupted magic is not mistaken for a version or checksum error.
+    let mut bad = good.clone();
+    bad[0] ^= 0x20;
+    let err = w.instantiate(cfg()).restore(&bad).unwrap_err();
+    assert!(matches!(err, CkptError::BadMagic), "got: {err}");
+
+    // A future (or mangled) version number in the header is refused
+    // outright — forward compatibility is explicit, not best-effort.
+    let mut bad = good.clone();
+    bad[8] ^= 0xff; // first byte of the little-endian version field
+    let err = w.instantiate(cfg()).restore(&bad).unwrap_err();
+    assert!(matches!(err, CkptError::BadVersion { .. }), "got: {err}");
+
+    // A single flipped payload byte trips the checksum.
+    let mut bad = good.clone();
+    let mid = good.len() / 2;
+    bad[mid] ^= 0x01;
+    let err = w.instantiate(cfg()).restore(&bad).unwrap_err();
+    assert!(matches!(err, CkptError::BadChecksum { .. }), "got: {err}");
+
+    // Identity guards fire before any state is touched: wrong config,
+    // wrong program, wrong engine each get their own error.
+    let other_cfg = SimConfig { rob_size: cfg().rob_size / 2, ..cfg() };
+    let err = w.instantiate(other_cfg).restore(&good).unwrap_err();
+    assert!(matches!(err, CkptError::ConfigMismatch), "got: {err}");
+    let err = microbench::linear_mispred(100).instantiate(cfg()).restore(&good).unwrap_err();
+    assert!(matches!(err, CkptError::ProgramMismatch), "got: {err}");
+    let mut engined =
+        w.instantiate_with(cfg(), Box::new(MultiStreamReuse::new(MssrConfig::default())));
+    let err = engined.restore(&good).unwrap_err();
+    assert!(matches!(err, CkptError::EngineMismatch { .. }), "got: {err}");
+
+    // No silent partial restore: every rejection above left its target
+    // pristine, so running one to completion still passes the checks.
+    let mut survivor = w.instantiate(cfg());
+    let err = survivor.restore(&good[..good.len() - 1]).unwrap_err();
+    assert!(matches!(err, CkptError::Truncated { .. }));
+    survivor.run();
+    assert!(survivor.is_halted());
+    w.verify(&survivor).expect("a rejected restore must not corrupt the simulator");
+}
+
 /// Clean runs under both paper engines stay violation-free — in debug
 /// builds the per-cycle sweep has also been asserting this throughout.
 #[test]

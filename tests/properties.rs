@@ -59,6 +59,50 @@ fn engines_preserve_architectural_state() {
     });
 }
 
+/// The differential check the fast-forward handoff depends on: for random
+/// programs, the cycle-accurate pipeline under every engine — baseline,
+/// MSSR, RI, and the single-stream DCI ablation — must leave the *same*
+/// final architectural register file and memory as the pure in-order
+/// interpreter (the same `arch_step` core that functional fast-forward
+/// uses to warm a checkpointed run).
+#[test]
+fn every_engine_matches_the_interpreter_oracle() {
+    use mssr::isa::ArchReg;
+    use mssr::sim::{Interpreter, StopReason};
+    for_each_case("every_engine_matches_the_interpreter_oracle", 16, 0x6d73_7372_0004, |rng| {
+        let body = random_body(rng, 4, 32);
+        let iters = rng.range(1, 24) as u8;
+        let seed = rng.next_u64();
+        let program = assemble(&body, iters, seed);
+
+        let mut it = Interpreter::new(program.clone(), 1 << 25);
+        assert_eq!(it.run(2_000_000), StopReason::Halted, "oracle must halt");
+        let oracle_regs: Vec<u64> = ArchReg::all().map(|a| it.reg(a)).collect();
+        let oracle_mem: Vec<u64> = (0..32u64).map(|i| it.read_mem_u64(DATA + 8 * i)).collect();
+
+        let engines: [(&str, Option<Box<dyn ReuseEngine>>); 4] = [
+            ("base", None),
+            ("mssr", Some(Box::new(MultiStreamReuse::new(MssrConfig::default())))),
+            ("ri", Some(Box::new(RegisterIntegration::new(RiConfig::default())))),
+            // streams = 1 degenerates MSSR to classic DCI.
+            ("dci", Some(Box::new(MultiStreamReuse::new(MssrConfig::default().with_streams(1))))),
+        ];
+        for (name, engine) in engines {
+            let cfg = SimConfig::default().with_max_cycles(4_000_000);
+            let mut sim = match engine {
+                Some(e) => Simulator::with_engine(cfg, program.clone(), e),
+                None => Simulator::new(cfg, program.clone()),
+            };
+            sim.run();
+            assert!(sim.is_halted(), "{name}: pipeline must halt");
+            let regs: Vec<u64> = ArchReg::all().map(|a| sim.read_arch_reg(a)).collect();
+            assert_eq!(regs, oracle_regs, "{name}: architectural registers diverged");
+            let mem: Vec<u64> = (0..32u64).map(|i| sim.read_mem_u64(DATA + 8 * i)).collect();
+            assert_eq!(mem, oracle_mem, "{name}: data window diverged");
+        }
+    });
+}
+
 #[test]
 fn tiny_configs_preserve_architectural_state() {
     for_each_case("tiny_configs_preserve_architectural_state", 24, 0x6d73_7372_0002, |rng| {
