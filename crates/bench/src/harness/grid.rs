@@ -314,7 +314,8 @@ impl CellPool {
             }
             w.finish(&mut sim)
         };
-        let (stats, ri_set_replacements) = match spec.engine.build_ri() {
+        let started = opts.timing.then(std::time::Instant::now);
+        let (mut stats, ri_set_replacements) = match spec.engine.build_ri() {
             Some(ri) => {
                 // Keep the replacement-counter handle across the run
                 // (fig3's per-set replacement-frequency data).
@@ -325,6 +326,12 @@ impl CellPool {
             }
             None => (run(spec.engine.build()), None),
         };
+        if let Some(t0) = started {
+            // MIPS = insts / µs; thousandths keep the trajectory integer.
+            let us = (t0.elapsed().as_micros().max(1) as u64).max(1);
+            stats.engine.sim_mips_milli =
+                (stats.committed_instructions.saturating_mul(1000) / us).max(1);
+        }
         let trace = buf.map(|b| std::mem::take(&mut *b.lock().expect("trace buffer poisoned")));
         CellResult { seed, stats, ri_set_replacements, trace }
     }

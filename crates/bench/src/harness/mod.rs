@@ -92,6 +92,10 @@ pub struct HarnessOpts {
     /// Checkpoint period (`--ckpt-every N`): while running a cell, save a
     /// checkpoint into `ckpt_dir` every N committed instructions.
     pub ckpt_every: u64,
+    /// Measure host throughput (`--timing`): record each cell's
+    /// simulated-MIPS into its stats record. The one opt-in that makes
+    /// output machine-dependent — off for every byte-identity comparison.
+    pub timing: bool,
 }
 
 impl HarnessOpts {
@@ -108,6 +112,7 @@ impl HarnessOpts {
             ckpt_dir: None,
             ffwd: 0,
             ckpt_every: 0,
+            timing: false,
         }
     }
 
@@ -184,6 +189,7 @@ impl HarnessOpts {
                         .parse::<u64>()
                         .map_err(|e| format!("--ckpt-every: {e}"))?;
                 }
+                "--timing" => opts.timing = true,
                 "--help" | "-h" => return Err("help".to_string()),
                 s => return Err(format!("unknown argument `{s}`")),
             }
@@ -212,7 +218,8 @@ const USAGE: &str =
   --sample N      with --json: emit per-cell statistics deltas every N cycles
   --ckpt-dir DIR  reuse/save per-cell checkpoints in DIR (off under --trace/--sample)
   --ffwd N        functionally fast-forward the first N instructions of each cell
-  --ckpt-every N  with --ckpt-dir: save a checkpoint every N committed instructions";
+  --ckpt-every N  with --ckpt-dir: save a checkpoint every N committed instructions
+  --timing        record per-cell simulated MIPS (wall-clock: output becomes machine-dependent)";
 
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -340,6 +347,12 @@ mod tests {
         let err = HarnessOpts::from_iter(args(&["--sample", "500"]), Scale::Test).unwrap_err();
         assert!(err.contains("--sample requires --json"));
         assert!(HarnessOpts::from_iter(args(&["--sample", "x"]), Scale::Test).is_err());
+    }
+
+    #[test]
+    fn timing_flag_parses_and_defaults_off() {
+        assert!(HarnessOpts::from_iter(args(&["--timing"]), Scale::Test).unwrap().timing);
+        assert!(!HarnessOpts::from_iter(args(&[]), Scale::Test).unwrap().timing);
     }
 
     #[test]

@@ -29,11 +29,6 @@ pub struct OverlapHit {
     pub reconv_pc: Pc,
 }
 
-/// Bit-mask words sized for `n` entries.
-fn mask_words(n: usize) -> usize {
-    n.div_ceil(64)
-}
-
 /// Runs the left/right aligner over a stream of WPB entries.
 ///
 /// `head` is the prediction block being fetched; `entries` are the
@@ -59,26 +54,25 @@ fn mask_words(n: usize) -> usize {
 /// assert_eq!(hit.reconv_pc, Pc::new(0x210));
 /// ```
 pub fn find_overlap(head: &BlockRange, entries: &[BlockRange]) -> Option<OverlapHit> {
-    if entries.is_empty() {
-        return None;
-    }
-    let words = mask_words(entries.len());
-    let mut left = vec![0u64; words]; // start_head <= end_wpb
-    let mut right = vec![0u64; words]; // end_head >= start_wpb
-    for (i, e) in entries.iter().enumerate() {
-        if head.start <= e.end {
-            left[i / 64] |= 1u64 << (i % 64);
+    // One 64-bit mask word at a time, held in registers: this runs once
+    // per fetched prediction block per stream, so it must not allocate.
+    // Chunk order is stream order, and within a word the priority encode
+    // is the lowest set bit, so the first overlapping entry still wins.
+    for (w, chunk) in entries.chunks(64).enumerate() {
+        let mut left = 0u64; // start_head <= end_wpb
+        let mut right = 0u64; // end_head >= start_wpb
+        for (i, e) in chunk.iter().enumerate() {
+            if head.start <= e.end {
+                left |= 1u64 << i;
+            }
+            if head.end >= e.start {
+                right |= 1u64 << i;
+            }
         }
-        if head.end >= e.start {
-            right[i / 64] |= 1u64 << (i % 64);
-        }
-    }
-    // Bit-wise AND, then priority-encode the first set bit.
-    for w in 0..words {
-        let m = left[w] & right[w];
+        // Bit-wise AND, then priority-encode the first set bit.
+        let m = left & right;
         if m != 0 {
-            let bit = m.trailing_zeros() as usize;
-            let entry = w * 64 + bit;
+            let entry = w * 64 + m.trailing_zeros() as usize;
             let reconv_pc = head.start.max(entries[entry].start);
             return Some(OverlapHit { entry, reconv_pc });
         }

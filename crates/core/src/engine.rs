@@ -39,8 +39,8 @@
 
 use mssr_isa::{Opcode, Pc};
 use mssr_sim::{
-    fnv1a64, CkptError, CkptReader, CkptWriter, EngineCtx, EngineStats, FlushKind, PredBlock,
-    RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery, SeqNum, SquashEvent,
+    fnv1a64, CkptError, CkptReader, CkptWriter, DstBinding, EngineCtx, EngineStats, FlushKind,
+    PredBlock, RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery, SeqNum, SquashEvent,
 };
 
 use crate::align;
@@ -155,9 +155,7 @@ impl MultiStreamReuse {
         if !self.streams[i].valid {
             return;
         }
-        for p in self.streams[i].invalidate() {
-            ctx.free_list.release(p);
-        }
+        self.streams[i].invalidate(|p| ctx.free_list.release(p));
         if let Some(a) = self.active {
             if a.stream == i {
                 self.active = None;
@@ -176,9 +174,7 @@ impl MultiStreamReuse {
         self.active = None;
         for i in 0..self.streams.len() {
             if self.streams[i].valid {
-                for p in self.streams[i].invalidate() {
-                    ctx.free_list.release(p);
-                }
+                self.streams[i].invalidate(|p| ctx.free_list.release(p));
             }
         }
         self.after_invalidation(ctx);
@@ -212,9 +208,7 @@ impl MultiStreamReuse {
         self.active = None;
         for s in &mut self.streams {
             if s.valid {
-                for p in s.invalidate() {
-                    ctx.free_list.release(p);
-                }
+                s.invalidate(|p| ctx.free_list.release(p));
             }
         }
         self.clear_bloom();
@@ -239,8 +233,8 @@ impl MultiStreamReuse {
             if e.preg_held {
                 e.preg_held = false;
                 e.consumed = true;
-                if let Some((_, preg, _)) = e.dst {
-                    ctx.free_list.release(preg);
+                if let Some(d) = e.dst {
+                    ctx.free_list.release(d.preg);
                 }
             }
         }
@@ -352,13 +346,11 @@ impl ReuseEngine for MultiStreamReuse {
         let si = self.next_stream;
         self.next_stream = (si + 1) % self.cfg.streams.max(1);
         if self.streams[si].valid {
-            for p in self.streams[si].invalidate() {
-                ctx.free_list.release(p);
-            }
+            self.streams[si].invalidate(|p| ctx.free_list.release(p));
         }
         let load_barrier =
             (self.cfg.mem_policy == MemCheckPolicy::BloomFilter).then_some(self.bloom_barrier);
-        let retains = self.streams[si].capture(
+        self.streams[si].capture(
             ev,
             self.renamed,
             self.cfg.wpb_entries,
@@ -367,16 +359,15 @@ impl ReuseEngine for MultiStreamReuse {
             self.cfg.vpn_restrict,
             load_barrier,
         );
-        for i in retains {
-            let (_, preg, _) = self.streams[si].log[i].dst.expect("retained entry has dst");
-            ctx.free_list.retain(preg);
+        for e in self.streams[si].log.iter().filter(|e| e.preg_held) {
+            ctx.free_list.retain(e.dst.expect("held entry has dst").preg);
         }
         if crate::trace_enabled() {
             for e in &self.streams[si].log {
                 if e.load_addr.is_some_and(|a| a >> 3 == 0x100000 >> 3) {
                     eprintln!(
                         "CAPTURE load pc={} addr={:?} executed={} cycle={} stream={si}",
-                        e.pc, e.load_addr, e.executed, ctx.cycle
+                        e.pc, e.load_addr, e.executed, ctx.stage.cycle
                     );
                 }
             }
@@ -419,7 +410,7 @@ impl ReuseEngine for MultiStreamReuse {
             }
             return None;
         }
-        let (dst_arch, preg, rgid) = e.dst?;
+        let DstBinding { arch: dst_arch, preg, rgid } = e.dst?;
         if Some(dst_arch) != q.inst.dst() {
             return None;
         }
@@ -491,8 +482,8 @@ impl ReuseEngine for MultiStreamReuse {
                 if !r.reused && e.preg_held {
                     // Failed or skipped: freeing condition 3 of §3.3.2.
                     e.preg_held = false;
-                    if let Some((_, preg, _)) = e.dst {
-                        ctx.free_list.release(preg);
+                    if let Some(d) = e.dst {
+                        ctx.free_list.release(d.preg);
                     }
                 }
                 e.consumed = true;
@@ -533,7 +524,7 @@ impl ReuseEngine for MultiStreamReuse {
     fn on_store_executed(&mut self, addr: u64, _ctx: &mut EngineCtx<'_>) {
         if self.cfg.mem_policy == MemCheckPolicy::BloomFilter {
             if crate::trace_enabled() && addr >> 3 == 0x100000 >> 3 {
-                eprintln!("BLOOM insert {addr:#x} cycle={}", _ctx.cycle);
+                eprintln!("BLOOM insert {addr:#x} cycle={}", _ctx.stage.cycle);
             }
             self.bloom.insert(addr);
         }
@@ -685,7 +676,11 @@ mod tests {
     use mssr_sim::{BlockRange, FreeList, PhysReg, Rgid, SquashedInst};
 
     fn ctx<'a>(fl: &'a mut FreeList, reset: &'a mut bool) -> EngineCtx<'a> {
-        EngineCtx { free_list: fl, cycle: 0, rob_size: 256, rgid_reset_requested: reset }
+        EngineCtx {
+            free_list: fl,
+            stage: mssr_sim::StageCtx { cycle: 0, rob_size: 256 },
+            rgid_reset_requested: reset,
+        }
     }
 
     fn sq_inst(pc: u64, preg: usize, executed: bool) -> SquashedInst {
@@ -693,7 +688,11 @@ mod tests {
             seq: SeqNum::new(pc / 4),
             pc: Pc::new(pc),
             op: Opcode::Add,
-            dst: Some((ArchReg::A0, PhysReg::new(preg), Rgid::new(1))),
+            dst: Some(mssr_sim::DstBinding {
+                arch: ArchReg::A0,
+                preg: PhysReg::new(preg),
+                rgid: Rgid::new(1),
+            }),
             src_rgids: [None, None],
             src_pregs: [None, None],
             executed,

@@ -118,6 +118,10 @@ pub struct RegisterIntegration {
     /// last Bloom clear and are never inserted as reusable (see the
     /// equivalent barrier in `MultiStreamReuse`).
     bloom_barrier: SeqNum,
+    /// Reusable victim-scan buffers for [`Self::invalidate_referencing`]:
+    /// the evict recursion needs one list per depth, so each call pops a
+    /// buffer and returns it when done. Transient — never checkpointed.
+    scan_pool: Vec<Vec<(usize, usize)>>,
     stats: EngineStats,
 }
 
@@ -131,6 +135,7 @@ impl RegisterIntegration {
             bloom: BloomFilter::new(cfg.bloom_bits),
             max_seen_seq: SeqNum::ZERO,
             bloom_barrier: SeqNum::ZERO,
+            scan_pool: Vec::new(),
             stats: EngineStats::default(),
             cfg,
         }
@@ -166,8 +171,11 @@ impl RegisterIntegration {
     }
 
     fn invalidate_referencing(&mut self, p: PhysReg, ctx: &mut EngineCtx<'_>) {
-        // Collect victims first to keep the recursion simple.
-        let mut victims = Vec::new();
+        // Collect victims first to keep the recursion simple. The buffer
+        // comes from the pool (one per recursion depth) so steady-state
+        // invalidation never allocates.
+        let mut victims = self.scan_pool.pop().unwrap_or_default();
+        debug_assert!(victims.is_empty());
         for (s, set) in self.table.iter().enumerate() {
             for (w, e) in set.iter().enumerate() {
                 if let Some(e) = e {
@@ -177,10 +185,12 @@ impl RegisterIntegration {
                 }
             }
         }
-        for (s, w) in victims {
+        for &(s, w) in &victims {
             self.stats.extra_count("ri_transitive_invalidations", 1);
             self.evict(s, w, ctx);
         }
+        victims.clear();
+        self.scan_pool.push(victims);
     }
 
     fn clear_table(&mut self, ctx: &mut EngineCtx<'_>) {
@@ -226,7 +236,8 @@ impl ReuseEngine for RegisterIntegration {
             {
                 continue; // read predates the surviving hazard evidence
             }
-            let Some((dst_arch, dst_preg, _)) = inst.dst else { continue };
+            let Some(d) = inst.dst else { continue };
+            let (dst_arch, dst_preg) = (d.arch, d.preg);
             if inst.op.is_control() {
                 continue;
             }
@@ -466,7 +477,11 @@ mod tests {
     use mssr_sim::{FreeList, SeqNum, SquashEvent};
 
     fn ctx<'a>(fl: &'a mut FreeList, reset: &'a mut bool) -> EngineCtx<'a> {
-        EngineCtx { free_list: fl, cycle: 0, rob_size: 256, rgid_reset_requested: reset }
+        EngineCtx {
+            free_list: fl,
+            stage: mssr_sim::StageCtx { cycle: 0, rob_size: 256 },
+            rgid_reset_requested: reset,
+        }
     }
 
     fn freelist() -> FreeList {
@@ -478,7 +493,11 @@ mod tests {
             seq: SeqNum::new(pc / 4),
             pc: Pc::new(pc),
             op: Opcode::Add,
-            dst: Some((ArchReg::A0, PhysReg::new(dst_preg), mssr_sim::Rgid::new(1))),
+            dst: Some(mssr_sim::DstBinding {
+                arch: ArchReg::A0,
+                preg: PhysReg::new(dst_preg),
+                rgid: mssr_sim::Rgid::new(1),
+            }),
             src_rgids: [None, None],
             src_pregs: srcs.map(|s| s.map(PhysReg::new)),
             executed: true,

@@ -8,7 +8,9 @@
 //! stage for the lockstep reuse test). Streams are replaced round-robin.
 
 use mssr_isa::{ArchReg, Opcode, Pc};
-use mssr_sim::{BlockRange, CkptError, CkptReader, CkptWriter, PhysReg, Rgid, SeqNum, SquashEvent};
+use mssr_sim::{
+    BlockRange, CkptError, CkptReader, CkptWriter, DstBinding, PhysReg, Rgid, SeqNum, SquashEvent,
+};
 
 /// Decodes an [`ArchReg`] from its iteration index (checkpoint wire form).
 pub(crate) fn arch_reg_from(r: &mut CkptReader) -> Result<ArchReg, CkptError> {
@@ -33,9 +35,9 @@ pub struct LogEntry {
     pub pc: Pc,
     /// Opcode (used to confirm lockstep identity).
     pub op: Opcode,
-    /// Destination: architectural register, the physical register whose
-    /// value is preserved, and the RGID of the squashed mapping.
-    pub dst: Option<(ArchReg, PhysReg, Rgid)>,
+    /// Destination: the squashed mapping whose physical register's value
+    /// is preserved.
+    pub dst: Option<DstBinding>,
     /// Source RGIDs at the squashed rename (`None` = absent/`x0`).
     pub src_rgids: [Option<Rgid>; 2],
     /// Whether the wrong-path execution produced the result.
@@ -58,11 +60,11 @@ impl LogEntry {
         w.u8(self.op.code());
         match self.dst {
             None => w.bool(false),
-            Some((arch, preg, rgid)) => {
+            Some(d) => {
                 w.bool(true);
-                w.u8(arch.index() as u8);
-                w.preg(preg);
-                w.rgid(rgid);
+                w.u8(d.arch.index() as u8);
+                w.preg(d.preg);
+                w.rgid(d.rgid);
             }
         }
         for g in self.src_rgids {
@@ -78,7 +80,11 @@ impl LogEntry {
     fn ckpt_load(r: &mut CkptReader) -> Result<LogEntry, CkptError> {
         let pc = r.pc()?;
         let op = opcode_from(r)?;
-        let dst = if r.bool()? { Some((arch_reg_from(r)?, r.preg()?, r.rgid()?)) } else { None };
+        let dst = if r.bool()? {
+            Some(DstBinding { arch: arch_reg_from(r)?, preg: r.preg()?, rgid: r.rgid()? })
+        } else {
+            None
+        };
         Ok(LogEntry {
             pc,
             op,
@@ -125,8 +131,13 @@ impl Stream {
     /// stream covers a single 4 KiB page: block collection stops at the
     /// first out-of-page block.
     ///
-    /// Returns the indices of log entries whose destination registers the
-    /// caller must `retain` (executed instructions with destinations).
+    /// After capture, log entries with `preg_held` set are exactly the
+    /// executed instructions with destinations — the caller must `retain`
+    /// their physical registers (walk the log in order).
+    ///
+    /// Runs once per squash on the hot path; fills `self.blocks` /
+    /// `self.log` in place (capacities kept across captures) and never
+    /// allocates once the stream has reached its steady-state size.
     #[allow(clippy::too_many_arguments)] // mirrors the hardware interface: one dump port per field group
     pub fn capture(
         &mut self,
@@ -137,7 +148,7 @@ impl Stream {
         max_block_insts: usize,
         vpn_restrict: bool,
         load_barrier: Option<SeqNum>,
-    ) -> Vec<usize> {
+    ) {
         self.valid = true;
         self.squash_id = ev.squash_id;
         self.cause_seq = ev.cause_seq;
@@ -145,40 +156,37 @@ impl Stream {
         self.blocks.clear();
         self.log.clear();
 
-        // Rebuild fetch-block ranges from the squashed instruction PCs.
-        let mut blocks: Vec<BlockRange> = Vec::new();
+        // Rebuild fetch-block ranges from the squashed instruction PCs,
+        // merging directly into the stream's own buffer.
         for inst in &ev.insts {
-            match blocks.last_mut() {
+            match self.blocks.last_mut() {
                 Some(b) if inst.pc == b.end.next() && b.len() < max_block_insts as u64 => {
                     b.end = inst.pc;
                 }
-                _ => blocks.push(BlockRange { start: inst.pc, end: inst.pc }),
+                _ => self.blocks.push(BlockRange { start: inst.pc, end: inst.pc }),
             }
         }
-        blocks.extend(ev.frontend_blocks.iter().copied());
+        self.blocks.extend(ev.frontend_blocks.iter().copied());
 
-        self.vpn = blocks.first().map_or(0, |b| crate::align::vpn(b.start));
-        for b in blocks {
-            if self.blocks.len() >= max_blocks {
-                break;
-            }
-            if vpn_restrict && crate::align::vpn(b.start) != self.vpn {
-                break;
-            }
-            self.blocks.push(b);
+        // Truncate at the first block over the WPB size (younger blocks
+        // are discarded) or, under the single-page restriction, the first
+        // block on a different page than the stream head.
+        self.vpn = self.blocks.first().map_or(0, |b| crate::align::vpn(b.start));
+        let vpn = self.vpn;
+        if let Some(cut) =
+            self.blocks.iter().position(|b| vpn_restrict && crate::align::vpn(b.start) != vpn)
+        {
+            self.blocks.truncate(cut);
         }
+        self.blocks.truncate(max_blocks);
 
-        let mut retains = Vec::new();
-        for (i, inst) in ev.insts.iter().take(max_log).enumerate() {
+        for inst in ev.insts.iter().take(max_log) {
             let executed = inst.executed;
             // Loads renamed at or before the barrier read memory before
             // the hazard filter lost its evidence (a Bloom clear); they
             // must never be reuse candidates.
             let load_ok = !inst.is_load || load_barrier.is_none_or(|b| inst.seq > b);
             let reusable = executed && inst.dst.is_some() && !inst.is_store && load_ok;
-            if reusable {
-                retains.push(i);
-            }
             self.log.push(LogEntry {
                 pc: inst.pc,
                 op: inst.op,
@@ -191,22 +199,21 @@ impl Stream {
                 consumed: false,
             });
         }
-        retains
     }
 
-    /// Drains the stream, returning every physical register whose hold
-    /// must be released (unconsumed, still-held destinations).
-    pub fn invalidate(&mut self) -> Vec<PhysReg> {
-        let out: Vec<PhysReg> = self
-            .log
-            .iter()
-            .filter(|e| e.preg_held)
-            .filter_map(|e| e.dst.map(|(_, p, _)| p))
-            .collect();
+    /// Drains the stream, calling `release` (in log order) for every
+    /// physical register whose hold must be dropped (unconsumed,
+    /// still-held destinations). Closure-based so the hot path never
+    /// materializes the register list.
+    pub fn invalidate(&mut self, mut release: impl FnMut(PhysReg)) {
+        for e in self.log.iter().filter(|e| e.preg_held) {
+            if let Some(d) = e.dst {
+                release(d.preg);
+            }
+        }
         self.valid = false;
         self.blocks.clear();
         self.log.clear();
-        out
     }
 
     /// Serializes the stream into a checkpoint stream.
@@ -269,7 +276,11 @@ mod tests {
             seq: SeqNum::new(pc / 4),
             pc: Pc::new(pc),
             op: Opcode::Add,
-            dst: dst_preg.map(|p| (ArchReg::A0, PhysReg::new(p), Rgid::new(1))),
+            dst: dst_preg.map(|p| DstBinding {
+                arch: ArchReg::A0,
+                preg: PhysReg::new(p),
+                rgid: Rgid::new(1),
+            }),
             src_rgids: [None, None],
             src_pregs: [None, None],
             executed,
@@ -299,11 +310,13 @@ mod tests {
             inst(0x2000, false, None), // discontinuity: taken jump landed here
             inst(0x2004, true, Some(82)),
         ];
-        let retains = s.capture(&event(insts, vec![]), 0, 16, 64, 8, false, None);
+        s.capture(&event(insts, vec![]), 0, 16, 64, 8, false, None);
         assert_eq!(s.blocks.len(), 2);
         assert_eq!(s.blocks[0], BlockRange { start: Pc::new(0x1000), end: Pc::new(0x1004) });
         assert_eq!(s.blocks[1], BlockRange { start: Pc::new(0x2000), end: Pc::new(0x2004) });
-        assert_eq!(retains, vec![0, 1, 3], "executed instructions with destinations");
+        let held: Vec<usize> =
+            s.log.iter().enumerate().filter(|(_, e)| e.preg_held).map(|(i, _)| i).collect();
+        assert_eq!(held, vec![0, 1, 3], "executed instructions with destinations");
         assert_eq!(s.log.len(), 4);
         assert!(s.log[0].preg_held);
         assert!(!s.log[2].preg_held);
@@ -324,10 +337,11 @@ mod tests {
         let mut s = Stream::default();
         let insts: Vec<SquashedInst> =
             (0..40).map(|i| inst(0x1000 + i * 4, true, Some(80 + i as usize))).collect();
-        let retains = s.capture(&event(insts, vec![]), 0, 2, 16, 8, false, None);
+        s.capture(&event(insts, vec![]), 0, 2, 16, 8, false, None);
         assert_eq!(s.blocks.len(), 2, "younger blocks discarded");
         assert_eq!(s.log.len(), 16, "younger squashed instructions discarded");
-        assert_eq!(retains.len(), 16, "only logged entries hold registers");
+        let held = s.log.iter().filter(|e| e.preg_held).count();
+        assert_eq!(held, 16, "only logged entries hold registers");
     }
 
     #[test]
@@ -374,10 +388,13 @@ mod tests {
         let insts = vec![inst(0x1000, true, Some(90)), inst(0x1004, true, Some(91))];
         s.capture(&event(insts, vec![]), 0, 16, 64, 8, false, None);
         s.log[0].preg_held = false; // consumed by a grant
-        let released = s.invalidate();
+        let mut released = Vec::new();
+        s.invalidate(|p| released.push(p));
         assert_eq!(released, vec![PhysReg::new(91)]);
         assert!(!s.valid);
         assert!(s.log.is_empty());
-        assert!(s.invalidate().is_empty(), "second invalidation releases nothing");
+        released.clear();
+        s.invalidate(|p| released.push(p));
+        assert!(released.is_empty(), "second invalidation releases nothing");
     }
 }

@@ -12,8 +12,8 @@ use mssr_core::align::{find_overlap, find_overlap_vpn, vpn};
 use mssr_core::{MssrConfig, MultiStreamReuse};
 use mssr_isa::{ArchReg, Opcode, Pc};
 use mssr_sim::{
-    BlockRange, EngineCtx, FlushKind, FreeList, PhysReg, ReuseEngine, Rgid, SeqNum, SquashEvent,
-    SquashedInst,
+    BlockRange, DstBinding, EngineCtx, FlushKind, FreeList, PhysReg, ReuseEngine, Rgid, SeqNum,
+    SquashEvent, SquashedInst, StageCtx,
 };
 
 fn r(s: u64, e: u64) -> BlockRange {
@@ -79,7 +79,7 @@ fn sq_inst(pc: u64, preg: usize, executed: bool) -> SquashedInst {
         seq: SeqNum::new(pc / 4),
         pc: Pc::new(pc),
         op: Opcode::Add,
-        dst: Some((ArchReg::A0, PhysReg::new(preg), Rgid::new(1))),
+        dst: Some(DstBinding { arch: ArchReg::A0, preg: PhysReg::new(preg), rgid: Rgid::new(1) }),
         src_rgids: [None, None],
         src_pregs: [None, None],
         executed,
@@ -120,8 +120,7 @@ fn squash_capture_and_invalidation_conserve_registers() {
         let pcs = [(0x1000 + k * 0x100, p0, true), (0x1004 + k * 0x100, p1, k % 3 != 0)];
         let mut ctx = EngineCtx {
             free_list: &mut fl,
-            cycle: k,
-            rob_size: 256,
+            stage: StageCtx { cycle: k, rob_size: 256 },
             rgid_reset_requested: &mut reset,
         };
         e.on_mispredict_squash(&event(k + 1, &pcs), &mut ctx);
@@ -131,8 +130,7 @@ fn squash_capture_and_invalidation_conserve_registers() {
     {
         let mut ctx = EngineCtx {
             free_list: &mut fl,
-            cycle: 100,
-            rob_size: 256,
+            stage: StageCtx { cycle: 100, rob_size: 256 },
             rgid_reset_requested: &mut reset,
         };
         e.on_flush(FlushKind::ReuseVerification, &mut ctx);
@@ -149,8 +147,7 @@ fn pressure_reclaim_conserves_registers() {
     for k in 0..4u64 {
         let mut ctx = EngineCtx {
             free_list: &mut fl,
-            cycle: k,
-            rob_size: 256,
+            stage: StageCtx { cycle: k, rob_size: 256 },
             rgid_reset_requested: &mut reset,
         };
         e.on_mispredict_squash(
@@ -162,8 +159,7 @@ fn pressure_reclaim_conserves_registers() {
     for k in 0..4u64 {
         let mut ctx = EngineCtx {
             free_list: &mut fl,
-            cycle: 10 + k,
-            rob_size: 256,
+            stage: StageCtx { cycle: 10 + k, rob_size: 256 },
             rgid_reset_requested: &mut reset,
         };
         e.on_register_pressure(&mut ctx);
@@ -180,8 +176,7 @@ fn rgid_reset_conserves_registers() {
     {
         let mut ctx = EngineCtx {
             free_list: &mut fl,
-            cycle: 0,
-            rob_size: 256,
+            stage: StageCtx { cycle: 0, rob_size: 256 },
             rgid_reset_requested: &mut reset,
         };
         e.on_mispredict_squash(&event(1, &[(0x1000, 80, true), (0x1004, 81, true)]), &mut ctx);
@@ -193,8 +188,7 @@ fn rgid_reset_conserves_registers() {
     {
         let mut ctx = EngineCtx {
             free_list: &mut fl,
-            cycle: 1,
-            rob_size: 256,
+            stage: StageCtx { cycle: 1, rob_size: 256 },
             rgid_reset_requested: &mut reset,
         };
         // State captured between the request and the end-of-cycle reset

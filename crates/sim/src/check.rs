@@ -55,10 +55,14 @@
 //! violating states directly (a leaked register, a reordered queue, a
 //! reused store) and prove each rule trips — see `tests/invariants.rs`.
 
-use mssr_isa::NUM_ARCH_REGS;
+use mssr_isa::{ArchReg, NUM_ARCH_REGS};
 
 use crate::account::{Category, CycleAccount};
+use crate::engine::ReuseEngine;
 use crate::lsq::{LqEntry, SqEntry};
+use crate::stage::MachineState;
+#[cfg(debug_assertions)]
+use crate::stage::Scratch;
 use crate::types::{Rgid, SeqNum};
 
 /// Which invariant a [`Violation`] breaks.
@@ -353,6 +357,203 @@ pub fn check_stride() -> u64 {
     *STRIDE.get_or_init(|| {
         std::env::var("MSSR_CHECK_STRIDE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
     })
+}
+
+/// Sweeps the full machine state against every [`Rule`], returning all
+/// violations found (empty for a healthy pipeline). Allocating
+/// convenience wrapper over [`machine_violations_with`] for tests and
+/// tools; the debug-build hot path passes scratch bitmaps instead.
+pub(crate) fn machine_violations(st: &MachineState, engine: &dyn ReuseEngine) -> Vec<Violation> {
+    let mut live = Vec::new();
+    let mut queued = Vec::new();
+    machine_violations_with(st, engine, &mut live, &mut queued)
+}
+
+/// The full rule sweep over caller-provided scratch bitmaps (cleared and
+/// refilled), so a clean sweep allocates nothing: `Vec::new()` defers its
+/// first allocation to the first push, and violations are the only thing
+/// pushed.
+pub(crate) fn machine_violations_with(
+    st: &MachineState,
+    engine: &dyn ReuseEngine,
+    live: &mut Vec<bool>,
+    queued: &mut Vec<bool>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Free-list internal integrity, then the per-mapping hold checks
+    // (a mapped or in-flight register must never be allocatable).
+    if let Err(detail) = st.free_list.validate_with(queued) {
+        out.push(Violation { rule: Rule::FreeListIntegrity, detail });
+    }
+    for a in ArchReg::all() {
+        let p = st.rat.lookup(a);
+        if st.free_list.holds(p) == 0 {
+            out.push(Violation {
+                rule: Rule::FreeListIntegrity,
+                detail: format!("RAT maps {a} to {p} which has no holds"),
+            });
+        }
+    }
+    for e in st.rob.iter() {
+        if let Some(d) = e.dst {
+            for (what, p) in [("destination", d.new_preg), ("rollback target", d.prev_preg)] {
+                if st.free_list.holds(p) == 0 {
+                    out.push(Violation {
+                        rule: Rule::FreeListIntegrity,
+                        detail: format!("ROB {} has {what} {p} with no holds", e.seq),
+                    });
+                }
+            }
+        }
+    }
+
+    // Hold conservation: every hold belongs to a live mapping (RAT
+    // target, in-flight ROB destination, or rollback target — as a
+    // *set*: each live register carries exactly one pipeline hold) or
+    // to the engine's reservations.
+    live.clear();
+    live.resize(st.free_list.num_regs(), false);
+    for a in ArchReg::all() {
+        live[st.rat.lookup(a).index()] = true;
+    }
+    for e in st.rob.iter() {
+        if let Some(d) = e.dst {
+            live[d.new_preg.index()] = true;
+            live[d.prev_preg.index()] = true;
+        }
+    }
+    let live_mappings = live.iter().filter(|&&l| l).count() as u64;
+    if let Some(v) =
+        check_conservation(st.free_list.total_holds(), live_mappings, engine.reserved_hold_count())
+    {
+        out.push(v);
+    }
+
+    if let Some(v) = check_age_order(Rule::RobAgeOrder, "ROB", st.rob.iter().map(|e| e.seq)) {
+        out.push(v);
+    }
+    if let Some(v) = check_rgids(
+        st.rgids.counters(),
+        st.rob.iter().filter_map(|e| e.dst.map(|d| (d.arch.index(), d.new_rgid, e.reused))),
+    ) {
+        out.push(v);
+    }
+    if let Some(v) = check_reuse_safety(
+        st.rob
+            .iter()
+            .map(|e| (e.seq, e.inst.is_store(), e.inst.is_load(), e.reused, e.verify_pending)),
+    ) {
+        out.push(v);
+    }
+    if let Some(v) = check_lsq(st.lsq.loads(), st.lsq.stores()) {
+        out.push(v);
+    }
+    // The account accrues immediately before the cycle counter
+    // increments, so the law holds exactly at every sweep point: the
+    // per-cycle sweep (after the increment) and the post-squash
+    // thorough sweep (mid-cycle, before this cycle's accrual).
+    if let Some(v) = check_cpi_account(&st.account, st.cycle, st.cfg.commit_width as u64) {
+        out.push(v);
+    }
+    out
+}
+
+/// One fused, allocation-free pass over the machine state checking the
+/// same invariants as [`machine_violations`] minus the free list's
+/// internal-integrity scan (covered by the thorough sweep after every
+/// squash). This is the per-cycle debug-build hot path: it only answers
+/// clean/dirty; diagnosis is re-derived by the rule functions when it
+/// reports dirty. Kept semantically a subset of the thorough sweep —
+/// [`assert_sweep`] enforces that.
+#[cfg(debug_assertions)]
+pub(crate) fn sweep_is_clean(
+    st: &MachineState,
+    engine: &dyn ReuseEngine,
+    live: &mut Vec<bool>,
+) -> bool {
+    let fl = &st.free_list;
+    live.clear();
+    live.resize(fl.num_regs(), false);
+    let mut live_count: u64 = 0;
+    for a in ArchReg::all() {
+        let p = st.rat.lookup(a);
+        if fl.holds(p) == 0 {
+            return false;
+        }
+        if !live[p.index()] {
+            live[p.index()] = true;
+            live_count += 1;
+        }
+    }
+    let counters = st.rgids.counters();
+    let mut prev: Option<SeqNum> = None;
+    let mut last: [Option<u16>; NUM_ARCH_REGS] = [None; NUM_ARCH_REGS];
+    for e in st.rob.iter() {
+        if prev.is_some_and(|p| e.seq <= p) {
+            return false;
+        }
+        prev = Some(e.seq);
+        if e.inst.is_store() && e.reused {
+            return false;
+        }
+        if e.verify_pending && !(e.reused && e.inst.is_load()) {
+            return false;
+        }
+        if let Some(d) = e.dst {
+            for p in [d.new_preg, d.prev_preg] {
+                if fl.holds(p) == 0 {
+                    return false;
+                }
+                if !live[p.index()] {
+                    live[p.index()] = true;
+                    live_count += 1;
+                }
+            }
+            let g = d.new_rgid;
+            if !g.is_null() {
+                let a = d.arch.index();
+                if g.value() > counters[a] {
+                    return false;
+                }
+                if !e.reused {
+                    if last[a].is_some_and(|prev| g.value() <= prev) {
+                        return false;
+                    }
+                    last[a] = Some(g.value());
+                }
+            }
+        }
+    }
+    fl.total_holds() == live_count + engine.reserved_hold_count()
+        && check_lsq(st.lsq.loads(), st.lsq.stores()).is_none()
+        && check_cpi_account(&st.account, st.cycle, st.cfg.commit_width as u64).is_none()
+}
+
+/// Panics on the first invariant violation (debug-build backstop).
+/// The fused sweep screens; the rule functions produce the report.
+#[cfg(debug_assertions)]
+pub(crate) fn assert_sweep(st: &MachineState, engine: &dyn ReuseEngine, scratch: &mut Scratch) {
+    if sweep_is_clean(st, engine, &mut scratch.live) {
+        return;
+    }
+    assert_thorough(st, engine, scratch);
+    panic!(
+        "invariant sweep flagged cycle {} but the thorough check found nothing \
+         (fast/thorough sweep divergence — this is a checker bug)",
+        st.cycle
+    );
+}
+
+/// The thorough variant: full rule-function sweep including free-list
+/// internal integrity. Run after every squash and on demand.
+#[cfg(debug_assertions)]
+pub(crate) fn assert_thorough(st: &MachineState, engine: &dyn ReuseEngine, scratch: &mut Scratch) {
+    if let Some(v) =
+        machine_violations_with(st, engine, &mut scratch.live, &mut scratch.queued).first()
+    {
+        panic!("invariant violation at cycle {}: {v}", st.cycle);
+    }
 }
 
 #[cfg(test)]

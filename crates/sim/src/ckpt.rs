@@ -390,6 +390,590 @@ impl<'a> CkptReader<'a> {
     }
 }
 
+/// Machine-state serialization: the payload layout of a full simulator
+/// checkpoint, decomposed per pipeline stage. Field order is the format —
+/// [`save`] and [`restore`] call the per-stage `save_*`/`load_*` pairs in
+/// the same fixed sequence, and any layout change bumps `CKPT_VERSION`.
+pub(crate) mod machine {
+    use std::cmp::Reverse;
+
+    use mssr_isa::{ArchReg, Inst, Pc, Program};
+
+    use super::{CkptError, CkptReader, CkptWriter};
+    use crate::bpred::PredMeta;
+    use crate::config::SimConfig;
+    use crate::engine::ReuseEngine;
+    use crate::lsq::{LqEntry, Lsq, SqEntry};
+    use crate::rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
+    use crate::sample::Sampler;
+    use crate::stage::{FrontInst, MachineState, PendingFlush};
+    use crate::trace::{CkptAction, TraceEvent, Tracer};
+    use crate::types::{FlushKind, SeqNum};
+
+    /// Payload terminator, checked before [`CkptReader::done`] so a codec
+    /// drift shows up as a missing marker rather than a trailing-bytes
+    /// error.
+    const CKPT_END: u32 = 0x444e_4521;
+
+    /// A stable identity hash of the loaded program (base address plus
+    /// every instruction), used to reject checkpoints taken of a
+    /// different program. In-flight instructions are checkpointed by PC
+    /// only and re-fetched through this guard.
+    fn program_hash(program: &Program) -> u64 {
+        let mut text = program.base().addr().to_string();
+        for (pc, inst) in program.iter() {
+            text.push_str(&format!("|{}:{inst:?}", pc.addr()));
+        }
+        super::fnv1a64(text.as_bytes())
+    }
+
+    /// A stable identity hash of the simulator configuration. Structure
+    /// sizes (ROB, queues, caches) shape the serialized state, so a
+    /// checkpoint only restores under the exact configuration that took
+    /// it; the `Debug` rendering covers every field.
+    fn config_hash(cfg: &SimConfig) -> u64 {
+        super::fnv1a64(format!("{cfg:?}").as_bytes())
+    }
+
+    fn refetch(program: &Program, pc: Pc) -> Result<Inst, CkptError> {
+        program
+            .fetch(pc)
+            .copied()
+            .ok_or_else(|| CkptError::Corrupt(format!("checkpointed PC {pc} outside the program")))
+    }
+
+    fn flush_kind_code(k: FlushKind) -> u8 {
+        match k {
+            FlushKind::BranchMispredict => 0,
+            FlushKind::MemoryOrder => 1,
+            FlushKind::ReuseVerification => 2,
+        }
+    }
+
+    fn flush_kind_from(b: u8) -> Result<FlushKind, CkptError> {
+        match b {
+            0 => Ok(FlushKind::BranchMispredict),
+            1 => Ok(FlushKind::MemoryOrder),
+            2 => Ok(FlushKind::ReuseVerification),
+            _ => Err(CkptError::Corrupt(format!("unknown flush kind byte {b}"))),
+        }
+    }
+
+    fn load_arch_reg(r: &mut CkptReader) -> Result<ArchReg, CkptError> {
+        let i = r.u8()? as usize;
+        ArchReg::all()
+            .nth(i)
+            .ok_or_else(|| CkptError::Corrupt(format!("arch register index {i} out of range")))
+    }
+
+    // --- Control scalars, statistics, and the CPI-stack account -------
+
+    fn save_control(st: &MachineState, w: &mut CkptWriter) {
+        w.u64(st.cycle);
+        w.u64(st.next_seq);
+        w.u64(st.squash_ctr);
+        w.bool(st.halted);
+        w.opt_pc(st.fetch_pc);
+        w.u64(st.fetch_resume_at);
+        w.bool(st.rgid_reset_requested);
+        w.u64(st.rgid_overflows_total);
+        w.u64(st.rgid_resets_total);
+        w.u64(st.grants_total);
+        match st.refill_blame {
+            None => w.bool(false),
+            Some((kind, seq)) => {
+                w.bool(true);
+                w.u8(flush_kind_code(kind));
+                w.seq(seq);
+            }
+        }
+
+        // Cumulative statistics. Cache counters live in the hierarchy
+        // section and engine counters in the engine blob; `stats()`
+        // recomposes them, so only the pipeline-owned counters go here.
+        for v in [
+            st.stats.committed_instructions,
+            st.stats.committed_branches,
+            st.stats.committed_cond_branches,
+            st.stats.mispredictions,
+            st.stats.renamed_instructions,
+            st.stats.squashed_instructions,
+            st.stats.flushes_branch,
+            st.stats.flushes_mem_order,
+            st.stats.flushes_reuse_verify,
+            st.stats.committed_loads,
+            st.stats.committed_stores,
+            st.stats.store_forwards,
+            st.stats.store_forward_stalls,
+            st.stats.snoops,
+            st.stats.ffwd_insts,
+            st.stats.skipped_cycles,
+        ] {
+            w.u64(v);
+        }
+
+        // CPI-stack account.
+        for s in st.account.slots {
+            w.u64(s);
+        }
+        w.u64(st.account.credit_reuse_cycles);
+        w.u64(st.account.credit_recon_fetches);
+    }
+
+    fn load_control(st: &mut MachineState, r: &mut CkptReader) -> Result<(), CkptError> {
+        st.cycle = r.u64()?;
+        st.next_seq = r.u64()?;
+        st.squash_ctr = r.u64()?;
+        st.halted = r.bool()?;
+        st.fetch_pc = r.opt_pc()?;
+        st.fetch_resume_at = r.u64()?;
+        st.rgid_reset_requested = r.bool()?;
+        st.rgid_overflows_total = r.u64()?;
+        st.rgid_resets_total = r.u64()?;
+        st.grants_total = r.u64()?;
+        st.refill_blame =
+            if r.bool()? { Some((flush_kind_from(r.u8()?)?, r.seq()?)) } else { None };
+
+        st.stats.committed_instructions = r.u64()?;
+        st.stats.committed_branches = r.u64()?;
+        st.stats.committed_cond_branches = r.u64()?;
+        st.stats.mispredictions = r.u64()?;
+        st.stats.renamed_instructions = r.u64()?;
+        st.stats.squashed_instructions = r.u64()?;
+        st.stats.flushes_branch = r.u64()?;
+        st.stats.flushes_mem_order = r.u64()?;
+        st.stats.flushes_reuse_verify = r.u64()?;
+        st.stats.committed_loads = r.u64()?;
+        st.stats.committed_stores = r.u64()?;
+        st.stats.store_forwards = r.u64()?;
+        st.stats.store_forward_stalls = r.u64()?;
+        st.stats.snoops = r.u64()?;
+        st.stats.ffwd_insts = r.u64()?;
+        st.stats.skipped_cycles = r.u64()?;
+
+        for s in &mut st.account.slots {
+            *s = r.u64()?;
+        }
+        st.account.credit_reuse_cycles = r.u64()?;
+        st.account.credit_recon_fetches = r.u64()?;
+        Ok(())
+    }
+
+    // --- Fetch stage: predictor and in-flight frontend queue -----------
+
+    fn save_fetch(st: &MachineState, w: &mut CkptWriter) {
+        st.bpred.ckpt_save(w);
+
+        // Frontend queue (instructions by PC).
+        w.u64(st.frontend_q.len() as u64);
+        for fi in &st.frontend_q {
+            w.u64(fi.ready_cycle);
+            w.pc(fi.pc);
+            w.bool(fi.pred_taken);
+            w.pc(fi.pred_next);
+            w.u64(fi.meta.ghr_before);
+            w.u64(fi.ghr_before);
+            w.u64(fi.ras_sp_before);
+        }
+    }
+
+    fn load_fetch(st: &mut MachineState, r: &mut CkptReader) -> Result<(), CkptError> {
+        st.bpred.ckpt_load(r)?;
+
+        let n = r.seq_len(34)?;
+        st.frontend_q.clear();
+        for _ in 0..n {
+            let ready_cycle = r.u64()?;
+            let pc = r.pc()?;
+            let inst = refetch(&st.program, pc)?;
+            st.frontend_q.push_back(FrontInst {
+                ready_cycle,
+                pc,
+                inst,
+                pred_taken: r.bool()?,
+                pred_next: r.pc()?,
+                meta: PredMeta { ghr_before: r.u64()? },
+                ghr_before: r.u64()?,
+                ras_sp_before: r.u64()?,
+            });
+        }
+        Ok(())
+    }
+
+    // --- Rename stage: RAT, free list, PRF, RGID allocator -------------
+
+    fn save_rename(st: &MachineState, w: &mut CkptWriter) {
+        st.rat.ckpt_save(w);
+        st.free_list.ckpt_save(w);
+        st.prf.ckpt_save(w);
+        st.rgids.ckpt_save(w);
+    }
+
+    fn load_rename(st: &mut MachineState, r: &mut CkptReader) -> Result<(), CkptError> {
+        st.rat.ckpt_load(r)?;
+        st.free_list.ckpt_load(r)?;
+        st.prf.ckpt_load(r)?;
+        st.rgids.ckpt_load(r)?;
+        Ok(())
+    }
+
+    // --- Commit stage: the reorder buffer -------------------------------
+
+    fn save_rob_entry(w: &mut CkptWriter, e: &RobEntry) {
+        w.seq(e.seq);
+        w.pc(e.pc);
+        match e.dst {
+            None => w.bool(false),
+            Some(d) => {
+                w.bool(true);
+                w.u8(d.arch.index() as u8);
+                w.preg(d.new_preg);
+                w.preg(d.prev_preg);
+                w.rgid(d.new_rgid);
+                w.rgid(d.prev_rgid);
+            }
+        }
+        for p in e.src_pregs {
+            w.opt_preg(p);
+        }
+        for g in e.src_rgids {
+            w.opt_rgid(g);
+        }
+        w.bool(e.completed);
+        w.bool(e.reused);
+        w.bool(e.verify_pending);
+        w.bool(e.fwd_stalled);
+        w.opt_u64(e.pending_value);
+        match e.branch {
+            None => w.bool(false),
+            Some(b) => {
+                w.bool(true);
+                w.pc(b.pred_next);
+                w.bool(b.pred_taken);
+                w.u64(b.meta.ghr_before);
+                match b.resolved {
+                    None => w.bool(false),
+                    Some(o) => {
+                        w.bool(true);
+                        w.bool(o.taken);
+                        w.pc(o.next);
+                    }
+                }
+            }
+        }
+        w.opt_u64(e.mem_addr);
+        w.u64(e.ghr_before);
+        w.u64(e.ras_sp_before);
+    }
+
+    fn load_rob_entry(r: &mut CkptReader, program: &Program) -> Result<RobEntry, CkptError> {
+        let seq = r.seq()?;
+        let pc = r.pc()?;
+        let inst = refetch(program, pc)?;
+        let dst = if r.bool()? {
+            Some(DstInfo {
+                arch: load_arch_reg(r)?,
+                new_preg: r.preg()?,
+                prev_preg: r.preg()?,
+                new_rgid: r.rgid()?,
+                prev_rgid: r.rgid()?,
+            })
+        } else {
+            None
+        };
+        let src_pregs = [r.opt_preg()?, r.opt_preg()?];
+        let src_rgids = [r.opt_rgid()?, r.opt_rgid()?];
+        let completed = r.bool()?;
+        let reused = r.bool()?;
+        let verify_pending = r.bool()?;
+        let fwd_stalled = r.bool()?;
+        let pending_value = r.opt_u64()?;
+        let branch = if r.bool()? {
+            let pred_next = r.pc()?;
+            let pred_taken = r.bool()?;
+            let meta = PredMeta { ghr_before: r.u64()? };
+            let resolved = if r.bool()? {
+                Some(BranchOutcome { taken: r.bool()?, next: r.pc()? })
+            } else {
+                None
+            };
+            Some(BranchState { pred_next, pred_taken, meta, resolved })
+        } else {
+            None
+        };
+        Ok(RobEntry {
+            seq,
+            pc,
+            inst,
+            dst,
+            src_pregs,
+            src_rgids,
+            completed,
+            reused,
+            verify_pending,
+            fwd_stalled,
+            pending_value,
+            branch,
+            mem_addr: r.opt_u64()?,
+            ghr_before: r.u64()?,
+            ras_sp_before: r.u64()?,
+        })
+    }
+
+    fn save_commit(st: &MachineState, w: &mut CkptWriter) {
+        w.u64(st.rob.len() as u64);
+        for e in st.rob.iter() {
+            save_rob_entry(w, e);
+        }
+    }
+
+    fn load_commit(st: &mut MachineState, r: &mut CkptReader) -> Result<(), CkptError> {
+        let n = r.seq_len(40)?;
+        if n > st.cfg.rob_size {
+            return Err(CkptError::Corrupt(format!(
+                "{n} ROB entries in checkpoint, capacity {}",
+                st.cfg.rob_size
+            )));
+        }
+        let mut rob = Rob::new(st.cfg.rob_size);
+        let mut prev: Option<SeqNum> = None;
+        for _ in 0..n {
+            let e = load_rob_entry(r, &st.program)?;
+            if prev.is_some_and(|p| e.seq <= p) {
+                return Err(CkptError::Corrupt("ROB entries out of age order".into()));
+            }
+            prev = Some(e.seq);
+            rob.push(e);
+        }
+        st.rob = rob;
+        Ok(())
+    }
+
+    // --- Issue stage: the reservation stations ---------------------------
+
+    fn save_issue(st: &MachineState, w: &mut CkptWriter) {
+        st.iq_int.ckpt_save(w);
+        st.iq_mem.ckpt_save(w);
+    }
+
+    fn load_issue(st: &mut MachineState, r: &mut CkptReader) -> Result<(), CkptError> {
+        st.iq_int.ckpt_load(r)?;
+        st.iq_mem.ckpt_load(r)?;
+        Ok(())
+    }
+
+    // --- Execute stage: LSQ, completion events, pending flushes ----------
+
+    fn save_execute(st: &MachineState, w: &mut CkptWriter) {
+        w.u64(st.lsq.lq_len() as u64);
+        for l in st.lsq.loads() {
+            w.seq(l.seq);
+            w.opt_u64(l.addr);
+            w.bool(l.issued);
+            w.opt_u64(l.value);
+            w.bool(l.reused);
+        }
+        w.u64(st.lsq.sq_len() as u64);
+        for s in st.lsq.stores() {
+            w.seq(s.seq);
+            w.opt_u64(s.addr);
+            w.opt_u64(s.data);
+        }
+
+        // Completion events. Heap iteration order is arbitrary; sort so
+        // identical machine states serialize to identical bytes.
+        let mut comps: Vec<(u64, u64)> = st.completions.iter().map(|&Reverse(p)| p).collect();
+        comps.sort_unstable();
+        w.u64(comps.len() as u64);
+        for (c, s) in comps {
+            w.u64(c);
+            w.u64(s);
+        }
+
+        w.u64(st.pending_flushes.len() as u64);
+        for f in &st.pending_flushes {
+            w.seq(f.first_squashed);
+            w.pc(f.redirect);
+            w.u8(flush_kind_code(f.kind));
+            w.seq(f.cause_seq);
+            w.pc(f.cause_pc);
+        }
+    }
+
+    fn load_execute(st: &mut MachineState, r: &mut CkptReader) -> Result<(), CkptError> {
+        let nl = r.seq_len(27)?;
+        let mut lsq = Lsq::new(st.cfg.lq_size, st.cfg.sq_size);
+        if nl > st.cfg.lq_size {
+            return Err(CkptError::Corrupt(format!(
+                "{nl} load-queue entries in checkpoint, capacity {}",
+                st.cfg.lq_size
+            )));
+        }
+        let mut prev: Option<SeqNum> = None;
+        for _ in 0..nl {
+            let seq = r.seq()?;
+            if prev.is_some_and(|p| seq <= p) {
+                return Err(CkptError::Corrupt("load queue out of age order".into()));
+            }
+            prev = Some(seq);
+            lsq.push_load(LqEntry {
+                seq,
+                addr: r.opt_u64()?,
+                issued: r.bool()?,
+                value: r.opt_u64()?,
+                reused: r.bool()?,
+            });
+        }
+        let ns = r.seq_len(26)?;
+        if ns > st.cfg.sq_size {
+            return Err(CkptError::Corrupt(format!(
+                "{ns} store-queue entries in checkpoint, capacity {}",
+                st.cfg.sq_size
+            )));
+        }
+        let mut prev: Option<SeqNum> = None;
+        for _ in 0..ns {
+            let seq = r.seq()?;
+            if prev.is_some_and(|p| seq <= p) {
+                return Err(CkptError::Corrupt("store queue out of age order".into()));
+            }
+            prev = Some(seq);
+            lsq.push_store(SqEntry { seq, addr: r.opt_u64()?, data: r.opt_u64()? });
+        }
+        st.lsq = lsq;
+
+        let n = r.seq_len(16)?;
+        st.completions.clear();
+        for _ in 0..n {
+            let c = r.u64()?;
+            let s = r.u64()?;
+            st.completions.push(Reverse((c, s)));
+        }
+
+        let n = r.seq_len(33)?;
+        st.pending_flushes.clear();
+        for _ in 0..n {
+            st.pending_flushes.push(PendingFlush {
+                first_squashed: r.seq()?,
+                redirect: r.pc()?,
+                kind: flush_kind_from(r.u8()?)?,
+                cause_seq: r.seq()?,
+                cause_pc: r.pc()?,
+            });
+        }
+        Ok(())
+    }
+
+    // --- Memory: backing store and cache hierarchy -----------------------
+
+    fn save_memory(st: &MachineState, w: &mut CkptWriter) {
+        st.memory.ckpt_save(w);
+        st.hier.ckpt_save(w);
+    }
+
+    fn load_memory(st: &mut MachineState, r: &mut CkptReader) -> Result<(), CkptError> {
+        st.memory.ckpt_load(r)?;
+        st.hier.ckpt_load(r)?;
+        Ok(())
+    }
+
+    /// Serializes the complete simulation state — architectural and
+    /// microarchitectural, in-flight instructions included — into a
+    /// versioned, checksummed envelope (see the module docs). The
+    /// pipeline is captured exactly as it stands, never drained, so a
+    /// restored simulator continues bit-identically.
+    pub(crate) fn save(
+        st: &MachineState,
+        engine: &dyn ReuseEngine,
+        sampler: &Sampler,
+        tracer: &Tracer,
+    ) -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        w.u64(config_hash(&st.cfg));
+        w.u64(program_hash(&st.program));
+        w.str(engine.name());
+
+        save_control(st, &mut w);
+        save_fetch(st, &mut w);
+        save_rename(st, &mut w);
+        save_commit(st, &mut w);
+        save_issue(st, &mut w);
+        save_execute(st, &mut w);
+        save_memory(st, &mut w);
+
+        // Engine state, as a length-prefixed blob so the pipeline can
+        // frame it without knowing its layout.
+        let mut ew = CkptWriter::new();
+        engine.ckpt_save(&mut ew);
+        w.bytes(&ew.finish());
+
+        sampler.ckpt_save(&mut w);
+        tracer.ckpt_save(&mut w);
+        w.u32(CKPT_END);
+
+        super::seal(&w.finish())
+    }
+
+    /// Restores a snapshot taken by [`save`] over this machine, which
+    /// must carry the same configuration, program, and engine (checked
+    /// via identity hashes in the payload — mismatches are rejected
+    /// before any state is touched, as are all envelope corruptions).
+    ///
+    /// On a mid-payload [`CkptError::Corrupt`] the machine may be
+    /// partially overwritten and must be discarded; no error path leaves
+    /// a *silently* inconsistent machine.
+    pub(crate) fn restore(
+        st: &mut MachineState,
+        engine: &mut dyn ReuseEngine,
+        sampler: &mut Sampler,
+        tracer: &mut Tracer,
+        bytes: &[u8],
+    ) -> Result<(), CkptError> {
+        let payload = super::open(bytes)?;
+        let mut r = CkptReader::new(payload);
+        if r.u64()? != config_hash(&st.cfg) {
+            return Err(CkptError::ConfigMismatch);
+        }
+        if r.u64()? != program_hash(&st.program) {
+            return Err(CkptError::ProgramMismatch);
+        }
+        let name = r.str()?;
+        if name != engine.name() {
+            return Err(CkptError::EngineMismatch {
+                found: name,
+                expect: engine.name().to_string(),
+            });
+        }
+
+        load_control(st, &mut r)?;
+        load_fetch(st, &mut r)?;
+        load_rename(st, &mut r)?;
+        load_commit(st, &mut r)?;
+        load_issue(st, &mut r)?;
+        load_execute(st, &mut r)?;
+        load_memory(st, &mut r)?;
+
+        let blob = r.bytes()?;
+        let mut er = CkptReader::new(blob);
+        engine.ckpt_load(&mut er)?;
+        er.done()?;
+
+        sampler.ckpt_load(&mut r)?;
+        tracer.ckpt_load(&mut r)?;
+        if r.u32()? != CKPT_END {
+            return Err(CkptError::Corrupt("missing end marker".into()));
+        }
+        r.done()?;
+
+        tracer.emit(TraceEvent::Ckpt {
+            cycle: st.cycle,
+            action: CkptAction::Restore,
+            insts: st.stats.committed_instructions,
+        });
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

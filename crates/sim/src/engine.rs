@@ -60,6 +60,20 @@ pub struct PredBlock {
     pub cycle: u64,
 }
 
+/// A destination register binding as the engines see it: the
+/// architectural register, the physical register mapped to it, and the
+/// RGID of the mapping. Replaces the ad-hoc `(ArchReg, PhysReg, Rgid)`
+/// tuples that used to flow through the engine hooks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DstBinding {
+    /// The architectural destination register.
+    pub arch: ArchReg,
+    /// The physical register holding (or about to hold) the result.
+    pub preg: PhysReg,
+    /// The RGID of the mapping.
+    pub rgid: Rgid,
+}
+
 /// A squashed instruction, as dumped from the ROB into a Squash Log.
 #[derive(Clone, Debug)]
 pub struct SquashedInst {
@@ -69,10 +83,9 @@ pub struct SquashedInst {
     pub pc: Pc,
     /// Its opcode.
     pub op: Opcode,
-    /// Destination bookkeeping: architectural register, the physical
-    /// register holding the (possibly already computed) result, and the
-    /// RGID of the squashed mapping.
-    pub dst: Option<(ArchReg, PhysReg, Rgid)>,
+    /// Destination bookkeeping: the squashed mapping whose physical
+    /// register holds the (possibly already computed) result.
+    pub dst: Option<DstBinding>,
     /// Source RGIDs at the squashed instruction's rename. `None` means
     /// the operand slot is absent or reads `x0` (always valid).
     pub src_rgids: [Option<Rgid>; 2],
@@ -161,10 +174,20 @@ pub struct RenamedInst {
     pub pc: Pc,
     /// Opcode.
     pub op: Opcode,
-    /// New destination mapping, if any: (arch, preg, rgid).
-    pub dst: Option<(ArchReg, PhysReg, Rgid)>,
+    /// New destination mapping, if any.
+    pub dst: Option<DstBinding>,
     /// Whether this instruction was granted reuse.
     pub reused: bool,
+}
+
+/// Read-only view of the stage clock and machine geometry, passed to
+/// every engine hook through [`EngineCtx`].
+#[derive(Clone, Copy, Debug)]
+pub struct StageCtx {
+    /// Current cycle.
+    pub cycle: u64,
+    /// ROB capacity (the paper's RGID-reset drain window).
+    pub rob_size: usize,
 }
 
 /// Mutable pipeline state exposed to engine hooks.
@@ -172,10 +195,8 @@ pub struct RenamedInst {
 pub struct EngineCtx<'a> {
     /// The physical-register free list (for `retain`/`release` holds).
     pub free_list: &'a mut FreeList,
-    /// Current cycle.
-    pub cycle: u64,
-    /// ROB capacity (the paper's RGID-reset drain window).
-    pub rob_size: usize,
+    /// The calling stage's clock/geometry view.
+    pub stage: StageCtx,
     /// Set to request a global RGID reset at the end of this cycle; the
     /// pipeline zeroes the generation counters and nulls every RGID held
     /// in live state (RAT and ROB) so pre-reset mappings can never alias

@@ -11,15 +11,17 @@ pub struct IqEntry {
     pub seq: SeqNum,
     /// Which functional-unit class executes it.
     pub fu: FuClass,
-    /// Source registers still pending (woken by writeback broadcast).
-    waiting: Vec<PhysReg>,
+    /// Per-source-slot pending registers (woken by writeback broadcast).
+    /// `None` slots are ready; the entry issues when all slots are.
+    waiting: [Option<PhysReg>; 2],
 }
 
 /// A unified issue-queue structure holding one FU class partition.
 ///
 /// Wakeup is a broadcast of produced physical registers
 /// ([`IssueQueue::wake`]); select pulls the oldest ready entries per
-/// class up to the per-class issue bandwidth ([`IssueQueue::select`]).
+/// class up to the per-class issue bandwidth
+/// ([`IssueQueue::select_into`]).
 #[derive(Debug)]
 pub struct IssueQueue {
     entries: Vec<IqEntry>,
@@ -49,13 +51,13 @@ impl IssueQueue {
         self.entries.is_empty()
     }
 
-    /// Dispatches an instruction. `waiting` lists the source physical
-    /// registers whose values are not yet ready.
+    /// Dispatches an instruction. `waiting` holds, per source slot, the
+    /// physical register whose value is not yet ready (`None`: ready).
     ///
     /// # Panics
     ///
     /// Panics if the queue is full.
-    pub fn insert(&mut self, seq: SeqNum, fu: FuClass, waiting: Vec<PhysReg>) {
+    pub fn insert(&mut self, seq: SeqNum, fu: FuClass, waiting: [Option<PhysReg>; 2]) {
         assert!(self.has_space(), "issue queue overflow");
         self.entries.push(IqEntry { seq, fu, waiting });
     }
@@ -63,23 +65,37 @@ impl IssueQueue {
     /// Broadcasts that `p` has been produced, waking dependents.
     pub fn wake(&mut self, p: PhysReg) {
         for e in &mut self.entries {
-            e.waiting.retain(|&w| w != p);
+            for w in &mut e.waiting {
+                if *w == Some(p) {
+                    *w = None;
+                }
+            }
         }
     }
 
-    /// Selects up to `max` oldest ready entries of class `fu`, removing
-    /// them from the queue.
+    /// Selects up to `max` oldest ready entries of class `fu` into `out`
+    /// (cleared first), removing them from the queue.
+    pub fn select_into(&mut self, fu: FuClass, max: usize, out: &mut Vec<SeqNum>) {
+        out.clear();
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|e| e.fu == fu && e.waiting.iter().all(Option::is_none))
+                .map(|e| e.seq),
+        );
+        out.sort_unstable();
+        out.truncate(max);
+        // `out` is tiny (issue bandwidth), so the contains scan is cheap.
+        self.entries.retain(|e| !out.contains(&e.seq));
+    }
+
+    /// Allocating convenience wrapper over [`IssueQueue::select_into`]
+    /// (tests and cold paths only).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn select(&mut self, fu: FuClass, max: usize) -> Vec<SeqNum> {
-        let mut ready: Vec<SeqNum> = self
-            .entries
-            .iter()
-            .filter(|e| e.fu == fu && e.waiting.is_empty())
-            .map(|e| e.seq)
-            .collect();
-        ready.sort_unstable();
-        ready.truncate(max);
-        self.entries.retain(|e| !ready.contains(&e.seq));
-        ready
+        let mut out = Vec::new();
+        self.select_into(fu, max, &mut out);
+        out
     }
 
     /// Removes every entry with `seq >= first` (pipeline squash).
@@ -96,8 +112,11 @@ impl IssueQueue {
                 FuClass::Bru => 1,
                 FuClass::Lsu => 2,
             });
-            w.u64(e.waiting.len() as u64);
-            for &p in &e.waiting {
+            // Wire format: count of pending registers, then each in slot
+            // order — identical to the historical Vec encoding (which was
+            // built in slot order too).
+            w.u64(e.waiting.iter().flatten().count() as u64);
+            for &p in e.waiting.iter().flatten() {
                 w.preg(p);
             }
         }
@@ -121,9 +140,9 @@ impl IssueQueue {
                 b => return Err(CkptError::Corrupt(format!("unknown FU class byte {b}"))),
             };
             let m = r.seq_len(2)?;
-            let mut waiting = Vec::with_capacity(m);
-            for _ in 0..m {
-                waiting.push(r.preg()?);
+            let mut waiting = [None, None];
+            for w in waiting.iter_mut().take(m) {
+                *w = Some(r.preg()?);
             }
             self.entries.push(IqEntry { seq, fu, waiting });
         }
@@ -142,9 +161,9 @@ mod tests {
     #[test]
     fn ready_entry_is_selected_oldest_first() {
         let mut iq = IssueQueue::new(8);
-        iq.insert(SeqNum::new(3), FuClass::Alu, vec![]);
-        iq.insert(SeqNum::new(1), FuClass::Alu, vec![]);
-        iq.insert(SeqNum::new(2), FuClass::Alu, vec![]);
+        iq.insert(SeqNum::new(3), FuClass::Alu, [None, None]);
+        iq.insert(SeqNum::new(1), FuClass::Alu, [None, None]);
+        iq.insert(SeqNum::new(2), FuClass::Alu, [None, None]);
         let sel = iq.select(FuClass::Alu, 2);
         assert_eq!(sel, vec![SeqNum::new(1), SeqNum::new(2)]);
         assert_eq!(iq.len(), 1, "unselected entry remains");
@@ -153,7 +172,7 @@ mod tests {
     #[test]
     fn waiting_entry_not_selected_until_woken() {
         let mut iq = IssueQueue::new(8);
-        iq.insert(SeqNum::new(1), FuClass::Alu, vec![p(10), p(11)]);
+        iq.insert(SeqNum::new(1), FuClass::Alu, [Some(p(10)), Some(p(11))]);
         assert!(iq.select(FuClass::Alu, 4).is_empty());
         iq.wake(p(10));
         assert!(iq.select(FuClass::Alu, 4).is_empty(), "still waiting on p11");
@@ -162,11 +181,21 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_source_slots_wake_together() {
+        let mut iq = IssueQueue::new(8);
+        // e.g. `add r1, r1, r1`: both slots wait on the same register.
+        iq.insert(SeqNum::new(1), FuClass::Alu, [Some(p(7)), Some(p(7))]);
+        assert!(iq.select(FuClass::Alu, 4).is_empty());
+        iq.wake(p(7));
+        assert_eq!(iq.select(FuClass::Alu, 4), vec![SeqNum::new(1)]);
+    }
+
+    #[test]
     fn classes_are_independent() {
         let mut iq = IssueQueue::new(8);
-        iq.insert(SeqNum::new(1), FuClass::Alu, vec![]);
-        iq.insert(SeqNum::new(2), FuClass::Lsu, vec![]);
-        iq.insert(SeqNum::new(3), FuClass::Bru, vec![]);
+        iq.insert(SeqNum::new(1), FuClass::Alu, [None, None]);
+        iq.insert(SeqNum::new(2), FuClass::Lsu, [None, None]);
+        iq.insert(SeqNum::new(3), FuClass::Bru, [None, None]);
         assert_eq!(iq.select(FuClass::Bru, 4), vec![SeqNum::new(3)]);
         assert_eq!(iq.select(FuClass::Lsu, 4), vec![SeqNum::new(2)]);
         assert_eq!(iq.select(FuClass::Alu, 4), vec![SeqNum::new(1)]);
@@ -176,7 +205,7 @@ mod tests {
     fn squash_drops_young_entries() {
         let mut iq = IssueQueue::new(8);
         for s in 1..=5 {
-            iq.insert(SeqNum::new(s), FuClass::Alu, vec![]);
+            iq.insert(SeqNum::new(s), FuClass::Alu, [None, None]);
         }
         iq.squash_from(SeqNum::new(3));
         let sel = iq.select(FuClass::Alu, 8);
@@ -184,11 +213,22 @@ mod tests {
     }
 
     #[test]
+    fn select_into_reuses_buffer_without_stale_entries() {
+        let mut iq = IssueQueue::new(8);
+        iq.insert(SeqNum::new(1), FuClass::Alu, [None, None]);
+        let mut out = vec![SeqNum::new(99)];
+        iq.select_into(FuClass::Alu, 4, &mut out);
+        assert_eq!(out, vec![SeqNum::new(1)]);
+        iq.select_into(FuClass::Alu, 4, &mut out);
+        assert!(out.is_empty(), "cleared on every call");
+    }
+
+    #[test]
     fn capacity_tracking() {
         let mut iq = IssueQueue::new(2);
         assert!(iq.has_space());
-        iq.insert(SeqNum::new(1), FuClass::Alu, vec![]);
-        iq.insert(SeqNum::new(2), FuClass::Alu, vec![]);
+        iq.insert(SeqNum::new(1), FuClass::Alu, [None, None]);
+        iq.insert(SeqNum::new(2), FuClass::Alu, [None, None]);
         assert!(!iq.has_space());
         assert!(!iq.is_empty());
     }
@@ -197,7 +237,7 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
         let mut iq = IssueQueue::new(1);
-        iq.insert(SeqNum::new(1), FuClass::Alu, vec![]);
-        iq.insert(SeqNum::new(2), FuClass::Alu, vec![]);
+        iq.insert(SeqNum::new(1), FuClass::Alu, [None, None]);
+        iq.insert(SeqNum::new(2), FuClass::Alu, [None, None]);
     }
 }

@@ -63,6 +63,7 @@ mod pipeline;
 mod rename;
 mod rob;
 mod sample;
+mod stage;
 mod stats;
 mod trace;
 mod types;
@@ -76,8 +77,8 @@ pub use check::{
 pub use ckpt::{fnv1a64, CkptError, CkptReader, CkptWriter, CKPT_MAGIC, CKPT_VERSION};
 pub use config::{CacheConfig, ConfigError, SimConfig};
 pub use engine::{
-    BlockRange, EngineCtx, NoReuse, PredBlock, RenamedInst, ReuseEngine, ReuseGrant, ReuseQuery,
-    SquashEvent, SquashedInst,
+    BlockRange, DstBinding, EngineCtx, NoReuse, PredBlock, RenamedInst, ReuseEngine, ReuseGrant,
+    ReuseQuery, SquashEvent, SquashedInst, StageCtx,
 };
 pub use exec::{alu, branch_taken, mem_addr};
 pub use interp::{Interpreter, StopReason};

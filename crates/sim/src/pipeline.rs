@@ -1,77 +1,40 @@
-//! The pipeline: an execution-driven, cycle-level out-of-order core.
+//! The pipeline orchestrator: an execution-driven, cycle-level
+//! out-of-order core.
 //!
 //! Each simulated cycle runs commit → writeback → issue → rename → fetch,
 //! then applies at most one pipeline flush (the oldest discovered this
-//! cycle). The frontend predicts and fetches one prediction block per
-//! cycle; instructions travel through a latency queue modelling the
-//! frontend depth before renaming. Wrong-path instructions execute with
-//! real values — the property squash reuse depends on.
+//! cycle). The stage passes themselves live in [`crate::stage`] as pure
+//! functions over an explicit machine state; [`Simulator`] owns that
+//! state (plus the engine, tracer, sampler, and per-cycle scratch
+//! buffers) and sequences the passes. The frontend predicts and fetches
+//! one prediction block per cycle; instructions travel through a latency
+//! queue modelling the frontend depth before renaming. Wrong-path
+//! instructions execute with real values — the property squash reuse
+//! depends on.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
-
-use mssr_isa::{ArchReg, Inst, Opcode, Pc, Program};
+use mssr_isa::{ArchReg, Pc, Program};
 
 use crate::account::{Category, CycleAccount};
-use crate::bpred::{BranchPredictor, PredMeta};
-use crate::check::{self, Rule, Violation};
-use crate::ckpt::{self, CkptError, CkptReader, CkptWriter};
+use crate::bpred::BranchPredictor;
+use crate::check::{self, Violation};
+use crate::ckpt::{self, CkptError};
 use crate::config::SimConfig;
-use crate::engine::{
-    BlockRange, EngineCtx, NoReuse, PredBlock, RenamedInst, ReuseEngine, ReuseQuery, SquashEvent,
-    SquashedInst,
-};
-use crate::exec;
+use crate::engine::{NoReuse, ReuseEngine};
 use crate::interp::{arch_step, ArchKind, ArchState};
-use crate::iq::IssueQueue;
-use crate::lsq::{Forward, LqEntry, Lsq, SqEntry};
 use crate::mem::{Hierarchy, MainMemory};
-use crate::rename::{FreeList, Prf, Rat, RgidAlloc};
-use crate::rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
+use crate::rename::{Prf, Rat};
 use crate::sample::{Sample, SampleRing, Sampler, DEFAULT_RING_CAPACITY};
+use crate::stage::{self, ectx, MachineState, PendingFlush, Scratch};
 use crate::stats::SimStats;
 use crate::trace::{CkptAction, TraceEvent, TraceKind, TraceSink, Tracer};
-use crate::types::{FlushKind, FuClass, PhysReg, Rgid, SeqNum};
-
-/// An instruction in flight between prediction and rename.
-#[derive(Clone, Debug)]
-struct FrontInst {
-    ready_cycle: u64,
-    pc: Pc,
-    inst: Inst,
-    pred_taken: bool,
-    pred_next: Pc,
-    meta: PredMeta,
-    ghr_before: u64,
-    ras_sp_before: u64,
-}
-
-/// A flush discovered during execution, applied at end of cycle.
-#[derive(Clone, Copy, Debug)]
-struct PendingFlush {
-    /// First (oldest) squashed sequence number.
-    first_squashed: SeqNum,
-    redirect: Pc,
-    kind: FlushKind,
-    /// For mispredictions: the branch. Otherwise the flushed instruction.
-    cause_seq: SeqNum,
-    cause_pc: Pc,
-}
-
-/// Builds an [`EngineCtx`] from disjoint `Simulator` fields so the engine
-/// (also a field) can be called simultaneously.
-macro_rules! ectx {
-    ($s:expr) => {
-        EngineCtx {
-            free_list: &mut $s.free_list,
-            cycle: $s.cycle,
-            rob_size: $s.cfg.rob_size,
-            rgid_reset_requested: &mut $s.rgid_reset_requested,
-        }
-    };
-}
+use crate::types::{FlushKind, PhysReg, Rgid};
 
 /// The simulator: one out-of-order core running one program.
+///
+/// A thin orchestrator over the stage passes in [`crate::stage`]: it owns
+/// the machine state, the reuse engine, the tracer, the sampler, and the
+/// per-cycle scratch buffers, and calls the stages in order from
+/// [`Simulator::step`].
 ///
 /// # Example
 ///
@@ -93,56 +56,20 @@ macro_rules! ectx {
 /// # }
 /// ```
 pub struct Simulator {
-    cfg: SimConfig,
-    program: Program,
-    cycle: u64,
-    next_seq: u64,
-    squash_ctr: u64,
-    halted: bool,
-
-    bpred: BranchPredictor,
-    fetch_pc: Option<Pc>,
-    fetch_resume_at: u64,
-    frontend_q: VecDeque<FrontInst>,
-
-    rat: Rat,
-    free_list: FreeList,
-    prf: Prf,
-    rgids: RgidAlloc,
-    rgid_reset_requested: bool,
-
-    rob: Rob,
-    iq_int: IssueQueue,
-    iq_mem: IssueQueue,
-    lsq: Lsq,
-    completions: BinaryHeap<Reverse<(u64, u64)>>,
-    pending_flushes: Vec<PendingFlush>,
-
-    memory: MainMemory,
-    hier: Hierarchy,
-
+    st: MachineState,
     engine: Box<dyn ReuseEngine>,
-    stats: SimStats,
-    rgid_overflows_total: u64,
-    rgid_resets_total: u64,
     tracer: Tracer,
-
-    account: CycleAccount,
-    /// After a squash, idle-ROB cycles are blamed on the flush kind until
-    /// an instruction from the refilled (post-squash) stream — `seq >=`
-    /// the stored boundary — commits.
-    refill_blame: Option<(FlushKind, SeqNum)>,
     sampler: Sampler,
-    grants_total: u64,
+    scratch: Scratch,
 }
 
 impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
-            .field("cycle", &self.cycle)
+            .field("cycle", &self.st.cycle)
             .field("engine", &self.engine.name())
-            .field("halted", &self.halted)
-            .field("committed", &self.stats.committed_instructions)
+            .field("halted", &self.st.halted)
+            .field("committed", &self.st.stats.committed_instructions)
             .finish_non_exhaustive()
     }
 }
@@ -168,51 +95,23 @@ impl Simulator {
         engine: Box<dyn ReuseEngine>,
     ) -> Simulator {
         cfg.validate().expect("invalid simulator configuration");
-        let fetch_pc = Some(program.base());
         Simulator {
-            bpred: BranchPredictor::new(&cfg),
-            fetch_pc,
-            fetch_resume_at: 0,
-            frontend_q: VecDeque::new(),
-            rat: Rat::new(),
-            free_list: FreeList::new(cfg.phys_regs, mssr_isa::NUM_ARCH_REGS),
-            prf: Prf::new(cfg.phys_regs),
-            rgids: RgidAlloc::new(cfg.rgid_values()),
-            rgid_reset_requested: false,
-            rob: Rob::new(cfg.rob_size),
-            iq_int: IssueQueue::new(cfg.iq_int_size),
-            iq_mem: IssueQueue::new(cfg.iq_mem_size),
-            lsq: Lsq::new(cfg.lq_size, cfg.sq_size),
-            completions: BinaryHeap::new(),
-            pending_flushes: Vec::new(),
-            memory: MainMemory::new(cfg.mem_bytes),
-            hier: Hierarchy::new(&cfg),
+            st: MachineState::new(cfg, program),
             engine,
-            stats: SimStats::default(),
-            rgid_overflows_total: 0,
-            rgid_resets_total: 0,
             tracer: Tracer::default(),
-            account: CycleAccount::default(),
-            refill_blame: None,
             sampler: Sampler::new(0, DEFAULT_RING_CAPACITY),
-            grants_total: 0,
-            cycle: 0,
-            next_seq: 1,
-            squash_ctr: 0,
-            halted: false,
-            program,
-            cfg,
+            scratch: Scratch::new(),
         }
     }
 
     /// Writes a 64-bit word into simulated memory (workload setup).
     pub fn write_mem_u64(&mut self, addr: u64, value: u64) {
-        self.memory.write_u64(addr, value);
+        self.st.memory.write_u64(addr, value);
     }
 
     /// Reads a 64-bit word from simulated memory (result inspection).
     pub fn read_mem_u64(&self, addr: u64) -> u64 {
-        self.memory.read_u64(addr)
+        self.st.memory.read_u64(addr)
     }
 
     /// Injects an external snoop request (multicore load-to-load hazard
@@ -224,17 +123,18 @@ impl Simulator {
     /// snooped address is scheduled for replay at the end of the next
     /// cycle, since its value may no longer be coherent.
     pub fn inject_snoop(&mut self, addr: u64) {
-        self.stats.snoops += 1;
-        self.engine.on_snoop(addr, &mut ectx!(self));
-        let victim = self
+        let st = &mut self.st;
+        st.stats.snoops += 1;
+        self.engine.on_snoop(addr, &mut ectx!(st));
+        let victim = st
             .lsq
             .loads()
             .filter(|l| l.issued && l.addr.is_some_and(|a| a >> 3 == addr >> 3))
             .map(|l| l.seq)
             .min();
         if let Some(seq) = victim {
-            if let Some(e) = self.rob.get(seq) {
-                self.pending_flushes.push(PendingFlush {
+            if let Some(e) = st.rob.get(seq) {
+                st.pending_flushes.push(PendingFlush {
                     first_squashed: seq,
                     redirect: e.pc,
                     kind: FlushKind::MemoryOrder,
@@ -247,12 +147,12 @@ impl Simulator {
 
     /// Whether the program has retired its `halt` (or hit a bound).
     pub fn is_halted(&self) -> bool {
-        self.halted
+        self.st.halted
     }
 
     /// Current cycle count.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.st.cycle
     }
 
     /// The active engine's name.
@@ -262,15 +162,15 @@ impl Simulator {
 
     /// Frontend snapshot for state dumps: fetch PC and in-flight count.
     pub(crate) fn frontend_state(&self) -> (Option<Pc>, usize) {
-        (self.fetch_pc, self.frontend_q.len())
+        (self.st.fetch_pc, self.st.frontend_q.len())
     }
 
     /// ROB snapshot for state dumps: occupancy, capacity, head summary.
     pub(crate) fn rob_state(&self) -> (usize, usize, Option<String>) {
         (
-            self.rob.len(),
-            self.rob.capacity(),
-            self.rob.head().map(|e| format!("{} {} ({})", e.seq, e.pc, e.inst)),
+            self.st.rob.len(),
+            self.st.rob.capacity(),
+            self.st.rob.head().map(|e| format!("{} {} ({})", e.seq, e.pc, e.inst)),
         )
     }
 
@@ -282,11 +182,11 @@ impl Simulator {
     /// free-list conservation tests: a reuse engine may never leak a
     /// physical register.
     pub fn free_phys_regs(&self) -> usize {
-        self.free_list.available()
+        self.st.free_list.available()
     }
 
     pub(crate) fn free_regs(&self) -> usize {
-        self.free_list.available()
+        self.st.free_list.available()
     }
 
     /// The committed architectural value of register `a` (read through
@@ -294,12 +194,12 @@ impl Simulator {
     /// pipeline has drained (e.g. after `run()` halts); used by the
     /// cross-engine equivalence tests to compare final register state.
     pub fn read_arch_reg(&self, a: ArchReg) -> u64 {
-        self.prf.read(self.rat.lookup(a))
+        self.st.prf.read(self.st.rat.lookup(a))
     }
 
     /// Current mapping of an architectural register.
     pub(crate) fn rat_entry(&self, a: ArchReg) -> (PhysReg, Rgid) {
-        (self.rat.lookup(a), self.rat.rgid(a))
+        (self.st.rat.lookup(a), self.st.rat.rgid(a))
     }
 
     /// Attaches a trace sink: from the next cycle on, every pipeline
@@ -341,7 +241,7 @@ impl Simulator {
 
     /// The CPI-stack account accumulated so far (see [`crate::account`]).
     pub fn account(&self) -> &CycleAccount {
-        &self.account
+        &self.st.account
     }
 
     /// Corrupts the CPI-stack account by one slot. Test-only hook used by
@@ -349,13 +249,13 @@ impl Simulator {
     /// call it anywhere else.
     #[doc(hidden)]
     pub fn corrupt_account_for_test(&mut self) {
-        self.account.slots[Category::Base.index()] += 1;
+        self.st.account.slots[Category::Base.index()] += 1;
     }
 
     /// Runs until `halt` retires or a configured bound is reached,
     /// returning the final statistics.
     pub fn run(&mut self) -> SimStats {
-        while !self.halted && self.cycle < self.cfg.max_cycles {
+        while !self.st.halted && self.st.cycle < self.st.cfg.max_cycles {
             self.step();
         }
         self.stats()
@@ -364,7 +264,7 @@ impl Simulator {
     /// Runs at most `n` cycles (stops early on halt).
     pub fn run_cycles(&mut self, n: u64) {
         for _ in 0..n {
-            if self.halted || self.cycle >= self.cfg.max_cycles {
+            if self.st.halted || self.st.cycle >= self.st.cfg.max_cycles {
                 break;
             }
             self.step();
@@ -373,18 +273,18 @@ impl Simulator {
 
     /// A statistics snapshot (cheap; can be taken mid-run).
     pub fn stats(&self) -> SimStats {
-        let mut s = self.stats.clone();
-        s.cycles = self.cycle;
-        s.l1_hits = self.hier.l1.hits();
-        s.l1_misses = self.hier.l1.misses();
-        s.l2_hits = self.hier.l2.hits();
-        s.l2_misses = self.hier.l2.misses();
+        let mut s = self.st.stats.clone();
+        s.cycles = self.st.cycle;
+        s.l1_hits = self.st.hier.l1.hits();
+        s.l1_misses = self.st.hier.l1.misses();
+        s.l2_hits = self.st.hier.l2.hits();
+        s.l2_misses = self.st.hier.l2.misses();
         s.engine = self.engine.stats();
-        s.account = self.account;
+        s.account = self.st.account;
         // RGID overflow/reset accounting is authoritative on the pipeline
         // side (it owns the counters); engines need not track it.
-        s.engine.rgid_overflows = self.rgid_overflows_total;
-        s.engine.rgid_resets = self.rgid_resets_total;
+        s.engine.rgid_overflows = self.st.rgid_overflows_total;
+        s.engine.rgid_resets = self.st.rgid_resets_total;
         if self.tracer.active() {
             for k in TraceKind::ALL {
                 s.engine.extra.push((format!("trace_{}", k.name()), self.tracer.count(k)));
@@ -393,10 +293,13 @@ impl Simulator {
         s
     }
 
-    /// Advances the simulation by one cycle.
+    /// Advances the simulation by one cycle: the stage passes in order,
+    /// then flush arbitration, the RGID reset, accounting, and (in debug
+    /// builds) the invariant sweep.
     pub fn step(&mut self) {
-        let (committed, blame) = self.do_commit();
-        if self.halted {
+        let (committed, blame) =
+            stage::commit::run(&mut self.st, self.engine.as_mut(), &mut self.tracer);
+        if self.st.halted {
             // The final partial cycle (the one that retired `halt` or hit
             // an instruction bound) is never counted — neither in the
             // cycle counter nor in the account — which keeps the
@@ -404,1090 +307,55 @@ impl Simulator {
             // exact.
             return;
         }
-        self.do_writeback();
-        self.do_issue();
-        self.do_rename();
-        self.do_fetch();
-        self.handle_flushes();
-        self.apply_rgid_reset();
-        self.account.accrue(committed, blame, self.cfg.commit_width as u64);
-        self.cycle += 1;
-        if self.sampler.due(self.cycle) {
+        stage::execute::writeback(&mut self.st, &mut self.tracer);
+        stage::issue::run(&mut self.st, self.engine.as_mut(), &mut self.tracer, &mut self.scratch);
+        stage::rename::run(&mut self.st, self.engine.as_mut(), &mut self.tracer);
+        stage::fetch::run(&mut self.st, self.engine.as_mut(), &mut self.tracer);
+        stage::squash::handle_flushes(
+            &mut self.st,
+            self.engine.as_mut(),
+            &mut self.tracer,
+            &mut self.scratch,
+        );
+        stage::squash::apply_rgid_reset(&mut self.st, self.engine.as_mut());
+        self.st.account.accrue(committed, blame, self.st.cfg.commit_width as u64);
+        self.st.cycle += 1;
+        if self.sampler.due(self.st.cycle) {
             self.take_sample();
         }
         #[cfg(debug_assertions)]
         {
             let stride = check::check_stride();
-            if stride > 0 && self.cycle.is_multiple_of(stride) {
-                self.assert_invariants();
+            if stride > 0 && self.st.cycle.is_multiple_of(stride) {
+                check::assert_sweep(&self.st, self.engine.as_ref(), &mut self.scratch);
             }
         }
     }
 
     fn take_sample(&mut self) {
         let cumulative = Sample {
-            cycle: self.cycle,
-            insts: self.stats.committed_instructions,
-            mispredicts: self.stats.mispredictions,
-            squashed: self.stats.squashed_instructions,
-            grants: self.grants_total,
-            l1_misses: self.hier.l1.misses(),
-            squash_slots: self.account.get(Category::SquashBranch),
+            cycle: self.st.cycle,
+            insts: self.st.stats.committed_instructions,
+            mispredicts: self.st.stats.mispredictions,
+            squashed: self.st.stats.squashed_instructions,
+            grants: self.st.grants_total,
+            l1_misses: self.st.hier.l1.misses(),
+            squash_slots: self.st.account.get(Category::SquashBranch),
         };
         let delta = self.sampler.record(cumulative);
         self.tracer.emit(TraceEvent::Sample(delta));
     }
 
-    // ------------------------------------------------------------------
-    // Commit
-    // ------------------------------------------------------------------
-
-    /// Commits up to `commit_width` instructions and reports the cycle's
-    /// slot attribution: how many slots retired an instruction, and the
-    /// [`Category`] the remaining idle slots are blamed on.
-    fn do_commit(&mut self) -> (u64, Category) {
-        let mut committed: u64 = 0;
-        for _ in 0..self.cfg.commit_width {
-            let Some(head) = self.rob.head() else {
-                // The ROB ran dry: a recently squashed pipeline is still
-                // refilling (blame the flush), otherwise the frontend
-                // simply had not delivered.
-                let blame = match self.refill_blame {
-                    Some((FlushKind::BranchMispredict, _)) => Category::SquashBranch,
-                    Some((FlushKind::MemoryOrder, _)) => Category::MemStall,
-                    Some((FlushKind::ReuseVerification, _)) => Category::ReuseVerify,
-                    None => Category::FrontendEmpty,
-                };
-                return (committed, blame);
-            };
-            if !head.completed || head.verify_pending {
-                let blame = if head.verify_pending {
-                    Category::ReuseVerify
-                } else if head.fwd_stalled {
-                    Category::StoreForwardPending
-                } else if head.inst.is_load() || head.inst.is_store() {
-                    Category::MemStall
-                } else {
-                    Category::BackendPressure
-                };
-                return (committed, blame);
-            }
-            #[cfg(debug_assertions)]
-            if let Some(v) = check::check_commit_entry(head.seq, head.reused, head.verify_pending) {
-                panic!("invariant violation at cycle {}: {v}", self.cycle);
-            }
-            let e = self.rob.pop_head().expect("head exists");
-            // The first commit from the post-squash stream ends the
-            // refill window.
-            if self.refill_blame.is_some_and(|(_, boundary)| e.seq >= boundary) {
-                self.refill_blame = None;
-            }
-            committed += 1;
-            self.stats.committed_instructions += 1;
-            if self.tracer.on() {
-                self.tracer.emit(TraceEvent::Commit { cycle: self.cycle, seq: e.seq, pc: e.pc });
-            }
-            if e.inst.is_halt() {
-                self.halted = true;
-                return (committed, Category::Base);
-            }
-            if e.inst.is_store() {
-                let (addr, data) = self.lsq.commit_store(e.seq);
-                self.hier.access(addr);
-                self.memory.write_u64(addr, data);
-                self.stats.committed_stores += 1;
-            }
-            if e.inst.is_load() {
-                self.lsq.commit_load(e.seq);
-                self.stats.committed_loads += 1;
-            }
-            if let Some(b) = e.branch {
-                self.stats.committed_branches += 1;
-                let o = b.resolved.expect("committed branch is resolved");
-                if e.inst.is_cond_branch() {
-                    self.stats.committed_cond_branches += 1;
-                    self.bpred.train_cond(e.pc, o.taken, b.meta);
-                }
-            }
-            if let Some(d) = e.dst {
-                self.release_preg(d.prev_preg);
-            }
-            self.engine.on_commit(1, &mut ectx!(self));
-            if self.stats.committed_instructions >= self.cfg.max_insts {
-                self.halted = true;
-                return (committed, Category::Base);
-            }
-        }
-        // A full-width commit has no idle slots; the blame is unused.
-        (committed, Category::Base)
-    }
-
-    // ------------------------------------------------------------------
-    // Writeback
-    // ------------------------------------------------------------------
-
-    fn do_writeback(&mut self) {
-        while let Some(&Reverse((c, s))) = self.completions.peek() {
-            if c > self.cycle {
-                break;
-            }
-            self.completions.pop();
-            let seq = SeqNum::new(s);
-            // Squashed instructions have left the ROB; drop the event.
-            let Some(e) = self.rob.get(seq) else { continue };
-
-            // Reused-load verification completion (paper §3.8.3): compare
-            // the re-executed value with the reused one.
-            if e.reused && e.verify_pending && e.inst.is_load() {
-                let fresh = e.pending_value.expect("verification executed");
-                let reused = self.prf.read(e.dst.expect("loads have destinations").new_preg);
-                if fresh == reused {
-                    self.rob.get_mut(seq).expect("entry exists").verify_pending = false;
-                } else {
-                    let pc = e.pc;
-                    self.pending_flushes.push(PendingFlush {
-                        first_squashed: seq,
-                        redirect: pc,
-                        kind: FlushKind::ReuseVerification,
-                        cause_seq: seq,
-                        cause_pc: pc,
-                    });
-                }
-                continue;
-            }
-
-            let e = self.rob.get_mut(seq).expect("entry exists");
-            if e.completed {
-                continue;
-            }
-            e.completed = true;
-            let dst = e.dst;
-            let value = e.pending_value;
-            let branch = e.branch;
-            let pc = e.pc;
-            let op = e.inst.op();
-            if self.tracer.on() {
-                self.tracer.emit(TraceEvent::Writeback {
-                    cycle: self.cycle,
-                    seq,
-                    value: value.unwrap_or(0),
-                });
-            }
-            if let Some(d) = dst {
-                self.prf.write(d.new_preg, value.unwrap_or(0));
-                self.iq_int.wake(d.new_preg);
-                self.iq_mem.wake(d.new_preg);
-            }
-            if let Some(b) = branch {
-                let o = b.resolved.expect("executed branch has an outcome");
-                if op == Opcode::Jalr {
-                    self.bpred.update_indirect(pc, o.next);
-                }
-                if o.next != b.pred_next {
-                    self.pending_flushes.push(PendingFlush {
-                        first_squashed: seq.next(),
-                        redirect: o.next,
-                        kind: FlushKind::BranchMispredict,
-                        cause_seq: seq,
-                        cause_pc: pc,
-                    });
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Issue / execute
-    // ------------------------------------------------------------------
-
-    fn do_issue(&mut self) {
-        let alu = self.iq_int.select(FuClass::Alu, self.cfg.alu_units);
-        let bru = self.iq_int.select(FuClass::Bru, self.cfg.bru_units);
-        let mem = self.iq_mem.select(FuClass::Lsu, self.cfg.lsu_units);
-        if self.tracer.on() {
-            for (list, fu) in [(&alu, FuClass::Alu), (&bru, FuClass::Bru), (&mem, FuClass::Lsu)] {
-                for &seq in list {
-                    self.tracer.emit(TraceEvent::Issue { cycle: self.cycle, seq, fu });
-                }
-            }
-        }
-        for seq in alu {
-            self.exec_alu(seq);
-        }
-        for seq in bru {
-            self.exec_bru(seq);
-        }
-        for seq in mem {
-            self.exec_mem(seq);
-        }
-    }
-
-    fn src_vals(&self, e: &RobEntry) -> (u64, u64) {
-        let a = e.src_pregs[0].map_or(0, |p| self.prf.read(p));
-        let b = e.src_pregs[1].map_or(0, |p| self.prf.read(p));
-        (a, b)
-    }
-
-    fn exec_alu(&mut self, seq: SeqNum) {
-        let e = self.rob.get(seq).expect("issued instruction is in the ROB");
-        let (a, b) = self.src_vals(e);
-        let op = e.inst.op();
-        let v = exec::alu(op, a, b, e.inst.imm()).unwrap_or(0);
-        let lat = match op {
-            Opcode::Mul => self.cfg.mul_latency,
-            Opcode::Div | Opcode::Rem => self.cfg.div_latency,
-            _ => 1,
-        };
-        self.rob.get_mut(seq).expect("entry exists").pending_value = Some(v);
-        self.completions.push(Reverse((self.cycle + lat, seq.value())));
-    }
-
-    fn exec_bru(&mut self, seq: SeqNum) {
-        let e = self.rob.get(seq).expect("issued instruction is in the ROB");
-        let (a, b) = self.src_vals(e);
-        let op = e.inst.op();
-        let pc = e.pc;
-        let outcome = if op.is_cond_branch() {
-            let taken = exec::branch_taken(op, a, b);
-            BranchOutcome {
-                taken,
-                next: if taken { e.inst.target().expect("branch has target") } else { pc.next() },
-            }
-        } else if op == Opcode::Jal {
-            BranchOutcome { taken: true, next: e.inst.target().expect("jal has target") }
-        } else {
-            // Jalr: target from register.
-            BranchOutcome { taken: true, next: Pc::new(a.wrapping_add(e.inst.imm() as u64)) }
-        };
-        let link = pc.next().addr();
-        let e = self.rob.get_mut(seq).expect("entry exists");
-        if e.dst.is_some() {
-            e.pending_value = Some(link);
-        }
-        e.branch.as_mut().expect("control instruction has branch state").resolved = Some(outcome);
-        self.completions.push(Reverse((self.cycle + 1, seq.value())));
-    }
-
-    fn exec_mem(&mut self, seq: SeqNum) {
-        let e = self.rob.get(seq).expect("issued instruction is in the ROB");
-        let (base, data) = self.src_vals(e);
-        let inst = e.inst;
-        let addr = self.memory.wrap(exec::mem_addr(&inst, base));
-        if inst.is_load() {
-            let verify = e.reused && e.verify_pending;
-            let (value, lat) = match self.lsq.forward(seq, addr) {
-                Forward::Data(v) => {
-                    self.stats.store_forwards += 1;
-                    (v, self.cfg.forward_latency)
-                }
-                Forward::Pending => {
-                    // The forwarding source knows its address but not yet
-                    // its data: reading memory now would return the
-                    // pre-store value. Requeue the load (ready — it was
-                    // just selected) and retry next cycle.
-                    self.stats.store_forward_stalls += 1;
-                    self.rob.get_mut(seq).expect("entry exists").fwd_stalled = true;
-                    self.iq_mem.insert(seq, FuClass::Lsu, Vec::new());
-                    return;
-                }
-                Forward::Miss => (self.memory.read_u64(addr), self.hier.access(addr)),
-            };
-            if !verify {
-                let lq = self.lsq.load_mut(seq).expect("dispatched load is in the LQ");
-                lq.addr = Some(addr);
-                lq.issued = true;
-                lq.value = Some(value);
-            } else if let Some(lq) = self.lsq.load_mut(seq) {
-                // Verification re-executions refresh the recorded address.
-                lq.addr = Some(addr);
-            }
-            let e = self.rob.get_mut(seq).expect("entry exists");
-            e.pending_value = Some(value);
-            e.mem_addr = Some(addr);
-            e.fwd_stalled = false;
-            self.completions.push(Reverse((self.cycle + lat, seq.value())));
-        } else {
-            // Store: address and data become known together.
-            let sq = self.lsq.store_mut(seq).expect("dispatched store is in the SQ");
-            sq.addr = Some(addr);
-            sq.data = Some(data);
-            self.rob.get_mut(seq).expect("entry exists").mem_addr = Some(addr);
-            // Store-to-load ordering check (§3.8.1).
-            if let Some(lseq) = self.lsq.store_check(seq, addr) {
-                let lpc = self.rob.get(lseq).expect("violating load is in the ROB").pc;
-                self.pending_flushes.push(PendingFlush {
-                    first_squashed: lseq,
-                    redirect: lpc,
-                    kind: FlushKind::MemoryOrder,
-                    cause_seq: lseq,
-                    cause_pc: lpc,
-                });
-            }
-            self.engine.on_store_executed(addr, &mut ectx!(self));
-            self.completions.push(Reverse((self.cycle + 1, seq.value())));
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Rename / dispatch
-    // ------------------------------------------------------------------
-
-    fn alloc_rgid(&mut self, a: ArchReg) -> Rgid {
-        let g = self.rgids.next(a);
-        if g.is_null() {
-            self.rgid_overflows_total += 1;
-            self.engine.on_rgid_overflow(&mut ectx!(self));
-        }
-        g
-    }
-
-    fn do_rename(&mut self) {
-        for _ in 0..self.cfg.rename_width {
-            let Some(front) = self.frontend_q.front() else { break };
-            if front.ready_cycle > self.cycle || !self.rob.has_space() {
-                break;
-            }
-            let inst = front.inst;
-            // Structural checks before consuming the instruction.
-            let fu = fu_class(inst.op());
-            let iq_ok = match fu {
-                Some(FuClass::Lsu) => self.iq_mem.has_space(),
-                Some(_) => self.iq_int.has_space(),
-                None => true,
-            };
-            let lsq_ok = (!inst.is_load() || self.lsq.lq_has_space())
-                && (!inst.is_store() || self.lsq.sq_has_space());
-            if !iq_ok || !lsq_ok {
-                break;
-            }
-            if inst.writes_reg() && self.free_list.available() == 0 {
-                self.engine.on_register_pressure(&mut ectx!(self));
-                if self.free_list.available() == 0 {
-                    break;
-                }
-            }
-
-            let fi = self.frontend_q.pop_front().expect("front exists");
-            let seq = SeqNum::new(self.next_seq);
-            self.next_seq += 1;
-            self.stats.renamed_instructions += 1;
-
-            // Source lookup; `x0` and absent operands carry no integrity tag.
-            let mut src_pregs = [None, None];
-            let mut src_rgids = [None, None];
-            for (i, s) in inst.sources().iter().enumerate() {
-                if let Some(a) = s {
-                    if !a.is_zero() {
-                        // Lazily revive mappings whose RGID was nulled by a
-                        // global reset: long-lived registers (loop-invariant
-                        // constants, stack pointers) would otherwise stay
-                        // unreusable forever.
-                        if self.rat.rgid(*a).is_null() {
-                            let g = self.alloc_rgid(*a);
-                            if !g.is_null() {
-                                self.rat.retag(*a, g);
-                            }
-                        }
-                        src_pregs[i] = Some(self.rat.lookup(*a));
-                        src_rgids[i] = Some(self.rat.rgid(*a));
-                    }
-                }
-            }
-
-            // Reuse test (paper §3.5): only value-producing, non-control,
-            // non-store instructions are candidates.
-            let eligible = inst.writes_reg() && !inst.is_control();
-            let grant = if eligible {
-                let q = ReuseQuery { seq, pc: fi.pc, inst: &inst, src_rgids, src_pregs };
-                self.engine.try_reuse(&q, &mut ectx!(self))
-            } else {
-                None
-            };
-
-            let mut dst_info = None;
-            let mut completed = false;
-            let mut reused = false;
-            let mut verify_pending = false;
-
-            if let Some(g) = grant {
-                // Credit the execution latency this grant skipped to the
-                // account (clamped there against the accrued
-                // squash-penalty slots); the engine can discount it, e.g.
-                // verified loads re-execute and recover nothing.
-                let estimate = match inst.op() {
-                    Opcode::Mul => self.cfg.mul_latency,
-                    Opcode::Div | Opcode::Rem => self.cfg.div_latency,
-                    Opcode::Ld => self.cfg.l1d.latency,
-                    _ => 1,
-                };
-                let credit = self.engine.reuse_credit_latency(inst.op(), estimate);
-                self.account.credit_reuse(credit);
-                if g.rgid.is_some() {
-                    // The grant forwarded a reconvergence stream: a
-                    // fast-path fetch in the paper's terms.
-                    self.account.credit_recon_fetches += 1;
-                }
-                self.grants_total += 1;
-                if paranoid_enabled() && !inst.is_load() {
-                    // Debug oracle: a sound ALU grant implies the granted
-                    // register holds exactly what re-executing the
-                    // instruction on its current (RGID-matched) sources
-                    // would produce.
-                    let a = src_pregs[0].map_or(0, |p| self.prf.read(p));
-                    let b = src_pregs[1].map_or(0, |p| self.prf.read(p));
-                    if let Some(fresh) = exec::alu(inst.op(), a, b, inst.imm()) {
-                        let got = self.prf.read(g.preg);
-                        if fresh != got {
-                            eprintln!(
-                                "PARANOID-ALU cycle={} seq={} pc={} op={} granted={} fresh={} srcs={:?} gens={:?} dst={}",
-                                self.cycle,
-                                seq,
-                                fi.pc,
-                                inst.op(),
-                                got,
-                                fresh,
-                                src_pregs,
-                                src_rgids,
-                                g.preg
-                            );
-                        }
-                    }
-                }
-                let arch = inst.dst().expect("granted instruction writes a register");
-                let rgid = match g.rgid {
-                    Some(r) => r,
-                    None => self.alloc_rgid(arch),
-                };
-                let (prev_preg, prev_rgid) = self.rat.install(arch, g.preg, rgid);
-                self.prf.set_ready(g.preg);
-                dst_info =
-                    Some(DstInfo { arch, new_preg: g.preg, prev_preg, new_rgid: rgid, prev_rgid });
-                completed = true;
-                reused = true;
-                if inst.is_load() {
-                    if paranoid_enabled() {
-                        // Debug oracle: the reused value should match what
-                        // the load would read right now (unless an older
-                        // store with an unknown address is still in
-                        // flight, which store_check later covers).
-                        if let Some(addr) = g.load_addr {
-                            let fresh = match self.lsq.forward(seq, addr) {
-                                Forward::Data(v) => v,
-                                // Pending data counts as unknown; fall back
-                                // to memory like the pre-Forward oracle did.
-                                _ => self.memory.read_u64(addr),
-                            };
-                            let got = self.prf.read(g.preg);
-                            if fresh != got {
-                                eprintln!(
-                                    "PARANOID cycle={} seq={} pc={} addr={:#x} reused={} fresh={}",
-                                    self.cycle, seq, fi.pc, addr, got, fresh
-                                );
-                            }
-                        }
-                    }
-                    self.lsq.push_load(LqEntry {
-                        seq,
-                        addr: g.load_addr,
-                        issued: true,
-                        value: Some(self.prf.read(g.preg)),
-                        reused: true,
-                    });
-                    if g.needs_load_verify {
-                        verify_pending = true;
-                        // Re-execute for verification; sources are ready
-                        // (the squashed instance executed with the same
-                        // mappings), so it waits only for LSU bandwidth.
-                        self.iq_mem.insert(seq, FuClass::Lsu, Vec::new());
-                    }
-                }
-            } else {
-                if let Some(arch) = inst.dst() {
-                    let preg = self.free_list.alloc().expect("availability checked above");
-                    let rgid = self.alloc_rgid(arch);
-                    let (prev_preg, prev_rgid) = self.rat.install(arch, preg, rgid);
-                    self.prf.clear_ready(preg);
-                    dst_info = Some(DstInfo {
-                        arch,
-                        new_preg: preg,
-                        prev_preg,
-                        new_rgid: rgid,
-                        prev_rgid,
-                    });
-                }
-                match fu {
-                    None => completed = true, // nop / halt: nothing to execute
-                    Some(c) => {
-                        let waiting: Vec<PhysReg> = src_pregs
-                            .iter()
-                            .flatten()
-                            .copied()
-                            .filter(|&p| !self.prf.is_ready(p))
-                            .collect();
-                        if inst.is_load() {
-                            self.lsq.push_load(LqEntry {
-                                seq,
-                                addr: None,
-                                issued: false,
-                                value: None,
-                                reused: false,
-                            });
-                        }
-                        if inst.is_store() {
-                            self.lsq.push_store(SqEntry { seq, addr: None, data: None });
-                        }
-                        match c {
-                            FuClass::Lsu => self.iq_mem.insert(seq, c, waiting),
-                            _ => self.iq_int.insert(seq, c, waiting),
-                        }
-                    }
-                }
-            }
-
-            let branch = inst.is_control().then_some(BranchState {
-                pred_next: fi.pred_next,
-                pred_taken: fi.pred_taken,
-                meta: fi.meta,
-                resolved: None,
-            });
-
-            self.rob.push(RobEntry {
-                seq,
-                pc: fi.pc,
-                inst,
-                dst: dst_info,
-                src_pregs,
-                src_rgids,
-                completed,
-                reused,
-                verify_pending,
-                fwd_stalled: false,
-                pending_value: None,
-                branch,
-                mem_addr: None,
-                ghr_before: fi.ghr_before,
-                ras_sp_before: fi.ras_sp_before,
-            });
-
-            if self.tracer.on() {
-                self.tracer.emit(TraceEvent::Rename { cycle: self.cycle, seq, pc: fi.pc });
-                if reused {
-                    self.tracer.emit(TraceEvent::ReuseGrant {
-                        cycle: self.cycle,
-                        seq,
-                        pc: fi.pc,
-                        verify: verify_pending,
-                    });
-                }
-            }
-
-            let r = RenamedInst {
-                seq,
-                pc: fi.pc,
-                op: inst.op(),
-                dst: dst_info.map(|d| (d.arch, d.new_preg, d.new_rgid)),
-                reused,
-            };
-            self.engine.on_renamed(&r, &mut ectx!(self));
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Fetch / predict
-    // ------------------------------------------------------------------
-
-    fn do_fetch(&mut self) {
-        // One or more prediction blocks per cycle (§3.9.1's
-        // multiple-block-fetching extension duplicates the reconvergence
-        // detection per block — `on_block` fires once per block).
-        for _ in 0..self.cfg.fetch_blocks_per_cycle {
-            self.fetch_one_block();
-        }
-    }
-
-    fn fetch_one_block(&mut self) {
-        if self.cycle < self.fetch_resume_at {
-            return;
-        }
-        let Some(mut pc) = self.fetch_pc else { return };
-        // Backpressure: bound the in-flight frontend window.
-        if self.frontend_q.len() >= self.cfg.ftq_size * self.cfg.fetch_block_insts {
-            return;
-        }
-        let start = pc;
-        let mut last_pc = pc;
-        let ready_cycle = self.cycle + self.cfg.frontend_stages - 1;
-        let mut count = 0usize;
-        let mut next_fetch_pc;
-        loop {
-            let Some(&inst) = self.program.fetch(pc) else {
-                // Wandered outside the program (wrong path): idle until a
-                // redirect arrives.
-                next_fetch_pc = None;
-                break;
-            };
-            let ghr_before = self.bpred.ghr();
-            let ras_sp_before = self.bpred.ras_sp();
-            let (pred_taken, pred_next, meta) = match inst.op() {
-                op if op.is_cond_branch() => {
-                    let (taken, meta) = self.bpred.predict_cond(pc);
-                    let next =
-                        if taken { inst.target().expect("branch has target") } else { pc.next() };
-                    (taken, next, meta)
-                }
-                Opcode::Jal => (true, inst.target().expect("jal has target"), PredMeta::default()),
-                Opcode::Jalr => {
-                    let t = if inst.is_return() {
-                        self.bpred
-                            .ras_pop()
-                            .or_else(|| self.bpred.predict_indirect(pc))
-                            .unwrap_or_else(|| pc.next())
-                    } else {
-                        self.bpred.predict_indirect(pc).unwrap_or_else(|| pc.next())
-                    };
-                    (true, t, PredMeta::default())
-                }
-                _ => (false, pc.next(), PredMeta::default()),
-            };
-            if inst.is_call() {
-                self.bpred.ras_push(pc.next());
-            }
-            self.frontend_q.push_back(FrontInst {
-                ready_cycle,
-                pc,
-                inst,
-                pred_taken,
-                pred_next,
-                meta,
-                ghr_before,
-                ras_sp_before,
-            });
-            count += 1;
-            last_pc = pc;
-            if inst.is_halt() {
-                // Stop predicting past the end of the program.
-                next_fetch_pc = None;
-                break;
-            }
-            pc = pred_next;
-            next_fetch_pc = Some(pc);
-            if pred_taken || count >= self.cfg.fetch_block_insts {
-                break;
-            }
-        }
-        self.fetch_pc = next_fetch_pc;
-        if count > 0 {
-            if self.tracer.on() {
-                self.tracer.emit(TraceEvent::Fetch {
-                    cycle: self.cycle,
-                    start,
-                    end: last_pc,
-                    insts: count as u32,
-                });
-            }
-            let blk = PredBlock { range: BlockRange { start, end: last_pc }, cycle: self.cycle };
-            self.engine.on_block(&blk, &mut ectx!(self));
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Flush handling
-    // ------------------------------------------------------------------
-
-    fn handle_flushes(&mut self) {
-        if self.pending_flushes.is_empty() {
-            return;
-        }
-        // A flush can go stale if its anchor instruction left the ROB
-        // before this point — e.g. an externally injected snoop replay
-        // whose load committed in the same window. Stale flushes are
-        // dropped; among the live ones the oldest wins.
-        let f = self
-            .pending_flushes
-            .iter()
-            .filter(|f| match f.kind {
-                // The mispredicted branch itself survives its squash and
-                // is always still in flight within the discovery cycle.
-                FlushKind::BranchMispredict => self.rob.get(f.cause_seq).is_some(),
-                // Replay flushes anchor at the squashed instruction.
-                _ => self.rob.get(f.first_squashed).is_some(),
-            })
-            .min_by_key(|f| f.first_squashed)
-            .copied();
-        // Any younger pending flush lies inside the squashed region of the
-        // oldest one — its cause was wrong-path work.
-        self.pending_flushes.clear();
-        if let Some(f) = f {
-            self.do_squash(f);
-        }
-    }
-
-    fn do_squash(&mut self, f: PendingFlush) {
-        match f.kind {
-            FlushKind::BranchMispredict => {
-                self.stats.flushes_branch += 1;
-                self.stats.mispredictions += 1;
-            }
-            FlushKind::MemoryOrder => self.stats.flushes_mem_order += 1,
-            FlushKind::ReuseVerification => self.stats.flushes_reuse_verify += 1,
-        }
-
-        // Gather the PC ranges of instructions still in the frontend;
-        // they extend the squashed stream beyond the ROB.
-        let frontend_blocks = group_blocks(
-            self.frontend_q.iter().map(|fi| (fi.pc, fi.pred_taken)),
-            self.cfg.fetch_block_insts,
-        );
-
-        // Restore the speculative global history and return-address stack.
-        match f.kind {
-            FlushKind::BranchMispredict => {
-                let br = self.rob.get(f.cause_seq).expect("mispredicted branch is live");
-                let b = br.branch.expect("branch state");
-                let o = b.resolved.expect("resolved");
-                let (is_cond, meta, ghr_before) = (br.inst.is_cond_branch(), b.meta, br.ghr_before);
-                let (ras_sp, is_call, is_ret, ret_pc) =
-                    (br.ras_sp_before, br.inst.is_call(), br.inst.is_return(), br.pc.next());
-                if is_cond {
-                    self.bpred.recover_cond(meta, o.taken);
-                } else {
-                    self.bpred.restore_ghr(ghr_before);
-                }
-                // The mispredicted instruction itself survives; re-apply
-                // its own RAS effect on top of the restored counter.
-                self.bpred.restore_ras_sp(ras_sp);
-                if is_call {
-                    self.bpred.ras_push(ret_pc);
-                } else if is_ret {
-                    let _ = self.bpred.ras_pop();
-                }
-            }
-            _ => {
-                let e = self.rob.get(f.first_squashed).expect("flushed instruction is live");
-                self.bpred.restore_ghr(e.ghr_before);
-                self.bpred.restore_ras_sp(e.ras_sp_before);
-            }
-        }
-        self.frontend_q.clear();
-
-        // Unwind the ROB tail, restoring the RAT youngest-first.
-        let squashed = self.rob.squash_from(f.first_squashed);
-        if self.tracer.on() {
-            self.tracer.emit(TraceEvent::Squash {
-                cycle: self.cycle,
-                kind: f.kind,
-                first: f.first_squashed,
-                count: squashed.len() as u64,
-                redirect: f.redirect,
-            });
-        }
-        for e in &squashed {
-            if let Some(d) = e.dst {
-                self.rat.restore(d.arch, d.prev_preg, d.prev_rgid);
-            }
-        }
-        self.iq_int.squash_from(f.first_squashed);
-        self.iq_mem.squash_from(f.first_squashed);
-        self.lsq.squash_from(f.first_squashed);
-        self.stats.squashed_instructions += squashed.len() as u64;
-
-        // Instructions in flight at the squash (issued, writeback pending)
-        // have already computed their results; in hardware the writeback
-        // drains into the physical register file even though the
-        // instruction is squashed. Let those values land so reuse engines
-        // can recycle them (their completion events are dropped later).
-        //
-        // Exception: a reused load's in-flight *verification* re-execution
-        // must never drain. Its destination register already holds the
-        // reused value under a forwarded RGID generation; overwriting it
-        // with the freshly read value would change a register's contents
-        // without a rename, breaking the generation ⇒ value invariant
-        // that every downstream reuse test depends on.
-        if self.cfg.drain_inflight_on_squash {
-            for e in &squashed {
-                #[allow(clippy::nonminimal_bool)] // spells out the two exclusions separately
-                if !e.completed && !(e.reused && e.verify_pending) {
-                    if let (Some(d), Some(v)) = (e.dst, e.pending_value) {
-                        self.prf.write(d.new_preg, v);
-                    }
-                }
-            }
-        }
-
-        // Hand the squashed stream to the engine (oldest first) before
-        // releasing any destination registers, so it can retain them.
-        if f.kind == FlushKind::BranchMispredict {
-            self.squash_ctr += 1;
-            let insts: Vec<SquashedInst> = squashed
-                .iter()
-                .rev()
-                .map(|e| SquashedInst {
-                    seq: e.seq,
-                    pc: e.pc,
-                    op: e.inst.op(),
-                    dst: e.dst.map(|d| (d.arch, d.new_preg, d.new_rgid)),
-                    src_rgids: e.src_rgids,
-                    src_pregs: e.src_pregs,
-                    // Completed, or in flight with the result draining into
-                    // the PRF — but never an unverified reused load.
-                    executed: (e.completed
-                        || (self.cfg.drain_inflight_on_squash && e.pending_value.is_some()))
-                        && !(e.reused && e.verify_pending),
-                    is_load: e.inst.is_load(),
-                    is_store: e.inst.is_store(),
-                    load_addr: if e.inst.is_load() { e.mem_addr } else { None },
-                })
-                .collect();
-            let ev = SquashEvent {
-                squash_id: self.squash_ctr,
-                cause_seq: f.cause_seq,
-                cause_pc: f.cause_pc,
-                redirect: f.redirect,
-                insts,
-                frontend_blocks,
-            };
-            self.engine.on_mispredict_squash(&ev, &mut ectx!(self));
-        } else {
-            self.engine.on_flush(f.kind, &mut ectx!(self));
-        }
-
-        // Release the live holds of squashed destination mappings; the
-        // engine's retains keep reusable values alive.
-        for e in &squashed {
-            if let Some(d) = e.dst {
-                self.release_preg(d.new_preg);
-            }
-        }
-
-        // Redirect the frontend. Until an instruction of the refilled
-        // stream (seq >= the current rename boundary) commits, idle-ROB
-        // cycles are the squash's penalty and are blamed on its kind.
-        self.refill_blame = Some((f.kind, SeqNum::new(self.next_seq)));
-        self.fetch_pc = Some(f.redirect);
-        self.fetch_resume_at = self.cycle + 1;
-        // A squash is the operation that rearranges register ownership;
-        // sweep thoroughly (free-list integrity included) after every
-        // one, independent of the per-cycle stride.
-        #[cfg(debug_assertions)]
-        self.assert_invariants_thorough();
-    }
-
-    /// Sweeps the full machine state against every [`Rule`], returning
-    /// all violations found (empty for a healthy pipeline).
+    /// Sweeps the full machine state against every invariant
+    /// [`Rule`](crate::check::Rule), returning all violations found
+    /// (empty for a healthy pipeline).
     ///
     /// Debug builds run this every cycle (see `MSSR_CHECK_STRIDE` on
     /// [`check::check_stride`]) and after every squash, panicking on the
     /// first violation; the sweep itself is available in every build for
     /// tests and tools.
     pub fn invariant_violations(&self) -> Vec<Violation> {
-        let mut out = Vec::new();
-
-        // Free-list internal integrity, then the per-mapping hold checks
-        // (a mapped or in-flight register must never be allocatable).
-        if let Err(detail) = self.free_list.validate() {
-            out.push(Violation { rule: Rule::FreeListIntegrity, detail });
-        }
-        for a in ArchReg::all() {
-            let p = self.rat.lookup(a);
-            if self.free_list.holds(p) == 0 {
-                out.push(Violation {
-                    rule: Rule::FreeListIntegrity,
-                    detail: format!("RAT maps {a} to {p} which has no holds"),
-                });
-            }
-        }
-        for e in self.rob.iter() {
-            if let Some(d) = e.dst {
-                for (what, p) in [("destination", d.new_preg), ("rollback target", d.prev_preg)] {
-                    if self.free_list.holds(p) == 0 {
-                        out.push(Violation {
-                            rule: Rule::FreeListIntegrity,
-                            detail: format!("ROB {} has {what} {p} with no holds", e.seq),
-                        });
-                    }
-                }
-            }
-        }
-
-        // Hold conservation: every hold belongs to a live mapping (RAT
-        // target, in-flight ROB destination, or rollback target — as a
-        // *set*: each live register carries exactly one pipeline hold) or
-        // to the engine's reservations.
-        let mut live = vec![false; self.free_list.num_regs()];
-        for a in ArchReg::all() {
-            live[self.rat.lookup(a).index()] = true;
-        }
-        for e in self.rob.iter() {
-            if let Some(d) = e.dst {
-                live[d.new_preg.index()] = true;
-                live[d.prev_preg.index()] = true;
-            }
-        }
-        let live_mappings = live.iter().filter(|&&l| l).count() as u64;
-        if let Some(v) = check::check_conservation(
-            self.free_list.total_holds(),
-            live_mappings,
-            self.engine.reserved_hold_count(),
-        ) {
-            out.push(v);
-        }
-
-        if let Some(v) =
-            check::check_age_order(Rule::RobAgeOrder, "ROB", self.rob.iter().map(|e| e.seq))
-        {
-            out.push(v);
-        }
-        if let Some(v) = check::check_rgids(
-            self.rgids.counters(),
-            self.rob.iter().filter_map(|e| e.dst.map(|d| (d.arch.index(), d.new_rgid, e.reused))),
-        ) {
-            out.push(v);
-        }
-        if let Some(v) = check::check_reuse_safety(
-            self.rob
-                .iter()
-                .map(|e| (e.seq, e.inst.is_store(), e.inst.is_load(), e.reused, e.verify_pending)),
-        ) {
-            out.push(v);
-        }
-        if let Some(v) = check::check_lsq(self.lsq.loads(), self.lsq.stores()) {
-            out.push(v);
-        }
-        // The account accrues immediately before the cycle counter
-        // increments, so the law holds exactly at every sweep point: the
-        // per-cycle sweep (after the increment) and the post-squash
-        // thorough sweep (mid-cycle, before this cycle's accrual).
-        if let Some(v) =
-            check::check_cpi_account(&self.account, self.cycle, self.cfg.commit_width as u64)
-        {
-            out.push(v);
-        }
-        out
-    }
-
-    /// One fused, allocation-light pass over the machine state checking
-    /// the same invariants as [`Simulator::invariant_violations`] minus
-    /// the free list's internal-integrity scan (covered by the thorough
-    /// sweep after every squash). This is the per-cycle debug-build hot
-    /// path: it only answers clean/dirty; diagnosis is re-derived by the
-    /// rule functions when it reports dirty. Kept semantically a subset
-    /// of the thorough sweep — `assert_invariants` enforces that.
-    #[cfg(debug_assertions)]
-    fn sweep_is_clean(&self) -> bool {
-        let fl = &self.free_list;
-        let mut live = vec![false; fl.num_regs()];
-        let mut live_count: u64 = 0;
-        for a in ArchReg::all() {
-            let p = self.rat.lookup(a);
-            if fl.holds(p) == 0 {
-                return false;
-            }
-            if !live[p.index()] {
-                live[p.index()] = true;
-                live_count += 1;
-            }
-        }
-        let counters = self.rgids.counters();
-        let mut prev: Option<SeqNum> = None;
-        let mut last: [Option<u16>; mssr_isa::NUM_ARCH_REGS] = [None; mssr_isa::NUM_ARCH_REGS];
-        for e in self.rob.iter() {
-            if prev.is_some_and(|p| e.seq <= p) {
-                return false;
-            }
-            prev = Some(e.seq);
-            if e.inst.is_store() && e.reused {
-                return false;
-            }
-            if e.verify_pending && !(e.reused && e.inst.is_load()) {
-                return false;
-            }
-            if let Some(d) = e.dst {
-                for p in [d.new_preg, d.prev_preg] {
-                    if fl.holds(p) == 0 {
-                        return false;
-                    }
-                    if !live[p.index()] {
-                        live[p.index()] = true;
-                        live_count += 1;
-                    }
-                }
-                let g = d.new_rgid;
-                if !g.is_null() {
-                    let a = d.arch.index();
-                    if g.value() > counters[a] {
-                        return false;
-                    }
-                    if !e.reused {
-                        if last[a].is_some_and(|prev| g.value() <= prev) {
-                            return false;
-                        }
-                        last[a] = Some(g.value());
-                    }
-                }
-            }
-        }
-        fl.total_holds() == live_count + self.engine.reserved_hold_count()
-            && check::check_lsq(self.lsq.loads(), self.lsq.stores()).is_none()
-            && check::check_cpi_account(&self.account, self.cycle, self.cfg.commit_width as u64)
-                .is_none()
-    }
-
-    /// Panics on the first invariant violation (debug-build backstop).
-    /// The fused sweep screens; the rule functions produce the report.
-    #[cfg(debug_assertions)]
-    fn assert_invariants(&self) {
-        if self.sweep_is_clean() {
-            return;
-        }
-        self.assert_invariants_thorough();
-        panic!(
-            "invariant sweep flagged cycle {} but the thorough check found nothing \
-             (fast/thorough sweep divergence — this is a checker bug)",
-            self.cycle
-        );
-    }
-
-    /// The thorough variant: full rule-function sweep including free-list
-    /// internal integrity. Run after every squash and on demand.
-    #[cfg(debug_assertions)]
-    fn assert_invariants_thorough(&self) {
-        if let Some(v) = self.invariant_violations().first() {
-            panic!("invariant violation at cycle {}: {v}", self.cycle);
-        }
-    }
-
-    fn release_preg(&mut self, p: PhysReg) {
-        self.free_list.release(p);
-        if self.free_list.holds(p) == 0 {
-            self.engine.on_preg_freed(p, &mut ectx!(self));
-        }
-    }
-
-    fn apply_rgid_reset(&mut self) {
-        if !self.rgid_reset_requested {
-            return;
-        }
-        self.rgid_reset_requested = false;
-        self.rgid_resets_total += 1;
-        self.rgids.reset();
-        // Null every live RGID so pre-reset generations can never alias
-        // post-reset ones (RAT, plus ROB fields used for rollback and
-        // Squash Log population).
-        self.rat.null_all_rgids();
-        for e in self.rob.iter_mut() {
-            for g in e.src_rgids.iter_mut().flatten() {
-                *g = Rgid::NULL;
-            }
-            if let Some(d) = &mut e.dst {
-                d.new_rgid = Rgid::NULL;
-                d.prev_rgid = Rgid::NULL;
-            }
-        }
-        // The engine must drop every captured generation from the old
-        // window — including streams captured *after* it requested the
-        // reset, earlier in this same cycle (e.g. a squash between the
-        // overflow and the end of the cycle).
-        self.engine.on_rgid_reset(&mut ectx!(self));
+        check::machine_violations(&self.st, self.engine.as_ref())
     }
 
     // ------------------------------------------------------------------
@@ -1496,140 +364,12 @@ impl Simulator {
 
     /// Read access to the branch predictor (warmup-fidelity inspection).
     pub fn bpred(&self) -> &BranchPredictor {
-        &self.bpred
+        &self.st.bpred
     }
 
     /// Read access to the cache hierarchy (warmup-fidelity inspection).
     pub fn hierarchy(&self) -> &Hierarchy {
-        &self.hier
-    }
-
-    /// A stable identity hash of the loaded program (base address plus
-    /// every instruction), used to reject checkpoints taken of a
-    /// different program. In-flight instructions are checkpointed by PC
-    /// only and re-fetched through this guard.
-    fn program_hash(program: &Program) -> u64 {
-        let mut text = program.base().addr().to_string();
-        for (pc, inst) in program.iter() {
-            text.push_str(&format!("|{}:{inst:?}", pc.addr()));
-        }
-        ckpt::fnv1a64(text.as_bytes())
-    }
-
-    /// A stable identity hash of the simulator configuration. Structure
-    /// sizes (ROB, queues, caches) shape the serialized state, so a
-    /// checkpoint only restores under the exact configuration that took
-    /// it; the `Debug` rendering covers every field.
-    fn config_hash(cfg: &SimConfig) -> u64 {
-        ckpt::fnv1a64(format!("{cfg:?}").as_bytes())
-    }
-
-    fn save_rob_entry(w: &mut CkptWriter, e: &RobEntry) {
-        w.seq(e.seq);
-        w.pc(e.pc);
-        match e.dst {
-            None => w.bool(false),
-            Some(d) => {
-                w.bool(true);
-                w.u8(d.arch.index() as u8);
-                w.preg(d.new_preg);
-                w.preg(d.prev_preg);
-                w.rgid(d.new_rgid);
-                w.rgid(d.prev_rgid);
-            }
-        }
-        for p in e.src_pregs {
-            w.opt_preg(p);
-        }
-        for g in e.src_rgids {
-            w.opt_rgid(g);
-        }
-        w.bool(e.completed);
-        w.bool(e.reused);
-        w.bool(e.verify_pending);
-        w.bool(e.fwd_stalled);
-        w.opt_u64(e.pending_value);
-        match e.branch {
-            None => w.bool(false),
-            Some(b) => {
-                w.bool(true);
-                w.pc(b.pred_next);
-                w.bool(b.pred_taken);
-                w.u64(b.meta.ghr_before);
-                match b.resolved {
-                    None => w.bool(false),
-                    Some(o) => {
-                        w.bool(true);
-                        w.bool(o.taken);
-                        w.pc(o.next);
-                    }
-                }
-            }
-        }
-        w.opt_u64(e.mem_addr);
-        w.u64(e.ghr_before);
-        w.u64(e.ras_sp_before);
-    }
-
-    fn load_rob_entry(r: &mut CkptReader, program: &Program) -> Result<RobEntry, CkptError> {
-        let seq = r.seq()?;
-        let pc = r.pc()?;
-        let inst = Self::refetch(program, pc)?;
-        let dst = if r.bool()? {
-            Some(DstInfo {
-                arch: load_arch_reg(r)?,
-                new_preg: r.preg()?,
-                prev_preg: r.preg()?,
-                new_rgid: r.rgid()?,
-                prev_rgid: r.rgid()?,
-            })
-        } else {
-            None
-        };
-        let src_pregs = [r.opt_preg()?, r.opt_preg()?];
-        let src_rgids = [r.opt_rgid()?, r.opt_rgid()?];
-        let completed = r.bool()?;
-        let reused = r.bool()?;
-        let verify_pending = r.bool()?;
-        let fwd_stalled = r.bool()?;
-        let pending_value = r.opt_u64()?;
-        let branch = if r.bool()? {
-            let pred_next = r.pc()?;
-            let pred_taken = r.bool()?;
-            let meta = PredMeta { ghr_before: r.u64()? };
-            let resolved = if r.bool()? {
-                Some(BranchOutcome { taken: r.bool()?, next: r.pc()? })
-            } else {
-                None
-            };
-            Some(BranchState { pred_next, pred_taken, meta, resolved })
-        } else {
-            None
-        };
-        Ok(RobEntry {
-            seq,
-            pc,
-            inst,
-            dst,
-            src_pregs,
-            src_rgids,
-            completed,
-            reused,
-            verify_pending,
-            fwd_stalled,
-            pending_value,
-            branch,
-            mem_addr: r.opt_u64()?,
-            ghr_before: r.u64()?,
-            ras_sp_before: r.u64()?,
-        })
-    }
-
-    fn refetch(program: &Program, pc: Pc) -> Result<Inst, CkptError> {
-        program
-            .fetch(pc)
-            .copied()
-            .ok_or_else(|| CkptError::Corrupt(format!("checkpointed PC {pc} outside the program")))
+        &self.st.hier
     }
 
     /// Serializes the complete simulation state — architectural and
@@ -1642,137 +382,7 @@ impl Simulator {
     /// Instructions are stored by PC and re-fetched from the program at
     /// restore, guarded by a program identity hash in the payload.
     pub fn snapshot(&self) -> Vec<u8> {
-        let mut w = CkptWriter::new();
-        w.u64(Self::config_hash(&self.cfg));
-        w.u64(Self::program_hash(&self.program));
-        w.str(self.engine.name());
-
-        // Control scalars.
-        w.u64(self.cycle);
-        w.u64(self.next_seq);
-        w.u64(self.squash_ctr);
-        w.bool(self.halted);
-        w.opt_pc(self.fetch_pc);
-        w.u64(self.fetch_resume_at);
-        w.bool(self.rgid_reset_requested);
-        w.u64(self.rgid_overflows_total);
-        w.u64(self.rgid_resets_total);
-        w.u64(self.grants_total);
-        match self.refill_blame {
-            None => w.bool(false),
-            Some((kind, seq)) => {
-                w.bool(true);
-                w.u8(flush_kind_code(kind));
-                w.seq(seq);
-            }
-        }
-
-        // Cumulative statistics. Cache counters live in the hierarchy
-        // section and engine counters in the engine blob; `stats()`
-        // recomposes them, so only the pipeline-owned counters go here.
-        for v in [
-            self.stats.committed_instructions,
-            self.stats.committed_branches,
-            self.stats.committed_cond_branches,
-            self.stats.mispredictions,
-            self.stats.renamed_instructions,
-            self.stats.squashed_instructions,
-            self.stats.flushes_branch,
-            self.stats.flushes_mem_order,
-            self.stats.flushes_reuse_verify,
-            self.stats.committed_loads,
-            self.stats.committed_stores,
-            self.stats.store_forwards,
-            self.stats.store_forward_stalls,
-            self.stats.snoops,
-            self.stats.ffwd_insts,
-            self.stats.skipped_cycles,
-        ] {
-            w.u64(v);
-        }
-
-        // CPI-stack account.
-        for s in self.account.slots {
-            w.u64(s);
-        }
-        w.u64(self.account.credit_reuse_cycles);
-        w.u64(self.account.credit_recon_fetches);
-
-        self.bpred.ckpt_save(&mut w);
-
-        // Frontend queue (instructions by PC).
-        w.u64(self.frontend_q.len() as u64);
-        for fi in &self.frontend_q {
-            w.u64(fi.ready_cycle);
-            w.pc(fi.pc);
-            w.bool(fi.pred_taken);
-            w.pc(fi.pred_next);
-            w.u64(fi.meta.ghr_before);
-            w.u64(fi.ghr_before);
-            w.u64(fi.ras_sp_before);
-        }
-
-        self.rat.ckpt_save(&mut w);
-        self.free_list.ckpt_save(&mut w);
-        self.prf.ckpt_save(&mut w);
-        self.rgids.ckpt_save(&mut w);
-
-        w.u64(self.rob.len() as u64);
-        for e in self.rob.iter() {
-            Self::save_rob_entry(&mut w, e);
-        }
-
-        self.iq_int.ckpt_save(&mut w);
-        self.iq_mem.ckpt_save(&mut w);
-
-        w.u64(self.lsq.lq_len() as u64);
-        for l in self.lsq.loads() {
-            w.seq(l.seq);
-            w.opt_u64(l.addr);
-            w.bool(l.issued);
-            w.opt_u64(l.value);
-            w.bool(l.reused);
-        }
-        w.u64(self.lsq.sq_len() as u64);
-        for s in self.lsq.stores() {
-            w.seq(s.seq);
-            w.opt_u64(s.addr);
-            w.opt_u64(s.data);
-        }
-
-        // Completion events. Heap iteration order is arbitrary; sort so
-        // identical machine states serialize to identical bytes.
-        let mut comps: Vec<(u64, u64)> = self.completions.iter().map(|&Reverse(p)| p).collect();
-        comps.sort_unstable();
-        w.u64(comps.len() as u64);
-        for (c, s) in comps {
-            w.u64(c);
-            w.u64(s);
-        }
-
-        w.u64(self.pending_flushes.len() as u64);
-        for f in &self.pending_flushes {
-            w.seq(f.first_squashed);
-            w.pc(f.redirect);
-            w.u8(flush_kind_code(f.kind));
-            w.seq(f.cause_seq);
-            w.pc(f.cause_pc);
-        }
-
-        self.memory.ckpt_save(&mut w);
-        self.hier.ckpt_save(&mut w);
-
-        // Engine state, as a length-prefixed blob so the pipeline can
-        // frame it without knowing its layout.
-        let mut ew = CkptWriter::new();
-        self.engine.ckpt_save(&mut ew);
-        w.bytes(&ew.finish());
-
-        self.sampler.ckpt_save(&mut w);
-        self.tracer.ckpt_save(&mut w);
-        w.u32(CKPT_END);
-
-        ckpt::seal(&w.finish())
+        ckpt::machine::save(&self.st, self.engine.as_ref(), &self.sampler, &self.tracer)
     }
 
     /// Restores a snapshot taken by [`Simulator::snapshot`] over this
@@ -1785,187 +395,13 @@ impl Simulator {
     /// partially overwritten and must be discarded; no error path leaves
     /// a *silently* inconsistent simulator.
     pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
-        let payload = ckpt::open(bytes)?;
-        let mut r = CkptReader::new(payload);
-        if r.u64()? != Self::config_hash(&self.cfg) {
-            return Err(CkptError::ConfigMismatch);
-        }
-        if r.u64()? != Self::program_hash(&self.program) {
-            return Err(CkptError::ProgramMismatch);
-        }
-        let name = r.str()?;
-        if name != self.engine.name() {
-            return Err(CkptError::EngineMismatch {
-                found: name,
-                expect: self.engine.name().to_string(),
-            });
-        }
-
-        self.cycle = r.u64()?;
-        self.next_seq = r.u64()?;
-        self.squash_ctr = r.u64()?;
-        self.halted = r.bool()?;
-        self.fetch_pc = r.opt_pc()?;
-        self.fetch_resume_at = r.u64()?;
-        self.rgid_reset_requested = r.bool()?;
-        self.rgid_overflows_total = r.u64()?;
-        self.rgid_resets_total = r.u64()?;
-        self.grants_total = r.u64()?;
-        self.refill_blame =
-            if r.bool()? { Some((flush_kind_from(r.u8()?)?, r.seq()?)) } else { None };
-
-        self.stats.committed_instructions = r.u64()?;
-        self.stats.committed_branches = r.u64()?;
-        self.stats.committed_cond_branches = r.u64()?;
-        self.stats.mispredictions = r.u64()?;
-        self.stats.renamed_instructions = r.u64()?;
-        self.stats.squashed_instructions = r.u64()?;
-        self.stats.flushes_branch = r.u64()?;
-        self.stats.flushes_mem_order = r.u64()?;
-        self.stats.flushes_reuse_verify = r.u64()?;
-        self.stats.committed_loads = r.u64()?;
-        self.stats.committed_stores = r.u64()?;
-        self.stats.store_forwards = r.u64()?;
-        self.stats.store_forward_stalls = r.u64()?;
-        self.stats.snoops = r.u64()?;
-        self.stats.ffwd_insts = r.u64()?;
-        self.stats.skipped_cycles = r.u64()?;
-
-        for s in &mut self.account.slots {
-            *s = r.u64()?;
-        }
-        self.account.credit_reuse_cycles = r.u64()?;
-        self.account.credit_recon_fetches = r.u64()?;
-
-        self.bpred.ckpt_load(&mut r)?;
-
-        let n = r.seq_len(34)?;
-        self.frontend_q.clear();
-        for _ in 0..n {
-            let ready_cycle = r.u64()?;
-            let pc = r.pc()?;
-            let inst = Self::refetch(&self.program, pc)?;
-            self.frontend_q.push_back(FrontInst {
-                ready_cycle,
-                pc,
-                inst,
-                pred_taken: r.bool()?,
-                pred_next: r.pc()?,
-                meta: PredMeta { ghr_before: r.u64()? },
-                ghr_before: r.u64()?,
-                ras_sp_before: r.u64()?,
-            });
-        }
-
-        self.rat.ckpt_load(&mut r)?;
-        self.free_list.ckpt_load(&mut r)?;
-        self.prf.ckpt_load(&mut r)?;
-        self.rgids.ckpt_load(&mut r)?;
-
-        let n = r.seq_len(40)?;
-        if n > self.cfg.rob_size {
-            return Err(CkptError::Corrupt(format!(
-                "{n} ROB entries in checkpoint, capacity {}",
-                self.cfg.rob_size
-            )));
-        }
-        let mut rob = Rob::new(self.cfg.rob_size);
-        let mut prev: Option<SeqNum> = None;
-        for _ in 0..n {
-            let e = Self::load_rob_entry(&mut r, &self.program)?;
-            if prev.is_some_and(|p| e.seq <= p) {
-                return Err(CkptError::Corrupt("ROB entries out of age order".into()));
-            }
-            prev = Some(e.seq);
-            rob.push(e);
-        }
-        self.rob = rob;
-
-        self.iq_int.ckpt_load(&mut r)?;
-        self.iq_mem.ckpt_load(&mut r)?;
-
-        let nl = r.seq_len(27)?;
-        let mut lsq = Lsq::new(self.cfg.lq_size, self.cfg.sq_size);
-        if nl > self.cfg.lq_size {
-            return Err(CkptError::Corrupt(format!(
-                "{nl} load-queue entries in checkpoint, capacity {}",
-                self.cfg.lq_size
-            )));
-        }
-        let mut prev: Option<SeqNum> = None;
-        for _ in 0..nl {
-            let seq = r.seq()?;
-            if prev.is_some_and(|p| seq <= p) {
-                return Err(CkptError::Corrupt("load queue out of age order".into()));
-            }
-            prev = Some(seq);
-            lsq.push_load(LqEntry {
-                seq,
-                addr: r.opt_u64()?,
-                issued: r.bool()?,
-                value: r.opt_u64()?,
-                reused: r.bool()?,
-            });
-        }
-        let ns = r.seq_len(26)?;
-        if ns > self.cfg.sq_size {
-            return Err(CkptError::Corrupt(format!(
-                "{ns} store-queue entries in checkpoint, capacity {}",
-                self.cfg.sq_size
-            )));
-        }
-        let mut prev: Option<SeqNum> = None;
-        for _ in 0..ns {
-            let seq = r.seq()?;
-            if prev.is_some_and(|p| seq <= p) {
-                return Err(CkptError::Corrupt("store queue out of age order".into()));
-            }
-            prev = Some(seq);
-            lsq.push_store(SqEntry { seq, addr: r.opt_u64()?, data: r.opt_u64()? });
-        }
-        self.lsq = lsq;
-
-        let n = r.seq_len(16)?;
-        self.completions.clear();
-        for _ in 0..n {
-            let c = r.u64()?;
-            let s = r.u64()?;
-            self.completions.push(Reverse((c, s)));
-        }
-
-        let n = r.seq_len(33)?;
-        self.pending_flushes.clear();
-        for _ in 0..n {
-            self.pending_flushes.push(PendingFlush {
-                first_squashed: r.seq()?,
-                redirect: r.pc()?,
-                kind: flush_kind_from(r.u8()?)?,
-                cause_seq: r.seq()?,
-                cause_pc: r.pc()?,
-            });
-        }
-
-        self.memory.ckpt_load(&mut r)?;
-        self.hier.ckpt_load(&mut r)?;
-
-        let blob = r.bytes()?;
-        let mut er = CkptReader::new(blob);
-        self.engine.ckpt_load(&mut er)?;
-        er.done()?;
-
-        self.sampler.ckpt_load(&mut r)?;
-        self.tracer.ckpt_load(&mut r)?;
-        if r.u32()? != CKPT_END {
-            return Err(CkptError::Corrupt("missing end marker".into()));
-        }
-        r.done()?;
-
-        self.tracer.emit(TraceEvent::Ckpt {
-            cycle: self.cycle,
-            action: CkptAction::Restore,
-            insts: self.stats.committed_instructions,
-        });
-        Ok(())
+        ckpt::machine::restore(
+            &mut self.st,
+            self.engine.as_mut(),
+            &mut self.sampler,
+            &mut self.tracer,
+            bytes,
+        )
     }
 
     /// Functionally fast-forwards `n` instructions through the shared
@@ -1993,53 +429,54 @@ impl Simulator {
     /// instructions renamed): fast-forward replaces the start of the
     /// run, it cannot splice into the middle of one.
     pub fn fast_forward(&mut self, n: u64) -> u64 {
+        let st = &mut self.st;
         assert!(
-            self.cycle == 0 && self.next_seq == 1 && self.stats.committed_instructions == 0,
+            st.cycle == 0 && st.next_seq == 1 && st.stats.committed_instructions == 0,
             "fast_forward requires a pristine simulator"
         );
-        let mut pc = self.program.base();
+        let mut pc = st.program.base();
         let mut executed = 0u64;
         while executed < n {
-            let Some(&inst) = self.program.fetch(pc) else {
+            let Some(&inst) = st.program.fetch(pc) else {
                 break; // left the program image; resume detailed fetch here
             };
-            let mut st = FfwdState { rat: &self.rat, prf: &mut self.prf, memory: &mut self.memory };
-            let out = arch_step(&self.program, pc, &mut st).expect("fetch checked above");
+            let mut fst = FfwdState { rat: &st.rat, prf: &mut st.prf, memory: &mut st.memory };
+            let out = arch_step(&st.program, pc, &mut fst).expect("fetch checked above");
             executed += 1;
             match out.kind {
                 ArchKind::Cond { taken } => {
                     // Mirror the detailed lifecycle: predict (speculative
                     // GHR update), recover on mispredict, train at commit.
-                    let (pred, meta) = self.bpred.predict_cond(pc);
+                    let (pred, meta) = st.bpred.predict_cond(pc);
                     if pred != taken {
-                        self.bpred.recover_cond(meta, taken);
+                        st.bpred.recover_cond(meta, taken);
                     }
-                    self.bpred.train_cond(pc, taken, meta);
+                    st.bpred.train_cond(pc, taken, meta);
                 }
-                ArchKind::Jalr { target } => self.bpred.update_indirect(pc, target),
+                ArchKind::Jalr { target } => st.bpred.update_indirect(pc, target),
                 ArchKind::Load { addr } | ArchKind::Store { addr } => {
-                    let _ = self.hier.access(addr);
+                    let _ = st.hier.access(addr);
                 }
                 ArchKind::Plain => {}
             }
             if inst.is_call() {
-                self.bpred.ras_push(pc.next());
+                st.bpred.ras_push(pc.next());
             } else if inst.is_return() {
-                let _ = self.bpred.ras_pop();
+                let _ = st.bpred.ras_pop();
             }
             match out.next {
                 Some(next) => pc = next,
                 None => {
-                    self.halted = true;
+                    st.halted = true;
                     break;
                 }
             }
         }
-        self.fetch_pc = if self.halted { None } else { Some(pc) };
-        self.stats.ffwd_insts += executed;
-        self.stats.skipped_cycles += executed;
+        st.fetch_pc = if st.halted { None } else { Some(pc) };
+        st.stats.ffwd_insts += executed;
+        st.stats.skipped_cycles += executed;
         self.tracer.emit(TraceEvent::Ckpt {
-            cycle: self.cycle,
+            cycle: self.st.cycle,
             action: CkptAction::Ffwd,
             insts: executed,
         });
@@ -2050,18 +487,14 @@ impl Simulator {
     /// the cycle bound). Used by the harness to place checkpoints at
     /// instruction-count boundaries.
     pub fn run_until_insts(&mut self, n: u64) {
-        while !self.halted
-            && self.cycle < self.cfg.max_cycles
-            && self.stats.committed_instructions < n
+        while !self.st.halted
+            && self.st.cycle < self.st.cfg.max_cycles
+            && self.st.stats.committed_instructions < n
         {
             self.step();
         }
     }
 }
-
-/// Payload terminator, checked before [`CkptReader::done`] so a codec
-/// drift shows up as a missing marker rather than a trailing-bytes error.
-const CKPT_END: u32 = 0x444e_4521;
 
 /// The RAT/PRF/memory of a pristine pipeline as an [`ArchState`]: reads
 /// and writes go through the identity rename mapping, so the fast-forward
@@ -2079,7 +512,7 @@ impl ArchState for FfwdState<'_> {
     }
 
     fn set_reg(&mut self, a: ArchReg, v: u64) {
-        self.prf.write(self.rat.lookup(a), v);
+        self.prf.write(self.rat.lookup(a), v)
     }
 
     fn mem_read(&mut self, addr: u64) -> u64 {
@@ -2092,477 +525,5 @@ impl ArchState for FfwdState<'_> {
 
     fn wrap(&self, addr: u64) -> u64 {
         self.memory.wrap(addr)
-    }
-}
-
-fn flush_kind_code(k: FlushKind) -> u8 {
-    match k {
-        FlushKind::BranchMispredict => 0,
-        FlushKind::MemoryOrder => 1,
-        FlushKind::ReuseVerification => 2,
-    }
-}
-
-fn flush_kind_from(b: u8) -> Result<FlushKind, CkptError> {
-    match b {
-        0 => Ok(FlushKind::BranchMispredict),
-        1 => Ok(FlushKind::MemoryOrder),
-        2 => Ok(FlushKind::ReuseVerification),
-        _ => Err(CkptError::Corrupt(format!("unknown flush kind byte {b}"))),
-    }
-}
-
-fn load_arch_reg(r: &mut CkptReader) -> Result<ArchReg, CkptError> {
-    let i = r.u8()? as usize;
-    ArchReg::all()
-        .nth(i)
-        .ok_or_else(|| CkptError::Corrupt(format!("arch register index {i} out of range")))
-}
-
-/// Whether the `MSSR_PARANOID` reuse-value oracle is enabled (checked
-/// once): at every load-reuse grant, the granted value is compared with
-/// what the load would read right now and divergences are printed. Used
-/// to hunt engine soundness bugs; false positives are possible when an
-/// older store with an unknown address is still in flight (the case
-/// `store_check` covers later).
-fn paranoid_enabled() -> bool {
-    use std::sync::OnceLock;
-    static ON: OnceLock<bool> = OnceLock::new();
-    *ON.get_or_init(|| std::env::var_os("MSSR_PARANOID").is_some())
-}
-
-fn fu_class(op: Opcode) -> Option<FuClass> {
-    match op {
-        Opcode::Nop | Opcode::Halt => None,
-        Opcode::Ld | Opcode::St => Some(FuClass::Lsu),
-        op if op.is_control() => Some(FuClass::Bru),
-        _ => Some(FuClass::Alu),
-    }
-}
-
-/// Groups a PC stream into contiguous block ranges, splitting at
-/// discontinuities, predicted-taken control flow, and the fetch-block
-/// size limit.
-fn group_blocks(pcs: impl Iterator<Item = (Pc, bool)>, max_block: usize) -> Vec<BlockRange> {
-    let mut out: Vec<BlockRange> = Vec::new();
-    let mut cur: Option<(BlockRange, usize, bool)> = None;
-    for (pc, taken) in pcs {
-        match &mut cur {
-            Some((range, n, last_taken))
-                if !*last_taken && pc == range.end.next() && *n < max_block =>
-            {
-                range.end = pc;
-                *n += 1;
-                *last_taken = taken;
-            }
-            _ => {
-                if let Some((r, _, _)) = cur.take() {
-                    out.push(r);
-                }
-                cur = Some((BlockRange { start: pc, end: pc }, 1, taken));
-            }
-        }
-    }
-    if let Some((r, _, _)) = cur {
-        out.push(r);
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mssr_isa::{regs::*, Assembler};
-
-    fn run_program(build: impl FnOnce(&mut Assembler)) -> (Simulator, SimStats) {
-        let mut a = Assembler::new();
-        build(&mut a);
-        let program = a.assemble().expect("assembles");
-        let cfg = SimConfig::default().with_max_cycles(2_000_000);
-        let mut sim = Simulator::new(cfg, program);
-        let stats = sim.run();
-        (sim, stats)
-    }
-
-    #[test]
-    fn straightline_arithmetic_commits() {
-        let (sim, stats) = run_program(|a| {
-            a.li(T0, 6);
-            a.li(T1, 7);
-            a.mul(T2, T0, T1);
-            a.st(ZERO, T2, 0x200);
-            a.halt();
-        });
-        assert!(sim.is_halted());
-        assert_eq!(stats.committed_instructions, 5);
-        assert_eq!(sim.read_mem_u64(0x200), 42);
-        assert_eq!(stats.mispredictions, 0);
-    }
-
-    #[test]
-    fn loop_counts_correctly() {
-        let (sim, stats) = run_program(|a| {
-            a.li(T0, 0);
-            a.li(T1, 100);
-            a.label("loop");
-            a.addi(T0, T0, 1);
-            a.blt(T0, T1, "loop");
-            a.st(ZERO, T0, 0x100);
-            a.halt();
-        });
-        assert_eq!(sim.read_mem_u64(0x100), 100);
-        // 2 setup + 100*2 loop + store + halt
-        assert_eq!(stats.committed_instructions, 2 + 200 + 2);
-        assert!(
-            stats.ipc() > 1.0,
-            "a tight predictable loop should exceed IPC 1, got {}",
-            stats.ipc()
-        );
-    }
-
-    #[test]
-    fn load_store_through_memory() {
-        let (sim, _) = run_program(|a| {
-            a.li(T0, 0x300);
-            a.li(T1, 1234);
-            a.st(T0, T1, 0);
-            a.ld(T2, T0, 0); // must forward or read the committed store
-            a.addi(T2, T2, 1);
-            a.st(T0, T2, 8);
-            a.halt();
-        });
-        assert_eq!(sim.read_mem_u64(0x300), 1234);
-        assert_eq!(sim.read_mem_u64(0x308), 1235);
-    }
-
-    #[test]
-    fn store_to_load_forwarding_counts() {
-        let (_, stats) = run_program(|a| {
-            a.li(T0, 0x400);
-            a.li(T1, 5);
-            a.st(T0, T1, 0);
-            a.ld(T2, T0, 0);
-            a.halt();
-        });
-        assert!(stats.store_forwards >= 1, "load should forward from in-flight store");
-    }
-
-    #[test]
-    fn data_dependent_branch_mispredicts_and_recovers() {
-        // Branch direction depends on a loaded pseudo-random value; the
-        // final accumulated sum must match the architectural result.
-        let (sim, stats) = run_program(|a| {
-            a.li(S0, 0); // i
-            a.li(S1, 200); // bound
-            a.li(S2, 0); // acc
-            a.li(S3, 0x123456789); // lcg state
-            a.label("loop");
-            // state = state * 6364136223846793005 + 1442695040888963407
-            a.li(T0, 6364136223846793005);
-            a.mul(S3, S3, T0);
-            a.li(T0, 1442695040888963407);
-            a.add(S3, S3, T0);
-            a.srli(T1, S3, 33);
-            a.andi(T1, T1, 1);
-            a.beq(T1, ZERO, "skip");
-            a.addi(S2, S2, 3);
-            a.j("join");
-            a.label("skip");
-            a.addi(S2, S2, 5);
-            a.label("join");
-            a.addi(S0, S0, 1);
-            a.blt(S0, S1, "loop");
-            a.st(ZERO, S2, 0x500);
-            a.halt();
-        });
-        // Reference model.
-        let mut state = 0x123456789u64;
-        let mut acc = 0u64;
-        for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let bit = (state >> 33) & 1;
-            acc += if bit != 0 { 3 } else { 5 };
-        }
-        assert_eq!(sim.read_mem_u64(0x500), acc, "wrong-path execution must not corrupt state");
-        assert!(
-            stats.mispredictions > 20,
-            "random branches should mispredict, got {}",
-            stats.mispredictions
-        );
-    }
-
-    #[test]
-    fn memory_order_violation_detected_and_replayed() {
-        // A store whose address arrives late (behind a divide) followed by
-        // a load to the same address that issues first.
-        let (sim, stats) = run_program(|a| {
-            a.li(T0, 1024);
-            a.li(T1, 4);
-            a.li(S0, 0x600);
-            a.li(S1, 77);
-            a.st(S0, S1, 0); // establish old value 77
-            a.div(T2, T0, T1); // slow: 1024/4 = 256
-            a.add(T3, T2, ZERO);
-            a.st(T3, S1, 0x600 - 256); // addr = 0x600, late
-            a.li(S1, 99);
-            a.st(S0, S1, 0); // younger store overwrites with 99
-            a.ld(T4, S0, 0); // younger load, issues early, may read stale
-            a.st(ZERO, T4, 0x608);
-            a.halt();
-        });
-        // Architecturally the load must see 99.
-        assert_eq!(sim.read_mem_u64(0x608), 99);
-        // At least one ordering violation should have been detected on the
-        // way (the load issues before the slow store chain resolves).
-        assert!(
-            stats.flushes_mem_order >= 1,
-            "expected a store-to-load replay, got {}",
-            stats.flushes_mem_order
-        );
-    }
-
-    #[test]
-    fn call_and_return_via_btb() {
-        let (sim, _) = run_program(|a| {
-            a.li(S0, 0);
-            a.li(S1, 50);
-            a.label("loop");
-            a.call("f");
-            a.addi(S0, S0, 1);
-            a.blt(S0, S1, "loop");
-            a.st(ZERO, S2, 0x700);
-            a.halt();
-            a.label("f");
-            a.addi(S2, S2, 2);
-            a.ret();
-        });
-        assert_eq!(sim.read_mem_u64(0x700), 100);
-    }
-
-    #[test]
-    fn snoop_replays_speculative_loads() {
-        // A load executes speculatively; a snoop to its address arrives
-        // before it commits; it must be replayed (flush counted), and the
-        // program still produces the right value.
-        let mut a = Assembler::new();
-        a.li(T0, 0x900);
-        a.li(T1, 1000);
-        a.li(T2, 4);
-        a.div(T3, T1, T2); // slow op keeps commit away
-        a.ld(T4, T0, 0); // speculative load, executes early
-        a.add(T5, T4, T3);
-        a.st(ZERO, T5, 0x100);
-        a.halt();
-        let program = a.assemble().unwrap();
-        let mut sim = Simulator::new(SimConfig::default().with_max_cycles(100_000), program);
-        sim.write_mem_u64(0x900, 7);
-        // Step until the load has issued but the divide holds up commit,
-        // then snoop its address.
-        sim.run_cycles(12);
-        sim.inject_snoop(0x900);
-        let stats = sim.run();
-        assert_eq!(sim.read_mem_u64(0x100), 257);
-        assert_eq!(stats.snoops, 1);
-        assert!(
-            stats.flushes_mem_order >= 1,
-            "the snooped speculative load must replay, got {} flushes",
-            stats.flushes_mem_order
-        );
-    }
-
-    #[test]
-    fn snoop_to_unrelated_address_is_harmless() {
-        let mut a = Assembler::new();
-        a.li(T0, 0x900);
-        a.ld(T4, T0, 0);
-        a.st(ZERO, T4, 0x100);
-        a.halt();
-        let mut sim =
-            Simulator::new(SimConfig::default().with_max_cycles(100_000), a.assemble().unwrap());
-        sim.write_mem_u64(0x900, 5);
-        sim.run_cycles(8);
-        sim.inject_snoop(0x5000);
-        let stats = sim.run();
-        assert_eq!(sim.read_mem_u64(0x100), 5);
-        assert_eq!(stats.flushes_mem_order, 0);
-    }
-
-    #[test]
-    fn max_cycles_bound_stops_infinite_loop() {
-        let mut a = Assembler::new();
-        a.label("spin");
-        a.j("spin");
-        let program = a.assemble().unwrap();
-        let mut sim = Simulator::new(SimConfig::default().with_max_cycles(1000), program);
-        let stats = sim.run();
-        assert_eq!(stats.cycles, 1000);
-        assert!(!sim.is_halted());
-    }
-
-    #[test]
-    fn max_insts_bound() {
-        let mut a = Assembler::new();
-        a.li(T1, 1_000_000);
-        a.label("loop");
-        a.addi(T0, T0, 1);
-        a.blt(T0, T1, "loop");
-        a.halt();
-        let program = a.assemble().unwrap();
-        let mut sim = Simulator::new(SimConfig::default().with_max_insts(5000), program);
-        let stats = sim.run();
-        assert!(sim.is_halted());
-        assert!(stats.committed_instructions >= 5000);
-        assert!(stats.committed_instructions < 5000 + 16, "stops promptly at the bound");
-    }
-
-    #[test]
-    fn group_blocks_splits_on_discontinuity_and_size() {
-        let pcs: Vec<(Pc, bool)> = (0..10).map(|i| (Pc::new(0x1000 + i * 4), false)).collect();
-        let blocks = group_blocks(pcs.into_iter(), 8);
-        assert_eq!(blocks.len(), 2, "8-instruction limit splits the run");
-        assert_eq!(blocks[0], BlockRange { start: Pc::new(0x1000), end: Pc::new(0x101c) });
-        assert_eq!(blocks[1], BlockRange { start: Pc::new(0x1020), end: Pc::new(0x1024) });
-
-        let jumpy = vec![
-            (Pc::new(0x1000), false),
-            (Pc::new(0x1004), true), // taken branch ends the block
-            (Pc::new(0x2000), false),
-        ];
-        let blocks = group_blocks(jumpy.into_iter(), 8);
-        assert_eq!(blocks.len(), 2);
-        assert_eq!(blocks[0], BlockRange { start: Pc::new(0x1000), end: Pc::new(0x1004) });
-        assert_eq!(blocks[1], BlockRange { start: Pc::new(0x2000), end: Pc::new(0x2000) });
-    }
-
-    #[test]
-    fn nested_hard_branches_still_architecturally_correct() {
-        // The Listing-1 shape: two nested data-dependent branches.
-        let (sim, stats) = run_program(|a| {
-            a.li(S0, 0); // i
-            a.li(S1, 300);
-            a.li(S2, 0); // acc
-            a.li(S3, 0xdeadbeef);
-            a.label("loop");
-            a.li(T0, 0x9e3779b97f4a7c15u64 as i64);
-            a.mul(S3, S3, T0);
-            a.srli(T1, S3, 31);
-            a.andi(T2, T1, 1);
-            a.andi(T3, T1, 2);
-            a.beq(T2, ZERO, "merge"); // Br1
-            a.beq(T3, ZERO, "inner_done"); // Br2
-            a.addi(S2, S2, 7);
-            a.label("inner_done");
-            a.addi(S2, S2, 11);
-            a.label("merge");
-            a.addi(S2, S2, 1);
-            a.addi(S0, S0, 1);
-            a.blt(S0, S1, "loop");
-            a.st(ZERO, S2, 0x800);
-            a.halt();
-        });
-        let mut state = 0xdeadbeefu64;
-        let mut acc = 0u64;
-        for _ in 0..300 {
-            state = state.wrapping_mul(0x9e3779b97f4a7c15);
-            let t1 = state >> 31;
-            if t1 & 1 != 0 {
-                if t1 & 2 != 0 {
-                    acc += 7;
-                }
-                acc += 11;
-            }
-            acc += 1;
-        }
-        assert_eq!(sim.read_mem_u64(0x800), acc);
-        assert!(stats.mispredictions > 50);
-    }
-
-    #[test]
-    fn jalr_negative_displacement_across_32bit_boundary() {
-        // The jalr target is `base.wrapping_add(imm as u64)`; `imm()` is
-        // already sign-extended to i64, so `as u64` must be a
-        // sign-preserving bit-cast. Force a subtraction that crosses a
-        // 32-bit boundary: base = RA + 2^32, displacement = -2^32. If the
-        // displacement were zero-extended (or truncated to 32 bits) the
-        // jump would land ~4 GiB away from the return point and the
-        // program would never halt.
-        let (sim, _) = run_program(|a| {
-            a.li(S0, 0xa00);
-            a.call("sub");
-            a.li(S1, 1); // return lands here
-            a.st(S0, S1, 0);
-            a.halt();
-            a.label("sub");
-            a.li(T1, 1i64 << 32);
-            a.add(T0, RA, T1); // T0 = return address + 2^32
-            a.jalr(ZERO, T0, -(1i64 << 32)); // back down across the boundary
-        });
-        assert!(sim.is_halted(), "jalr with a negative displacement must return");
-        assert_eq!(sim.read_mem_u64(0xa00), 1);
-    }
-
-    #[test]
-    fn trace_events_are_recorded_and_counted() {
-        let mut a = Assembler::new();
-        a.li(T0, 0x300);
-        a.li(T1, 7);
-        a.st(T0, T1, 0);
-        a.ld(T2, T0, 0);
-        a.halt();
-        let program = a.assemble().expect("assembles");
-        let mut sim = Simulator::new(SimConfig::default().with_max_cycles(100_000), program);
-        let sink = crate::trace::BufferSink::new();
-        let buf = sink.handle();
-        sim.set_trace_sink(Box::new(sink));
-        sim.run();
-        assert!(sim.take_trace_sink().is_some());
-        let stats = sim.stats();
-        let trace = buf.lock().unwrap().clone();
-        // Five instructions commit; each also fetches and renames, and
-        // all but the halt (which never enters an issue queue) issue.
-        for (key, at_least) in
-            [("trace_fetch", 1), ("trace_rename", 5), ("trace_issue", 4), ("trace_commit", 5)]
-        {
-            let n = stats
-                .engine
-                .extra
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|&(_, v)| v)
-                .unwrap_or_else(|| panic!("missing counter {key}"));
-            assert!(n >= at_least, "{key} = {n}, expected >= {at_least}");
-        }
-        // The JSON-lines buffer carries one object per line matching the
-        // counters' total.
-        let lines: Vec<&str> = trace.lines().collect();
-        let total: u64 = TraceKind::ALL.iter().map(|&k| sim_trace_count(&stats, k)).sum();
-        assert_eq!(lines.len() as u64, total);
-        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
-        assert!(lines.iter().any(|l| l.contains("\"ev\":\"commit\"")));
-    }
-
-    fn sim_trace_count(stats: &SimStats, k: TraceKind) -> u64 {
-        let key = format!("trace_{}", k.name());
-        stats.engine.extra.iter().find(|(n, _)| *n == key).map_or(0, |&(_, v)| v)
-    }
-
-    #[test]
-    fn clean_run_has_no_invariant_violations() {
-        let (sim, _) = run_program(|a| {
-            a.li(S0, 0);
-            a.li(S1, 40);
-            a.label("loop");
-            a.call("f");
-            a.addi(S0, S0, 1);
-            a.blt(S0, S1, "loop");
-            a.st(ZERO, S2, 0xb00);
-            a.halt();
-            a.label("f");
-            a.addi(S2, S2, 3);
-            a.ret();
-        });
-        assert_eq!(sim.read_mem_u64(0xb00), 120);
-        let violations = sim.invariant_violations();
-        assert!(violations.is_empty(), "unexpected violations: {violations:?}");
     }
 }

@@ -8,6 +8,16 @@ use mssr_isa::{ArchReg, NUM_ARCH_REGS};
 use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::types::{PhysReg, Rgid};
 
+/// The watched physical-register index from `MSSR_WATCH_PREG`, parsed
+/// once: the lookup sits on the rename/writeback hot paths, and an
+/// environment probe per register write would both cost time and
+/// allocate (the steady-state loop must not).
+fn watch_preg() -> Option<usize> {
+    use std::sync::OnceLock;
+    static WATCH: OnceLock<Option<usize>> = OnceLock::new();
+    *WATCH.get_or_init(|| std::env::var("MSSR_WATCH_PREG").ok().and_then(|w| w.parse().ok()))
+}
+
 /// The physical register file: values plus ready bits.
 #[derive(Clone, Debug)]
 pub struct Prf {
@@ -30,10 +40,8 @@ impl Prf {
 
     /// Writes a value and marks the register ready.
     pub fn write(&mut self, p: PhysReg, v: u64) {
-        if let Ok(w) = std::env::var("MSSR_WATCH_PREG") {
-            if w.parse::<usize>() == Ok(p.index()) {
-                eprintln!("WATCH write {p} = {v}");
-            }
+        if watch_preg() == Some(p.index()) {
+            eprintln!("WATCH write {p} = {v}");
         }
         self.vals[p.index()] = v;
         self.ready[p.index()] = true;
@@ -129,10 +137,8 @@ impl FreeList {
     }
 
     fn watch(p: PhysReg, what: &str, extra: u32) {
-        if let Ok(w) = std::env::var("MSSR_WATCH_PREG") {
-            if w.parse::<usize>() == Ok(p.index()) {
-                eprintln!("WATCH {what} {p} holds={extra}");
-            }
+        if watch_preg() == Some(p.index()) {
+            eprintln!("WATCH {what} {p} holds={extra}");
         }
     }
 
@@ -202,7 +208,16 @@ impl FreeList {
     /// hold count is zero, with no duplicates
     /// ([`Rule::FreeListIntegrity`](crate::check::Rule)).
     pub fn validate(&self) -> Result<(), String> {
-        let mut queued = vec![false; self.holds.len()];
+        let mut queued = Vec::new();
+        self.validate_with(&mut queued)
+    }
+
+    /// [`FreeList::validate`] over a caller-provided membership bitmap
+    /// (cleared and refilled), so the debug checker's post-squash sweep
+    /// allocates nothing in steady state.
+    pub fn validate_with(&self, queued: &mut Vec<bool>) -> Result<(), String> {
+        queued.clear();
+        queued.resize(self.holds.len(), false);
         for &p in &self.free {
             if self.holds[p.index()] != 0 {
                 return Err(format!("{p} queued with {} hold(s)", self.holds[p.index()]));
@@ -306,11 +321,9 @@ impl Rat {
     /// (recorded in the ROB for rollback).
     pub fn install(&mut self, a: ArchReg, p: PhysReg, g: Rgid) -> (PhysReg, Rgid) {
         let prev = (self.map[a.index()], self.rgid[a.index()]);
-        if let Ok(w) = std::env::var("MSSR_WATCH_PREG") {
-            let w = w.parse::<usize>().ok();
-            if w == Some(p.index()) || w == Some(prev.0.index()) {
-                eprintln!("WATCH install {a}: {p} {g} (prev {} {})", prev.0, prev.1);
-            }
+        let w = watch_preg();
+        if w.is_some() && (w == Some(p.index()) || w == Some(prev.0.index())) {
+            eprintln!("WATCH install {a}: {p} {g} (prev {} {})", prev.0, prev.1);
         }
         self.map[a.index()] = p;
         self.rgid[a.index()] = g;
@@ -319,10 +332,8 @@ impl Rat {
 
     /// Restores a previous mapping during rollback.
     pub fn restore(&mut self, a: ArchReg, p: PhysReg, g: Rgid) {
-        if let Ok(w) = std::env::var("MSSR_WATCH_PREG") {
-            if w.parse::<usize>() == Ok(p.index()) {
-                eprintln!("WATCH restore {a}: {p} {g}");
-            }
+        if watch_preg() == Some(p.index()) {
+            eprintln!("WATCH restore {a}: {p} {g}");
         }
         self.map[a.index()] = p;
         self.rgid[a.index()] = g;

@@ -152,11 +152,13 @@ impl Rob {
         self.entries.get_mut(idx)
     }
 
-    /// Removes and returns all entries with `seq >= first`, youngest
-    /// first (the natural order of a tail walk, which callers use to
-    /// unwind the RAT before reversing for engine consumption).
-    pub fn squash_from(&mut self, first: SeqNum) -> Vec<RobEntry> {
-        let mut out = Vec::new();
+    /// Removes all entries with `seq >= first` into `out` (cleared
+    /// first), youngest first — the natural order of a tail walk, which
+    /// callers use to unwind the RAT before reversing for engine
+    /// consumption. Taking the buffer by reference keeps the squash path
+    /// allocation-free in steady state.
+    pub fn squash_from_into(&mut self, first: SeqNum, out: &mut Vec<RobEntry>) {
+        out.clear();
         while let Some(tail) = self.entries.back() {
             if tail.seq >= first {
                 out.push(self.entries.pop_back().expect("back exists"));
@@ -164,6 +166,14 @@ impl Rob {
                 break;
             }
         }
+    }
+
+    /// Allocating convenience wrapper over [`Rob::squash_from_into`]
+    /// (tests and cold paths only).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn squash_from(&mut self, first: SeqNum) -> Vec<RobEntry> {
+        let mut out = Vec::new();
+        self.squash_from_into(first, &mut out);
         out
     }
 

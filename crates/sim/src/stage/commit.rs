@@ -1,0 +1,94 @@
+//! Commit stage: in-order retirement from the ROB head, CPI-stack blame
+//! attribution for idle slots, and store/load/branch retirement effects.
+
+use crate::account::Category;
+use crate::engine::ReuseEngine;
+use crate::stage::{ectx, MachineState};
+use crate::trace::{TraceEvent, Tracer};
+use crate::types::FlushKind;
+
+/// Commits up to `commit_width` instructions and reports the cycle's
+/// slot attribution: how many slots retired an instruction, and the
+/// [`Category`] the remaining idle slots are blamed on.
+pub(crate) fn run(
+    st: &mut MachineState,
+    engine: &mut dyn ReuseEngine,
+    tracer: &mut Tracer,
+) -> (u64, Category) {
+    let mut committed: u64 = 0;
+    for _ in 0..st.cfg.commit_width {
+        let Some(head) = st.rob.head() else {
+            // The ROB ran dry: a recently squashed pipeline is still
+            // refilling (blame the flush), otherwise the frontend
+            // simply had not delivered.
+            let blame = match st.refill_blame {
+                Some((FlushKind::BranchMispredict, _)) => Category::SquashBranch,
+                Some((FlushKind::MemoryOrder, _)) => Category::MemStall,
+                Some((FlushKind::ReuseVerification, _)) => Category::ReuseVerify,
+                None => Category::FrontendEmpty,
+            };
+            return (committed, blame);
+        };
+        if !head.completed || head.verify_pending {
+            let blame = if head.verify_pending {
+                Category::ReuseVerify
+            } else if head.fwd_stalled {
+                Category::StoreForwardPending
+            } else if head.inst.is_load() || head.inst.is_store() {
+                Category::MemStall
+            } else {
+                Category::BackendPressure
+            };
+            return (committed, blame);
+        }
+        #[cfg(debug_assertions)]
+        if let Some(v) =
+            crate::check::check_commit_entry(head.seq, head.reused, head.verify_pending)
+        {
+            panic!("invariant violation at cycle {}: {v}", st.cycle);
+        }
+        let e = st.rob.pop_head().expect("head exists");
+        // The first commit from the post-squash stream ends the
+        // refill window.
+        if st.refill_blame.is_some_and(|(_, boundary)| e.seq >= boundary) {
+            st.refill_blame = None;
+        }
+        committed += 1;
+        st.stats.committed_instructions += 1;
+        if tracer.on() {
+            tracer.emit(TraceEvent::Commit { cycle: st.cycle, seq: e.seq, pc: e.pc });
+        }
+        if e.inst.is_halt() {
+            st.halted = true;
+            return (committed, Category::Base);
+        }
+        if e.inst.is_store() {
+            let (addr, data) = st.lsq.commit_store(e.seq);
+            st.hier.access(addr);
+            st.memory.write_u64(addr, data);
+            st.stats.committed_stores += 1;
+        }
+        if e.inst.is_load() {
+            st.lsq.commit_load(e.seq);
+            st.stats.committed_loads += 1;
+        }
+        if let Some(b) = e.branch {
+            st.stats.committed_branches += 1;
+            let o = b.resolved.expect("committed branch is resolved");
+            if e.inst.is_cond_branch() {
+                st.stats.committed_cond_branches += 1;
+                st.bpred.train_cond(e.pc, o.taken, b.meta);
+            }
+        }
+        if let Some(d) = e.dst {
+            super::release_preg(st, engine, d.prev_preg);
+        }
+        engine.on_commit(1, &mut ectx!(st));
+        if st.stats.committed_instructions >= st.cfg.max_insts {
+            st.halted = true;
+            return (committed, Category::Base);
+        }
+    }
+    // A full-width commit has no idle slots; the blame is unused.
+    (committed, Category::Base)
+}

@@ -1,0 +1,104 @@
+//! Fetch stage: block-based prediction-directed instruction fetch into
+//! the frontend latency queue, one prediction block per call.
+
+use mssr_isa::Opcode;
+
+use crate::bpred::PredMeta;
+use crate::engine::{BlockRange, PredBlock, ReuseEngine};
+use crate::stage::{ectx, FrontInst, MachineState};
+use crate::trace::{TraceEvent, Tracer};
+
+/// Fetches up to `fetch_blocks_per_cycle` prediction blocks.
+pub(crate) fn run(st: &mut MachineState, engine: &mut dyn ReuseEngine, tracer: &mut Tracer) {
+    // One or more prediction blocks per cycle (§3.9.1's
+    // multiple-block-fetching extension duplicates the reconvergence
+    // detection per block — `on_block` fires once per block).
+    for _ in 0..st.cfg.fetch_blocks_per_cycle {
+        fetch_one_block(st, engine, tracer);
+    }
+}
+
+fn fetch_one_block(st: &mut MachineState, engine: &mut dyn ReuseEngine, tracer: &mut Tracer) {
+    if st.cycle < st.fetch_resume_at {
+        return;
+    }
+    let Some(mut pc) = st.fetch_pc else { return };
+    // Backpressure: bound the in-flight frontend window.
+    if st.frontend_q.len() >= st.cfg.ftq_size * st.cfg.fetch_block_insts {
+        return;
+    }
+    let start = pc;
+    let mut last_pc = pc;
+    let ready_cycle = st.cycle + st.cfg.frontend_stages - 1;
+    let mut count = 0usize;
+    let mut next_fetch_pc;
+    loop {
+        let Some(&inst) = st.program.fetch(pc) else {
+            // Wandered outside the program (wrong path): idle until a
+            // redirect arrives.
+            next_fetch_pc = None;
+            break;
+        };
+        let ghr_before = st.bpred.ghr();
+        let ras_sp_before = st.bpred.ras_sp();
+        let (pred_taken, pred_next, meta) = match inst.op() {
+            op if op.is_cond_branch() => {
+                let (taken, meta) = st.bpred.predict_cond(pc);
+                let next =
+                    if taken { inst.target().expect("branch has target") } else { pc.next() };
+                (taken, next, meta)
+            }
+            Opcode::Jal => (true, inst.target().expect("jal has target"), PredMeta::default()),
+            Opcode::Jalr => {
+                let t = if inst.is_return() {
+                    st.bpred
+                        .ras_pop()
+                        .or_else(|| st.bpred.predict_indirect(pc))
+                        .unwrap_or_else(|| pc.next())
+                } else {
+                    st.bpred.predict_indirect(pc).unwrap_or_else(|| pc.next())
+                };
+                (true, t, PredMeta::default())
+            }
+            _ => (false, pc.next(), PredMeta::default()),
+        };
+        if inst.is_call() {
+            st.bpred.ras_push(pc.next());
+        }
+        st.frontend_q.push_back(FrontInst {
+            ready_cycle,
+            pc,
+            inst,
+            pred_taken,
+            pred_next,
+            meta,
+            ghr_before,
+            ras_sp_before,
+        });
+        count += 1;
+        last_pc = pc;
+        if inst.is_halt() {
+            // Stop predicting past the end of the program.
+            next_fetch_pc = None;
+            break;
+        }
+        pc = pred_next;
+        next_fetch_pc = Some(pc);
+        if pred_taken || count >= st.cfg.fetch_block_insts {
+            break;
+        }
+    }
+    st.fetch_pc = next_fetch_pc;
+    if count > 0 {
+        if tracer.on() {
+            tracer.emit(TraceEvent::Fetch {
+                cycle: st.cycle,
+                start,
+                end: last_pc,
+                insts: count as u32,
+            });
+        }
+        let blk = PredBlock { range: BlockRange { start, end: last_pc }, cycle: st.cycle };
+        engine.on_block(&blk, &mut ectx!(st));
+    }
+}

@@ -1,0 +1,40 @@
+//! Issue stage: per-class selection from the reservation stations into
+//! the functional units, oldest-first up to each class's unit count.
+
+use crate::engine::ReuseEngine;
+use crate::stage::{MachineState, Scratch};
+use crate::trace::{TraceEvent, Tracer};
+use crate::types::FuClass;
+
+/// Selects ready instructions (into the scratch selection lists, cleared
+/// each cycle) and executes them on their functional units.
+pub(crate) fn run(
+    st: &mut MachineState,
+    engine: &mut dyn ReuseEngine,
+    tracer: &mut Tracer,
+    scratch: &mut Scratch,
+) {
+    st.iq_int.select_into(FuClass::Alu, st.cfg.alu_units, &mut scratch.sel_alu);
+    st.iq_int.select_into(FuClass::Bru, st.cfg.bru_units, &mut scratch.sel_bru);
+    st.iq_mem.select_into(FuClass::Lsu, st.cfg.lsu_units, &mut scratch.sel_mem);
+    if tracer.on() {
+        for (list, fu) in [
+            (&scratch.sel_alu, FuClass::Alu),
+            (&scratch.sel_bru, FuClass::Bru),
+            (&scratch.sel_mem, FuClass::Lsu),
+        ] {
+            for &seq in list {
+                tracer.emit(TraceEvent::Issue { cycle: st.cycle, seq, fu });
+            }
+        }
+    }
+    for &seq in &scratch.sel_alu {
+        super::execute::exec_alu(st, seq);
+    }
+    for &seq in &scratch.sel_bru {
+        super::execute::exec_bru(st, seq);
+    }
+    for &seq in &scratch.sel_mem {
+        super::execute::exec_mem(st, engine, seq);
+    }
+}

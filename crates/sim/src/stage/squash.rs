@@ -1,0 +1,224 @@
+//! Squash stage: end-of-cycle flush arbitration (oldest pending flush
+//! wins), ROB/IQ/LSQ unwind with RAT rollback, squashed-stream handoff
+//! to the reuse engine, and the global RGID reset.
+
+use crate::engine::{DstBinding, ReuseEngine, SquashedInst};
+use crate::stage::{ectx, group_blocks_into, MachineState, PendingFlush, Scratch};
+use crate::trace::{TraceEvent, Tracer};
+use crate::types::{FlushKind, Rgid, SeqNum};
+
+/// Applies the oldest live pending flush discovered this cycle.
+pub(crate) fn handle_flushes(
+    st: &mut MachineState,
+    engine: &mut dyn ReuseEngine,
+    tracer: &mut Tracer,
+    scratch: &mut Scratch,
+) {
+    if st.pending_flushes.is_empty() {
+        return;
+    }
+    // A flush can go stale if its anchor instruction left the ROB
+    // before this point — e.g. an externally injected snoop replay
+    // whose load committed in the same window. Stale flushes are
+    // dropped; among the live ones the oldest wins.
+    let f = st
+        .pending_flushes
+        .iter()
+        .filter(|f| match f.kind {
+            // The mispredicted branch itself survives its squash and
+            // is always still in flight within the discovery cycle.
+            FlushKind::BranchMispredict => st.rob.get(f.cause_seq).is_some(),
+            // Replay flushes anchor at the squashed instruction.
+            _ => st.rob.get(f.first_squashed).is_some(),
+        })
+        .min_by_key(|f| f.first_squashed)
+        .copied();
+    // Any younger pending flush lies inside the squashed region of the
+    // oldest one — its cause was wrong-path work.
+    st.pending_flushes.clear();
+    if let Some(f) = f {
+        do_squash(st, engine, tracer, scratch, f);
+    }
+}
+
+fn do_squash(
+    st: &mut MachineState,
+    engine: &mut dyn ReuseEngine,
+    tracer: &mut Tracer,
+    scratch: &mut Scratch,
+    f: PendingFlush,
+) {
+    match f.kind {
+        FlushKind::BranchMispredict => {
+            st.stats.flushes_branch += 1;
+            st.stats.mispredictions += 1;
+        }
+        FlushKind::MemoryOrder => st.stats.flushes_mem_order += 1,
+        FlushKind::ReuseVerification => st.stats.flushes_reuse_verify += 1,
+    }
+
+    // Gather the PC ranges of instructions still in the frontend; they
+    // extend the squashed stream beyond the ROB. Captured into the
+    // reusable scratch event so the hot path allocates nothing.
+    group_blocks_into(
+        st.frontend_q.iter().map(|fi| (fi.pc, fi.pred_taken)),
+        st.cfg.fetch_block_insts,
+        &mut scratch.squash_ev.frontend_blocks,
+    );
+
+    // Restore the speculative global history and return-address stack.
+    match f.kind {
+        FlushKind::BranchMispredict => {
+            let br = st.rob.get(f.cause_seq).expect("mispredicted branch is live");
+            let b = br.branch.expect("branch state");
+            let o = b.resolved.expect("resolved");
+            let (is_cond, meta, ghr_before) = (br.inst.is_cond_branch(), b.meta, br.ghr_before);
+            let (ras_sp, is_call, is_ret, ret_pc) =
+                (br.ras_sp_before, br.inst.is_call(), br.inst.is_return(), br.pc.next());
+            if is_cond {
+                st.bpred.recover_cond(meta, o.taken);
+            } else {
+                st.bpred.restore_ghr(ghr_before);
+            }
+            // The mispredicted instruction itself survives; re-apply
+            // its own RAS effect on top of the restored counter.
+            st.bpred.restore_ras_sp(ras_sp);
+            if is_call {
+                st.bpred.ras_push(ret_pc);
+            } else if is_ret {
+                let _ = st.bpred.ras_pop();
+            }
+        }
+        _ => {
+            let e = st.rob.get(f.first_squashed).expect("flushed instruction is live");
+            st.bpred.restore_ghr(e.ghr_before);
+            st.bpred.restore_ras_sp(e.ras_sp_before);
+        }
+    }
+    st.frontend_q.clear();
+
+    // Unwind the ROB tail (into the scratch buffer, youngest first),
+    // restoring the RAT youngest-first.
+    st.rob.squash_from_into(f.first_squashed, &mut scratch.squashed);
+    if tracer.on() {
+        tracer.emit(TraceEvent::Squash {
+            cycle: st.cycle,
+            kind: f.kind,
+            first: f.first_squashed,
+            count: scratch.squashed.len() as u64,
+            redirect: f.redirect,
+        });
+    }
+    for e in &scratch.squashed {
+        if let Some(d) = e.dst {
+            st.rat.restore(d.arch, d.prev_preg, d.prev_rgid);
+        }
+    }
+    st.iq_int.squash_from(f.first_squashed);
+    st.iq_mem.squash_from(f.first_squashed);
+    st.lsq.squash_from(f.first_squashed);
+    st.stats.squashed_instructions += scratch.squashed.len() as u64;
+
+    // Instructions in flight at the squash (issued, writeback pending)
+    // have already computed their results; in hardware the writeback
+    // drains into the physical register file even though the
+    // instruction is squashed. Let those values land so reuse engines
+    // can recycle them (their completion events are dropped later).
+    //
+    // Exception: a reused load's in-flight *verification* re-execution
+    // must never drain. Its destination register already holds the
+    // reused value under a forwarded RGID generation; overwriting it
+    // with the freshly read value would change a register's contents
+    // without a rename, breaking the generation ⇒ value invariant
+    // that every downstream reuse test depends on.
+    if st.cfg.drain_inflight_on_squash {
+        for e in &scratch.squashed {
+            #[allow(clippy::nonminimal_bool)] // spells out the two exclusions separately
+            if !e.completed && !(e.reused && e.verify_pending) {
+                if let (Some(d), Some(v)) = (e.dst, e.pending_value) {
+                    st.prf.write(d.new_preg, v);
+                }
+            }
+        }
+    }
+
+    // Hand the squashed stream to the engine (oldest first) before
+    // releasing any destination registers, so it can retain them.
+    if f.kind == FlushKind::BranchMispredict {
+        st.squash_ctr += 1;
+        let ev = &mut scratch.squash_ev;
+        ev.insts.clear();
+        ev.insts.extend(scratch.squashed.iter().rev().map(|e| SquashedInst {
+            seq: e.seq,
+            pc: e.pc,
+            op: e.inst.op(),
+            dst: e.dst.map(|d| DstBinding { arch: d.arch, preg: d.new_preg, rgid: d.new_rgid }),
+            src_rgids: e.src_rgids,
+            src_pregs: e.src_pregs,
+            // Completed, or in flight with the result draining into
+            // the PRF — but never an unverified reused load.
+            executed: (e.completed
+                || (st.cfg.drain_inflight_on_squash && e.pending_value.is_some()))
+                && !(e.reused && e.verify_pending),
+            is_load: e.inst.is_load(),
+            is_store: e.inst.is_store(),
+            load_addr: if e.inst.is_load() { e.mem_addr } else { None },
+        }));
+        ev.squash_id = st.squash_ctr;
+        ev.cause_seq = f.cause_seq;
+        ev.cause_pc = f.cause_pc;
+        ev.redirect = f.redirect;
+        engine.on_mispredict_squash(ev, &mut ectx!(st));
+    } else {
+        engine.on_flush(f.kind, &mut ectx!(st));
+    }
+
+    // Release the live holds of squashed destination mappings; the
+    // engine's retains keep reusable values alive.
+    for e in &scratch.squashed {
+        if let Some(d) = e.dst {
+            super::release_preg(st, engine, d.new_preg);
+        }
+    }
+
+    // Redirect the frontend. Until an instruction of the refilled
+    // stream (seq >= the current rename boundary) commits, idle-ROB
+    // cycles are the squash's penalty and are blamed on its kind.
+    st.refill_blame = Some((f.kind, SeqNum::new(st.next_seq)));
+    st.fetch_pc = Some(f.redirect);
+    st.fetch_resume_at = st.cycle + 1;
+    // A squash is the operation that rearranges register ownership;
+    // sweep thoroughly (free-list integrity included) after every
+    // one, independent of the per-cycle stride.
+    #[cfg(debug_assertions)]
+    crate::check::assert_thorough(st, &*engine, scratch);
+}
+
+/// Applies a requested global RGID reset: null every live generation
+/// so pre-reset tags can never alias post-reset ones.
+pub(crate) fn apply_rgid_reset(st: &mut MachineState, engine: &mut dyn ReuseEngine) {
+    if !st.rgid_reset_requested {
+        return;
+    }
+    st.rgid_reset_requested = false;
+    st.rgid_resets_total += 1;
+    st.rgids.reset();
+    // Null every live RGID so pre-reset generations can never alias
+    // post-reset ones (RAT, plus ROB fields used for rollback and
+    // Squash Log population).
+    st.rat.null_all_rgids();
+    for e in st.rob.iter_mut() {
+        for g in e.src_rgids.iter_mut().flatten() {
+            *g = Rgid::NULL;
+        }
+        if let Some(d) = &mut e.dst {
+            d.new_rgid = Rgid::NULL;
+            d.prev_rgid = Rgid::NULL;
+        }
+    }
+    // The engine must drop every captured generation from the old
+    // window — including streams captured *after* it requested the
+    // reset, earlier in this same cycle (e.g. a squash between the
+    // overflow and the end of the cycle).
+    engine.on_rgid_reset(&mut ectx!(st));
+}

@@ -45,8 +45,8 @@ impl ReuseEngine for LeakyEngine {
         if self.leaked {
             return;
         }
-        if let Some((_, preg, _)) = ev.insts.iter().find_map(|i| i.dst) {
-            ctx.free_list.retain(preg);
+        if let Some(d) = ev.insts.iter().find_map(|i| i.dst) {
+            ctx.free_list.retain(d.preg);
             self.leaked = true;
         }
     }
