@@ -1,16 +1,22 @@
 //! `mssr-report` — renders harness JSON-lines trajectories as CPI
-//! stacks, speedup tables and IPC sparklines, and compares against a
-//! baseline trajectory for CI regression gating. All rendering lives in
-//! `mssr_bench::harness::report`; this binary only parses arguments,
-//! reads files, and maps regressions to the exit code.
+//! stacks, speedup tables and IPC sparklines, compares against a
+//! baseline trajectory for CI regression gating, and validates
+//! `--simpoint` reconstructions against a whole-program golden run. All
+//! rendering lives in `mssr_bench::harness::report`; this binary only
+//! parses arguments, reads files, and maps failures to the exit code.
 
-use mssr_bench::harness::report::{regressions, render_report, Trajectory};
+use mssr_bench::harness::report::{regressions, render_report, simpoint_errors, Trajectory};
 
 const USAGE: &str = "usage: mssr-report FILE... [--baseline OLD] [--threshold PCT]
+                   [--golden FULL] [--max-error PCT]
   FILE...          JSON-lines trajectories from a harness --json run
   --baseline OLD   compare the first FILE against trajectory OLD and
                    exit 1 when IPC or reuse-grant rate regresses
-  --threshold PCT  regression threshold in percent (default 5)";
+  --threshold PCT  regression threshold in percent (default 5)
+  --golden FULL    compare the first FILE's --simpoint reconstructions
+                   against the whole-program trajectory FULL and exit 1
+                   when any cell's IPC error exceeds --max-error
+  --max-error PCT  reconstruction error gate in percent (default 3)";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -28,6 +34,8 @@ fn main() {
     let mut files: Vec<String> = Vec::new();
     let mut baseline: Option<String> = None;
     let mut threshold: u64 = 5;
+    let mut golden: Option<String> = None;
+    let mut max_error: u64 = 3;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value =
@@ -38,6 +46,12 @@ fn main() {
                 threshold = value("--threshold")
                     .parse()
                     .unwrap_or_else(|e| fail(&format!("--threshold: {e}")));
+            }
+            "--golden" => golden = Some(value("--golden")),
+            "--max-error" => {
+                max_error = value("--max-error")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--max-error: {e}")));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -51,6 +65,7 @@ fn main() {
         fail("no trajectory files given");
     }
     let trajectories: Vec<Trajectory> = files.iter().map(|f| load(f)).collect();
+    let mut bad = false;
     for (path, t) in files.iter().zip(&trajectories) {
         if trajectories.len() > 1 {
             println!("######## {path} ########\n");
@@ -67,7 +82,47 @@ fn main() {
             for r in &regs {
                 println!("{r}");
             }
-            std::process::exit(1);
+            bad = true;
         }
+    }
+    if let Some(full_path) = golden {
+        let full = load(&full_path);
+        let errs = simpoint_errors(&trajectories[0], &full);
+        println!("\n== SimPoint reconstruction vs {full_path} (max error {max_error}%) ==");
+        if errs.is_empty() {
+            // No sampled cells to validate is a misuse, not a pass: the
+            // gate must never succeed vacuously because --simpoint was
+            // forgotten on the sampled run.
+            println!("no --simpoint cells with a golden counterpart");
+            bad = true;
+        }
+        let max_err_milli = errs.iter().map(|e| e.err_milli).max().unwrap_or(0);
+        let detailed: u64 = trajectories[0]
+            .cells
+            .iter()
+            .filter_map(|c| c.simpoint.as_ref())
+            .map(|sp| sp.detailed_insts())
+            .sum();
+        let total: u64 = trajectories[0]
+            .cells
+            .iter()
+            .filter_map(|c| c.simpoint.as_ref())
+            .map(|sp| sp.total_insts)
+            .sum();
+        for e in &errs {
+            let over = e.err_milli > max_error * 10;
+            println!("{}{e}", if over { "EXCEEDED " } else { "" });
+            if over {
+                bad = true;
+            }
+        }
+        // Machine-greppable summary (consumed by ci/regen-bench-simpoint.sh):
+        // max reconstruction error and detailed-instruction share, both in
+        // thousandths.
+        let detailed_milli = (detailed * 1000).checked_div(total).unwrap_or(0);
+        println!("SIMPOINT max_err_milli={max_err_milli} detailed_milli={detailed_milli}");
+    }
+    if bad {
+        std::process::exit(1);
     }
 }

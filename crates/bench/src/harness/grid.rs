@@ -8,11 +8,29 @@ use std::sync::Mutex;
 use std::path::Path;
 
 use mssr_core::{MemCheckPolicy, MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
-use mssr_sim::{fnv1a64, BufferSink, ReuseEngine, SimConfig, SimStats, Simulator, TraceKind};
+use mssr_sim::{
+    fnv1a64, BbvCollector, BufferSink, CycleAccount, ReuseEngine, SimConfig, SimStats, Simulator,
+    TraceKind,
+};
 use mssr_workloads::{Scale, Workload};
 
-use super::{cell_seed, HarnessOpts};
+use super::simpoint::{self, SimpointPlan};
+use super::{cell_seed, splitmix64, HarnessOpts};
 use crate::EngineSpec;
+
+/// Salt mixed into the root seed for SimPoint clustering, so the
+/// clustering's random choices are independent of the per-cell seed
+/// stream while remaining a pure function of the root seed.
+const SIMPOINT_SEED_SALT: u64 = 0x5350_4f49_4e54; // "SPOINT"
+
+/// Detailed warmup prefix of each representative interval, as a
+/// fraction of the interval length (interval/4). The warmup runs in
+/// detail before the measured region and its counters are subtracted
+/// out, removing the cold-pipeline fill bias a representative would
+/// otherwise pay at its start (a real mid-program interval runs with a
+/// full ROB; a fast-forwarded one starts empty). Warmup instructions
+/// still count against the detailed-simulation budget.
+const SIMPOINT_WARMUP_DIV: u64 = 4;
 
 /// Index of a cell in its [`CellPool`] (and of its result in the vector
 /// returned by [`CellPool::run`]).
@@ -151,6 +169,56 @@ pub struct CellResult {
     /// emitted in cell order, so trace output is byte-identical across
     /// `--jobs` values like every other grid output.
     pub trace: Option<String>,
+    /// The cell's sampling plan and per-representative measurements
+    /// (`--simpoint` runs only). [`CellResult::stats`] then holds the
+    /// field-wise sum over representatives, not a whole-program run;
+    /// `mssr-report` reconstructs whole-program CPI from this record.
+    pub simpoint: Option<SimpointCellResult>,
+}
+
+/// One representative interval's detailed measurement under `--simpoint`.
+#[derive(Clone, Debug)]
+pub struct SimpointRep {
+    /// Interval index in the BBV trace.
+    pub index: u64,
+    /// First instruction of the interval (the measurement start; the
+    /// detailed run begins `warmup_insts` earlier).
+    pub start_inst: u64,
+    /// Instructions the plan assigned to the interval.
+    pub planned_insts: u64,
+    /// Cluster weight: instructions across the cluster's members.
+    pub weight_insts: u64,
+    /// Mean normalized-L1 BBV distance of cluster members to this
+    /// representative, in thousandths (the error-bound input).
+    pub spread_milli: u64,
+    /// Detailed warmup instructions run before the measured region
+    /// (their counters are excluded from `cycles`/`insts`/`account` but
+    /// count against the detailed-simulation budget).
+    pub warmup_insts: u64,
+    /// Detailed cycles simulated in the measured region.
+    pub cycles: u64,
+    /// Detailed instructions committed in the measured region (the
+    /// plan's count, give or take commit-width overshoot on the stop
+    /// boundaries).
+    pub insts: u64,
+    /// The measured region's CPI-stack account.
+    pub account: CycleAccount,
+}
+
+/// A cell's `--simpoint` record: the plan plus per-representative
+/// measurements.
+#[derive(Clone, Debug)]
+pub struct SimpointCellResult {
+    /// Interval length in instructions.
+    pub interval: u64,
+    /// Total instructions of the functional pass.
+    pub total_insts: u64,
+    /// Number of intervals clustered.
+    pub n_intervals: u64,
+    /// Chosen cluster count.
+    pub k: u64,
+    /// Per-representative measurements, in interval order.
+    pub reps: Vec<SimpointRep>,
 }
 
 /// The shared cell pool of one harness invocation.
@@ -245,8 +313,46 @@ impl CellPool {
     /// Runs every cell across `opts.jobs` workers; `results[i]` is cell
     /// `i`'s result regardless of which worker ran it or when.
     pub fn run(&self, opts: &HarnessOpts) -> Vec<CellResult> {
+        if opts.ckpt_dir.is_some() && (opts.trace || opts.sample > 0) {
+            eprintln!(
+                "warning: --ckpt-dir is ignored under --trace/--sample (a restored run would emit only the tail of its event stream)"
+            );
+        }
+        let plans = opts.simpoint.map(|_| self.simpoint_plans(opts));
         run_cells(self.cells.len(), opts.jobs, |i| {
-            self.run_cell(i, cell_seed(opts.root_seed, i as u64), opts)
+            let seed = cell_seed(opts.root_seed, i as u64);
+            match plans.as_ref().and_then(|p| p[self.cells[i].workload].as_ref()) {
+                Some(plan) => self.run_cell_simpoint(i, seed, opts, plan),
+                None => self.run_cell(i, seed, opts),
+            }
+        })
+    }
+
+    /// The SimPoint analysis pass: one functional run per workload
+    /// referenced by at least one cell, collecting basic-block vectors
+    /// and clustering them into a sampling plan. Runs on the same
+    /// work-stealing grid as the cells; plans are a pure function of
+    /// (workload, interval, maxk, root seed), independent of `--jobs`.
+    /// Workloads no cell references get no plan.
+    fn simpoint_plans(&self, opts: &HarnessOpts) -> Vec<Option<SimpointPlan>> {
+        let (interval, max_k) = opts.simpoint.expect("caller checked --simpoint");
+        // The functional pass is engine-independent; only the simulator
+        // config's instruction bound matters, taken from the first cell
+        // that references the workload.
+        let cfg_of: Vec<Option<&SimConfig>> = (0..self.workloads.len())
+            .map(|w| self.cells.iter().find(|c| c.workload == w).map(|c| &c.cfg))
+            .collect();
+        run_cells(self.workloads.len(), opts.jobs, |w| {
+            let cfg = cfg_of[w]?;
+            let mut sim = self.workloads[w].instantiate(cfg.clone());
+            let mut bbv = BbvCollector::new(interval);
+            let executed = sim.fast_forward_collect(cfg.max_insts, &mut bbv);
+            let trace = bbv.finish(executed);
+            Some(simpoint::plan(
+                &trace,
+                max_k,
+                cell_seed(opts.root_seed ^ splitmix64(SIMPOINT_SEED_SALT), w as u64),
+            ))
         })
     }
 
@@ -333,7 +439,217 @@ impl CellPool {
                 (stats.committed_instructions.saturating_mul(1000) / us).max(1);
         }
         let trace = buf.map(|b| std::mem::take(&mut *b.lock().expect("trace buffer poisoned")));
-        CellResult { seed, stats, ri_set_replacements, trace }
+        CellResult { seed, stats, ri_set_replacements, trace, simpoint: None }
+    }
+
+    /// Runs one cell in SimPoint mode: for each representative interval
+    /// of the workload's plan, fast-forward (or restore a checkpoint) to
+    /// the interval start, simulate the interval in detail, and record
+    /// its cycles and CPI account. The cell's `stats` become the
+    /// field-wise sum over representatives; reconstruction to
+    /// whole-program CPI happens in `mssr-report` using the weights.
+    fn run_cell_simpoint(
+        &self,
+        i: CellId,
+        seed: u64,
+        opts: &HarnessOpts,
+        plan: &SimpointPlan,
+    ) -> CellResult {
+        let spec = &self.cells[i];
+        let w = &self.workloads[spec.workload];
+        let trace = opts.trace;
+        let sample = opts.sample;
+        // Same rule as the plain path: checkpoint traffic is disabled
+        // under --trace/--sample (a restored run would emit only the tail
+        // of its event stream).
+        let ckpt_dir = if trace || sample > 0 { None } else { opts.ckpt_dir.as_deref() };
+        let started = opts.timing.then(std::time::Instant::now);
+        let mut stats = SimStats::default();
+        let mut ri_set_replacements: Option<Vec<u64>> = None;
+        let mut trace_out = String::new();
+        let mut reps = Vec::with_capacity(plan.reps.len());
+        for rep in &plan.reps {
+            let (sink, buf) = if trace || sample > 0 {
+                let sink = BufferSink::new();
+                let handle = sink.handle();
+                (Some(sink), Some(handle))
+            } else {
+                (None, None)
+            };
+            let ri = spec.engine.build_ri();
+            let counters = ri.as_ref().map(RegisterIntegration::replacement_counters);
+            let engine = match ri {
+                Some(r) => Some(Box::new(r) as Box<dyn ReuseEngine>),
+                None => spec.engine.build(),
+            };
+            let mut sim = match engine {
+                Some(e) => w.instantiate_with(spec.cfg.clone(), e),
+                None => w.instantiate(spec.cfg.clone()),
+            };
+            if sample > 0 {
+                sim.set_sample_interval(sample);
+            }
+            if let Some(s) = sink {
+                sim.set_trace_sink(Box::new(s));
+                if !trace {
+                    sim.set_trace_mask(TraceKind::Sample.bit());
+                }
+            }
+            // Detailed warmup: back the fast-forward off by a quarter
+            // interval (bounded by the program start) so the measured
+            // region runs on a filled pipeline; its counters are
+            // subtracted out below.
+            let warm = (plan.interval / SIMPOINT_WARMUP_DIV).min(rep.start_inst);
+            let ffwd = rep.start_inst - warm;
+            // One checkpoint per representative: the stem hashes the
+            // detailed-run start as its fast-forward depth, exactly the
+            // stems the PR 4 machinery restores from.
+            let stem = self.ckpt_stem(spec, seed, ffwd);
+            let restored = ckpt_dir.is_some_and(|dir| restore_newest_ckpt(&mut sim, dir, &stem));
+            if !restored {
+                if ffwd > 0 {
+                    sim.fast_forward(ffwd);
+                }
+                if let Some(dir) = ckpt_dir {
+                    save_ckpt_once(&sim, dir, &stem);
+                }
+            }
+            if warm > 0 {
+                sim.run_until_insts(warm);
+            }
+            let warm_stats = sim.stats();
+            sim.run_until_insts(warm_stats.committed_instructions + rep.insts);
+            let mut st = sim.stats();
+            if sim.take_trace_sink().is_some() {
+                st = sim.stats(); // trace_* counters final only after flush
+            }
+            // The measured region is the post-warmup delta; the warmup
+            // and functional fast-forward are reported as skipped work.
+            let mut delta = st.clone();
+            merge_stats(&mut delta, &warm_stats, u64::saturating_sub);
+            delta.ffwd_insts = st.ffwd_insts + warm_stats.committed_instructions;
+            delta.skipped_cycles = st.skipped_cycles + warm_stats.cycles;
+            if let Some(c) = counters {
+                let snap = c.borrow();
+                match &mut ri_set_replacements {
+                    Some(acc) => {
+                        for (a, b) in acc.iter_mut().zip(snap.iter()) {
+                            *a += b;
+                        }
+                    }
+                    None => ri_set_replacements = Some(snap.clone()),
+                }
+            }
+            if let Some(b) = buf {
+                trace_out.push_str(&std::mem::take(&mut *b.lock().expect("trace buffer poisoned")));
+            }
+            reps.push(SimpointRep {
+                index: rep.index,
+                start_inst: rep.start_inst,
+                planned_insts: rep.insts,
+                weight_insts: rep.weight_insts,
+                spread_milli: rep.spread_milli,
+                warmup_insts: warm_stats.committed_instructions,
+                cycles: delta.cycles,
+                insts: delta.committed_instructions,
+                account: delta.account,
+            });
+            merge_stats(&mut stats, &delta, u64::wrapping_add);
+        }
+        if let Some(t0) = started {
+            let us = (t0.elapsed().as_micros().max(1) as u64).max(1);
+            stats.engine.sim_mips_milli =
+                (stats.committed_instructions.saturating_mul(1000) / us).max(1);
+        }
+        let trace = (trace || sample > 0).then_some(trace_out);
+        let simpoint = Some(SimpointCellResult {
+            interval: plan.interval,
+            total_insts: plan.total_insts,
+            n_intervals: plan.n_intervals,
+            k: plan.k,
+            reps,
+        });
+        CellResult { seed, stats, ri_set_replacements, trace, simpoint }
+    }
+}
+
+/// Field-wise merge of two stats records through `f` — `a = f(a, b)`
+/// per counter. With `wrapping_add` it sums representative intervals
+/// into the cell total; with `saturating_sub` it subtracts a warmup
+/// snapshot to isolate the measured region. `sim_mips_milli` is
+/// excluded — wall-clock throughput is recomputed over the whole cell
+/// when `--timing` asks for it.
+fn merge_stats(a: &mut SimStats, b: &SimStats, f: fn(u64, u64) -> u64) {
+    a.cycles = f(a.cycles, b.cycles);
+    a.committed_instructions = f(a.committed_instructions, b.committed_instructions);
+    a.committed_branches = f(a.committed_branches, b.committed_branches);
+    a.committed_cond_branches = f(a.committed_cond_branches, b.committed_cond_branches);
+    a.mispredictions = f(a.mispredictions, b.mispredictions);
+    a.renamed_instructions = f(a.renamed_instructions, b.renamed_instructions);
+    a.squashed_instructions = f(a.squashed_instructions, b.squashed_instructions);
+    a.flushes_branch = f(a.flushes_branch, b.flushes_branch);
+    a.flushes_mem_order = f(a.flushes_mem_order, b.flushes_mem_order);
+    a.flushes_reuse_verify = f(a.flushes_reuse_verify, b.flushes_reuse_verify);
+    a.committed_loads = f(a.committed_loads, b.committed_loads);
+    a.committed_stores = f(a.committed_stores, b.committed_stores);
+    a.store_forwards = f(a.store_forwards, b.store_forwards);
+    a.store_forward_stalls = f(a.store_forward_stalls, b.store_forward_stalls);
+    a.l1_hits = f(a.l1_hits, b.l1_hits);
+    a.l1_misses = f(a.l1_misses, b.l1_misses);
+    a.l2_hits = f(a.l2_hits, b.l2_hits);
+    a.l2_misses = f(a.l2_misses, b.l2_misses);
+    a.snoops = f(a.snoops, b.snoops);
+    a.ffwd_insts = f(a.ffwd_insts, b.ffwd_insts);
+    a.skipped_cycles = f(a.skipped_cycles, b.skipped_cycles);
+    let (e, g) = (&mut a.engine, &b.engine);
+    e.reuse_tests = f(e.reuse_tests, g.reuse_tests);
+    e.reuse_grants = f(e.reuse_grants, g.reuse_grants);
+    e.reused_loads = f(e.reused_loads, g.reused_loads);
+    e.reuse_fail_stale = f(e.reuse_fail_stale, g.reuse_fail_stale);
+    e.reuse_fail_not_executed = f(e.reuse_fail_not_executed, g.reuse_fail_not_executed);
+    e.reuse_fail_mem = f(e.reuse_fail_mem, g.reuse_fail_mem);
+    e.reconvergences = f(e.reconvergences, g.reconvergences);
+    e.recon_simple = f(e.recon_simple, g.recon_simple);
+    e.recon_software = f(e.recon_software, g.recon_software);
+    e.recon_hardware = f(e.recon_hardware, g.recon_hardware);
+    for (d, s) in e.stream_distance.iter_mut().zip(g.stream_distance) {
+        *d = f(*d, s);
+    }
+    e.divergences = f(e.divergences, g.divergences);
+    e.timeouts = f(e.timeouts, g.timeouts);
+    e.rgid_overflows = f(e.rgid_overflows, g.rgid_overflows);
+    e.rgid_resets = f(e.rgid_resets, g.rgid_resets);
+    e.streams_captured = f(e.streams_captured, g.streams_captured);
+    e.entries_logged = f(e.entries_logged, g.entries_logged);
+    e.pressure_reclaims = f(e.pressure_reclaims, g.pressure_reclaims);
+    e.table_replacements = f(e.table_replacements, g.table_replacements);
+    for (k, v) in &g.extra {
+        match e.extra.iter_mut().find(|(key, _)| key == k) {
+            Some((_, slot)) => *slot = f(*slot, *v),
+            None => e.extra.push((k.clone(), f(0, *v))),
+        }
+    }
+    for (d, s) in a.account.slots.iter_mut().zip(b.account.slots) {
+        *d = f(*d, s);
+    }
+    a.account.credit_reuse_cycles = f(a.account.credit_reuse_cycles, b.account.credit_reuse_cycles);
+    a.account.credit_recon_fetches =
+        f(a.account.credit_recon_fetches, b.account.credit_recon_fetches);
+}
+
+/// Saves the simulator's current state as `{stem}.{committed}.ckpt` in
+/// `dir` unless that file already exists (tmp+rename, like the periodic
+/// saver, so concurrent cells never see a torn file).
+fn save_ckpt_once(sim: &Simulator, dir: &Path, stem: &str) {
+    let _ = std::fs::create_dir_all(dir);
+    let committed = sim.stats().committed_instructions;
+    let path = dir.join(format!("{stem}.{committed}.ckpt"));
+    if path.exists() {
+        return;
+    }
+    let tmp = dir.join(format!("{stem}.{committed}.ckpt.tmp"));
+    if std::fs::write(&tmp, sim.snapshot()).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
     }
 }
 

@@ -38,9 +38,12 @@ mod experiments;
 mod grid;
 mod measure;
 pub mod report;
+pub mod simpoint;
 
 pub use experiments::{all_experiments, experiment, Experiment, EXPERIMENT_NAMES};
-pub use grid::{run_cells, CellId, CellPool, CellResult, CellSpec, EngineCfg};
+pub use grid::{
+    run_cells, CellId, CellPool, CellResult, CellSpec, EngineCfg, SimpointCellResult, SimpointRep,
+};
 pub use measure::{measure, MeasureConfig, Measurement};
 
 use mssr_sim::json_escape;
@@ -92,6 +95,12 @@ pub struct HarnessOpts {
     /// Checkpoint period (`--ckpt-every N`): while running a cell, save a
     /// checkpoint into `ckpt_dir` every N committed instructions.
     pub ckpt_every: u64,
+    /// SimPoint sampling (`--simpoint INTERVAL,MAXK`): a functional pass
+    /// collects basic-block vectors per `INTERVAL` instructions, k-means
+    /// (k ≤ `MAXK`) picks representative intervals, and the grid runs
+    /// only the representatives; `mssr-report` reconstructs whole-program
+    /// CPI from the weighted per-representative records.
+    pub simpoint: Option<(u64, usize)>,
     /// Measure host throughput (`--timing`): record each cell's
     /// simulated-MIPS into its stats record. The one opt-in that makes
     /// output machine-dependent — off for every byte-identity comparison.
@@ -112,6 +121,7 @@ impl HarnessOpts {
             ckpt_dir: None,
             ffwd: 0,
             ckpt_every: 0,
+            simpoint: None,
             timing: false,
         }
     }
@@ -189,6 +199,20 @@ impl HarnessOpts {
                         .parse::<u64>()
                         .map_err(|e| format!("--ckpt-every: {e}"))?;
                 }
+                "--simpoint" => {
+                    let v = value("--simpoint")?;
+                    let (a, b) = v.split_once(',').ok_or_else(|| {
+                        format!("--simpoint: expected `INTERVAL,MAXK`, got `{v}`")
+                    })?;
+                    let interval =
+                        a.trim().parse::<u64>().map_err(|e| format!("--simpoint interval: {e}"))?;
+                    let maxk =
+                        b.trim().parse::<usize>().map_err(|e| format!("--simpoint maxk: {e}"))?;
+                    if interval == 0 || maxk == 0 {
+                        return Err("--simpoint: interval and maxk must be positive".into());
+                    }
+                    opts.simpoint = Some((interval, maxk));
+                }
                 "--timing" => opts.timing = true,
                 "--help" | "-h" => return Err("help".to_string()),
                 s => return Err(format!("unknown argument `{s}`")),
@@ -203,13 +227,33 @@ impl HarnessOpts {
         if opts.ckpt_every > 0 && opts.ckpt_dir.is_none() {
             return Err("--ckpt-every requires --ckpt-dir (somewhere to save them)".into());
         }
+        if opts.simpoint.is_some() {
+            if !opts.json {
+                return Err(
+                    "--simpoint requires --json (mssr-report reconstructs from the trajectory)"
+                        .into(),
+                );
+            }
+            if opts.ffwd > 0 {
+                return Err(
+                    "--simpoint places its own fast-forwards per representative; drop --ffwd"
+                        .into(),
+                );
+            }
+            if opts.ckpt_every > 0 {
+                return Err(
+                    "--simpoint saves checkpoints at representative starts; drop --ckpt-every"
+                        .into(),
+                );
+            }
+        }
         Ok(opts)
     }
 }
 
 const USAGE: &str =
     "usage: <experiment> [--jobs N] [--seed S] [--scale test|medium|large] [--json] [--trace] [--sample N]
-                    [--ckpt-dir DIR] [--ffwd N] [--ckpt-every N]
+                    [--ckpt-dir DIR] [--ffwd N] [--ckpt-every N] [--simpoint I,K]
   --jobs N        worker threads for the experiment grid (default: all cores)
   --seed S        root seed for per-cell seeds (decimal or 0x-hex)
   --scale         workload input scale (default: MSSR_SCALE env, then medium)
@@ -219,6 +263,8 @@ const USAGE: &str =
   --ckpt-dir DIR  reuse/save per-cell checkpoints in DIR (off under --trace/--sample)
   --ffwd N        functionally fast-forward the first N instructions of each cell
   --ckpt-every N  with --ckpt-dir: save a checkpoint every N committed instructions
+  --simpoint I,K  with --json: SimPoint sampling — cluster I-instruction BBV intervals (k <= K)
+                  and run only the representative intervals of each workload
   --timing        record per-cell simulated MIPS (wall-clock: output becomes machine-dependent)";
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -275,6 +321,33 @@ pub fn run_experiments(exps: &[Box<dyn Experiment>], opts: &HarnessOpts) -> Stri
                 for line in trace.lines() {
                     out.push_str(&format!("{{\"type\":\"event\",\"cell\":{i},\"ev\":{line}}}\n"));
                 }
+            }
+            // Under --simpoint, each cell's record is followed by its
+            // sampling plan and per-representative measurements (all
+            // unsigned integers, like every other trajectory field).
+            if let Some(sp) = &r.simpoint {
+                out.push_str(&format!(
+                    "{{\"type\":\"simpoint\",\"cell\":{i},\"interval\":{},\"total_insts\":{},\"intervals\":{},\"k\":{},\"reps\":[",
+                    sp.interval, sp.total_insts, sp.n_intervals, sp.k
+                ));
+                for (j, rep) in sp.reps.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"index\":{},\"start_inst\":{},\"planned_insts\":{},\"weight_insts\":{},\"spread_milli\":{},\"warmup_insts\":{},\"cycles\":{},\"insts\":{},\"account\":{}}}",
+                        rep.index,
+                        rep.start_inst,
+                        rep.planned_insts,
+                        rep.weight_insts,
+                        rep.spread_milli,
+                        rep.warmup_insts,
+                        rep.cycles,
+                        rep.insts,
+                        rep.account.to_json()
+                    ));
+                }
+                out.push_str("]}\n");
             }
         }
         for (e, ids) in exps.iter().zip(&ids) {
@@ -353,6 +426,30 @@ mod tests {
     fn timing_flag_parses_and_defaults_off() {
         assert!(HarnessOpts::from_iter(args(&["--timing"]), Scale::Test).unwrap().timing);
         assert!(!HarnessOpts::from_iter(args(&[]), Scale::Test).unwrap().timing);
+    }
+
+    #[test]
+    fn simpoint_flag_parses_and_validates() {
+        let o =
+            HarnessOpts::from_iter(args(&["--json", "--simpoint", "2000,6"]), Scale::Test).unwrap();
+        assert_eq!(o.simpoint, Some((2000, 6)));
+        assert_eq!(HarnessOpts::from_iter(args(&["--json"]), Scale::Test).unwrap().simpoint, None);
+        for bad in [
+            vec!["--simpoint", "2000,6"],                           // needs --json
+            vec!["--json", "--simpoint", "2000"],                   // missing comma
+            vec!["--json", "--simpoint", "0,6"],                    // zero interval
+            vec!["--json", "--simpoint", "2000,0"],                 // zero maxk
+            vec!["--json", "--simpoint", "x,6"],                    // malformed
+            vec!["--json", "--simpoint", "2000,6", "--ffwd", "10"], // conflicting ffwd
+        ] {
+            assert!(HarnessOpts::from_iter(args(&bad), Scale::Test).is_err(), "{bad:?}");
+        }
+        let err = HarnessOpts::from_iter(
+            args(&["--json", "--simpoint", "2000,6", "--ckpt-dir", "d", "--ckpt-every", "5"]),
+            Scale::Test,
+        )
+        .unwrap_err();
+        assert!(err.contains("--ckpt-every"), "{err}");
     }
 
     #[test]

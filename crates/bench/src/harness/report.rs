@@ -327,6 +327,105 @@ pub struct CellRecord {
     pub sim_mips_milli: u64,
     /// `--sample` time series (empty without `--sample`).
     pub samples: Vec<SamplePoint>,
+    /// `--simpoint` sampling record (plan + per-representative
+    /// measurements); `None` for whole-program runs.
+    pub simpoint: Option<SimpointRecord>,
+}
+
+/// One representative interval of a cell's `--simpoint` record.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimpointRepRecord {
+    /// Interval index in the BBV trace.
+    pub index: u64,
+    /// First instruction of the interval.
+    pub start_inst: u64,
+    /// Instructions the plan assigned to the interval.
+    pub planned_insts: u64,
+    /// Cluster weight in instructions.
+    pub weight_insts: u64,
+    /// Mean normalized-L1 BBV distance of cluster members to this
+    /// representative, in thousandths.
+    pub spread_milli: u64,
+    /// Detailed warmup instructions run before the measured region
+    /// (excluded from `cycles`/`insts`, counted in the detailed budget).
+    pub warmup_insts: u64,
+    /// Detailed cycles simulated in the measured region.
+    pub cycles: u64,
+    /// Detailed instructions committed in the measured region.
+    pub insts: u64,
+}
+
+/// A cell's `--simpoint` record: the sampling plan plus each
+/// representative's detailed measurement, from which whole-program CPI
+/// is reconstructed.
+#[derive(Clone, Debug, Default)]
+pub struct SimpointRecord {
+    /// Interval length in instructions.
+    pub interval: u64,
+    /// Total instructions of the functional pass.
+    pub total_insts: u64,
+    /// Number of intervals clustered.
+    pub n_intervals: u64,
+    /// Chosen cluster count.
+    pub k: u64,
+    /// Per-representative records, in interval order.
+    pub reps: Vec<SimpointRepRecord>,
+}
+
+impl SimpointRecord {
+    /// Detailed instructions actually simulated across representatives,
+    /// warmup included (the ≤20% budget the acceptance gate tracks).
+    pub fn detailed_insts(&self) -> u64 {
+        self.reps.iter().map(|r| r.insts + r.warmup_insts).sum()
+    }
+
+    /// Reconstructed whole-program cycles, in thousandths: each
+    /// representative's CPI extrapolated over its cluster's instruction
+    /// weight, `Σᵢ weightᵢ · cyclesᵢ · 1000 / instsᵢ` (u128 internally,
+    /// so the fixed-point product never overflows).
+    pub fn recon_cycles_milli(&self) -> u64 {
+        let mut total: u128 = 0;
+        for r in &self.reps {
+            if r.insts > 0 {
+                total += r.weight_insts as u128 * r.cycles as u128 * 1000 / r.insts as u128;
+            }
+        }
+        u64::try_from(total).unwrap_or(u64::MAX)
+    }
+
+    /// Reconstructed whole-program IPC in thousandths.
+    pub fn recon_ipc_milli(&self) -> u64 {
+        let cycles_milli = self.recon_cycles_milli();
+        if cycles_milli == 0 {
+            return 0;
+        }
+        u64::try_from(self.total_insts as u128 * 1_000_000 / cycles_milli as u128)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Reconstructed whole-program CPI in thousandths.
+    pub fn recon_cpi_milli(&self) -> u64 {
+        if self.total_insts == 0 {
+            return 0;
+        }
+        self.recon_cycles_milli() / self.total_insts
+    }
+
+    /// The sampling-error bound in thousandths (relative): the
+    /// instruction-weighted mean of each cluster's BBV spread around its
+    /// representative, halved — total-variation distance between the
+    /// cluster's true block mix and the representative's. Zero spread
+    /// (perfectly homogeneous phases) bounds the phase-mix error at
+    /// zero; residual error then comes only from boundary effects and
+    /// warmup, which the e2e gate measures directly.
+    pub fn bound_milli(&self) -> u64 {
+        if self.total_insts == 0 {
+            return 0;
+        }
+        let s: u128 =
+            self.reps.iter().map(|r| r.weight_insts as u128 * r.spread_milli as u128).sum();
+        u64::try_from(s / (2 * self.total_insts as u128)).unwrap_or(u64::MAX)
+    }
 }
 
 impl CellRecord {
@@ -382,6 +481,7 @@ impl Trajectory {
                 }
                 Some("cell") => t.cells.push(Self::cell(&v, n + 1)?),
                 Some("event") => Self::event(&mut t, &v),
+                Some("simpoint") => Self::simpoint(&mut t, &v),
                 Some("experiment") => {}
                 other => {
                     return Err(format!("line {}: unknown record type {other:?}", n + 1));
@@ -421,6 +521,34 @@ impl Trajectory {
             }
         }
         Ok(c)
+    }
+
+    fn simpoint(t: &mut Trajectory, v: &Json) {
+        let cell = v.field_u64("cell");
+        let mut rec = SimpointRecord {
+            interval: v.field_u64("interval"),
+            total_insts: v.field_u64("total_insts"),
+            n_intervals: v.field_u64("intervals"),
+            k: v.field_u64("k"),
+            reps: Vec::new(),
+        };
+        if let Some(Json::Arr(reps)) = v.get("reps") {
+            for r in reps {
+                rec.reps.push(SimpointRepRecord {
+                    index: r.field_u64("index"),
+                    start_inst: r.field_u64("start_inst"),
+                    planned_insts: r.field_u64("planned_insts"),
+                    weight_insts: r.field_u64("weight_insts"),
+                    spread_milli: r.field_u64("spread_milli"),
+                    warmup_insts: r.field_u64("warmup_insts"),
+                    cycles: r.field_u64("cycles"),
+                    insts: r.field_u64("insts"),
+                });
+            }
+        }
+        if let Some(c) = t.cells.iter_mut().rev().find(|c| c.id == cell) {
+            c.simpoint = Some(rec);
+        }
     }
 
     fn event(t: &mut Trajectory, v: &Json) {
@@ -610,6 +738,109 @@ pub fn sparklines(t: &Trajectory) -> String {
     out
 }
 
+/// Renders the SimPoint reconstruction table: one row per sampled cell
+/// with the plan shape (intervals, k), the detailed-instruction budget
+/// actually spent, the reconstructed whole-program IPC/CPI, and the
+/// clustering-derived sampling-error bound.
+pub fn simpoint_table(t: &Trajectory) -> String {
+    let rows: Vec<Vec<String>> = t
+        .cells
+        .iter()
+        .filter_map(|c| {
+            let sp = c.simpoint.as_ref()?;
+            Some(vec![
+                c.workload.clone(),
+                c.engine.clone(),
+                sp.n_intervals.to_string(),
+                sp.k.to_string(),
+                sp.detailed_insts().to_string(),
+                pct10(sp.detailed_insts(), sp.total_insts),
+                milli(sp.recon_ipc_milli()),
+                milli(sp.recon_cpi_milli()),
+                format!("±{}", pct10(sp.bound_milli(), 1000)),
+            ])
+        })
+        .collect();
+    if rows.is_empty() {
+        return "(no simpoint records in trajectory — rerun with --simpoint I,K)\n".to_string();
+    }
+    let header: Vec<String> = [
+        "workload",
+        "engine",
+        "intervals",
+        "k",
+        "detailed",
+        "det_share",
+        "recon_IPC",
+        "recon_CPI",
+        "bound",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    table(&header, &rows)
+}
+
+/// One sampled cell's reconstruction accuracy vs its whole-program
+/// golden run.
+#[derive(Clone, Debug)]
+pub struct SimpointError {
+    /// Workload of the sampled cell.
+    pub workload: String,
+    /// Engine label of the sampled cell.
+    pub engine: String,
+    /// Reconstructed IPC, in thousandths.
+    pub recon_ipc_milli: u64,
+    /// The golden run's IPC, in thousandths.
+    pub full_ipc_milli: u64,
+    /// Relative reconstruction error `|recon − full| / full`, in
+    /// thousandths (30 = 3%).
+    pub err_milli: u64,
+}
+
+impl fmt::Display for SimpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: recon IPC {} vs full {} (err {})",
+            self.workload,
+            self.engine,
+            milli(self.recon_ipc_milli),
+            milli(self.full_ipc_milli),
+            pct10(self.err_milli, 1000)
+        )
+    }
+}
+
+/// Compares every sampled cell of `new` against the whole-program cell
+/// with the same (workload, engine) in `golden`, pairing duplicates by
+/// ordinal like [`regressions`]. Cells without a counterpart (or whose
+/// golden run has zero IPC) are skipped — a missing golden cell is a
+/// harness mismatch the caller surfaces by count, not a panic.
+pub fn simpoint_errors(new: &Trajectory, golden: &Trajectory) -> Vec<SimpointError> {
+    let mut out = Vec::new();
+    for (i, c) in new.cells.iter().enumerate() {
+        let Some(sp) = c.simpoint.as_ref() else { continue };
+        let same = |d: &&CellRecord| d.workload == c.workload && d.engine == c.engine;
+        let ord = new.cells[..i].iter().filter(|d| same(d)).count();
+        let Some(g) = golden.cells.iter().filter(same).nth(ord) else { continue };
+        let full = g.ipc_milli();
+        if full == 0 {
+            continue;
+        }
+        let recon = sp.recon_ipc_milli();
+        let err_milli = (recon.abs_diff(full) as u128 * 1000 / full as u128) as u64;
+        out.push(SimpointError {
+            workload: c.workload.clone(),
+            engine: c.engine.clone(),
+            recon_ipc_milli: recon,
+            full_ipc_milli: full,
+            err_milli,
+        });
+    }
+    out
+}
+
 /// One detected regression vs the baseline trajectory.
 #[derive(Clone, Debug)]
 pub struct Regression {
@@ -694,6 +925,10 @@ pub fn render_report(t: &Trajectory) -> String {
     out.push_str(&speedup_table(t));
     out.push_str("\n== IPC per sample interval ==\n");
     out.push_str(&sparklines(t));
+    if t.cells.iter().any(|c| c.simpoint.is_some()) {
+        out.push_str("\n== SimPoint reconstruction ==\n");
+        out.push_str(&simpoint_table(t));
+    }
     out
 }
 
@@ -824,6 +1059,75 @@ mod tests {
         let mut old = plain.clone();
         old.cells[1].sim_mips_milli = 9_000_000;
         assert!(regressions(&timed, &old, 5).is_empty());
+    }
+
+    fn fixture_simpoint() -> String {
+        // The RCVG cell sampled with two representatives:
+        //   rep 0: weight 600, 300 cycles / 200 insts  -> 900000 milli-cycles
+        //   rep 2: weight 400, 100 cycles / 100 insts  -> 400000 milli-cycles
+        // Reconstruction: 1300000 milli-cycles over 1000 insts
+        //   -> CPI 1.300, IPC 0.769.
+        let mut s = fixture();
+        s.push_str(concat!(
+            "{\"type\":\"simpoint\",\"cell\":1,\"interval\":100,\"total_insts\":1000,",
+            "\"intervals\":10,\"k\":2,\"reps\":[",
+            "{\"index\":0,\"start_inst\":0,\"planned_insts\":100,\"weight_insts\":600,",
+            "\"spread_milli\":100,\"warmup_insts\":50,\"cycles\":300,\"insts\":200,",
+            "\"account\":{\"base\":1}},",
+            "{\"index\":2,\"start_inst\":200,\"planned_insts\":100,\"weight_insts\":400,",
+            "\"spread_milli\":0,\"cycles\":100,\"insts\":100,\"account\":{\"base\":1}}",
+            "]}\n",
+        ));
+        s
+    }
+
+    #[test]
+    fn simpoint_records_parse_and_reconstruct() {
+        let t = Trajectory::parse(&fixture_simpoint()).unwrap();
+        assert!(t.cells[0].simpoint.is_none(), "only the sampled cell gets a record");
+        let sp = t.cells[1].simpoint.as_ref().expect("simpoint record attached");
+        assert_eq!((sp.interval, sp.total_insts, sp.n_intervals, sp.k), (100, 1000, 10, 2));
+        assert_eq!(sp.reps.len(), 2);
+        assert_eq!(sp.reps[1].start_inst, 200);
+        assert_eq!(sp.reps[0].warmup_insts, 50);
+        assert_eq!(sp.detailed_insts(), 350, "warmup counts against the budget");
+        assert_eq!(sp.recon_cycles_milli(), 1_300_000);
+        assert_eq!(sp.recon_cpi_milli(), 1300);
+        assert_eq!(sp.recon_ipc_milli(), 769);
+        // Weighted spread: (600·100 + 400·0) / (2·1000) = 30 (±3.0%).
+        assert_eq!(sp.bound_milli(), 30);
+    }
+
+    #[test]
+    fn simpoint_table_renders_sampled_cells_only() {
+        let plain = Trajectory::parse(&fixture()).unwrap();
+        assert!(simpoint_table(&plain).contains("no simpoint records"));
+        assert!(!render_report(&plain).contains("SimPoint reconstruction"));
+        let t = Trajectory::parse(&fixture_simpoint()).unwrap();
+        let r = render_report(&t);
+        assert!(r.contains("SimPoint reconstruction"), "{r}");
+        assert!(r.contains("0.769"), "reconstructed IPC:\n{r}");
+        assert!(r.contains("1.300"), "reconstructed CPI:\n{r}");
+        assert!(r.contains("35.0%"), "detailed share 350/1000:\n{r}");
+        assert!(r.contains("±3.0%"), "error bound:\n{r}");
+    }
+
+    #[test]
+    fn simpoint_errors_pair_against_the_golden_run() {
+        let sampled = Trajectory::parse(&fixture_simpoint()).unwrap();
+        let golden = Trajectory::parse(&fixture()).unwrap();
+        let errs = simpoint_errors(&sampled, &golden);
+        assert_eq!(errs.len(), 1, "one sampled cell");
+        let e = &errs[0];
+        assert_eq!((e.workload.as_str(), e.engine.as_str()), ("w", "RCVG_2_64"));
+        // Golden IPC 1.000 vs reconstructed 0.769: 23.1% error.
+        assert_eq!((e.recon_ipc_milli, e.full_ipc_milli, e.err_milli), (769, 1000, 231));
+        assert!(e.to_string().contains("23.1%"), "{e}");
+        // No counterpart in the golden trajectory: skipped, not a panic.
+        let empty = Trajectory::default();
+        assert!(simpoint_errors(&sampled, &empty).is_empty());
+        // A trajectory with no sampled cells yields no comparisons.
+        assert!(simpoint_errors(&golden, &golden).is_empty());
     }
 
     #[test]

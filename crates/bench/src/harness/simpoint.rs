@@ -1,0 +1,559 @@
+//! SimPoint-style phase analysis: deterministic k-means over
+//! basic-block vectors, BIC model selection, and representative-interval
+//! picking.
+//!
+//! The pipeline is the classic SimPoint recipe (Sherwood et al.) built
+//! std-only on the simulator's exact BBV traces
+//! ([`mssr_sim::BbvTrace`]): normalize each interval's sparse block
+//! counts to frequencies, random-project to [`PROJECT_DIMS`] dimensions,
+//! cluster with k-means for k = 1..=maxk, score each k with the
+//! Bayesian information criterion, and keep the smallest k whose score
+//! reaches 90% of the observed range. Each cluster contributes one
+//! representative interval (the member closest to the centroid) whose
+//! weight is the cluster's share of total instructions.
+//!
+//! # Determinism rules
+//!
+//! Every step is bit-deterministic and invariant under permutation of
+//! the input vectors:
+//!
+//! * the projection hashes block *addresses* (not indices) into fixed
+//!   ±1 signs, and accumulates in sorted-address order;
+//! * k-means++ seeding and Lloyd iterations walk vectors in a
+//!   *canonical order* (sorted lexicographically by coordinates), so
+//!   seeded choices, centroid summation order, and empty-cluster repair
+//!   do not depend on input order or thread count;
+//! * all tie-breaks are explicit (lowest centroid index, smallest
+//!   interval index, first in canonical order);
+//! * the only randomness is a splitmix64 stream from the caller's seed.
+//!
+//! Floating point stays IEEE-deterministic because summation order is
+//! fixed; results are quantized to integer thousandths before they
+//! reach any trajectory output.
+
+use mssr_sim::BbvTrace;
+
+use super::splitmix64;
+
+/// Random-projection target dimensionality (SimPoint uses 15; a power
+/// of two keeps the sign-hash trivial).
+pub const PROJECT_DIMS: usize = 16;
+
+/// Lloyd-iteration cap (clustering converges in far fewer on BBV data).
+const MAX_ITERS: usize = 64;
+
+/// A deterministic splitmix64 stream.
+struct Rng {
+    seed: u64,
+    ctr: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng { seed, ctr: 0 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.ctr += 1;
+        splitmix64(self.seed ^ splitmix64(self.ctr))
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Projects one sparse BBV (sorted `(block address, count)` pairs over
+/// `insts` instructions) into `dims` dimensions with a ±1 sign hash per
+/// (address, dimension). Counts are normalized to frequencies first, so
+/// intervals of different length (the partial tail) are comparable.
+pub fn project(blocks: &[(u64, u64)], insts: u64, dims: usize, seed: u64) -> Vec<f64> {
+    assert!(dims <= 64, "sign projection draws one bit per dimension from a 64-bit hash");
+    let mut out = vec![0.0; dims];
+    if insts == 0 {
+        return out;
+    }
+    let inv = 1.0 / insts as f64;
+    for &(addr, count) in blocks {
+        let signs = splitmix64(seed ^ splitmix64(addr));
+        let freq = count as f64 * inv;
+        for (d, slot) in out.iter_mut().enumerate() {
+            if signs >> d & 1 == 1 {
+                *slot += freq;
+            } else {
+                *slot -= freq;
+            }
+        }
+    }
+    out
+}
+
+fn sqdist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Compares two vectors lexicographically by `total_cmp` (the canonical
+/// order every deterministic walk uses).
+fn lex_cmp(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let c = x.total_cmp(y);
+        if c != std::cmp::Ordering::Equal {
+            return c;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// A k-means clustering result.
+#[derive(Clone, Debug)]
+pub struct Kmeans {
+    /// Final centroids (at most the requested k; fewer when the data has
+    /// fewer distinct points).
+    pub centroids: Vec<Vec<f64>>,
+    /// `assign[i]` is the centroid index of input vector `i`.
+    pub assign: Vec<usize>,
+    /// Sum of squared distances of every vector to its centroid.
+    pub inertia: f64,
+}
+
+/// Deterministic k-means: seeded k-means++ initialization, Lloyd
+/// iterations in canonical order, explicit tie-breaks (see the module
+/// docs for the determinism rules). Same seed ⇒ identical centroids and
+/// assignments, regardless of input permutation or caller threading.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or `k` is zero.
+pub fn kmeans(vectors: &[Vec<f64>], k: usize, seed: u64) -> Kmeans {
+    assert!(!vectors.is_empty(), "k-means needs at least one vector");
+    assert!(k > 0, "k-means needs k >= 1");
+    let n = vectors.len();
+    let k = k.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| lex_cmp(&vectors[a], &vectors[b]));
+
+    // k-means++ over the canonical order: the first centroid is a seeded
+    // pick; each next is drawn proportionally to squared distance from
+    // the chosen set, via a prefix walk (deterministic for a given seed,
+    // permutation-invariant because the walk order is canonical).
+    let mut rng = Rng::new(seed);
+    let mut centroids: Vec<Vec<f64>> =
+        vec![vectors[order[(rng.next_u64() % n as u64) as usize]].clone()];
+    while centroids.len() < k {
+        let d2: Vec<f64> = order
+            .iter()
+            .map(|&i| {
+                centroids.iter().map(|c| sqdist(&vectors[i], c)).fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            break; // every remaining point coincides with a centroid
+        }
+        let target = rng.next_f64() * total;
+        let mut cum = 0.0;
+        let mut pick = *order.last().expect("non-empty");
+        for (pos, &i) in order.iter().enumerate() {
+            cum += d2[pos];
+            if cum > target {
+                pick = i;
+                break;
+            }
+        }
+        centroids.push(vectors[pick].clone());
+    }
+
+    let dims = vectors[0].len();
+    let nearest = |v: &[f64], cs: &[Vec<f64>]| -> usize {
+        let mut best = 0;
+        let mut best_d = sqdist(v, &cs[0]);
+        for (j, c) in cs.iter().enumerate().skip(1) {
+            let d = sqdist(v, c);
+            if d < best_d {
+                best = j;
+                best_d = d;
+            }
+        }
+        best
+    };
+    let mut assign: Vec<usize> = vectors.iter().map(|v| nearest(v, &centroids)).collect();
+    for _ in 0..MAX_ITERS {
+        // Means accumulate in canonical order so float summation is
+        // permutation-invariant.
+        let mut sums = vec![vec![0.0; dims]; centroids.len()];
+        let mut counts = vec![0u64; centroids.len()];
+        for &i in &order {
+            let j = assign[i];
+            counts[j] += 1;
+            for (s, x) in sums[j].iter_mut().zip(&vectors[i]) {
+                *s += x;
+            }
+        }
+        // Empty-cluster repair candidate: the point farthest from its
+        // current centroid (first such point in canonical order),
+        // computed before centroids move.
+        let mut far = order[0];
+        let mut far_d = -1.0;
+        for &i in &order {
+            let d = sqdist(&vectors[i], &centroids[assign[i]]);
+            if d > far_d {
+                far = i;
+                far_d = d;
+            }
+        }
+        for (j, c) in centroids.iter_mut().enumerate() {
+            if counts[j] > 0 {
+                let inv = 1.0 / counts[j] as f64;
+                for (slot, s) in c.iter_mut().zip(&sums[j]) {
+                    *slot = s * inv;
+                }
+            } else {
+                *c = vectors[far].clone();
+            }
+        }
+        let next: Vec<usize> = vectors.iter().map(|v| nearest(v, &centroids)).collect();
+        let stable = next == assign;
+        assign = next;
+        if stable {
+            break;
+        }
+    }
+    let inertia: f64 = order.iter().map(|&i| sqdist(&vectors[i], &centroids[assign[i]])).sum();
+    Kmeans { centroids, assign, inertia }
+}
+
+/// The Bayesian information criterion of a clustering under a spherical
+/// Gaussian model (the X-means formulation). Larger is better;
+/// `f64::INFINITY` marks a perfect (zero-variance) fit.
+fn bic(n: usize, dims: usize, km: &Kmeans) -> f64 {
+    let k = km.centroids.len();
+    if n <= k {
+        return f64::INFINITY;
+    }
+    let variance = km.inertia / (dims * (n - k)) as f64;
+    if variance <= f64::EPSILON {
+        return f64::INFINITY;
+    }
+    let nf = n as f64;
+    let df = dims as f64;
+    let mut counts = vec![0u64; k];
+    for &a in &km.assign {
+        counts[a] += 1;
+    }
+    let mut loglik = -nf * df / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+        - (n - k) as f64 * df / 2.0
+        - nf * nf.ln();
+    for &c in &counts {
+        if c > 0 {
+            loglik += c as f64 * (c as f64).ln();
+        }
+    }
+    let params = (k * (dims + 1)) as f64;
+    loglik - params / 2.0 * nf.ln()
+}
+
+/// Clusters for every k in `1..=max_k` and picks the smallest k whose
+/// BIC score reaches 90% of the observed score range (the SimPoint
+/// elbow policy), returning that clustering.
+pub fn choose_k(vectors: &[Vec<f64>], max_k: usize, seed: u64) -> Kmeans {
+    assert!(max_k > 0, "need max_k >= 1");
+    let max_k = max_k.min(vectors.len());
+    let runs: Vec<Kmeans> = (1..=max_k).map(|k| kmeans(vectors, k, seed)).collect();
+    let scores: Vec<f64> = runs.iter().map(|km| bic(vectors.len(), vectors[0].len(), km)).collect();
+    // A perfect fit (infinite score) at the smallest k wins outright.
+    if let Some(pos) = scores.iter().position(|s| s.is_infinite()) {
+        return runs.into_iter().nth(pos).expect("position in range");
+    }
+    let lo = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let pos = if hi - lo <= f64::EPSILON {
+        0
+    } else {
+        scores
+            .iter()
+            .position(|s| (s - lo) / (hi - lo) >= 0.9)
+            .expect("the maximum reaches the threshold")
+    };
+    runs.into_iter().nth(pos).expect("position in range")
+}
+
+/// One representative interval of a [`SimpointPlan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepInterval {
+    /// Index of the representative interval in the BBV trace.
+    pub index: u64,
+    /// First instruction of the interval in the functional pass (the
+    /// fast-forward depth of its detailed run and checkpoint).
+    pub start_inst: u64,
+    /// Instructions in the interval (the detailed-run length).
+    pub insts: u64,
+    /// Weight: total instructions across the cluster's member intervals.
+    pub weight_insts: u64,
+    /// Mean normalized-L1 BBV distance of the cluster's members to this
+    /// representative, in thousandths (0 = phase-homogeneous cluster;
+    /// the reconstruction error bound derives from it).
+    pub spread_milli: u64,
+}
+
+/// A workload's SimPoint plan: which intervals to simulate in detail,
+/// and with what weights.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimpointPlan {
+    /// Interval length in instructions.
+    pub interval: u64,
+    /// Total instructions of the functional pass.
+    pub total_insts: u64,
+    /// Number of intervals clustered.
+    pub n_intervals: u64,
+    /// The chosen cluster count.
+    pub k: u64,
+    /// Representatives, sorted by interval index.
+    pub reps: Vec<RepInterval>,
+}
+
+impl SimpointPlan {
+    /// Instructions the plan simulates in detail (the ≤20% budget the
+    /// acceptance gate tracks).
+    pub fn detailed_insts(&self) -> u64 {
+        self.reps.iter().map(|r| r.insts).sum()
+    }
+}
+
+/// Normalized L1 distance between two sparse BBVs (merge walk in sorted
+/// address order; each vector normalized by its own instruction count).
+fn bbv_l1(a: &[(u64, u64)], na: u64, b: &[(u64, u64)], nb: u64) -> f64 {
+    let (inv_a, inv_b) = (1.0 / na.max(1) as f64, 1.0 / nb.max(1) as f64);
+    let (mut i, mut j) = (0, 0);
+    let mut d = 0.0;
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&(ka, va)), Some(&(kb, vb))) if ka == kb => {
+                d += (va as f64 * inv_a - vb as f64 * inv_b).abs();
+                i += 1;
+                j += 1;
+            }
+            (Some(&(ka, va)), Some(&(kb, _))) if ka < kb => {
+                d += va as f64 * inv_a;
+                i += 1;
+            }
+            (Some(_), Some(&(_, vb))) => {
+                d += vb as f64 * inv_b;
+                j += 1;
+            }
+            (Some(&(_, va)), None) => {
+                d += va as f64 * inv_a;
+                i += 1;
+            }
+            (None, Some(&(_, vb))) => {
+                d += vb as f64 * inv_b;
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    d
+}
+
+/// Builds the SimPoint plan for one BBV trace: project, cluster with
+/// [`choose_k`], pick per-cluster representatives, and weight them by
+/// cluster instruction counts.
+///
+/// # Panics
+///
+/// Panics on an empty trace (a workload that executed no instructions
+/// has nothing to sample).
+pub fn plan(trace: &BbvTrace, max_k: usize, seed: u64) -> SimpointPlan {
+    assert!(!trace.intervals.is_empty(), "cannot plan over an empty BBV trace");
+    let vectors: Vec<Vec<f64>> = trace
+        .intervals
+        .iter()
+        .map(|iv| project(&iv.blocks, iv.insts, PROJECT_DIMS, seed))
+        .collect();
+    let km = choose_k(&vectors, max_k, seed);
+    let k = km.centroids.len();
+    let mut reps = Vec::with_capacity(k);
+    for (j, centroid) in km.centroids.iter().enumerate() {
+        let members: Vec<usize> = (0..vectors.len()).filter(|&i| km.assign[i] == j).collect();
+        if members.is_empty() {
+            continue; // k-means++ stopped early on duplicate-heavy data
+        }
+        // Representative: the member nearest the centroid, smallest
+        // interval index on ties (members iterate in index order).
+        let mut rep = members[0];
+        let mut rep_d = sqdist(&vectors[rep], centroid);
+        for &m in &members[1..] {
+            let d = sqdist(&vectors[m], centroid);
+            if d < rep_d {
+                rep = m;
+                rep_d = d;
+            }
+        }
+        let weight_insts: u64 = members.iter().map(|&m| trace.intervals[m].insts).sum();
+        let rep_iv = &trace.intervals[rep];
+        let spread: f64 = members
+            .iter()
+            .map(|&m| {
+                let iv = &trace.intervals[m];
+                bbv_l1(&iv.blocks, iv.insts, &rep_iv.blocks, rep_iv.insts)
+            })
+            .sum::<f64>()
+            / members.len() as f64;
+        reps.push(RepInterval {
+            index: rep as u64,
+            start_inst: rep_iv.start_inst,
+            insts: rep_iv.insts,
+            weight_insts,
+            spread_milli: (spread * 1000.0 + 0.5) as u64,
+        });
+    }
+    reps.sort_by_key(|r| r.index);
+    SimpointPlan {
+        interval: trace.interval,
+        total_insts: trace.total_insts,
+        n_intervals: trace.intervals.len() as u64,
+        k: reps.len() as u64,
+        reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mssr_sim::BbvInterval;
+
+    /// Synthetic sparse BBVs around `centers` distinct phases.
+    fn synthetic_vectors(n: usize, centers: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|i| {
+                let phase = i % centers;
+                let blocks: Vec<(u64, u64)> = (0..8)
+                    .map(|b| {
+                        let addr = 0x1000 * (phase as u64 + 1) + 8 * b;
+                        (addr, 50 + rng.next_u64() % 10)
+                    })
+                    .collect();
+                let insts = blocks.iter().map(|&(_, c)| c).sum();
+                project(&blocks, insts, PROJECT_DIMS, 7)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn projection_is_deterministic_and_length_invariant() {
+        let blocks = vec![(0x100, 30), (0x200, 70)];
+        let a = project(&blocks, 100, PROJECT_DIMS, 42);
+        let b = project(&blocks, 100, PROJECT_DIMS, 42);
+        assert_eq!(a, b);
+        // Doubling every count (same frequencies) projects identically.
+        let doubled: Vec<(u64, u64)> = blocks.iter().map(|&(a, c)| (a, c * 2)).collect();
+        let c = project(&doubled, 200, PROJECT_DIMS, 42);
+        assert_eq!(a, c);
+        // A different seed flips signs.
+        assert_ne!(a, project(&blocks, 100, PROJECT_DIMS, 43));
+    }
+
+    #[test]
+    fn kmeans_recovers_well_separated_phases() {
+        let vs = synthetic_vectors(30, 3, 1);
+        let km = kmeans(&vs, 3, 99);
+        assert_eq!(km.centroids.len(), 3);
+        // Same phase ⇒ same cluster; different phase ⇒ different cluster.
+        for i in 0..vs.len() {
+            assert_eq!(km.assign[i], km.assign[i % 3], "phase consistency");
+        }
+        assert_ne!(km.assign[0], km.assign[1]);
+        assert_ne!(km.assign[1], km.assign[2]);
+    }
+
+    #[test]
+    fn kmeans_is_permutation_invariant() {
+        let vs = synthetic_vectors(24, 4, 2);
+        let km = kmeans(&vs, 4, 7);
+        // Reverse the input; assignments must map back exactly and the
+        // centroid list must be bit-identical.
+        let rev: Vec<Vec<f64>> = vs.iter().rev().cloned().collect();
+        let km_rev = kmeans(&rev, 4, 7);
+        assert_eq!(km.centroids, km_rev.centroids, "centroids depend on input order");
+        let n = vs.len();
+        for i in 0..n {
+            assert_eq!(km.assign[i], km_rev.assign[n - 1 - i], "assignment of vector {i}");
+        }
+        assert_eq!(km.inertia.to_bits(), km_rev.inertia.to_bits());
+    }
+
+    #[test]
+    fn every_vector_is_assigned_to_its_nearest_centroid() {
+        let vs = synthetic_vectors(40, 5, 3);
+        let km = kmeans(&vs, 5, 11);
+        for (i, v) in vs.iter().enumerate() {
+            let mine = sqdist(v, &km.centroids[km.assign[i]]);
+            for c in &km.centroids {
+                assert!(mine <= sqdist(v, c) + 1e-12, "vector {i} not nearest its centroid");
+            }
+        }
+    }
+
+    #[test]
+    fn choose_k_finds_the_phase_count() {
+        let vs = synthetic_vectors(40, 2, 4);
+        let km = choose_k(&vs, 8, 5);
+        // Two clearly separated phases: BIC must not collapse to 1 and
+        // must not burn the whole budget.
+        assert!(km.centroids.len() >= 2, "chose k={}", km.centroids.len());
+        assert!(km.centroids.len() <= 4, "chose k={}", km.centroids.len());
+    }
+
+    #[test]
+    fn duplicate_points_cap_k() {
+        let vs = vec![vec![1.0, 2.0]; 6];
+        let km = kmeans(&vs, 4, 1);
+        assert_eq!(km.centroids.len(), 1, "identical points cannot support k > 1");
+        assert_eq!(km.assign, vec![0; 6]);
+        assert_eq!(km.inertia, 0.0);
+        assert_eq!(choose_k(&vs, 4, 1).centroids.len(), 1);
+    }
+
+    fn toy_trace() -> BbvTrace {
+        // Two alternating phases, 10 intervals of 100 instructions.
+        let intervals: Vec<BbvInterval> = (0..10)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0x1000 } else { 0x8000 };
+                BbvInterval {
+                    start_inst: i * 100,
+                    insts: 100,
+                    blocks: vec![(base, 60), (base + 0x40, 40)],
+                }
+            })
+            .collect();
+        BbvTrace { interval: 100, total_insts: 1000, intervals }
+    }
+
+    #[test]
+    fn plan_weights_cover_every_instruction() {
+        let p = plan(&toy_trace(), 6, 9);
+        assert_eq!(p.reps.iter().map(|r| r.weight_insts).sum::<u64>(), p.total_insts);
+        assert_eq!(p.k, 2, "two phases, two representatives");
+        // Each representative sits at the earliest interval of its phase
+        // (ties broken by smallest index) and clusters are homogeneous.
+        assert_eq!(p.reps.iter().map(|r| r.index).collect::<Vec<_>>(), vec![0, 1]);
+        for r in &p.reps {
+            assert_eq!(r.weight_insts, 500);
+            assert_eq!(r.spread_milli, 0, "identical members have zero spread");
+        }
+        assert_eq!(p.detailed_insts(), 200);
+    }
+
+    #[test]
+    fn bbv_l1_handles_disjoint_and_overlapping_keys() {
+        let a = vec![(0x100u64, 50u64), (0x200, 50)];
+        let b = vec![(0x200u64, 50u64), (0x300, 50)];
+        // |0.5-0| + |0.5-0.5| + |0-0.5| = 1.0
+        assert!((bbv_l1(&a, 100, &b, 100) - 1.0).abs() < 1e-12);
+        assert_eq!(bbv_l1(&a, 100, &a, 100), 0.0);
+        // Fully disjoint: total variation 2.0.
+        let c = vec![(0x900u64, 100u64)];
+        assert!((bbv_l1(&a, 100, &c, 100) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Command-line behavior of the harness binaries that unit tests cannot
+//! see: argument validation exit codes and the one-line stderr warning
+//! for flag combinations the harness silently degrades.
+//!
+//! The warning test is the regression guard for a real footgun: with
+//! `--trace`/`--sample`, restoring a checkpoint would replay only the
+//! tail of the event stream, so the harness ignores `--ckpt-dir` — and
+//! before this suite existed it did so *silently*, leaving users to
+//! wonder why no checkpoints appeared.
+
+use std::process::{Command, Output};
+
+fn table1(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_table1")).args(args).output().expect("table1 binary runs")
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mssr-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+const CKPT_WARNING: &str = "--ckpt-dir is ignored under --trace/--sample";
+
+#[test]
+fn ckpt_dir_under_sample_warns_once_on_stderr() {
+    let dir = scratch("warn");
+    let out = table1(&[
+        "--scale",
+        "test",
+        "--json",
+        "--jobs",
+        "1",
+        "--sample",
+        "2000",
+        "--ckpt-dir",
+        dir.to_str().unwrap(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "run failed: {stderr}");
+    assert!(stderr.contains(CKPT_WARNING), "missing warning, stderr: {stderr}");
+    assert_eq!(
+        stderr.matches(CKPT_WARNING).count(),
+        1,
+        "warning must print once, not per cell: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ckpt_dir_without_trace_or_sample_stays_quiet() {
+    let dir = scratch("quiet");
+    let out =
+        table1(&["--scale", "test", "--json", "--jobs", "1", "--ckpt-dir", dir.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "run failed: {stderr}");
+    assert!(!stderr.contains(CKPT_WARNING), "spurious warning: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simpoint_argument_validation_rejects_bad_combinations() {
+    // All of these fail during argument parsing, before any simulation.
+    let cases: [(&[&str], &str); 4] = [
+        (&["--simpoint", "2000,3"], "--simpoint requires --json"),
+        (&["--json", "--simpoint", "2000"], "expected `INTERVAL,MAXK`"),
+        (&["--json", "--simpoint", "0,3"], "must be positive"),
+        (&["--json", "--simpoint", "2000,3", "--ffwd", "100"], "drop --ffwd"),
+    ];
+    for (args, needle) in cases {
+        let out = table1(args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2: {stderr}");
+        assert!(stderr.contains(needle), "{args:?}: expected `{needle}` in: {stderr}");
+    }
+}

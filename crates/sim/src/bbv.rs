@@ -1,0 +1,305 @@
+//! Basic-block vector (BBV) collection for SimPoint-style sampling.
+//!
+//! A [`BbvCollector`] rides the functional fast-forward
+//! ([`Simulator::fast_forward_collect`](crate::Simulator::fast_forward_collect)):
+//! for every architecturally executed instruction it is told the PC and
+//! whether the instruction ends a basic block (any control transfer, or
+//! `halt`). It slices the execution into fixed-length instruction
+//! intervals and records, per interval, how many instructions ran in
+//! each basic block — the block identified by the address of its first
+//! instruction, the count weighted by dynamic block length, exactly the
+//! SimPoint frequency-vector construction.
+//!
+//! The vectors are sparse and canonically ordered (sorted by block
+//! address), so downstream clustering is deterministic by construction.
+//! Collection is exact, not sampled: the per-interval counts sum to the
+//! pass's total executed instructions, enforced by the
+//! `bbv-conservation` invariant rule ([`crate::check::check_bbv`]) when
+//! the trace is finalized.
+
+use crate::check::{self, Violation};
+
+/// Marker for "no basic block open" in [`BbvCollector`].
+const NO_BLOCK: u64 = u64::MAX;
+
+/// One fixed-length interval's basic-block vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BbvInterval {
+    /// Index of the interval's first instruction in the functional pass
+    /// (i.e. `index × interval_len` for full intervals).
+    pub start_inst: u64,
+    /// Instructions executed in this interval (equals the configured
+    /// interval length except for the final partial interval).
+    pub insts: u64,
+    /// Sparse frequency vector: `(block start address, instructions
+    /// executed in that block)`, sorted by address.
+    pub blocks: Vec<(u64, u64)>,
+}
+
+impl BbvInterval {
+    /// Sum of the per-block instruction counts (must equal
+    /// [`BbvInterval::insts`] — the conservation rule).
+    pub fn block_insts(&self) -> u64 {
+        self.blocks.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// A finalized BBV trace: every interval of one functional pass.
+#[derive(Clone, Debug, Default)]
+pub struct BbvTrace {
+    /// The configured interval length in instructions.
+    pub interval: u64,
+    /// Total instructions executed by the pass.
+    pub total_insts: u64,
+    /// The per-interval vectors, in execution order.
+    pub intervals: Vec<BbvInterval>,
+}
+
+/// Accumulates per-interval basic-block vectors during a functional
+/// pass.
+///
+/// # Example
+///
+/// ```
+/// use mssr_sim::{BbvCollector, SimConfig, Simulator};
+/// use mssr_isa::{regs::*, Assembler};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Assembler::new();
+/// a.li(T0, 0);
+/// a.li(T1, 40);
+/// a.label("loop");
+/// a.addi(T0, T0, 1);
+/// a.blt(T0, T1, "loop");
+/// a.halt();
+/// let mut sim = Simulator::new(SimConfig::default(), a.assemble()?);
+/// let mut bbv = BbvCollector::new(16);
+/// let executed = sim.fast_forward_collect(u64::MAX, &mut bbv);
+/// let trace = bbv.finish(executed);
+/// assert_eq!(trace.total_insts, executed);
+/// assert_eq!(trace.intervals.iter().map(|i| i.insts).sum::<u64>(), executed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct BbvCollector {
+    interval: u64,
+    block_start: u64,
+    block_len: u64,
+    in_interval: u64,
+    total: u64,
+    cur: std::collections::BTreeMap<u64, u64>,
+    intervals: Vec<BbvInterval>,
+}
+
+impl BbvCollector {
+    /// A collector slicing execution into `interval`-instruction
+    /// intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> BbvCollector {
+        assert!(interval > 0, "BBV interval length must be positive");
+        BbvCollector {
+            interval,
+            block_start: NO_BLOCK,
+            block_len: 0,
+            in_interval: 0,
+            total: 0,
+            cur: std::collections::BTreeMap::new(),
+            intervals: Vec::new(),
+        }
+    }
+
+    /// The configured interval length.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Records one executed instruction at `pc_addr`; `ends_block` marks
+    /// control transfers (taken or not) and `halt`.
+    pub(crate) fn step(&mut self, pc_addr: u64, ends_block: bool) {
+        if self.block_start == NO_BLOCK {
+            self.block_start = pc_addr;
+        }
+        self.block_len += 1;
+        self.in_interval += 1;
+        self.total += 1;
+        if ends_block {
+            self.credit_block();
+        }
+        if self.in_interval == self.interval {
+            // A block straddling the boundary is credited partially to
+            // each side (same start address), keeping interval sums exact.
+            self.close_interval();
+        }
+    }
+
+    fn credit_block(&mut self) {
+        if self.block_len > 0 {
+            *self.cur.entry(self.block_start).or_insert(0) += self.block_len;
+            self.block_len = 0;
+        }
+        self.block_start = NO_BLOCK;
+    }
+
+    fn close_interval(&mut self) {
+        if self.block_len > 0 {
+            // Credit the open block's prefix without closing the block:
+            // the remainder belongs to the next interval under the same
+            // block start.
+            *self.cur.entry(self.block_start).or_insert(0) += self.block_len;
+            self.block_len = 0;
+        }
+        let blocks: Vec<(u64, u64)> = std::mem::take(&mut self.cur).into_iter().collect();
+        self.intervals.push(BbvInterval {
+            start_inst: self.total - self.in_interval,
+            insts: self.in_interval,
+            blocks,
+        });
+        self.in_interval = 0;
+    }
+
+    /// Finalizes the trace: flushes the partial tail interval and checks
+    /// the `bbv-conservation` rule against `expected_insts` — the
+    /// instruction count the functional pass reported (the return value
+    /// of [`Simulator::fast_forward_collect`](crate::Simulator::fast_forward_collect)).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a `bbv-conservation: …` message when the per-interval
+    /// counts do not sum to `expected_insts` (a lost or invented
+    /// instruction in the collector is a bug, exactly like a miscounted
+    /// CPI slot).
+    pub fn finish(mut self, expected_insts: u64) -> BbvTrace {
+        if self.in_interval > 0 || !self.cur.is_empty() {
+            self.close_interval();
+        }
+        if let Some(v) = check::check_bbv(&self.intervals, expected_insts) {
+            panic!("{v}");
+        }
+        BbvTrace { interval: self.interval, total_insts: self.total, intervals: self.intervals }
+    }
+
+    /// Like [`BbvCollector::finish`] but returning the violation instead
+    /// of panicking (for tools that prefer an error path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the conservation violation, if any.
+    pub fn try_finish(mut self, expected_insts: u64) -> Result<BbvTrace, Violation> {
+        if self.in_interval > 0 || !self.cur.is_empty() {
+            self.close_interval();
+        }
+        match check::check_bbv(&self.intervals, expected_insts) {
+            Some(v) => Err(v),
+            None => Ok(BbvTrace {
+                interval: self.interval,
+                total_insts: self.total,
+                intervals: self.intervals,
+            }),
+        }
+    }
+
+    /// Corrupts the collected counts by one instruction. Test-only hook
+    /// used by the invariant suite to prove the conservation rule trips;
+    /// never call it anywhere else.
+    #[doc(hidden)]
+    pub fn corrupt_for_test(&mut self) {
+        let key = if self.block_start == NO_BLOCK { 0 } else { self.block_start };
+        *self.cur.entry(key).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(steps: &[(u64, bool)], interval: u64) -> BbvTrace {
+        let mut c = BbvCollector::new(interval);
+        for &(pc, ends) in steps {
+            c.step(pc, ends);
+        }
+        c.finish(steps.len() as u64)
+    }
+
+    #[test]
+    fn blocks_are_keyed_by_start_and_weighted_by_length() {
+        // Two executions of a 3-instruction block at 0x100, one of a
+        // 2-instruction block at 0x200.
+        let steps = [
+            (0x100, false),
+            (0x108, false),
+            (0x110, true),
+            (0x200, false),
+            (0x208, true),
+            (0x100, false),
+            (0x108, false),
+            (0x110, true),
+        ];
+        let t = collect(&steps, 100);
+        assert_eq!(t.intervals.len(), 1);
+        assert_eq!(t.intervals[0].blocks, vec![(0x100, 6), (0x200, 2)]);
+        assert_eq!(t.intervals[0].block_insts(), 8);
+    }
+
+    #[test]
+    fn intervals_split_at_exact_instruction_boundaries() {
+        // 10 instructions, interval 4: intervals of 4, 4, 2; a block
+        // straddling a boundary is credited partially to each side.
+        let steps: Vec<(u64, bool)> = (0..10).map(|i| (0x100 + 8 * (i % 6), i % 6 == 5)).collect();
+        let t = collect(&steps, 4);
+        assert_eq!(t.intervals.iter().map(|i| i.insts).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(t.intervals.iter().map(|i| i.start_inst).collect::<Vec<_>>(), vec![0, 4, 8]);
+        for i in &t.intervals {
+            assert_eq!(i.block_insts(), i.insts, "per-interval conservation");
+        }
+        // Blocks straddling a boundary keep their start address on both
+        // sides: the first 6-instruction block at 0x100 contributes 4 to
+        // interval 0 and 2 to interval 1; the next iteration's block
+        // (also starting at 0x100) contributes its prefix there too.
+        assert_eq!(t.intervals[0].blocks, vec![(0x100, 4)]);
+        assert_eq!(t.intervals[1].blocks, vec![(0x100, 4)]);
+        assert_eq!(t.intervals[2].blocks, vec![(0x100, 2)]);
+    }
+
+    #[test]
+    fn vectors_are_sorted_by_block_address() {
+        let steps = [(0x300, true), (0x100, true), (0x200, true)];
+        let t = collect(&steps, 100);
+        assert_eq!(t.intervals[0].blocks, vec![(0x100, 1), (0x200, 1), (0x300, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bbv-conservation")]
+    fn finish_rejects_a_wrong_total() {
+        let mut c = BbvCollector::new(4);
+        c.step(0x100, true);
+        c.finish(2); // one instruction executed, two claimed
+    }
+
+    #[test]
+    #[should_panic(expected = "bbv-conservation")]
+    fn corrupt_helper_trips_the_rule() {
+        let mut c = BbvCollector::new(4);
+        c.step(0x100, true);
+        c.corrupt_for_test();
+        c.finish(1);
+    }
+
+    #[test]
+    fn try_finish_reports_instead_of_panicking() {
+        let mut c = BbvCollector::new(4);
+        c.step(0x100, true);
+        c.corrupt_for_test();
+        let v = c.try_finish(1).unwrap_err();
+        assert!(v.to_string().starts_with("bbv-conservation"), "got: {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval length")]
+    fn zero_interval_is_rejected() {
+        BbvCollector::new(0);
+    }
+}

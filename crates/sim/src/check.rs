@@ -94,6 +94,10 @@ pub enum Rule {
     /// (`sum(categories) != cycles × commit_width`), or its reuse credit
     /// exceeds the squash-penalty slots it is clamped against.
     CpiConservation,
+    /// A basic-block-vector trace lost or invented instructions: each
+    /// interval's per-block counts must sum to its instruction count,
+    /// and the interval counts must sum to the functional pass's total.
+    BbvConservation,
 }
 
 impl Rule {
@@ -111,6 +115,7 @@ impl Rule {
             Rule::LoadIssuedAddr => "load-issued-addr",
             Rule::ForwardPending => "forward-pending",
             Rule::CpiConservation => "cpi-conservation",
+            Rule::BbvConservation => "bbv-conservation",
         }
     }
 }
@@ -338,6 +343,40 @@ pub fn check_cpi_account(
             format!(
                 "reuse credit {} exceeds the {cap} squash-penalty slot(s) it is clamped to",
                 account.credit_reuse_cycles
+            ),
+        ));
+    }
+    None
+}
+
+/// Checks the basic-block-vector conservation law: within every
+/// interval the per-block counts sum to the interval's instruction
+/// count, and across intervals the counts sum to `expected_insts` — the
+/// instruction total the functional pass reported. A mismatch means the
+/// collector dropped or invented instructions, which would silently skew
+/// every downstream cluster weight.
+pub fn check_bbv(intervals: &[crate::bbv::BbvInterval], expected_insts: u64) -> Option<Violation> {
+    let mut total = 0u64;
+    for (i, iv) in intervals.iter().enumerate() {
+        let got = iv.block_insts();
+        if got != iv.insts {
+            return Some(Violation::new(
+                Rule::BbvConservation,
+                format!(
+                    "interval {i} (start {}): block counts sum to {got}, \
+                     interval executed {} instruction(s)",
+                    iv.start_inst, iv.insts
+                ),
+            ));
+        }
+        total += iv.insts;
+    }
+    if total != expected_insts {
+        return Some(Violation::new(
+            Rule::BbvConservation,
+            format!(
+                "intervals account for {total} instruction(s), \
+                 functional pass executed {expected_insts}"
             ),
         ));
     }

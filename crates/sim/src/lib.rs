@@ -48,6 +48,7 @@
 //! ```
 
 mod account;
+mod bbv;
 mod bpred;
 mod check;
 mod ckpt;
@@ -69,10 +70,11 @@ mod trace;
 mod types;
 
 pub use account::{Category, CycleAccount};
+pub use bbv::{BbvCollector, BbvInterval, BbvTrace};
 pub use bpred::{BranchPredictor, PredMeta};
 pub use check::{
-    check_age_order, check_commit_entry, check_conservation, check_cpi_account, check_lsq,
-    check_reuse_safety, check_rgids, Rule, Violation,
+    check_age_order, check_bbv, check_commit_entry, check_conservation, check_cpi_account,
+    check_lsq, check_reuse_safety, check_rgids, Rule, Violation,
 };
 pub use ckpt::{fnv1a64, CkptError, CkptReader, CkptWriter, CKPT_MAGIC, CKPT_VERSION};
 pub use config::{CacheConfig, ConfigError, SimConfig};

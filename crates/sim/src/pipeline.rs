@@ -429,6 +429,29 @@ impl Simulator {
     /// instructions renamed): fast-forward replaces the start of the
     /// run, it cannot splice into the middle of one.
     pub fn fast_forward(&mut self, n: u64) -> u64 {
+        self.fast_forward_inner(n, None)
+    }
+
+    /// Like [`Simulator::fast_forward`], but feeding every executed
+    /// instruction into a [`BbvCollector`](crate::bbv::BbvCollector) —
+    /// the SimPoint analysis pass. The collector observes the PC of each
+    /// instruction and whether it ends a basic block (any control
+    /// transfer, or `halt`); warming and stop conditions are identical
+    /// to the plain fast-forward, and the plain path pays nothing for
+    /// the hook.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::fast_forward`].
+    pub fn fast_forward_collect(&mut self, n: u64, bbv: &mut crate::bbv::BbvCollector) -> u64 {
+        self.fast_forward_inner(n, Some(bbv))
+    }
+
+    fn fast_forward_inner(
+        &mut self,
+        n: u64,
+        mut bbv: Option<&mut crate::bbv::BbvCollector>,
+    ) -> u64 {
         let st = &mut self.st;
         assert!(
             st.cycle == 0 && st.next_seq == 1 && st.stats.committed_instructions == 0,
@@ -443,6 +466,9 @@ impl Simulator {
             let mut fst = FfwdState { rat: &st.rat, prf: &mut st.prf, memory: &mut st.memory };
             let out = arch_step(&st.program, pc, &mut fst).expect("fetch checked above");
             executed += 1;
+            if let Some(c) = bbv.as_deref_mut() {
+                c.step(pc.addr(), inst.is_control() || out.next.is_none());
+            }
             match out.kind {
                 ArchKind::Cond { taken } => {
                     // Mirror the detailed lifecycle: predict (speculative

@@ -275,3 +275,36 @@ fn engines_run_clean_under_the_checker() {
         assert!(violations.is_empty(), "unexpected violations: {violations:?}");
     }
 }
+
+/// A clean BBV collection satisfies the conservation rule: per-interval
+/// block counts sum exactly to the interval's instruction count, and the
+/// intervals together account for every instruction the functional pass
+/// executed.
+#[test]
+fn bbv_collection_conserves_instruction_counts() {
+    use mssr::sim::{check_bbv, BbvCollector};
+    let w = microbench::nested_mispred(200);
+    let mut sim = w.instantiate(cfg());
+    let mut bbv = BbvCollector::new(512);
+    let executed = sim.fast_forward_collect(12_000, &mut bbv);
+    let trace = bbv.try_finish(executed).expect("clean collection must conserve counts");
+    assert!(trace.intervals.len() >= 2, "expected several 512-inst intervals");
+    assert_eq!(trace.total_insts, executed);
+    assert!(check_bbv(&trace.intervals, executed).is_none());
+}
+
+/// Negative control for the `bbv-conservation` rule: silently dropping a
+/// block count from one interval must make `finish` panic with the rule
+/// name. A conservation check that cannot detect a seeded leak would let
+/// a real collection bug skew every downstream clustering unnoticed.
+#[test]
+#[should_panic(expected = "bbv-conservation")]
+fn bbv_conservation_catches_seeded_corruption() {
+    use mssr::sim::BbvCollector;
+    let w = microbench::nested_mispred(200);
+    let mut sim = w.instantiate(cfg());
+    let mut bbv = BbvCollector::new(512);
+    let executed = sim.fast_forward_collect(12_000, &mut bbv);
+    bbv.corrupt_for_test();
+    let _ = bbv.finish(executed);
+}

@@ -177,3 +177,69 @@ fn cpi_accounts_conserve_commit_slots() {
         }
     });
 }
+
+/// The SimPoint k-means must be a *function* of its input set: permuting
+/// the vectors, or running the clustering concurrently under the harness
+/// worker pool, must yield bit-identical centroids and inertia — the
+/// clusters feed CI byte-identity gates, so "close enough" floats are
+/// not enough. Every vector must also land on its nearest centroid.
+#[test]
+fn kmeans_is_deterministic_and_assigns_nearest_centroids() {
+    use mssr_bench::harness::run_cells;
+    use mssr_bench::harness::simpoint::{kmeans, project};
+
+    for_each_case("kmeans_is_deterministic", 12, 0x6d73_7372_0004, |rng| {
+        // Random sparse BBVs: a handful of phases, each a distinct set of
+        // block addresses, plus per-interval count noise.
+        let phases = rng.range(1, 4);
+        let n = rng.range(6, 40);
+        let seed = rng.next_u64();
+        let vectors: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let p = i % phases;
+                let blocks: Vec<(u64, u64)> = (0..8)
+                    .map(|b| (0x1000 * (p as u64 + 1) + 16 * b, 10 + rng.below(50)))
+                    .collect();
+                let insts: u64 = blocks.iter().map(|&(_, c)| c).sum();
+                project(&blocks, insts, 16, seed)
+            })
+            .collect();
+        let k = rng.range(1, phases + 2).min(n);
+
+        let a = kmeans(&vectors, k, seed);
+
+        // Permutation invariance: reverse the input; centroid set, inertia
+        // and the permuted assignment must be bit-identical.
+        let rev: Vec<Vec<f64>> = vectors.iter().rev().cloned().collect();
+        let b = kmeans(&rev, k, seed);
+        assert_eq!(a.centroids, b.centroids, "centroids depend on input order");
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits(), "inertia depends on input order");
+        for (i, &c) in a.assign.iter().enumerate() {
+            assert_eq!(c, b.assign[n - 1 - i], "assignment not permutation-equivariant");
+        }
+
+        // Thread-environment independence: the same clustering computed on
+        // every worker of a 4-wide pool must match the serial result.
+        let pool = run_cells(4, 4, |_| kmeans(&vectors, k, seed));
+        for km in &pool {
+            assert_eq!(km.centroids, a.centroids, "worker pool changed the centroids");
+            assert_eq!(km.assign, a.assign, "worker pool changed the assignment");
+        }
+
+        // Nearest-centroid property (ties break toward the lower index,
+        // matching the implementation's documented rule).
+        for (v, &c) in vectors.iter().zip(&a.assign) {
+            let d = |cent: &Vec<f64>| -> f64 {
+                v.iter().zip(cent).map(|(x, y)| (x - y) * (x - y)).sum()
+            };
+            let mine = d(&a.centroids[c]);
+            for (j, cent) in a.centroids.iter().enumerate() {
+                let dj = d(cent);
+                assert!(
+                    dj > mine || (dj == mine && j >= c),
+                    "vector assigned to centroid {c} (d²={mine}) but {j} is closer (d²={dj})"
+                );
+            }
+        }
+    });
+}
