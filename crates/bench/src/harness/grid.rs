@@ -2,15 +2,16 @@
 //! caching, and the work-stealing scoped-thread runner.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use std::path::Path;
 
 use mssr_core::{MemCheckPolicy, MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
 use mssr_sim::{
     fnv1a64, BbvCollector, BufferSink, CycleAccount, ReuseEngine, SimConfig, SimStats, Simulator,
-    TraceKind,
+    TraceEvent, TraceKind, TraceSink,
 };
 use mssr_workloads::{Scale, Workload};
 
@@ -221,6 +222,107 @@ pub struct SimpointCellResult {
     pub reps: Vec<SimpointRep>,
 }
 
+/// A process-wide in-memory checkpoint cache keyed by checkpoint stem —
+/// the `mssr-serve` analogue of `--ckpt-dir`. It holds fast-forward
+/// *boundary* snapshots only (taken before any detailed cycle has run),
+/// which is what makes sharing them across sampling modes safe: a
+/// restored boundary snapshot has no event-stream history to truncate,
+/// unlike the mid-run checkpoints `--ckpt-every` writes to disk.
+pub(crate) struct CkptMem {
+    map: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+}
+
+impl CkptMem {
+    /// An empty cache.
+    pub(crate) fn new() -> CkptMem {
+        CkptMem { map: Mutex::new(HashMap::new()) }
+    }
+
+    /// The cached snapshot for `stem`, if one exists.
+    pub(crate) fn get(&self, stem: &str) -> Option<Arc<Vec<u8>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner).get(stem).cloned()
+    }
+
+    /// Caches `bytes` for `stem`; the first snapshot for a stem wins
+    /// (identical stems are snapshots of identical simulator states).
+    pub(crate) fn put(&self, stem: &str, bytes: Vec<u8>) {
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(stem.to_string())
+            .or_insert_with(|| Arc::new(bytes));
+    }
+
+    /// Number of cached snapshots.
+    pub(crate) fn entries(&self) -> usize {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+}
+
+/// A per-line observer of a cell's live trace stream: called with each
+/// raw event line as the simulator emits it, before the line lands in
+/// the cell's buffer. `mssr-serve` uses this to stream progress samples
+/// to the requesting client while the cell is still running.
+pub(crate) type LiveSink = Box<dyn FnMut(&str) + Send>;
+
+/// The buffer sink of the grid runner: collects raw event lines exactly
+/// like [`BufferSink`] (same bytes, same order) and additionally feeds
+/// each line to an optional live observer.
+struct CallbackSink {
+    buf: Arc<Mutex<String>>,
+    live: Option<LiveSink>,
+}
+
+impl TraceSink for CallbackSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let line = ev.to_json();
+        if let Some(f) = &mut self.live {
+            f(&line);
+        }
+        let mut b = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        b.push_str(&line);
+        b.push('\n');
+    }
+}
+
+/// How to execute one cell — the per-run subset of [`HarnessOpts`] plus
+/// the serve-only in-memory checkpoint cache. Batch runs build one from
+/// their options; `mssr-serve` builds one per request.
+pub(crate) struct CellRun<'a> {
+    /// Record the full pipeline event trace.
+    pub trace: bool,
+    /// Interval-sampling period in cycles (`0` = off).
+    pub sample: u64,
+    /// Functional fast-forward depth in instructions.
+    pub ffwd: u64,
+    /// On-disk checkpoint directory (already `None` under trace/sample).
+    pub ckpt_dir: Option<&'a Path>,
+    /// Periodic checkpoint-save period (`0` = off).
+    pub ckpt_every: u64,
+    /// Record wall-clock simulated MIPS into the stats.
+    pub timing: bool,
+    /// Shared in-memory cache of fast-forward boundary snapshots.
+    pub ckpt_mem: Option<&'a CkptMem>,
+}
+
+impl<'a> CellRun<'a> {
+    /// The batch harness's execution parameters: disk checkpoints only,
+    /// disabled under `--trace`/`--sample` (a restored mid-run
+    /// checkpoint would emit only the tail of its event stream).
+    pub(crate) fn from_opts(opts: &'a HarnessOpts) -> CellRun<'a> {
+        let ckpt_dir = if opts.trace || opts.sample > 0 { None } else { opts.ckpt_dir.as_deref() };
+        CellRun {
+            trace: opts.trace,
+            sample: opts.sample,
+            ffwd: opts.ffwd,
+            ckpt_dir,
+            ckpt_every: opts.ckpt_every,
+            timing: opts.timing,
+            ckpt_mem: None,
+        }
+    }
+}
+
 /// The shared cell pool of one harness invocation.
 ///
 /// Workloads are interned by name, so each assembled `Program` (plus its
@@ -378,25 +480,36 @@ impl CellPool {
     }
 
     fn run_cell(&self, i: CellId, seed: u64, opts: &HarnessOpts) -> CellResult {
+        self.run_cell_with(i, seed, &CellRun::from_opts(opts), None)
+    }
+
+    /// Runs one cell under explicit execution parameters, optionally
+    /// feeding each raw trace line to `live` as it is emitted. This is
+    /// the shared execution path of the batch harness and `mssr-serve`,
+    /// which is what keeps served results byte-identical to batch
+    /// trajectories.
+    pub(crate) fn run_cell_with(
+        &self,
+        i: CellId,
+        seed: u64,
+        rp: &CellRun<'_>,
+        live: Option<LiveSink>,
+    ) -> CellResult {
         let spec = &self.cells[i];
         let w = &self.workloads[spec.workload];
-        let trace = opts.trace;
-        let sample = opts.sample;
-        // Checkpoint reuse is disabled under --trace/--sample: a restored
-        // run emits only the tail of its event stream, which would change
-        // the trajectory relative to a straight-through run.
-        let ckpt_dir = if trace || sample > 0 { None } else { opts.ckpt_dir.as_deref() };
+        let trace = rp.trace;
+        let sample = rp.sample;
         // When tracing or sampling, events go into a per-cell buffer whose
         // handle we keep; the simulator consumes the sink itself. Without
         // `--trace` the sink's kind mask admits sample events only.
         let (sink, buf) = if trace || sample > 0 {
-            let sink = BufferSink::new();
-            let handle = sink.handle();
-            (Some(sink), Some(handle))
+            let buf = Arc::new(Mutex::new(String::new()));
+            (Some(CallbackSink { buf: Arc::clone(&buf), live }), Some(buf))
         } else {
             (None, None)
         };
-        let run = |engine: Option<Box<dyn ReuseEngine>>| {
+        let mut ckpt_skips: Vec<String> = Vec::new();
+        let run = |engine: Option<Box<dyn ReuseEngine>>, skips: &mut Vec<String>| {
             let mut sim = match engine {
                 Some(e) => w.instantiate_with(spec.cfg.clone(), e),
                 None => w.instantiate(spec.cfg.clone()),
@@ -404,33 +517,71 @@ impl CellPool {
             if sample > 0 {
                 sim.set_sample_interval(sample);
             }
+            let mask = if !trace && sample > 0 { TraceKind::Sample.bit() } else { !0 };
+            let stem = self.ckpt_stem(spec, seed, rp.ffwd);
+            // The shared-memory restore runs *before* the sink attaches:
+            // the donor may have checkpointed under a different trace
+            // configuration, and nothing it replays (including the
+            // restore event itself) belongs in this run's stream. A cold
+            // run's stream starts with the fast-forward event, which
+            // `rearm_tracing` re-emits below once the sink is live.
+            let mut restored = false;
+            if let Some(mem) = rp.ckpt_mem {
+                if let Some(bytes) = mem.get(&stem) {
+                    match sim.restore(&bytes) {
+                        Ok(()) => restored = true,
+                        Err(e) => skips.push(format!("<memory snapshot>: {e}")),
+                    }
+                }
+            }
             if let Some(s) = sink {
                 sim.set_trace_sink(Box::new(s));
                 if !trace {
-                    sim.set_trace_mask(TraceKind::Sample.bit());
+                    sim.set_trace_mask(mask);
                 }
             }
-            let stem = self.ckpt_stem(spec, seed, opts.ffwd);
-            let restored = ckpt_dir.is_some_and(|dir| restore_newest_ckpt(&mut sim, dir, &stem));
-            if !restored && opts.ffwd > 0 {
-                sim.fast_forward(opts.ffwd);
+            if restored {
+                // A checkpoint restores its saver's sampler interval,
+                // trace mask, and event counters; re-assert this run's.
+                // The snapshot is a fast-forward boundary — zero detailed
+                // cycles behind it — so a fresh sampler plus the re-armed
+                // tracer is exactly the state a cold run of this
+                // configuration has here.
+                sim.set_sample_interval(sample);
+                sim.rearm_tracing(mask);
             }
-            if let Some(dir) = ckpt_dir.filter(|_| opts.ckpt_every > 0) {
-                save_periodic_ckpts(&mut sim, dir, &stem, opts.ckpt_every);
+            if !restored {
+                if let Some(dir) = rp.ckpt_dir {
+                    let (ok, disk_skips) = restore_newest_ckpt(&mut sim, dir, &stem);
+                    skips.extend(disk_skips);
+                    restored = ok;
+                }
+            }
+            if !restored && rp.ffwd > 0 {
+                sim.fast_forward(rp.ffwd);
+                // The boundary state is the shareable artifact: every
+                // later request for this cell identity (any sampling
+                // mode) can start detailed simulation from it.
+                if let Some(mem) = rp.ckpt_mem {
+                    mem.put(&stem, sim.snapshot());
+                }
+            }
+            if let Some(dir) = rp.ckpt_dir.filter(|_| rp.ckpt_every > 0) {
+                save_periodic_ckpts(&mut sim, dir, &stem, rp.ckpt_every);
             }
             w.finish(&mut sim)
         };
-        let started = opts.timing.then(std::time::Instant::now);
+        let started = rp.timing.then(std::time::Instant::now);
         let (mut stats, ri_set_replacements) = match spec.engine.build_ri() {
             Some(ri) => {
                 // Keep the replacement-counter handle across the run
                 // (fig3's per-set replacement-frequency data).
                 let counters = ri.replacement_counters();
-                let stats = run(Some(Box::new(ri)));
+                let stats = run(Some(Box::new(ri)), &mut ckpt_skips);
                 let snapshot = counters.borrow().clone();
                 (stats, Some(snapshot))
             }
-            None => (run(spec.engine.build()), None),
+            None => (run(spec.engine.build(), &mut ckpt_skips), None),
         };
         if let Some(t0) = started {
             // MIPS = insts / µs; thousandths keep the trajectory integer.
@@ -438,6 +589,7 @@ impl CellPool {
             stats.engine.sim_mips_milli =
                 (stats.committed_instructions.saturating_mul(1000) / us).max(1);
         }
+        record_ckpt_skips(&mut stats, &ckpt_skips, i, w.name(), &spec.engine.label());
         let trace = buf.map(|b| std::mem::take(&mut *b.lock().expect("trace buffer poisoned")));
         CellResult { seed, stats, ri_set_replacements, trace, simpoint: None }
     }
@@ -467,6 +619,7 @@ impl CellPool {
         let mut stats = SimStats::default();
         let mut ri_set_replacements: Option<Vec<u64>> = None;
         let mut trace_out = String::new();
+        let mut ckpt_skips: Vec<String> = Vec::new();
         let mut reps = Vec::with_capacity(plan.reps.len());
         for rep in &plan.reps {
             let (sink, buf) = if trace || sample > 0 {
@@ -505,7 +658,14 @@ impl CellPool {
             // detailed-run start as its fast-forward depth, exactly the
             // stems the PR 4 machinery restores from.
             let stem = self.ckpt_stem(spec, seed, ffwd);
-            let restored = ckpt_dir.is_some_and(|dir| restore_newest_ckpt(&mut sim, dir, &stem));
+            let restored = match ckpt_dir {
+                Some(dir) => {
+                    let (ok, skips) = restore_newest_ckpt(&mut sim, dir, &stem);
+                    ckpt_skips.extend(skips);
+                    ok
+                }
+                None => false,
+            };
             if !restored {
                 if ffwd > 0 {
                     sim.fast_forward(ffwd);
@@ -561,6 +721,7 @@ impl CellPool {
             stats.engine.sim_mips_milli =
                 (stats.committed_instructions.saturating_mul(1000) / us).max(1);
         }
+        record_ckpt_skips(&mut stats, &ckpt_skips, i, w.name(), &spec.engine.label());
         let trace = (trace || sample > 0).then_some(trace_out);
         let simpoint = Some(SimpointCellResult {
             interval: plan.interval,
@@ -653,13 +814,33 @@ fn save_ckpt_once(sim: &Simulator, dir: &Path, stem: &str) {
     }
 }
 
+/// Reports a cell's skipped-checkpoint tally: one stderr warning naming
+/// every skipped file and its [`mssr_sim::CkptError`], plus a
+/// `ckpt_restore_skips` counter in the cell's `EngineStats::extra` so
+/// trajectories record the degraded restore. Clean cells emit nothing,
+/// keeping their trajectory bytes unchanged.
+fn record_ckpt_skips(stats: &mut SimStats, skips: &[String], i: CellId, w: &str, engine: &str) {
+    if skips.is_empty() {
+        return;
+    }
+    eprintln!(
+        "warning: cell {i} ({w}/{engine}): skipped {} invalid checkpoint(s), ran cold: {}",
+        skips.len(),
+        skips.join("; ")
+    );
+    stats.engine.extra.push(("ckpt_restore_skips".to_string(), skips.len() as u64));
+}
+
 /// Restores the newest valid checkpoint for `stem` from `dir` into `sim`.
 /// Invalid or mismatched files (corruption, a different build's config)
 /// are skipped in favour of the next-newest; with none valid the cell
 /// just runs from scratch — checkpoints are an accelerator, never a
-/// correctness dependency.
-fn restore_newest_ckpt(sim: &mut Simulator, dir: &Path, stem: &str) -> bool {
-    let Ok(entries) = std::fs::read_dir(dir) else { return false };
+/// correctness dependency. Each skipped file is reported back as
+/// `"<name>: <reason>"` so the caller can surface the degradation
+/// instead of silently eating the cold-start cost.
+fn restore_newest_ckpt(sim: &mut Simulator, dir: &Path, stem: &str) -> (bool, Vec<String>) {
+    let mut skips = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return (false, skips) };
     let mut found: Vec<(u64, std::path::PathBuf)> = entries
         .filter_map(|e| {
             let path = e.ok()?.path();
@@ -671,12 +852,20 @@ fn restore_newest_ckpt(sim: &mut Simulator, dir: &Path, stem: &str) -> bool {
         .collect();
     found.sort_unstable_by_key(|&(insts, _)| std::cmp::Reverse(insts));
     for (_, path) in found {
-        let Ok(bytes) = std::fs::read(&path) else { continue };
-        if sim.restore(&bytes).is_ok() {
-            return true;
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("<checkpoint>").to_string();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                skips.push(format!("{name}: unreadable ({e})"));
+                continue;
+            }
+        };
+        match sim.restore(&bytes) {
+            Ok(()) => return (true, skips),
+            Err(e) => skips.push(format!("{name}: {e}")),
         }
     }
-    false
+    (false, skips)
 }
 
 /// Runs `sim` to completion, saving a checkpoint into `dir` every
@@ -712,7 +901,14 @@ fn save_periodic_ckpts(sim: &mut Simulator, dir: &Path, stem: &str, every: u64) 
 pub fn run_cells<T: Send>(n: usize, jobs: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let jobs = jobs.clamp(1, n.max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Each worker catches its cell's panic and parks the payload in the
+    // cell's slot; the collector below re-raises it with the failing
+    // cell index attached. Without this, a worker panic surfaces only
+    // as the scope's opaque "a scoped thread panicked" (the original
+    // payload is lost) plus poisoned-mutex panics from the other
+    // workers' slots.
+    type Slot<T> = Mutex<Option<std::thread::Result<T>>>;
+    let slots: Vec<Slot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| loop {
@@ -720,15 +916,32 @@ pub fn run_cells<T: Send>(n: usize, jobs: usize, f: impl Fn(usize) -> T + Sync) 
                 if i >= n {
                     break;
                 }
-                let r = f(i);
-                *slots[i].lock().unwrap() = Some(r);
+                let r = catch_unwind(AssertUnwindSafe(|| f(i)));
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
             });
         }
     });
     slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every cell ran to completion"))
+        .enumerate()
+        .map(|(i, m)| match m.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            Some(Ok(v)) => v,
+            Some(Err(payload)) => {
+                panic!("grid cell {i} panicked: {}", panic_message(payload.as_ref()))
+            }
+            None => panic!("grid cell {i} was never run"),
+        })
         .collect()
+}
+
+/// Best-effort text of a caught panic payload (`&str` and `String`
+/// cover every `panic!` in this workspace).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
 }
 
 #[cfg(test)]
@@ -755,6 +968,70 @@ mod tests {
     fn run_cells_handles_empty_and_oversubscribed() {
         assert!(run_cells(0, 8, |i| i).is_empty());
         assert_eq!(run_cells(3, 64, |i| i * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn run_cells_reports_the_failing_cell_on_worker_panic() {
+        // Pre-fix, a worker panic surfaced as the scope's opaque
+        // "a scoped thread panicked": no cell index, no original payload.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output quiet
+        let res = std::panic::catch_unwind(|| {
+            run_cells(8, 4, |i| {
+                if i == 5 {
+                    panic!("boom in cell five");
+                }
+                i
+            })
+        });
+        std::panic::set_hook(hook);
+        let payload = res.expect_err("a panicking cell must fail the grid");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("cell 5"), "failing index must be named: {msg}");
+        assert!(msg.contains("boom in cell five"), "original payload must survive: {msg}");
+    }
+
+    #[test]
+    fn restore_newest_ckpt_reports_each_skipped_invalid_file() {
+        let dir = std::env::temp_dir().join(format!("mssr-grid-skips-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        std::fs::write(dir.join("aa.100.ckpt"), b"definitely not a checkpoint").unwrap();
+        std::fs::write(dir.join("aa.50.ckpt"), b"also garbage").unwrap();
+        std::fs::write(dir.join("bb.100.ckpt"), b"other stem, ignored").unwrap();
+        let w = microbench::nested_mispred(10);
+        let mut sim = w.instantiate(SimConfig::default().with_max_cycles(100_000));
+        let (ok, skips) = restore_newest_ckpt(&mut sim, &dir, "aa");
+        assert!(!ok, "garbage files must not restore");
+        assert_eq!(skips.len(), 2, "every invalid file for the stem is reported: {skips:?}");
+        assert!(skips[0].contains("aa.100.ckpt"), "newest first: {skips:?}");
+        assert!(skips[1].contains("aa.50.ckpt"), "{skips:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_ckpt_skips_counts_into_extra_and_leaves_clean_cells_alone() {
+        let mut stats = SimStats::default();
+        record_ckpt_skips(&mut stats, &[], 0, "w", "BASE");
+        assert!(stats.engine.extra.is_empty(), "clean cells must not grow extra counters");
+        record_ckpt_skips(
+            &mut stats,
+            &["a.1.ckpt: bad".into(), "a.0.ckpt: bad".into()],
+            0,
+            "w",
+            "BASE",
+        );
+        assert_eq!(stats.engine.extra, vec![("ckpt_restore_skips".to_string(), 2)]);
+    }
+
+    #[test]
+    fn ckpt_mem_first_snapshot_wins_and_counts() {
+        let mem = CkptMem::new();
+        assert!(mem.get("s").is_none());
+        assert_eq!(mem.entries(), 0);
+        mem.put("s", vec![1, 2, 3]);
+        mem.put("s", vec![9, 9, 9]);
+        assert_eq!(*mem.get("s").expect("cached"), vec![1, 2, 3]);
+        assert_eq!(mem.entries(), 1);
     }
 
     #[test]

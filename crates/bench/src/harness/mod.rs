@@ -38,6 +38,7 @@ mod experiments;
 mod grid;
 mod measure;
 pub mod report;
+pub mod serve;
 pub mod simpoint;
 
 pub use experiments::{all_experiments, experiment, Experiment, EXPERIMENT_NAMES};
@@ -267,11 +268,49 @@ const USAGE: &str =
                   and run only the representative intervals of each workload
   --timing        record per-cell simulated MIPS (wall-clock: output becomes machine-dependent)";
 
-fn scale_name(scale: Scale) -> &'static str {
+pub(crate) fn scale_name(scale: Scale) -> &'static str {
     match scale {
         Scale::Test => "test",
         Scale::Medium => "medium",
         Scale::Large => "large",
+    }
+}
+
+/// One `"cell"` record of the JSON-lines trajectory (no trailing
+/// newline). Shared verbatim by the batch harness and `mssr-serve`, so
+/// a served result is byte-for-byte the line the batch trajectory
+/// carries for the same cell.
+pub(crate) fn cell_json_line(pool: &CellPool, i: CellId, r: &CellResult) -> String {
+    let spec = pool.cell_spec(i);
+    let w = pool.workload(spec.workload);
+    let mut out = format!(
+        "{{\"type\":\"cell\",\"id\":{i},\"workload\":\"{}\",\"suite\":\"{}\",\"engine\":\"{}\",\"seed\":\"{:#x}\"",
+        json_escape(w.name()),
+        w.suite(),
+        json_escape(&spec.engine.label()),
+        r.seed
+    );
+    if let Some(repl) = &r.ri_set_replacements {
+        out.push_str(",\"ri_set_replacements\":[");
+        for (k, v) in repl.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+    }
+    out.push_str(",\"stats\":");
+    out.push_str(&r.stats.to_json());
+    out.push('}');
+    out
+}
+
+/// Appends a cell's wrapped `"event"` records to `out`, one per raw
+/// trace line — the exact wrapping the batch trajectory uses.
+pub(crate) fn push_event_lines(out: &mut String, cell: CellId, raw: &str) {
+    for line in raw.lines() {
+        out.push_str(&format!("{{\"type\":\"event\",\"cell\":{cell},\"ev\":{line}}}\n"));
     }
 }
 
@@ -292,35 +331,13 @@ pub fn run_experiments(exps: &[Box<dyn Experiment>], opts: &HarnessOpts) -> Stri
             results.len()
         ));
         for (i, r) in results.iter().enumerate() {
-            let spec = pool.cell_spec(i);
-            let w = pool.workload(spec.workload);
-            out.push_str(&format!(
-                "{{\"type\":\"cell\",\"id\":{i},\"workload\":\"{}\",\"suite\":\"{}\",\"engine\":\"{}\",\"seed\":\"{:#x}\"",
-                json_escape(w.name()),
-                w.suite(),
-                json_escape(&spec.engine.label()),
-                r.seed
-            ));
-            if let Some(repl) = &r.ri_set_replacements {
-                out.push_str(",\"ri_set_replacements\":[");
-                for (k, v) in repl.iter().enumerate() {
-                    if k > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(&v.to_string());
-                }
-                out.push(']');
-            }
-            out.push_str(",\"stats\":");
-            out.push_str(&r.stats.to_json());
-            out.push_str("}\n");
+            out.push_str(&cell_json_line(&pool, i, r));
+            out.push('\n');
             // Each cell's events follow its record, wrapped so consumers
             // can associate them; per-cell buffers emitted in cell order
             // keep the trajectory byte-identical across `--jobs` values.
             if let Some(trace) = &r.trace {
-                for line in trace.lines() {
-                    out.push_str(&format!("{{\"type\":\"event\",\"cell\":{i},\"ev\":{line}}}\n"));
-                }
+                push_event_lines(&mut out, i, trace);
             }
             // Under --simpoint, each cell's record is followed by its
             // sampling plan and per-representative measurements (all

@@ -727,8 +727,20 @@ pub fn sparklines(t: &Trajectory) -> String {
         if c.samples.is_empty() {
             continue;
         }
-        let max = c.samples.iter().map(|s| s.insts).max().unwrap_or(0).max(1);
-        let line: String = c.samples.iter().map(|s| SPARK[(s.insts * 7 / max) as usize]).collect();
+        let max = c.samples.iter().map(|s| s.insts).max().unwrap_or(0);
+        // A cell whose every interval committed zero instructions draws
+        // a flat baseline. Scaling goes through u128: `insts * 7` wraps
+        // u64 once a counter passes u64::MAX / 7 (merged or hand-built
+        // trajectories can carry such values), which would panic in
+        // debug builds and pick the wrong glyph in release.
+        let line: String = c
+            .samples
+            .iter()
+            .map(|s| match max {
+                0 => SPARK[0],
+                m => SPARK[(u128::from(s.insts) * 7 / u128::from(m)) as usize],
+            })
+            .collect();
         let label = format!("{}/{}", c.workload, c.engine);
         out.push_str(&format!("{label:<label_w$}  {line}\n"));
     }
@@ -1004,6 +1016,52 @@ mod tests {
         assert_eq!(m.credit_reuse_cycles, 70);
         assert_eq!(m.ipc_milli(), 1000);
         assert_eq!(m.grant_rate_milli(), 750);
+    }
+
+    #[test]
+    fn sparklines_survive_all_zero_and_huge_sample_counters() {
+        // Two degenerate sampled cells: one whose every interval committed
+        // zero instructions (must render a flat baseline, not divide by
+        // zero or blank out), and one carrying a near-u64::MAX counter
+        // (pre-fix, `insts * 7` wrapped u64 — a debug-build panic and the
+        // wrong glyph in release).
+        let mut s = String::new();
+        s.push_str(
+            "{\"type\":\"meta\",\"root_seed\":\"0x4d535352\",\"scale\":\"test\",\"cells\":2}\n",
+        );
+        s.push_str(concat!(
+            "{\"type\":\"cell\",\"id\":0,\"workload\":\"idle\",\"suite\":\"micro\",",
+            "\"engine\":\"BASE\",\"seed\":\"0x1\",\"stats\":{\"cycles\":2000,",
+            "\"committed_instructions\":0,\"engine\":{},\"account\":{}}}\n",
+        ));
+        for _ in 0..3 {
+            s.push_str(concat!(
+                "{\"type\":\"event\",\"cell\":0,\"ev\":{\"ev\":\"sample\",\"cycle\":1000,",
+                "\"insts\":0,\"mispredicts\":0,\"squashed\":0,\"grants\":0,",
+                "\"l1_misses\":0,\"squash_slots\":0}}\n",
+            ));
+        }
+        s.push_str(concat!(
+            "{\"type\":\"cell\",\"id\":1,\"workload\":\"huge\",\"suite\":\"micro\",",
+            "\"engine\":\"BASE\",\"seed\":\"0x2\",\"stats\":{\"cycles\":2000,",
+            "\"committed_instructions\":1000,\"engine\":{},\"account\":{}}}\n",
+        ));
+        s.push_str(concat!(
+            "{\"type\":\"event\",\"cell\":1,\"ev\":{\"ev\":\"sample\",\"cycle\":1000,",
+            "\"insts\":18446744073709551615,\"mispredicts\":0,\"squashed\":0,\"grants\":0,",
+            "\"l1_misses\":0,\"squash_slots\":0}}\n",
+        ));
+        s.push_str(concat!(
+            "{\"type\":\"event\",\"cell\":1,\"ev\":{\"ev\":\"sample\",\"cycle\":2000,",
+            "\"insts\":0,\"mispredicts\":0,\"squashed\":0,\"grants\":0,",
+            "\"l1_misses\":0,\"squash_slots\":0}}\n",
+        ));
+        let t = Trajectory::parse(&s).unwrap();
+        let r = sparklines(&t);
+        let flat: String = std::iter::repeat_n(SPARK[0], 3).collect();
+        assert!(r.contains(&flat), "all-zero cell renders a flat baseline:\n{r}");
+        let peak: String = [SPARK[7], SPARK[0]].iter().collect();
+        assert!(r.contains(&peak), "the max interval renders the full-height glyph:\n{r}");
     }
 
     #[test]

@@ -59,6 +59,51 @@ fn ckpt_dir_without_trace_or_sample_stays_quiet() {
 }
 
 #[test]
+fn corrupt_checkpoints_warn_on_stderr_and_mark_the_trajectory() {
+    let dir = scratch("corrupt");
+    // Seed the directory with real checkpoints...
+    let out = table1(&[
+        "--scale",
+        "test",
+        "--json",
+        "--jobs",
+        "1",
+        "--ckpt-dir",
+        dir.to_str().unwrap(),
+        "--ckpt-every",
+        "5000",
+    ]);
+    assert!(out.status.success(), "seeding run failed");
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&dir).expect("ckpt dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "ckpt") {
+            std::fs::write(&path, b"not a checkpoint").expect("corrupt ckpt");
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "seeding run must have written checkpoints");
+    // ...then rerun: every restore must be skipped with a warning naming
+    // the file and the error, and the trajectory must record the
+    // degraded (cold) run in the cell's extra counters.
+    let out =
+        table1(&["--scale", "test", "--json", "--jobs", "1", "--ckpt-dir", dir.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "rerun failed: {stderr}");
+    assert!(
+        stderr.contains("skipped") && stderr.contains("invalid checkpoint"),
+        "missing skip warning, stderr: {stderr}"
+    );
+    assert!(stderr.contains(".ckpt"), "warning must name the skipped file: {stderr}");
+    assert!(
+        stdout.contains("\"ckpt_restore_skips\""),
+        "trajectory must record degraded restores: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn simpoint_argument_validation_rejects_bad_combinations() {
     // All of these fail during argument parsing, before any simulation.
     let cases: [(&[&str], &str); 4] = [

@@ -1,0 +1,317 @@
+//! Protocol and concurrency behavior of the `mssr-serve` job server:
+//! malformed and oversized requests, mid-stream disconnects, duplicate
+//! request ids, backpressure under a full queue, per-request timeouts,
+//! graceful drain — and the property the server exists for: a served
+//! response is byte-identical to the batch harness's trajectory line
+//! for the same cell, whether served cold, from cache, or from a warm
+//! fast-forward snapshot, at any `--jobs`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mssr_bench::harness::serve::{fetch_all, load_gen, Client, LoadOpts, Reply, ServeOpts, Server};
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
+
+/// A small single-experiment server at test scale; the `table1` cell
+/// grid is the universe every test below speaks to.
+fn opts() -> ServeOpts {
+    let mut o = ServeOpts::new(Scale::Test);
+    o.experiments = vec!["table1".to_string()];
+    o.jobs = 2;
+    o
+}
+
+fn start(o: ServeOpts) -> (Server, String) {
+    let server = Server::start(o).expect("server starts");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+/// The batch trajectory of `table1` filtered to the `"cell"`/`"event"`
+/// lines a serve fetch reassembles.
+fn batch_lines(jobs: usize, sample: u64, ffwd: u64) -> String {
+    let mut o = HarnessOpts::new(Scale::Test);
+    o.jobs = jobs;
+    o.json = true;
+    o.sample = sample;
+    o.ffwd = ffwd;
+    run_named(&["table1"], &o)
+        .lines()
+        .filter(|l| l.starts_with("{\"type\":\"cell\"") || l.starts_with("{\"type\":\"event\""))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+#[test]
+fn malformed_json_gets_an_error_and_the_connection_survives() {
+    let (server, addr) = start(opts());
+    let mut c = Client::connect(&addr, 10_000).unwrap();
+    assert!(c.send("{not json"));
+    let reply = c.recv().expect("error reply");
+    assert!(reply.contains("\"error\""), "want error, got: {reply}");
+    assert!(reply.contains("malformed"), "want malformed, got: {reply}");
+    // The same connection keeps working.
+    assert!(c.send("{\"type\":\"ping\"}"));
+    assert_eq!(c.recv().as_deref(), Some("{\"type\":\"pong\"}"));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_line_is_rejected_and_closes_the_connection() {
+    let mut o = opts();
+    o.max_line = 256;
+    let (server, addr) = start(o);
+    let mut c = Client::connect(&addr, 10_000).unwrap();
+    let huge = format!("{{\"type\":\"run\",\"pad\":\"{}\"}}", "x".repeat(1024));
+    assert!(c.send(&huge));
+    let reply = c.recv().expect("error reply before close");
+    assert!(reply.contains("exceeds 256 bytes"), "got: {reply}");
+    assert_eq!(c.recv(), None, "server must close after an oversized line");
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_the_server_healthy() {
+    let (server, addr) = start(opts());
+    {
+        // Half a request, then a hard drop.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        let mut hello = [0u8; 64];
+        let _ = s.read(&mut hello);
+        s.write_all(b"{\"type\":\"run\",\"cel").unwrap();
+        drop(s);
+    }
+    {
+        // Disconnect while a sampled cell is computing for us: the
+        // worker's live event writes fail harmlessly.
+        let mut c = Client::connect(&addr, 10_000).unwrap();
+        assert!(c.send("{\"type\":\"run\",\"cell\":0,\"sample\":2000}"));
+        drop(c);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let mut c = Client::connect(&addr, 10_000).unwrap();
+    assert!(c.send("{\"type\":\"ping\"}"));
+    assert_eq!(c.recv().as_deref(), Some("{\"type\":\"pong\"}"));
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_request_id_with_same_payload_is_an_idempotent_retry() {
+    let (server, addr) = start(opts());
+    let mut c = Client::connect(&addr, 30_000).unwrap();
+    let req = "{\"type\":\"run\",\"id\":\"retry-1\",\"cell\":0,\"sample\":2000}";
+    let Reply::Done { events: e1, cell_line: l1, cached } = c.request(req) else {
+        panic!("first attempt must succeed");
+    };
+    assert!(!cached, "first touch is a miss");
+    let Reply::Done { events: e2, cell_line: l2, cached } = c.request(req) else {
+        panic!("retry must succeed");
+    };
+    assert!(cached, "retry is served from cache");
+    assert_eq!(l1, l2, "cell record must be byte-identical on retry");
+    assert_eq!(e1, e2, "event replay must be byte-identical on retry");
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_request_id_with_different_payload_is_refused() {
+    let (server, addr) = start(opts());
+    let mut c = Client::connect(&addr, 30_000).unwrap();
+    let Reply::Done { .. } = c.request("{\"type\":\"run\",\"id\":\"amb-1\",\"cell\":0}") else {
+        panic!("first use of the id must succeed");
+    };
+    match c.request("{\"type\":\"run\",\"id\":\"amb-1\",\"cell\":1}") {
+        Reply::Error { error } => {
+            assert!(error.contains("different payload"), "got: {error}");
+        }
+        other => panic!("conflicting id reuse must error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_run_requests_get_specific_errors() {
+    let (server, addr) = start(opts());
+    let mut c = Client::connect(&addr, 10_000).unwrap();
+    let cases = [
+        ("{\"type\":\"run\",\"cell\":9999}", "unknown cell"),
+        ("{\"type\":\"run\"}", "needs \"cell\""),
+        ("{\"type\":\"run\",\"workload\":\"nope\",\"engine\":\"nope\"}", "no cell matches"),
+        ("{\"type\":\"frobnicate\"}", "unknown request type"),
+        ("{\"cell\":0}", "needs a string \"type\""),
+    ];
+    for (req, needle) in cases {
+        match c.request(req) {
+            Reply::Error { error } => assert!(error.contains(needle), "{req}: got {error}"),
+            other => panic!("{req}: expected error, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn run_by_workload_and_engine_name_matches_run_by_cell_id() {
+    let (server, addr) = start(opts());
+    let mut c = Client::connect(&addr, 30_000).unwrap();
+    // Discover cell 0's names from the server itself.
+    assert!(c.send("{\"type\":\"list\"}"));
+    let list = c.recv().expect("list reply");
+    let grab = |key: &str| {
+        let pat = format!("\"{key}\":\"");
+        let at = list.find(&pat).expect(key) + pat.len();
+        list[at..].split('"').next().unwrap().to_string()
+    };
+    let (wl, eng) = (grab("workload"), grab("engine"));
+    let Reply::Done { cell_line: by_id, .. } = c.request("{\"type\":\"run\",\"cell\":0}") else {
+        panic!("by-id run failed");
+    };
+    let by_name_req = format!("{{\"type\":\"run\",\"workload\":\"{wl}\",\"engine\":\"{eng}\"}}");
+    let Reply::Done { cell_line: by_name, cached, .. } = c.request(&by_name_req) else {
+        panic!("by-name run failed");
+    };
+    assert_eq!(by_id, by_name);
+    assert!(cached, "same cell identity must hit the cache");
+    server.shutdown();
+}
+
+#[test]
+fn served_trajectories_are_byte_identical_to_batch_cold_warm_and_across_jobs() {
+    let batch = batch_lines(1, 2000, 0);
+    assert!(batch.contains("\"type\":\"event\""), "batch run must carry sample events");
+    for jobs in [1usize, 3] {
+        let mut o = opts();
+        o.jobs = jobs;
+        let (server, addr) = start(o);
+        let cold = fetch_all(&addr, 2000, 0).expect("cold fetch");
+        let warm = fetch_all(&addr, 2000, 0).expect("warm fetch");
+        assert_eq!(cold, batch, "cold serve (jobs={jobs}) must equal the batch trajectory");
+        assert_eq!(warm, batch, "cache hits (jobs={jobs}) must replay identical bytes");
+        server.shutdown();
+    }
+}
+
+#[test]
+fn warm_ffwd_snapshots_serve_identical_bytes_across_sampling_modes() {
+    let batch = batch_lines(1, 2000, 5_000);
+    let (server, addr) = start(opts());
+    // First an unsampled pass at the same ffwd: it plants the in-memory
+    // boundary snapshots the sampled pass below will restore from.
+    let _ = fetch_all(&addr, 0, 5_000).expect("unsampled warmup fetch");
+    let warm = fetch_all(&addr, 2000, 5_000).expect("sampled fetch");
+    assert_eq!(
+        warm, batch,
+        "a run restored from a shared ffwd boundary snapshot must be byte-identical to cold batch"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_answers_busy_with_a_retry_hint_instead_of_buffering() {
+    let mut o = opts();
+    o.jobs = 1;
+    o.queue_bound = 1;
+    o.delay_ms = 300;
+    let (server, addr) = start(o);
+    // Three distinct cells from three connections: one runs, one queues,
+    // the third must be rejected with a hint. The stagger lets the
+    // worker pop the first job before the second arrives, so exactly
+    // one submission sees a full queue.
+    let mut clients: Vec<Client> =
+        (0..3).map(|_| Client::connect(&addr, 30_000).unwrap()).collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        assert!(c.send(&format!("{{\"type\":\"run\",\"cell\":{i}}}")));
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    // The last submission sees bound-full state; collect all outcomes.
+    let mut done = 0;
+    let mut busy = 0;
+    for c in &mut clients {
+        loop {
+            let line = c.recv().expect("reply");
+            if line.contains("\"type\":\"done\"") {
+                done += 1;
+                break;
+            }
+            if line.contains("\"type\":\"busy\"") {
+                assert!(line.contains("retry_after_ms"), "busy needs a hint: {line}");
+                busy += 1;
+                break;
+            }
+        }
+    }
+    assert_eq!(done, 2, "worker slot + one queued request complete");
+    assert_eq!(busy, 1, "the over-bound request is rejected, not buffered");
+    server.shutdown();
+}
+
+#[test]
+fn request_timeout_fires_and_a_retry_with_the_same_id_recovers() {
+    let mut o = opts();
+    o.jobs = 1;
+    o.delay_ms = 400;
+    o.timeout_ms = 50;
+    let (server, addr) = start(o);
+    let mut c = Client::connect(&addr, 30_000).unwrap();
+    let req = "{\"type\":\"run\",\"id\":\"slow-1\",\"cell\":0}";
+    match c.request(req) {
+        Reply::Error { error } => assert!(error.contains("timed out"), "got: {error}"),
+        other => panic!("expected timeout error, got {other:?}"),
+    }
+    // The cell kept computing; a same-id retry joins or hits it.
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match c.request(req) {
+            Reply::Done { cached, .. } => {
+                assert!(cached, "retry must be served from the original computation");
+                break;
+            }
+            Reply::Error { error } if error.contains("timed out") && attempts < 50 => {}
+            other => panic!("retry attempt {attempts}: {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_work_before_bye() {
+    let mut o = opts();
+    o.jobs = 1;
+    o.delay_ms = 200;
+    let (server, addr) = start(o);
+    let mut waiter = Client::connect(&addr, 30_000).unwrap();
+    assert!(waiter.send("{\"type\":\"run\",\"cell\":0}"));
+    std::thread::sleep(Duration::from_millis(30)); // let it enqueue
+    let mut admin = Client::connect(&addr, 30_000).unwrap();
+    assert!(admin.send("{\"type\":\"shutdown\"}"));
+    // The in-flight cell completes for its waiter...
+    match waiter.request("") {
+        Reply::Done { .. } => {}
+        other => panic!("queued request must finish during drain, got {other:?}"),
+    }
+    // ...and only then does the drainer get its bye.
+    let bye = admin.recv().expect("bye");
+    assert!(bye.contains("\"type\":\"bye\""), "got: {bye}");
+    server.wait();
+}
+
+#[test]
+fn concurrent_mixed_load_hits_cache_and_stays_consistent() {
+    let (server, addr) = start(opts());
+    let mut lo = LoadOpts::new(&addr);
+    lo.clients = 16;
+    lo.requests = 4;
+    lo.dup_pct = 75;
+    let report = load_gen(&lo).expect("load run");
+    let field = |k: &str| -> u64 {
+        let pat = format!("\"{k}\": ");
+        let at = report.find(&pat).unwrap_or_else(|| panic!("{k} in {report}")) + pat.len();
+        report[at..].split(|ch: char| !ch.is_ascii_digit()).next().unwrap().parse().unwrap()
+    };
+    assert_eq!(field("requests_ok"), 64, "all requests complete: {report}");
+    assert_eq!(field("errors"), 0, "no errors: {report}");
+    assert!(field("responses_cached") > 0, "duplicates must hit the cache: {report}");
+    server.shutdown();
+}

@@ -404,6 +404,41 @@ impl Simulator {
         )
     }
 
+    /// Re-arms event tracing after restoring a *fast-forward boundary*
+    /// snapshot into a run whose trace configuration differs from the
+    /// donor's (the serve path shares boundary snapshots across
+    /// sampling modes). The checkpoint envelope restores the donor's
+    /// trace mask and per-kind counters ([`Tracer`] state) — correct
+    /// when resuming the same run, wrong for a recipient that filters
+    /// different kinds: without this, a sample-masked run restored from
+    /// an unmasked donor records the full event firehose. This zeroes
+    /// the counters, installs `mask`, and re-emits the fast-forward
+    /// `Ckpt` event a cold run would have produced under the recipient's
+    /// own sink and mask, making statistics and event stream
+    /// byte-identical to a cold run of this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when detailed cycles have already been simulated: mid-run
+    /// restores carry event counters that cannot be reconstructed, so
+    /// they may only resume under the donor's own configuration.
+    pub fn rearm_tracing(&mut self, mask: u64) {
+        assert!(
+            self.st.cycle == 0,
+            "rearm_tracing is only valid at a fast-forward boundary (cycle {})",
+            self.st.cycle
+        );
+        self.tracer.reset_counts();
+        self.tracer.set_mask(mask);
+        if self.st.stats.ffwd_insts > 0 {
+            self.tracer.emit(TraceEvent::Ckpt {
+                cycle: self.st.cycle,
+                action: CkptAction::Ffwd,
+                insts: self.st.stats.ffwd_insts,
+            });
+        }
+    }
+
     /// Functionally fast-forwards `n` instructions through the shared
     /// architectural step ([`crate::interp`]'s `arch_step` — the same
     /// semantics the interpreter oracle runs), warming the branch

@@ -519,6 +519,13 @@ impl Tracer {
         self.counts[kind.index()]
     }
 
+    /// Zeroes every per-kind counter. Used when re-arming tracing after
+    /// a checkpoint restore into a differently-configured run, where the
+    /// restored counters describe the donor's filtering, not ours.
+    pub fn reset_counts(&mut self) {
+        self.counts = [0; TraceKind::COUNT];
+    }
+
     /// Serializes the counters and mask. The sink is deliberately not
     /// serialized: sinks hold live I/O handles, and a restored run
     /// attaches its own (or none).
@@ -735,5 +742,36 @@ mod tests {
         back.set_sink(Box::new(RingSink::new(4)));
         back.emit(sample()[0]);
         assert_eq!(back.count(TraceKind::Fetch), 0);
+    }
+
+    #[test]
+    fn reset_counts_clears_every_kind_but_keeps_the_sink_and_mask() {
+        let mut t = Tracer::default();
+        t.set_sink(Box::new(RingSink::new(16)));
+        t.set_mask(TraceKind::Sample.bit());
+        for ev in sample() {
+            t.emit(ev);
+        }
+        assert_eq!(t.count(TraceKind::Sample), 1);
+        t.reset_counts();
+        for k in TraceKind::ALL {
+            assert_eq!(t.count(k), 0, "{k:?} must reset");
+        }
+        assert!(t.on(), "the sink survives a counter reset");
+        // The mask survives too: a masked fetch still goes uncounted, a
+        // sample event counts again from zero.
+        t.emit(sample()[0]);
+        assert_eq!(t.count(TraceKind::Fetch), 0);
+        assert_eq!(t.count(TraceKind::Sample), 0);
+        t.emit(TraceEvent::Sample(Sample {
+            cycle: 8,
+            insts: 1,
+            mispredicts: 0,
+            squashed: 0,
+            grants: 0,
+            l1_misses: 0,
+            squash_slots: 0,
+        }));
+        assert_eq!(t.count(TraceKind::Sample), 1);
     }
 }
