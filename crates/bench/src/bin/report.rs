@@ -5,10 +5,12 @@
 //! rendering lives in `mssr_bench::harness::report`; this binary only
 //! parses arguments, reads files, and maps failures to the exit code.
 
-use mssr_bench::harness::report::{regressions, render_report, simpoint_errors, Trajectory};
+use mssr_bench::harness::report::{
+    parse_profile, profile_table, regressions, render_report, simpoint_errors, Trajectory,
+};
 
 const USAGE: &str = "usage: mssr-report FILE... [--baseline OLD] [--threshold PCT]
-                   [--golden FULL] [--max-error PCT]
+                   [--golden FULL] [--max-error PCT] [--profile PROF]
   FILE...          JSON-lines trajectories from a harness --json run
   --baseline OLD   compare the first FILE against trajectory OLD and
                    exit 1 when IPC or reuse-grant rate regresses
@@ -16,7 +18,10 @@ const USAGE: &str = "usage: mssr-report FILE... [--baseline OLD] [--threshold PC
   --golden FULL    compare the first FILE's --simpoint reconstructions
                    against the whole-program trajectory FULL and exit 1
                    when any cell's IPC error exceeds --max-error
-  --max-error PCT  reconstruction error gate in percent (default 3)";
+  --max-error PCT  reconstruction error gate in percent (default 3)
+  --profile PROF   render the self-profile table from a saved harness
+                   --profile stderr stream (PROF may be the only input:
+                   trajectory FILEs are optional with --profile)";
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -36,6 +41,7 @@ fn main() {
     let mut threshold: u64 = 5;
     let mut golden: Option<String> = None;
     let mut max_error: u64 = 3;
+    let mut profile: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value =
@@ -48,6 +54,7 @@ fn main() {
                     .unwrap_or_else(|e| fail(&format!("--threshold: {e}")));
             }
             "--golden" => golden = Some(value("--golden")),
+            "--profile" => profile = Some(value("--profile")),
             "--max-error" => {
                 max_error = value("--max-error")
                     .parse()
@@ -61,7 +68,9 @@ fn main() {
             _ => files.push(arg),
         }
     }
-    if files.is_empty() {
+    // A profile stream can be rendered on its own, but the comparison
+    // modes always need a trajectory to compare.
+    if files.is_empty() && (profile.is_none() || baseline.is_some() || golden.is_some()) {
         fail("no trajectory files given");
     }
     let trajectories: Vec<Trajectory> = files.iter().map(|f| load(f)).collect();
@@ -71,6 +80,15 @@ fn main() {
             println!("######## {path} ########\n");
         }
         print!("{}", render_report(t));
+    }
+    if let Some(prof_path) = profile {
+        let text = std::fs::read_to_string(&prof_path)
+            .unwrap_or_else(|e| fail(&format!("mssr-report: {prof_path}: {e}")));
+        if !files.is_empty() {
+            println!();
+        }
+        println!("== Self-profile ({prof_path}) ==");
+        print!("{}", profile_table(&parse_profile(&text)));
     }
     if let Some(old_path) = baseline {
         let old = load(&old_path);

@@ -7,13 +7,16 @@
 //! once bound — scripts parse the address from it (`--addr 127.0.0.1:0`
 //! picks a free port) — and runs until a client sends `shutdown`.
 
-use mssr_bench::harness::serve::{fetch_all, load_gen, Client, LoadOpts, ServeOpts, Server};
+use mssr_bench::harness::serve::{
+    fetch_all, fetch_metrics, load_gen, Client, LoadOpts, ServeOpts, Server,
+};
 use mssr_bench::scale_from_env;
 use mssr_workloads::Scale;
 
 const USAGE: &str = "usage: mssr-serve [server options]
        mssr-serve --fetch ADDR [--sample N] [--ffwd N]
        mssr-serve --load ADDR [--clients N] [--requests N] [--dup PCT] [--sample N] [--seed S]
+       mssr-serve --metrics ADDR
        mssr-serve (--ping | --stats | --shutdown) ADDR
 
 server options:
@@ -32,6 +35,7 @@ client modes:
   --fetch ADDR       request every cell in id order; stdout carries the
                      batch-identical cell/event trajectory lines
   --load ADDR        drive concurrent load; stdout carries the BENCH_serve.json body
+  --metrics ADDR     scrape the server; stdout carries Prometheus text exposition
   --ping/--stats     one request, print the reply
   --shutdown ADDR    drain the server and wait for its `bye`";
 
@@ -73,7 +77,7 @@ fn main() {
         let mut value =
             |name: &str| it.next().unwrap_or_else(|| fail(&format!("{name} requires a value")));
         match arg.as_str() {
-            "--fetch" | "--load" | "--ping" | "--stats" | "--shutdown" => {
+            "--fetch" | "--load" | "--metrics" | "--ping" | "--stats" | "--shutdown" => {
                 if mode.is_some() {
                     fail("one client mode at a time");
                 }
@@ -155,6 +159,10 @@ fn main() {
                     Err(e) => fail(&e),
                 }
             }
+            "--metrics" => match fetch_metrics(&addr) {
+                Ok(body) => print!("{body}"),
+                Err(e) => fail(&e),
+            },
             "--ping" => one_shot(&addr, "{\"type\":\"ping\"}"),
             "--stats" => one_shot(&addr, "{\"type\":\"stats\"}"),
             "--shutdown" => one_shot(&addr, "{\"type\":\"shutdown\"}"),

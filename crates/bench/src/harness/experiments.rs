@@ -614,7 +614,43 @@ impl Experiment for Rollup {
                 ]);
             }
         }
-        render_csv(&["CFG", "BM", "CYCLES", "diff"], &rows)
+        let mut out = render_csv(&["CFG", "BM", "CYCLES", "diff"], &rows);
+        // `--timing` runs append a host-throughput aggregate: per
+        // configuration, min/median/max simulated MIPS (thousandths)
+        // over the suite. Untimed runs leave the CSV bytes unchanged —
+        // the determinism gates compare plain rollup output.
+        if results.iter().any(|r| r.stats.engine.sim_mips_milli > 0) {
+            let mut labels: Vec<String> = Vec::new();
+            for &id in ids {
+                let l = pool.cell_spec(id).engine.label();
+                if !labels.contains(&l) {
+                    labels.push(l);
+                }
+            }
+            let agg: Vec<Vec<String>> = labels
+                .iter()
+                .map(|l| {
+                    let mut mips: Vec<u64> = ids
+                        .iter()
+                        .filter(|&&id| pool.cell_spec(id).engine.label() == *l)
+                        .map(|&id| results[id].stats.engine.sim_mips_milli)
+                        .collect();
+                    mips.sort_unstable();
+                    vec![
+                        l.clone(),
+                        mips[0].to_string(),
+                        mips[(mips.len() - 1) / 2].to_string(),
+                        mips[mips.len() - 1].to_string(),
+                    ]
+                })
+                .collect();
+            out.push('\n');
+            out.push_str(&render_csv(
+                &["CFG", "SIM_MIPS_MILLI_MIN", "SIM_MIPS_MILLI_MED", "SIM_MIPS_MILLI_MAX"],
+                &agg,
+            ));
+        }
+        out
     }
 }
 

@@ -10,11 +10,12 @@ use std::path::Path;
 
 use mssr_core::{MemCheckPolicy, MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
 use mssr_sim::{
-    fnv1a64, BbvCollector, BufferSink, CycleAccount, ReuseEngine, SimConfig, SimStats, Simulator,
-    TraceEvent, TraceKind, TraceSink,
+    fnv1a64, BbvCollector, BufferSink, CycleAccount, ProfReport, ReuseEngine, SimConfig, SimStats,
+    Simulator, TraceEvent, TraceKind, TraceSink, PROF_DEFAULT_STRIDE,
 };
 use mssr_workloads::{Scale, Workload};
 
+use super::metrics::warn;
 use super::simpoint::{self, SimpointPlan};
 use super::{cell_seed, splitmix64, HarnessOpts};
 use crate::EngineSpec;
@@ -175,6 +176,22 @@ pub struct CellResult {
     /// field-wise sum over representatives, not a whole-program run;
     /// `mssr-report` reconstructs whole-program CPI from this record.
     pub simpoint: Option<SimpointCellResult>,
+    /// The cell's host wall-clock profile (`--profile` runs only). Like
+    /// `--timing`, this is machine-dependent — which is why the harness
+    /// emits it on stderr, never into the trajectory.
+    pub profile: Option<CellProfile>,
+}
+
+/// One cell's self-profile: the simulator's per-bucket wall-clock
+/// attribution plus the cell's total wall time (the sim-MIPS and
+/// cycles-per-second denominator).
+#[derive(Clone, Debug)]
+pub struct CellProfile {
+    /// Whole-cell wall time in microseconds (≥ 1).
+    pub total_us: u64,
+    /// Per-stage sampled nanoseconds and whole-call ckpt/ffwd/bbv
+    /// timings (see [`mssr_sim::ProfBucket`]).
+    pub report: ProfReport,
 }
 
 /// One representative interval's detailed measurement under `--simpoint`.
@@ -301,6 +318,10 @@ pub(crate) struct CellRun<'a> {
     pub ckpt_every: u64,
     /// Record wall-clock simulated MIPS into the stats.
     pub timing: bool,
+    /// Arm the simulator's per-stage self-profiler and return a
+    /// [`CellProfile`] with the result (out-of-band; simulated output is
+    /// byte-identical either way).
+    pub profile: bool,
     /// Shared in-memory cache of fast-forward boundary snapshots.
     pub ckpt_mem: Option<&'a CkptMem>,
 }
@@ -318,6 +339,7 @@ impl<'a> CellRun<'a> {
             ckpt_dir,
             ckpt_every: opts.ckpt_every,
             timing: opts.timing,
+            profile: opts.profile,
             ckpt_mem: None,
         }
     }
@@ -416,8 +438,8 @@ impl CellPool {
     /// `i`'s result regardless of which worker ran it or when.
     pub fn run(&self, opts: &HarnessOpts) -> Vec<CellResult> {
         if opts.ckpt_dir.is_some() && (opts.trace || opts.sample > 0) {
-            eprintln!(
-                "warning: --ckpt-dir is ignored under --trace/--sample (a restored run would emit only the tail of its event stream)"
+            warn(
+                "--ckpt-dir is ignored under --trace/--sample (a restored run would emit only the tail of its event stream)",
             );
         }
         let plans = opts.simpoint.map(|_| self.simpoint_plans(opts));
@@ -514,6 +536,9 @@ impl CellPool {
                 Some(e) => w.instantiate_with(spec.cfg.clone(), e),
                 None => w.instantiate(spec.cfg.clone()),
             };
+            if rp.profile {
+                sim.set_profiling(PROF_DEFAULT_STRIDE);
+            }
             if sample > 0 {
                 sim.set_sample_interval(sample);
             }
@@ -569,29 +594,38 @@ impl CellPool {
             if let Some(dir) = rp.ckpt_dir.filter(|_| rp.ckpt_every > 0) {
                 save_periodic_ckpts(&mut sim, dir, &stem, rp.ckpt_every);
             }
-            w.finish(&mut sim)
+            let stats = w.finish(&mut sim);
+            let prof = sim.profile_report();
+            (stats, prof)
         };
-        let started = rp.timing.then(std::time::Instant::now);
-        let (mut stats, ri_set_replacements) = match spec.engine.build_ri() {
+        let started = (rp.timing || rp.profile).then(std::time::Instant::now);
+        let (mut stats, prof, ri_set_replacements) = match spec.engine.build_ri() {
             Some(ri) => {
                 // Keep the replacement-counter handle across the run
                 // (fig3's per-set replacement-frequency data).
                 let counters = ri.replacement_counters();
-                let stats = run(Some(Box::new(ri)), &mut ckpt_skips);
+                let (stats, prof) = run(Some(Box::new(ri)), &mut ckpt_skips);
                 let snapshot = counters.borrow().clone();
-                (stats, Some(snapshot))
+                (stats, prof, Some(snapshot))
             }
-            None => (run(spec.engine.build(), &mut ckpt_skips), None),
+            None => {
+                let (stats, prof) = run(spec.engine.build(), &mut ckpt_skips);
+                (stats, prof, None)
+            }
         };
-        if let Some(t0) = started {
+        let total_us = started.map(|t0| (t0.elapsed().as_micros().max(1) as u64).max(1));
+        if rp.timing {
             // MIPS = insts / µs; thousandths keep the trajectory integer.
-            let us = (t0.elapsed().as_micros().max(1) as u64).max(1);
+            let us = total_us.expect("timed above");
             stats.engine.sim_mips_milli =
                 (stats.committed_instructions.saturating_mul(1000) / us).max(1);
         }
+        let profile = rp
+            .profile
+            .then(|| CellProfile { total_us: total_us.expect("timed above"), report: prof });
         record_ckpt_skips(&mut stats, &ckpt_skips, i, w.name(), &spec.engine.label());
         let trace = buf.map(|b| std::mem::take(&mut *b.lock().expect("trace buffer poisoned")));
-        CellResult { seed, stats, ri_set_replacements, trace, simpoint: None }
+        CellResult { seed, stats, ri_set_replacements, trace, simpoint: None, profile }
     }
 
     /// Runs one cell in SimPoint mode: for each representative interval
@@ -615,11 +649,12 @@ impl CellPool {
         // under --trace/--sample (a restored run would emit only the tail
         // of its event stream).
         let ckpt_dir = if trace || sample > 0 { None } else { opts.ckpt_dir.as_deref() };
-        let started = opts.timing.then(std::time::Instant::now);
+        let started = (opts.timing || opts.profile).then(std::time::Instant::now);
         let mut stats = SimStats::default();
         let mut ri_set_replacements: Option<Vec<u64>> = None;
         let mut trace_out = String::new();
         let mut ckpt_skips: Vec<String> = Vec::new();
+        let mut prof = ProfReport::default();
         let mut reps = Vec::with_capacity(plan.reps.len());
         for rep in &plan.reps {
             let (sink, buf) = if trace || sample > 0 {
@@ -639,6 +674,9 @@ impl CellPool {
                 Some(e) => w.instantiate_with(spec.cfg.clone(), e),
                 None => w.instantiate(spec.cfg.clone()),
             };
+            if opts.profile {
+                sim.set_profiling(PROF_DEFAULT_STRIDE);
+            }
             if sample > 0 {
                 sim.set_sample_interval(sample);
             }
@@ -715,12 +753,17 @@ impl CellPool {
                 account: delta.account,
             });
             merge_stats(&mut stats, &delta, u64::wrapping_add);
+            prof.merge(&sim.profile_report());
         }
-        if let Some(t0) = started {
-            let us = (t0.elapsed().as_micros().max(1) as u64).max(1);
+        let total_us = started.map(|t0| (t0.elapsed().as_micros().max(1) as u64).max(1));
+        if opts.timing {
+            let us = total_us.expect("timed above");
             stats.engine.sim_mips_milli =
                 (stats.committed_instructions.saturating_mul(1000) / us).max(1);
         }
+        let profile = opts
+            .profile
+            .then(|| CellProfile { total_us: total_us.expect("timed above"), report: prof });
         record_ckpt_skips(&mut stats, &ckpt_skips, i, w.name(), &spec.engine.label());
         let trace = (trace || sample > 0).then_some(trace_out);
         let simpoint = Some(SimpointCellResult {
@@ -730,7 +773,7 @@ impl CellPool {
             k: plan.k,
             reps,
         });
-        CellResult { seed, stats, ri_set_replacements, trace, simpoint }
+        CellResult { seed, stats, ri_set_replacements, trace, simpoint, profile }
     }
 }
 
@@ -823,11 +866,11 @@ fn record_ckpt_skips(stats: &mut SimStats, skips: &[String], i: CellId, w: &str,
     if skips.is_empty() {
         return;
     }
-    eprintln!(
-        "warning: cell {i} ({w}/{engine}): skipped {} invalid checkpoint(s), ran cold: {}",
+    warn(format_args!(
+        "cell {i} ({w}/{engine}): skipped {} invalid checkpoint(s), ran cold: {}",
         skips.len(),
         skips.join("; ")
-    );
+    ));
     stats.engine.extra.push(("ckpt_restore_skips".to_string(), skips.len() as u64));
 }
 

@@ -37,17 +37,20 @@
 mod experiments;
 mod grid;
 mod measure;
+pub mod metrics;
 pub mod report;
 pub mod serve;
 pub mod simpoint;
+pub mod simspeed;
 
 pub use experiments::{all_experiments, experiment, Experiment, EXPERIMENT_NAMES};
 pub use grid::{
-    run_cells, CellId, CellPool, CellResult, CellSpec, EngineCfg, SimpointCellResult, SimpointRep,
+    run_cells, CellId, CellPool, CellProfile, CellResult, CellSpec, EngineCfg, SimpointCellResult,
+    SimpointRep,
 };
 pub use measure::{measure, MeasureConfig, Measurement};
 
-use mssr_sim::json_escape;
+use mssr_sim::{json_escape, ProfBucket};
 use mssr_workloads::Scale;
 
 /// Default root seed for the experiment grid ("MSSR" in ASCII).
@@ -106,6 +109,12 @@ pub struct HarnessOpts {
     /// simulated-MIPS into its stats record. The one opt-in that makes
     /// output machine-dependent — off for every byte-identity comparison.
     pub timing: bool,
+    /// Self-profile the simulator (`--profile`): attribute host
+    /// wall-clock to each pipeline stage and the ckpt/ffwd/bbv paths,
+    /// emitting one `{"type":"profile",...}` record per cell on
+    /// *stderr*. Strictly out-of-band: stdout (reports or trajectory)
+    /// is byte-identical with it on or off.
+    pub profile: bool,
 }
 
 impl HarnessOpts {
@@ -124,6 +133,7 @@ impl HarnessOpts {
             ckpt_every: 0,
             simpoint: None,
             timing: false,
+            profile: false,
         }
     }
 
@@ -215,6 +225,7 @@ impl HarnessOpts {
                     opts.simpoint = Some((interval, maxk));
                 }
                 "--timing" => opts.timing = true,
+                "--profile" => opts.profile = true,
                 "--help" | "-h" => return Err("help".to_string()),
                 s => return Err(format!("unknown argument `{s}`")),
             }
@@ -266,7 +277,9 @@ const USAGE: &str =
   --ckpt-every N  with --ckpt-dir: save a checkpoint every N committed instructions
   --simpoint I,K  with --json: SimPoint sampling — cluster I-instruction BBV intervals (k <= K)
                   and run only the representative intervals of each workload
-  --timing        record per-cell simulated MIPS (wall-clock: output becomes machine-dependent)";
+  --timing        record per-cell simulated MIPS (wall-clock: output becomes machine-dependent)
+  --profile       self-profile the simulator: emit per-cell {\"type\":\"profile\",...} records on
+                  stderr (stdout stays byte-identical; render with mssr-report --profile FILE)";
 
 pub(crate) fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -314,6 +327,36 @@ pub(crate) fn push_event_lines(out: &mut String, cell: CellId, raw: &str) {
     }
 }
 
+/// One `"profile"` record (no trailing newline): a cell's host
+/// wall-clock self-profile. These lines go to *stderr*, never into the
+/// trajectory — `Trajectory::parse` rejects unknown record types by
+/// design, and profile data is machine-dependent, so keeping it out of
+/// stdout is what keeps `--profile` byte-transparent. `mssr-report
+/// --profile FILE` consumes a saved stderr stream.
+pub(crate) fn profile_json_line(pool: &CellPool, i: CellId, r: &CellResult) -> Option<String> {
+    let p = r.profile.as_ref()?;
+    let spec = pool.cell_spec(i);
+    let w = pool.workload(spec.workload);
+    let mut out = format!(
+        "{{\"type\":\"profile\",\"cell\":{i},\"workload\":\"{}\",\"engine\":\"{}\",\"cycles\":{},\"insts\":{},\"total_us\":{},\"stride\":{},\"sampled_cycles\":{},\"ns\":{{",
+        json_escape(w.name()),
+        json_escape(&spec.engine.label()),
+        r.stats.cycles,
+        r.stats.committed_instructions,
+        p.total_us,
+        p.report.stride,
+        p.report.sampled_cycles,
+    );
+    for (k, b) in ProfBucket::ALL.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", b.name(), p.report.get(*b)));
+    }
+    out.push_str("}}");
+    Some(out)
+}
+
 /// Runs a set of experiments over one shared, deduplicated cell pool —
 /// the whole `run_all` sweep is a single parallel grid invocation — and
 /// returns the rendered output (reports, or the JSON-lines trajectory
@@ -322,6 +365,16 @@ pub fn run_experiments(exps: &[Box<dyn Experiment>], opts: &HarnessOpts) -> Stri
     let mut pool = CellPool::new(opts.scale);
     let ids: Vec<Vec<CellId>> = exps.iter().map(|e| e.cells(&mut pool)).collect();
     let results = pool.run(opts);
+    if opts.profile {
+        // Profile records are emitted in cell order on stderr; the
+        // returned output (stdout) is byte-identical with or without
+        // `--profile`, which the determinism suite pins.
+        for (i, r) in results.iter().enumerate() {
+            if let Some(line) = profile_json_line(&pool, i, r) {
+                eprintln!("{line}");
+            }
+        }
+    }
     let mut out = String::new();
     if opts.json {
         out.push_str(&format!(

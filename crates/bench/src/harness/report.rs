@@ -793,6 +793,145 @@ pub fn simpoint_table(t: &Trajectory) -> String {
     table(&header, &rows)
 }
 
+// ---------------------------------------------------------------------
+// Self-profile records (`--profile` stderr stream)
+// ---------------------------------------------------------------------
+
+/// The pipeline-stage buckets of a profile record. Stage time is
+/// *sampled* (one cycle in `stride` is stamped), so estimating a
+/// stage's whole-run time means scaling by the stride; the remaining
+/// buckets (ckpt/ffwd/bbv) are whole-call timings used as-is.
+const STAGE_BUCKETS: [&str; 6] = ["fetch", "rename", "issue", "execute", "commit", "squash"];
+
+/// One `{"type":"profile",...}` record from a harness `--profile`
+/// stderr stream: a cell's host wall-clock attribution.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileRecord {
+    /// Cell id within the run.
+    pub cell: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Engine label.
+    pub engine: String,
+    /// Simulated cycles of the cell.
+    pub cycles: u64,
+    /// Committed instructions of the cell.
+    pub insts: u64,
+    /// Whole-cell wall time in microseconds.
+    pub total_us: u64,
+    /// Stage-sampling stride the profiler ran at.
+    pub stride: u64,
+    /// Cycles actually stamped.
+    pub sampled_cycles: u64,
+    /// Per-bucket accumulated nanoseconds, in record order.
+    pub ns: Vec<(String, u64)>,
+}
+
+impl ProfileRecord {
+    /// Nanoseconds recorded for `bucket` (0 when absent).
+    pub fn bucket_ns(&self, bucket: &str) -> u64 {
+        self.ns.iter().find(|(k, _)| k == bucket).map_or(0, |&(_, v)| v)
+    }
+
+    /// Estimated whole-run nanoseconds of `bucket`: sampled stage time
+    /// scaled by the stride, whole-call buckets as recorded.
+    pub fn est_ns(&self, bucket: &str) -> u64 {
+        let v = self.bucket_ns(bucket);
+        if STAGE_BUCKETS.contains(&bucket) {
+            v.saturating_mul(self.stride.max(1))
+        } else {
+            v
+        }
+    }
+
+    /// Total estimated attributed nanoseconds (the share denominator).
+    pub fn est_total_ns(&self) -> u64 {
+        self.ns.iter().fold(0u64, |acc, (k, _)| acc.saturating_add(self.est_ns(k)))
+    }
+
+    /// Host throughput in thousandths of simulated MIPS.
+    pub fn sim_mips_milli(&self) -> u64 {
+        self.insts.saturating_mul(1000) / self.total_us.max(1)
+    }
+
+    /// Host simulation rate in thousandths of megacycles per second.
+    pub fn mcps_milli(&self) -> u64 {
+        self.cycles.saturating_mul(1000) / self.total_us.max(1)
+    }
+}
+
+/// Parses a `--profile` stderr stream into its profile records. The
+/// stream interleaves with warnings and other diagnostics, so anything
+/// that is not a well-formed `{"type":"profile",...}` line is skipped
+/// rather than an error.
+pub fn parse_profile(text: &str) -> Vec<ProfileRecord> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Ok(v) = Json::parse(line.trim()) else { continue };
+        if v.get("type").and_then(Json::str_val) != Some("profile") {
+            continue;
+        }
+        let mut ns = Vec::new();
+        if let Some(Json::Obj(kv)) = v.get("ns") {
+            for (k, val) in kv {
+                ns.push((k.clone(), val.num().unwrap_or(0)));
+            }
+        }
+        out.push(ProfileRecord {
+            cell: v.field_u64("cell"),
+            workload: v.get("workload").and_then(Json::str_val).unwrap_or("?").to_string(),
+            engine: v.get("engine").and_then(Json::str_val).unwrap_or("?").to_string(),
+            cycles: v.field_u64("cycles"),
+            insts: v.field_u64("insts"),
+            total_us: v.field_u64("total_us"),
+            stride: v.field_u64("stride"),
+            sampled_cycles: v.field_u64("sampled_cycles"),
+            ns,
+        });
+    }
+    out
+}
+
+/// Renders the self-profile table: one row per cell with each bucket's
+/// share of attributed wall-clock (stage samples scaled by the stride,
+/// so a row's shares sum to ~100%), plus host throughput as simulated
+/// MIPS and megacycles per second. Buckets that are zero in every
+/// record (e.g. `bbv` outside SimPoint runs) are omitted.
+pub fn profile_table(recs: &[ProfileRecord]) -> String {
+    if recs.is_empty() {
+        return "(no profile records — run the harness with --profile 2>FILE)\n".to_string();
+    }
+    let names: Vec<&String> = recs[0]
+        .ns
+        .iter()
+        .map(|(k, _)| k)
+        .filter(|k| recs.iter().any(|r| r.bucket_ns(k) > 0))
+        .collect();
+    let mut header: Vec<String> = ["workload", "engine"].iter().map(|s| s.to_string()).collect();
+    header.extend(names.iter().map(|n| n.to_string()));
+    header.push("sim_MIPS".to_string());
+    header.push("Mcyc/s".to_string());
+    let rows: Vec<Vec<String>> = recs
+        .iter()
+        .map(|r| {
+            let total = r.est_total_ns();
+            let mut row = vec![r.workload.clone(), r.engine.clone()];
+            // Shares are scaled to thousandths before the percentage so
+            // huge nanosecond counts cannot overflow pct10's multiply.
+            for n in &names {
+                row.push(pct10(
+                    (u128::from(r.est_ns(n)) * 1000 / u128::from(total.max(1))) as u64,
+                    1000,
+                ));
+            }
+            row.push(milli(r.sim_mips_milli()));
+            row.push(milli(r.mcps_milli()));
+            row
+        })
+        .collect();
+    table(&header, &rows)
+}
+
 /// One sampled cell's reconstruction accuracy vs its whole-program
 /// golden run.
 #[derive(Clone, Debug)]
@@ -1186,6 +1325,65 @@ mod tests {
         assert!(simpoint_errors(&sampled, &empty).is_empty());
         // A trajectory with no sampled cells yields no comparisons.
         assert!(simpoint_errors(&golden, &golden).is_empty());
+    }
+
+    fn fixture_profile() -> String {
+        // A realistic stderr stream: a warning line, a profile record,
+        // and a non-JSON diagnostic interleaved.
+        let mut s = String::new();
+        s.push_str("warning: cell 0 (w/BASE): skipped 1 invalid checkpoint(s), ran cold: x\n");
+        s.push_str(concat!(
+            "{\"type\":\"profile\",\"cell\":0,\"workload\":\"w\",\"engine\":\"BASE\",",
+            "\"cycles\":640000,\"insts\":320000,\"total_us\":200000,\"stride\":64,",
+            "\"sampled_cycles\":10000,\"ns\":{\"fetch\":200000,\"rename\":400000,",
+            "\"issue\":600000,\"execute\":800000,\"commit\":500000,\"squash\":100000,",
+            "\"ckpt\":0,\"ffwd\":33600000,\"bbv\":0}}\n",
+        ));
+        s.push_str("some stray diagnostic line\n");
+        s
+    }
+
+    #[test]
+    fn profile_stream_parses_and_skips_foreign_lines() {
+        let recs = parse_profile(&fixture_profile());
+        assert_eq!(recs.len(), 1, "only the profile record parses");
+        let r = &recs[0];
+        assert_eq!((r.workload.as_str(), r.engine.as_str()), ("w", "BASE"));
+        assert_eq!((r.cycles, r.insts, r.total_us, r.stride), (640000, 320000, 200000, 64));
+        assert_eq!(r.bucket_ns("execute"), 800000);
+        // Stage buckets scale by the stride; whole-call buckets do not.
+        assert_eq!(r.est_ns("execute"), 800000 * 64);
+        assert_eq!(r.est_ns("ffwd"), 33600000);
+        // 320000 insts / 200000 µs = 1.600 MIPS; 640000 cyc = 3.200 Mcyc/s.
+        assert_eq!(r.sim_mips_milli(), 1600);
+        assert_eq!(r.mcps_milli(), 3200);
+    }
+
+    #[test]
+    fn profile_table_shares_sum_to_100_and_hide_empty_buckets() {
+        let recs = parse_profile(&fixture_profile());
+        let t = profile_table(&recs);
+        assert!(t.contains("fetch"), "{t}");
+        assert!(t.contains("sim_MIPS"), "{t}");
+        assert!(!t.contains("ckpt"), "all-zero buckets are hidden:\n{t}");
+        assert!(!t.contains("bbv"), "all-zero buckets are hidden:\n{t}");
+        assert!(t.contains("1.600"), "sim MIPS rendered:\n{t}");
+        assert!(t.contains("3.200"), "Mcyc/s rendered:\n{t}");
+        // The share columns of the data row sum to ~100% (rounding loses
+        // at most 0.1% per column).
+        let row = t.lines().last().unwrap();
+        let sum_tenths: u64 = row
+            .split_whitespace()
+            .filter(|c| c.ends_with('%'))
+            .map(|c| {
+                let (int, frac) = c.trim_end_matches('%').split_once('.').unwrap();
+                int.parse::<u64>().unwrap() * 10 + frac.parse::<u64>().unwrap()
+            })
+            .sum();
+        assert!((995..=1000).contains(&sum_tenths), "shares sum to ~100%: {sum_tenths} in {row}");
+        // Stage scaling puts execute (sampled) near ffwd (whole-call):
+        // est execute = 51.2ms, ffwd = 33.6ms of ~2.6+33.6+... total.
+        assert!(profile_table(&[]).contains("no profile records"));
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   with.
 //! * `{"type":"stats"}` → `{"type":"stats",...}` — request/cache/queue
 //!   counters.
+//! * `{"type":"metrics"}` → `{"type":"metrics","body":...}` — the same
+//!   state as Prometheus text exposition (JSON-escaped in `body`):
+//!   request/cache counters, queue-depth and worker gauges, and
+//!   per-request latency histograms split by cache outcome.
 //! * `{"type":"run","id":ID,"cell":N}` with optional `"seed"`,
 //!   `"sample"`, `"ffwd"` members (or `"workload"`+`"engine"` names in
 //!   place of `"cell"`) — runs or replays one cell. The response is the
@@ -71,6 +75,7 @@ use mssr_sim::{fnv1a64, json_escape};
 use mssr_workloads::Scale;
 
 use super::grid::{panic_message, CellRun, CkptMem, LiveSink};
+use super::metrics::{warnings_total, Counter, Histogram, Renderer};
 use super::report::Json;
 use super::{
     cell_json_line, cell_seed, experiment, push_event_lines, scale_name, splitmix64, CellId,
@@ -212,6 +217,22 @@ struct Counters {
     connections: AtomicU64,
 }
 
+/// The server's scrape-only metrics: what the [`Counters`] snapshot
+/// cannot express (latency distributions, degradation tallies). Gauges
+/// (queue depth, busy workers, cache entries) are read live from
+/// [`State`] at scrape time instead of being stored twice.
+#[derive(Default)]
+struct Metrics {
+    /// Latency of requests answered from cache or by joining an
+    /// in-flight computation (the "warm" path).
+    lat_hit_us: Histogram,
+    /// Latency of requests that submitted a fresh cell execution.
+    lat_miss_us: Histogram,
+    /// Invalid on-disk checkpoints skipped by served cells (each one a
+    /// cold start that should have been warm).
+    ckpt_restore_skips: Counter,
+}
+
 struct State {
     opts: ServeOpts,
     pool: CellPool,
@@ -224,6 +245,7 @@ struct State {
     ckpt_mem: CkptMem,
     stop: AtomicBool,
     n: Counters,
+    m: Metrics,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -268,6 +290,7 @@ impl Server {
             ckpt_mem: CkptMem::new(),
             stop: AtomicBool::new(false),
             n: Counters::default(),
+            m: Metrics::default(),
         });
         let workers = (0..jobs)
             .map(|_| {
@@ -367,6 +390,7 @@ fn run_job(state: &State, job: &Job) -> Served {
         ckpt_dir: if job.sample > 0 { None } else { state.opts.ckpt_dir.as_deref() },
         ckpt_every: 0,
         timing: false,
+        profile: false,
         ckpt_mem: Some(&state.ckpt_mem),
     };
     let live: Option<LiveSink> = job.live.as_ref().map(|w| {
@@ -379,6 +403,11 @@ fn run_job(state: &State, job: &Job) -> Served {
     match catch_unwind(AssertUnwindSafe(|| state.pool.run_cell_with(job.cell, job.seed, &rp, live)))
     {
         Ok(res) => {
+            if let Some((_, skips)) =
+                res.stats.engine.extra.iter().find(|(k, _)| k == "ckpt_restore_skips")
+            {
+                state.m.ckpt_restore_skips.add(*skips);
+            }
             let cell_line = cell_json_line(&state.pool, job.cell, &res);
             let mut events = String::new();
             if let Some(tr) = &res.trace {
@@ -533,6 +562,7 @@ fn dispatch(state: &Arc<State>, w: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
         Some("ping") => send_line(w, "{\"type\":\"pong\"}"),
         Some("list") => send_line(w, &list_line(state)),
         Some("stats") => send_line(w, &stats_line(state)),
+        Some("metrics") => send_line(w, &metrics_line(state)),
         Some("run") => handle_run(state, w, &req),
         Some("shutdown") => {
             handle_shutdown(state, w);
@@ -595,6 +625,67 @@ fn stats_line(state: &State) -> String {
         state.ckpt_mem.entries(),
         ld(&n.connections),
     )
+}
+
+/// Renders the server's state as Prometheus text exposition and wraps
+/// it as the one-line `metrics` response (the body is JSON-escaped; a
+/// scraper decodes one string to recover the exposition verbatim).
+///
+/// Counter/gauge invariants a scraper can rely on: the hit-labelled
+/// latency histogram's `_count` equals `hits + joins` and the
+/// miss-labelled one equals `misses` (every resolved or timed-out wait
+/// is observed exactly once, *before* its response line is written, so
+/// a scrape issued after the response never under-counts it).
+fn metrics_line(state: &State) -> String {
+    let n = &state.n;
+    let ld = |a: &AtomicU64| a.load(Ordering::SeqCst);
+    let mut r = Renderer::new();
+    r.counter("mssr_requests_total", "Run requests received.", ld(&n.requests));
+    r.counter("mssr_cache_hits_total", "Requests answered from the result cache.", ld(&n.hits));
+    r.counter(
+        "mssr_cache_joins_total",
+        "Requests that joined an in-flight computation.",
+        ld(&n.joins),
+    );
+    r.counter(
+        "mssr_cache_misses_total",
+        "Requests that submitted a fresh cell execution.",
+        ld(&n.misses),
+    );
+    r.counter(
+        "mssr_busy_rejections_total",
+        "Requests rejected with busy by the bounded queue.",
+        ld(&n.rejected),
+    );
+    r.counter("mssr_request_timeouts_total", "Waits that exceeded the budget.", ld(&n.timeouts));
+    r.counter("mssr_request_errors_total", "Error responses sent.", ld(&n.errors));
+    r.counter("mssr_served_cells_total", "Cell executions completed.", ld(&n.served_cells));
+    r.counter("mssr_connections_total", "Connections accepted.", ld(&n.connections));
+    r.counter(
+        "mssr_ckpt_restore_skips_total",
+        "Invalid on-disk checkpoints skipped (cold starts that should have been warm).",
+        state.m.ckpt_restore_skips.get(),
+    );
+    r.counter("mssr_warnings_total", "Operational warnings emitted on stderr.", warnings_total());
+    r.gauge(
+        "mssr_queue_depth",
+        "Cells waiting in the bounded queue.",
+        lock(&state.queue).len() as u64,
+    );
+    r.gauge("mssr_workers_busy", "Workers executing a cell right now.", ld(&n.running));
+    r.gauge("mssr_workers", "Worker threads.", state.opts.jobs.max(1) as u64);
+    r.gauge("mssr_cache_entries", "Result-cache entries.", lock(&state.cache).map.len() as u64);
+    r.gauge(
+        "mssr_ckpt_mem_entries",
+        "Shared in-memory fast-forward snapshots.",
+        state.ckpt_mem.entries() as u64,
+    );
+    r.histogram(
+        "mssr_request_latency_us",
+        "Run-request latency in microseconds by cache outcome.",
+        &[("result=\"hit\"", &state.m.lat_hit_us), ("result=\"miss\"", &state.m.lat_miss_us)],
+    );
+    format!("{{\"type\":\"metrics\",\"body\":\"{}\"}}", json_escape(&r.finish()))
 }
 
 fn handle_shutdown(state: &Arc<State>, w: &Mutex<TcpStream>) {
@@ -706,7 +797,8 @@ fn handle_run(state: &Arc<State>, w: &Arc<Mutex<TcpStream>>, req: &Json) -> bool
         }
     }
     state.n.requests.fetch_add(1, Ordering::SeqCst);
-    let deadline = Instant::now() + Duration::from_millis(state.opts.timeout_ms.max(1));
+    let t_req = Instant::now();
+    let deadline = t_req + Duration::from_millis(state.opts.timeout_ms.max(1));
     let decision = {
         let mut cache = lock(&state.cache);
         match cache.map.get(&key) {
@@ -739,6 +831,7 @@ fn handle_run(state: &Arc<State>, w: &Arc<Mutex<TcpStream>>, req: &Json) -> bool
     match decision {
         Decision::Hit(s) => {
             state.n.hits.fetch_add(1, Ordering::SeqCst);
+            state.m.lat_hit_us.observe_us(t_req.elapsed().as_micros() as u64);
             reply_done(state, w, &s, id_ref, true, true)
         }
         Decision::Busy(ms) => {
@@ -755,7 +848,13 @@ fn handle_run(state: &Arc<State>, w: &Arc<Mutex<TcpStream>>, req: &Json) -> bool
             } else {
                 state.n.joins.fetch_add(1, Ordering::SeqCst);
             }
-            match await_done(state, &key, deadline) {
+            let done = await_done(state, &key, deadline);
+            // Every wait is observed exactly once — resolved or timed
+            // out — so the per-outcome histogram counts match the
+            // miss/join counters a scraper cross-checks against.
+            let lat = if submitted { &state.m.lat_miss_us } else { &state.m.lat_hit_us };
+            lat.observe_us(t_req.elapsed().as_micros() as u64);
+            match done {
                 // A submitter already streamed its events live; joiners
                 // get the buffered replay. Either way the payload bytes
                 // (events, then cell record) are identical.
@@ -1007,6 +1106,28 @@ pub fn fetch_all(addr: &str, sample: u64, ffwd: u64) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// Scrapes a server's `metrics` request and returns the decoded
+/// Prometheus text exposition body.
+///
+/// # Errors
+///
+/// Returns a message on connection loss or a malformed reply.
+pub fn fetch_metrics(addr: &str) -> Result<String, String> {
+    let mut c = Client::connect(addr, 60_000)?;
+    if !c.send("{\"type\":\"metrics\"}") {
+        return Err("metrics request failed".into());
+    }
+    let line = c.recv().ok_or_else(|| "no metrics reply".to_string())?;
+    let v = Json::parse(&line).map_err(|e| format!("bad metrics reply: {e}"))?;
+    if v.get("type").and_then(Json::str_val) != Some("metrics") {
+        return Err(format!("unexpected metrics reply: {line}"));
+    }
+    v.get("body")
+        .and_then(Json::str_val)
+        .map(str::to_string)
+        .ok_or_else(|| format!("metrics reply without body: {line}"))
 }
 
 /// Load-generator configuration.

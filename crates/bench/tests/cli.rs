@@ -119,3 +119,67 @@ fn simpoint_argument_validation_rejects_bad_combinations() {
         assert!(stderr.contains(needle), "{args:?}: expected `{needle}` in: {stderr}");
     }
 }
+
+#[test]
+fn profile_records_are_stderr_only_and_render_as_a_table() {
+    let out = table1(&["--scale", "test", "--json", "--jobs", "2", "--profile"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "run failed: {stderr}");
+    // Strictly out-of-band: the trajectory never carries profile records.
+    assert!(!stdout.contains("\"type\":\"profile\""), "profile leaked into stdout: {stdout}");
+    let cells = stdout.matches("{\"type\":\"cell\"").count();
+    let profs = stderr.matches("{\"type\":\"profile\"").count();
+    assert!(cells > 0, "fixture sanity: {stdout}");
+    assert_eq!(profs, cells, "one profile record per cell, stderr: {stderr}");
+    // Each record attributes wall-clock to every bucket of the schema.
+    for key in ["\"ns\":{\"fetch\":", "\"commit\":", "\"squash\":", "\"total_us\":", "\"stride\":"]
+    {
+        assert!(stderr.contains(key), "missing {key} in profile records: {stderr}");
+    }
+    // The saved stream renders as the self-profile table with stage
+    // shares and throughput columns.
+    let dir = scratch("profile");
+    let prof = dir.join("profile.jsonl");
+    std::fs::write(&prof, stderr.as_bytes()).expect("save profile stream");
+    let report = Command::new(env!("CARGO_BIN_EXE_mssr-report"))
+        .args(["--profile", prof.to_str().unwrap()])
+        .output()
+        .expect("mssr-report runs");
+    let rout = String::from_utf8_lossy(&report.stdout);
+    assert!(report.status.success(), "report failed: {}", String::from_utf8_lossy(&report.stderr));
+    for col in ["Self-profile", "workload", "execute", "sim_MIPS", "Mcyc/s", "%"] {
+        assert!(rout.contains(col), "missing {col} in profile table:\n{rout}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rollup_appends_a_throughput_aggregate_only_when_timed() {
+    let run = |args: &[&str]| {
+        let out =
+            Command::new(env!("CARGO_BIN_EXE_rollup")).args(args).output().expect("rollup runs");
+        assert!(out.status.success(), "rollup failed: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    // Untimed runs keep the plain CSV — byte-compatible with the
+    // determinism gates that cmp rollup output across --jobs.
+    let plain = run(&["--scale", "test", "--jobs", "2"]);
+    assert!(!plain.contains("SIM_MIPS_MILLI"), "untimed rollup must not aggregate: {plain}");
+    // --timing appends one aggregate row per configuration with ordered
+    // min <= median <= max throughput.
+    let timed = run(&["--scale", "test", "--jobs", "2", "--timing"]);
+    let (csv, agg) = timed
+        .split_once("\nCFG,SIM_MIPS_MILLI_MIN,SIM_MIPS_MILLI_MED,SIM_MIPS_MILLI_MAX\n")
+        .expect("aggregate section");
+    assert_eq!(csv, plain, "timed run must keep the base CSV");
+    let rows: Vec<&str> = agg.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(rows.len(), 4, "BASE + 3 rollup configurations: {agg}");
+    for row in rows {
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), 4, "CFG,min,med,max: {row}");
+        let v: Vec<u64> =
+            cols[1..].iter().map(|c| c.parse().expect("integer milli-MIPS")).collect();
+        assert!(v[0] > 0 && v[0] <= v[1] && v[1] <= v[2], "ordered nonzero aggregate: {row}");
+    }
+}

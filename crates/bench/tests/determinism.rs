@@ -1,0 +1,47 @@
+//! The self-profiler's out-of-band contract, pinned end to end: a
+//! harness run's *stdout* (the trajectory) must be byte-identical with
+//! `--profile` on or off, and across worker counts. The profiler reads
+//! the host clock and writes to stderr only — if a stage stamp ever
+//! leaked into a counter, a seed, or a record, these comparisons are
+//! the first thing to break.
+
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
+
+fn opts(jobs: usize, profile: bool) -> HarnessOpts {
+    let mut o = HarnessOpts::new(Scale::Test);
+    o.jobs = jobs;
+    o.json = true;
+    o.profile = profile;
+    o
+}
+
+#[test]
+fn profiling_leaves_the_trajectory_byte_identical_across_jobs() {
+    // The reference: single worker, no profiling.
+    let plain = run_named(&["table1"], &opts(1, false));
+    assert!(plain.contains("\"type\":\"cell\""), "fixture sanity: {plain}");
+    for (jobs, profile) in [(1usize, true), (4, false), (4, true)] {
+        let t = run_named(&["table1"], &opts(jobs, profile));
+        assert_eq!(
+            t, plain,
+            "trajectory diverged at jobs={jobs} profile={profile} — \
+             profiling must be strictly out-of-band"
+        );
+    }
+}
+
+#[test]
+fn profiled_sampled_runs_keep_event_streams_identical_too() {
+    // Sampling emits per-interval event records into stdout — the most
+    // sensitive surface for an accidental profiler leak, since events
+    // interleave with the sampler the profiler stamps around.
+    let mk = |profile: bool| {
+        let mut o = opts(2, profile);
+        o.sample = 5_000;
+        run_named(&["table1"], &o)
+    };
+    let off = mk(false);
+    assert!(off.contains("\"ev\":\"sample\""), "fixture sanity: {off}");
+    assert_eq!(mk(true), off, "sampled trajectory must not see the profiler");
+}

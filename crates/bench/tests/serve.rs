@@ -10,7 +10,9 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use mssr_bench::harness::serve::{fetch_all, load_gen, Client, LoadOpts, Reply, ServeOpts, Server};
+use mssr_bench::harness::serve::{
+    fetch_all, fetch_metrics, load_gen, Client, LoadOpts, Reply, ServeOpts, Server,
+};
 use mssr_bench::harness::{run_named, HarnessOpts};
 use mssr_workloads::Scale;
 
@@ -313,5 +315,77 @@ fn concurrent_mixed_load_hits_cache_and_stays_consistent() {
     assert_eq!(field("requests_ok"), 64, "all requests complete: {report}");
     assert_eq!(field("errors"), 0, "no errors: {report}");
     assert!(field("responses_cached") > 0, "duplicates must hit the cache: {report}");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_exposition_reflects_request_outcomes() {
+    let (server, addr) = start(opts());
+    let mut c = Client::connect(&addr, 60_000).unwrap();
+    // One fresh execution, then the same cell again from cache.
+    match c.request("{\"type\":\"run\",\"cell\":0}") {
+        Reply::Done { cached, .. } => assert!(!cached, "first touch must execute"),
+        other => panic!("want done, got {other:?}"),
+    }
+    match c.request("{\"type\":\"run\",\"cell\":0}") {
+        Reply::Done { cached, .. } => assert!(cached, "second touch must hit the cache"),
+        other => panic!("want done, got {other:?}"),
+    }
+    let body = fetch_metrics(&addr).expect("metrics scrape");
+    assert!(body.contains("# TYPE mssr_requests_total counter"), "{body}");
+    assert!(body.contains("# TYPE mssr_request_latency_us histogram"), "{body}");
+    assert!(body.contains("\nmssr_cache_misses_total 1\n"), "{body}");
+    assert!(body.contains("\nmssr_cache_hits_total 1\n"), "{body}");
+    // The per-outcome latency histograms saw exactly one request each,
+    // and the cumulative +Inf bucket agrees with the count.
+    assert!(body.contains("mssr_request_latency_us_count{result=\"hit\"} 1\n"), "{body}");
+    assert!(body.contains("mssr_request_latency_us_count{result=\"miss\"} 1\n"), "{body}");
+    assert!(
+        body.contains("mssr_request_latency_us_bucket{result=\"hit\",le=\"+Inf\"} 1\n"),
+        "{body}"
+    );
+    // Every non-comment line is `name[{labels}] value` with an integer
+    // sample — i.e. the body parses as Prometheus text exposition.
+    for line in body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (name, v) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line: {line}"));
+        assert!(!name.is_empty(), "bad line: {line}");
+        v.parse::<u64>().unwrap_or_else(|e| panic!("bad sample `{v}` in `{line}`: {e}"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn metrics_latency_counts_cross_check_against_load_report() {
+    // The CI "Serve smoke" assertion in miniature: after a load run, the
+    // hit-labelled histogram count equals hits+joins and the
+    // miss-labelled one equals misses, as reported by the server's own
+    // stats embedded in the load report.
+    let mut o = opts();
+    o.jobs = 1;
+    let (server, addr) = start(o);
+    let mut load = LoadOpts::new(&addr);
+    load.clients = 8;
+    load.requests = 4;
+    let report = load_gen(&load).expect("load run");
+    let body = fetch_metrics(&addr).expect("metrics scrape");
+    let grab = |text: &str, key: &str| -> u64 {
+        let at = text.find(key).unwrap_or_else(|| panic!("missing {key} in: {text}"));
+        text[at + key.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|e| panic!("bad {key}: {e}"))
+    };
+    let hits = grab(&report, "\"hits\":");
+    let joins = grab(&report, "\"joins\":");
+    let misses = grab(&report, "\"misses\":");
+    assert!(hits + joins + misses > 0, "load must issue requests: {report}");
+    assert_eq!(
+        grab(&body, "mssr_request_latency_us_count{result=\"hit\"} "),
+        hits + joins,
+        "{body}"
+    );
+    assert_eq!(grab(&body, "mssr_request_latency_us_count{result=\"miss\"} "), misses, "{body}");
     server.shutdown();
 }

@@ -61,6 +61,7 @@ mod iq;
 mod lsq;
 mod mem;
 mod pipeline;
+mod prof;
 mod rename;
 mod rob;
 mod sample;
@@ -87,6 +88,7 @@ pub use interp::{Interpreter, StopReason};
 pub use lsq::{Forward, LqEntry, Lsq, SqEntry};
 pub use mem::{Cache, Hierarchy, MainMemory};
 pub use pipeline::Simulator;
+pub use prof::{Prof, ProfBucket, ProfReport, StageStamp, DEFAULT_STRIDE as PROF_DEFAULT_STRIDE};
 pub use rename::{FreeList, Prf, Rat, RgidAlloc};
 pub use rob::{BranchOutcome, BranchState, DstInfo, Rob, RobEntry};
 pub use sample::{Sample, SampleRing, Sampler, DEFAULT_RING_CAPACITY};

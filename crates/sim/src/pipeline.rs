@@ -22,6 +22,7 @@ use crate::config::SimConfig;
 use crate::engine::{NoReuse, ReuseEngine};
 use crate::interp::{arch_step, ArchKind, ArchState};
 use crate::mem::{Hierarchy, MainMemory};
+use crate::prof::{Prof, ProfBucket, ProfReport, StageStamp};
 use crate::rename::{Prf, Rat};
 use crate::sample::{Sample, SampleRing, Sampler, DEFAULT_RING_CAPACITY};
 use crate::stage::{self, ectx, MachineState, PendingFlush, Scratch};
@@ -61,6 +62,7 @@ pub struct Simulator {
     tracer: Tracer,
     sampler: Sampler,
     scratch: Scratch,
+    prof: Prof,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -101,6 +103,7 @@ impl Simulator {
             tracer: Tracer::default(),
             sampler: Sampler::new(0, DEFAULT_RING_CAPACITY),
             scratch: Scratch::new(),
+            prof: Prof::off(),
         }
     }
 
@@ -296,9 +299,28 @@ impl Simulator {
     /// Advances the simulation by one cycle: the stage passes in order,
     /// then flush arbitration, the RGID reset, accounting, and (in debug
     /// builds) the invariant sweep.
+    ///
+    /// When self-profiling is armed ([`Simulator::set_profiling`]) and
+    /// this cycle falls on the sampling stride, the clock is read
+    /// between stage passes and the deltas accumulate in the profiler —
+    /// the stages themselves run identically either way.
     pub fn step(&mut self) {
+        let mut stamp = self.prof.cycle_due(self.st.cycle).then(StageStamp::start);
+        self.step_inner(&mut stamp);
+        if let Some(s) = stamp {
+            self.prof.absorb(&s);
+        }
+    }
+
+    fn step_inner(&mut self, stamp: &mut Option<StageStamp>) {
+        fn mark(stamp: &mut Option<StageStamp>, bucket: ProfBucket) {
+            if let Some(s) = stamp {
+                s.mark(bucket);
+            }
+        }
         let (committed, blame) =
             stage::commit::run(&mut self.st, self.engine.as_mut(), &mut self.tracer);
+        mark(stamp, ProfBucket::Commit);
         if self.st.halted {
             // The final partial cycle (the one that retired `halt` or hit
             // an instruction bound) is never counted — neither in the
@@ -308,9 +330,13 @@ impl Simulator {
             return;
         }
         stage::execute::writeback(&mut self.st, &mut self.tracer);
+        mark(stamp, ProfBucket::Execute);
         stage::issue::run(&mut self.st, self.engine.as_mut(), &mut self.tracer, &mut self.scratch);
+        mark(stamp, ProfBucket::Issue);
         stage::rename::run(&mut self.st, self.engine.as_mut(), &mut self.tracer);
+        mark(stamp, ProfBucket::Rename);
         stage::fetch::run(&mut self.st, self.engine.as_mut(), &mut self.tracer);
+        mark(stamp, ProfBucket::Fetch);
         stage::squash::handle_flushes(
             &mut self.st,
             self.engine.as_mut(),
@@ -318,6 +344,7 @@ impl Simulator {
             &mut self.scratch,
         );
         stage::squash::apply_rgid_reset(&mut self.st, self.engine.as_mut());
+        mark(stamp, ProfBucket::Squash);
         self.st.account.accrue(committed, blame, self.st.cfg.commit_width as u64);
         self.st.cycle += 1;
         if self.sampler.due(self.st.cycle) {
@@ -330,6 +357,23 @@ impl Simulator {
                 check::assert_sweep(&self.st, self.engine.as_ref(), &mut self.scratch);
             }
         }
+    }
+
+    /// Arms the self-profiler: one cycle in every `stride` is stamped
+    /// per-stage, and the checkpoint/fast-forward paths are timed
+    /// whole-call (see [`crate::prof`]). `0` (the default) disables it.
+    /// Resets anything previously accumulated.
+    ///
+    /// Profiling is strictly out-of-band: simulation results, traces,
+    /// and checkpoints are byte-identical with it on or off.
+    pub fn set_profiling(&mut self, stride: u64) {
+        self.prof.set_stride(stride);
+    }
+
+    /// A snapshot of the wall-clock profile accumulated since
+    /// [`Simulator::set_profiling`] (all zeros when profiling is off).
+    pub fn profile_report(&self) -> ProfReport {
+        self.prof.report()
     }
 
     fn take_sample(&mut self) {
@@ -382,7 +426,11 @@ impl Simulator {
     /// Instructions are stored by PC and re-fetched from the program at
     /// restore, guarded by a program identity hash in the payload.
     pub fn snapshot(&self) -> Vec<u8> {
-        ckpt::machine::save(&self.st, self.engine.as_ref(), &self.sampler, &self.tracer)
+        let t0 = self.prof.begin();
+        let bytes =
+            ckpt::machine::save(&self.st, self.engine.as_ref(), &self.sampler, &self.tracer);
+        self.prof.finish(ProfBucket::Ckpt, t0);
+        bytes
     }
 
     /// Restores a snapshot taken by [`Simulator::snapshot`] over this
@@ -395,13 +443,16 @@ impl Simulator {
     /// partially overwritten and must be discarded; no error path leaves
     /// a *silently* inconsistent simulator.
     pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
-        ckpt::machine::restore(
+        let t0 = self.prof.begin();
+        let r = ckpt::machine::restore(
             &mut self.st,
             self.engine.as_mut(),
             &mut self.sampler,
             &mut self.tracer,
             bytes,
-        )
+        );
+        self.prof.finish(ProfBucket::Ckpt, t0);
+        r
     }
 
     /// Re-arms event tracing after restoring a *fast-forward boundary*
@@ -487,6 +538,8 @@ impl Simulator {
         n: u64,
         mut bbv: Option<&mut crate::bbv::BbvCollector>,
     ) -> u64 {
+        let bucket = if bbv.is_some() { ProfBucket::Bbv } else { ProfBucket::Ffwd };
+        let t0 = self.prof.begin();
         let st = &mut self.st;
         assert!(
             st.cycle == 0 && st.next_seq == 1 && st.stats.committed_instructions == 0,
@@ -541,6 +594,7 @@ impl Simulator {
             action: CkptAction::Ffwd,
             insts: executed,
         });
+        self.prof.finish(bucket, t0);
         executed
     }
 

@@ -373,3 +373,57 @@ fn clean_run_has_no_invariant_violations() {
     let violations = sim.invariant_violations();
     assert!(violations.is_empty(), "unexpected violations: {violations:?}");
 }
+
+#[test]
+fn rearm_tracing_reasserts_the_recipient_mask_at_a_boundary() {
+    let build = |a: &mut Assembler| {
+        a.li(T0, 0);
+        a.li(T1, 32);
+        a.label("loop");
+        a.addi(T0, T0, 1);
+        a.blt(T0, T1, "loop");
+        a.halt();
+    };
+    let mut a = Assembler::new();
+    build(&mut a);
+    let program = a.assemble().expect("assembles");
+    let cfg = SimConfig::default().with_max_cycles(100_000);
+    let mut sim = Simulator::new(cfg, program);
+    let sink = BufferSink::new();
+    let buf = sink.handle();
+    sim.set_trace_sink(Box::new(sink));
+    let executed = sim.fast_forward(10);
+    assert_eq!(executed, 10);
+    let lines = || buf.lock().unwrap().lines().count();
+    assert_eq!(lines(), 1, "the fast-forward emits one ckpt event under the donor's full mask");
+    assert_eq!(sim_trace_count(&sim.stats(), TraceKind::Ckpt), 1);
+
+    // Narrowed recipient (samples only, the serve sampling mask): every
+    // counter pins to zero and the ffwd event is NOT re-emitted — its
+    // kind is filtered, exactly as a cold sample-masked run would have
+    // filtered it.
+    sim.rearm_tracing(TraceKind::Sample.bit());
+    let narrowed = sim.stats();
+    for k in TraceKind::ALL {
+        assert_eq!(sim_trace_count(&narrowed, k), 0, "narrowed mask pins trace_{}", k.name());
+    }
+    assert_eq!(lines(), 1, "a masked-off ckpt event must not reach the sink");
+
+    // Widened recipient (full firehose): counters restart from zero and
+    // the ffwd ckpt event is re-emitted once under the new mask, so the
+    // event stream matches a cold unmasked run's boundary prefix.
+    sim.rearm_tracing(!0);
+    let widened = sim.stats();
+    assert_eq!(sim_trace_count(&widened, TraceKind::Ckpt), 1, "ffwd event re-emitted exactly once");
+    for k in TraceKind::ALL {
+        if k != TraceKind::Ckpt {
+            assert_eq!(sim_trace_count(&widened, k), 0, "only the boundary event exists");
+        }
+    }
+    assert_eq!(lines(), 2, "the re-emitted event reaches the sink");
+    let last = buf.lock().unwrap().lines().last().unwrap().to_string();
+    assert!(
+        last.contains("\"ev\":\"ckpt\"") && last.contains("\"ffwd\""),
+        "boundary event: {last}"
+    );
+}
