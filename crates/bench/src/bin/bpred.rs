@@ -1,0 +1,14 @@
+//! The branch-predictor lab: every `--bpred` kind (TAGE, TAGE-SC-L,
+//! ITTAGE, always-wrong, oracle) against the no-reuse baseline and the
+//! four-stream MSSR engine on both misprediction microbenchmarks,
+//! relating conditional MPKI to squash-reuse benefit. The oracle
+//! predictor anchors the zero-misprediction end, the adversarial
+//! predictor the saturated end.
+
+use mssr_bench::harness::{run_named, HarnessOpts};
+use mssr_workloads::Scale;
+
+fn main() {
+    let opts = HarnessOpts::parse_args(Scale::Medium);
+    print!("{}", run_named(&["bpred"], &opts));
+}

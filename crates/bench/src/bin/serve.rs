@@ -28,6 +28,8 @@ server options:
   --seed S           root seed for default per-cell seeds (default 0x4d535352)
   --experiments A,B  experiment list forming the cell universe (default: all)
   --ckpt-dir DIR     on-disk checkpoints for unsampled requests
+  --bpred NAME       branch predictor for every cell:
+                     tage|tagescl|ittage|alwayswrong|oracle (default: per-cell config)
   --cache-cap N      result-cache entries before FIFO eviction (default 4096)
   --delay-ms N       artificial per-cell delay (load-shaping for tests)
 
@@ -108,6 +110,14 @@ fn main() {
                     value("--experiments").split(',').map(|s| s.trim().to_string()).collect();
             }
             "--ckpt-dir" => opts.ckpt_dir = Some(value("--ckpt-dir").into()),
+            "--bpred" => {
+                let name = value("--bpred");
+                opts.bpred = Some(mssr_sim::BpredKind::parse(&name).unwrap_or_else(|| {
+                    fail(&format!(
+                        "--bpred: unknown predictor `{name}` (tage|tagescl|ittage|alwayswrong|oracle)"
+                    ))
+                }));
+            }
             "--cache-cap" => {
                 opts.cache_cap =
                     parse_u64_arg("--cache-cap", &value("--cache-cap")).max(1) as usize;

@@ -6,7 +6,7 @@
 
 use mssr_core::storage::{storage, StorageParams};
 use mssr_core::{complexity, MemCheckPolicy};
-use mssr_sim::SimConfig;
+use mssr_sim::{BpredKind, SimConfig};
 use mssr_workloads::{microbench, suite_workloads, Scale, Suite};
 
 use super::grid::{CellId, CellPool, CellResult, EngineCfg};
@@ -28,9 +28,9 @@ pub trait Experiment: Sync {
 
 /// Experiment names in `run_all` order (analytic tables first, then the
 /// simulated tables and figures).
-pub const EXPERIMENT_NAMES: [&str; 11] = [
+pub const EXPERIMENT_NAMES: [&str; 12] = [
     "table2", "table3", "table4", "table1", "fig3", "fig4", "fig10", "fig11", "fig12", "rollup",
-    "ablation",
+    "ablation", "bpred",
 ];
 
 /// Every experiment, in `run_all` order.
@@ -52,6 +52,7 @@ pub fn experiment(name: &str) -> Option<Box<dyn Experiment>> {
         "fig12" => Box::new(Fig12),
         "rollup" => Box::new(Rollup),
         "ablation" => Box::new(Ablation),
+        "bpred" => Box::new(BpredLab),
         _ => return None,
     })
 }
@@ -780,6 +781,58 @@ impl Experiment for Ablation {
             ]);
         }
         out.push_str(&render_table(&["WPB addressing", "speedup", "reconvergences"], &rows));
+        out
+    }
+}
+
+/// The predictor lab: every [`BpredKind`] against baseline and MSSR-4
+/// engines on both misprediction microbenchmarks, relating conditional
+/// MPKI to squash-reuse benefit. The oracle predictor anchors the zero
+/// end (≈0 MPKI, nothing to reuse) and the adversarial predictor the
+/// saturated end (every conditional branch mispredicts).
+struct BpredLab;
+
+impl Experiment for BpredLab {
+    fn name(&self) -> &'static str {
+        "bpred"
+    }
+
+    fn cells(&self, pool: &mut CellPool) -> Vec<CellId> {
+        let iters = micro_iters(pool.scale());
+        let mssr: EngineCfg = EngineSpec::Mssr { streams: 4, log_entries: 64 }.into();
+        let mut ids = Vec::new();
+        for kind in BpredKind::ALL {
+            for w in [microbench::nested_mispred(iters), microbench::linear_mispred(iters)] {
+                let wid = pool.intern(w);
+                let cfg = experiment_sim_config().with_bpred(kind);
+                ids.push(pool.cell(wid, EngineSpec::Baseline.into(), cfg.clone()));
+                ids.push(pool.cell(wid, mssr.clone(), cfg));
+            }
+        }
+        ids
+    }
+
+    fn render(&self, _pool: &CellPool, ids: &[CellId], results: &[CellResult]) -> String {
+        let mut out = String::from("== Predictor lab: reuse benefit vs conditional MPKI ==\n");
+        out.push_str(
+            "per predictor: baseline conditional MPKI and MSSR-4 speedup on each workload\n\n",
+        );
+        // Per kind: [nested base, nested mssr, linear base, linear mssr].
+        let mut rows = Vec::new();
+        for (kind, chunk) in BpredKind::ALL.iter().zip(ids.chunks(4)) {
+            let s = |i: usize| &results[chunk[i]].stats;
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{:.2}", s(0).mpki()),
+                format!("{:+.1}%", speedup_pct(s(0), s(1))),
+                format!("{:.2}", s(2).mpki()),
+                format!("{:+.1}%", speedup_pct(s(2), s(3))),
+            ]);
+        }
+        out.push_str(&render_table(
+            &["predictor", "nested MPKI", "nested speedup", "linear MPKI", "linear speedup"],
+            &rows,
+        ));
         out
     }
 }

@@ -10,8 +10,8 @@ use std::path::Path;
 
 use mssr_core::{MemCheckPolicy, MssrConfig, MultiStreamReuse, RegisterIntegration, RiConfig};
 use mssr_sim::{
-    fnv1a64, BbvCollector, BufferSink, CycleAccount, ProfReport, ReuseEngine, SimConfig, SimStats,
-    Simulator, TraceEvent, TraceKind, TraceSink, PROF_DEFAULT_STRIDE,
+    fnv1a64, BbvCollector, BpredKind, BufferSink, CycleAccount, ProfReport, ReuseEngine, SimConfig,
+    SimStats, Simulator, TraceEvent, TraceKind, TraceSink, PROF_DEFAULT_STRIDE,
 };
 use mssr_workloads::{Scale, Workload};
 
@@ -359,6 +359,7 @@ pub struct CellPool {
     by_name: HashMap<String, usize>,
     cells: Vec<CellSpec>,
     dedup: HashMap<(usize, String, String), CellId>,
+    bpred_override: Option<BpredKind>,
 }
 
 impl CellPool {
@@ -370,7 +371,16 @@ impl CellPool {
             by_name: HashMap::new(),
             cells: Vec::new(),
             dedup: HashMap::new(),
+            bpred_override: None,
         }
+    }
+
+    /// Forces every subsequently declared cell onto one branch predictor
+    /// (the harness's `--bpred` axis). Applied before deduplication and
+    /// checkpoint-stem derivation, so overridden cells never collide
+    /// with default ones.
+    pub fn set_bpred_override(&mut self, kind: Option<BpredKind>) {
+        self.bpred_override = kind;
     }
 
     /// The pool's workload scale.
@@ -403,7 +413,10 @@ impl CellPool {
 
     /// Declares a cell, returning its id (an existing id if an identical
     /// cell was declared before).
-    pub fn cell(&mut self, workload: usize, engine: EngineCfg, cfg: SimConfig) -> CellId {
+    pub fn cell(&mut self, workload: usize, engine: EngineCfg, mut cfg: SimConfig) -> CellId {
+        if let Some(kind) = self.bpred_override {
+            cfg = cfg.with_bpred(kind);
+        }
         let key = (workload, engine.label(), format!("{cfg:?}"));
         if let Some(&id) = self.dedup.get(&key) {
             return id;

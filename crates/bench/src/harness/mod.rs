@@ -50,7 +50,7 @@ pub use grid::{
 };
 pub use measure::{measure, MeasureConfig, Measurement};
 
-use mssr_sim::{json_escape, ProfBucket};
+use mssr_sim::{json_escape, BpredKind, ProfBucket};
 use mssr_workloads::Scale;
 
 /// Default root seed for the experiment grid ("MSSR" in ASCII).
@@ -115,6 +115,11 @@ pub struct HarnessOpts {
     /// *stderr*. Strictly out-of-band: stdout (reports or trajectory)
     /// is byte-identical with it on or off.
     pub profile: bool,
+    /// Branch-predictor override (`--bpred NAME`): force every cell of
+    /// the grid onto one predictor pair. `None` (the default) leaves
+    /// each experiment's own configuration — and the trajectory bytes —
+    /// untouched.
+    pub bpred: Option<BpredKind>,
 }
 
 impl HarnessOpts {
@@ -134,6 +139,7 @@ impl HarnessOpts {
             simpoint: None,
             timing: false,
             profile: false,
+            bpred: None,
         }
     }
 
@@ -226,6 +232,13 @@ impl HarnessOpts {
                 }
                 "--timing" => opts.timing = true,
                 "--profile" => opts.profile = true,
+                "--bpred" => {
+                    let v = value("--bpred")?;
+                    opts.bpred = Some(BpredKind::parse(&v).ok_or_else(|| {
+                        let names: Vec<&str> = BpredKind::ALL.iter().map(|k| k.name()).collect();
+                        format!("--bpred: unknown predictor `{v}` (one of {})", names.join(", "))
+                    })?);
+                }
                 "--help" | "-h" => return Err("help".to_string()),
                 s => return Err(format!("unknown argument `{s}`")),
             }
@@ -277,6 +290,8 @@ const USAGE: &str =
   --ckpt-every N  with --ckpt-dir: save a checkpoint every N committed instructions
   --simpoint I,K  with --json: SimPoint sampling — cluster I-instruction BBV intervals (k <= K)
                   and run only the representative intervals of each workload
+  --bpred NAME    force every cell onto one branch predictor
+                  (tage | tagescl | ittage | alwayswrong | oracle; default: each cell's own config)
   --timing        record per-cell simulated MIPS (wall-clock: output becomes machine-dependent)
   --profile       self-profile the simulator: emit per-cell {\"type\":\"profile\",...} records on
                   stderr (stdout stays byte-identical; render with mssr-report --profile FILE)";
@@ -303,6 +318,11 @@ pub(crate) fn cell_json_line(pool: &CellPool, i: CellId, r: &CellResult) -> Stri
         json_escape(&spec.engine.label()),
         r.seed
     );
+    // The predictor is recorded only when it differs from the default,
+    // so default-grid trajectories stay byte-identical to pre-lab runs.
+    if spec.cfg.bpred != BpredKind::default() {
+        out.push_str(&format!(",\"bpred\":\"{}\"", spec.cfg.bpred.name()));
+    }
     if let Some(repl) = &r.ri_set_replacements {
         out.push_str(",\"ri_set_replacements\":[");
         for (k, v) in repl.iter().enumerate() {
@@ -363,6 +383,7 @@ pub(crate) fn profile_json_line(pool: &CellPool, i: CellId, r: &CellResult) -> O
 /// under `--json`).
 pub fn run_experiments(exps: &[Box<dyn Experiment>], opts: &HarnessOpts) -> String {
     let mut pool = CellPool::new(opts.scale);
+    pool.set_bpred_override(opts.bpred);
     let ids: Vec<Vec<CellId>> = exps.iter().map(|e| e.cells(&mut pool)).collect();
     let results = pool.run(opts);
     if opts.profile {
@@ -490,6 +511,18 @@ mod tests {
         let err = HarnessOpts::from_iter(args(&["--sample", "500"]), Scale::Test).unwrap_err();
         assert!(err.contains("--sample requires --json"));
         assert!(HarnessOpts::from_iter(args(&["--sample", "x"]), Scale::Test).is_err());
+    }
+
+    #[test]
+    fn bpred_flag_parses_every_kind_and_rejects_unknown() {
+        assert_eq!(HarnessOpts::from_iter(args(&[]), Scale::Test).unwrap().bpred, None);
+        for kind in BpredKind::ALL {
+            let o = HarnessOpts::from_iter(args(&["--bpred", kind.name()]), Scale::Test).unwrap();
+            assert_eq!(o.bpred, Some(kind));
+        }
+        let err =
+            HarnessOpts::from_iter(args(&["--bpred", "perceptron"]), Scale::Test).unwrap_err();
+        assert!(err.contains("unknown predictor"), "{err}");
     }
 
     #[test]

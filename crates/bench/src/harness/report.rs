@@ -297,6 +297,10 @@ pub struct CellRecord {
     pub suite: String,
     /// Engine label (`BASE`, `RCVG_N_P`, `RI_SxW`, plus ablation tags).
     pub engine: String,
+    /// Branch-predictor name (`"tage"` unless the cell record carries an
+    /// explicit `"bpred"` field — the default predictor is omitted from
+    /// trajectories to keep them byte-stable).
+    pub bpred: String,
     /// Simulated cycles.
     pub cycles: u64,
     /// Committed instructions.
@@ -439,6 +443,16 @@ impl CellRecord {
         (self.reuse_grants * 1000).checked_div(self.reuse_tests).unwrap_or(0)
     }
 
+    /// Mispredictions per kilo-instruction, in fixed-point thousandths
+    /// (u128 internally so huge counters cannot wrap the multiply).
+    pub fn mpki_milli(&self) -> u64 {
+        if self.insts == 0 {
+            return 0;
+        }
+        u64::try_from(u128::from(self.mispredictions) * 1_000_000 / u128::from(self.insts))
+            .unwrap_or(u64::MAX)
+    }
+
     /// Total commit slots across all CPI categories.
     pub fn total_slots(&self) -> u64 {
         self.account.iter().map(|(_, v)| v).sum()
@@ -499,6 +513,7 @@ impl Trajectory {
             workload: v.get("workload").and_then(Json::str_val).unwrap_or("?").to_string(),
             suite: v.get("suite").and_then(Json::str_val).unwrap_or("?").to_string(),
             engine: v.get("engine").and_then(Json::str_val).unwrap_or("?").to_string(),
+            bpred: v.get("bpred").and_then(Json::str_val).unwrap_or("tage").to_string(),
             cycles: stats.field_u64("cycles"),
             insts: stats.field_u64("committed_instructions"),
             mispredictions: stats.field_u64("mispredictions"),
@@ -663,7 +678,7 @@ pub fn speedup_table(t: &Trajectory) -> String {
     let ffwd = t.cells.iter().any(|c| c.ffwd_insts > 0);
     let timing = t.cells.iter().any(|c| c.sim_mips_milli > 0);
     let mut header: Vec<String> =
-        ["workload", "engine", "cycles", "speedup", "grants", "grant_rate", "coverage"]
+        ["workload", "engine", "cycles", "speedup", "MPKI", "grants", "grant_rate", "coverage"]
             .iter()
             .map(|s| s.to_string())
             .collect();
@@ -678,10 +693,12 @@ pub fn speedup_table(t: &Trajectory) -> String {
         .cells
         .iter()
         .map(|c| {
+            // The BASE reference must share the predictor: a predictor-lab
+            // trajectory carries one BASE cell per bpred kind.
             let base = t
                 .cells
                 .iter()
-                .find(|b| b.workload == c.workload && b.engine == "BASE")
+                .find(|b| b.workload == c.workload && b.engine == "BASE" && b.bpred == c.bpred)
                 .map(|b| b.cycles);
             let speedup = match base {
                 Some(b) if c.cycles > 0 => format!("{}x", milli(b * 1000 / c.cycles)),
@@ -692,6 +709,7 @@ pub fn speedup_table(t: &Trajectory) -> String {
                 c.engine.clone(),
                 c.cycles.to_string(),
                 speedup,
+                milli(c.mpki_milli()),
                 c.reuse_grants.to_string(),
                 pct10(c.reuse_grants, c.reuse_tests),
                 pct10(c.reuse_grants, c.squashed),
@@ -711,6 +729,48 @@ pub fn speedup_table(t: &Trajectory) -> String {
             r
         })
         .collect();
+    table(&header, &rows)
+}
+
+/// Renders the predictor lab: one row per cell with its predictor,
+/// conditional MPKI, and reuse speedup vs the `BASE` cell of the same
+/// (workload, predictor) — the reuse-benefit-vs-MPKI relation the
+/// `bpred` experiment sweeps. Empty unless the trajectory carries at
+/// least one non-default-predictor cell.
+pub fn bpred_table(t: &Trajectory) -> String {
+    if t.cells.iter().all(|c| c.bpred == "tage") {
+        return "(no predictor-lab cells in trajectory — rerun the bpred experiment or --bpred)\n"
+            .to_string();
+    }
+    let rows: Vec<Vec<String>> = t
+        .cells
+        .iter()
+        .map(|c| {
+            let base = t
+                .cells
+                .iter()
+                .find(|b| b.workload == c.workload && b.engine == "BASE" && b.bpred == c.bpred)
+                .map(|b| b.cycles);
+            let speedup = match base {
+                Some(b) if c.cycles > 0 => format!("{}x", milli(b * 1000 / c.cycles)),
+                _ => "-".to_string(),
+            };
+            vec![
+                c.workload.clone(),
+                c.bpred.clone(),
+                c.engine.clone(),
+                c.cycles.to_string(),
+                milli(c.mpki_milli()),
+                speedup,
+                c.reuse_grants.to_string(),
+            ]
+        })
+        .collect();
+    let header: Vec<String> =
+        ["workload", "predictor", "engine", "cycles", "MPKI", "speedup", "grants"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     table(&header, &rows)
 }
 
@@ -1032,7 +1092,9 @@ pub fn regressions(new: &Trajectory, old: &Trajectory, threshold_pct: u64) -> Ve
         // (workload, engine) is not unique: ablation grids rerun the same
         // engine label under different simulator configs. Pair the k-th
         // duplicate on each side so identical trajectories always pass.
-        let same = |d: &&CellRecord| d.workload == c.workload && d.engine == c.engine;
+        let same = |d: &&CellRecord| {
+            d.workload == c.workload && d.engine == c.engine && d.bpred == c.bpred
+        };
         let ord = new.cells[..i].iter().filter(|d| same(d)).count();
         let Some(b) = old.cells.iter().filter(same).nth(ord) else {
             continue;
@@ -1056,6 +1118,18 @@ pub fn regressions(new: &Trajectory, old: &Trajectory, threshold_pct: u64) -> Ve
                 new_milli: c.grant_rate_milli(),
             });
         }
+        // MPKI regresses upward. The asymmetric form also catches a
+        // zero-to-nonzero drift (e.g. the oracle predictor starting to
+        // mispredict), which a ratio threshold would let through.
+        if c.mpki_milli() * 100 > b.mpki_milli() * (100 + threshold_pct) {
+            out.push(Regression {
+                workload: c.workload.clone(),
+                engine: c.engine.clone(),
+                metric: "MPKI",
+                old_milli: b.mpki_milli(),
+                new_milli: c.mpki_milli(),
+            });
+        }
     }
     out
 }
@@ -1074,6 +1148,10 @@ pub fn render_report(t: &Trajectory) -> String {
     out.push_str(&cpi_stack_table(t));
     out.push_str("\n== Speedup vs BASE ==\n");
     out.push_str(&speedup_table(t));
+    if t.cells.iter().any(|c| c.bpred != "tage") {
+        out.push_str("\n== Predictor lab (reuse benefit vs MPKI) ==\n");
+        out.push_str(&bpred_table(t));
+    }
     out.push_str("\n== IPC per sample interval ==\n");
     out.push_str(&sparklines(t));
     if t.cells.iter().any(|c| c.simpoint.is_some()) {
@@ -1214,6 +1292,44 @@ mod tests {
         assert!(r.contains('\u{2588}'), "sparkline glyphs:\n{r}");
         // IPC column: 1000 insts / 2000 cycles.
         assert!(r.contains("0.500"), "BASE IPC:\n{r}");
+    }
+
+    #[test]
+    fn mpki_column_and_predictor_lab_table() {
+        let t = Trajectory::parse(&fixture()).unwrap();
+        assert_eq!(t.cells[0].bpred, "tage", "absent bpred field means the default predictor");
+        assert_eq!(t.cells[0].mpki_milli(), 10_000, "10 mispredictions / 1000 insts");
+        assert!(speedup_table(&t).contains("10.000"), "MPKI column rendered");
+        assert!(!render_report(&t).contains("Predictor lab"), "no lab section for default runs");
+        assert!(bpred_table(&t).contains("no predictor-lab cells"));
+        // Tag the reuse cell as oracle: the lab section appears, and the
+        // speedup lookup refuses to pair it with the tage BASE cell.
+        let tagged = fixture()
+            .replace("\"engine\":\"RCVG_2_64\",", "\"engine\":\"RCVG_2_64\",\"bpred\":\"oracle\",");
+        let t = Trajectory::parse(&tagged).unwrap();
+        assert_eq!(t.cells[1].bpred, "oracle");
+        let r = render_report(&t);
+        assert!(r.contains("Predictor lab"), "lab section present:\n{r}");
+        assert!(bpred_table(&t).contains("oracle"), "predictor column rendered");
+        assert!(!speedup_table(&t).contains("2.000x"), "cross-predictor BASE pairing refused");
+    }
+
+    #[test]
+    fn mpki_regressions_flag_upward_drift_including_from_zero() {
+        let old = Trajectory::parse(&fixture()).unwrap();
+        let mut new = old.clone();
+        new.cells[1].mispredictions = 12; // +20% past the 5% threshold
+        assert!(regressions(&new, &old, 5).iter().any(|x| x.metric == "MPKI"));
+        let mut zero_old = old.clone();
+        zero_old.cells[1].mispredictions = 0;
+        assert!(
+            regressions(&new, &zero_old, 5).iter().any(|x| x.metric == "MPKI"),
+            "zero-to-nonzero MPKI drift is a regression"
+        );
+        // A predictor mismatch breaks the pairing entirely.
+        let mut other = new.clone();
+        other.cells[1].bpred = "oracle".to_string();
+        assert!(regressions(&other, &old, 5).iter().all(|x| x.metric != "MPKI"));
     }
 
     #[test]

@@ -71,6 +71,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use mssr_sim::BpredKind;
 use mssr_sim::{fnv1a64, json_escape};
 use mssr_workloads::Scale;
 
@@ -120,6 +121,9 @@ pub struct ServeOpts {
     pub ckpt_dir: Option<std::path::PathBuf>,
     /// Result-cache capacity in entries (FIFO eviction).
     pub cache_cap: usize,
+    /// Branch-predictor override for every cell in the universe
+    /// (`--bpred`); `None` keeps each cell's configured default.
+    pub bpred: Option<BpredKind>,
     /// Request-line length ceiling in bytes.
     pub max_line: usize,
     /// Artificial per-cell delay in milliseconds — a load-shaping knob
@@ -141,6 +145,7 @@ impl ServeOpts {
             experiments: EXPERIMENT_NAMES.iter().map(|n| n.to_string()).collect(),
             ckpt_dir: None,
             cache_cap: 4096,
+            bpred: None,
             max_line: DEFAULT_MAX_LINE,
             delay_ms: 0,
         }
@@ -270,6 +275,7 @@ impl Server {
     /// unknown.
     pub fn start(opts: ServeOpts) -> Result<Server, String> {
         let mut pool = CellPool::new(opts.scale);
+        pool.set_bpred_override(opts.bpred);
         for name in &opts.experiments {
             let e = experiment(name).ok_or_else(|| format!("unknown experiment `{name}`"))?;
             e.cells(&mut pool);
@@ -775,8 +781,11 @@ fn handle_run(state: &Arc<State>, w: &Arc<Mutex<TcpStream>>, req: &Json) -> bool
     };
     // The cache key: everything that shapes the response bytes. Cell id
     // already pins (workload, engine, config, scale) — the pool
-    // deduplicated on exactly those.
-    let key = format!("{cell}|{seed:#x}|s{sample}|f{ffwd}");
+    // deduplicated on exactly those. The predictor override is
+    // server-wide, but naming it in the key keeps entries honest if a
+    // shared external cache ever fronts several servers.
+    let bpred = state.opts.bpred.unwrap_or_default().name();
+    let key = format!("{cell}|{seed:#x}|s{sample}|f{ffwd}|b{bpred}");
     if let Some(id) = &id {
         let mut ids = lock(&state.ids);
         if ids.len() >= MAX_REMEMBERED_IDS {

@@ -45,3 +45,58 @@ fn profiled_sampled_runs_keep_event_streams_identical_too() {
     assert!(off.contains("\"ev\":\"sample\""), "fixture sanity: {off}");
     assert_eq!(mk(true), off, "sampled trajectory must not see the profiler");
 }
+
+/// The `--bpred` axis, pinned the same way: for every predictor kind the
+/// trajectory must be byte-identical across worker counts, and a
+/// warm-checkpoint rerun (restoring the mid-run snapshots the cold run
+/// wrote, oracle feed included) must reproduce the cold trajectory
+/// exactly. The non-default kinds must also actually change the
+/// trajectory — an override that silently falls back to TAGE would pass
+/// every equality check above.
+#[test]
+fn bpred_sweeps_are_deterministic_across_jobs_and_checkpoints() {
+    use mssr_sim::BpredKind;
+
+    let with_bpred = |jobs: usize, kind: BpredKind| {
+        let mut o = opts(jobs, false);
+        o.bpred = Some(kind);
+        o
+    };
+    let default = run_named(&["table1"], &opts(1, false));
+    for kind in BpredKind::ALL {
+        let one = run_named(&["table1"], &with_bpred(1, kind));
+        let four = run_named(&["table1"], &with_bpred(4, kind));
+        assert_eq!(one, four, "--bpred {kind}: trajectory diverged between jobs 1 and 4");
+        if kind == BpredKind::default() {
+            assert_eq!(one, default, "explicit default --bpred must be a no-op");
+        } else {
+            assert_ne!(one, default, "--bpred {kind}: override did not change the trajectory");
+        }
+    }
+
+    // Cold vs warm checkpoints, on the feed-carrying kind (the codec
+    // with the most state to get wrong).
+    let dir = std::env::temp_dir().join(format!("mssr-bpred-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ckpt_run = || {
+        let mut o = with_bpred(2, BpredKind::Oracle);
+        o.ckpt_dir = Some(dir.clone());
+        o.ckpt_every = 5_000;
+        run_named(&["table1"], &o)
+    };
+    let cold = ckpt_run();
+    let n_ckpts = std::fs::read_dir(&dir).expect("ckpt dir").count();
+    assert!(n_ckpts > 0, "cold run must write checkpoints");
+    let warm = ckpt_run();
+    assert_eq!(cold, warm, "warm-checkpoint oracle run diverged from the cold run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The bpred experiment itself (the predictor × engine sweep) is part of
+/// `run_all` and must hold the same jobs-equality bar.
+#[test]
+fn bpred_experiment_is_byte_identical_across_jobs() {
+    let one = run_named(&["bpred"], &opts(1, false));
+    assert!(one.contains("\"bpred\":\"oracle\""), "sweep must tag non-default cells: {one}");
+    assert_eq!(one, run_named(&["bpred"], &opts(4, false)), "bpred experiment diverged");
+}

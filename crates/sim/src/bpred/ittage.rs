@@ -1,0 +1,230 @@
+//! An ITTAGE-style indirect-target predictor: tagged tables indexed by
+//! a folded target-path history over the last-target BTB base.
+//!
+//! Like the BTB it replaces in the prediction chain, every mutable
+//! structure (tables, base BTB, path history) is updated only at
+//! `update` time — the writeback-order resolved-target stream, wrong
+//! paths included — so prediction stays a pure read and the predictor
+//! needs no per-instruction recovery token beyond the RAS counter the
+//! pipeline already snapshots.
+
+use mssr_isa::Pc;
+
+use crate::ckpt::{fnv1a64, CkptError, CkptReader, CkptWriter};
+use crate::config::SimConfig;
+
+use super::tage::Btb;
+use super::{IndirectPredictor, OracleFeed};
+
+/// Path-history lengths (bits) of the tagged target tables.
+const IT_HISTS: [u32; 3] = [4, 8, 16];
+
+#[derive(Clone, Debug)]
+struct ItEntry {
+    tag: u16,
+    target: Pc,
+    /// 2-bit replacement confidence.
+    conf: u8,
+}
+
+#[derive(Clone, Debug)]
+struct ItTable {
+    entries: Vec<Option<ItEntry>>,
+    hist_len: u32,
+}
+
+impl ItTable {
+    fn fold(&self, hist: u64) -> u64 {
+        let h = if self.hist_len >= 64 { hist } else { hist & ((1u64 << self.hist_len) - 1) };
+        let bits = (usize::BITS - (self.entries.len() - 1).leading_zeros()).max(1);
+        let mut folded = 0u64;
+        let mut rest = h;
+        let mut taken = 0;
+        while taken < self.hist_len {
+            folded ^= rest & ((1u64 << bits) - 1);
+            rest >>= bits;
+            taken += bits;
+        }
+        folded
+    }
+
+    fn index(&self, pc: u64, hist: u64) -> usize {
+        let f = self.fold(hist);
+        ((pc >> 2) ^ f ^ (f << 2) ^ self.hist_len as u64) as usize & (self.entries.len() - 1)
+    }
+
+    fn tag(&self, pc: u64, hist: u64) -> u16 {
+        let f = self.fold(hist);
+        (((pc >> 2) ^ (f >> 1) ^ (f << 3)) & 0x3ff) as u16
+    }
+}
+
+/// The ITTAGE indirect predictor.
+#[derive(Clone, Debug)]
+pub(crate) struct Ittage {
+    btb: Btb,
+    tables: Vec<ItTable>,
+    /// Target-path history, shifted at each resolved indirect target.
+    hist: u64,
+}
+
+impl Ittage {
+    pub(crate) fn new(cfg: &SimConfig) -> Ittage {
+        Ittage {
+            btb: Btb::new(cfg),
+            tables: IT_HISTS
+                .iter()
+                .map(|&hist_len| ItTable { entries: vec![None; cfg.btb_entries], hist_len })
+                .collect(),
+            hist: 0,
+        }
+    }
+
+    /// The longest tag-matching table, if any.
+    fn provider(&self, pc: u64) -> Option<usize> {
+        for (i, t) in self.tables.iter().enumerate().rev() {
+            let idx = t.index(pc, self.hist);
+            if let Some(e) = &t.entries[idx] {
+                if e.tag == t.tag(pc, self.hist) {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl IndirectPredictor for Ittage {
+    fn predict(&mut self, pc: Pc, _feed: Option<&OracleFeed>) -> Option<Pc> {
+        let a = pc.addr();
+        match self.provider(a) {
+            Some(i) => {
+                let t = &self.tables[i];
+                t.entries[t.index(a, self.hist)].as_ref().map(|e| e.target)
+            }
+            None => self.btb.lookup(pc),
+        }
+    }
+
+    fn update(&mut self, pc: Pc, target: Pc) {
+        let a = pc.addr();
+        let provider = self.provider(a);
+        let correct = match provider {
+            Some(i) => {
+                let t = &self.tables[i];
+                t.entries[t.index(a, self.hist)].as_ref().is_some_and(|e| e.target == target)
+            }
+            None => self.btb.lookup(pc) == Some(target),
+        };
+        if let Some(i) = provider {
+            let idx = self.tables[i].index(a, self.hist);
+            if let Some(e) = self.tables[i].entries[idx].as_mut() {
+                if e.target == target {
+                    e.conf = (e.conf + 1).min(3);
+                } else if e.conf == 0 {
+                    e.target = target;
+                } else {
+                    e.conf -= 1;
+                }
+            }
+        }
+        if !correct {
+            // Allocate a longer-history entry, evicting only
+            // zero-confidence residents; decay confidence when every
+            // candidate slot is defended (mirrors TAGE allocation).
+            let start = provider.map_or(0, |i| i + 1);
+            let mut allocated = false;
+            for i in start..self.tables.len() {
+                let idx = self.tables[i].index(a, self.hist);
+                let tag = self.tables[i].tag(a, self.hist);
+                let slot = &mut self.tables[i].entries[idx];
+                match slot {
+                    None => {
+                        *slot = Some(ItEntry { tag, target, conf: 0 });
+                        allocated = true;
+                        break;
+                    }
+                    Some(e) if e.conf == 0 => {
+                        *e = ItEntry { tag, target, conf: 0 };
+                        allocated = true;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if !allocated {
+                for i in start..self.tables.len() {
+                    let idx = self.tables[i].index(a, self.hist);
+                    if let Some(e) = self.tables[i].entries[idx].as_mut() {
+                        e.conf = e.conf.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        self.btb.record(pc, target);
+        self.hist = (self.hist << 2) ^ (target.addr() >> 2);
+    }
+
+    fn digest(&self) -> u64 {
+        let mut w = CkptWriter::new();
+        self.save_state(&mut w);
+        fnv1a64(&w.finish())
+    }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        self.btb.save_state(w);
+        w.u64(self.tables.len() as u64);
+        for t in &self.tables {
+            w.u32(t.hist_len);
+            w.u64(t.entries.len() as u64);
+            for e in &t.entries {
+                match e {
+                    None => w.bool(false),
+                    Some(e) => {
+                        w.bool(true);
+                        w.u16(e.tag);
+                        w.pc(e.target);
+                        w.u8(e.conf);
+                    }
+                }
+            }
+        }
+        w.u64(self.hist);
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        self.btb.load_state(r)?;
+        let nt = r.seq_len(13)?;
+        if nt != self.tables.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{nt} ITTAGE tables in checkpoint, {} configured",
+                self.tables.len()
+            )));
+        }
+        for t in &mut self.tables {
+            let hist_len = r.u32()?;
+            if hist_len != t.hist_len {
+                return Err(CkptError::Corrupt(format!(
+                    "ITTAGE history length {hist_len} in checkpoint, {} configured",
+                    t.hist_len
+                )));
+            }
+            let ne = r.seq_len(1)?;
+            if ne != t.entries.len() {
+                return Err(CkptError::Corrupt(format!(
+                    "{ne} ITTAGE entries in checkpoint, {} configured",
+                    t.entries.len()
+                )));
+            }
+            for e in &mut t.entries {
+                *e = if r.bool()? {
+                    Some(ItEntry { tag: r.u16()?, target: r.pc()?, conf: r.u8()? })
+                } else {
+                    None
+                };
+            }
+        }
+        self.hist = r.u64()?;
+        Ok(())
+    }
+}

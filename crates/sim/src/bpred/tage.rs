@@ -1,0 +1,361 @@
+//! The default conditional predictor (bimodal base + TAGE overriding
+//! tables, as in the paper's XiangShan-style frontend) and the
+//! last-target BTB used as the default indirect predictor.
+
+use mssr_isa::Pc;
+
+use crate::ckpt::{fnv1a64, CkptError, CkptReader, CkptWriter};
+use crate::config::SimConfig;
+
+use super::{CondPredictor, IndirectPredictor, OracleFeed, PredMeta};
+
+#[derive(Clone, Debug)]
+pub(crate) struct TageEntry {
+    pub(crate) tag: u16,
+    /// 3-bit signed counter; taken when >= 0.
+    pub(crate) ctr: i8,
+    /// 2-bit useful counter.
+    pub(crate) useful: u8,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct TageTable {
+    pub(crate) entries: Vec<Option<TageEntry>>,
+    pub(crate) hist_len: u32,
+}
+
+impl TageTable {
+    fn fold(&self, ghr: u64) -> u64 {
+        // Fold `hist_len` bits of history into chunks the size of the
+        // index space, XOR-combining chunks.
+        let h = if self.hist_len >= 64 { ghr } else { ghr & ((1u64 << self.hist_len) - 1) };
+        let bits = (usize::BITS - (self.entries.len() - 1).leading_zeros()).max(1);
+        let mut folded = 0u64;
+        let mut rest = h;
+        let mut taken = 0;
+        while taken < self.hist_len {
+            folded ^= rest & ((1u64 << bits) - 1);
+            rest >>= bits;
+            taken += bits;
+        }
+        folded
+    }
+
+    fn index(&self, pc: u64, ghr: u64) -> usize {
+        let f = self.fold(ghr);
+        ((pc >> 2) ^ f ^ (f << 3) ^ self.hist_len as u64) as usize & (self.entries.len() - 1)
+    }
+
+    fn tag(&self, pc: u64, ghr: u64) -> u16 {
+        let f = self.fold(ghr);
+        (((pc >> 2) ^ (f >> 2) ^ (f << 1)) & 0xff) as u16
+    }
+}
+
+/// The TAGE + bimodal conditional predictor — the behavior-preserving
+/// extraction of the original `BranchPredictor` monolith's conditional
+/// half. The global history register is updated *speculatively* at
+/// prediction time; [`PredMeta`] carries the pre-prediction snapshot so
+/// squashes restore it exactly and training replays the same indices.
+#[derive(Clone, Debug)]
+pub(crate) struct TageCond {
+    bimodal: Vec<u8>,
+    tables: Vec<TageTable>,
+    ghr: u64,
+    /// Deterministic tie-break counter for TAGE allocation.
+    alloc_seed: u64,
+}
+
+impl TageCond {
+    pub(crate) fn new(cfg: &SimConfig) -> TageCond {
+        let hist_lens = geometric_histories(cfg.tage_tables);
+        TageCond {
+            bimodal: vec![2; cfg.bimodal_entries], // weakly taken
+            tables: hist_lens
+                .into_iter()
+                .map(|hist_len| TageTable { entries: vec![None; cfg.tage_entries], hist_len })
+                .collect(),
+            ghr: 0,
+            alloc_seed: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        (pc >> 2) as usize & (self.bimodal.len() - 1)
+    }
+
+    /// Finds the longest-history hitting table, if any; returns
+    /// `(table_index, prediction)`.
+    fn tage_lookup(&self, pc: u64, ghr: u64) -> Option<(usize, bool)> {
+        for (i, t) in self.tables.iter().enumerate().rev() {
+            let idx = t.index(pc, ghr);
+            if let Some(e) = &t.entries[idx] {
+                if e.tag == t.tag(pc, ghr) {
+                    return Some((i, e.ctr >= 0));
+                }
+            }
+        }
+        None
+    }
+
+    /// The pure prediction at `(pc, ghr)` — the TAGE provider if any
+    /// table hits, the bimodal counter otherwise. Reads only; the
+    /// statistical corrector re-derives this at train time.
+    pub(crate) fn pred_at(&self, pc: u64, ghr: u64) -> bool {
+        match self.tage_lookup(pc, ghr) {
+            Some((_, p)) => p,
+            None => self.bimodal[self.bimodal_index(pc)] >= 2,
+        }
+    }
+
+    /// The current speculative history (exposed so composing predictors
+    /// like TAGE-SC-L can share one history register).
+    pub(crate) fn ghr(&self) -> u64 {
+        self.ghr
+    }
+
+    /// Shifts a predicted outcome into the speculative history.
+    pub(crate) fn shift_history(&mut self, pred: bool) {
+        self.ghr = (self.ghr << 1) | pred as u64;
+    }
+}
+
+impl CondPredictor for TageCond {
+    fn predict(&mut self, pc: Pc, _feed: Option<&OracleFeed>) -> (bool, PredMeta) {
+        let meta = PredMeta { ghr_before: self.ghr };
+        let pred = self.pred_at(pc.addr(), self.ghr);
+        self.shift_history(pred);
+        (pred, meta)
+    }
+
+    fn recover(&mut self, meta: PredMeta, actual_taken: bool) {
+        self.ghr = (meta.ghr_before << 1) | actual_taken as u64;
+    }
+
+    fn train(&mut self, pc: Pc, taken: bool, meta: PredMeta) {
+        let a = pc.addr();
+        let ghr = meta.ghr_before;
+        // Bimodal update (always).
+        let bi = self.bimodal_index(a);
+        let c = &mut self.bimodal[bi];
+        *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+
+        let provider = self.tage_lookup(a, ghr);
+        let correct = match provider {
+            Some((_, p)) => p == taken,
+            None => (self.bimodal[bi] >= 2) == taken,
+        };
+        if let Some((ti, _)) = provider {
+            let idx = self.tables[ti].index(a, ghr);
+            if let Some(e) = self.tables[ti].entries[idx].as_mut() {
+                e.ctr = if taken { (e.ctr + 1).min(3) } else { (e.ctr - 1).max(-4) };
+                if correct {
+                    e.useful = (e.useful + 1).min(3);
+                } else {
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+        // Allocate a longer-history entry on a misprediction.
+        if !correct {
+            let start = provider.map_or(0, |(ti, _)| ti + 1);
+            self.alloc_seed = self.alloc_seed.wrapping_mul(0xd1342543de82ef95).wrapping_add(1);
+            let mut allocated = false;
+            for ti in start..self.tables.len() {
+                let idx = self.tables[ti].index(a, ghr);
+                let tag = self.tables[ti].tag(a, ghr);
+                let slot = &mut self.tables[ti].entries[idx];
+                match slot {
+                    None => {
+                        *slot = Some(TageEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 });
+                        allocated = true;
+                        break;
+                    }
+                    Some(e) if e.useful == 0 => {
+                        *e = TageEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 };
+                        allocated = true;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if !allocated {
+                // Decay usefulness so future allocations can succeed.
+                for ti in start..self.tables.len() {
+                    let idx = self.tables[ti].index(a, ghr);
+                    if let Some(e) = self.tables[ti].entries[idx].as_mut() {
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn history(&self) -> u64 {
+        self.ghr
+    }
+
+    fn restore_history(&mut self, ghr: u64) {
+        self.ghr = ghr;
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        let tage = self.tables.iter().map(|t| t.entries.iter().flatten().count()).sum();
+        let bimodal = self.bimodal.iter().filter(|&&c| c != 2).count();
+        (tage, bimodal)
+    }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        w.u64(self.bimodal.len() as u64);
+        for &c in &self.bimodal {
+            w.u8(c);
+        }
+        w.u64(self.tables.len() as u64);
+        for t in &self.tables {
+            w.u32(t.hist_len);
+            w.u64(t.entries.len() as u64);
+            for e in &t.entries {
+                match e {
+                    None => w.bool(false),
+                    Some(e) => {
+                        w.bool(true);
+                        w.u16(e.tag);
+                        w.i8(e.ctr);
+                        w.u8(e.useful);
+                    }
+                }
+            }
+        }
+        w.u64(self.ghr);
+        w.u64(self.alloc_seed);
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let nb = r.seq_len(1)?;
+        if nb != self.bimodal.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{nb} bimodal counters in checkpoint, {} configured",
+                self.bimodal.len()
+            )));
+        }
+        for c in &mut self.bimodal {
+            *c = r.u8()?;
+        }
+        let nt = r.seq_len(13)?;
+        if nt != self.tables.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{nt} TAGE tables in checkpoint, {} configured",
+                self.tables.len()
+            )));
+        }
+        for t in &mut self.tables {
+            let hist_len = r.u32()?;
+            if hist_len != t.hist_len {
+                return Err(CkptError::Corrupt(format!(
+                    "TAGE history length {hist_len} in checkpoint, {} configured",
+                    t.hist_len
+                )));
+            }
+            let ne = r.seq_len(1)?;
+            if ne != t.entries.len() {
+                return Err(CkptError::Corrupt(format!(
+                    "{ne} TAGE entries in checkpoint, {} configured",
+                    t.entries.len()
+                )));
+            }
+            for e in &mut t.entries {
+                *e = if r.bool()? {
+                    Some(TageEntry { tag: r.u16()?, ctr: r.i8()?, useful: r.u8()? })
+                } else {
+                    None
+                };
+            }
+        }
+        self.ghr = r.u64()?;
+        self.alloc_seed = r.u64()?;
+        Ok(())
+    }
+}
+
+/// The last-target BTB — the default indirect predictor. Updated at
+/// writeback (wrong paths included), which is the pinned divergence the
+/// warmup-fidelity tests document.
+#[derive(Clone, Debug)]
+pub(crate) struct Btb {
+    entries: Vec<Option<(u64, Pc)>>,
+}
+
+impl Btb {
+    pub(crate) fn new(cfg: &SimConfig) -> Btb {
+        Btb { entries: vec![None; cfg.btb_entries] }
+    }
+
+    /// The pure BTB lookup (shared by the trait path and composing
+    /// predictors like ITTAGE, which use the BTB as their base table).
+    pub(crate) fn lookup(&self, pc: Pc) -> Option<Pc> {
+        let idx = (pc.addr() >> 2) as usize & (self.entries.len() - 1);
+        match self.entries[idx] {
+            Some((tag, target)) if tag == pc.addr() => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Records a resolved target.
+    pub(crate) fn record(&mut self, pc: Pc, target: Pc) {
+        let idx = (pc.addr() >> 2) as usize & (self.entries.len() - 1);
+        self.entries[idx] = Some((pc.addr(), target));
+    }
+
+    fn save_entries(&self, w: &mut CkptWriter) {
+        for e in &self.entries {
+            match e {
+                None => w.bool(false),
+                Some((tag, target)) => {
+                    w.bool(true);
+                    w.u64(*tag);
+                    w.pc(*target);
+                }
+            }
+        }
+    }
+}
+
+impl IndirectPredictor for Btb {
+    fn predict(&mut self, pc: Pc, _feed: Option<&OracleFeed>) -> Option<Pc> {
+        self.lookup(pc)
+    }
+
+    fn update(&mut self, pc: Pc, target: Pc) {
+        self.record(pc, target);
+    }
+
+    fn digest(&self) -> u64 {
+        let mut w = CkptWriter::new();
+        self.save_entries(&mut w);
+        fnv1a64(&w.finish())
+    }
+
+    fn save_state(&self, w: &mut CkptWriter) {
+        w.u64(self.entries.len() as u64);
+        self.save_entries(w);
+    }
+
+    fn load_state(&mut self, r: &mut CkptReader) -> Result<(), CkptError> {
+        let nbtb = r.seq_len(1)?;
+        if nbtb != self.entries.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{nbtb} BTB entries in checkpoint, {} configured",
+                self.entries.len()
+            )));
+        }
+        for e in &mut self.entries {
+            *e = if r.bool()? { Some((r.u64()?, r.pc()?)) } else { None };
+        }
+        Ok(())
+    }
+}
+
+/// Geometric history lengths for `n` tagged tables (4, 8, 16, … capped at 64).
+pub(crate) fn geometric_histories(n: usize) -> Vec<u32> {
+    (0..n).map(|i| (4u32 << i).min(64)).collect()
+}

@@ -33,7 +33,7 @@ use crate::types::{PhysReg, Rgid, SeqNum};
 pub const CKPT_MAGIC: [u8; 8] = *b"MSSRCKPT";
 
 /// Current checkpoint format version. Bump on any payload layout change.
-pub const CKPT_VERSION: u32 = 1;
+pub const CKPT_VERSION: u32 = 2;
 
 const ENVELOPE_HEADER: usize = 20;
 const CHECKSUM_BYTES: usize = 8;

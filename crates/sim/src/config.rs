@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use crate::bpred::BpredKind;
+
 /// Configuration of one cache level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -101,6 +103,8 @@ pub struct SimConfig {
     pub tage_tables: usize,
     /// Indirect-target BTB entries.
     pub btb_entries: usize,
+    /// Which branch-predictor pair the frontend runs (the `--bpred` axis).
+    pub bpred: BpredKind,
     /// Whether results of instructions that were in flight (issued,
     /// writeback pending) at a squash drain into the physical register
     /// file, as they do in hardware. Disabling it restricts squash reuse
@@ -142,6 +146,7 @@ impl Default for SimConfig {
             tage_entries: 1 << 10,
             tage_tables: 5,
             btb_entries: 1 << 10,
+            bpred: BpredKind::Tage,
             drain_inflight_on_squash: true,
             max_insts: u64::MAX,
             max_cycles: u64::MAX,
@@ -269,6 +274,12 @@ impl SimConfig {
         self.fetch_blocks_per_cycle = n;
         self
     }
+
+    /// Selects the branch-predictor pair.
+    pub fn with_bpred(mut self, kind: BpredKind) -> SimConfig {
+        self.bpred = kind;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -337,7 +348,9 @@ mod tests {
             .with_rename_width(4)
             .with_max_insts(10)
             .with_max_cycles(20)
-            .with_mem_bytes(1 << 20);
+            .with_mem_bytes(1 << 20)
+            .with_bpred(BpredKind::Oracle);
+        assert_eq!(c.bpred, BpredKind::Oracle);
         assert_eq!(c.rob_size, 64);
         assert_eq!(c.phys_regs, 128);
         assert_eq!(c.rename_width, 4);

@@ -72,7 +72,9 @@ mod types;
 
 pub use account::{Category, CycleAccount};
 pub use bbv::{BbvCollector, BbvInterval, BbvTrace};
-pub use bpred::{BranchPredictor, PredMeta};
+pub use bpred::{
+    BpredKind, BranchPredictor, CondPredictor, IndirectPredictor, OracleFeed, PredMeta,
+};
 pub use check::{
     check_age_order, check_bbv, check_commit_entry, check_conservation, check_cpi_account,
     check_lsq, check_reuse_safety, check_rgids, Rule, Violation,

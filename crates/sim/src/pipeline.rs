@@ -305,11 +305,39 @@ impl Simulator {
     /// between stage passes and the deltas accumulate in the profiler —
     /// the stages themselves run identically either way.
     pub fn step(&mut self) {
+        if self.st.bpred.feed_pending() {
+            self.install_oracle_feed(0);
+        }
         let mut stamp = self.prof.cycle_due(self.st.cycle).then(StageStamp::start);
         self.step_inner(&mut stamp);
         if let Some(s) = stamp {
             self.prof.absorb(&s);
         }
+    }
+
+    /// Computes and installs the architectural branch stream the
+    /// oracle-fed predictors read (see [`crate::bpred::OracleFeed`]).
+    ///
+    /// Deferred to the first cycle (or fast-forward) rather than done at
+    /// construction because workload memory images are written *after*
+    /// `Simulator::new`; by the first step the initial state is final.
+    /// The replay is bounded by every instruction the run can consume:
+    /// `extra` not-yet-counted instructions (the fast-forward span when
+    /// called from there), plus the committed-instruction bound, capped
+    /// by the cycle bound times the commit width, plus slack for
+    /// in-flight fetch runahead. Restored simulators never recompute the
+    /// feed — it rides the checkpoint, because a mid-run restore no
+    /// longer has the initial memory image to replay from.
+    fn install_oracle_feed(&mut self, extra: u64) {
+        const FEED_SLACK: u64 = 65_536;
+        let cfg = &self.st.cfg;
+        let bound = cfg
+            .max_insts
+            .min(cfg.max_cycles.saturating_mul(cfg.commit_width as u64))
+            .saturating_add(FEED_SLACK)
+            .saturating_add(extra);
+        let feed = crate::bpred::OracleFeed::compute(&self.st.program, &self.st.memory, bound);
+        self.st.bpred.install_feed(feed);
     }
 
     fn step_inner(&mut self, stamp: &mut Option<StageStamp>) {
@@ -540,6 +568,9 @@ impl Simulator {
     ) -> u64 {
         let bucket = if bbv.is_some() { ProfBucket::Bbv } else { ProfBucket::Ffwd };
         let t0 = self.prof.begin();
+        if self.st.bpred.feed_pending() {
+            self.install_oracle_feed(n);
+        }
         let st = &mut self.st;
         assert!(
             st.cycle == 0 && st.next_seq == 1 && st.stats.committed_instructions == 0,
@@ -567,7 +598,15 @@ impl Simulator {
                     }
                     st.bpred.train_cond(pc, taken, meta);
                 }
-                ArchKind::Jalr { target } => st.bpred.update_indirect(pc, target),
+                ArchKind::Jalr { target } => {
+                    // Probe before updating: a pure read for the
+                    // table-based predictors (so the default kinds stay
+                    // byte-identical), a cursor consume for the oracle
+                    // indirect predictor, keeping its feed aligned with
+                    // the architectural jalr stream.
+                    let _ = st.bpred.predict_indirect(pc);
+                    st.bpred.update_indirect(pc, target);
+                }
                 ArchKind::Load { addr } | ArchKind::Store { addr } => {
                     let _ = st.hier.access(addr);
                 }

@@ -308,3 +308,45 @@ fn bbv_conservation_catches_seeded_corruption() {
     bbv.corrupt_for_test();
     let _ = bbv.finish(executed);
 }
+
+/// Per-predictor checkpoint round-trip: a mid-run snapshot restored into
+/// a fresh simulator re-snapshots byte-identically (the codec is a pure
+/// function of machine state, feed included), and the restored run
+/// finishes exactly like the uninterrupted one. A checkpoint taken under
+/// one `--bpred` kind is refused by every other kind with
+/// `CkptError::ConfigMismatch` — the predictor is part of the config
+/// identity, so the guard fires before any predictor codec runs.
+#[test]
+fn predictor_checkpoints_round_trip_and_refuse_cross_kind_restores() {
+    use mssr::sim::{BpredKind, CkptError};
+    let w = microbench::nested_mispred(100);
+    for kind in BpredKind::ALL {
+        let kcfg = cfg().with_bpred(kind);
+        let mut sim = w.instantiate(kcfg.clone());
+        sim.run_until_insts(200);
+        assert!(!sim.is_halted(), "{kind}: the checkpoint must be taken mid-run");
+        let snap = sim.snapshot();
+
+        let mut fresh = w.instantiate(kcfg.clone());
+        fresh.restore(&snap).expect("same-kind restore");
+        assert!(fresh.snapshot() == snap, "{kind}: restore/re-snapshot is not byte-identical");
+
+        let a = sim.run();
+        let b = fresh.run();
+        assert!(sim.is_halted() && fresh.is_halted(), "{kind}: both runs must halt");
+        assert_eq!(a.cycles, b.cycles, "{kind}: restored run diverged in cycles");
+        assert_eq!(a.mispredictions, b.mispredictions, "{kind}: mispredict count diverged");
+        w.verify(&fresh).expect("restored run must verify");
+
+        for other in BpredKind::ALL {
+            if other == kind {
+                continue;
+            }
+            let err = w.instantiate(cfg().with_bpred(other)).restore(&snap).unwrap_err();
+            assert!(
+                matches!(err, CkptError::ConfigMismatch),
+                "{kind}->{other}: got {err}, want ConfigMismatch"
+            );
+        }
+    }
+}

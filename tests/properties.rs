@@ -243,3 +243,94 @@ fn kmeans_is_deterministic_and_assigns_nearest_centroids() {
         }
     });
 }
+
+/// The speculation-cleanup invariant, per predictor: wrong-path work —
+/// conditional predictions, RAS pushes, indirect lookups — followed by
+/// `recover_cond` + `restore_ras_sp` must leave the predictor in exactly
+/// the state an in-order replay of the resolved stream produces. Any
+/// digest divergence means wrong-path fetch trained (or shifted history
+/// in) state that squash recovery failed to unwind.
+#[test]
+fn wrong_path_predictions_leave_no_trace_after_recovery() {
+    use common::prop::Rng;
+    use mssr::isa::Pc;
+    use mssr::sim::{BpredKind, BranchPredictor, OracleFeed};
+
+    for_each_case("wrong_path_predictions_leave_no_trace", 8, 0x6d73_7372_0011, |rng| {
+        let pool: Vec<Pc> = (0..8).map(|k| Pc::new(0x1000 + 16 * k)).collect();
+        let stream: Vec<(Pc, bool)> =
+            (0..200).map(|_| (pool[rng.range(0, 8)], rng.next_u64() & 1 == 1)).collect();
+        let ex_seed = rng.next_u64();
+        for kind in BpredKind::ALL {
+            let kcfg = SimConfig::default().with_bpred(kind);
+            let cond: Vec<bool> = stream.iter().map(|&(_, t)| t).collect();
+            let fresh = || {
+                let mut bp = BranchPredictor::new(&kcfg);
+                if kind.needs_feed() {
+                    bp.install_feed(OracleFeed::from_streams(&cond, &[]));
+                }
+                bp
+            };
+
+            // In-order replay: predict, fold the actual outcome into the
+            // history on a miss (as the resolve stage does), train.
+            let mut clean = fresh();
+            for &(pc, taken) in &stream {
+                let (pred, meta) = clean.predict_cond(pc);
+                if pred != taken {
+                    clean.recover_cond(meta, taken);
+                }
+                clean.train_cond(pc, taken, meta);
+            }
+
+            // Speculative run: every misprediction first fetches a burst
+            // of wrong-path work before recovery unwinds it.
+            let mut spec = fresh();
+            let mut ex = Rng::new(ex_seed);
+            for &(pc, taken) in &stream {
+                let (pred, meta) = spec.predict_cond(pc);
+                if pred != taken {
+                    let sp = spec.ras_sp();
+                    for _ in 0..ex.range(1, 8) {
+                        let wp = pool[ex.range(0, 8)];
+                        let _ = spec.predict_cond(wp);
+                        spec.ras_push(wp.next());
+                        let _ = spec.predict_indirect(wp);
+                    }
+                    spec.recover_cond(meta, taken);
+                    spec.restore_ras_sp(sp);
+                }
+                spec.train_cond(pc, taken, meta);
+            }
+
+            assert_eq!(
+                clean.cond_digest(),
+                spec.cond_digest(),
+                "{kind}: wrong-path state survived recovery"
+            );
+        }
+    });
+}
+
+/// The oracle predictor replays the architectural branch stream, so on
+/// any generated program the pipeline must take *zero* branch-mispredict
+/// flushes — conditional outcomes and indirect targets both come
+/// straight from the interpreter feed. This pins the oracle as the
+/// reuse-irrelevant asymptote of the `--bpred` axis.
+#[test]
+fn oracle_predictor_never_mispredicts_on_random_programs() {
+    use mssr::sim::BpredKind;
+
+    for_each_case("oracle_never_mispredicts", 12, 0x6d73_7372_0012, |rng| {
+        let body = random_body(rng, 4, 32);
+        let iters = rng.range(1, 24) as u8;
+        let seed = rng.next_u64();
+        let program = assemble(&body, iters, seed);
+        let cfg = SimConfig::default().with_bpred(BpredKind::Oracle).with_max_cycles(4_000_000);
+        let mut sim = Simulator::new(cfg, program);
+        let stats = sim.run();
+        assert!(sim.is_halted(), "generated program must halt");
+        assert!(stats.committed_cond_branches > 0, "program must exercise branches");
+        assert_eq!(stats.mispredictions, 0, "oracle took a mispredict flush");
+    });
+}
